@@ -1,0 +1,57 @@
+//! Criterion microbenchmarks for the vision kernels (the raw material for
+//! calibrated cost models).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use vision::{
+    change_detection, detect_chunks, image_histogram, peak_detection, target_detection,
+    target_detection_chunk, BitMask, Scene,
+};
+
+const W: usize = 160;
+const H: usize = 120;
+
+fn bench_kernels(c: &mut Criterion) {
+    let scene = Scene::demo(W, H, 8, 42);
+    let models = scene.models();
+    let prev = scene.render(0);
+    let frame = scene.render(1);
+    let hist = image_histogram(&frame);
+    let mask = BitMask::all_set(W, H);
+
+    c.bench_function("histogram_t2", |b| {
+        b.iter(|| image_histogram(std::hint::black_box(&frame)))
+    });
+
+    c.bench_function("change_detection_t3", |b| {
+        b.iter(|| change_detection(std::hint::black_box(&frame), Some(&prev), 24))
+    });
+
+    let mut g = c.benchmark_group("target_detection_t4");
+    for n in [1usize, 4, 8] {
+        g.bench_with_input(BenchmarkId::new("models", n), &n, |b, &n| {
+            b.iter(|| target_detection(&frame, &hist, &models[..n], &mask))
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("t4_chunk");
+    for fp in [1usize, 4] {
+        g.bench_with_input(BenchmarkId::new("fp", fp), &fp, |b, &fp| {
+            let chunk = detect_chunks(W, H, 8, fp, 1)[0];
+            b.iter(|| target_detection_chunk(&frame, &hist, &models, &mask, chunk))
+        });
+    }
+    g.finish();
+
+    let scores = target_detection(&frame, &hist, &models, &mask);
+    c.bench_function("peak_detection_t5", |b| {
+        b.iter(|| peak_detection(std::hint::black_box(&scores), 1.0))
+    });
+
+    c.bench_function("scene_render_t1", |b| {
+        b.iter(|| scene.render(std::hint::black_box(7)))
+    });
+}
+
+criterion_group!(benches, bench_kernels);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Criterion benchmarks for the regime machinery: detection, replay, and a
+//! full switching simulation — the run-time costs of constrained dynamism
+//! ("perform a table look-up … perform a transition").
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use cds_core::detector::RegimeDetector;
+use cds_core::optimal::OptimalConfig;
+use cds_core::switcher::{
+    simulate_regime_switched, ScheduleStrategy, SwitchConfig, TransitionPolicy,
+};
+use cds_core::table::ScheduleTable;
+use cluster::{ClusterSpec, FrameClock, StateTrack};
+use taskgraph::{builders, AppState, Micros};
+
+fn bench_regime(c: &mut Criterion) {
+    let graph = builders::color_tracker();
+    let cluster = ClusterSpec::single_node(4);
+    let states: Vec<AppState> = (0..=4u32).map(AppState::new).collect();
+    let table = ScheduleTable::precompute(&graph, &cluster, &states, &OptimalConfig::default());
+    let track = StateTrack::from_changes(vec![
+        (0, AppState::new(1)),
+        (50, AppState::new(4)),
+        (120, AppState::new(2)),
+        (200, AppState::new(3)),
+    ]);
+
+    c.bench_function("detector_observe", |b| {
+        let mut d = RegimeDetector::new(AppState::new(1), 3);
+        let mut i = 0u32;
+        b.iter(|| {
+            i = (i + 1) % 7;
+            std::hint::black_box(d.observe(AppState::new(i / 3 + 1)))
+        });
+    });
+
+    c.bench_function("table_lookup", |b| {
+        b.iter(|| std::hint::black_box(table.get(&AppState::new(3))));
+    });
+
+    let mut g = c.benchmark_group("switching_simulation_300_frames");
+    g.sample_size(20);
+    for (name, strategy) in [
+        ("static", ScheduleStrategy::Static(AppState::new(2))),
+        (
+            "regime_table",
+            ScheduleStrategy::RegimeTable {
+                confirm_after: 3,
+                policy: TransitionPolicy::CutOver,
+            },
+        ),
+        ("oracle", ScheduleStrategy::Oracle),
+    ] {
+        g.bench_function(name, |b| {
+            let cfg = SwitchConfig {
+                clock: FrameClock::new(Micros::from_millis(500), 300),
+                strategy,
+                warmup_frames: 2,
+            };
+            b.iter(|| simulate_regime_switched(&graph, &cluster, &table, &track, &cfg));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_regime);
+criterion_main!(benches);

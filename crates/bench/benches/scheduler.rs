@@ -1,0 +1,58 @@
+//! Criterion benchmarks for the scheduling core: how long does the offline
+//! phase take? (The paper: "since the resulting schedule will be operating
+//! for months, we can afford to evaluate all legal schedules".)
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::collections::BTreeMap;
+
+use cds_core::expand::ExpandedGraph;
+use cds_core::ii::find_best_ii;
+use cds_core::listsched::list_schedule;
+use cds_core::optimal::{optimal_schedule, OptimalConfig};
+use cluster::ClusterSpec;
+use taskgraph::{builders, AppState, Decomposition};
+
+fn bench_scheduler(c: &mut Criterion) {
+    let graph = builders::color_tracker();
+    let cluster = ClusterSpec::single_node(4);
+
+    let mut g = c.benchmark_group("optimal_schedule");
+    g.sample_size(10);
+    for n in [1u32, 4, 8] {
+        g.bench_with_input(BenchmarkId::new("models", n), &n, |b, &n| {
+            let state = AppState::new(n);
+            b.iter(|| optimal_schedule(&graph, &cluster, &state, &OptimalConfig::default()))
+        });
+    }
+    g.finish();
+
+    c.bench_function("list_schedule_mp8", |b| {
+        let state = AppState::new(8);
+        let t4 = graph.task_by_name("Target Detection").unwrap();
+        let mut d = BTreeMap::new();
+        d.insert(t4, Decomposition::new(1, 8));
+        let e = ExpandedGraph::build(&graph, &state, &d);
+        b.iter(|| list_schedule(&e, &cluster))
+    });
+
+    c.bench_function("find_best_ii", |b| {
+        let state = AppState::new(8);
+        let t4 = graph.task_by_name("Target Detection").unwrap();
+        let mut d = BTreeMap::new();
+        d.insert(t4, Decomposition::new(1, 8));
+        let e = ExpandedGraph::build(&graph, &state, &d);
+        let s = list_schedule(&e, &cluster);
+        b.iter(|| find_best_ii(&s, 4))
+    });
+
+    c.bench_function("expand_graph", |b| {
+        let state = AppState::new(8);
+        let t4 = graph.task_by_name("Target Detection").unwrap();
+        let mut d = BTreeMap::new();
+        d.insert(t4, Decomposition::new(4, 8));
+        b.iter(|| ExpandedGraph::build(&graph, &state, &d))
+    });
+}
+
+criterion_group!(benches, bench_scheduler);
+criterion_main!(benches);

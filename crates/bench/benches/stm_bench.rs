@@ -1,0 +1,62 @@
+//! Criterion benchmarks for the Space-Time Memory substrate: channel
+//! operation costs and a two-thread pipeline round trip.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use stm::{Channel, Timestamp, TsSpec};
+
+fn bench_stm(c: &mut Criterion) {
+    c.bench_function("put_get_consume_cycle", |b| {
+        let ch: Channel<u64> = Channel::new("bench");
+        let out = ch.attach_output();
+        let inp = ch.attach_input();
+        let mut ts = 0u64;
+        b.iter(|| {
+            out.put(Timestamp(ts), ts).unwrap();
+            let got = inp.try_get(TsSpec::Exact(Timestamp(ts))).unwrap();
+            std::hint::black_box(*got.value);
+            inp.consume(Timestamp(ts)).unwrap();
+            ts += 1;
+        });
+    });
+
+    c.bench_function("newest_unseen_scan", |b| {
+        let ch: Channel<u64> = Channel::new("bench2");
+        let out = ch.attach_output();
+        let inp = ch.attach_input();
+        let _hold = ch.attach_input(); // keeps items live
+        for ts in 0..64u64 {
+            out.put(Timestamp(ts), ts).unwrap();
+        }
+        let mut ts = 64u64;
+        b.iter(|| {
+            out.put(Timestamp(ts), ts).unwrap();
+            let got = inp.try_get(TsSpec::NewestUnseen).unwrap();
+            std::hint::black_box(got.ts);
+            ts += 1;
+        });
+    });
+
+    c.bench_function("cross_thread_pipeline_1000", |b| {
+        b.iter(|| {
+            let ch: Channel<u64> = Channel::with_capacity("pipe", 16);
+            let out = ch.attach_output();
+            let inp = ch.attach_input();
+            let producer = std::thread::spawn(move || {
+                for ts in 0..1000u64 {
+                    out.put(Timestamp(ts), ts).unwrap();
+                }
+            });
+            let mut sum = 0u64;
+            for _ in 0..1000u64 {
+                let got = inp.get(TsSpec::NextUnseen).unwrap();
+                sum += *got.value;
+                inp.consume_through(got.ts);
+            }
+            producer.join().unwrap();
+            std::hint::black_box(sum)
+        });
+    });
+}
+
+criterion_group!(benches, bench_stm);
+criterion_main!(benches);

@@ -1,0 +1,259 @@
+//! `cds` — command-line front end to the scheduling framework.
+//!
+//! ```text
+//! cds schedule  --models 4 [--procs 4] [--nodes 1] [--no-dp] [--out FILE]
+//!     Compute the optimal schedule for one regime and print (or save) it.
+//!
+//! cds table     --states 0..5 [--procs 4] [--out FILE]
+//!     Precompute a regime table and serialize it.
+//!
+//! cds inspect   FILE [--graph tracker|surveillance]
+//!     Load a persisted schedule/table, validate it, and show a Gantt chart.
+//!
+//! cds simulate  --models 8 --period-ms 33 [--frames 40] [--skip]
+//!     Run the online (pthread-style) simulator and report metrics.
+//! ```
+//!
+//! All subcommands default to the color-tracker graph; `--graph
+//! surveillance` selects the two-camera graph.
+
+use std::collections::HashMap;
+
+use cds_core::evaluate::evaluate_schedule;
+use cds_core::optimal::{optimal_schedule, OptimalConfig};
+use cds_core::persist;
+use cds_core::table::ScheduleTable;
+use cluster::{
+    render_gantt, simulate_online, ClusterSpec, FrameClock, GanttOptions, OnlineConfig,
+};
+use taskgraph::{builders, AppState, Micros, TaskGraph};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  cds schedule --models N [--procs P] [--nodes K] [--no-dp] [--out FILE] [--graph G]\n  cds table    --states A..B [--procs P] [--out FILE] [--graph G]\n  cds inspect  FILE [--graph G]\n  cds simulate --models N --period-ms MS [--frames F] [--skip] [--procs P] [--graph G]\n\ngraphs: tracker (default) | surveillance"
+    );
+    std::process::exit(2);
+}
+
+struct Args {
+    positional: Vec<String>,
+    flags: HashMap<String, String>,
+    switches: Vec<String>,
+}
+
+fn parse_args(raw: &[String]) -> Args {
+    let mut positional = Vec::new();
+    let mut flags = HashMap::new();
+    let mut switches = Vec::new();
+    let mut i = 0;
+    while i < raw.len() {
+        let a = &raw[i];
+        if let Some(name) = a.strip_prefix("--") {
+            // Boolean switches take no value.
+            if matches!(name, "no-dp" | "skip") {
+                switches.push(name.to_string());
+            } else if i + 1 < raw.len() {
+                flags.insert(name.to_string(), raw[i + 1].clone());
+                i += 1;
+            } else {
+                eprintln!("flag --{name} needs a value");
+                usage();
+            }
+        } else {
+            positional.push(a.clone());
+        }
+        i += 1;
+    }
+    Args {
+        positional,
+        flags,
+        switches,
+    }
+}
+
+fn graph_for(args: &Args) -> TaskGraph {
+    match args.flags.get("graph").map(String::as_str) {
+        None | Some("tracker") => builders::color_tracker(),
+        Some("surveillance") => builders::stereo_surveillance(),
+        Some(other) => {
+            eprintln!("unknown graph {other:?}");
+            usage();
+        }
+    }
+}
+
+fn flag_u32(args: &Args, name: &str, default: u32) -> u32 {
+    args.flags
+        .get(name)
+        .map(|v| {
+            v.parse().unwrap_or_else(|_| {
+                eprintln!("invalid --{name}: {v:?}");
+                usage();
+            })
+        })
+        .unwrap_or(default)
+}
+
+fn cluster_for(args: &Args) -> ClusterSpec {
+    let procs = flag_u32(args, "procs", 4);
+    let nodes = flag_u32(args, "nodes", 1);
+    if nodes <= 1 {
+        ClusterSpec::single_node(procs)
+    } else {
+        ClusterSpec::new(nodes, procs, *ClusterSpec::paper_cluster().comm())
+    }
+}
+
+fn emit(args: &Args, content: &str) {
+    match args.flags.get("out") {
+        Some(path) => {
+            std::fs::write(path, content).unwrap_or_else(|e| {
+                eprintln!("cannot write {path}: {e}");
+                std::process::exit(1);
+            });
+            println!("wrote {path} ({} bytes)", content.len());
+        }
+        None => print!("{content}"),
+    }
+}
+
+fn cmd_schedule(args: &Args) {
+    let graph = graph_for(args);
+    let cluster = cluster_for(args);
+    let state = AppState::new(flag_u32(args, "models", 1));
+    let cfg = OptimalConfig {
+        explore_decompositions: !args.switches.iter().any(|s| s == "no-dp"),
+        max_nodes: 200_000,
+        ..OptimalConfig::default()
+    };
+    let r = optimal_schedule(&graph, &cluster, &state, &cfg);
+    eprintln!(
+        "state {state}: latency {} II {} rotation {} |S|={} nodes={} complete={}",
+        r.minimal_latency, r.best.ii, r.best.rotation, r.candidates, r.nodes_explored, r.complete
+    );
+    emit(args, &persist::schedule_to_string(&r.best));
+}
+
+fn cmd_table(args: &Args) {
+    let graph = graph_for(args);
+    let cluster = cluster_for(args);
+    let spec = args.flags.get("states").cloned().unwrap_or_else(|| {
+        eprintln!("table needs --states A..B");
+        usage();
+    });
+    let Some((a, b)) = spec.split_once("..") else {
+        eprintln!("--states must look like 0..5");
+        usage();
+    };
+    let (a, b): (u32, u32) = match (a.parse(), b.parse()) {
+        (Ok(a), Ok(b)) if a <= b => (a, b),
+        _ => {
+            eprintln!("--states must look like 0..5");
+            usage();
+        }
+    };
+    let states: Vec<AppState> = (a..=b).map(AppState::new).collect();
+    let cfg = OptimalConfig {
+        max_nodes: 200_000,
+        ..OptimalConfig::default()
+    };
+    let table = ScheduleTable::precompute(&graph, &cluster, &states, &cfg);
+    for s in table.states() {
+        let sched = table.get(&s).expect("present");
+        eprintln!(
+            "  {s}: latency {} II {} decomp {:?}",
+            sched.iteration.latency,
+            sched.ii,
+            sched.iteration.decomp.values().collect::<Vec<_>>()
+        );
+    }
+    emit(args, &persist::table_to_string(&table));
+}
+
+fn cmd_inspect(args: &Args) {
+    let Some(path) = args.positional.first() else {
+        eprintln!("inspect needs a FILE");
+        usage();
+    };
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("cannot read {path}: {e}");
+        std::process::exit(1);
+    });
+    let table = persist::table_from_str(&text).unwrap_or_else(|e| {
+        eprintln!("parse error in {path}: {e}");
+        std::process::exit(1);
+    });
+    let graph = graph_for(args);
+    println!("{path}: {} schedule(s)", table.len());
+    for s in table.states() {
+        let sched = table.get(&s).expect("present");
+        // Validate against the graph and a cluster of the schedule's size.
+        let cluster = ClusterSpec::single_node(sched.n_procs);
+        if let Err(e) = cds_core::legality::check_pipelined(sched, &graph, &cluster) {
+            eprintln!("schedule for {s} fails validation: {e}");
+            std::process::exit(1);
+        }
+        println!();
+        print!("{}", sched.describe(&graph));
+        let out = evaluate_schedule(
+            sched,
+            &graph,
+            FrameClock::new(sched.ii.max(Micros(1)), 4),
+            0,
+        );
+        let bucket = Micros((sched.iteration.latency.0 / 20).max(1_000));
+        println!(
+            "{}",
+            render_gantt(
+                &out.trace,
+                &graph,
+                GanttOptions {
+                    bucket,
+                    max_rows: 40,
+                    from: Micros::ZERO,
+                }
+            )
+        );
+    }
+}
+
+fn cmd_simulate(args: &Args) {
+    let graph = graph_for(args);
+    let cluster = cluster_for(args);
+    let state = AppState::new(flag_u32(args, "models", 1));
+    let period = Micros::from_millis(u64::from(flag_u32(args, "period-ms", 33)));
+    let frames = u64::from(flag_u32(args, "frames", 40));
+    let mut cfg = OnlineConfig::new(FrameClock::new(period, frames), state);
+    cfg.skip_stale = args.switches.iter().any(|s| s == "skip");
+    // Use the best decomposition for the state, as a tuner would.
+    let opt = optimal_schedule(&graph, &cluster, &state, &OptimalConfig::default());
+    cfg.decomposition = opt
+        .best
+        .iteration
+        .decomp
+        .iter()
+        .map(|(t, d)| (*t, *d))
+        .collect();
+    let out = simulate_online(&graph, &cluster, cfg);
+    println!("online simulation, {state}, period {period}, {frames} frames:");
+    println!("  {}", out.metrics);
+    println!(
+        "  (precomputed optimal for this state: latency {}, II {})",
+        opt.minimal_latency, opt.best.ii
+    );
+}
+
+fn main() {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = raw.first().cloned() else {
+        usage();
+    };
+    let args = parse_args(&raw[1..]);
+    match cmd.as_str() {
+        "schedule" => cmd_schedule(&args),
+        "table" => cmd_table(&args),
+        "inspect" => cmd_inspect(&args),
+        "simulate" => cmd_simulate(&args),
+        _ => usage(),
+    }
+}

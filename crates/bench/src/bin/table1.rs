@@ -1,0 +1,247 @@
+//! Table 1 — "Timing results in seconds/frame for the target detection task
+//! with one and eight target models."
+//!
+//! Two reproductions are printed:
+//!
+//! 1. **Real kernels**: the synthetic tracker's target-detection stage,
+//!    decomposed into exactly the paper's chunk grids. Every chunk's CPU
+//!    cost is *measured* on this host; the 4-processor makespan is then
+//!    *projected* by longest-processing-time packing of the measured chunks
+//!    onto four modeled processors. (This host exposes a single CPU core,
+//!    so wall-clock parallel speedup is physically unobservable here — the
+//!    same substitution the simulator makes, applied to measured numbers.
+//!    The threaded splitter/worker/joiner machinery itself is exercised by
+//!    the `runtime` crate's tests and examples.)
+//! 2. **Cost model**: the calibrated analytical model used by the
+//!    simulator, evaluated at the paper's scale — this reconstructs the
+//!    paper's actual cell values to within a few percent.
+
+use std::time::Instant;
+
+use kiosk_bench::{csv_line, print_table};
+use taskgraph::{AppState, DataParallelSpec, Decomposition, Micros};
+use vision::detect::PartialScores;
+use vision::{
+    detect_chunks, image_histogram, merge_partials, target_detection_chunk, BitMask, ColorHist,
+    Frame, Scene,
+};
+
+const WORKERS: usize = 4;
+const WIDTH: usize = 480;
+const HEIGHT: usize = 360;
+const REPS: u32 = 3;
+
+/// Measure every chunk of a decomposition, then project the makespan on
+/// `WORKERS` processors by LPT packing. Returns (projected seconds/frame,
+/// total CPU seconds, chunk count).
+fn measure_cell(
+    frame: &Frame,
+    hist: &ColorHist,
+    mask: &BitMask,
+    models: &[ColorHist],
+    fp: usize,
+    mp: usize,
+) -> (f64, f64, usize) {
+    let chunks = detect_chunks(WIDTH, HEIGHT, models.len(), fp, mp);
+    let mut chunk_secs = vec![0.0f64; chunks.len()];
+    let mut merge_secs = 0.0f64;
+    for _ in 0..REPS {
+        let mut partials: Vec<PartialScores> = Vec::new();
+        for (i, &chunk) in chunks.iter().enumerate() {
+            let t0 = Instant::now();
+            let p = target_detection_chunk(frame, hist, models, mask, chunk);
+            chunk_secs[i] += t0.elapsed().as_secs_f64();
+            partials.extend(p);
+        }
+        let t0 = Instant::now();
+        std::hint::black_box(merge_partials(WIDTH, HEIGHT, models.len(), &partials));
+        merge_secs += t0.elapsed().as_secs_f64();
+    }
+    for s in &mut chunk_secs {
+        *s /= f64::from(REPS);
+    }
+    merge_secs /= f64::from(REPS);
+
+    // LPT packing onto WORKERS processors.
+    let mut sorted = chunk_secs.clone();
+    sorted.sort_by(|a, b| b.partial_cmp(a).unwrap());
+    let mut procs = [0.0f64; WORKERS];
+    for s in sorted {
+        let min = procs
+            .iter_mut()
+            .min_by(|a, b| a.partial_cmp(b).unwrap())
+            .unwrap();
+        *min += s;
+    }
+    let makespan = procs.iter().cloned().fold(0.0, f64::max) + merge_secs;
+    let total: f64 = chunk_secs.iter().sum::<f64>() + merge_secs;
+    (makespan, total, chunks.len())
+}
+
+fn main() {
+    println!("Reproduction of Table 1 (SC 1999): target-detection latency under data decomposition");
+    println!(
+        "grid: FP ∈ {{1,4}} × (1 model | 8 models with MP ∈ {{8,1}}), {WORKERS} modeled processors, {WIDTH}x{HEIGHT} frames"
+    );
+    println!("(single-core host: per-chunk CPU costs measured, makespan projected by LPT packing)");
+
+    // --- Real kernels ----------------------------------------------------
+    let scene8 = Scene::demo(WIDTH, HEIGHT, 8, 0xBEEF);
+    let models8 = scene8.models();
+    let models1 = &models8[..1];
+    let frame = scene8.render(3);
+    let hist = image_histogram(&frame);
+    let mask = BitMask::all_set(WIDTH, HEIGHT);
+
+    // Paper's measured cells, seconds/frame.
+    let paper = [
+        // (fp, models, mp, paper_seconds)
+        (1usize, 1usize, 1usize, 0.876),
+        (4, 1, 1, 0.275),
+        (1, 8, 8, 1.857),
+        (4, 8, 8, 2.155),
+        (1, 8, 1, 6.850),
+        (4, 8, 1, 2.033),
+    ];
+
+    let mut rows = Vec::new();
+    let mut measured = std::collections::HashMap::new();
+    for &(fp, n_models, mp, paper_s) in &paper {
+        let models: &[ColorHist] = if n_models == 1 { models1 } else { &models8 };
+        let (secs, cpu, chunks) = measure_cell(&frame, &hist, &mask, models, fp, mp);
+        measured.insert((fp, n_models, mp), secs);
+        rows.push(vec![
+            format!("FP={fp}"),
+            format!("{n_models}"),
+            format!("MP={mp}"),
+            format!("({chunks})"),
+            format!("{secs:.4}"),
+            format!("{cpu:.4}"),
+            format!("{paper_s:.3}"),
+        ]);
+        csv_line(&[
+            "table1_real".to_string(),
+            fp.to_string(),
+            n_models.to_string(),
+            mp.to_string(),
+            chunks.to_string(),
+            format!("{secs:.6}"),
+            format!("{paper_s:.3}"),
+        ]);
+    }
+    print_table(
+        "Table 1, real kernels (this host, projected on 4 processors)",
+        &[
+            "partitions",
+            "models",
+            "decomp",
+            "chunks",
+            "latency s/frame",
+            "total CPU s",
+            "paper s/frame",
+        ],
+        &rows,
+    );
+
+    // Shape checks.
+    let g = |fp: usize, n: usize, mp: usize| measured[&(fp, n, mp)];
+    let checks = [
+        ("1 model: FP=4 beats FP=1", g(4, 1, 1) < g(1, 1, 1)),
+        ("8 models: MP=8 beats serial", g(1, 8, 8) < g(1, 8, 1)),
+        ("8 models: MP=8 beats FP=4", g(1, 8, 8) < g(4, 8, 1)),
+        (
+            "8 models: 32 chunks no better than 4 (overhead regime)",
+            g(4, 8, 8) > g(4, 8, 1) * 0.9,
+        ),
+        (
+            "best decomposition is state-dependent (FP wins at 1, MP wins at 8)",
+            g(4, 1, 1) < g(1, 1, 1) && g(1, 8, 8) < g(4, 8, 1),
+        ),
+    ];
+    println!("\nshape checks:");
+    for (name, ok) in checks {
+        println!("  [{}] {name}", if ok { "PASS" } else { "FAIL" });
+    }
+
+    // --- Cost model at paper scale ---------------------------------------
+    let spec = DataParallelSpec::new(vec![1, 4], vec![1, 8], Micros::from_millis(35))
+        .with_model_overhead(Micros::from_millis(35));
+    let mut rows = Vec::new();
+    for &(fp, n_models, mp, paper_s) in &paper {
+        let state = AppState::new(n_models as u32);
+        let work = Micros::from_millis(20) + Micros::from_millis(856) * n_models as u64;
+        let plan = spec.plan(work, Decomposition::new(fp as u32, mp as u32), &state);
+        let m = DataParallelSpec::makespan(&plan, WORKERS as u32).as_secs_f64();
+        rows.push(vec![
+            format!("FP={fp}"),
+            format!("{n_models}"),
+            format!("MP={mp}"),
+            format!("({})", plan.chunks),
+            format!("{m:.3}"),
+            format!("{paper_s:.3}"),
+            format!("{:+.1}%", (m - paper_s) / paper_s * 100.0),
+        ]);
+        csv_line(&[
+            "table1_model".to_string(),
+            fp.to_string(),
+            n_models.to_string(),
+            mp.to_string(),
+            plan.chunks.to_string(),
+            format!("{m:.4}"),
+            format!("{paper_s:.3}"),
+        ]);
+    }
+    print_table(
+        "Table 1, calibrated cost model (paper scale)",
+        &[
+            "partitions",
+            "models",
+            "decomp",
+            "chunks",
+            "model s/frame",
+            "paper s/frame",
+            "error",
+        ],
+        &rows,
+    );
+
+    // --- Calibrate → schedule: the full loop ------------------------------
+    // Measure the kernels on this host, build a cost-model graph from the
+    // measurements, and let the optimal enumerator pick the decomposition —
+    // the regime-dependence conclusion must hold on the host's own numbers.
+    use cds_core::optimal::{optimal_schedule, OptimalConfig};
+    use cluster::ClusterSpec;
+    use vision::calibrate::{calibrated_tracker, measure_kernels};
+
+    let times = measure_kernels(WIDTH, HEIGHT, &[1, 2, 4, 8], 2);
+    let graph = calibrated_tracker(WIDTH, HEIGHT, &times);
+    let cluster = ClusterSpec::single_node(WORKERS as u32);
+    let t4 = graph.task_by_name("Target Detection").unwrap();
+    println!("\n== Calibrated graph (this host) → optimal decomposition per regime ==");
+    let mut chosen = Vec::new();
+    for n in [1u32, 2, 4, 8] {
+        let r = optimal_schedule(&graph, &cluster, &AppState::new(n), &OptimalConfig::default());
+        let d = r
+            .best
+            .iteration
+            .decomp
+            .get(&t4)
+            .map_or("serial".to_string(), ToString::to_string);
+        println!(
+            "  {n} models: latency {}  II {}  T4 {}",
+            r.minimal_latency, r.best.ii, d
+        );
+        csv_line(&[
+            "table1_calibrated".to_string(),
+            n.to_string(),
+            format!("{:.6}", r.minimal_latency.as_secs_f64()),
+            d.clone(),
+        ]);
+        chosen.push(d);
+    }
+    let distinct: std::collections::HashSet<&String> = chosen.iter().collect();
+    println!(
+        "\n  [{}] calibrated decomposition is regime-dependent on this host",
+        if distinct.len() > 1 { "PASS" } else { "FAIL" }
+    );
+}

@@ -1,0 +1,73 @@
+//! # Experiment harnesses
+//!
+//! One binary per table/figure of the paper's evaluation, plus extension
+//! experiments. Each prints a self-describing report with the paper's
+//! numbers alongside the measured ones, and emits machine-readable CSV
+//! blocks (lines prefixed `csv,`) for downstream plotting.
+//!
+//! | binary | reproduces |
+//! |---|---|
+//! | `table1` | Table 1 — data-decomposition latencies (real kernels + cost model) |
+//! | `fig3` | Fig. 3 — tuning curve vs the precomputed optimal point |
+//! | `fig4` | Fig. 4 — pthread-style vs naive-pipeline schedules (Gantt) |
+//! | `fig5` | Fig. 5 — task-parallel and task+data-parallel optimal schedules |
+//! | `regime_switch` | §3.4 — regime switching under a dynamic customer process |
+//! | `ablation` | extension — enumerator vs list scheduling vs pipeline across states |
+
+use std::fmt::Display;
+
+/// Print an aligned text table with a title.
+pub fn print_table<H: Display, C: Display>(title: &str, headers: &[H], rows: &[Vec<C>]) {
+    println!("\n== {title} ==");
+    let headers: Vec<String> = headers.iter().map(ToString::to_string).collect();
+    let rows: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| r.iter().map(ToString::to_string).collect())
+        .collect();
+    let n_cols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(String::len).collect();
+    for r in &rows {
+        assert_eq!(r.len(), n_cols, "ragged table row");
+        for (w, cell) in widths.iter_mut().zip(r) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let line = |cells: &[String]| {
+        let mut s = String::new();
+        for (w, cell) in widths.iter().zip(cells) {
+            s.push_str(&format!("{cell:>w$}  "));
+        }
+        println!("{}", s.trim_end());
+    };
+    line(&headers);
+    for r in &rows {
+        line(r);
+    }
+}
+
+/// Emit one machine-readable CSV line, prefixed so it is easy to grep out.
+pub fn csv_line<C: Display>(cells: &[C]) {
+    let joined: Vec<String> = cells.iter().map(ToString::to_string).collect();
+    println!("csv,{}", joined.join(","));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_printing_does_not_panic() {
+        print_table(
+            "t",
+            &["a", "bb"],
+            &[vec!["1".to_string(), "2".to_string()]],
+        );
+        csv_line(&[1, 2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_rows_rejected() {
+        print_table("t", &["a", "b"], &[vec!["1".to_string()]]);
+    }
+}

@@ -1,0 +1,97 @@
+//! Smoke tests for the `cds` command-line tool: each subcommand runs end to
+//! end, and schedule/table files roundtrip through `inspect`.
+
+use std::process::Command;
+
+fn cds() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_cds"))
+}
+
+fn tmp(name: &str) -> std::path::PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("cds-test-{}-{name}", std::process::id()));
+    p
+}
+
+#[test]
+fn schedule_then_inspect_roundtrip() {
+    let file = tmp("sched.txt");
+    let out = cds()
+        .args(["schedule", "--models", "2", "--out"])
+        .arg(&file)
+        .output()
+        .expect("run cds schedule");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = std::fs::read_to_string(&file).unwrap();
+    assert!(text.starts_with("schedule v1"));
+
+    let out = cds().arg("inspect").arg(&file).output().expect("inspect");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("1 schedule(s)"), "{stdout}");
+    assert!(stdout.contains("Digitizer"), "{stdout}");
+    let _ = std::fs::remove_file(&file);
+}
+
+#[test]
+fn table_roundtrip_and_entries() {
+    let file = tmp("table.txt");
+    let out = cds()
+        .args(["table", "--states", "1..2", "--out"])
+        .arg(&file)
+        .output()
+        .expect("run cds table");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let out = cds().arg("inspect").arg(&file).output().expect("inspect");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("2 schedule(s)"), "{stdout}");
+    let _ = std::fs::remove_file(&file);
+}
+
+#[test]
+fn simulate_reports_metrics() {
+    let out = cds()
+        .args([
+            "simulate", "--models", "1", "--period-ms", "2000", "--frames", "6",
+        ])
+        .output()
+        .expect("run cds simulate");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("latency"), "{stdout}");
+    assert!(stdout.contains("precomputed optimal"), "{stdout}");
+}
+
+#[test]
+fn surveillance_graph_variant_works() {
+    let file = tmp("surv.txt");
+    let out = cds()
+        .args([
+            "schedule",
+            "--models",
+            "1",
+            "--graph",
+            "surveillance",
+            "--no-dp",
+            "--out",
+        ])
+        .arg(&file)
+        .output()
+        .expect("run cds schedule surveillance");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let _ = std::fs::remove_file(&file);
+}
+
+#[test]
+fn bad_usage_exits_nonzero() {
+    let out = cds().output().expect("run cds");
+    assert!(!out.status.success());
+    let out = cds().args(["frobnicate"]).output().expect("run cds");
+    assert!(!out.status.success());
+    let out = cds()
+        .args(["table", "--states", "nonsense"])
+        .output()
+        .expect("run cds");
+    assert!(!out.status.success());
+}

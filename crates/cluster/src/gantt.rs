@@ -1,0 +1,167 @@
+//! ASCII Gantt rendering of execution traces, in the visual layout of the
+//! paper's Figures 4–5: processors across, time down, one short label per
+//! task, with the frame number distinguishing iterations (the paper uses
+//! shading).
+
+use crate::trace::ExecutionTrace;
+use taskgraph::{Micros, TaskGraph};
+
+/// Rendering options.
+#[derive(Clone, Copy, Debug)]
+pub struct GanttOptions {
+    /// Simulated time per output row.
+    pub bucket: Micros,
+    /// Maximum rows rendered (the rest is elided).
+    pub max_rows: usize,
+    /// Render only slices starting at/after this time.
+    pub from: Micros,
+}
+
+impl Default for GanttOptions {
+    fn default() -> Self {
+        GanttOptions {
+            bucket: Micros::from_millis(100),
+            max_rows: 80,
+            from: Micros::ZERO,
+        }
+    }
+}
+
+/// Render `trace` as an ASCII chart. Cells show `T<task><frame mod 10>`;
+/// a data-parallel chunk is marked with a trailing `*`.
+#[must_use]
+pub fn render_gantt(trace: &ExecutionTrace, graph: &TaskGraph, opts: GanttOptions) -> String {
+    let n = trace.n_procs() as usize;
+    let end = trace.makespan();
+    if end <= opts.from || n == 0 {
+        return String::from("(empty trace)\n");
+    }
+    let rows = (end - opts.from).0.div_ceil(opts.bucket.0) as usize;
+    let rows = rows.min(opts.max_rows);
+    let width = 5usize;
+
+    // grid[row][proc] = label of the slice covering the bucket midpoint.
+    let mut grid = vec![vec![String::new(); n]; rows];
+    for e in trace.entries() {
+        if e.end <= opts.from {
+            continue;
+        }
+        let rel_start = e.start.saturating_sub(opts.from).0;
+        let rel_end = (e.end - opts.from).0.min(rows as u64 * opts.bucket.0);
+        let first = (rel_start / opts.bucket.0) as usize;
+        let last = ((rel_end.saturating_sub(1)) / opts.bucket.0) as usize;
+        let label = {
+            let star = if e.chunk.is_some() { "*" } else { "" };
+            format!("T{}{}{}", e.task.0 + 1, e.frame % 10, star)
+        };
+        for row in grid.iter_mut().take(last.min(rows - 1) + 1).skip(first) {
+            if row[e.proc.0 as usize].is_empty() {
+                row[e.proc.0 as usize] = label.clone();
+            }
+        }
+    }
+
+    let mut out = String::new();
+    let names: Vec<String> = graph
+        .tasks()
+        .iter()
+        .enumerate()
+        .map(|(i, t)| format!("T{}={}", i + 1, t.name))
+        .collect();
+    out.push_str(&format!("# {}\n", names.join("  ")));
+    out.push_str(&format!(
+        "# bucket={} (label: task, frame mod 10, '*'=chunk)\n",
+        opts.bucket
+    ));
+    out.push_str("time     ");
+    for p in 0..n {
+        out.push_str(&format!("|{:^width$}", format!("P{p}")));
+    }
+    out.push_str("|\n");
+    for (r, row) in grid.iter().enumerate() {
+        let t = opts.from + opts.bucket * r as u64;
+        out.push_str(&format!("{:>8} ", t.to_string()));
+        for cell in row {
+            let c = if cell.is_empty() { "." } else { cell };
+            out.push_str(&format!("|{c:^width$}"));
+        }
+        out.push_str("|\n");
+    }
+    if (((end - opts.from).0).div_ceil(opts.bucket.0)) as usize > rows {
+        out.push_str("... (truncated)\n");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::ProcId;
+    use crate::trace::TraceEntry;
+    use taskgraph::{builders, TaskId};
+
+    fn sample_trace() -> (ExecutionTrace, TaskGraph) {
+        let g = builders::color_tracker();
+        let mut t = ExecutionTrace::new(2);
+        t.push(TraceEntry {
+            proc: ProcId(0),
+            task: TaskId(0),
+            frame: 0,
+            chunk: None,
+            start: Micros::ZERO,
+            end: Micros::from_millis(50),
+        });
+        t.push(TraceEntry {
+            proc: ProcId(1),
+            task: TaskId(3),
+            frame: 0,
+            chunk: Some((0, 4)),
+            start: Micros::from_millis(50),
+            end: Micros::from_millis(400),
+        });
+        (t, g)
+    }
+
+    #[test]
+    fn gantt_shows_tasks_and_chunks() {
+        let (t, g) = sample_trace();
+        let s = render_gantt(&t, &g, GanttOptions::default());
+        assert!(s.contains("T10"), "digitizer slice missing:\n{s}");
+        assert!(s.contains("T40*"), "chunk slice missing:\n{s}");
+        assert!(s.contains("P0") && s.contains("P1"));
+        assert!(s.contains("Digitizer"));
+    }
+
+    #[test]
+    fn empty_trace_renders_placeholder() {
+        let g = builders::color_tracker();
+        let t = ExecutionTrace::new(2);
+        assert_eq!(render_gantt(&t, &g, GanttOptions::default()), "(empty trace)\n");
+    }
+
+    #[test]
+    fn truncation_notice_appears() {
+        let (t, g) = sample_trace();
+        let opts = GanttOptions {
+            bucket: Micros::from_millis(10),
+            max_rows: 3,
+            from: Micros::ZERO,
+        };
+        let s = render_gantt(&t, &g, opts);
+        assert!(s.contains("truncated"));
+        assert_eq!(s.lines().count(), 3 + 3 + 1); // 3 header + 3 rows + notice
+    }
+
+    #[test]
+    fn from_offset_skips_early_slices() {
+        let (t, g) = sample_trace();
+        let opts = GanttOptions {
+            bucket: Micros::from_millis(100),
+            max_rows: 80,
+            from: Micros::from_millis(100),
+        };
+        let s = render_gantt(&t, &g, opts);
+        assert!(!s.contains("T10"), "digitizer should be before the window:\n{s}");
+        assert!(s.contains("T40*"));
+    }
+}

@@ -1,0 +1,258 @@
+//! Performance metrics: the paper's two objectives — latency and
+//! throughput — plus the *uniformity* of frame processing over time ("an
+//! execution that exhibits uniformity processes frames at a reasonably
+//! regular rate", §1).
+
+use taskgraph::Micros;
+
+/// The lifecycle of one frame through the application.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct FrameRecord {
+    /// Frame number (timestamp).
+    pub frame: u64,
+    /// When the digitizer finished producing it.
+    pub digitized_at: Micros,
+    /// When the last task finished processing it (`None` = dropped/skipped).
+    pub completed_at: Option<Micros>,
+}
+
+impl FrameRecord {
+    /// End-to-end latency: "the time from the digitizing of the frame to
+    /// completion of its processing" (§1).
+    #[must_use]
+    pub fn latency(&self) -> Option<Micros> {
+        self.completed_at.map(|c| c - self.digitized_at)
+    }
+}
+
+/// Aggregate metrics over a run.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct Metrics {
+    /// Frames that completed processing.
+    pub frames_completed: u64,
+    /// Frames digitized but never completed (skipped or still in flight).
+    pub frames_dropped: u64,
+    /// Mean end-to-end latency over completed frames.
+    pub mean_latency: Micros,
+    /// Minimum latency.
+    pub min_latency: Micros,
+    /// Maximum latency.
+    pub max_latency: Micros,
+    /// Median latency.
+    pub p50_latency: Micros,
+    /// 95th-percentile latency (tail behaviour matters for interactivity:
+    /// the kiosk must respond promptly *consistently*).
+    pub p95_latency: Micros,
+    /// Completed frames per second: the inverse of the mean inter-arrival
+    /// time of results ("the inverse of the time between the arrival of two
+    /// consecutive results at the output", §3.1).
+    pub throughput_hz: f64,
+    /// Coefficient of variation (std/mean) of inter-completion gaps: 0 for
+    /// perfectly regular output, large for bursty output. This quantifies
+    /// the paper's uniformity objective.
+    pub uniformity_cov: f64,
+}
+
+impl Metrics {
+    /// Compute metrics from frame records, ignoring the first
+    /// `warmup_frames` *completed* frames (pipeline fill).
+    #[must_use]
+    pub fn from_records(records: &[FrameRecord], warmup_frames: usize) -> Metrics {
+        let mut completed: Vec<(Micros, Micros)> = records
+            .iter()
+            .filter_map(|r| r.completed_at.map(|c| (c, c - r.digitized_at)))
+            .collect();
+        completed.sort_by_key(|&(c, _)| c);
+        let dropped = records.len() as u64 - completed.len() as u64;
+        let completed = if completed.len() > warmup_frames {
+            &completed[warmup_frames..]
+        } else {
+            &[][..]
+        };
+
+        if completed.is_empty() {
+            return Metrics {
+                frames_completed: 0,
+                frames_dropped: dropped,
+                mean_latency: Micros::ZERO,
+                min_latency: Micros::ZERO,
+                max_latency: Micros::ZERO,
+                p50_latency: Micros::ZERO,
+                p95_latency: Micros::ZERO,
+                throughput_hz: 0.0,
+                uniformity_cov: 0.0,
+            };
+        }
+
+        let latencies: Vec<Micros> = completed.iter().map(|&(_, l)| l).collect();
+        let sum: Micros = latencies.iter().copied().sum();
+        let mean_latency = sum / latencies.len() as u64;
+        let min_latency = *latencies.iter().min().unwrap();
+        let max_latency = *latencies.iter().max().unwrap();
+        let mut sorted = latencies.clone();
+        sorted.sort();
+        // Nearest-rank percentiles.
+        let rank = |p: f64| -> Micros {
+            let idx = ((p * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+            sorted[idx - 1]
+        };
+        let p50_latency = rank(0.50);
+        let p95_latency = rank(0.95);
+
+        let gaps: Vec<f64> = completed
+            .windows(2)
+            .map(|w| (w[1].0 - w[0].0).as_secs_f64())
+            .collect();
+        let (throughput_hz, uniformity_cov) = if gaps.is_empty() {
+            (0.0, 0.0)
+        } else {
+            let mean_gap = gaps.iter().sum::<f64>() / gaps.len() as f64;
+            let var = gaps
+                .iter()
+                .map(|g| (g - mean_gap) * (g - mean_gap))
+                .sum::<f64>()
+                / gaps.len() as f64;
+            let tp = if mean_gap > 0.0 { 1.0 / mean_gap } else { 0.0 };
+            let cov = if mean_gap > 0.0 {
+                var.sqrt() / mean_gap
+            } else {
+                0.0
+            };
+            (tp, cov)
+        };
+
+        Metrics {
+            frames_completed: completed.len() as u64,
+            frames_dropped: dropped,
+            mean_latency,
+            min_latency,
+            max_latency,
+            p50_latency,
+            p95_latency,
+            throughput_hz,
+            uniformity_cov,
+        }
+    }
+}
+
+impl std::fmt::Display for Metrics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "latency mean={} min={} max={} | throughput={:.3}/s | uniformity CoV={:.3} | done={} dropped={}",
+            self.mean_latency,
+            self.min_latency,
+            self.max_latency,
+            self.throughput_hz,
+            self.uniformity_cov,
+            self.frames_completed,
+            self.frames_dropped
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(frame: u64, dig: u64, done: Option<u64>) -> FrameRecord {
+        FrameRecord {
+            frame,
+            digitized_at: Micros(dig),
+            completed_at: done.map(Micros),
+        }
+    }
+
+    #[test]
+    fn regular_output_has_zero_cov() {
+        // Completions at 100, 200, 300, 400: perfectly uniform.
+        let records: Vec<FrameRecord> =
+            (0..4).map(|i| rec(i, i * 100, Some((i + 1) * 100))).collect();
+        let m = Metrics::from_records(&records, 0);
+        assert_eq!(m.frames_completed, 4);
+        assert_eq!(m.mean_latency, Micros(100));
+        assert!((m.uniformity_cov).abs() < 1e-9);
+        assert!((m.throughput_hz - 1e4).abs() < 1.0); // gaps of 100us
+    }
+
+    #[test]
+    fn bursty_output_has_high_cov() {
+        // Three results immediately, then a long silence, then one more.
+        let records = vec![
+            rec(0, 0, Some(10)),
+            rec(1, 0, Some(11)),
+            rec(2, 0, Some(12)),
+            rec(3, 0, Some(10_000)),
+        ];
+        let m = Metrics::from_records(&records, 0);
+        assert!(m.uniformity_cov > 1.0, "cov={}", m.uniformity_cov);
+    }
+
+    #[test]
+    fn dropped_frames_counted() {
+        let records = vec![rec(0, 0, Some(50)), rec(1, 10, None), rec(2, 20, Some(90))];
+        let m = Metrics::from_records(&records, 0);
+        assert_eq!(m.frames_completed, 2);
+        assert_eq!(m.frames_dropped, 1);
+        assert_eq!(m.min_latency, Micros(50));
+        assert_eq!(m.max_latency, Micros(70));
+    }
+
+    #[test]
+    fn warmup_frames_excluded() {
+        let records = vec![
+            rec(0, 0, Some(1_000)), // pipeline fill: huge latency
+            rec(1, 900, Some(1_020)),
+            rec(2, 1_000, Some(1_040)),
+        ];
+        let all = Metrics::from_records(&records, 0);
+        let warm = Metrics::from_records(&records, 1);
+        assert_eq!(warm.frames_completed, 2);
+        assert!(warm.max_latency < all.max_latency);
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs_are_safe() {
+        let m = Metrics::from_records(&[], 0);
+        assert_eq!(m.frames_completed, 0);
+        let m = Metrics::from_records(&[rec(0, 0, Some(5))], 0);
+        assert_eq!(m.frames_completed, 1);
+        assert_eq!(m.throughput_hz, 0.0, "one completion has no gaps");
+        let m = Metrics::from_records(&[rec(0, 0, Some(5))], 5);
+        assert_eq!(m.frames_completed, 0);
+    }
+
+    #[test]
+    fn percentiles_are_order_statistics() {
+        // Latencies 10, 20, ..., 100.
+        let records: Vec<FrameRecord> = (0..10)
+            .map(|i| rec(i, 0, Some((i + 1) * 10)))
+            .collect();
+        let m = Metrics::from_records(&records, 0);
+        assert_eq!(m.p50_latency, Micros(50));
+        assert_eq!(m.p95_latency, Micros(100));
+        assert_eq!(m.min_latency, Micros(10));
+        assert_eq!(m.max_latency, Micros(100));
+    }
+
+    #[test]
+    fn percentiles_with_single_sample() {
+        let m = Metrics::from_records(&[rec(0, 0, Some(42))], 0);
+        assert_eq!(m.p50_latency, Micros(42));
+        assert_eq!(m.p95_latency, Micros(42));
+    }
+
+    #[test]
+    fn latency_accessor() {
+        assert_eq!(rec(0, 10, Some(30)).latency(), Some(Micros(20)));
+        assert_eq!(rec(0, 10, None).latency(), None);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let m = Metrics::from_records(&[rec(0, 0, Some(5)), rec(1, 1, Some(9))], 0);
+        let s = m.to_string();
+        assert!(s.contains("latency"));
+        assert!(s.contains("throughput"));
+    }
+}

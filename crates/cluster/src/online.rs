@@ -1,0 +1,833 @@
+//! A *general on-line scheduler* simulator: the paper's pthread baseline.
+//!
+//! The policy is deliberately dependence-blind (§3.2): it keeps a FIFO ready
+//! queue of runnable jobs and assigns the oldest eligible job to any free
+//! processor, optionally preempting at a fixed quantum. It "not only knows
+//! nothing about the specific application but also has no understanding of
+//! the application class". The simulated pathologies match the paper's list:
+//!
+//! * it "focuses more on throughput" — any runnable upstream work is taken
+//!   eagerly, so early tasks produce bursts of items while later, slower
+//!   tasks fall behind (the T3/T4 phenomenon of Fig. 4(a));
+//! * with a quantum it will "schedule a thread for enough time to generate
+//!   two and a half items", leaving partially processed items;
+//! * it assumes "a thread can only be scheduled on one processor at a time",
+//!   so a task's activations for successive frames serialize even when
+//!   processors idle.
+//!
+//! Flow control is the only STM mechanism retained: channels hold at most
+//! `channel_capacity` live items and the digitizer blocks when its output is
+//! full, which is what makes latency *plateau* (rather than diverge) when
+//! the digitizer period saturates the system — the upper branch of the
+//! paper's Fig. 3 tuning curve.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, BTreeMap, HashMap};
+
+use taskgraph::{AppState, ChunkPlan, Decomposition, Micros, TaskGraph, TaskId};
+
+use crate::metrics::{FrameRecord, Metrics};
+use crate::spec::{ClusterSpec, ProcId};
+use crate::trace::{ExecutionTrace, TraceEntry};
+use crate::workload::{FrameClock, StateTrack};
+
+/// Configuration of one online-scheduler run.
+#[derive(Clone, Debug)]
+pub struct OnlineConfig {
+    /// Frame arrival clock (digitizer period × frame count).
+    pub clock: FrameClock,
+    /// The (static) application state used to evaluate task costs. Ignored
+    /// when `state_track` is set.
+    pub state: AppState,
+    /// Per-frame application state (a dynamic environment): task costs and
+    /// chunk plans follow the state in force when each frame was digitized.
+    pub state_track: Option<StateTrack>,
+    /// Maximum live items per channel (flow control). Must be ≥ 1.
+    pub channel_capacity: usize,
+    /// Preemption quantum; `None` runs every job slice to completion.
+    pub quantum: Option<Micros>,
+    /// Fixed data decomposition per data-parallel task. Tasks absent from
+    /// the map run serially (FP=1, MP=1).
+    pub decomposition: BTreeMap<TaskId, Decomposition>,
+    /// Completed frames excluded from metrics (pipeline fill).
+    pub warmup_frames: usize,
+    /// When true, a backlogged task jumps to its newest ready frame and
+    /// *skips* the older ones (the STM `NewestUnseen` consumption style).
+    /// This keeps latency bounded under overload at the price of dropped
+    /// frames — the paper's uniformity pathology: a non-uniform execution
+    /// "might process three frames in a row and then skip the next hundred".
+    pub skip_stale: bool,
+}
+
+impl OnlineConfig {
+    /// A run with sensible defaults: capacity 4, no preemption, serial
+    /// tasks, no frame skipping.
+    #[must_use]
+    pub fn new(clock: FrameClock, state: AppState) -> Self {
+        OnlineConfig {
+            clock,
+            state,
+            state_track: None,
+            channel_capacity: 4,
+            quantum: None,
+            decomposition: BTreeMap::new(),
+            warmup_frames: 2,
+            skip_stale: false,
+        }
+    }
+}
+
+/// The result of a simulated run.
+#[derive(Clone, Debug)]
+pub struct SimOutcome {
+    /// Every processor slice executed.
+    pub trace: ExecutionTrace,
+    /// Per-frame lifecycle records.
+    pub frames: Vec<FrameRecord>,
+    /// Aggregate metrics (warmup excluded).
+    pub metrics: Metrics,
+    /// Total simulated duration.
+    pub makespan: Micros,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum JobKind {
+    /// A whole serial activation of a task.
+    Serial(TaskId),
+    /// The splitter phase of a data-parallel activation.
+    Split(TaskId),
+    /// One chunk (index, count) of a data-parallel activation.
+    Chunk(TaskId, u32, u32),
+    /// The joiner phase of a data-parallel activation.
+    Join(TaskId),
+}
+
+impl JobKind {
+    fn task(self) -> TaskId {
+        match self {
+            JobKind::Serial(t) | JobKind::Split(t) | JobKind::Chunk(t, _, _) | JobKind::Join(t) => t,
+        }
+    }
+}
+
+#[derive(Clone, Debug)]
+struct Job {
+    /// Stable identity across preemptions.
+    id: u64,
+    /// FIFO position (refreshed on requeue, so preempted jobs go to the
+    /// back — the round-robin behaviour of a time-sliced scheduler).
+    seq: u64,
+    kind: JobKind,
+    frame: u64,
+    remaining: Micros,
+    /// Whether output-channel slots have been reserved for this activation.
+    reserved: bool,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+enum Event {
+    Finish(u32),
+    Digitize(u64),
+}
+
+struct Running {
+    job: Job,
+    slice_start: Micros,
+    slice: Micros,
+}
+
+struct Sim<'g> {
+    graph: &'g TaskGraph,
+    cfg: OnlineConfig,
+    now: Micros,
+    events: BinaryHeap<Reverse<(Micros, u64, Event)>>,
+    eseq: u64,
+    ready: Vec<Job>,
+    next_id: u64,
+    next_seq: u64,
+    /// Per-task thread occupancy: the id of the job holding the thread.
+    busy: Vec<Option<u64>>,
+    running: HashMap<u32, Running>,
+    free_procs: Vec<u32>,
+    /// Live (reserved or present) items per channel.
+    occupancy: Vec<usize>,
+    /// Consumers still owing a consume for (channel, frame).
+    remaining_consumers: HashMap<(usize, u64), usize>,
+    /// Inputs not yet present for (task, frame).
+    missing_inputs: HashMap<(usize, u64), usize>,
+    /// Chunks still running for a DP activation (task, frame).
+    chunks_left: HashMap<(usize, u64), u32>,
+    /// Chunk plans for DP tasks, keyed by (task, n_models of the frame's
+    /// state) — a dynamic environment changes the plan between frames.
+    plans: HashMap<(usize, u32), ChunkPlan>,
+    digitized: Vec<Option<Micros>>,
+    completed: Vec<Option<Micros>>,
+    tasks_done: HashMap<u64, usize>,
+    trace: ExecutionTrace,
+}
+
+/// Run the online scheduler on `graph` over `cluster`.
+///
+/// Panics if the configuration can deadlock (a diagnostic is printed with
+/// the stuck queue) — with a validated DAG and capacity ≥ 1 this does not
+/// happen.
+#[must_use]
+pub fn simulate_online(graph: &TaskGraph, cluster: &ClusterSpec, cfg: OnlineConfig) -> SimOutcome {
+    graph.validate().expect("graph must validate");
+    assert!(cfg.channel_capacity >= 1, "capacity must be at least 1");
+    let n_frames = cfg.clock.n_frames;
+    let n_procs = cluster.n_procs();
+
+    // Chunk plans per (task, state): a dynamic run needs one plan per
+    // distinct state the track visits.
+    let states: Vec<AppState> = match &cfg.state_track {
+        Some(track) => track.distinct_states(),
+        None => vec![cfg.state],
+    };
+    let mut plans = HashMap::new();
+    for (tid, decomp) in &cfg.decomposition {
+        let task = graph.task(*tid);
+        let dp = task
+            .dp
+            .as_ref()
+            .unwrap_or_else(|| panic!("task {} is not data parallel", task.name));
+        for st in &states {
+            let plan = dp.plan(task.cost.eval(st), *decomp, st);
+            plans.insert((tid.0, st.n_models), plan);
+        }
+    }
+
+    let mut sim = Sim {
+        graph,
+
+        now: Micros::ZERO,
+        events: BinaryHeap::new(),
+        eseq: 0,
+        ready: Vec::new(),
+        next_id: 0,
+        next_seq: 0,
+        busy: vec![None; graph.n_tasks()],
+        running: HashMap::new(),
+        free_procs: (0..n_procs).rev().collect(),
+        occupancy: vec![0; graph.channels().len()],
+        remaining_consumers: HashMap::new(),
+        missing_inputs: HashMap::new(),
+        chunks_left: HashMap::new(),
+        plans,
+        digitized: vec![None; n_frames as usize],
+        completed: vec![None; n_frames as usize],
+        tasks_done: HashMap::new(),
+        trace: ExecutionTrace::new(n_procs),
+        cfg,
+    };
+
+    for f in 0..n_frames {
+        let t = sim.cfg.clock.arrival(f);
+        sim.push_event(t, Event::Digitize(f));
+    }
+
+    sim.run();
+
+    let frames: Vec<FrameRecord> = (0..n_frames)
+        .map(|f| FrameRecord {
+            frame: f,
+            digitized_at: sim.digitized[f as usize].unwrap_or(Micros::ZERO),
+            completed_at: sim.completed[f as usize],
+        })
+        .collect();
+    let metrics = Metrics::from_records(&frames, sim.cfg.warmup_frames);
+    let makespan = sim.trace.makespan();
+    SimOutcome {
+        trace: sim.trace,
+        frames,
+        metrics,
+        makespan,
+    }
+}
+
+impl<'g> Sim<'g> {
+    fn push_event(&mut self, t: Micros, e: Event) {
+        self.events.push(Reverse((t, self.eseq, e)));
+        self.eseq += 1;
+    }
+
+    /// The application state in force for `frame`.
+    fn state_of(&self, frame: u64) -> AppState {
+        match &self.cfg.state_track {
+            Some(track) => track.state_at(frame),
+            None => self.cfg.state,
+        }
+    }
+
+    fn plan_of(&self, task: usize, frame: u64) -> Option<&ChunkPlan> {
+        self.plans.get(&(task, self.state_of(frame).n_models))
+    }
+
+    fn spawn(&mut self, kind: JobKind, frame: u64, cost: Micros) {
+        let job = Job {
+            id: self.next_id,
+            seq: self.next_seq,
+            kind,
+            frame,
+            remaining: cost,
+            reserved: false,
+        };
+        self.next_id += 1;
+        self.next_seq += 1;
+        self.ready.push(job);
+    }
+
+    /// Spawn the activation of `task` for `frame`: a serial job, or the
+    /// split phase of a data-parallel activation.
+    fn spawn_activation(&mut self, task: TaskId, frame: u64) {
+        match self.plan_of(task.0, frame) {
+            Some(plan) if plan.chunks > 1 => {
+                let split = plan.split_cost;
+                self.spawn(JobKind::Split(task), frame, split);
+            }
+            _ => {
+                let cost = self.graph.task(task).cost.eval(&self.state_of(frame));
+                self.spawn(JobKind::Serial(task), frame, cost);
+            }
+        }
+    }
+
+    fn outputs_have_space(&self, task: TaskId) -> bool {
+        self.graph
+            .task(task)
+            .outputs
+            .iter()
+            .all(|c| self.occupancy[c.0] < self.cfg.channel_capacity)
+    }
+
+    fn eligible(&self, job: &Job) -> bool {
+        match job.kind {
+            JobKind::Serial(t) | JobKind::Split(t) => {
+                let thread_free = match self.busy[t.0] {
+                    None => true,
+                    Some(id) => id == job.id,
+                };
+                let space = job.reserved
+                    || matches!(job.kind, JobKind::Split(_))
+                    || self.outputs_have_space(t);
+                thread_free && space
+            }
+            JobKind::Join(t) => job.reserved || self.outputs_have_space(t),
+            JobKind::Chunk(..) => true,
+        }
+    }
+
+    /// Assign eligible jobs to free processors, FIFO by seq.
+    fn dispatch(&mut self) {
+        loop {
+            if self.free_procs.is_empty() {
+                return;
+            }
+            // Oldest eligible job.
+            let mut best: Option<usize> = None;
+            for (i, job) in self.ready.iter().enumerate() {
+                if self.eligible(job) && best.is_none_or(|b| self.ready[b].seq > job.seq) {
+                    best = Some(i);
+                }
+            }
+            let Some(mut i) = best else { return };
+
+            // NewestUnseen-style consumption: when the selected job is the
+            // start of an activation with inputs, jump to the newest ready
+            // frame of the same task and skip (consume without processing)
+            // everything older — the activation job only exists once all of
+            // its inputs are present, so the skipped inputs are consumable.
+            if self.cfg.skip_stale {
+                let kind = self.ready[i].kind;
+                if matches!(kind, JobKind::Serial(_) | JobKind::Split(_))
+                    && !self.graph.task(kind.task()).inputs.is_empty()
+                    && !self.ready[i].reserved
+                    && self.busy[kind.task().0] != Some(self.ready[i].id)
+                {
+                    let t = kind.task();
+                    let busy_id = self.busy[t.0];
+                    let starts_activation = move |j: &Job| {
+                        matches!(j.kind, JobKind::Serial(_) | JobKind::Split(_))
+                            && j.kind.task() == t
+                            && !j.reserved
+                            && busy_id != Some(j.id)
+                    };
+                    let newest = self
+                        .ready
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, j)| starts_activation(j))
+                        .max_by_key(|(_, j)| j.frame)
+                        .map(|(idx, j)| (idx, j.frame))
+                        .expect("selected job qualifies");
+                    let skipped: Vec<u64> = self
+                        .ready
+                        .iter()
+                        .filter(|j| starts_activation(j) && j.frame < newest.1)
+                        .map(|j| j.frame)
+                        .collect();
+                    self.ready
+                        .retain(|j| !(starts_activation(j) && j.frame < newest.1));
+                    for f in skipped {
+                        self.consume_inputs(t, f);
+                    }
+                    // Indices shifted; find the newest job again.
+                    i = self
+                        .ready
+                        .iter()
+                        .position(|j| starts_activation(j) && j.frame == newest.1)
+                        .expect("newest job still queued");
+                }
+            }
+
+            let mut job = self.ready.swap_remove(i);
+            let proc = self.free_procs.pop().expect("checked non-empty");
+
+            // Acquire the task thread / reserve output slots on first slice.
+            match job.kind {
+                JobKind::Serial(t) | JobKind::Split(t) => {
+                    self.busy[t.0] = Some(job.id);
+                }
+                _ => {}
+            }
+            if matches!(job.kind, JobKind::Serial(_) | JobKind::Join(_)) && !job.reserved {
+                let t = job.kind.task();
+                for c in &self.graph.task(t).outputs {
+                    self.occupancy[c.0] += 1;
+                }
+                job.reserved = true;
+            }
+
+            let slice = match self.cfg.quantum {
+                Some(q) => q.min(job.remaining),
+                None => job.remaining,
+            };
+            let end = self.now + slice;
+            self.push_event(end, Event::Finish(proc));
+            self.running.insert(
+                proc,
+                Running {
+                    job,
+                    slice_start: self.now,
+                    slice,
+                },
+            );
+        }
+    }
+
+    fn run(&mut self) {
+        while let Some(Reverse((t, _, event))) = self.events.pop() {
+            self.now = t;
+            match event {
+                Event::Digitize(frame) => {
+                    let sources = self.graph.sources();
+                    for s in sources {
+                        self.spawn_activation(s, frame);
+                    }
+                }
+                Event::Finish(proc) => self.finish(proc),
+            }
+            self.dispatch();
+        }
+        assert!(
+            self.ready.is_empty() && self.running.is_empty(),
+            "online simulation deadlocked at {} with {} queued jobs: {:?}",
+            self.now,
+            self.ready.len(),
+            self.ready
+                .iter()
+                .map(|j| (j.kind, j.frame))
+                .collect::<Vec<_>>()
+        );
+    }
+
+    fn finish(&mut self, proc: u32) {
+        let Running {
+            mut job,
+            slice_start,
+            slice,
+        } = self.running.remove(&proc).expect("proc was running");
+        self.free_procs.push(proc);
+
+        let chunk = match job.kind {
+            JobKind::Chunk(_, i, n) => Some((i, n)),
+            _ => None,
+        };
+        self.trace.push(TraceEntry {
+            proc: ProcId(proc),
+            task: job.kind.task(),
+            frame: job.frame,
+            chunk,
+            start: slice_start,
+            end: self.now,
+        });
+
+        job.remaining = job.remaining.saturating_sub(slice);
+        if job.remaining > Micros::ZERO {
+            // Preempted: thread stays owned by this job; requeue at the back.
+            job.seq = self.next_seq;
+            self.next_seq += 1;
+            self.ready.push(job);
+            return;
+        }
+
+        let frame = job.frame;
+        match job.kind {
+            JobKind::Serial(t) => {
+                self.busy[t.0] = None;
+                self.complete_activation(t, frame);
+            }
+            JobKind::Split(t) => {
+                // Thread blocks awaiting the joiner; chunks go to the pool.
+                let plan = *self.plan_of(t.0, frame).expect("split implies plan");
+                self.chunks_left.insert((t.0, frame), plan.chunks);
+                for i in 0..plan.chunks {
+                    self.spawn(JobKind::Chunk(t, i, plan.chunks), frame, plan.chunk_cost);
+                }
+            }
+            JobKind::Chunk(t, _, _) => {
+                let left = self
+                    .chunks_left
+                    .get_mut(&(t.0, frame))
+                    .expect("chunk accounting");
+                *left -= 1;
+                if *left == 0 {
+                    self.chunks_left.remove(&(t.0, frame));
+                    let join = self.plan_of(t.0, frame).expect("chunk implies plan").join_cost;
+                    self.spawn(JobKind::Join(t), frame, join);
+                }
+            }
+            JobKind::Join(t) => {
+                self.busy[t.0] = None;
+                self.complete_activation(t, frame);
+            }
+        }
+    }
+
+    /// Release this task's claim on its inputs for `frame` (processing done
+    /// or frame skipped): the GC obligation of STM's `consume`.
+    fn consume_inputs(&mut self, t: TaskId, frame: u64) {
+        for &c in &self.graph.task(t).inputs.clone() {
+            let left = self
+                .remaining_consumers
+                .get_mut(&(c.0, frame))
+                .expect("input was present");
+            *left -= 1;
+            if *left == 0 {
+                self.remaining_consumers.remove(&(c.0, frame));
+                self.occupancy[c.0] -= 1;
+            }
+        }
+    }
+
+    /// A logical task activation finished: publish outputs, consume inputs,
+    /// track frame progress.
+    fn complete_activation(&mut self, t: TaskId, frame: u64) {
+        let task = self.graph.task(t);
+        // Publish outputs (slots were reserved at start).
+        for &c in &task.outputs.clone() {
+            let consumers = self.graph.channel(c).consumers.clone();
+            self.remaining_consumers
+                .insert((c.0, frame), consumers.len());
+            for cons in consumers {
+                let missing = self
+                    .missing_inputs
+                    .entry((cons.0, frame))
+                    .or_insert_with(|| self.graph.task(cons).inputs.len());
+                *missing -= 1;
+                if *missing == 0 {
+                    self.missing_inputs.remove(&(cons.0, frame));
+                    self.spawn_activation(cons, frame);
+                }
+            }
+        }
+        // Consume inputs.
+        self.consume_inputs(t, frame);
+        // Track the digitizer and per-frame completion.
+        if task.inputs.is_empty() {
+            self.digitized[frame as usize] = Some(self.now);
+        }
+        let done = self.tasks_done.entry(frame).or_insert(0);
+        *done += 1;
+        if *done == self.graph.n_tasks() {
+            self.tasks_done.remove(&frame);
+            self.completed[frame as usize] = Some(self.now);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use taskgraph::builders;
+
+    fn tracker_cfg(period_ms: u64, frames: u64, n_models: u32) -> OnlineConfig {
+        OnlineConfig::new(
+            FrameClock::new(Micros::from_millis(period_ms), frames),
+            AppState::new(n_models),
+        )
+    }
+
+    #[test]
+    fn every_frame_completes() {
+        let g = builders::color_tracker();
+        let c = ClusterSpec::single_node(4);
+        let out = simulate_online(&g, &c, tracker_cfg(2000, 10, 2));
+        assert_eq!(out.frames.len(), 10);
+        assert!(out.frames.iter().all(|f| f.completed_at.is_some()));
+        assert!(out.trace.find_overlap().is_none());
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let g = builders::color_tracker();
+        let c = ClusterSpec::single_node(4);
+        let a = simulate_online(&g, &c, tracker_cfg(500, 12, 3));
+        let b = simulate_online(&g, &c, tracker_cfg(500, 12, 3));
+        assert_eq!(a.trace.entries(), b.trace.entries());
+        assert_eq!(a.frames, b.frames);
+    }
+
+    #[test]
+    fn slow_period_gives_unloaded_latency() {
+        // With a very slow digitizer the system is idle between frames, so
+        // latency is just the serial critical path through the graph.
+        let g = builders::color_tracker();
+        let c = ClusterSpec::single_node(4);
+        let out = simulate_online(&g, &c, tracker_cfg(20_000, 6, 1));
+        // Serial work after the digitizer ≈ 80+60+876+40+2 ms plus waits.
+        let lat = out.metrics.mean_latency.as_secs_f64();
+        assert!(lat > 0.8 && lat < 1.4, "latency {lat}");
+    }
+
+    #[test]
+    fn saturation_raises_latency_and_throughput() {
+        let g = builders::color_tracker();
+        let c = ClusterSpec::single_node(4);
+        let fast = simulate_online(&g, &c, tracker_cfg(33, 30, 8));
+        let slow = simulate_online(&g, &c, tracker_cfg(9_000, 30, 8));
+        assert!(
+            fast.metrics.mean_latency > slow.metrics.mean_latency,
+            "saturated latency {} must exceed unloaded latency {}",
+            fast.metrics.mean_latency,
+            slow.metrics.mean_latency
+        );
+        assert!(
+            fast.metrics.throughput_hz > slow.metrics.throughput_hz,
+            "saturated throughput {} must exceed unloaded {}",
+            fast.metrics.throughput_hz,
+            slow.metrics.throughput_hz
+        );
+    }
+
+    #[test]
+    fn capacity_bounds_latency_plateau() {
+        // Under saturation, latency scales with channel capacity: the
+        // backlog a frame sits behind is capacity-bounded.
+        let g = builders::color_tracker();
+        let c = ClusterSpec::single_node(4);
+        let mut small = tracker_cfg(33, 25, 8);
+        small.channel_capacity = 2;
+        let mut big = tracker_cfg(33, 25, 8);
+        big.channel_capacity = 8;
+        let s = simulate_online(&g, &c, small);
+        let b = simulate_online(&g, &c, big);
+        assert!(b.metrics.mean_latency > s.metrics.mean_latency);
+    }
+
+    #[test]
+    fn decomposition_reduces_saturated_latency() {
+        let g = builders::color_tracker();
+        let c = ClusterSpec::single_node(4);
+        let t4 = g.task_by_name("Target Detection").unwrap();
+        let serial = tracker_cfg(33, 20, 8);
+        let mut dp = tracker_cfg(33, 20, 8);
+        dp.decomposition.insert(t4, Decomposition::new(1, 8));
+        let a = simulate_online(&g, &c, serial);
+        let b = simulate_online(&g, &c, dp);
+        assert!(
+            b.metrics.mean_latency < a.metrics.mean_latency,
+            "MP=8 {} must beat serial {} at 8 models",
+            b.metrics.mean_latency,
+            a.metrics.mean_latency
+        );
+    }
+
+    #[test]
+    fn quantum_preemption_slices_work() {
+        let g = builders::color_tracker();
+        let c = ClusterSpec::single_node(2);
+        let mut cfg = tracker_cfg(500, 5, 4);
+        cfg.quantum = Some(Micros::from_millis(100));
+        let out = simulate_online(&g, &c, cfg);
+        // T4 at 4 models ≈ 3.4 s; with a 100 ms quantum it must appear as
+        // many slices.
+        let t4 = g.task_by_name("Target Detection").unwrap();
+        let slices = out.trace.task_slices(t4);
+        assert!(slices.len() > 5 * 10, "got {} slices", slices.len());
+        assert!(slices
+            .iter()
+            .all(|s| s.duration() <= Micros::from_millis(100)));
+        assert!(out.frames.iter().all(|f| f.completed_at.is_some()));
+    }
+
+    #[test]
+    fn single_processor_still_completes() {
+        let g = builders::color_tracker();
+        let c = ClusterSpec::single_node(1);
+        let out = simulate_online(&g, &c, tracker_cfg(100, 8, 2));
+        assert!(out.frames.iter().all(|f| f.completed_at.is_some()));
+        assert!(out.trace.find_overlap().is_none());
+    }
+
+    #[test]
+    fn pipeline_graph_runs() {
+        let g = builders::pipeline(&[100, 200, 300]);
+        let c = ClusterSpec::single_node(3);
+        let cfg = OnlineConfig::new(FrameClock::new(Micros(300), 20), AppState::new(1));
+        let out = simulate_online(&g, &c, cfg);
+        assert_eq!(out.metrics.frames_dropped, 0);
+        // Steady state: stage2 (300us) is the bottleneck → throughput ≈ 1/300us.
+        assert!(out.metrics.throughput_hz > 2500.0);
+    }
+
+    #[test]
+    fn trace_conservation_every_task_every_frame() {
+        let g = builders::color_tracker();
+        let c = ClusterSpec::single_node(4);
+        let out = simulate_online(&g, &c, tracker_cfg(1000, 6, 2));
+        for f in 0..6u64 {
+            for t in g.task_ids() {
+                let ran = out
+                    .trace
+                    .entries()
+                    .iter()
+                    .any(|e| e.task == t && e.frame == f);
+                assert!(ran, "task {t} frame {f} never ran");
+            }
+        }
+    }
+
+    #[test]
+    fn skip_stale_bounds_latency_but_drops_frames() {
+        // Saturated 8-model run: without skipping the backlog inflates
+        // latency; with NewestUnseen-style skipping latency stays near the
+        // unloaded value and the drop count absorbs the overload.
+        // Generous buffering (16 items) so the backlog materializes instead
+        // of blocking the digitizer — the regime where skipping matters.
+        let g = builders::color_tracker();
+        let c = ClusterSpec::single_node(4);
+        let mut keep = tracker_cfg(33, 30, 8);
+        keep.channel_capacity = 16;
+        let mut skip = tracker_cfg(33, 30, 8);
+        skip.channel_capacity = 16;
+        skip.skip_stale = true;
+        let a = simulate_online(&g, &c, keep);
+        let b = simulate_online(&g, &c, skip);
+        assert_eq!(a.metrics.frames_dropped, 0);
+        assert!(
+            b.metrics.frames_dropped > 10,
+            "overload must drop frames, got {}",
+            b.metrics.frames_dropped
+        );
+        assert!(
+            b.metrics.mean_latency < a.metrics.mean_latency / 2,
+            "skip {} vs keep {}",
+            b.metrics.mean_latency,
+            a.metrics.mean_latency
+        );
+        assert!(b.trace.find_overlap().is_none());
+    }
+
+    #[test]
+    fn skip_stale_is_harmless_when_unloaded() {
+        let g = builders::color_tracker();
+        let c = ClusterSpec::single_node(4);
+        let mut cfg = tracker_cfg(10_000, 8, 2);
+        cfg.skip_stale = true;
+        let out = simulate_online(&g, &c, cfg);
+        assert_eq!(out.metrics.frames_dropped, 0);
+        assert!(out.frames.iter().all(|f| f.completed_at.is_some()));
+    }
+
+    #[test]
+    fn skipped_frames_do_not_leak_channel_slots() {
+        // After a skip-heavy run, the system still drains completely (the
+        // deadlock assertion inside run() would fire otherwise), and late
+        // frames complete — proof that skipped inputs were consumed.
+        let g = builders::color_tracker();
+        let c = ClusterSpec::single_node(2);
+        let mut cfg = tracker_cfg(33, 40, 8);
+        cfg.skip_stale = true;
+        cfg.channel_capacity = 2;
+        let out = simulate_online(&g, &c, cfg);
+        let last_completed = out
+            .frames
+            .iter()
+            .filter(|f| f.completed_at.is_some())
+            .map(|f| f.frame)
+            .max()
+            .unwrap();
+        assert!(last_completed >= 35, "late frames must still complete");
+    }
+
+    #[test]
+    fn dynamic_state_track_changes_costs_mid_run() {
+        // 1 model for frames 0..5, 8 models afterwards: later frames must
+        // take much longer end to end.
+        let g = builders::color_tracker();
+        let c = ClusterSpec::single_node(4);
+        let mut cfg = tracker_cfg(9_000, 10, 1);
+        cfg.state_track = Some(crate::workload::StateTrack::from_changes(vec![
+            (0, AppState::new(1)),
+            (5, AppState::new(8)),
+        ]));
+        let out = simulate_online(&g, &c, cfg);
+        assert!(out.frames.iter().all(|f| f.completed_at.is_some()));
+        let lat = |f: usize| out.frames[f].latency().unwrap();
+        assert!(
+            lat(7) > lat(2) * 3,
+            "heavy regime {} vs light regime {}",
+            lat(7),
+            lat(2)
+        );
+    }
+
+    #[test]
+    fn dynamic_track_with_decomposition_replans_per_state() {
+        // MP=8 decomposition: at 1 model it collapses to a serial plan, at
+        // 8 models it runs 8 chunks — the run must handle both.
+        let g = builders::color_tracker();
+        let c = ClusterSpec::single_node(4);
+        let t4 = g.task_by_name("Target Detection").unwrap();
+        let mut cfg = tracker_cfg(9_000, 8, 1);
+        cfg.decomposition.insert(t4, Decomposition::new(1, 8));
+        cfg.state_track = Some(crate::workload::StateTrack::from_changes(vec![
+            (0, AppState::new(1)),
+            (4, AppState::new(8)),
+        ]));
+        let out = simulate_online(&g, &c, cfg);
+        assert!(out.frames.iter().all(|f| f.completed_at.is_some()));
+        // Early frames: serial T4 (no chunk entries); late frames: chunks.
+        let chunks_for = |frame: u64| {
+            out.trace
+                .entries()
+                .iter()
+                .filter(|e| e.frame == frame && e.chunk.is_some())
+                .count()
+        };
+        assert_eq!(chunks_for(1), 0, "1 model clamps MP=8 to serial");
+        assert_eq!(chunks_for(6), 8, "8 models run 8 chunks");
+    }
+
+    #[test]
+    #[should_panic(expected = "not data parallel")]
+    fn decomposing_serial_task_panics() {
+        let g = builders::color_tracker();
+        let c = ClusterSpec::single_node(4);
+        let t2 = g.task_by_name("Histogram").unwrap();
+        let mut cfg = tracker_cfg(100, 2, 1);
+        cfg.decomposition.insert(t2, Decomposition::new(2, 1));
+        let _ = simulate_online(&g, &c, cfg);
+    }
+}

@@ -1,0 +1,149 @@
+//! Cluster topology: nodes × processors with locality-dependent
+//! communication, the "number of nodes and the number of processors within
+//! each node" of the scheduling algorithm's input (Fig. 6).
+
+use taskgraph::{CommCosts, Locality};
+
+/// Index of one SMP node.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct NodeId(pub u32);
+
+/// Global index of one processor across the whole cluster.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct ProcId(pub u32);
+
+/// A homogeneous cluster of SMP nodes.
+#[derive(Clone, Debug)]
+pub struct ClusterSpec {
+    nodes: u32,
+    procs_per_node: u32,
+    comm: CommCosts,
+}
+
+impl ClusterSpec {
+    /// `nodes` SMPs of `procs_per_node` processors each, with the given
+    /// communication model.
+    #[must_use]
+    pub fn new(nodes: u32, procs_per_node: u32, comm: CommCosts) -> Self {
+        assert!(nodes > 0 && procs_per_node > 0, "cluster must be non-empty");
+        ClusterSpec {
+            nodes,
+            procs_per_node,
+            comm,
+        }
+    }
+
+    /// A single SMP with `procs` processors and free communication — the
+    /// configuration most of the paper's figures use.
+    #[must_use]
+    pub fn single_node(procs: u32) -> Self {
+        ClusterSpec::new(1, procs, CommCosts::FREE)
+    }
+
+    /// The paper's platform: four 4-way SMPs.
+    #[must_use]
+    pub fn paper_cluster() -> Self {
+        ClusterSpec::new(4, 4, CommCosts::default_cluster())
+    }
+
+    /// Number of nodes.
+    #[must_use]
+    pub fn n_nodes(&self) -> u32 {
+        self.nodes
+    }
+
+    /// Processors per node.
+    #[must_use]
+    pub fn procs_per_node(&self) -> u32 {
+        self.procs_per_node
+    }
+
+    /// Total processors.
+    #[must_use]
+    pub fn n_procs(&self) -> u32 {
+        self.nodes * self.procs_per_node
+    }
+
+    /// The node a processor belongs to.
+    #[must_use]
+    pub fn node_of(&self, p: ProcId) -> NodeId {
+        assert!(p.0 < self.n_procs(), "processor {p:?} out of range");
+        NodeId(p.0 / self.procs_per_node)
+    }
+
+    /// Locality of a transfer from processor `a` to processor `b`.
+    #[must_use]
+    pub fn locality(&self, a: ProcId, b: ProcId) -> Locality {
+        if self.node_of(a) == self.node_of(b) {
+            Locality::IntraNode
+        } else {
+            Locality::InterNode
+        }
+    }
+
+    /// The communication cost model.
+    #[must_use]
+    pub fn comm(&self) -> &CommCosts {
+        &self.comm
+    }
+
+    /// Iterate over all processor ids.
+    pub fn procs(&self) -> impl Iterator<Item = ProcId> {
+        (0..self.n_procs()).map(ProcId)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use taskgraph::Micros;
+
+    #[test]
+    fn paper_cluster_shape() {
+        let c = ClusterSpec::paper_cluster();
+        assert_eq!(c.n_nodes(), 4);
+        assert_eq!(c.n_procs(), 16);
+        assert_eq!(c.node_of(ProcId(0)), NodeId(0));
+        assert_eq!(c.node_of(ProcId(3)), NodeId(0));
+        assert_eq!(c.node_of(ProcId(4)), NodeId(1));
+        assert_eq!(c.node_of(ProcId(15)), NodeId(3));
+    }
+
+    #[test]
+    fn locality_classification() {
+        let c = ClusterSpec::paper_cluster();
+        assert_eq!(c.locality(ProcId(0), ProcId(3)), Locality::IntraNode);
+        assert_eq!(c.locality(ProcId(0), ProcId(4)), Locality::InterNode);
+        assert_eq!(c.locality(ProcId(5), ProcId(5)), Locality::IntraNode);
+    }
+
+    #[test]
+    fn single_node_comm_is_free() {
+        let c = ClusterSpec::single_node(4);
+        assert_eq!(c.n_procs(), 4);
+        assert_eq!(
+            c.comm().transfer(1 << 20, c.locality(ProcId(0), ProcId(3))),
+            Micros::ZERO
+        );
+    }
+
+    #[test]
+    fn procs_iterator_is_exhaustive() {
+        let c = ClusterSpec::new(2, 3, CommCosts::FREE);
+        let ids: Vec<u32> = c.procs().map(|p| p.0).collect();
+        assert_eq!(ids, vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_proc_panics() {
+        let c = ClusterSpec::single_node(2);
+        let _ = c.node_of(ProcId(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_cluster_rejected() {
+        let _ = ClusterSpec::new(0, 4, CommCosts::FREE);
+    }
+}

@@ -1,0 +1,262 @@
+//! Execution traces: what ran where, when — the raw material for the paper's
+//! Figures 4 and 5 (per-processor timelines with per-timestamp shading).
+
+use crate::spec::ProcId;
+use taskgraph::{Micros, TaskId};
+
+/// One contiguous slice of processor time spent on one task activation (or
+/// one chunk of a data-parallel activation). Preempted activations appear as
+/// several entries.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct TraceEntry {
+    /// The processor that ran the slice.
+    pub proc: ProcId,
+    /// The task.
+    pub task: TaskId,
+    /// The frame (timestamp / iteration) being processed.
+    pub frame: u64,
+    /// Chunk index and chunk count when this is a data-parallel chunk.
+    pub chunk: Option<(u32, u32)>,
+    /// Slice start (absolute simulated time).
+    pub start: Micros,
+    /// Slice end.
+    pub end: Micros,
+}
+
+impl TraceEntry {
+    /// Slice duration.
+    #[must_use]
+    pub fn duration(&self) -> Micros {
+        self.end - self.start
+    }
+}
+
+/// A complete per-run trace.
+#[derive(Clone, Debug, Default)]
+pub struct ExecutionTrace {
+    entries: Vec<TraceEntry>,
+    n_procs: u32,
+}
+
+impl ExecutionTrace {
+    /// An empty trace over `n_procs` processors.
+    #[must_use]
+    pub fn new(n_procs: u32) -> Self {
+        ExecutionTrace {
+            entries: Vec::new(),
+            n_procs,
+        }
+    }
+
+    /// Append a slice. Panics if the slice is malformed (end before start or
+    /// processor out of range) — traces are produced by simulators, so a
+    /// malformed entry is a simulator bug.
+    pub fn push(&mut self, e: TraceEntry) {
+        assert!(e.end >= e.start, "trace slice ends before it starts");
+        assert!(e.proc.0 < self.n_procs, "trace slice on unknown processor");
+        self.entries.push(e);
+    }
+
+    /// All slices in insertion (time) order.
+    #[must_use]
+    pub fn entries(&self) -> &[TraceEntry] {
+        &self.entries
+    }
+
+    /// Number of processors in the run.
+    #[must_use]
+    pub fn n_procs(&self) -> u32 {
+        self.n_procs
+    }
+
+    /// Latest end time across all slices.
+    #[must_use]
+    pub fn makespan(&self) -> Micros {
+        self.entries
+            .iter()
+            .map(|e| e.end)
+            .max()
+            .unwrap_or(Micros::ZERO)
+    }
+
+    /// Total busy time of one processor.
+    #[must_use]
+    pub fn busy_time(&self, proc: ProcId) -> Micros {
+        self.entries
+            .iter()
+            .filter(|e| e.proc == proc)
+            .map(TraceEntry::duration)
+            .sum()
+    }
+
+    /// Fraction of `procs × makespan` spent busy.
+    #[must_use]
+    pub fn utilization(&self) -> f64 {
+        let span = self.makespan();
+        if span == Micros::ZERO || self.n_procs == 0 {
+            return 0.0;
+        }
+        let busy: Micros = self.entries.iter().map(TraceEntry::duration).sum();
+        busy.0 as f64 / (span.0 as f64 * f64::from(self.n_procs))
+    }
+
+    /// Verify no processor runs two slices at once. Returns the first
+    /// overlapping pair if any — the basic sanity check every simulator run
+    /// is subjected to in tests.
+    #[must_use]
+    pub fn find_overlap(&self) -> Option<(TraceEntry, TraceEntry)> {
+        let mut by_proc: Vec<Vec<&TraceEntry>> = vec![Vec::new(); self.n_procs as usize];
+        for e in &self.entries {
+            by_proc[e.proc.0 as usize].push(e);
+        }
+        for slices in &mut by_proc {
+            slices.sort_by_key(|e| (e.start, e.end));
+            for w in slices.windows(2) {
+                if w[1].start < w[0].end {
+                    return Some(((*w[0]).clone(), (*w[1]).clone()));
+                }
+            }
+        }
+        None
+    }
+
+    /// Per-frame completion time: the max `end` over all slices of `frame`.
+    #[must_use]
+    pub fn frame_completion(&self, frame: u64) -> Option<Micros> {
+        self.entries
+            .iter()
+            .filter(|e| e.frame == frame)
+            .map(|e| e.end)
+            .max()
+    }
+
+    /// Slices of a given task, in time order.
+    #[must_use]
+    pub fn task_slices(&self, task: TaskId) -> Vec<&TraceEntry> {
+        let mut v: Vec<&TraceEntry> = self.entries.iter().filter(|e| e.task == task).collect();
+        v.sort_by_key(|e| (e.start, e.end));
+        v
+    }
+
+    /// Export as CSV (`proc,task,frame,chunk_idx,chunk_of,start_us,end_us`),
+    /// for external plotting of the Fig. 4/5 timelines.
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::from("proc,task,frame,chunk_idx,chunk_of,start_us,end_us\n");
+        for e in &self.entries {
+            let (ci, cn) = match e.chunk {
+                Some((i, n)) => (i.to_string(), n.to_string()),
+                None => (String::new(), String::new()),
+            };
+            let _ = writeln!(
+                out,
+                "{},{},{},{},{},{},{}",
+                e.proc.0, e.task.0, e.frame, ci, cn, e.start.0, e.end.0
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(proc: u32, task: usize, frame: u64, start: u64, end: u64) -> TraceEntry {
+        TraceEntry {
+            proc: ProcId(proc),
+            task: TaskId(task),
+            frame,
+            chunk: None,
+            start: Micros(start),
+            end: Micros(end),
+        }
+    }
+
+    #[test]
+    fn makespan_and_busy_time() {
+        let mut t = ExecutionTrace::new(2);
+        t.push(entry(0, 0, 0, 0, 10));
+        t.push(entry(1, 1, 0, 5, 25));
+        t.push(entry(0, 2, 0, 10, 15));
+        assert_eq!(t.makespan(), Micros(25));
+        assert_eq!(t.busy_time(ProcId(0)), Micros(15));
+        assert_eq!(t.busy_time(ProcId(1)), Micros(20));
+        let util = t.utilization();
+        assert!((util - 35.0 / 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn overlap_detection() {
+        let mut t = ExecutionTrace::new(1);
+        t.push(entry(0, 0, 0, 0, 10));
+        t.push(entry(0, 1, 0, 10, 20)); // touching is fine
+        assert!(t.find_overlap().is_none());
+        t.push(entry(0, 2, 0, 15, 18));
+        assert!(t.find_overlap().is_some());
+    }
+
+    #[test]
+    fn frame_completion_is_last_end() {
+        let mut t = ExecutionTrace::new(2);
+        t.push(entry(0, 0, 3, 0, 10));
+        t.push(entry(1, 1, 3, 10, 40));
+        t.push(entry(0, 2, 4, 12, 20));
+        assert_eq!(t.frame_completion(3), Some(Micros(40)));
+        assert_eq!(t.frame_completion(4), Some(Micros(20)));
+        assert_eq!(t.frame_completion(9), None);
+    }
+
+    #[test]
+    fn task_slices_sorted() {
+        let mut t = ExecutionTrace::new(2);
+        t.push(entry(1, 7, 1, 20, 30));
+        t.push(entry(0, 7, 0, 0, 10));
+        let slices = t.task_slices(TaskId(7));
+        assert_eq!(slices.len(), 2);
+        assert!(slices[0].start < slices[1].start);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown processor")]
+    fn bad_proc_rejected() {
+        let mut t = ExecutionTrace::new(1);
+        t.push(entry(1, 0, 0, 0, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "ends before it starts")]
+    fn reversed_slice_rejected() {
+        let mut t = ExecutionTrace::new(1);
+        t.push(entry(0, 0, 0, 10, 5));
+    }
+
+    #[test]
+    fn csv_export_roundtrips_fields() {
+        let mut t = ExecutionTrace::new(2);
+        t.push(entry(0, 3, 7, 100, 250));
+        t.push(TraceEntry {
+            proc: ProcId(1),
+            task: TaskId(3),
+            frame: 7,
+            chunk: Some((2, 4)),
+            start: Micros(250),
+            end: Micros(400),
+        });
+        let csv = t.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[0], "proc,task,frame,chunk_idx,chunk_of,start_us,end_us");
+        assert_eq!(lines[1], "0,3,7,,,100,250");
+        assert_eq!(lines[2], "1,3,7,2,4,250,400");
+    }
+
+    #[test]
+    fn empty_trace_is_sane() {
+        let t = ExecutionTrace::new(4);
+        assert_eq!(t.makespan(), Micros::ZERO);
+        assert_eq!(t.utilization(), 0.0);
+        assert!(t.find_overlap().is_none());
+    }
+}

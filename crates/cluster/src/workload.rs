@@ -1,0 +1,171 @@
+//! Workload descriptions: frame arrival clocks and piecewise-constant
+//! application-state tracks (the regime signal driving constrained
+//! dynamism).
+
+use taskgraph::{AppState, Micros};
+
+/// A periodic frame source: frame `f` becomes available at `f * period`.
+/// "The primary tuning variable is the period at which the digitizer thread
+/// executes" (§3.1); 33 ms is the NTSC minimum.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct FrameClock {
+    /// Time between consecutive digitizer activations.
+    pub period: Micros,
+    /// Number of frames the run digitizes.
+    pub n_frames: u64,
+}
+
+impl FrameClock {
+    /// A clock with the given period and frame count.
+    #[must_use]
+    pub fn new(period: Micros, n_frames: u64) -> Self {
+        assert!(period.0 > 0, "period must be positive");
+        assert!(n_frames > 0, "must digitize at least one frame");
+        FrameClock { period, n_frames }
+    }
+
+    /// NTSC rate (33 ms — the digitizer's minimum execution period).
+    #[must_use]
+    pub fn ntsc(n_frames: u64) -> Self {
+        FrameClock::new(Micros::from_millis(33), n_frames)
+    }
+
+    /// Earliest time frame `f` can be digitized.
+    #[must_use]
+    pub fn arrival(&self, frame: u64) -> Micros {
+        Micros(self.period.0 * frame)
+    }
+}
+
+/// A piecewise-constant [`AppState`] over *frame numbers*: the number of
+/// kiosk customers as a function of time. Constrained dynamism means this
+/// track has few distinct values and changes infrequently.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct StateTrack {
+    /// `(first_frame, state)` pairs, sorted by frame, first entry at frame 0.
+    changes: Vec<(u64, AppState)>,
+}
+
+impl StateTrack {
+    /// A track that never changes.
+    #[must_use]
+    pub fn constant(state: AppState) -> Self {
+        StateTrack {
+            changes: vec![(0, state)],
+        }
+    }
+
+    /// Build from change points. The first must start at frame 0; frames
+    /// must be strictly increasing.
+    #[must_use]
+    pub fn from_changes(changes: Vec<(u64, AppState)>) -> Self {
+        assert!(!changes.is_empty(), "state track cannot be empty");
+        assert_eq!(changes[0].0, 0, "first change must cover frame 0");
+        assert!(
+            changes.windows(2).all(|w| w[0].0 < w[1].0),
+            "change frames must be strictly increasing"
+        );
+        StateTrack { changes }
+    }
+
+    /// The state in force at `frame`.
+    #[must_use]
+    pub fn state_at(&self, frame: u64) -> AppState {
+        let idx = self
+            .changes
+            .partition_point(|&(f, _)| f <= frame)
+            .saturating_sub(1);
+        self.changes[idx].1
+    }
+
+    /// All change points.
+    #[must_use]
+    pub fn changes(&self) -> &[(u64, AppState)] {
+        &self.changes
+    }
+
+    /// The distinct states the track visits (the regime set the schedule
+    /// table must cover).
+    #[must_use]
+    pub fn distinct_states(&self) -> Vec<AppState> {
+        let mut v: Vec<AppState> = Vec::new();
+        for &(_, s) in &self.changes {
+            if !v.contains(&s) {
+                v.push(s);
+            }
+        }
+        v
+    }
+
+    /// Number of state changes (transitions, not counting the initial
+    /// state).
+    #[must_use]
+    pub fn n_transitions(&self) -> usize {
+        self.changes.len() - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_arrivals_are_periodic() {
+        let c = FrameClock::new(Micros::from_millis(33), 10);
+        assert_eq!(c.arrival(0), Micros::ZERO);
+        assert_eq!(c.arrival(3), Micros(99_000));
+        assert_eq!(FrameClock::ntsc(5).period, Micros::from_millis(33));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_period_rejected() {
+        let _ = FrameClock::new(Micros::ZERO, 1);
+    }
+
+    #[test]
+    fn constant_track() {
+        let t = StateTrack::constant(AppState::new(3));
+        assert_eq!(t.state_at(0), AppState::new(3));
+        assert_eq!(t.state_at(1_000_000), AppState::new(3));
+        assert_eq!(t.n_transitions(), 0);
+    }
+
+    #[test]
+    fn piecewise_lookup() {
+        let t = StateTrack::from_changes(vec![
+            (0, AppState::new(1)),
+            (100, AppState::new(3)),
+            (250, AppState::new(2)),
+        ]);
+        assert_eq!(t.state_at(0), AppState::new(1));
+        assert_eq!(t.state_at(99), AppState::new(1));
+        assert_eq!(t.state_at(100), AppState::new(3));
+        assert_eq!(t.state_at(249), AppState::new(3));
+        assert_eq!(t.state_at(250), AppState::new(2));
+        assert_eq!(t.state_at(10_000), AppState::new(2));
+        assert_eq!(t.n_transitions(), 2);
+    }
+
+    #[test]
+    fn distinct_states_deduplicate() {
+        let t = StateTrack::from_changes(vec![
+            (0, AppState::new(1)),
+            (10, AppState::new(2)),
+            (20, AppState::new(1)),
+        ]);
+        assert_eq!(t.distinct_states(), vec![AppState::new(1), AppState::new(2)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn unsorted_changes_rejected() {
+        let _ = StateTrack::from_changes(vec![(0, AppState::new(1)), (0, AppState::new(2))]);
+    }
+
+    #[test]
+    #[should_panic(expected = "frame 0")]
+    fn missing_initial_state_rejected() {
+        let _ = StateTrack::from_changes(vec![(5, AppState::new(1))]);
+    }
+}

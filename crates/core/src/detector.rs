@@ -1,0 +1,185 @@
+//! Regime detection: constrained dynamism requires that "state changes are
+//! detectable" (§2.1). In the kiosk, "departures and arrivals can be easily
+//! detected using standard vision techniques" — the peak-detection output of
+//! each processed frame reveals how many people are present.
+//!
+//! Raw per-frame detections are noisy (a person briefly occluded should not
+//! trigger a schedule switch), so the detector debounces: a new state must
+//! be observed for `confirm_after` consecutive frames before it is reported.
+//! This also encodes the third property of constrained dynamism — "state
+//! changes are infrequent" — as a filter against spurious flapping.
+
+use taskgraph::AppState;
+
+/// A debounced state-change detector, optionally asymmetric: the kiosk
+/// should *greet* a new arrival promptly (switch up fast) but not drop to a
+/// lighter schedule the moment someone is briefly occluded (switch down
+/// slowly).
+#[derive(Clone, Debug)]
+pub struct RegimeDetector {
+    confirm_up: usize,
+    confirm_down: usize,
+    current: AppState,
+    pending: Option<(AppState, usize)>,
+    switches: u64,
+    observations: u64,
+}
+
+impl RegimeDetector {
+    /// A detector starting in `initial`, requiring `confirm_after`
+    /// consecutive observations of a new state before confirming it
+    /// (`confirm_after = 1` switches immediately).
+    #[must_use]
+    pub fn new(initial: AppState, confirm_after: usize) -> Self {
+        Self::asymmetric(initial, confirm_after, confirm_after)
+    }
+
+    /// A detector with different confirmation windows for transitions to
+    /// *more* models (`confirm_up`) and to *fewer* (`confirm_down`).
+    #[must_use]
+    pub fn asymmetric(initial: AppState, confirm_up: usize, confirm_down: usize) -> Self {
+        assert!(
+            confirm_up >= 1 && confirm_down >= 1,
+            "must confirm after at least one frame"
+        );
+        RegimeDetector {
+            confirm_up,
+            confirm_down,
+            current: initial,
+            pending: None,
+            switches: 0,
+            observations: 0,
+        }
+    }
+
+    /// Feed one per-frame observation. Returns `Some(new_state)` exactly
+    /// when a state change is confirmed.
+    pub fn observe(&mut self, observed: AppState) -> Option<AppState> {
+        self.observations += 1;
+        if observed == self.current {
+            self.pending = None;
+            return None;
+        }
+        let count = match &self.pending {
+            Some((s, c)) if *s == observed => c + 1,
+            _ => 1,
+        };
+        let needed = if observed.n_models > self.current.n_models {
+            self.confirm_up
+        } else {
+            self.confirm_down
+        };
+        if count >= needed {
+            self.pending = None;
+            self.current = observed;
+            self.switches += 1;
+            Some(observed)
+        } else {
+            self.pending = Some((observed, count));
+            None
+        }
+    }
+
+    /// The currently confirmed state.
+    #[must_use]
+    pub fn current(&self) -> AppState {
+        self.current
+    }
+
+    /// Number of confirmed switches so far.
+    #[must_use]
+    pub fn switches(&self) -> u64 {
+        self.switches
+    }
+
+    /// Number of observations fed so far.
+    #[must_use]
+    pub fn observations(&self) -> u64 {
+        self.observations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn immediate_mode_switches_on_first_observation() {
+        let mut d = RegimeDetector::new(AppState::new(1), 1);
+        assert_eq!(d.observe(AppState::new(3)), Some(AppState::new(3)));
+        assert_eq!(d.current(), AppState::new(3));
+        assert_eq!(d.switches(), 1);
+    }
+
+    #[test]
+    fn debounce_filters_single_frame_blips() {
+        let mut d = RegimeDetector::new(AppState::new(2), 3);
+        // A one-frame occlusion: 2 → 1 → 2.
+        assert_eq!(d.observe(AppState::new(1)), None);
+        assert_eq!(d.observe(AppState::new(2)), None);
+        assert_eq!(d.current(), AppState::new(2));
+        assert_eq!(d.switches(), 0);
+    }
+
+    #[test]
+    fn sustained_change_confirms_after_threshold() {
+        let mut d = RegimeDetector::new(AppState::new(2), 3);
+        assert_eq!(d.observe(AppState::new(3)), None);
+        assert_eq!(d.observe(AppState::new(3)), None);
+        assert_eq!(d.observe(AppState::new(3)), Some(AppState::new(3)));
+        // Further identical observations do nothing.
+        assert_eq!(d.observe(AppState::new(3)), None);
+        assert_eq!(d.switches(), 1);
+        assert_eq!(d.observations(), 4);
+    }
+
+    #[test]
+    fn alternating_noise_never_confirms() {
+        let mut d = RegimeDetector::new(AppState::new(1), 2);
+        for _ in 0..10 {
+            assert_eq!(d.observe(AppState::new(2)), None);
+            assert_eq!(d.observe(AppState::new(1)), None);
+        }
+        assert_eq!(d.switches(), 0);
+    }
+
+    #[test]
+    fn pending_state_resets_when_observation_changes() {
+        let mut d = RegimeDetector::new(AppState::new(1), 3);
+        assert_eq!(d.observe(AppState::new(2)), None);
+        assert_eq!(d.observe(AppState::new(3)), None);
+        assert_eq!(d.observe(AppState::new(3)), None);
+        // 3 has only been seen twice consecutively.
+        assert_eq!(d.observe(AppState::new(3)), Some(AppState::new(3)));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one frame")]
+    fn zero_confirmation_rejected() {
+        let _ = RegimeDetector::new(AppState::new(1), 0);
+    }
+
+    #[test]
+    fn asymmetric_greets_fast_demotes_slowly() {
+        // Up after 1 frame, down after 3.
+        let mut d = RegimeDetector::asymmetric(AppState::new(1), 1, 3);
+        // Arrival: confirmed immediately.
+        assert_eq!(d.observe(AppState::new(2)), Some(AppState::new(2)));
+        // Departure: needs three consecutive frames.
+        assert_eq!(d.observe(AppState::new(1)), None);
+        assert_eq!(d.observe(AppState::new(1)), None);
+        assert_eq!(d.observe(AppState::new(1)), Some(AppState::new(1)));
+        assert_eq!(d.switches(), 2);
+    }
+
+    #[test]
+    fn asymmetric_occlusion_blip_does_not_demote() {
+        let mut d = RegimeDetector::asymmetric(AppState::new(3), 1, 4);
+        for _ in 0..3 {
+            assert_eq!(d.observe(AppState::new(2)), None); // occlusion
+            assert_eq!(d.observe(AppState::new(3)), None); // back
+        }
+        assert_eq!(d.current(), AppState::new(3));
+        assert_eq!(d.switches(), 0);
+    }
+}

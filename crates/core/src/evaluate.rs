@@ -1,0 +1,366 @@
+//! Deterministic evaluation of a pipelined schedule against a frame clock:
+//! unrolls the timetable into an [`ExecutionTrace`] with per-frame records,
+//! directly comparable to online-scheduler runs (they share the metric
+//! types). This produces the "optimal" point of Fig. 3 and the timelines of
+//! Figs. 4–5.
+
+use cluster::{ClusterSpec, ExecutionTrace, FrameClock, FrameRecord, Metrics, SimOutcome, TraceEntry};
+use taskgraph::{Micros, TaskGraph};
+
+use crate::expand::ExpandedGraph;
+use crate::schedule::{IterationSchedule, PipelinedSchedule, Placement};
+
+/// Unroll `sched` over the frames of `clock`. Iteration `f` starts at
+/// `max(arrival(f), origin(f-1) + II)`: the digitizer cannot run before the
+/// frame exists, and the pipeline cannot exceed its initiation rate.
+#[must_use]
+pub fn evaluate_schedule(
+    sched: &PipelinedSchedule,
+    graph: &TaskGraph,
+    clock: FrameClock,
+    warmup_frames: usize,
+) -> SimOutcome {
+    assert!(
+        sched.find_collision().is_none(),
+        "refusing to evaluate a colliding schedule"
+    );
+    let sources = graph.sources();
+    let source_end = digitize_offset(&sched.iteration, graph);
+
+    let mut trace = ExecutionTrace::new(sched.n_procs);
+    let mut frames = Vec::with_capacity(clock.n_frames as usize);
+    let mut origin = Micros::ZERO;
+    for f in 0..clock.n_frames {
+        origin = if f == 0 {
+            clock.arrival(0)
+        } else {
+            clock.arrival(f).max(origin + sched.ii)
+        };
+        for p in &sched.iteration.placements {
+            trace.push(TraceEntry {
+                proc: sched.proc_of(p, f),
+                task: p.task,
+                frame: f,
+                chunk: p.chunk,
+                start: origin + p.start,
+                end: origin + p.end,
+            });
+        }
+        frames.push(FrameRecord {
+            frame: f,
+            digitized_at: origin + source_end,
+            completed_at: Some(origin + sched.iteration.latency),
+        });
+    }
+    let _ = sources;
+    let metrics = Metrics::from_records(&frames, warmup_frames);
+    let makespan = trace.makespan();
+    SimOutcome {
+        trace,
+        frames,
+        metrics,
+        makespan,
+    }
+}
+
+/// Offset within the iteration at which digitization completes (the max end
+/// over source-task placements; zero if the schedule has no source
+/// placements, e.g. a synthetic iteration).
+#[must_use]
+pub fn digitize_offset(iter: &IterationSchedule, graph: &TaskGraph) -> Micros {
+    let sources = graph.sources();
+    iter.placements
+        .iter()
+        .filter(|p| sources.contains(&p.task))
+        .map(|p| p.end)
+        .max()
+        .unwrap_or(Micros::ZERO)
+}
+
+/// Re-time an iteration schedule with new instance durations while keeping
+/// its *structure* (processor assignment and per-processor order) fixed:
+/// what actually happens when a schedule precomputed for one regime executes
+/// while the application is in another. `expanded` must be built with
+/// [`ExpandedGraph::build_with_costs`] using the schedule's own state as the
+/// structural state.
+#[must_use]
+pub fn replay_iteration(
+    iter: &IterationSchedule,
+    expanded: &ExpandedGraph,
+    cluster: &ClusterSpec,
+) -> IterationSchedule {
+    let n = iter.placements.len();
+    assert_eq!(n, expanded.len(), "schedule/expansion mismatch");
+
+    // Constraint graph: dependence edges plus per-processor sequence edges.
+    let mut edges: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut indeg = vec![0usize; n];
+    for (i, inst) in expanded.instances().iter().enumerate() {
+        for e in &inst.preds {
+            edges[e.from].push(i);
+            indeg[i] += 1;
+        }
+    }
+    let mut by_proc: std::collections::BTreeMap<u32, Vec<usize>> = Default::default();
+    for (i, p) in iter.placements.iter().enumerate() {
+        by_proc.entry(p.proc.0).or_default().push(i);
+    }
+    for seq in by_proc.values_mut() {
+        seq.sort_by_key(|&i| (iter.placements[i].start, i));
+        for w in seq.windows(2) {
+            edges[w[0]].push(w[1]);
+            indeg[w[1]] += 1;
+        }
+    }
+
+    // Forward pass in topological order of the combined constraints.
+    let mut ready: Vec<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
+    let mut new: Vec<Option<Placement>> = vec![None; n];
+    let mut proc_ready: std::collections::HashMap<u32, Micros> = Default::default();
+    let mut done = 0usize;
+    while let Some(i) = ready.pop() {
+        done += 1;
+        let old = iter.placements[i];
+        let mut start = proc_ready.get(&old.proc.0).copied().unwrap_or(Micros::ZERO);
+        for e in &expanded.instances()[i].preds {
+            let pred = new[e.from].expect("preds retimed first");
+            let comm = cluster
+                .comm()
+                .transfer(e.bytes, cluster.locality(pred.proc, old.proc));
+            start = start.max(pred.end + e.delay + comm);
+        }
+        let end = start + expanded.instances()[i].duration;
+        new[i] = Some(Placement {
+            task: old.task,
+            chunk: old.chunk,
+            proc: old.proc,
+            start,
+            end,
+        });
+        proc_ready.insert(old.proc.0, end);
+        for &s in &edges[i] {
+            indeg[s] -= 1;
+            if indeg[s] == 0 {
+                ready.push(s);
+            }
+        }
+    }
+    assert_eq!(done, n, "replay constraint graph must be acyclic");
+
+    let placements: Vec<Placement> = new.into_iter().map(Option::unwrap).collect();
+    let latency = placements
+        .iter()
+        .map(|p| p.end)
+        .max()
+        .unwrap_or(Micros::ZERO);
+    IterationSchedule {
+        placements,
+        latency,
+        state: *expanded.state(),
+        decomp: iter.decomp.clone(),
+    }
+}
+
+/// Re-time an iteration with multiplicatively jittered instance durations:
+/// instance `i`'s duration is scaled by `factors[i]` (1.0 = nominal). The
+/// schedule's structure (placements, per-processor order) is kept, as in
+/// [`replay_iteration`] — this models executing a precomputed schedule when
+/// real task times wander around the calibrated means.
+#[must_use]
+pub fn replay_with_jitter(
+    iter: &IterationSchedule,
+    expanded: &ExpandedGraph,
+    cluster: &ClusterSpec,
+    factors: &[f64],
+) -> IterationSchedule {
+    assert_eq!(factors.len(), expanded.len(), "one factor per instance");
+    assert!(
+        factors.iter().all(|&f| f.is_finite() && f >= 0.0),
+        "factors must be finite and non-negative"
+    );
+    // Build a jittered copy of the expansion by scaling durations.
+    let mut jittered = expanded.clone();
+    jittered.scale_durations(factors);
+    replay_iteration(iter, &jittered, cluster)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optimal::{optimal_schedule, OptimalConfig};
+    use crate::pipeline::naive_pipeline;
+    use cluster::ClusterSpec;
+    use taskgraph::{builders, AppState};
+
+    #[test]
+    fn evaluation_has_no_overlaps_and_steady_latency() {
+        let g = builders::color_tracker();
+        let c = ClusterSpec::single_node(4);
+        let state = AppState::new(4);
+        let sched = naive_pipeline(&g, &c, &state);
+        let clock = FrameClock::new(Micros::from_millis(100), 16);
+        let out = evaluate_schedule(&sched, &g, clock, 0);
+        assert!(out.trace.find_overlap().is_none());
+        // Every frame has identical latency (schedules are deterministic).
+        let lats: Vec<Micros> = out.frames.iter().map(|f| f.latency().unwrap()).collect();
+        assert!(lats.windows(2).all(|w| w[0] == w[1]));
+    }
+
+    #[test]
+    fn slow_clock_gates_throughput() {
+        let g = builders::color_tracker();
+        let c = ClusterSpec::single_node(4);
+        let state = AppState::new(2);
+        let sched = naive_pipeline(&g, &c, &state);
+        // Period far above II: completions spaced by the period.
+        let period = sched.ii * 10;
+        let out = evaluate_schedule(&sched, &g, FrameClock::new(period, 10), 1);
+        let expect = 1.0 / period.as_secs_f64();
+        assert!((out.metrics.throughput_hz - expect).abs() / expect < 0.01);
+    }
+
+    #[test]
+    fn fast_clock_runs_at_ii() {
+        let g = builders::color_tracker();
+        let c = ClusterSpec::single_node(4);
+        let state = AppState::new(2);
+        let sched = naive_pipeline(&g, &c, &state);
+        let out = evaluate_schedule(&sched, &g, FrameClock::new(Micros(1), 10), 1);
+        let expect = sched.throughput_hz();
+        assert!((out.metrics.throughput_hz - expect).abs() / expect < 0.01);
+        // Uniformity is perfect: II spacing.
+        assert!(out.metrics.uniformity_cov < 1e-9);
+    }
+
+    #[test]
+    fn optimal_point_dominates_pipeline_latency() {
+        let g = builders::color_tracker();
+        let c = ClusterSpec::single_node(4);
+        let state = AppState::new(8);
+        let clock = FrameClock::new(Micros::from_millis(33), 12);
+        let naive = evaluate_schedule(&naive_pipeline(&g, &c, &state), &g, clock, 2);
+        let opt = optimal_schedule(&g, &c, &state, &OptimalConfig::default());
+        let best = evaluate_schedule(&opt.best, &g, clock, 2);
+        assert!(best.metrics.mean_latency < naive.metrics.mean_latency);
+    }
+
+    #[test]
+    fn replay_with_same_state_is_identity() {
+        let g = builders::color_tracker();
+        let c = ClusterSpec::single_node(4);
+        let state = AppState::new(8);
+        let opt = optimal_schedule(&g, &c, &state, &OptimalConfig::default());
+        let e = crate::expand::ExpandedGraph::build(&g, &state, &opt.best.iteration.decomp);
+        let replayed = replay_iteration(&opt.best.iteration, &e, &c);
+        assert_eq!(replayed.latency, opt.best.iteration.latency);
+    }
+
+    #[test]
+    fn replay_with_heavier_state_stretches() {
+        // A schedule built for 2 models replayed while 8 are present.
+        let g = builders::color_tracker();
+        let c = ClusterSpec::single_node(4);
+        let light = AppState::new(2);
+        let heavy = AppState::new(8);
+        let opt = optimal_schedule(&g, &c, &light, &OptimalConfig::default());
+        let e = crate::expand::ExpandedGraph::build_with_costs(
+            &g,
+            &light,
+            &heavy,
+            &opt.best.iteration.decomp,
+        );
+        let replayed = replay_iteration(&opt.best.iteration, &e, &c);
+        assert!(replayed.latency > opt.best.iteration.latency);
+        // And it is far worse than the schedule natively optimal for 8.
+        let native = optimal_schedule(&g, &c, &heavy, &OptimalConfig::default());
+        assert!(replayed.latency > native.minimal_latency);
+    }
+
+    #[test]
+    fn jitter_of_one_is_identity() {
+        let g = builders::color_tracker();
+        let c = ClusterSpec::single_node(4);
+        let state = AppState::new(4);
+        let opt = optimal_schedule(&g, &c, &state, &OptimalConfig::default());
+        let e = crate::expand::ExpandedGraph::build(&g, &state, &opt.best.iteration.decomp);
+        let factors = vec![1.0; e.len()];
+        let replayed = replay_with_jitter(&opt.best.iteration, &e, &c, &factors);
+        assert_eq!(replayed.placements, opt.best.iteration.placements);
+    }
+
+    #[test]
+    fn uniform_slowdown_scales_latency_proportionally() {
+        let g = builders::color_tracker();
+        let c = ClusterSpec::single_node(4);
+        let state = AppState::new(2);
+        let opt = optimal_schedule(&g, &c, &state, &OptimalConfig::default());
+        let e = crate::expand::ExpandedGraph::build(&g, &state, &opt.best.iteration.decomp);
+        let factors = vec![1.5; e.len()];
+        let replayed = replay_with_jitter(&opt.best.iteration, &e, &c, &factors);
+        let ratio =
+            replayed.latency.as_secs_f64() / opt.best.iteration.latency.as_secs_f64();
+        assert!((ratio - 1.5).abs() < 0.01, "ratio {ratio}");
+    }
+
+    #[test]
+    fn single_slow_chunk_stretches_the_join() {
+        // Slowing one T4 chunk delays everything behind the joiner.
+        let g = builders::color_tracker();
+        let c = ClusterSpec::single_node(4);
+        let state = AppState::new(4);
+        let opt = optimal_schedule(&g, &c, &state, &OptimalConfig::default());
+        let e = crate::expand::ExpandedGraph::build(&g, &state, &opt.best.iteration.decomp);
+        let mut factors = vec![1.0; e.len()];
+        let chunk_idx = e
+            .instances()
+            .iter()
+            .position(|i| i.chunk.is_some())
+            .expect("has chunks");
+        factors[chunk_idx] = 2.0;
+        let replayed = replay_with_jitter(&opt.best.iteration, &e, &c, &factors);
+        assert!(replayed.latency > opt.best.iteration.latency);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn bad_jitter_rejected() {
+        let g = builders::color_tracker();
+        let c = ClusterSpec::single_node(2);
+        let state = AppState::new(1);
+        let opt = optimal_schedule(&g, &c, &state, &OptimalConfig::default());
+        let e = crate::expand::ExpandedGraph::build(&g, &state, &opt.best.iteration.decomp);
+        let factors = vec![f64::NAN; e.len()];
+        let _ = replay_with_jitter(&opt.best.iteration, &e, &c, &factors);
+    }
+
+    #[test]
+    fn replay_preserves_structure() {
+        let g = builders::color_tracker();
+        let c = ClusterSpec::single_node(4);
+        let light = AppState::new(2);
+        let heavy = AppState::new(4);
+        let opt = optimal_schedule(&g, &c, &light, &OptimalConfig::default());
+        let e = crate::expand::ExpandedGraph::build_with_costs(
+            &g,
+            &light,
+            &heavy,
+            &opt.best.iteration.decomp,
+        );
+        let replayed = replay_iteration(&opt.best.iteration, &e, &c);
+        for (old, new) in opt.best.iteration.placements.iter().zip(&replayed.placements) {
+            assert_eq!(old.proc, new.proc);
+            assert_eq!(old.task, new.task);
+            assert_eq!(old.chunk, new.chunk);
+        }
+    }
+
+    #[test]
+    fn digitizer_offset_found() {
+        let g = builders::color_tracker();
+        let c = ClusterSpec::single_node(4);
+        let state = AppState::new(1);
+        let sched = naive_pipeline(&g, &c, &state);
+        let off = digitize_offset(&sched.iteration, &g);
+        assert!(off > Micros::ZERO && off < sched.iteration.latency);
+    }
+}

@@ -1,0 +1,446 @@
+//! Expansion of a task graph into the per-iteration *instance DAG* the
+//! scheduler actually places: one instance per serial task, or one instance
+//! per chunk for a data-parallel task under a chosen decomposition.
+//!
+//! Splitter/joiner activation costs become *edge delays* (they gate when a
+//! chunk may start and when successors may start) rather than processor
+//! time — they are small compared to chunk work, and the per-chunk overhead
+//! that does consume processor time is already folded into every chunk's
+//! duration by [`taskgraph::DataParallelSpec::plan`].
+
+use std::collections::BTreeMap;
+
+use taskgraph::{AppState, Decomposition, Micros, TaskGraph, TaskId};
+
+/// A dependence edge into an instance.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct PredEdge {
+    /// Index of the predecessor instance.
+    pub from: usize,
+    /// Fixed delay (splitter/joiner activation costs along this edge).
+    pub delay: Micros,
+    /// Bytes transferred, for locality-dependent communication cost.
+    pub bytes: u64,
+}
+
+/// One schedulable unit: a serial task activation or one chunk of a
+/// data-parallel activation.
+#[derive(Clone, Debug)]
+pub struct Instance {
+    /// The originating task.
+    pub task: TaskId,
+    /// `(index, count)` when this is a chunk.
+    pub chunk: Option<(u32, u32)>,
+    /// Execution time (per-chunk overhead included for chunks).
+    pub duration: Micros,
+    /// Incoming dependence edges.
+    pub preds: Vec<PredEdge>,
+}
+
+/// The per-iteration instance DAG for one (graph, state, decomposition)
+/// triple.
+#[derive(Clone, Debug)]
+pub struct ExpandedGraph {
+    instances: Vec<Instance>,
+    /// `succs[i]` = indices of instances depending on instance `i`.
+    succs: Vec<Vec<usize>>,
+    /// Longest-path-to-exit (duration + delays) from each instance's start.
+    bottom: Vec<Micros>,
+    state: AppState,
+    decomp: BTreeMap<TaskId, Decomposition>,
+}
+
+impl ExpandedGraph {
+    /// Expand `graph` under `state`, decomposing each task listed in
+    /// `decomp`. Tasks absent from the map (or clamping to one chunk) stay
+    /// serial. Panics on non-DP tasks in `decomp` or invalid graphs.
+    #[must_use]
+    pub fn build(
+        graph: &TaskGraph,
+        state: &AppState,
+        decomp: &BTreeMap<TaskId, Decomposition>,
+    ) -> Self {
+        Self::build_with_costs(graph, state, state, decomp)
+    }
+
+    /// Like [`build`](Self::build), but with the *structure* (chunk counts,
+    /// via MP clamping) fixed by `structural_state` while durations and byte
+    /// counts are evaluated at `cost_state`. This models executing a
+    /// schedule precomputed for one regime while the application is actually
+    /// in another — the mismatch the regime switcher exists to avoid.
+    #[must_use]
+    pub fn build_with_costs(
+        graph: &TaskGraph,
+        structural_state: &AppState,
+        cost_state: &AppState,
+        decomp: &BTreeMap<TaskId, Decomposition>,
+    ) -> Self {
+        let state = structural_state;
+        graph.validate().expect("graph must validate");
+        // Per task: plan (chunk count etc.) and the instance index range.
+        let mut first_instance = vec![usize::MAX; graph.n_tasks()];
+        let mut plans = vec![None; graph.n_tasks()];
+        let mut instances: Vec<Instance> = Vec::new();
+
+        for t in graph.task_ids() {
+            let task = graph.task(t);
+            let plan = decomp.get(&t).map(|d| {
+                let dp = task
+                    .dp
+                    .as_ref()
+                    .unwrap_or_else(|| panic!("task {} is not data parallel", task.name));
+                dp.plan_mixed(task.cost.eval(cost_state), *d, state, cost_state)
+            });
+            first_instance[t.0] = instances.len();
+            match &plan {
+                Some(p) if p.chunks > 1 => {
+                    for i in 0..p.chunks {
+                        instances.push(Instance {
+                            task: t,
+                            chunk: Some((i, p.chunks)),
+                            duration: p.chunk_cost,
+                            preds: Vec::new(),
+                        });
+                    }
+                }
+                _ => {
+                    instances.push(Instance {
+                        task: t,
+                        chunk: None,
+                        duration: task.cost.eval(cost_state),
+                        preds: Vec::new(),
+                    });
+                }
+            }
+            plans[t.0] = plan;
+        }
+
+        let n_instances_of = |t: TaskId| -> u32 {
+            match &plans[t.0] {
+                Some(p) if p.chunks > 1 => p.chunks,
+                _ => 1,
+            }
+        };
+
+        // Dependence edges: all-to-all between the instance sets of
+        // producer and consumer, with split/join delays and divided bytes.
+        for (from_t, to_t, chan) in graph.edges() {
+            let bytes_full = graph.channel(chan).item_size.eval(cost_state);
+            let nf = n_instances_of(from_t);
+            let nt = n_instances_of(to_t);
+            let join_delay = match &plans[from_t.0] {
+                Some(p) if p.chunks > 1 => p.join_cost,
+                _ => Micros::ZERO,
+            };
+            let split_delay = match &plans[to_t.0] {
+                Some(p) if p.chunks > 1 => p.split_cost,
+                _ => Micros::ZERO,
+            };
+            let bytes = bytes_full / u64::from(nt.max(1));
+            for fi in 0..nf {
+                let from = first_instance[from_t.0] + fi as usize;
+                for ti in 0..nt {
+                    let to = first_instance[to_t.0] + ti as usize;
+                    instances[to].preds.push(PredEdge {
+                        from,
+                        delay: join_delay + split_delay,
+                        bytes,
+                    });
+                }
+            }
+        }
+
+        let mut succs = vec![Vec::new(); instances.len()];
+        for (i, inst) in instances.iter().enumerate() {
+            for e in &inst.preds {
+                succs[e.from].push(i);
+            }
+        }
+
+        // Bottom levels over the instance DAG (durations + fixed delays;
+        // communication is excluded so this stays a valid lower bound for
+        // any placement).
+        let order = topo(&instances, &succs);
+        let mut bottom = vec![Micros::ZERO; instances.len()];
+        for &i in order.iter().rev() {
+            let mut best = Micros::ZERO;
+            for &s in &succs[i] {
+                let delay = instances[s]
+                    .preds
+                    .iter()
+                    .find(|e| e.from == i)
+                    .map(|e| e.delay)
+                    .unwrap_or(Micros::ZERO);
+                best = best.max(bottom[s] + delay);
+            }
+            bottom[i] = instances[i].duration + best;
+        }
+
+        ExpandedGraph {
+            instances,
+            succs,
+            bottom,
+            state: *state,
+            decomp: decomp.clone(),
+        }
+    }
+
+    /// The instances, in task order (chunks of one task are contiguous).
+    #[must_use]
+    pub fn instances(&self) -> &[Instance] {
+        &self.instances
+    }
+
+    /// Number of instances.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.instances.len()
+    }
+
+    /// Whether the DAG is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.instances.is_empty()
+    }
+
+    /// Successor indices of instance `i`.
+    #[must_use]
+    pub fn succs(&self, i: usize) -> &[usize] {
+        &self.succs[i]
+    }
+
+    /// Longest path (durations + delays) from the start of instance `i` to
+    /// the end of the iteration.
+    #[must_use]
+    pub fn bottom_level(&self, i: usize) -> Micros {
+        self.bottom[i]
+    }
+
+    /// Critical path length of the instance DAG (latency lower bound).
+    #[must_use]
+    pub fn span(&self) -> Micros {
+        self.bottom.iter().copied().max().unwrap_or(Micros::ZERO)
+    }
+
+    /// Total instance work.
+    #[must_use]
+    pub fn work(&self) -> Micros {
+        self.instances.iter().map(|i| i.duration).sum()
+    }
+
+    /// The state this expansion was built for.
+    #[must_use]
+    pub fn state(&self) -> &AppState {
+        &self.state
+    }
+
+    /// The decomposition this expansion was built for.
+    #[must_use]
+    pub fn decomp(&self) -> &BTreeMap<TaskId, Decomposition> {
+        &self.decomp
+    }
+
+    /// A topological order of instance indices.
+    #[must_use]
+    pub fn topo_order(&self) -> Vec<usize> {
+        topo(&self.instances, &self.succs)
+    }
+
+    /// Scale every instance duration by the matching factor (rounded to the
+    /// nearest microsecond) and recompute bottom levels. Used for
+    /// cost-noise robustness analysis.
+    pub fn scale_durations(&mut self, factors: &[f64]) {
+        assert_eq!(factors.len(), self.instances.len());
+        for (inst, &f) in self.instances.iter_mut().zip(factors) {
+            inst.duration = Micros((inst.duration.0 as f64 * f).round() as u64);
+        }
+        // Recompute bottom levels for the new durations.
+        let order = topo(&self.instances, &self.succs);
+        for &i in order.iter().rev() {
+            let mut best = Micros::ZERO;
+            for &s in &self.succs[i] {
+                let delay = self.instances[s]
+                    .preds
+                    .iter()
+                    .find(|e| e.from == i)
+                    .map(|e| e.delay)
+                    .unwrap_or(Micros::ZERO);
+                best = best.max(self.bottom[s] + delay);
+            }
+            self.bottom[i] = self.instances[i].duration + best;
+        }
+    }
+}
+
+fn topo(instances: &[Instance], succs: &[Vec<usize>]) -> Vec<usize> {
+    let mut indeg: Vec<usize> = instances.iter().map(|i| i.preds.len()).collect();
+    let mut ready: Vec<usize> = (0..instances.len()).filter(|&i| indeg[i] == 0).collect();
+    let mut out = Vec::with_capacity(instances.len());
+    while let Some(i) = ready.pop() {
+        out.push(i);
+        for &s in &succs[i] {
+            indeg[s] -= 1;
+            if indeg[s] == 0 {
+                ready.push(s);
+            }
+        }
+    }
+    assert_eq!(out.len(), instances.len(), "instance DAG must be acyclic");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use taskgraph::builders;
+
+    fn tracker_expansion(n_models: u32, fp: u32, mp: u32) -> (TaskGraph, ExpandedGraph) {
+        let g = builders::color_tracker();
+        let t4 = g.task_by_name("Target Detection").unwrap();
+        let mut d = BTreeMap::new();
+        d.insert(t4, Decomposition::new(fp, mp));
+        let e = ExpandedGraph::build(&g, &AppState::new(n_models), &d);
+        (g, e)
+    }
+
+    use taskgraph::TaskGraph;
+
+    #[test]
+    fn serial_expansion_is_one_instance_per_task() {
+        let g = builders::color_tracker();
+        let e = ExpandedGraph::build(&g, &AppState::new(4), &BTreeMap::new());
+        assert_eq!(e.len(), g.n_tasks());
+        assert!(e.instances().iter().all(|i| i.chunk.is_none()));
+        // Edge count equals graph edge count.
+        let n_edges: usize = e.instances().iter().map(|i| i.preds.len()).sum();
+        assert_eq!(n_edges, g.edges().len());
+    }
+
+    #[test]
+    fn dp_expansion_creates_chunks() {
+        let (g, e) = tracker_expansion(8, 1, 8);
+        assert_eq!(e.len(), g.n_tasks() - 1 + 8);
+        let chunks: Vec<&Instance> = e
+            .instances()
+            .iter()
+            .filter(|i| i.chunk.is_some())
+            .collect();
+        assert_eq!(chunks.len(), 8);
+        assert!(chunks.iter().all(|c| c.chunk.unwrap().1 == 8));
+        // All chunks share the same duration.
+        assert!(chunks.windows(2).all(|w| w[0].duration == w[1].duration));
+    }
+
+    #[test]
+    fn chunk_fan_in_and_fan_out() {
+        let (g, e) = tracker_expansion(8, 1, 4);
+        let t5 = g.task_by_name("Peak Detection").unwrap();
+        let t5_inst = e
+            .instances()
+            .iter()
+            .position(|i| i.task == t5)
+            .unwrap();
+        // T5 waits for all four chunks.
+        assert_eq!(e.instances()[t5_inst].preds.len(), 4);
+        // Each chunk has three predecessors (frame, color model, mask).
+        for (i, inst) in e.instances().iter().enumerate() {
+            if inst.chunk.is_some() {
+                assert_eq!(inst.preds.len(), 3, "instance {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn clamped_decomposition_stays_serial() {
+        // MP=8 with one model clamps to one chunk → serial instance.
+        let (g, e) = tracker_expansion(1, 1, 8);
+        assert_eq!(e.len(), g.n_tasks());
+        assert!(e.instances().iter().all(|i| i.chunk.is_none()));
+    }
+
+    #[test]
+    fn span_shrinks_with_decomposition() {
+        let (_, serial) = tracker_expansion(8, 1, 1);
+        let (_, dp) = tracker_expansion(8, 1, 8);
+        assert!(dp.span() < serial.span());
+        // But total work grows (per-chunk overhead).
+        assert!(dp.work() > serial.work());
+    }
+
+    #[test]
+    fn bottom_levels_bound_span() {
+        let (_, e) = tracker_expansion(8, 2, 4);
+        let max = (0..e.len()).map(|i| e.bottom_level(i)).max().unwrap();
+        assert_eq!(max, e.span());
+        for i in 0..e.len() {
+            assert!(e.bottom_level(i) >= e.instances()[i].duration);
+        }
+    }
+
+    #[test]
+    fn topo_order_valid() {
+        let (_, e) = tracker_expansion(8, 2, 2);
+        let order = e.topo_order();
+        let pos: Vec<usize> = {
+            let mut p = vec![0; e.len()];
+            for (idx, &i) in order.iter().enumerate() {
+                p[i] = idx;
+            }
+            p
+        };
+        for (i, inst) in e.instances().iter().enumerate() {
+            for e2 in &inst.preds {
+                assert!(pos[e2.from] < pos[i]);
+            }
+        }
+    }
+
+    #[test]
+    fn split_join_become_edge_delays() {
+        let g = {
+            use taskgraph::{CostModel, DataParallelSpec, SizeModel, TaskGraphBuilder};
+            let mut b = TaskGraphBuilder::new();
+            let src = b.task("src", CostModel::Const(Micros(10)));
+            let dp = b.dp_task(
+                "dp",
+                CostModel::Const(Micros(100)),
+                DataParallelSpec::new(vec![1, 2], vec![1], Micros(5))
+                    .with_split_join(Micros(7), Micros(9)),
+            );
+            let sink = b.task("sink", CostModel::Const(Micros(1)));
+            let c1 = b.channel("c1", SizeModel::Const(1000));
+            let c2 = b.channel("c2", SizeModel::Const(1000));
+            b.produces(src, c1);
+            b.consumes(dp, c1);
+            b.produces(dp, c2);
+            b.consumes(sink, c2);
+            b.build()
+        };
+        let mut d = BTreeMap::new();
+        d.insert(taskgraph::TaskId(1), Decomposition::new(2, 1));
+        let e = ExpandedGraph::build(&g, &AppState::new(1), &d);
+        assert_eq!(e.len(), 4);
+        // Chunk preds carry the split delay; sink preds carry the join delay.
+        for inst in e.instances() {
+            if inst.chunk.is_some() {
+                assert!(inst.preds.iter().all(|p| p.delay == Micros(7)));
+            }
+            if inst.task == taskgraph::TaskId(2) {
+                assert!(inst.preds.iter().all(|p| p.delay == Micros(9)));
+            }
+        }
+        // Bytes divided across receiving chunks.
+        let chunk = e.instances().iter().find(|i| i.chunk.is_some()).unwrap();
+        assert_eq!(chunk.preds[0].bytes, 500);
+    }
+
+    #[test]
+    #[should_panic(expected = "not data parallel")]
+    fn decomposing_serial_task_panics() {
+        let g = builders::color_tracker();
+        let t2 = g.task_by_name("Histogram").unwrap();
+        let mut d = BTreeMap::new();
+        d.insert(t2, Decomposition::new(2, 1));
+        let _ = ExpandedGraph::build(&g, &AppState::new(1), &d);
+    }
+}

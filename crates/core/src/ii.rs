@@ -1,0 +1,213 @@
+//! Initiation-interval search: step 3 of the Fig. 6 algorithm.
+//!
+//! Given a minimal-latency single-iteration schedule, find the smallest
+//! interval `II` (and per-iteration processor rotation `r`) at which the
+//! pattern can repeat without two iterations colliding on a processor. The
+//! rotation is the paper's Fig. 5(a) wrap-around: "the pattern shifts over
+//! one processor for each successive time-stamp. Therefore every fourth
+//! instance of T2 must wrap around and be scheduled to the first processor."
+//!
+//! The search is exact within the rotational-placement family: candidate II
+//! values are the constraint boundaries `ceil((a.end − b.start) / d)` (the
+//! points at which a forbidden overlap window closes), so the first feasible
+//! candidate is the minimal feasible II for some rotation.
+
+use taskgraph::Micros;
+
+use crate::schedule::{IterationSchedule, PipelinedSchedule};
+
+/// Pipeline `iter` onto `n_procs` processors at the smallest feasible
+/// initiation interval. Always succeeds: `II = latency` with rotation 0 is
+/// trivially feasible.
+///
+/// ```
+/// use cds_core::expand::ExpandedGraph;
+/// use cds_core::ii::find_best_ii;
+/// use cds_core::listsched::list_schedule;
+/// use cluster::ClusterSpec;
+/// use std::collections::BTreeMap;
+/// use taskgraph::{builders, AppState};
+///
+/// let graph = builders::pipeline(&[100, 200, 300]);
+/// let cluster = ClusterSpec::single_node(3);
+/// let e = ExpandedGraph::build(&graph, &AppState::new(1), &BTreeMap::new());
+/// let iter = list_schedule(&e, &cluster);
+/// let pipelined = find_best_ii(&iter, 3);
+/// assert!(pipelined.find_collision().is_none());
+/// assert!(pipelined.ii <= iter.latency);
+/// ```
+#[must_use]
+pub fn find_best_ii(iter: &IterationSchedule, n_procs: u32) -> PipelinedSchedule {
+    let all: Vec<u32> = (0..n_procs).collect();
+    find_best_ii_rotations(iter, n_procs, &all)
+}
+
+/// [`find_best_ii`] restricted to the given per-iteration rotations. Used
+/// for node-granular pipelining (§3.3): rotating by whole nodes keeps every
+/// iteration's placements on one node, so "distinct iterations on distinct
+/// nodes can overlap" without paying inter-node communication inside an
+/// iteration.
+#[must_use]
+pub fn find_best_ii_rotations(
+    iter: &IterationSchedule,
+    n_procs: u32,
+    rotations: &[u32],
+) -> PipelinedSchedule {
+    assert!(n_procs > 0, "need processors");
+    assert!(!rotations.is_empty(), "need at least one rotation");
+    let latency = iter.latency;
+    if iter.placements.is_empty() || latency == Micros::ZERO {
+        return PipelinedSchedule {
+            iteration: iter.clone(),
+            ii: Micros(1),
+            rotation: rotations[0],
+            n_procs,
+        };
+    }
+
+    // Lower bound: total busy time spread over all processors.
+    let busy = iter.busy_time();
+    let lb = Micros(busy.0.div_ceil(u64::from(n_procs))).max(Micros(1));
+
+    // Candidate IIs: the overlap-window boundaries, plus the bounds.
+    let d_max = latency.0.div_ceil(lb.0);
+    let mut candidates: Vec<Micros> = vec![lb, latency];
+    for a in &iter.placements {
+        for b in &iter.placements {
+            if a.end > b.start {
+                let diff = (a.end - b.start).0;
+                for d in 1..=d_max {
+                    let c = Micros(diff.div_ceil(d));
+                    if c >= lb && c <= latency {
+                        candidates.push(c);
+                    }
+                }
+            }
+        }
+    }
+    candidates.sort();
+    candidates.dedup();
+
+    for ii in candidates {
+        for &rotation in rotations {
+            let sched = PipelinedSchedule {
+                iteration: iter.clone(),
+                ii,
+                rotation,
+                n_procs,
+            };
+            if sched.find_collision().is_none() {
+                return sched;
+            }
+        }
+    }
+    unreachable!("II = latency is always feasible for some rotation in 0..n_procs");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::Placement;
+    use cluster::ProcId;
+    use std::collections::BTreeMap;
+    use taskgraph::{AppState, TaskId};
+
+    fn iter_of(placements: Vec<Placement>) -> IterationSchedule {
+        let latency = placements.iter().map(|p| p.end).max().unwrap();
+        IterationSchedule {
+            placements,
+            latency,
+            state: AppState::new(1),
+            decomp: BTreeMap::new(),
+        }
+    }
+
+    fn place(task: usize, proc: u32, start: u64, end: u64) -> Placement {
+        Placement {
+            task: TaskId(task),
+            chunk: None,
+            proc: ProcId(proc),
+            start: Micros(start),
+            end: Micros(end),
+        }
+    }
+
+    #[test]
+    fn serial_iteration_rotates_like_fig4b() {
+        // One 90-long serial iteration on one proc, 3 procs available:
+        // II = 30 with rotation (the naive pipeline tiling).
+        let iter = iter_of(vec![place(0, 0, 0, 90)]);
+        let p = find_best_ii(&iter, 3);
+        assert_eq!(p.ii, Micros(30));
+        assert_ne!(p.rotation, 0);
+        assert!(p.find_collision().is_none());
+        assert_eq!(p.overlapping_iterations(), 3);
+    }
+
+    #[test]
+    fn single_proc_ii_is_busy_time() {
+        let iter = iter_of(vec![place(0, 0, 0, 40), place(1, 0, 40, 90)]);
+        let p = find_best_ii(&iter, 1);
+        assert_eq!(p.ii, Micros(90));
+        assert_eq!(p.rotation, 0);
+    }
+
+    #[test]
+    fn idle_holes_allow_ii_below_latency_per_proc() {
+        // Two procs each busy 50 out of a 100 iteration: II=50 feasible.
+        let iter = iter_of(vec![place(0, 0, 0, 50), place(1, 1, 50, 100)]);
+        let p = find_best_ii(&iter, 2);
+        assert_eq!(p.ii, Micros(50));
+        assert!(p.find_collision().is_none());
+    }
+
+    #[test]
+    fn ii_never_below_work_bound() {
+        // Busy 100 on each of 2 procs simultaneously: II >= 100.
+        let iter = iter_of(vec![place(0, 0, 0, 100), place(1, 1, 0, 100)]);
+        let p = find_best_ii(&iter, 2);
+        assert_eq!(p.ii, Micros(100));
+    }
+
+    #[test]
+    fn extra_processors_reduce_ii() {
+        let iter = iter_of(vec![place(0, 0, 0, 60)]);
+        let p2 = find_best_ii(&iter, 2);
+        let p6 = find_best_ii(&iter, 6);
+        assert!(p6.ii < p2.ii);
+        assert_eq!(p6.ii, Micros(10));
+        assert!(p6.find_collision().is_none());
+    }
+
+    #[test]
+    fn empty_iteration_degenerates() {
+        let iter = IterationSchedule {
+            placements: vec![],
+            latency: Micros::ZERO,
+            state: AppState::new(1),
+            decomp: BTreeMap::new(),
+        };
+        let p = find_best_ii(&iter, 4);
+        assert_eq!(p.ii, Micros(1));
+    }
+
+    #[test]
+    fn result_is_always_collision_free_fuzz() {
+        // A deterministic mini-fuzz over awkward shapes.
+        for (shape, procs) in [
+            (vec![(0u32, 0u64, 33u64), (1, 0, 17), (0, 33, 50)], 3u32),
+            (vec![(0, 0, 7), (1, 3, 11), (2, 5, 13)], 4),
+            (vec![(0, 0, 100), (1, 10, 90), (2, 20, 80)], 5),
+        ] {
+            let placements: Vec<Placement> = shape
+                .iter()
+                .enumerate()
+                .map(|(i, &(proc, s, e))| place(i, proc, s, e.max(s + 1)))
+                .collect();
+            let iter = iter_of(placements);
+            let p = find_best_ii(&iter, procs);
+            assert!(p.find_collision().is_none(), "shape {shape:?}");
+            assert!(p.ii <= iter.latency);
+        }
+    }
+}

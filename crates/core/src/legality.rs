@@ -1,0 +1,288 @@
+//! Legality checking: does a single-iteration schedule respect the instance
+//! DAG's dependences (with split/join delays and locality-dependent
+//! communication costs) and the one-job-per-processor resource constraint?
+//!
+//! Every schedule the enumerator, the list scheduler, or a test constructs
+//! is validated through this checker — the simulators refuse malformed
+//! schedules rather than silently reordering them.
+
+use cluster::ClusterSpec;
+
+use crate::expand::ExpandedGraph;
+use crate::schedule::IterationSchedule;
+
+
+/// Why a schedule is illegal.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum ScheduleError {
+    /// Placement count does not match the instance count.
+    WrongInstanceCount { expected: usize, got: usize },
+    /// Placement `i` does not correspond to instance `i`.
+    InstanceMismatch(usize),
+    /// Placement duration differs from the instance duration.
+    WrongDuration(usize),
+    /// Placement starts before a dependence (plus delay and communication)
+    /// is satisfied.
+    DependenceViolated { instance: usize, pred: usize },
+    /// Two placements overlap on one processor.
+    ResourceConflict(usize, usize),
+    /// A placement names a processor outside the cluster.
+    UnknownProcessor(usize),
+    /// The recorded latency is not the max placement end.
+    WrongLatency,
+}
+
+impl std::fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScheduleError::WrongInstanceCount { expected, got } => {
+                write!(f, "expected {expected} placements, got {got}")
+            }
+            ScheduleError::InstanceMismatch(i) => write!(f, "placement {i} names wrong instance"),
+            ScheduleError::WrongDuration(i) => write!(f, "placement {i} has wrong duration"),
+            ScheduleError::DependenceViolated { instance, pred } => {
+                write!(f, "instance {instance} starts before predecessor {pred} completes")
+            }
+            ScheduleError::ResourceConflict(a, b) => {
+                write!(f, "placements {a} and {b} overlap on one processor")
+            }
+            ScheduleError::UnknownProcessor(i) => write!(f, "placement {i} on unknown processor"),
+            ScheduleError::WrongLatency => write!(f, "recorded latency mismatch"),
+        }
+    }
+}
+
+impl std::error::Error for ScheduleError {}
+
+/// Check `sched` against `expanded` on `cluster`. Placements must be listed
+/// in instance order.
+pub fn check_iteration(
+    sched: &IterationSchedule,
+    expanded: &ExpandedGraph,
+    cluster: &ClusterSpec,
+) -> Result<(), ScheduleError> {
+    let insts = expanded.instances();
+    if sched.placements.len() != insts.len() {
+        return Err(ScheduleError::WrongInstanceCount {
+            expected: insts.len(),
+            got: sched.placements.len(),
+        });
+    }
+    for (i, (p, inst)) in sched.placements.iter().zip(insts).enumerate() {
+        if p.task != inst.task || p.chunk != inst.chunk {
+            return Err(ScheduleError::InstanceMismatch(i));
+        }
+        if p.end - p.start != inst.duration {
+            return Err(ScheduleError::WrongDuration(i));
+        }
+        if p.proc.0 >= cluster.n_procs() {
+            return Err(ScheduleError::UnknownProcessor(i));
+        }
+        for e in &inst.preds {
+            let pred = &sched.placements[e.from];
+            let comm = cluster
+                .comm()
+                .transfer(e.bytes, cluster.locality(pred.proc, p.proc));
+            if p.start < pred.end + e.delay + comm {
+                return Err(ScheduleError::DependenceViolated {
+                    instance: i,
+                    pred: e.from,
+                });
+            }
+        }
+    }
+    // Resource conflicts.
+    let mut idx: Vec<usize> = (0..sched.placements.len()).collect();
+    idx.sort_by_key(|&i| (sched.placements[i].proc, sched.placements[i].start));
+    for w in idx.windows(2) {
+        let (a, b) = (&sched.placements[w[0]], &sched.placements[w[1]]);
+        if a.proc == b.proc && b.start < a.end {
+            return Err(ScheduleError::ResourceConflict(w[0], w[1]));
+        }
+    }
+    if sched.latency != sched.computed_latency() {
+        return Err(ScheduleError::WrongLatency);
+    }
+    Ok(())
+}
+
+/// Full validation of a pipelined schedule against its graph and cluster:
+/// the iteration is legal ([`check_iteration`]), the pipeline is
+/// collision-free, the decomposition matches the graph's DP specs, and the
+/// processor count matches the cluster. This is the gate a schedule passes
+/// before deployment (the `cds` CLI and the persist layer lean on it).
+pub fn check_pipelined(
+    sched: &crate::schedule::PipelinedSchedule,
+    graph: &taskgraph::TaskGraph,
+    cluster: &ClusterSpec,
+) -> Result<(), ScheduleError> {
+    if sched.n_procs != cluster.n_procs() {
+        return Err(ScheduleError::WrongInstanceCount {
+            expected: cluster.n_procs() as usize,
+            got: sched.n_procs as usize,
+        });
+    }
+    let expanded = ExpandedGraph::build(graph, &sched.iteration.state, &sched.iteration.decomp);
+    check_iteration(&sched.iteration, &expanded, cluster)?;
+    if let Some((d, a, b)) = sched.find_collision() {
+        // Reuse ResourceConflict with placement indices resolved by search.
+        let ia = sched
+            .iteration
+            .placements
+            .iter()
+            .position(|p| p == &a)
+            .unwrap_or(usize::MAX);
+        let ib = sched
+            .iteration
+            .placements
+            .iter()
+            .position(|p| p == &b)
+            .unwrap_or(usize::MAX);
+        let _ = d;
+        return Err(ScheduleError::ResourceConflict(ia, ib));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::Placement;
+    use cluster::ProcId;
+    use std::collections::BTreeMap;
+    use taskgraph::{builders, AppState, Micros};
+
+    fn serial_setup() -> (ExpandedGraph, ClusterSpec) {
+        let g = builders::pipeline(&[10, 20, 30]);
+        let e = ExpandedGraph::build(&g, &AppState::new(1), &BTreeMap::new());
+        (e, ClusterSpec::single_node(2))
+    }
+
+    fn placements_from(e: &ExpandedGraph, specs: &[(u32, u64)]) -> IterationSchedule {
+        let placements: Vec<Placement> = e
+            .instances()
+            .iter()
+            .zip(specs)
+            .map(|(inst, &(proc, start))| Placement {
+                task: inst.task,
+                chunk: inst.chunk,
+                proc: ProcId(proc),
+                start: Micros(start),
+                end: Micros(start) + inst.duration,
+            })
+            .collect();
+        let latency = placements.iter().map(|p| p.end).max().unwrap();
+        IterationSchedule {
+            placements,
+            latency,
+            state: AppState::new(1),
+            decomp: BTreeMap::new(),
+        }
+    }
+
+    #[test]
+    fn valid_serial_schedule_passes() {
+        let (e, c) = serial_setup();
+        // pipeline builder: stage0(10) stage1(20) stage2(30) sink(0)
+        let s = placements_from(&e, &[(0, 0), (0, 10), (0, 30), (0, 60)]);
+        check_iteration(&s, &e, &c).unwrap();
+    }
+
+    #[test]
+    fn dependence_violation_detected() {
+        let (e, c) = serial_setup();
+        let s = placements_from(&e, &[(0, 0), (0, 5), (0, 30), (0, 60)]);
+        assert_eq!(
+            check_iteration(&s, &e, &c),
+            Err(ScheduleError::DependenceViolated { instance: 1, pred: 0 })
+        );
+    }
+
+    #[test]
+    fn resource_conflict_detected() {
+        // Two independent branches overlapping on one processor: all
+        // dependences hold, only the resource constraint is violated.
+        let g = builders::fork_join(2, 100);
+        let e = ExpandedGraph::build(&g, &AppState::new(1), &BTreeMap::new());
+        let c = ClusterSpec::single_node(2);
+        // Instance order: fork, join, branch0, branch1, sink.
+        let s = placements_from(&e, &[(0, 0), (0, 200), (0, 1), (0, 100), (0, 201)]);
+        match check_iteration(&s, &e, &c) {
+            Err(ScheduleError::ResourceConflict(_, _)) => {}
+            other => panic!("expected conflict, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_processor_detected() {
+        let (e, c) = serial_setup();
+        let s = placements_from(&e, &[(0, 0), (5, 10), (0, 30), (0, 60)]);
+        assert_eq!(
+            check_iteration(&s, &e, &c),
+            Err(ScheduleError::UnknownProcessor(1))
+        );
+    }
+
+    #[test]
+    fn wrong_latency_detected() {
+        let (e, c) = serial_setup();
+        let mut s = placements_from(&e, &[(0, 0), (0, 10), (0, 30), (0, 60)]);
+        s.latency = Micros(1);
+        assert_eq!(check_iteration(&s, &e, &c), Err(ScheduleError::WrongLatency));
+    }
+
+    #[test]
+    fn wrong_count_detected() {
+        let (e, c) = serial_setup();
+        let mut s = placements_from(&e, &[(0, 0), (0, 10), (0, 30), (0, 60)]);
+        s.placements.pop();
+        assert!(matches!(
+            check_iteration(&s, &e, &c),
+            Err(ScheduleError::WrongInstanceCount { .. })
+        ));
+    }
+
+    #[test]
+    fn check_pipelined_accepts_optimal_and_rejects_bad_ii() {
+        use crate::optimal::{optimal_schedule, OptimalConfig};
+        let g = builders::color_tracker();
+        let c = ClusterSpec::single_node(4);
+        let r = optimal_schedule(&g, &c, &AppState::new(2), &OptimalConfig::default());
+        check_pipelined(&r.best, &g, &c).unwrap();
+
+        // Quartering the II forces pipeline collisions.
+        let mut bad = r.best.clone();
+        bad.ii = Micros(bad.ii.0 / 4);
+        assert!(matches!(
+            check_pipelined(&bad, &g, &c),
+            Err(ScheduleError::ResourceConflict(_, _))
+        ));
+
+        // Wrong cluster size.
+        assert!(check_pipelined(&r.best, &g, &ClusterSpec::single_node(2)).is_err());
+    }
+
+    #[test]
+    fn inter_node_communication_delays_consumers() {
+        // Producer on node 0, consumer on node 1: the schedule must leave
+        // room for the transfer.
+        let g = builders::pipeline(&[10, 20]);
+        let e = ExpandedGraph::build(&g, &AppState::new(1), &BTreeMap::new());
+        let c = ClusterSpec::paper_cluster(); // inter-node costs nonzero
+        // stage1 on proc 4 (node 1) immediately after stage0 ends: illegal.
+        let tight = placements_from(&e, &[(0, 0), (4, 10), (4, 30)]);
+        assert!(matches!(
+            check_iteration(&tight, &e, &c),
+            Err(ScheduleError::DependenceViolated { .. })
+        ));
+        // Same placement with slack for the transfers (inter-node into
+        // stage1, intra-node into the sink): legal.
+        let comm = c
+            .comm()
+            .transfer(1024, taskgraph::Locality::InterNode)
+            .0;
+        let intra = c.comm().transfer(16, taskgraph::Locality::IntraNode).0;
+        let ok = placements_from(&e, &[(0, 0), (4, 10 + comm), (4, 30 + comm + intra)]);
+        check_iteration(&ok, &e, &c).unwrap();
+    }
+}

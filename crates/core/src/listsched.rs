@@ -1,0 +1,147 @@
+//! Bottom-level (HLFET) list scheduling over the instance DAG.
+//!
+//! Not part of the paper's proposal — it is the classic heuristic the
+//! optimal enumerator is compared against in the ablation experiment, and it
+//! seeds the branch-and-bound with a good incumbent so pruning bites early.
+
+use cluster::{ClusterSpec, ProcId};
+use taskgraph::Micros;
+
+use crate::expand::ExpandedGraph;
+use crate::schedule::{IterationSchedule, Placement};
+
+/// Greedy list schedule: repeatedly place the ready instance with the
+/// largest bottom level on the processor where it can start earliest
+/// (accounting for dependence delays and locality-dependent communication).
+#[must_use]
+pub fn list_schedule(expanded: &ExpandedGraph, cluster: &ClusterSpec) -> IterationSchedule {
+    let insts = expanded.instances();
+    let n = insts.len();
+    let n_procs = cluster.n_procs();
+
+    let mut placed: Vec<Option<Placement>> = vec![None; n];
+    let mut n_preds_left: Vec<usize> = insts.iter().map(|i| i.preds.len()).collect();
+    let mut proc_ready = vec![Micros::ZERO; n_procs as usize];
+    let mut n_placed = 0usize;
+
+    while n_placed < n {
+        // Ready instance with the largest bottom level (deterministic tie
+        // break on index).
+        let next = (0..n)
+            .filter(|&i| placed[i].is_none() && n_preds_left[i] == 0)
+            .max_by_key(|&i| (expanded.bottom_level(i), std::cmp::Reverse(i)))
+            .expect("acyclic DAG always has a ready instance");
+
+        // Earliest start per processor.
+        let mut best: Option<(Micros, u32)> = None;
+        for p in 0..n_procs {
+            let mut est = proc_ready[p as usize];
+            for e in &insts[next].preds {
+                let pred = placed[e.from].expect("preds placed first");
+                let comm = cluster
+                    .comm()
+                    .transfer(e.bytes, cluster.locality(pred.proc, ProcId(p)));
+                est = est.max(pred.end + e.delay + comm);
+            }
+            if best.is_none_or(|(b, _)| est < b) {
+                best = Some((est, p));
+            }
+        }
+        let (start, proc) = best.expect("cluster has processors");
+        let end = start + insts[next].duration;
+        placed[next] = Some(Placement {
+            task: insts[next].task,
+            chunk: insts[next].chunk,
+            proc: ProcId(proc),
+            start,
+            end,
+        });
+        proc_ready[proc as usize] = end;
+        n_placed += 1;
+        for &s in expanded.succs(next) {
+            n_preds_left[s] -= 1;
+        }
+    }
+
+    let placements: Vec<Placement> = placed.into_iter().map(Option::unwrap).collect();
+    let latency = placements
+        .iter()
+        .map(|p| p.end)
+        .max()
+        .unwrap_or(Micros::ZERO);
+    IterationSchedule {
+        placements,
+        latency,
+        state: *expanded.state(),
+        decomp: expanded.decomp().clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::legality::check_iteration;
+    use std::collections::BTreeMap;
+    use taskgraph::{builders, AppState, Decomposition};
+
+    #[test]
+    fn list_schedule_is_legal_serial() {
+        let g = builders::color_tracker();
+        let e = ExpandedGraph::build(&g, &AppState::new(4), &BTreeMap::new());
+        let c = ClusterSpec::single_node(4);
+        let s = list_schedule(&e, &c);
+        check_iteration(&s, &e, &c).unwrap();
+        assert!(s.latency >= e.span());
+    }
+
+    #[test]
+    fn list_schedule_is_legal_with_chunks() {
+        let g = builders::color_tracker();
+        let t4 = g.task_by_name("Target Detection").unwrap();
+        let mut d = BTreeMap::new();
+        d.insert(t4, Decomposition::new(1, 8));
+        let e = ExpandedGraph::build(&g, &AppState::new(8), &d);
+        let c = ClusterSpec::single_node(4);
+        let s = list_schedule(&e, &c);
+        check_iteration(&s, &e, &c).unwrap();
+    }
+
+    #[test]
+    fn more_processors_never_hurt() {
+        let g = builders::fork_join(6, 500);
+        let e = ExpandedGraph::build(&g, &AppState::new(1), &BTreeMap::new());
+        let s1 = list_schedule(&e, &ClusterSpec::single_node(1));
+        let s3 = list_schedule(&e, &ClusterSpec::single_node(3));
+        let s6 = list_schedule(&e, &ClusterSpec::single_node(6));
+        assert!(s3.latency <= s1.latency);
+        assert!(s6.latency <= s3.latency);
+        // Six branches on one proc ≈ serial.
+        assert_eq!(s1.latency, e.work());
+    }
+
+    #[test]
+    fn task_parallel_branches_overlap() {
+        // fork_join(2, 100): with 2 procs latency ≈ 1 + 100 + 1 + epsilon.
+        let g = builders::fork_join(2, 100);
+        let e = ExpandedGraph::build(&g, &AppState::new(1), &BTreeMap::new());
+        let s = list_schedule(&e, &ClusterSpec::single_node(2));
+        assert_eq!(s.latency, e.span());
+    }
+
+    #[test]
+    fn comm_costs_keep_schedule_on_one_node_when_cheap() {
+        // With expensive inter-node links and small work, the list scheduler
+        // should not pay a transfer to reach an idle remote processor.
+        let g = builders::pipeline(&[10, 10, 10]);
+        let e = ExpandedGraph::build(&g, &AppState::new(1), &BTreeMap::new());
+        let c = ClusterSpec::paper_cluster();
+        let s = list_schedule(&e, &c);
+        check_iteration(&s, &e, &c).unwrap();
+        let nodes: std::collections::HashSet<_> = s
+            .placements
+            .iter()
+            .map(|p| c.node_of(p.proc))
+            .collect();
+        assert_eq!(nodes.len(), 1, "pipeline should stay on one node");
+    }
+}

@@ -1,0 +1,351 @@
+//! Plain-text persistence for schedules and schedule tables.
+//!
+//! The paper's premise is that schedules are computed offline and then
+//! "operating for months" — so the precomputed [`ScheduleTable`] must
+//! outlive the process. The format is a deliberately simple line protocol
+//! (no external dependencies), stable across versions of this crate:
+//!
+//! ```text
+//! schedule v1
+//! state 4 0
+//! procs 4
+//! ii 1063000
+//! rotation 1
+//! latency 1144000
+//! decomp 3 1 4
+//! place 0 - 0 0 1000
+//! place 3 0/4 1 140000 514000
+//! end
+//! ```
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use cluster::ProcId;
+use taskgraph::{AppState, Decomposition, Micros, TaskId};
+
+use crate::schedule::{IterationSchedule, PipelinedSchedule, Placement};
+use crate::table::ScheduleTable;
+
+/// A parse failure, with the offending line number (1-based).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ParseError {
+    /// Line the error was detected on.
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Serialize one pipelined schedule.
+///
+/// ```
+/// use cds_core::optimal::{optimal_schedule, OptimalConfig};
+/// use cds_core::persist::{schedule_from_str, schedule_to_string};
+/// use cluster::ClusterSpec;
+/// use taskgraph::{builders, AppState};
+///
+/// let graph = builders::color_tracker();
+/// let cluster = ClusterSpec::single_node(2);
+/// let sched = optimal_schedule(&graph, &cluster, &AppState::new(1), &OptimalConfig::default()).best;
+/// let text = schedule_to_string(&sched);
+/// assert_eq!(schedule_from_str(&text).unwrap(), sched);
+/// ```
+#[must_use]
+pub fn schedule_to_string(s: &PipelinedSchedule) -> String {
+    let mut out = String::new();
+    let it = &s.iteration;
+    let _ = writeln!(out, "schedule v1");
+    let _ = writeln!(out, "state {} {}", it.state.n_models, it.state.aux);
+    let _ = writeln!(out, "procs {}", s.n_procs);
+    let _ = writeln!(out, "ii {}", s.ii.0);
+    let _ = writeln!(out, "rotation {}", s.rotation);
+    let _ = writeln!(out, "latency {}", it.latency.0);
+    for (t, d) in &it.decomp {
+        let _ = writeln!(out, "decomp {} {} {}", t.0, d.fp, d.mp);
+    }
+    let _ = writeln!(out, "places {}", it.placements.len());
+    for p in &it.placements {
+        let chunk = match p.chunk {
+            Some((i, n)) => format!("{i}/{n}"),
+            None => "-".to_string(),
+        };
+        let _ = writeln!(
+            out,
+            "place {} {} {} {} {}",
+            p.task.0, chunk, p.proc.0, p.start.0, p.end.0
+        );
+    }
+    let _ = writeln!(out, "end");
+    out
+}
+
+/// Serialize a whole schedule table (concatenated schedule blocks).
+#[must_use]
+pub fn table_to_string(table: &ScheduleTable) -> String {
+    let mut out = String::new();
+    for state in table.states() {
+        let sched = table.get(&state).expect("state listed");
+        out.push_str(&schedule_to_string(sched));
+    }
+    out
+}
+
+struct Lines<'a> {
+    iter: std::iter::Enumerate<std::str::Lines<'a>>,
+}
+
+impl<'a> Lines<'a> {
+    fn next_content(&mut self) -> Option<(usize, &'a str)> {
+        for (i, raw) in self.iter.by_ref() {
+            let line = raw.trim();
+            if !line.is_empty() && !line.starts_with('#') {
+                return Some((i + 1, line));
+            }
+        }
+        None
+    }
+}
+
+fn err(line: usize, message: impl Into<String>) -> ParseError {
+    ParseError {
+        line,
+        message: message.into(),
+    }
+}
+
+fn parse_u64(line: usize, s: &str, what: &str) -> Result<u64, ParseError> {
+    s.parse()
+        .map_err(|_| err(line, format!("invalid {what}: {s:?}")))
+}
+
+fn parse_block(lines: &mut Lines<'_>) -> Result<Option<PipelinedSchedule>, ParseError> {
+    let Some((ln, header)) = lines.next_content() else {
+        return Ok(None);
+    };
+    if header != "schedule v1" {
+        return Err(err(ln, format!("expected 'schedule v1', got {header:?}")));
+    }
+    let mut state: Option<AppState> = None;
+    let mut n_procs: Option<u32> = None;
+    let mut ii: Option<Micros> = None;
+    let mut rotation: Option<u32> = None;
+    let mut latency: Option<Micros> = None;
+    let mut decomp: BTreeMap<TaskId, Decomposition> = BTreeMap::new();
+    let mut placements: Vec<Placement> = Vec::new();
+    let mut expected_places: Option<usize> = None;
+
+    loop {
+        let Some((ln, line)) = lines.next_content() else {
+            return Err(err(usize::MAX, "unterminated schedule block"));
+        };
+        let mut parts = line.split_whitespace();
+        let key = parts.next().expect("non-empty line");
+        let rest: Vec<&str> = parts.collect();
+        match key {
+            "end" => break,
+            "state" => {
+                if rest.len() != 2 {
+                    return Err(err(ln, "state needs two fields"));
+                }
+                state = Some(AppState::with_aux(
+                    parse_u64(ln, rest[0], "n_models")? as u32,
+                    parse_u64(ln, rest[1], "aux")? as u32,
+                ));
+            }
+            "procs" => n_procs = Some(parse_u64(ln, rest[0], "procs")? as u32),
+            "ii" => ii = Some(Micros(parse_u64(ln, rest[0], "ii")?)),
+            "rotation" => rotation = Some(parse_u64(ln, rest[0], "rotation")? as u32),
+            "latency" => latency = Some(Micros(parse_u64(ln, rest[0], "latency")?)),
+            "places" => expected_places = Some(parse_u64(ln, rest[0], "places")? as usize),
+            "decomp" => {
+                if rest.len() != 3 {
+                    return Err(err(ln, "decomp needs three fields"));
+                }
+                decomp.insert(
+                    TaskId(parse_u64(ln, rest[0], "task")? as usize),
+                    Decomposition::new(
+                        parse_u64(ln, rest[1], "fp")? as u32,
+                        parse_u64(ln, rest[2], "mp")? as u32,
+                    ),
+                );
+            }
+            "place" => {
+                if rest.len() != 5 {
+                    return Err(err(ln, "place needs five fields"));
+                }
+                let chunk = if rest[1] == "-" {
+                    None
+                } else {
+                    let (i, n) = rest[1]
+                        .split_once('/')
+                        .ok_or_else(|| err(ln, "chunk must be i/n or -"))?;
+                    Some((
+                        parse_u64(ln, i, "chunk index")? as u32,
+                        parse_u64(ln, n, "chunk count")? as u32,
+                    ))
+                };
+                let start = Micros(parse_u64(ln, rest[3], "start")?);
+                let end = Micros(parse_u64(ln, rest[4], "end")?);
+                if end < start {
+                    return Err(err(ln, "placement ends before it starts"));
+                }
+                placements.push(Placement {
+                    task: TaskId(parse_u64(ln, rest[0], "task")? as usize),
+                    chunk,
+                    proc: ProcId(parse_u64(ln, rest[2], "proc")? as u32),
+                    start,
+                    end,
+                });
+            }
+            other => return Err(err(ln, format!("unknown key {other:?}"))),
+        }
+    }
+
+    let state = state.ok_or_else(|| err(0, "missing state"))?;
+    let n_procs = n_procs.ok_or_else(|| err(0, "missing procs"))?;
+    if let Some(expected) = expected_places {
+        if expected != placements.len() {
+            return Err(err(
+                0,
+                format!("expected {expected} placements, found {}", placements.len()),
+            ));
+        }
+    }
+    let iteration = IterationSchedule {
+        placements,
+        latency: latency.ok_or_else(|| err(0, "missing latency"))?,
+        state,
+        decomp,
+    };
+    if iteration.latency != iteration.computed_latency() {
+        return Err(err(0, "latency does not match placements"));
+    }
+    let sched = PipelinedSchedule {
+        iteration,
+        ii: ii.ok_or_else(|| err(0, "missing ii"))?,
+        rotation: rotation.ok_or_else(|| err(0, "missing rotation"))?,
+        n_procs,
+    };
+    if sched.find_collision().is_some() {
+        return Err(err(0, "schedule collides with its own pipeline copies"));
+    }
+    Ok(Some(sched))
+}
+
+/// Parse one schedule.
+pub fn schedule_from_str(s: &str) -> Result<PipelinedSchedule, ParseError> {
+    let mut lines = Lines {
+        iter: s.lines().enumerate(),
+    };
+    parse_block(&mut lines)?.ok_or_else(|| err(0, "empty input"))
+}
+
+/// Parse a whole table (zero or more schedule blocks).
+pub fn table_from_str(s: &str) -> Result<ScheduleTable, ParseError> {
+    let mut lines = Lines {
+        iter: s.lines().enumerate(),
+    };
+    let mut entries = Vec::new();
+    while let Some(sched) = parse_block(&mut lines)? {
+        entries.push((sched.iteration.state, sched));
+    }
+    Ok(ScheduleTable::from_entries(entries))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optimal::{optimal_schedule, OptimalConfig};
+    use crate::table::ScheduleTable;
+    use cluster::ClusterSpec;
+    use taskgraph::builders;
+
+    fn sample() -> PipelinedSchedule {
+        let g = builders::color_tracker();
+        let c = ClusterSpec::single_node(4);
+        optimal_schedule(&g, &c, &AppState::new(4), &OptimalConfig::default()).best
+    }
+
+    #[test]
+    fn schedule_roundtrips() {
+        let s = sample();
+        let text = schedule_to_string(&s);
+        let back = schedule_from_str(&text).unwrap();
+        assert_eq!(s, back);
+    }
+
+    #[test]
+    fn table_roundtrips() {
+        let g = builders::color_tracker();
+        let c = ClusterSpec::single_node(4);
+        let states: Vec<AppState> = [1u32, 2, 4].iter().map(|&n| AppState::new(n)).collect();
+        let table = ScheduleTable::precompute(&g, &c, &states, &OptimalConfig::default());
+        let text = table_to_string(&table);
+        let back = table_from_str(&text).unwrap();
+        assert_eq!(back.len(), table.len());
+        for s in table.states() {
+            assert_eq!(table.get(&s), back.get(&s));
+        }
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_ignored() {
+        let s = sample();
+        let mut text = String::from("# persisted by the offline scheduler\n\n");
+        text.push_str(&schedule_to_string(&s));
+        assert_eq!(schedule_from_str(&text).unwrap(), s);
+    }
+
+    #[test]
+    fn corrupted_latency_is_rejected() {
+        let s = sample();
+        let text = schedule_to_string(&s).replace(
+            &format!("latency {}", s.iteration.latency.0),
+            "latency 1",
+        );
+        let e = schedule_from_str(&text).unwrap_err();
+        assert!(e.message.contains("latency"), "{e}");
+    }
+
+    #[test]
+    fn colliding_schedule_is_rejected() {
+        let s = sample();
+        // Halving the II breaks the pipeline feasibility.
+        let text =
+            schedule_to_string(&s).replace(&format!("ii {}", s.ii.0), &format!("ii {}", s.ii.0 / 4));
+        let e = schedule_from_str(&text).unwrap_err();
+        assert!(e.message.contains("collides"), "{e}");
+    }
+
+    #[test]
+    fn malformed_lines_report_position() {
+        for (broken, needle) in [
+            ("schedule v2", "expected"),
+            ("schedule v1\nstate x 0\nend", "n_models"),
+            ("schedule v1\nwat 1\nend", "unknown key"),
+            ("schedule v1\nplace 0 ? 0 0 1\nend", "chunk"),
+            ("schedule v1\nplace 0 - 0 5 1\nend", "ends before"),
+            ("schedule v1\nstate 1 0", "unterminated"),
+        ] {
+            let e = schedule_from_str(broken).unwrap_err();
+            assert!(
+                e.message.contains(needle),
+                "input {broken:?} gave {e}, wanted {needle:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_table_parses() {
+        let t = table_from_str("").unwrap();
+        assert!(t.is_empty());
+    }
+}

@@ -1,0 +1,128 @@
+//! Naive software pipelining — the paper's first transformation (Fig. 4(b)):
+//! "Consider the work for a given time-stamp, through all the tasks, as an
+//! iteration … each virtual processor processes one time-stamp through all
+//! its tasks and then begins on the next time-stamp."
+//!
+//! The whole iteration runs serially on one processor; successive iterations
+//! rotate across processors. "This schedule has no idle time, maintains a
+//! uniform rate of frame processing, and no work is performed on any
+//! time-stamp that is not processed fully … Although this schedule achieves
+//! high throughput, it does not achieve minimal latency."
+
+use cluster::{ClusterSpec, ProcId};
+use std::collections::BTreeMap;
+use taskgraph::{AppState, Micros, TaskGraph};
+
+use crate::expand::ExpandedGraph;
+use crate::schedule::{IterationSchedule, PipelinedSchedule, Placement};
+
+/// Build the naive pipeline schedule: every task of one iteration stacked
+/// serially (in topological order) on processor 0, repeated with rotation 1
+/// at `II = ceil(latency / P)` — full utilization, maximal throughput,
+/// serial-iteration latency.
+#[must_use]
+pub fn naive_pipeline(
+    graph: &TaskGraph,
+    cluster: &ClusterSpec,
+    state: &AppState,
+) -> PipelinedSchedule {
+    let expanded = ExpandedGraph::build(graph, state, &BTreeMap::new());
+    let order = expanded.topo_order();
+    let mut placements = vec![
+        Placement {
+            task: taskgraph::TaskId(0),
+            chunk: None,
+            proc: ProcId(0),
+            start: Micros::ZERO,
+            end: Micros::ZERO,
+        };
+        expanded.len()
+    ];
+    let mut t = Micros::ZERO;
+    for &i in &order {
+        let inst = &expanded.instances()[i];
+        // Serial stacking still owes dependence delays and (intra-node)
+        // communication to earlier instances.
+        let mut start = t;
+        for e in &inst.preds {
+            let comm = cluster
+                .comm()
+                .transfer(e.bytes, taskgraph::Locality::IntraNode);
+            start = start.max(placements[e.from].end + e.delay + comm);
+        }
+        placements[i] = Placement {
+            task: inst.task,
+            chunk: inst.chunk,
+            proc: ProcId(0),
+            start,
+            end: start + inst.duration,
+        };
+        t = start + inst.duration;
+    }
+    let latency = t;
+    let iteration = IterationSchedule {
+        placements,
+        latency,
+        state: *state,
+        decomp: BTreeMap::new(),
+    };
+    let p = cluster.n_procs();
+    let ii = Micros(latency.0.div_ceil(u64::from(p))).max(Micros(1));
+    let sched = PipelinedSchedule {
+        iteration,
+        ii,
+        rotation: 1 % p,
+        n_procs: p,
+    };
+    debug_assert!(sched.find_collision().is_none());
+    sched
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::legality::check_iteration;
+    use taskgraph::builders;
+
+    #[test]
+    fn pipeline_latency_is_serial_work() {
+        let g = builders::color_tracker();
+        let c = ClusterSpec::single_node(4);
+        let state = AppState::new(8);
+        let p = naive_pipeline(&g, &c, &state);
+        assert_eq!(p.iteration.latency, g.total_work(&state));
+        assert_eq!(p.rotation, 1);
+        assert!(p.find_collision().is_none());
+    }
+
+    #[test]
+    fn pipeline_iteration_is_legal() {
+        let g = builders::color_tracker();
+        let c = ClusterSpec::single_node(4);
+        let state = AppState::new(2);
+        let p = naive_pipeline(&g, &c, &state);
+        let e = ExpandedGraph::build(&g, &state, &BTreeMap::new());
+        check_iteration(&p.iteration, &e, &c).unwrap();
+    }
+
+    #[test]
+    fn pipeline_throughput_scales_with_processors() {
+        let g = builders::color_tracker();
+        let state = AppState::new(4);
+        let p1 = naive_pipeline(&g, &ClusterSpec::single_node(1), &state);
+        let p4 = naive_pipeline(&g, &ClusterSpec::single_node(4), &state);
+        assert!(p4.throughput_hz() > 3.9 * p1.throughput_hz());
+        // "This schedule has no idle time": II × P ≈ latency.
+        assert!(p4.ii * 4 >= p4.iteration.latency);
+        assert!(p4.ii * 4 < p4.iteration.latency + Micros(4));
+    }
+
+    #[test]
+    fn single_processor_pipeline_degenerates_to_serial() {
+        let g = builders::pipeline(&[10, 20, 30]);
+        let p = naive_pipeline(&g, &ClusterSpec::single_node(1), &AppState::new(1));
+        assert_eq!(p.ii, p.iteration.latency);
+        assert_eq!(p.rotation, 0);
+        assert!(p.find_collision().is_none());
+    }
+}

@@ -1,0 +1,355 @@
+//! Schedule representations: the single-iteration placement and the
+//! software-pipelined multi-iteration schedule built from it.
+
+use std::collections::BTreeMap;
+
+use cluster::ProcId;
+use taskgraph::{AppState, Decomposition, Micros, TaskId};
+
+/// One placed instance: a task (or one chunk of it) assigned to a processor
+/// with explicit start/end offsets *within the iteration*.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Placement {
+    /// The task.
+    pub task: TaskId,
+    /// `(index, count)` when the instance is a data-parallel chunk.
+    pub chunk: Option<(u32, u32)>,
+    /// Assigned processor.
+    pub proc: ProcId,
+    /// Start offset from the iteration's origin.
+    pub start: Micros,
+    /// End offset.
+    pub end: Micros,
+}
+
+impl Placement {
+    /// The placement's duration.
+    #[must_use]
+    pub fn duration(&self) -> Micros {
+        self.end - self.start
+    }
+}
+
+/// A complete single-iteration schedule: every instance of the expanded DAG
+/// placed, ordered as in [`crate::expand::ExpandedGraph::instances`].
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct IterationSchedule {
+    /// Placements, indexed by instance.
+    pub placements: Vec<Placement>,
+    /// Iteration latency: the maximum placement end.
+    pub latency: Micros,
+    /// The state the schedule was computed for.
+    pub state: AppState,
+    /// The data decomposition in force.
+    pub decomp: BTreeMap<TaskId, Decomposition>,
+}
+
+impl IterationSchedule {
+    /// Recompute `latency` from the placements (used after construction).
+    #[must_use]
+    pub fn computed_latency(&self) -> Micros {
+        self.placements
+            .iter()
+            .map(|p| p.end)
+            .max()
+            .unwrap_or(Micros::ZERO)
+    }
+
+    /// Processors actually used.
+    #[must_use]
+    pub fn procs_used(&self) -> Vec<ProcId> {
+        let mut v: Vec<ProcId> = self.placements.iter().map(|p| p.proc).collect();
+        v.sort();
+        v.dedup();
+        v
+    }
+
+    /// Total busy time across processors.
+    #[must_use]
+    pub fn busy_time(&self) -> Micros {
+        self.placements.iter().map(Placement::duration).sum()
+    }
+
+    /// A canonical key identifying the schedule up to processor renaming:
+    /// placements listed in instance order with processors relabelled by
+    /// first appearance. Two schedules with equal keys are the same schedule
+    /// on a cluster of identical processors.
+    #[must_use]
+    pub fn canonical_key(&self) -> Vec<(u32, u64, u64)> {
+        let mut relabel: Vec<Option<u32>> = vec![None; 1 + self.placements.iter().map(|p| p.proc.0 as usize).max().unwrap_or(0)];
+        let mut next = 0u32;
+        let mut key = Vec::with_capacity(self.placements.len());
+        for p in &self.placements {
+            let slot = &mut relabel[p.proc.0 as usize];
+            let label = match slot {
+                Some(l) => *l,
+                None => {
+                    *slot = Some(next);
+                    next += 1;
+                    next - 1
+                }
+            };
+            key.push((label, p.start.0, p.end.0));
+        }
+        key
+    }
+}
+
+/// A software-pipelined schedule: the single-iteration pattern repeated
+/// every `ii` microseconds, with processors rotated by `rotation` per
+/// iteration — the wrap-around of the paper's Fig. 5(a), where "the pattern
+/// shifts over one processor for each successive time-stamp".
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct PipelinedSchedule {
+    /// The repeated single-iteration pattern.
+    pub iteration: IterationSchedule,
+    /// Initiation interval: time between consecutive iteration origins.
+    pub ii: Micros,
+    /// Processor rotation applied per iteration.
+    pub rotation: u32,
+    /// Total processors in the target cluster.
+    pub n_procs: u32,
+}
+
+impl PipelinedSchedule {
+    /// The processor on which placement `p` of iteration `iter` runs.
+    #[must_use]
+    pub fn proc_of(&self, p: &Placement, iter: u64) -> ProcId {
+        ProcId(((u64::from(p.proc.0) + iter * u64::from(self.rotation)) % u64::from(self.n_procs)) as u32)
+    }
+
+    /// Steady-state throughput in iterations per second.
+    #[must_use]
+    pub fn throughput_hz(&self) -> f64 {
+        if self.ii == Micros::ZERO {
+            return 0.0;
+        }
+        1.0 / self.ii.as_secs_f64()
+    }
+
+    /// Iteration latency.
+    #[must_use]
+    pub fn latency(&self) -> Micros {
+        self.iteration.latency
+    }
+
+    /// Check that shifted/rotated copies of the iteration never collide on a
+    /// processor. Returns the first colliding (iteration-distance, placement
+    /// pair) if any.
+    #[must_use]
+    pub fn find_collision(&self) -> Option<(u64, Placement, Placement)> {
+        if self.ii == Micros::ZERO {
+            // Degenerate; only valid for empty schedules.
+            return None;
+        }
+        let horizon = self.iteration.latency.0.div_ceil(self.ii.0);
+        for d in 1..=horizon {
+            for a in &self.iteration.placements {
+                for b in &self.iteration.placements {
+                    let b_proc = self.proc_of(b, d);
+                    if a.proc != b_proc {
+                        continue;
+                    }
+                    let b_start = b.start + self.ii * d;
+                    let b_end = b.end + self.ii * d;
+                    if b_start < a.end && a.start < b_end {
+                        return Some((d, *a, *b));
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    /// Live items implied per channel: how many iterations overlap at any
+    /// instant — the paper's "a fixed schedule determines the number of
+    /// items in each channel".
+    #[must_use]
+    pub fn overlapping_iterations(&self) -> u64 {
+        if self.ii == Micros::ZERO {
+            return 1;
+        }
+        self.iteration.latency.0.div_ceil(self.ii.0).max(1)
+    }
+
+    /// Steady-state processor utilization: busy time per iteration divided
+    /// by `II × P`. The complement is the paper's "wasted space" — the
+    /// minimal-latency schedule "fails to achieve maximum throughput since
+    /// the schedule contains some wasted space".
+    #[must_use]
+    pub fn utilization(&self) -> f64 {
+        if self.ii == Micros::ZERO || self.n_procs == 0 {
+            return 0.0;
+        }
+        self.iteration.busy_time().0 as f64 / (self.ii.0 as f64 * f64::from(self.n_procs))
+    }
+
+    /// A human-readable description of the schedule: header plus one line
+    /// per placement in start order, with task names resolved through
+    /// `graph`. Used by the `cds inspect` tool and debugging sessions.
+    #[must_use]
+    pub fn describe(&self, graph: &taskgraph::TaskGraph) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "schedule for {}: latency {}, II {} ({:.2} iter/s), rotation {}, {} procs, utilization {:.0}%",
+            self.iteration.state,
+            self.iteration.latency,
+            self.ii,
+            self.throughput_hz(),
+            self.rotation,
+            self.n_procs,
+            self.utilization() * 100.0
+        );
+        if !self.iteration.decomp.is_empty() {
+            let d: Vec<String> = self
+                .iteration
+                .decomp
+                .iter()
+                .map(|(t, d)| format!("{}: {d}", graph.task(*t).name))
+                .collect();
+            let _ = writeln!(out, "decomposition: {}", d.join(", "));
+        }
+        let mut order: Vec<&Placement> = self.iteration.placements.iter().collect();
+        order.sort_by_key(|p| (p.start, p.proc));
+        for p in order {
+            let chunk = match p.chunk {
+                Some((i, n)) => format!(" [chunk {}/{}]", i + 1, n),
+                None => String::new(),
+            };
+            let _ = writeln!(
+                out,
+                "  {:>10} .. {:>10}  P{}  {}{}",
+                p.start.to_string(),
+                p.end.to_string(),
+                p.proc.0,
+                graph.task(p.task).name,
+                chunk
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn place(task: usize, proc: u32, start: u64, end: u64) -> Placement {
+        Placement {
+            task: TaskId(task),
+            chunk: None,
+            proc: ProcId(proc),
+            start: Micros(start),
+            end: Micros(end),
+        }
+    }
+
+    fn iteration(placements: Vec<Placement>) -> IterationSchedule {
+        let latency = placements.iter().map(|p| p.end).max().unwrap();
+        IterationSchedule {
+            placements,
+            latency,
+            state: AppState::new(1),
+            decomp: BTreeMap::new(),
+        }
+    }
+
+    #[test]
+    fn latency_and_busy_accessors() {
+        let it = iteration(vec![place(0, 0, 0, 10), place(1, 1, 10, 40)]);
+        assert_eq!(it.computed_latency(), Micros(40));
+        assert_eq!(it.busy_time(), Micros(40));
+        assert_eq!(it.procs_used(), vec![ProcId(0), ProcId(1)]);
+    }
+
+    #[test]
+    fn canonical_key_ignores_processor_names() {
+        let a = iteration(vec![place(0, 0, 0, 10), place(1, 1, 10, 40)]);
+        let b = iteration(vec![place(0, 3, 0, 10), place(1, 0, 10, 40)]);
+        assert_eq!(a.canonical_key(), b.canonical_key());
+        let c = iteration(vec![place(0, 0, 0, 10), place(1, 0, 10, 40)]);
+        assert_ne!(a.canonical_key(), c.canonical_key());
+    }
+
+    #[test]
+    fn rotation_wraps_processors() {
+        let sched = PipelinedSchedule {
+            iteration: iteration(vec![place(0, 2, 0, 10)]),
+            ii: Micros(10),
+            rotation: 1,
+            n_procs: 4,
+        };
+        let p = sched.iteration.placements[0];
+        assert_eq!(sched.proc_of(&p, 0), ProcId(2));
+        assert_eq!(sched.proc_of(&p, 1), ProcId(3));
+        assert_eq!(sched.proc_of(&p, 2), ProcId(0));
+        assert_eq!(sched.proc_of(&p, 6), ProcId(0));
+    }
+
+    #[test]
+    fn collision_detected_when_ii_too_small() {
+        // One 30-long placement on one processor, no rotation: ii=10 collides.
+        let bad = PipelinedSchedule {
+            iteration: iteration(vec![place(0, 0, 0, 30)]),
+            ii: Micros(10),
+            rotation: 0,
+            n_procs: 1,
+        };
+        assert!(bad.find_collision().is_some());
+        let good = PipelinedSchedule {
+            iteration: iteration(vec![place(0, 0, 0, 30)]),
+            ii: Micros(30),
+            rotation: 0,
+            n_procs: 1,
+        };
+        assert!(good.find_collision().is_none());
+    }
+
+    #[test]
+    fn utilization_and_description() {
+        use crate::optimal::{optimal_schedule, OptimalConfig};
+        use cluster::ClusterSpec;
+        let g = taskgraph::builders::color_tracker();
+        let c = ClusterSpec::single_node(4);
+        let r = optimal_schedule(&g, &c, &AppState::new(4), &OptimalConfig::default());
+        let u = r.best.utilization();
+        assert!(u > 0.5 && u <= 1.0, "utilization {u}");
+        let text = r.best.describe(&g);
+        assert!(text.contains("latency"));
+        assert!(text.contains("Target Detection"));
+        assert!(text.contains("chunk"), "DP chunks listed:\n{text}");
+        // One line per placement plus header(s).
+        let lines = text.lines().count();
+        assert!(lines > r.best.iteration.placements.len());
+    }
+
+    #[test]
+    fn full_pipeline_utilization_is_one() {
+        // The naive pipeline "has no idle time": II × P == latency exactly
+        // when P divides the latency.
+        let iter = iteration(vec![place(0, 0, 0, 90)]);
+        let sched = PipelinedSchedule {
+            iteration: iter,
+            ii: Micros(30),
+            rotation: 1,
+            n_procs: 3,
+        };
+        assert!((sched.utilization() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rotation_resolves_collision() {
+        // 30-long placement, 3 procs, rotation 1: ii=10 tiles perfectly.
+        let sched = PipelinedSchedule {
+            iteration: iteration(vec![place(0, 0, 0, 30)]),
+            ii: Micros(10),
+            rotation: 1,
+            n_procs: 3,
+        };
+        assert!(sched.find_collision().is_none());
+        assert_eq!(sched.overlapping_iterations(), 3);
+        assert!((sched.throughput_hz() - 1e5).abs() < 1.0);
+    }
+}

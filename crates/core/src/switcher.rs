@@ -1,0 +1,348 @@
+//! Run-time regime switching (§3.4): execute a stream of frames whose true
+//! state follows a [`StateTrack`], looking up the active schedule in a
+//! [`ScheduleTable`] as state changes are detected, and measure what the
+//! paper claims — that the application "operates in the optimal or
+//! near-optimal region in the face of a dynamically changing environment",
+//! because "we overcome any inefficiency at the point of a change in
+//! schedule over the relatively long use of the new schedule".
+//!
+//! ## Execution model
+//!
+//! Frame `f` is issued at `origin(f) = max(arrival(f), origin(f-1) +
+//! II(f-1))`. Its iteration is the active schedule *replayed* under the true
+//! state ([`crate::evaluate::replay_iteration`]): placements and
+//! decomposition stay as precomputed, durations reflect reality — running a
+//! 2-model schedule on 8 models is structurally possible and simply slow,
+//! which is exactly the mismatch penalty regime switching removes. Detection
+//! is causal: the state of frame `f` becomes observable only when `f`
+//! completes (the tracker's peak detector reports how many people it
+//! found), then passes through the debounced [`RegimeDetector`].
+
+use std::collections::{HashMap, VecDeque};
+
+use cluster::{ClusterSpec, FrameClock, FrameRecord, Metrics, StateTrack};
+use taskgraph::{AppState, Micros, TaskGraph};
+
+use crate::detector::RegimeDetector;
+use crate::evaluate::{digitize_offset, replay_iteration};
+use crate::expand::ExpandedGraph;
+use crate::ii::find_best_ii;
+use crate::table::ScheduleTable;
+
+/// How the runtime moves from the old schedule to the new one.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TransitionPolicy {
+    /// Switch at the next iteration boundary; in-flight iterations finish
+    /// under the old pattern while new ones start under the new pattern.
+    CutOver,
+    /// Drain: hold new issues until every in-flight iteration completes,
+    /// then start cleanly. Simpler reasoning, one pipeline-depth bubble.
+    Drain,
+}
+
+/// Which scheduling strategy the run uses.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ScheduleStrategy {
+    /// One fixed schedule — the table entry nearest to the given state —
+    /// used for the whole run (the static straw man).
+    Static(AppState),
+    /// The paper's proposal: detect regime changes (debounced over
+    /// `confirm_after` frames) and switch via table lookup.
+    RegimeTable {
+        /// Consecutive frames a new state must persist before switching.
+        confirm_after: usize,
+        /// Transition policy at a switch.
+        policy: TransitionPolicy,
+    },
+    /// Upper bound: the true state is known instantly, no detection lag.
+    Oracle,
+}
+
+/// One confirmed schedule switch.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct SwitchEvent {
+    /// The first frame issued under the new schedule.
+    pub frame: u64,
+    /// When the switch took effect.
+    pub at: Micros,
+    /// Previous regime.
+    pub from: AppState,
+    /// New regime.
+    pub to: AppState,
+}
+
+/// Configuration of a regime-switching run.
+#[derive(Clone, Debug)]
+pub struct SwitchConfig {
+    /// Frame clock.
+    pub clock: FrameClock,
+    /// Strategy under test.
+    pub strategy: ScheduleStrategy,
+    /// Completed frames excluded from metrics.
+    pub warmup_frames: usize,
+}
+
+/// The outcome of a regime-switching run.
+#[derive(Clone, Debug)]
+pub struct SwitchOutcome {
+    /// Per-frame lifecycle records.
+    pub frames: Vec<FrameRecord>,
+    /// Aggregate metrics.
+    pub metrics: Metrics,
+    /// Confirmed switches, in order.
+    pub switches: Vec<SwitchEvent>,
+    /// Frames executed under a schedule whose design state differed from
+    /// the true state (the mismatch exposure).
+    pub mismatch_frames: u64,
+}
+
+/// Simulate a frame stream with dynamic state `track` under `cfg`.
+#[must_use]
+pub fn simulate_regime_switched(
+    graph: &TaskGraph,
+    cluster: &ClusterSpec,
+    table: &ScheduleTable,
+    track: &StateTrack,
+    cfg: &SwitchConfig,
+) -> SwitchOutcome {
+    assert!(!table.is_empty(), "schedule table must be non-empty");
+    let n_procs = cluster.n_procs();
+
+    // Replay cache: (design state, true state) → (latency, ii, digitize offset).
+    type StateKey = (u32, u32);
+    type ReplayStats = (Micros, Micros, Micros);
+    let mut cache: HashMap<(StateKey, StateKey), ReplayStats> = HashMap::new();
+    let mut replay = |design: AppState, true_state: AppState| -> (Micros, Micros, Micros) {
+        let k = ((design.n_models, design.aux), (true_state.n_models, true_state.aux));
+        if let Some(&v) = cache.get(&k) {
+            return v;
+        }
+        let sched = table
+            .get(&design)
+            .unwrap_or_else(|| table.get_nearest(&design));
+        let expanded =
+            ExpandedGraph::build_with_costs(graph, &sched.iteration.state, &true_state, &sched.iteration.decomp);
+        let iter = replay_iteration(&sched.iteration, &expanded, cluster);
+        let pipelined = find_best_ii(&iter, n_procs);
+        let v = (iter.latency, pipelined.ii, digitize_offset(&iter, graph));
+        cache.insert(k, v);
+        v
+    };
+
+    let initial_true = track.state_at(0);
+    let mut believed = match cfg.strategy {
+        ScheduleStrategy::Static(s) => s,
+        _ => initial_true,
+    };
+    let mut detector = match cfg.strategy {
+        ScheduleStrategy::RegimeTable { confirm_after, .. } => {
+            Some(RegimeDetector::new(initial_true, confirm_after))
+        }
+        _ => None,
+    };
+
+    let mut frames = Vec::with_capacity(cfg.clock.n_frames as usize);
+    let mut switches = Vec::new();
+    let mut mismatch_frames = 0u64;
+    // Completions not yet observed by the detector: (time, observed state).
+    let mut pending: VecDeque<(Micros, AppState)> = VecDeque::new();
+    let mut last_completion = Micros::ZERO;
+    let mut origin = Micros::ZERO;
+    let mut prev_ii = Micros::ZERO;
+
+    for f in 0..cfg.clock.n_frames {
+        let true_state = track.state_at(f);
+        origin = if f == 0 {
+            cfg.clock.arrival(0)
+        } else {
+            cfg.clock.arrival(f).max(origin + prev_ii)
+        };
+
+        match cfg.strategy {
+            ScheduleStrategy::Oracle => {
+                if believed != true_state {
+                    switches.push(SwitchEvent {
+                        frame: f,
+                        at: origin,
+                        from: believed,
+                        to: true_state,
+                    });
+                    believed = true_state;
+                }
+            }
+            ScheduleStrategy::RegimeTable { policy, .. } => {
+                let det = detector.as_mut().expect("detector exists");
+                // Feed every completion observable by this issue time; a
+                // confirmed switch under Drain pushes the issue time out,
+                // which can make further completions observable.
+                while let Some(&(ct, obs)) = pending.front() {
+                    if ct > origin {
+                        break;
+                    }
+                    pending.pop_front();
+                    if let Some(new_state) = det.observe(obs) {
+                        if policy == TransitionPolicy::Drain {
+                            origin = origin.max(last_completion);
+                        }
+                        switches.push(SwitchEvent {
+                            frame: f,
+                            at: origin,
+                            from: believed,
+                            to: new_state,
+                        });
+                        believed = new_state;
+                    }
+                }
+            }
+            ScheduleStrategy::Static(_) => {}
+        }
+
+        let (latency, ii, dig_off) = replay(believed, true_state);
+        let completion = origin + latency;
+        frames.push(FrameRecord {
+            frame: f,
+            digitized_at: origin + dig_off,
+            completed_at: Some(completion),
+        });
+        pending.push_back((completion, true_state));
+        last_completion = last_completion.max(completion);
+        if believed != true_state {
+            mismatch_frames += 1;
+        }
+        prev_ii = ii;
+    }
+
+    let metrics = Metrics::from_records(&frames, cfg.warmup_frames);
+    SwitchOutcome {
+        frames,
+        metrics,
+        switches,
+        mismatch_frames,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optimal::OptimalConfig;
+    use taskgraph::builders;
+
+    fn setup() -> (TaskGraph, ClusterSpec, ScheduleTable, StateTrack) {
+        let g = builders::color_tracker();
+        let c = ClusterSpec::single_node(4);
+        let states: Vec<AppState> = [1u32, 4, 8].iter().map(|&n| AppState::new(n)).collect();
+        let table = ScheduleTable::precompute(&g, &c, &states, &OptimalConfig::default());
+        // 1 person → 8 people → 4 people, changes every 40 frames.
+        let track = StateTrack::from_changes(vec![
+            (0, AppState::new(1)),
+            (40, AppState::new(8)),
+            (80, AppState::new(4)),
+        ]);
+        (g, c, table, track)
+    }
+
+    fn run(
+        g: &TaskGraph,
+        c: &ClusterSpec,
+        t: &ScheduleTable,
+        track: &StateTrack,
+        strategy: ScheduleStrategy,
+    ) -> SwitchOutcome {
+        let cfg = SwitchConfig {
+            clock: FrameClock::new(Micros::from_millis(500), 120),
+            strategy,
+            warmup_frames: 2,
+        };
+        simulate_regime_switched(g, c, t, track, &cfg)
+    }
+
+    #[test]
+    fn oracle_never_mismatches() {
+        let (g, c, t, track) = setup();
+        let out = run(&g, &c, &t, &track, ScheduleStrategy::Oracle);
+        assert_eq!(out.mismatch_frames, 0);
+        assert_eq!(out.switches.len(), 2);
+    }
+
+    #[test]
+    fn regime_table_switches_and_beats_static() {
+        let (g, c, t, track) = setup();
+        let switched = run(
+            &g,
+            &c,
+            &t,
+            &track,
+            ScheduleStrategy::RegimeTable {
+                confirm_after: 2,
+                policy: TransitionPolicy::CutOver,
+            },
+        );
+        let static_small = run(&g, &c, &t, &track, ScheduleStrategy::Static(AppState::new(1)));
+        assert_eq!(switched.switches.len(), 2, "both changes detected once");
+        // Mismatch exposure is limited to the detection window.
+        assert!(switched.mismatch_frames < 20, "got {}", switched.mismatch_frames);
+        assert!(static_small.mismatch_frames >= 80);
+        // Regime switching wins on mean latency: the 1-model schedule is
+        // catastrophic at 8 models.
+        assert!(switched.metrics.mean_latency < static_small.metrics.mean_latency);
+    }
+
+    #[test]
+    fn regime_table_is_close_to_oracle() {
+        let (g, c, t, track) = setup();
+        let oracle = run(&g, &c, &t, &track, ScheduleStrategy::Oracle);
+        let switched = run(
+            &g,
+            &c,
+            &t,
+            &track,
+            ScheduleStrategy::RegimeTable {
+                confirm_after: 2,
+                policy: TransitionPolicy::CutOver,
+            },
+        );
+        let o = oracle.metrics.mean_latency.as_secs_f64();
+        let s = switched.metrics.mean_latency.as_secs_f64();
+        assert!(s < o * 1.35, "switched {s} vs oracle {o}");
+    }
+
+    #[test]
+    fn drain_produces_larger_gap_but_same_steady_state() {
+        let (g, c, t, track) = setup();
+        let cut = run(
+            &g,
+            &c,
+            &t,
+            &track,
+            ScheduleStrategy::RegimeTable {
+                confirm_after: 2,
+                policy: TransitionPolicy::CutOver,
+            },
+        );
+        let drain = run(
+            &g,
+            &c,
+            &t,
+            &track,
+            ScheduleStrategy::RegimeTable {
+                confirm_after: 2,
+                policy: TransitionPolicy::Drain,
+            },
+        );
+        assert_eq!(cut.switches.len(), drain.switches.len());
+        // Drain stalls issues, so its run finishes no earlier.
+        let last = |o: &SwitchOutcome| o.frames.last().unwrap().completed_at.unwrap();
+        assert!(last(&drain) >= last(&cut));
+    }
+
+    #[test]
+    fn static_on_true_state_matches_oracle_when_constant() {
+        let (g, c, t, _) = setup();
+        let constant = StateTrack::constant(AppState::new(4));
+        let st = run(&g, &c, &t, &constant, ScheduleStrategy::Static(AppState::new(4)));
+        let or = run(&g, &c, &t, &constant, ScheduleStrategy::Oracle);
+        assert_eq!(st.metrics.mean_latency, or.metrics.mean_latency);
+        assert_eq!(st.mismatch_frames, 0);
+        assert!(st.switches.is_empty());
+    }
+}

@@ -1,0 +1,173 @@
+//! The schedule table: "We pre-compute the optimal schedule for each of the
+//! states. The actions required on a state change are: perform a table
+//! look-up to determine the new schedule for the new state; perform a
+//! transition to the new schedule." (§3.4)
+//!
+//! "The fact that there are a small number of states means that
+//! pre-computing an optimized schedule for each state is reasonable."
+
+use std::collections::BTreeMap;
+
+use cluster::ClusterSpec;
+use taskgraph::{AppState, TaskGraph};
+
+use crate::optimal::{optimal_schedule, OptimalConfig};
+use crate::schedule::PipelinedSchedule;
+
+fn key(s: &AppState) -> (u32, u32) {
+    (s.n_models, s.aux)
+}
+
+/// A precomputed state → schedule map.
+///
+/// ```
+/// use cds_core::optimal::OptimalConfig;
+/// use cds_core::table::ScheduleTable;
+/// use cluster::ClusterSpec;
+/// use taskgraph::{builders, AppState};
+///
+/// let graph = builders::color_tracker();
+/// let cluster = ClusterSpec::single_node(4);
+/// let states = [AppState::new(1), AppState::new(4)];
+/// let table = ScheduleTable::precompute(&graph, &cluster, &states, &OptimalConfig::default());
+/// // A small state change alters the strategy dramatically:
+/// let s1 = table.get(&AppState::new(1)).unwrap();
+/// let s4 = table.get(&AppState::new(4)).unwrap();
+/// assert_ne!(s1.iteration.decomp, s4.iteration.decomp);
+/// ```
+#[derive(Clone, Debug)]
+pub struct ScheduleTable {
+    entries: BTreeMap<(u32, u32), (AppState, PipelinedSchedule)>,
+}
+
+impl ScheduleTable {
+    /// Precompute optimal schedules for every state in `states`. This is
+    /// the offline phase; it may take seconds per state — amortized over
+    /// "months" of operation, per the paper.
+    #[must_use]
+    pub fn precompute(
+        graph: &TaskGraph,
+        cluster: &ClusterSpec,
+        states: &[AppState],
+        cfg: &OptimalConfig,
+    ) -> Self {
+        let mut entries = BTreeMap::new();
+        for s in states {
+            let result = optimal_schedule(graph, cluster, s, cfg);
+            entries.insert(key(s), (*s, result.best));
+        }
+        ScheduleTable { entries }
+    }
+
+    /// Build from explicit entries (e.g. hand-tuned or heuristic schedules;
+    /// "this approach to constrained dynamism is totally orthogonal to the
+    /// approach to determining a good schedule for a single state").
+    #[must_use]
+    pub fn from_entries(entries: Vec<(AppState, PipelinedSchedule)>) -> Self {
+        ScheduleTable {
+            entries: entries.into_iter().map(|(s, p)| (key(&s), (s, p))).collect(),
+        }
+    }
+
+    /// Exact lookup.
+    #[must_use]
+    pub fn get(&self, state: &AppState) -> Option<&PipelinedSchedule> {
+        self.entries.get(&key(state)).map(|(_, p)| p)
+    }
+
+    /// Nearest lookup by model count (same `aux`): the fallback when an
+    /// unanticipated state appears — the "interpolating between known good
+    /// strategies in known states" approach the paper contrasts with.
+    #[must_use]
+    pub fn get_nearest(&self, state: &AppState) -> &PipelinedSchedule {
+        assert!(!self.entries.is_empty(), "empty schedule table");
+        self.entries
+            .values()
+            .filter(|(s, _)| s.aux == state.aux)
+            .min_by_key(|(s, _)| s.n_models.abs_diff(state.n_models))
+            .map(|(_, p)| p)
+            .unwrap_or_else(|| {
+                self.entries
+                    .values()
+                    .min_by_key(|(s, _)| s.n_models.abs_diff(state.n_models))
+                    .map(|(_, p)| p)
+                    .expect("non-empty table")
+            })
+    }
+
+    /// The states covered by the table.
+    #[must_use]
+    pub fn states(&self) -> Vec<AppState> {
+        self.entries.values().map(|(s, _)| *s).collect()
+    }
+
+    /// Number of entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the table is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use taskgraph::builders;
+
+    fn small_table() -> (TaskGraph, ScheduleTable) {
+        let g = builders::color_tracker();
+        let c = ClusterSpec::single_node(4);
+        let states: Vec<AppState> = [1u32, 2, 4].iter().map(|&n| AppState::new(n)).collect();
+        let t = ScheduleTable::precompute(&g, &c, &states, &OptimalConfig::default());
+        (g, t)
+    }
+
+    #[test]
+    fn precompute_covers_all_states() {
+        let (_, t) = small_table();
+        assert_eq!(t.len(), 3);
+        assert!(t.get(&AppState::new(2)).is_some());
+        assert!(t.get(&AppState::new(3)).is_none());
+        assert_eq!(t.states().len(), 3);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn schedules_differ_across_states() {
+        // The whole point of regime switching: "a seemingly small state
+        // change could alter scheduling strategy dramatically".
+        let (_, t) = small_table();
+        let s1 = t.get(&AppState::new(1)).unwrap();
+        let s4 = t.get(&AppState::new(4)).unwrap();
+        assert_ne!(s1.iteration.latency, s4.iteration.latency);
+        assert_ne!(
+            s1.iteration.decomp, s4.iteration.decomp,
+            "optimal decomposition should change with the model count"
+        );
+    }
+
+    #[test]
+    fn nearest_lookup_picks_closest_model_count() {
+        let (_, t) = small_table();
+        let near3 = t.get_nearest(&AppState::new(3));
+        // 3 is nearer to 2 or 4 than to 1; both are one away — min_by_key
+        // takes the first (2).
+        let at2 = t.get(&AppState::new(2)).unwrap();
+        assert_eq!(near3.iteration.latency, at2.iteration.latency);
+        let near100 = t.get_nearest(&AppState::new(100));
+        let at4 = t.get(&AppState::new(4)).unwrap();
+        assert_eq!(near100.iteration.latency, at4.iteration.latency);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty schedule table")]
+    fn nearest_on_empty_table_panics() {
+        let t = ScheduleTable::from_entries(vec![]);
+        let _ = t.get_nearest(&AppState::new(1));
+    }
+}

@@ -1,0 +1,234 @@
+//! Wiring: build the tracker's channels and task bodies into a runnable
+//! application (the Fig. 2 graph over real STM channels).
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use stm::{Channel, ChannelBuilder};
+use vision::{BitMask, ColorHist, Frame, ModelLocation, Scene, ScoreMap};
+
+use crate::measure::Measurements;
+use crate::pool::WorkerPool;
+use crate::regime_rt::RegimeController;
+use crate::tasks::{
+    ChangeTask, ChunkJob, DetectTask, DigitizerTask, FaceTask, HistogramTask, PeakTask, TaskBody,
+};
+
+/// Configuration of a tracker run.
+#[derive(Clone, Debug)]
+pub struct TrackerConfig {
+    /// Frame width.
+    pub width: usize,
+    /// Frame height.
+    pub height: usize,
+    /// Number of targets in the scene (and enrolled models).
+    pub n_targets: usize,
+    /// Scene seed.
+    pub seed: u64,
+    /// Frames to process.
+    pub n_frames: u64,
+    /// Digitizer period (the §3.1 tuning knob).
+    pub period: Duration,
+    /// STM channel capacity (flow control).
+    pub channel_capacity: usize,
+    /// Fixed (FP, MP) decomposition for T4.
+    pub decomposition: (u32, u32),
+    /// Worker-pool size for online-mode data parallelism (0 = none).
+    pub pool_workers: usize,
+    /// Peak detection threshold.
+    pub min_score: f32,
+    /// Failure injection: the digitizer dies after this many frames (the
+    /// camera cable is pulled). Downstream tasks must drain and stop
+    /// cleanly via channel closure — no hangs, no leaks.
+    pub digitizer_dies_after: Option<u64>,
+}
+
+impl TrackerConfig {
+    /// A small, fast configuration suitable for tests.
+    #[must_use]
+    pub fn small(n_targets: usize, n_frames: u64) -> Self {
+        TrackerConfig {
+            width: 96,
+            height: 72,
+            n_targets,
+            seed: 7,
+            n_frames,
+            period: Duration::from_millis(1),
+            channel_capacity: 8,
+            decomposition: (1, 1),
+            pool_workers: 0,
+            min_score: 5.0,
+            digitizer_dies_after: None,
+        }
+    }
+}
+
+/// A fully wired tracker application: six task bodies in the task-id order
+/// of [`taskgraph::builders::color_tracker`], sharing STM channels.
+pub struct TrackerApp {
+    /// Task bodies indexed like the task graph (0 = digitizer … 5 = face).
+    pub tasks: Vec<Arc<dyn TaskBody>>,
+    /// Wall-clock measurements (digitize/complete per frame).
+    pub measure: Arc<Measurements>,
+    /// The sink task, for reading back per-frame observations.
+    pub face: Arc<FaceTask>,
+    /// The regime controller, when one was attached.
+    pub controller: Option<Arc<RegimeController>>,
+    /// The scene (for ground-truth checks in tests).
+    pub scene: Scene,
+    /// Number of frames this app will process.
+    pub n_frames: u64,
+    channels: AppChannels,
+}
+
+struct AppChannels {
+    frames: Channel<Frame>,
+    hist: Channel<ColorHist>,
+    mask: Channel<BitMask>,
+    scores: Channel<Vec<ScoreMap>>,
+    locations: Channel<Vec<ModelLocation>>,
+}
+
+impl TrackerApp {
+    /// Build the application. `controller`, if given, drives T4's
+    /// decomposition dynamically; otherwise `cfg.decomposition` is fixed.
+    #[must_use]
+    pub fn build(cfg: &TrackerConfig, controller: Option<Arc<RegimeController>>) -> TrackerApp {
+        let scene = Scene::demo(cfg.width, cfg.height, cfg.n_targets, cfg.seed);
+        Self::build_with_scene(cfg, scene, controller)
+    }
+
+    /// [`build`](Self::build) with an explicit scene (e.g. one whose target
+    /// population changes over time via [`Scene::with_visit`]).
+    #[must_use]
+    pub fn build_with_scene(
+        cfg: &TrackerConfig,
+        scene: Scene,
+        controller: Option<Arc<RegimeController>>,
+    ) -> TrackerApp {
+        assert_eq!(
+            (scene.width, scene.height),
+            (cfg.width, cfg.height),
+            "scene and config sizes must agree"
+        );
+        let models = scene.models();
+        let measure = Arc::new(Measurements::new(cfg.n_frames as usize));
+
+        let cap = cfg.channel_capacity;
+        let frames: Channel<Frame> = ChannelBuilder::new("Frame").capacity(cap).build();
+        let hist: Channel<ColorHist> = ChannelBuilder::new("Color Model").capacity(cap).build();
+        let mask: Channel<BitMask> = ChannelBuilder::new("Motion Mask").capacity(cap).build();
+        let scores: Channel<Vec<ScoreMap>> =
+            ChannelBuilder::new("Back Projections").capacity(cap).build();
+        let locations: Channel<Vec<ModelLocation>> =
+            ChannelBuilder::new("Model Locations").capacity(cap).build();
+
+        let digitizer_frames = cfg
+            .digitizer_dies_after
+            .map_or(cfg.n_frames, |d| d.min(cfg.n_frames));
+        let digitizer = DigitizerTask::new(
+            scene.clone(),
+            frames.clone(),
+            cfg.period,
+            digitizer_frames,
+            Arc::clone(&measure),
+        );
+        let histogram = HistogramTask::new(frames.attach_input(), hist.clone());
+        let change = ChangeTask::new(
+            frames.attach_input(),
+            mask.clone(),
+            u16::from(vision::change::DEFAULT_THRESHOLD),
+        );
+        let mut detect = DetectTask::new(
+            frames.attach_input(),
+            hist.attach_input(),
+            mask.attach_input(),
+            scores.clone(),
+            models,
+            cfg.width,
+            cfg.height,
+            cfg.decomposition,
+        );
+        if let Some(c) = &controller {
+            detect = detect.with_controller(Arc::clone(c));
+        }
+        if cfg.pool_workers > 0 {
+            let pool: Arc<WorkerPool<ChunkJob>> =
+                Arc::new(WorkerPool::new(cfg.pool_workers, ChunkJob::run));
+            detect = detect.with_pool(pool);
+        }
+        let peak = PeakTask::new(scores.attach_input(), locations.clone(), cfg.min_score);
+        let face = Arc::new(FaceTask::new(
+            locations.attach_input(),
+            Arc::clone(&measure),
+            controller.clone(),
+        ));
+
+        let tasks: Vec<Arc<dyn TaskBody>> = vec![
+            Arc::new(digitizer),
+            Arc::new(histogram),
+            Arc::new(change),
+            Arc::new(detect),
+            Arc::new(peak),
+            Arc::clone(&face) as Arc<dyn TaskBody>,
+        ];
+
+        TrackerApp {
+            tasks,
+            measure,
+            face,
+            controller,
+            scene,
+            n_frames: cfg.n_frames,
+            channels: AppChannels {
+                frames,
+                hist,
+                mask,
+                scores,
+                locations,
+            },
+        }
+    }
+
+    /// Peak live occupancy observed across all channels (validates the
+    /// paper's claim that a fixed schedule bounds channel occupancy).
+    #[must_use]
+    pub fn peak_channel_occupancy(&self) -> usize {
+        [
+            self.channels.frames.stats().peak_live,
+            self.channels.hist.stats().peak_live,
+            self.channels.mask.stats().peak_live,
+            self.channels.scores.stats().peak_live,
+            self.channels.locations.stats().peak_live,
+        ]
+        .into_iter()
+        .max()
+        .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn app_builds_with_six_tasks_in_graph_order() {
+        let app = TrackerApp::build(&TrackerConfig::small(2, 4), None);
+        assert_eq!(app.tasks.len(), 6);
+        let g = taskgraph::builders::color_tracker();
+        for (i, t) in app.tasks.iter().enumerate() {
+            assert_eq!(t.name(), g.task(taskgraph::TaskId(i)).name, "task {i}");
+        }
+    }
+
+    #[test]
+    fn app_with_pool_and_controller() {
+        let mut cfg = TrackerConfig::small(2, 4);
+        cfg.pool_workers = 2;
+        let mut table = std::collections::BTreeMap::new();
+        table.insert(0, (1, 1));
+        let c = Arc::new(RegimeController::new(2, 2, table));
+        let app = TrackerApp::build(&cfg, Some(c));
+        assert!(app.controller.is_some());
+    }
+}

@@ -1,0 +1,201 @@
+//! Wall-clock measurement of runtime executions: per-frame digitize and
+//! completion instants, reduced to the paper's metrics (latency, throughput,
+//! uniformity).
+
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+
+/// Shared per-run measurement store. The digitizer and the sink task write
+/// into it; `stats` reduces at the end.
+#[derive(Debug)]
+pub struct Measurements {
+    digitized: Mutex<Vec<Option<Instant>>>,
+    completed: Mutex<Vec<Option<Instant>>>,
+}
+
+impl Measurements {
+    /// Storage for `n_frames` frames.
+    #[must_use]
+    pub fn new(n_frames: usize) -> Self {
+        Measurements {
+            digitized: Mutex::new(vec![None; n_frames]),
+            completed: Mutex::new(vec![None; n_frames]),
+        }
+    }
+
+    /// Record that frame `ts` finished digitizing now.
+    pub fn mark_digitized(&self, ts: u64) {
+        self.digitized.lock()[ts as usize] = Some(Instant::now());
+    }
+
+    /// Record that frame `ts` finished all processing now.
+    pub fn mark_completed(&self, ts: u64) {
+        self.completed.lock()[ts as usize] = Some(Instant::now());
+    }
+
+    /// Reduce to run statistics, skipping `warmup` completed frames.
+    #[must_use]
+    pub fn stats(&self, warmup: usize) -> RunStats {
+        let dig = self.digitized.lock();
+        let done = self.completed.lock();
+        let mut latencies: Vec<Duration> = Vec::new();
+        let mut completions: Vec<Instant> = Vec::new();
+        for (d, c) in dig.iter().zip(done.iter()) {
+            if let (Some(d), Some(c)) = (d, c) {
+                latencies.push(c.duration_since(*d));
+                completions.push(*c);
+            }
+        }
+        completions.sort();
+        let completed = latencies.len();
+        let latencies = if latencies.len() > warmup {
+            latencies.split_off(warmup)
+        } else {
+            Vec::new()
+        };
+        let completions = if completions.len() > warmup {
+            completions.split_off(warmup)
+        } else {
+            Vec::new()
+        };
+
+        let (mean, min, max, p95) = if latencies.is_empty() {
+            (Duration::ZERO, Duration::ZERO, Duration::ZERO, Duration::ZERO)
+        } else {
+            let sum: Duration = latencies.iter().sum();
+            let mut sorted = latencies.clone();
+            sorted.sort();
+            let p95 = sorted[((sorted.len() * 95).div_ceil(100)).clamp(1, sorted.len()) - 1];
+            (
+                sum / latencies.len() as u32,
+                *sorted.first().unwrap(),
+                *sorted.last().unwrap(),
+                p95,
+            )
+        };
+        let gaps: Vec<f64> = completions
+            .windows(2)
+            .map(|w| w[1].duration_since(w[0]).as_secs_f64())
+            .collect();
+        let (throughput_hz, uniformity_cov) = if gaps.is_empty() {
+            (0.0, 0.0)
+        } else {
+            let mg = gaps.iter().sum::<f64>() / gaps.len() as f64;
+            let var = gaps.iter().map(|g| (g - mg) * (g - mg)).sum::<f64>() / gaps.len() as f64;
+            if mg > 0.0 {
+                (1.0 / mg, var.sqrt() / mg)
+            } else {
+                (0.0, 0.0)
+            }
+        };
+        RunStats {
+            frames_completed: completed as u64,
+            mean_latency: mean,
+            min_latency: min,
+            max_latency: max,
+            p95_latency: p95,
+            throughput_hz,
+            uniformity_cov,
+        }
+    }
+}
+
+/// Reduced wall-clock statistics of one run.
+#[derive(Clone, Copy, Debug)]
+pub struct RunStats {
+    /// Frames that completed end to end.
+    pub frames_completed: u64,
+    /// Mean digitize→complete latency (after warmup).
+    pub mean_latency: Duration,
+    /// Minimum latency.
+    pub min_latency: Duration,
+    /// Maximum latency.
+    pub max_latency: Duration,
+    /// 95th-percentile latency.
+    pub p95_latency: Duration,
+    /// Completions per second.
+    pub throughput_hz: f64,
+    /// Coefficient of variation of completion gaps.
+    pub uniformity_cov: f64,
+}
+
+impl std::fmt::Display for RunStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "latency mean={:.1}ms min={:.1}ms p95={:.1}ms max={:.1}ms | throughput={:.2}/s | CoV={:.3} | frames={}",
+            self.mean_latency.as_secs_f64() * 1e3,
+            self.min_latency.as_secs_f64() * 1e3,
+            self.p95_latency.as_secs_f64() * 1e3,
+            self.max_latency.as_secs_f64() * 1e3,
+            self.throughput_hz,
+            self.uniformity_cov,
+            self.frames_completed
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_on_empty_are_zero() {
+        let m = Measurements::new(4);
+        let s = m.stats(0);
+        assert_eq!(s.frames_completed, 0);
+        assert_eq!(s.mean_latency, Duration::ZERO);
+        assert_eq!(s.throughput_hz, 0.0);
+    }
+
+    #[test]
+    fn latency_measured_per_frame() {
+        let m = Measurements::new(2);
+        m.mark_digitized(0);
+        std::thread::sleep(Duration::from_millis(15));
+        m.mark_completed(0);
+        m.mark_digitized(1);
+        m.mark_completed(1);
+        let s = m.stats(0);
+        assert_eq!(s.frames_completed, 2);
+        assert!(s.max_latency >= Duration::from_millis(15));
+        assert!(s.min_latency < Duration::from_millis(5));
+        assert_eq!(s.p95_latency, s.max_latency, "two samples: p95 is max");
+    }
+
+    #[test]
+    fn warmup_skips_initial_frames() {
+        let m = Measurements::new(3);
+        for ts in 0..3 {
+            m.mark_digitized(ts);
+            if ts == 0 {
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            m.mark_completed(ts);
+        }
+        let all = m.stats(0);
+        let warm = m.stats(1);
+        assert!(warm.max_latency < all.max_latency);
+        assert_eq!(all.frames_completed, 3);
+    }
+
+    #[test]
+    fn incomplete_frames_are_ignored() {
+        let m = Measurements::new(3);
+        m.mark_digitized(0);
+        m.mark_completed(0);
+        m.mark_digitized(1); // never completes
+        let s = m.stats(0);
+        assert_eq!(s.frames_completed, 1);
+    }
+
+    #[test]
+    fn display_formats() {
+        let m = Measurements::new(1);
+        m.mark_digitized(0);
+        m.mark_completed(0);
+        let s = m.stats(0).to_string();
+        assert!(s.contains("latency") && s.contains("throughput"));
+    }
+}

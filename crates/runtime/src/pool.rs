@@ -1,0 +1,131 @@
+//! A generic worker pool: the "worker" threads of the paper's Fig. 9
+//! splitter/worker/joiner structure. "Chunks get assigned to worker threads
+//! based on worker availability" — a shared channel serves as the work
+//! queue; replies flow through per-request done channels.
+
+use crossbeam::channel::{unbounded, Sender};
+use std::thread::JoinHandle;
+
+/// A fixed pool of worker threads consuming jobs of type `J`.
+pub struct WorkerPool<J: Send + 'static> {
+    tx: Option<Sender<J>>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl<J: Send + 'static> WorkerPool<J> {
+    /// Spawn `n` workers, each running `handler` on every job it receives.
+    #[must_use]
+    pub fn new<F>(n: usize, handler: F) -> Self
+    where
+        F: Fn(J) + Send + Clone + 'static,
+    {
+        assert!(n >= 1, "pool needs at least one worker");
+        let (tx, rx) = unbounded::<J>();
+        let handles = (0..n)
+            .map(|i| {
+                let rx = rx.clone();
+                let handler = handler.clone();
+                std::thread::Builder::new()
+                    .name(format!("dp-worker-{i}"))
+                    .spawn(move || {
+                        while let Ok(job) = rx.recv() {
+                            handler(job);
+                        }
+                    })
+                    .expect("spawn worker")
+            })
+            .collect();
+        WorkerPool {
+            tx: Some(tx),
+            handles,
+        }
+    }
+
+    /// Enqueue one job. Panics if the pool is shut down.
+    pub fn submit(&self, job: J) {
+        self.tx
+            .as_ref()
+            .expect("pool is live")
+            .send(job)
+            .expect("workers alive");
+    }
+
+    /// Number of workers.
+    #[must_use]
+    pub fn n_workers(&self) -> usize {
+        self.handles.len()
+    }
+}
+
+impl<J: Send + 'static> Drop for WorkerPool<J> {
+    fn drop(&mut self) {
+        // Closing the channel stops the workers after draining.
+        self.tx.take();
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crossbeam::channel::bounded;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn jobs_are_all_processed() {
+        let counter = Arc::new(AtomicU64::new(0));
+        let c2 = Arc::clone(&counter);
+        let pool: WorkerPool<u64> = WorkerPool::new(4, move |j| {
+            c2.fetch_add(j, Ordering::SeqCst);
+        });
+        for j in 1..=100u64 {
+            pool.submit(j);
+        }
+        drop(pool); // joins workers, draining the queue
+        assert_eq!(counter.load(Ordering::SeqCst), 5050);
+    }
+
+    #[test]
+    fn done_channels_collect_replies() {
+        // The Fig. 9 pattern: jobs carry their own reply (done) channel.
+        let pool: WorkerPool<(u64, crossbeam::channel::Sender<u64>)> =
+            WorkerPool::new(3, |(x, reply): (u64, crossbeam::channel::Sender<u64>)| {
+                reply.send(x * x).unwrap();
+            });
+        let (tx, rx) = bounded(16);
+        for x in 0..8u64 {
+            pool.submit((x, tx.clone()));
+        }
+        let mut squares: Vec<u64> = (0..8).map(|_| rx.recv().unwrap()).collect();
+        squares.sort_unstable();
+        assert_eq!(squares, vec![0, 1, 4, 9, 16, 25, 36, 49]);
+    }
+
+    #[test]
+    fn workers_run_concurrently() {
+        // Two blocking jobs must overlap on a two-worker pool.
+        let (tx, rx) = bounded::<()>(0);
+        let (tx2, rx2) = bounded::<()>(0);
+        let pool: WorkerPool<u32> = WorkerPool::new(2, move |j| {
+            if j == 0 {
+                tx.send(()).unwrap(); // rendezvous with job 1
+            } else {
+                rx2.recv().unwrap();
+            }
+        });
+        pool.submit(1); // blocks until job 0's signal is relayed
+        pool.submit(0);
+        rx.recv().unwrap();
+        tx2.send(()).unwrap();
+        drop(pool);
+    }
+
+    #[test]
+    fn n_workers_reported() {
+        let pool: WorkerPool<()> = WorkerPool::new(5, |()| {});
+        assert_eq!(pool.n_workers(), 5);
+    }
+}

@@ -1,0 +1,134 @@
+//! Run-time regime control for the real runtime: the per-state
+//! decomposition table of §2.2 ("it is easy for the application to switch
+//! the data decomposition strategy based on the current state") wired to
+//! the debounced detector.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::Mutex;
+
+use cds_core::detector::RegimeDetector;
+use taskgraph::AppState;
+
+fn encode(fp: u32, mp: u32) -> u64 {
+    (u64::from(fp) << 32) | u64::from(mp)
+}
+
+fn decode(v: u64) -> (u32, u32) {
+    ((v >> 32) as u32, (v & 0xFFFF_FFFF) as u32)
+}
+
+/// Maps the detected people count to the decomposition the splitter should
+/// use, switching through a debounced detector.
+pub struct RegimeController {
+    detector: Mutex<RegimeDetector>,
+    table: BTreeMap<u32, (u32, u32)>,
+    current: AtomicU64,
+    switches: AtomicU64,
+}
+
+impl RegimeController {
+    /// Create a controller. `table` maps a model count to `(FP, MP)`;
+    /// lookups take the nearest entry at or below the observed count
+    /// (falling back to the smallest entry).
+    #[must_use]
+    pub fn new(initial: u32, confirm_after: usize, table: BTreeMap<u32, (u32, u32)>) -> Self {
+        assert!(!table.is_empty(), "decomposition table must be non-empty");
+        let initial_decomp = Self::lookup(&table, initial);
+        RegimeController {
+            detector: Mutex::new(RegimeDetector::new(AppState::new(initial), confirm_after)),
+            table,
+            current: AtomicU64::new(encode(initial_decomp.0, initial_decomp.1)),
+            switches: AtomicU64::new(0),
+        }
+    }
+
+    fn lookup(table: &BTreeMap<u32, (u32, u32)>, n: u32) -> (u32, u32) {
+        table
+            .range(..=n)
+            .next_back()
+            .or_else(|| table.iter().next())
+            .map(|(_, &d)| d)
+            .expect("non-empty table")
+    }
+
+    /// Feed the per-frame observation (the peak detector's people count).
+    /// Updates the active decomposition when a regime change is confirmed.
+    pub fn observe(&self, detected: u32) {
+        let mut det = self.detector.lock();
+        if let Some(new_state) = det.observe(AppState::new(detected)) {
+            let (fp, mp) = Self::lookup(&self.table, new_state.n_models);
+            self.current.store(encode(fp, mp), Ordering::SeqCst);
+            self.switches.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+
+    /// The decomposition the splitter should use right now.
+    #[must_use]
+    pub fn current_decomp(&self) -> (u32, u32) {
+        decode(self.current.load(Ordering::SeqCst))
+    }
+
+    /// Confirmed regime switches so far.
+    #[must_use]
+    pub fn switches(&self) -> u64 {
+        self.switches.load(Ordering::SeqCst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> BTreeMap<u32, (u32, u32)> {
+        // ≤1 model: split the frame; ≥2: split by models.
+        let mut t = BTreeMap::new();
+        t.insert(0, (4, 1));
+        t.insert(2, (1, 8));
+        t
+    }
+
+    #[test]
+    fn initial_decomposition_from_table() {
+        let c = RegimeController::new(1, 2, table());
+        assert_eq!(c.current_decomp(), (4, 1));
+        let c = RegimeController::new(3, 2, table());
+        assert_eq!(c.current_decomp(), (1, 8));
+    }
+
+    #[test]
+    fn confirmed_change_switches_decomposition() {
+        let c = RegimeController::new(1, 2, table());
+        c.observe(4);
+        assert_eq!(c.current_decomp(), (4, 1), "one observation is not enough");
+        c.observe(4);
+        assert_eq!(c.current_decomp(), (1, 8));
+        assert_eq!(c.switches(), 1);
+    }
+
+    #[test]
+    fn blips_do_not_switch() {
+        let c = RegimeController::new(1, 3, table());
+        for _ in 0..5 {
+            c.observe(4);
+            c.observe(1);
+        }
+        assert_eq!(c.current_decomp(), (4, 1));
+        assert_eq!(c.switches(), 0);
+    }
+
+    #[test]
+    fn lookup_takes_nearest_at_or_below() {
+        let c = RegimeController::new(0, 1, table());
+        assert_eq!(c.current_decomp(), (4, 1));
+        c.observe(7); // ≥2 → (1, 8)
+        assert_eq!(c.current_decomp(), (1, 8));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_table_rejected() {
+        let _ = RegimeController::new(0, 1, BTreeMap::new());
+    }
+}

@@ -1,0 +1,690 @@
+//! The tracker's task bodies: the five stages of Fig. 2 implemented over
+//! STM connections, executable by either executor.
+//!
+//! Bodies take `&self` and are `Sync`: the paper observes that unlike a
+//! pthread, "we can execute the same thread operating on multiple
+//! processors concurrently as long as they operate on different frames of
+//! data" — so one body may have several in-flight timestamps. Garbage
+//! collection under that concurrency uses a [`SharedCursor`]: frontiers
+//! advance only over the *contiguous prefix* of completed timestamps, so an
+//! in-flight older instance can never lose its inputs to a younger one.
+
+use std::collections::{BTreeSet, HashMap};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::bounded;
+use parking_lot::Mutex;
+
+use stm::{Channel, GetError, GetOk, InputConn, OutputConn, Timestamp, TsSpec};
+use vision::{
+    change_detection, detect_chunks, image_histogram, peak_detection, target_detection_chunk,
+    BitMask, ColorHist, DetectChunk, Frame, ModelLocation, ScoreMap,
+};
+use vision::detect::{merge_partials, PartialScores};
+use vision::peak::detected_count;
+
+use crate::measure::Measurements;
+use crate::pool::WorkerPool;
+use crate::regime_rt::RegimeController;
+
+/// Signals that a task's stream is finished (channel closed or frame budget
+/// exhausted).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Stop;
+
+/// A schedulable task body: process one timestamp, or one chunk of it.
+pub trait TaskBody: Send + Sync {
+    /// Diagnostic name.
+    fn name(&self) -> &str;
+    /// Process timestamp `ts`. For data-parallel tasks under an explicit
+    /// schedule, `chunk = Some((index, count))` processes one chunk; the
+    /// body joins internally when the last chunk of a timestamp lands.
+    fn process(&self, ts: Timestamp, chunk: Option<(u32, u32)>) -> Result<(), Stop>;
+}
+
+/// Tracks the contiguous prefix of completed timestamps across concurrent
+/// instances of one task.
+#[derive(Debug, Default)]
+pub struct SharedCursor {
+    inner: Mutex<CursorInner>,
+}
+
+#[derive(Debug, Default)]
+struct CursorInner {
+    next: u64,
+    pending: BTreeSet<u64>,
+}
+
+impl SharedCursor {
+    /// Mark `ts` complete; returns the new contiguous prefix end (all
+    /// timestamps below it are complete).
+    pub fn commit(&self, ts: u64) -> u64 {
+        let mut g = self.inner.lock();
+        g.pending.insert(ts);
+        loop {
+            let n = g.next;
+            if g.pending.remove(&n) {
+                g.next += 1;
+            } else {
+                break;
+            }
+        }
+        g.next
+    }
+}
+
+/// Coordinates end-of-stream for a task with concurrent instances: the
+/// task's output closes only once (a) some instance has observed its input
+/// closed at timestamp `c`, and (b) every instance below `c` has finished.
+/// Assumes contiguous upstream streams (frame `c` missing ⇒ nothing above
+/// `c` exists), which the digitizer guarantees.
+#[derive(Debug, Default)]
+pub struct CloseGate {
+    closed_at: Mutex<Option<u64>>,
+}
+
+impl CloseGate {
+    /// Record that instance `ts` found the input stream closed.
+    pub fn mark_closed(&self, ts: u64) {
+        let mut g = self.closed_at.lock();
+        *g = Some(g.map_or(ts, |c| c.min(ts)));
+    }
+
+    /// Whether the output should close, given the contiguous prefix of
+    /// finished instances.
+    #[must_use]
+    pub fn should_close(&self, prefix: u64) -> bool {
+        self.closed_at.lock().is_some_and(|c| prefix > c)
+    }
+}
+
+fn get_or_stop<T>(conn: &InputConn<T>, ts: Timestamp) -> Result<GetOk<T>, Stop> {
+    match conn.get(TsSpec::Exact(ts)) {
+        Ok(v) => Ok(v),
+        Err(GetError::Closed) => Err(Stop),
+        // Frontiers in this runtime only advance over frames the task has
+        // concluded (processed, or found closed) — so a below-frontier get
+        // means a sibling instance already settled this frame during
+        // shutdown. Nothing left to do.
+        Err(GetError::Unsatisfiable(stm::MissReason::BelowFrontier)) => Err(Stop),
+        Err(e) => panic!("unexpected STM error at {ts}: {e}"),
+    }
+}
+
+// ---------------------------------------------------------------------
+// T1 — Digitizer
+// ---------------------------------------------------------------------
+
+/// T1: renders synthetic frames at a fixed period (the NTSC camera
+/// stand-in). The period is the hand-tuning knob of §3.1.
+pub struct DigitizerTask {
+    scene: vision::Scene,
+    out: OutputConn<Frame>,
+    out_chan: Channel<Frame>,
+    period: Duration,
+    n_frames: u64,
+    epoch: Mutex<Option<Instant>>,
+    measure: Arc<Measurements>,
+    /// Tracks finished instances so the stream closes only after every
+    /// frame below `n_frames` has actually been put — concurrent instances
+    /// (masters running ahead under rotation) must not cut earlier frames
+    /// off.
+    cursor: SharedCursor,
+}
+
+impl DigitizerTask {
+    /// Create the digitizer, producing into `out_chan`.
+    #[must_use]
+    pub fn new(
+        scene: vision::Scene,
+        out_chan: Channel<Frame>,
+        period: Duration,
+        n_frames: u64,
+        measure: Arc<Measurements>,
+    ) -> Self {
+        DigitizerTask {
+            scene,
+            out: out_chan.attach_output(),
+            out_chan,
+            period,
+            n_frames,
+            epoch: Mutex::new(None),
+            measure,
+            cursor: SharedCursor::default(),
+        }
+    }
+
+    /// Record instance `ts` done; close the stream once the contiguous
+    /// prefix covers every frame this digitizer will ever produce.
+    fn commit_and_maybe_close(&self, ts: u64) {
+        let prefix = self.cursor.commit(ts);
+        if prefix >= self.n_frames {
+            // End of stream (or injected failure): closing the channel
+            // cascades shutdown through every downstream blocking get.
+            self.out_chan.close();
+        }
+    }
+}
+
+impl TaskBody for DigitizerTask {
+    fn name(&self) -> &str {
+        "Digitizer"
+    }
+
+    fn process(&self, ts: Timestamp, _chunk: Option<(u32, u32)>) -> Result<(), Stop> {
+        if ts.0 >= self.n_frames {
+            self.commit_and_maybe_close(ts.0);
+            return Err(Stop);
+        }
+        let epoch = *self.epoch.lock().get_or_insert_with(Instant::now);
+        let target = epoch + self.period * ts.0 as u32;
+        let now = Instant::now();
+        if target > now {
+            std::thread::sleep(target - now);
+        }
+        let frame = self.scene.render(ts.0);
+        if self.out.put(ts, frame).is_err() {
+            return Err(Stop);
+        }
+        self.measure.mark_digitized(ts.0);
+        self.commit_and_maybe_close(ts.0);
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------
+// T2 — Histogram
+// ---------------------------------------------------------------------
+
+/// T2: whole-image color histogram → "Color Model" channel.
+pub struct HistogramTask {
+    input: InputConn<Frame>,
+    out: OutputConn<ColorHist>,
+    out_chan: Channel<ColorHist>,
+    cursor: SharedCursor,
+    gate: CloseGate,
+}
+
+impl HistogramTask {
+    /// Create the histogram task, producing into `out_chan`.
+    #[must_use]
+    pub fn new(input: InputConn<Frame>, out_chan: Channel<ColorHist>) -> Self {
+        HistogramTask {
+            input,
+            out: out_chan.attach_output(),
+            out_chan,
+            cursor: SharedCursor::default(),
+            gate: CloseGate::default(),
+        }
+    }
+}
+
+impl TaskBody for HistogramTask {
+    fn name(&self) -> &str {
+        "Histogram"
+    }
+
+    fn process(&self, ts: Timestamp, _chunk: Option<(u32, u32)>) -> Result<(), Stop> {
+        let frame = match get_or_stop(&self.input, ts) {
+            Ok(f) => f,
+            Err(Stop) => {
+                self.gate.mark_closed(ts.0);
+                if self.gate.should_close(self.cursor.commit(ts.0)) {
+                    self.out_chan.close();
+                }
+                return Err(Stop);
+            }
+        };
+        let hist = image_histogram(&frame.value);
+        if self.out.put(ts, hist).is_err() {
+            return Err(Stop);
+        }
+        let prefix = self.cursor.commit(ts.0);
+        self.input.advance_frontier(Timestamp(prefix));
+        if self.gate.should_close(prefix) {
+            self.out_chan.close();
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------
+// T3 — Change Detection
+// ---------------------------------------------------------------------
+
+/// T3: frame differencing against timestamp `ts − 1`, read from the same
+/// STM channel — no private state, so instances at different timestamps can
+/// run concurrently. Its frontier trails one frame behind its commit
+/// prefix, since instance `ts` reads frame `ts − 1`.
+pub struct ChangeTask {
+    input: InputConn<Frame>,
+    out: OutputConn<BitMask>,
+    out_chan: Channel<BitMask>,
+    threshold: u16,
+    cursor: SharedCursor,
+    gate: CloseGate,
+}
+
+impl ChangeTask {
+    /// Create the change-detection task, producing into `out_chan`.
+    #[must_use]
+    pub fn new(input: InputConn<Frame>, out_chan: Channel<BitMask>, threshold: u16) -> Self {
+        ChangeTask {
+            input,
+            out: out_chan.attach_output(),
+            out_chan,
+            threshold,
+            cursor: SharedCursor::default(),
+            gate: CloseGate::default(),
+        }
+    }
+}
+
+impl TaskBody for ChangeTask {
+    fn name(&self) -> &str {
+        "Change Detection"
+    }
+
+    fn process(&self, ts: Timestamp, _chunk: Option<(u32, u32)>) -> Result<(), Stop> {
+        let stop = |_: &Stop| {
+            self.gate.mark_closed(ts.0);
+            if self.gate.should_close(self.cursor.commit(ts.0)) {
+                self.out_chan.close();
+            }
+        };
+        let cur = get_or_stop(&self.input, ts).inspect_err(stop)?;
+        let prev = match ts.prev() {
+            Some(p) => Some(get_or_stop(&self.input, p).inspect_err(stop)?),
+            None => None,
+        };
+        let mask = change_detection(&cur.value, prev.as_ref().map(|g| &*g.value), self.threshold);
+        if self.out.put(ts, mask).is_err() {
+            return Err(Stop);
+        }
+        let prefix = self.cursor.commit(ts.0);
+        self.input
+            .advance_frontier(Timestamp(prefix.saturating_sub(1)));
+        if self.gate.should_close(prefix) {
+            self.out_chan.close();
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------
+// T4 — Target Detection (data parallel)
+// ---------------------------------------------------------------------
+
+/// The three per-frame inputs of target detection.
+pub type DetectInputs = (Arc<Frame>, Arc<ColorHist>, Arc<BitMask>);
+
+/// One unit of work farmed to the worker pool in online mode.
+pub struct ChunkJob {
+    frame: Arc<Frame>,
+    hist: Arc<ColorHist>,
+    mask: Arc<BitMask>,
+    models: Arc<Vec<ColorHist>>,
+    chunk: DetectChunk,
+    reply: crossbeam::channel::Sender<Vec<PartialScores>>,
+}
+
+impl ChunkJob {
+    /// Execute the chunk and send the partials back (the worker of Fig. 9).
+    pub fn run(self) {
+        let partials =
+            target_detection_chunk(&self.frame, &self.hist, &self.models, &self.mask, self.chunk);
+        // The joiner may already have given up (executor shutdown).
+        let _ = self.reply.send(partials);
+    }
+}
+
+/// T4: Swain–Ballard target detection with regime-dependent decomposition.
+pub struct DetectTask {
+    in_frames: InputConn<Frame>,
+    in_hist: InputConn<ColorHist>,
+    in_mask: InputConn<BitMask>,
+    out: OutputConn<Vec<ScoreMap>>,
+    out_chan: Channel<Vec<ScoreMap>>,
+    models: Arc<Vec<ColorHist>>,
+    width: usize,
+    height: usize,
+    /// Decomposition when no controller is attached (FP, MP).
+    fixed_decomp: (u32, u32),
+    /// Regime controller: "the splitter will look-up the decomposition for
+    /// the current state from a pre-computed table" (Fig. 9 discussion).
+    controller: Option<Arc<RegimeController>>,
+    /// Worker pool for intra-task parallelism in online mode.
+    pool: Option<Arc<WorkerPool<ChunkJob>>>,
+    cursor: SharedCursor,
+    gate: CloseGate,
+    /// Per-timestamp join state in scheduled-chunk mode.
+    pending: Mutex<HashMap<u64, (u32, Vec<PartialScores>)>>,
+}
+
+impl DetectTask {
+    /// Create the detection task.
+    #[must_use]
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        in_frames: InputConn<Frame>,
+        in_hist: InputConn<ColorHist>,
+        in_mask: InputConn<BitMask>,
+        out_chan: Channel<Vec<ScoreMap>>,
+        models: Vec<ColorHist>,
+        width: usize,
+        height: usize,
+        fixed_decomp: (u32, u32),
+    ) -> Self {
+        DetectTask {
+            in_frames,
+            in_hist,
+            in_mask,
+            out: out_chan.attach_output(),
+            out_chan,
+            models: Arc::new(models),
+            width,
+            height,
+            fixed_decomp,
+            controller: None,
+            pool: None,
+            cursor: SharedCursor::default(),
+            gate: CloseGate::default(),
+            pending: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Attach a regime controller (online dynamic decomposition).
+    #[must_use]
+    pub fn with_controller(mut self, c: Arc<RegimeController>) -> Self {
+        self.controller = Some(c);
+        self
+    }
+
+    /// Attach a worker pool (online intra-task data parallelism).
+    #[must_use]
+    pub fn with_pool(mut self, pool: Arc<WorkerPool<ChunkJob>>) -> Self {
+        self.pool = Some(pool);
+        self
+    }
+
+    fn current_decomp(&self) -> (u32, u32) {
+        match &self.controller {
+            Some(c) => c.current_decomp(),
+            None => self.fixed_decomp,
+        }
+    }
+
+    fn inputs(&self, ts: Timestamp) -> Result<DetectInputs, Stop> {
+        let close = |_: &Stop| {
+            self.gate.mark_closed(ts.0);
+            if self.gate.should_close(self.cursor.commit(ts.0)) {
+                self.out_chan.close();
+            }
+        };
+        let frame = get_or_stop(&self.in_frames, ts).inspect_err(close)?.value;
+        let hist = get_or_stop(&self.in_hist, ts).inspect_err(close)?.value;
+        let mask = get_or_stop(&self.in_mask, ts).inspect_err(close)?.value;
+        Ok((frame, hist, mask))
+    }
+
+    fn publish(&self, ts: Timestamp, maps: Vec<ScoreMap>) -> Result<(), Stop> {
+        if self.out.put(ts, maps).is_err() {
+            return Err(Stop);
+        }
+        let prefix = Timestamp(self.cursor.commit(ts.0));
+        self.in_frames.advance_frontier(prefix);
+        self.in_hist.advance_frontier(prefix);
+        self.in_mask.advance_frontier(prefix);
+        if self.gate.should_close(prefix.0) {
+            self.out_chan.close();
+        }
+        Ok(())
+    }
+}
+
+impl TaskBody for DetectTask {
+    fn name(&self) -> &str {
+        "Target Detection"
+    }
+
+    fn process(&self, ts: Timestamp, chunk: Option<(u32, u32)>) -> Result<(), Stop> {
+        match chunk {
+            None => {
+                // Whole activation: splitter + workers (or serial) + joiner.
+                let (frame, hist, mask) = self.inputs(ts)?;
+                let (fp, mp) = self.current_decomp();
+                let chunks = detect_chunks(
+                    self.width,
+                    self.height,
+                    self.models.len(),
+                    fp as usize,
+                    mp as usize,
+                );
+                let partials: Vec<PartialScores> = match (&self.pool, chunks.len()) {
+                    (Some(pool), n) if n > 1 => {
+                        let (tx, rx) = bounded(n);
+                        for &c in &chunks {
+                            pool.submit(ChunkJob {
+                                frame: Arc::clone(&frame),
+                                hist: Arc::clone(&hist),
+                                mask: Arc::clone(&mask),
+                                models: Arc::clone(&self.models),
+                                chunk: c,
+                                reply: tx.clone(),
+                            });
+                        }
+                        drop(tx);
+                        rx.iter().flatten().collect()
+                    }
+                    _ => chunks
+                        .iter()
+                        .flat_map(|&c| {
+                            target_detection_chunk(&frame, &hist, &self.models, &mask, c)
+                        })
+                        .collect(),
+                };
+                let maps = merge_partials(self.width, self.height, self.models.len(), &partials);
+                self.publish(ts, maps)
+            }
+            Some((idx, count)) => {
+                // One chunk under an explicit schedule; the last chunk joins.
+                let (frame, hist, mask) = self.inputs(ts)?;
+                let (fp, mp) = self.fixed_decomp;
+                let chunks = detect_chunks(
+                    self.width,
+                    self.height,
+                    self.models.len(),
+                    fp as usize,
+                    mp as usize,
+                );
+                assert_eq!(
+                    chunks.len(),
+                    count as usize,
+                    "schedule chunk count disagrees with decomposition FP={fp} MP={mp}"
+                );
+                let partials = target_detection_chunk(
+                    &frame,
+                    &hist,
+                    &self.models,
+                    &mask,
+                    chunks[idx as usize],
+                );
+                let ready = {
+                    let mut pending = self.pending.lock();
+                    let entry = pending.entry(ts.0).or_insert_with(|| (0, Vec::new()));
+                    entry.0 += 1;
+                    entry.1.extend(partials);
+                    if entry.0 == count {
+                        Some(pending.remove(&ts.0).expect("entry exists").1)
+                    } else {
+                        None
+                    }
+                };
+                match ready {
+                    Some(all) => {
+                        let maps =
+                            merge_partials(self.width, self.height, self.models.len(), &all);
+                        self.publish(ts, maps)
+                    }
+                    None => Ok(()),
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// T5 — Peak Detection
+// ---------------------------------------------------------------------
+
+/// T5: peak detection over the back projections → "Model Locations".
+pub struct PeakTask {
+    input: InputConn<Vec<ScoreMap>>,
+    out: OutputConn<Vec<ModelLocation>>,
+    out_chan: Channel<Vec<ModelLocation>>,
+    min_score: f32,
+    cursor: SharedCursor,
+    gate: CloseGate,
+}
+
+impl PeakTask {
+    /// Create the peak-detection task, producing into `out_chan`.
+    #[must_use]
+    pub fn new(
+        input: InputConn<Vec<ScoreMap>>,
+        out_chan: Channel<Vec<ModelLocation>>,
+        min_score: f32,
+    ) -> Self {
+        PeakTask {
+            input,
+            out: out_chan.attach_output(),
+            out_chan,
+            min_score,
+            cursor: SharedCursor::default(),
+            gate: CloseGate::default(),
+        }
+    }
+}
+
+impl TaskBody for PeakTask {
+    fn name(&self) -> &str {
+        "Peak Detection"
+    }
+
+    fn process(&self, ts: Timestamp, _chunk: Option<(u32, u32)>) -> Result<(), Stop> {
+        let scores = match get_or_stop(&self.input, ts) {
+            Ok(s) => s,
+            Err(Stop) => {
+                self.gate.mark_closed(ts.0);
+                if self.gate.should_close(self.cursor.commit(ts.0)) {
+                    self.out_chan.close();
+                }
+                return Err(Stop);
+            }
+        };
+        let locs = peak_detection(&scores.value, self.min_score);
+        if self.out.put(ts, locs).is_err() {
+            return Err(Stop);
+        }
+        let prefix = self.cursor.commit(ts.0);
+        self.input.advance_frontier(Timestamp(prefix));
+        if self.gate.should_close(prefix) {
+            self.out_chan.close();
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------
+// Sink — DECface update
+// ---------------------------------------------------------------------
+
+/// The graph's sink: consumes model locations (in the kiosk this drives
+/// DECface's gaze), records completion, and feeds the regime controller
+/// with the observed people count.
+pub struct FaceTask {
+    input: InputConn<Vec<ModelLocation>>,
+    measure: Arc<Measurements>,
+    controller: Option<Arc<RegimeController>>,
+    locations_log: Mutex<Vec<(u64, u32)>>,
+    cursor: SharedCursor,
+}
+
+impl FaceTask {
+    /// Create the sink task.
+    #[must_use]
+    pub fn new(
+        input: InputConn<Vec<ModelLocation>>,
+        measure: Arc<Measurements>,
+        controller: Option<Arc<RegimeController>>,
+    ) -> Self {
+        FaceTask {
+            input,
+            measure,
+            controller,
+            locations_log: Mutex::new(Vec::new()),
+            cursor: SharedCursor::default(),
+        }
+    }
+
+    /// `(timestamp, detected count)` per processed frame, in completion
+    /// order.
+    #[must_use]
+    pub fn observations(&self) -> Vec<(u64, u32)> {
+        self.locations_log.lock().clone()
+    }
+}
+
+impl TaskBody for FaceTask {
+    fn name(&self) -> &str {
+        "DECface Update"
+    }
+
+    fn process(&self, ts: Timestamp, _chunk: Option<(u32, u32)>) -> Result<(), Stop> {
+        let locs = get_or_stop(&self.input, ts)?;
+        let count = detected_count(&locs.value);
+        self.measure.mark_completed(ts.0);
+        if let Some(c) = &self.controller {
+            c.observe(count);
+        }
+        self.locations_log.lock().push((ts.0, count));
+        let prefix = self.cursor.commit(ts.0);
+        self.input.advance_frontier(Timestamp(prefix));
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shared_cursor_tracks_contiguous_prefix() {
+        let c = SharedCursor::default();
+        assert_eq!(c.commit(2), 0);
+        assert_eq!(c.commit(1), 0);
+        assert_eq!(c.commit(0), 3);
+        assert_eq!(c.commit(4), 3);
+        assert_eq!(c.commit(3), 5);
+    }
+
+    #[test]
+    fn shared_cursor_is_thread_safe() {
+        let c = Arc::new(SharedCursor::default());
+        let handles: Vec<_> = (0..8u64)
+            .map(|k| {
+                let c = Arc::clone(&c);
+                std::thread::spawn(move || {
+                    for ts in (k..64).step_by(8) {
+                        c.commit(ts);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(c.commit(64), 65);
+    }
+}

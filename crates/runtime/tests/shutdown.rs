@@ -1,0 +1,75 @@
+//! Failure injection: the digitizer dies mid-stream (camera unplugged).
+//! End-of-stream must cascade through channel closure — every executor
+//! drains the frames already in flight and terminates; nothing hangs.
+
+use std::time::Duration;
+
+use cds_core::pipeline::naive_pipeline;
+use cluster::ClusterSpec;
+use runtime::{OnlineExecutor, ScheduledExecutor, TrackerApp, TrackerConfig};
+use taskgraph::{builders, AppState};
+
+fn dying_cfg() -> TrackerConfig {
+    let mut cfg = TrackerConfig::small(2, 12);
+    cfg.period = Duration::from_millis(1);
+    cfg.digitizer_dies_after = Some(5);
+    cfg
+}
+
+#[test]
+fn online_executor_drains_after_digitizer_death() {
+    let app = TrackerApp::build(&dying_cfg(), None);
+    let stats = OnlineExecutor::run(&app, 0);
+    // Exactly the five digitized frames complete; the run terminates (this
+    // test hanging would itself be the failure).
+    assert_eq!(stats.frames_completed, 5);
+    let mut seen: Vec<u64> = app.face.observations().iter().map(|&(ts, _)| ts).collect();
+    seen.sort_unstable();
+    assert_eq!(seen, (0..5).collect::<Vec<_>>());
+}
+
+#[test]
+fn scheduled_executor_drains_after_digitizer_death() {
+    let graph = builders::color_tracker();
+    let cluster = ClusterSpec::single_node(3);
+    let sched = naive_pipeline(&graph, &cluster, &AppState::new(2));
+    let app = TrackerApp::build(&dying_cfg(), None);
+    let stats = ScheduledExecutor::run(&app, &sched, 0);
+    assert_eq!(stats.frames_completed, 5);
+    let mut seen: Vec<u64> = app.face.observations().iter().map(|&(ts, _)| ts).collect();
+    seen.sort_unstable();
+    assert_eq!(seen, (0..5).collect::<Vec<_>>());
+}
+
+#[test]
+fn scheduled_executor_with_chunks_drains_after_death() {
+    use cds_core::optimal::{optimal_schedule, OptimalConfig};
+    let graph = builders::color_tracker();
+    let cluster = ClusterSpec::single_node(4);
+    let state = AppState::new(2);
+    let opt = optimal_schedule(&graph, &cluster, &state, &OptimalConfig::default());
+    let t4 = graph.task_by_name("Target Detection").unwrap();
+    let d = opt
+        .best
+        .iteration
+        .decomp
+        .get(&t4)
+        .copied()
+        .unwrap_or(taskgraph::Decomposition::NONE);
+    let mut cfg = dying_cfg();
+    cfg.decomposition = (d.fp, d.mp);
+    cfg.channel_capacity = 2 + opt.best.overlapping_iterations() as usize;
+    let app = TrackerApp::build(&cfg, None);
+    let stats = ScheduledExecutor::run(&app, &opt.best, 0);
+    assert_eq!(stats.frames_completed, 5);
+}
+
+#[test]
+fn immediate_death_terminates_cleanly() {
+    let mut cfg = TrackerConfig::small(1, 8);
+    cfg.digitizer_dies_after = Some(0);
+    let app = TrackerApp::build(&cfg, None);
+    let stats = OnlineExecutor::run(&app, 0);
+    assert_eq!(stats.frames_completed, 0);
+    assert!(app.face.observations().is_empty());
+}

@@ -1,0 +1,634 @@
+//! The channel store: time-indexed items, per-connection cursors, and the
+//! virtual-time garbage collector.
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::connection::{ConnId, InputConn, OutputConn};
+use crate::error::{GetMiss, MissReason, PutError};
+use crate::stats::ChannelStats;
+use crate::time::Timestamp;
+use crate::wildcard::TsSpec;
+
+/// Per-input-connection bookkeeping.
+#[derive(Debug)]
+pub(crate) struct InConnState {
+    /// All timestamps `< frontier` are promised never to be requested over
+    /// this connection (implicitly consumed).
+    pub(crate) frontier: Timestamp,
+    /// Timestamps `>= frontier` explicitly consumed over this connection.
+    pub(crate) consumed: std::collections::BTreeSet<Timestamp>,
+    /// Largest timestamp ever returned by a `get` on this connection
+    /// (drives the `NewestUnseen` / `NextUnseen` wildcards).
+    pub(crate) last_gotten: Option<Timestamp>,
+}
+
+impl InConnState {
+    fn new(frontier: Timestamp) -> Self {
+        InConnState {
+            frontier,
+            consumed: Default::default(),
+            last_gotten: None,
+        }
+    }
+
+    /// Whether this connection will never again request `ts`.
+    fn covers(&self, ts: Timestamp) -> bool {
+        ts < self.frontier || self.consumed.contains(&ts)
+    }
+}
+
+pub(crate) struct State<T> {
+    pub(crate) items: BTreeMap<Timestamp, Arc<T>>,
+    /// Everything below this has been reclaimed (prefix GC); puts below it
+    /// are rejected, so "one item per timestamp" stays enforceable forever.
+    pub(crate) gc_floor: Timestamp,
+    pub(crate) in_conns: HashMap<ConnId, InConnState>,
+    pub(crate) out_count: usize,
+    pub(crate) ever_output: bool,
+    pub(crate) closed: bool,
+    pub(crate) capacity: Option<usize>,
+    /// Largest timestamp ever returned by a get over any connection
+    /// (drives the `NewestUnseenGlobal` wildcard).
+    pub(crate) global_last_gotten: Option<Timestamp>,
+    pub(crate) stats: ChannelStats,
+    next_conn: u64,
+    close_on_last_output: bool,
+}
+
+pub(crate) struct Inner<T> {
+    pub(crate) name: String,
+    pub(crate) state: Mutex<State<T>>,
+    /// Signalled when an item arrives or the channel closes.
+    pub(crate) items_changed: Condvar,
+    /// Signalled when GC frees space or the channel closes.
+    pub(crate) space_freed: Condvar,
+}
+
+/// A Space-Time Memory channel: a shared, time-indexed collection of items.
+///
+/// Cloning a `Channel` is cheap and yields another handle to the same
+/// underlying store — the STM notion of *location transparency* (tasks on any
+/// node of the cluster talk to the same channel through the same API).
+pub struct Channel<T> {
+    pub(crate) inner: Arc<Inner<T>>,
+}
+
+impl<T> Clone for Channel<T> {
+    fn clone(&self) -> Self {
+        Channel {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+/// Configures a [`Channel`] before creation.
+pub struct ChannelBuilder {
+    name: String,
+    capacity: Option<usize>,
+    close_on_last_output: bool,
+}
+
+impl ChannelBuilder {
+    /// Start building a channel with the given diagnostic name.
+    pub fn new(name: impl Into<String>) -> Self {
+        ChannelBuilder {
+            name: name.into(),
+            capacity: None,
+            close_on_last_output: true,
+        }
+    }
+
+    /// Bound the number of simultaneously live items. A blocking
+    /// [`put`](OutputConn::put) waits for the GC to free a slot; this is the
+    /// explicit flow-control mode ("it could perform flow control by limiting
+    /// the number of items each channel could hold", §3.3).
+    #[must_use]
+    pub fn capacity(mut self, cap: usize) -> Self {
+        assert!(cap > 0, "capacity must be positive");
+        self.capacity = Some(cap);
+        self
+    }
+
+    /// Whether the channel closes automatically when the last output
+    /// connection detaches (default: true). Disable for channels that gain
+    /// and lose producers over time.
+    #[must_use]
+    pub fn close_on_last_output_detach(mut self, yes: bool) -> Self {
+        self.close_on_last_output = yes;
+        self
+    }
+
+    /// Create the channel.
+    #[must_use]
+    pub fn build<T>(self) -> Channel<T> {
+        Channel {
+            inner: Arc::new(Inner {
+                name: self.name,
+                state: Mutex::new(State {
+                    items: BTreeMap::new(),
+                    gc_floor: Timestamp::ZERO,
+                    in_conns: HashMap::new(),
+                    out_count: 0,
+                    ever_output: false,
+                    closed: false,
+                    capacity: self.capacity,
+                    global_last_gotten: None,
+                    stats: ChannelStats::default(),
+                    next_conn: 0,
+                    close_on_last_output: self.close_on_last_output,
+                }),
+                items_changed: Condvar::new(),
+                space_freed: Condvar::new(),
+            }),
+        }
+    }
+}
+
+impl<T> Channel<T> {
+    /// Create an unbounded channel with the given diagnostic name.
+    #[must_use]
+    pub fn new(name: impl Into<String>) -> Self {
+        ChannelBuilder::new(name).build()
+    }
+
+    /// Create a channel holding at most `cap` live items (see
+    /// [`ChannelBuilder::capacity`]).
+    #[must_use]
+    pub fn with_capacity(name: impl Into<String>, cap: usize) -> Self {
+        ChannelBuilder::new(name).capacity(cap).build()
+    }
+
+    /// The channel's diagnostic name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.inner.name
+    }
+
+    /// Number of currently live (not yet reclaimed) items.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.inner.state.lock().items.len()
+    }
+
+    /// Whether no items are currently live.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Timestamp of the newest live item, if any.
+    #[must_use]
+    pub fn newest_ts(&self) -> Option<Timestamp> {
+        self.inner.state.lock().items.keys().next_back().copied()
+    }
+
+    /// Timestamp of the oldest live item, if any.
+    #[must_use]
+    pub fn oldest_ts(&self) -> Option<Timestamp> {
+        self.inner.state.lock().items.keys().next().copied()
+    }
+
+    /// Everything below this timestamp has been reclaimed by the GC.
+    #[must_use]
+    pub fn gc_floor(&self) -> Timestamp {
+        self.inner.state.lock().gc_floor
+    }
+
+    /// Snapshot of traffic/occupancy statistics.
+    #[must_use]
+    pub fn stats(&self) -> ChannelStats {
+        self.inner.state.lock().stats
+    }
+
+    /// Close the channel for input: pending and future blocking `get`s that
+    /// cannot be satisfied fail with `Closed`, and all further puts fail.
+    pub fn close(&self) {
+        let mut st = self.inner.state.lock();
+        st.closed = true;
+        drop(st);
+        self.inner.items_changed.notify_all();
+        self.inner.space_freed.notify_all();
+    }
+
+    /// Whether the channel has been closed for input.
+    #[must_use]
+    pub fn is_closed(&self) -> bool {
+        self.inner.state.lock().closed
+    }
+
+    /// Attach a new input (consumer) connection. Its frontier starts at the
+    /// current GC floor, so it can observe every still-live item.
+    #[must_use]
+    pub fn attach_input(&self) -> InputConn<T> {
+        let mut st = self.inner.state.lock();
+        let id = ConnId(st.next_conn);
+        st.next_conn += 1;
+        let floor = st.gc_floor;
+        st.in_conns.insert(id, InConnState::new(floor));
+        drop(st);
+        InputConn::new(Arc::clone(&self.inner), id)
+    }
+
+    /// Attach a new output (producer) connection.
+    #[must_use]
+    pub fn attach_output(&self) -> OutputConn<T> {
+        let mut st = self.inner.state.lock();
+        st.out_count += 1;
+        st.ever_output = true;
+        drop(st);
+        OutputConn::new(Arc::clone(&self.inner))
+    }
+}
+
+impl<T> std::fmt::Debug for Channel<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let st = self.inner.state.lock();
+        f.debug_struct("Channel")
+            .field("name", &self.inner.name)
+            .field("live", &st.items.len())
+            .field("gc_floor", &st.gc_floor)
+            .field("closed", &st.closed)
+            .finish()
+    }
+}
+
+impl<T> State<T> {
+    /// Run the prefix garbage collector: repeatedly reclaim the oldest live
+    /// item once every attached input connection covers it. Returns the
+    /// number of reclaimed items. With no input connections attached, items
+    /// are retained (a consumer may be about to attach).
+    pub(crate) fn gc(&mut self) -> u64 {
+        if self.in_conns.is_empty() {
+            return 0;
+        }
+        let mut n = 0;
+        while let Some((&ts, _)) = self.items.first_key_value() {
+            if self.in_conns.values().all(|c| c.covers(ts)) {
+                self.items.remove(&ts);
+                self.gc_floor = self.gc_floor.max(ts.next());
+                for c in self.in_conns.values_mut() {
+                    c.consumed.remove(&ts);
+                    // Keep the per-connection invariant frontier >= gc_floor
+                    // so `covers` stays consistent after reclamation.
+                    c.frontier = c.frontier.max(self.gc_floor);
+                }
+                n += 1;
+            } else {
+                break;
+            }
+        }
+        if n > 0 {
+            let live = self.items.len();
+            self.stats.on_reclaim(n, live);
+        }
+        n
+    }
+
+    /// Validate and insert a put.
+    pub(crate) fn do_put(&mut self, ts: Timestamp, value: Arc<T>) -> Result<(), PutError> {
+        if self.closed {
+            return Err(PutError::Closed);
+        }
+        if ts < self.gc_floor {
+            return Err(PutError::BelowFrontier(ts));
+        }
+        if !self.in_conns.is_empty() && self.in_conns.values().all(|c| ts < c.frontier) {
+            // No attached consumer could ever observe this item.
+            return Err(PutError::BelowFrontier(ts));
+        }
+        if self.items.contains_key(&ts) {
+            return Err(PutError::DuplicateTimestamp(ts));
+        }
+        self.items.insert(ts, value);
+        let live = self.items.len();
+        self.stats.on_put(live);
+        Ok(())
+    }
+
+    /// Whether a put would currently block on capacity.
+    pub(crate) fn at_capacity(&self) -> bool {
+        match self.capacity {
+            Some(cap) => self.items.len() >= cap,
+            None => false,
+        }
+    }
+
+    /// Resolve a [`TsSpec`] against the current contents for connection
+    /// `conn`. On success, updates `last_gotten` and returns the timestamp
+    /// and value.
+    pub(crate) fn do_get(
+        &mut self,
+        conn: ConnId,
+        spec: TsSpec,
+    ) -> Result<(Timestamp, Arc<T>), GetMiss> {
+        let cs = self.in_conns.get(&conn).expect("connection detached");
+        let eligible = |s: &InConnState, ts: Timestamp| ts >= s.frontier && !s.consumed.contains(&ts);
+
+        let found: Option<Timestamp> = match spec {
+            TsSpec::Exact(ts) => {
+                if ts < cs.frontier {
+                    self.stats.on_miss();
+                    return Err(self.miss(conn, MissReason::BelowFrontier, Some(ts)));
+                }
+                if cs.consumed.contains(&ts) {
+                    self.stats.on_miss();
+                    return Err(self.miss(conn, MissReason::AlreadyConsumed, Some(ts)));
+                }
+                self.items.get(&ts).map(|_| ts)
+            }
+            TsSpec::Newest => self
+                .items
+                .keys()
+                .rev()
+                .copied()
+                .find(|&ts| eligible(cs, ts)),
+            TsSpec::Oldest => self.items.keys().copied().find(|&ts| eligible(cs, ts)),
+            TsSpec::NewestUnseen => {
+                let lower = cs.last_gotten.map_or(Timestamp::ZERO, Timestamp::next);
+                self.items
+                    .range(lower..)
+                    .rev()
+                    .map(|(&ts, _)| ts)
+                    .find(|&ts| eligible(cs, ts))
+            }
+            TsSpec::NewestUnseenGlobal => {
+                let lower = self
+                    .global_last_gotten
+                    .map_or(Timestamp::ZERO, Timestamp::next);
+                self.items
+                    .range(lower..)
+                    .rev()
+                    .map(|(&ts, _)| ts)
+                    .find(|&ts| eligible(cs, ts))
+            }
+            TsSpec::NextUnseen => {
+                let lower = cs.last_gotten.map_or(Timestamp::ZERO, Timestamp::next);
+                self.items
+                    .range(lower..)
+                    .map(|(&ts, _)| ts)
+                    .find(|&ts| eligible(cs, ts))
+            }
+            TsSpec::AtOrAfter(bound) => self
+                .items
+                .range(bound..)
+                .map(|(&ts, _)| ts)
+                .find(|&ts| eligible(cs, ts)),
+        };
+
+        match found {
+            Some(ts) => {
+                let value = Arc::clone(self.items.get(&ts).expect("found ts present"));
+                let cs = self.in_conns.get_mut(&conn).expect("connection detached");
+                cs.last_gotten = Some(cs.last_gotten.map_or(ts, |p| p.max(ts)));
+                self.global_last_gotten =
+                    Some(self.global_last_gotten.map_or(ts, |p| p.max(ts)));
+                self.stats.on_get();
+                Ok((ts, value))
+            }
+            None => {
+                self.stats.on_miss();
+                let point = match spec {
+                    TsSpec::Exact(ts) | TsSpec::AtOrAfter(ts) => Some(ts),
+                    TsSpec::NewestUnseenGlobal => Some(
+                        self.global_last_gotten
+                            .map_or(Timestamp::ZERO, Timestamp::next),
+                    ),
+                    TsSpec::NewestUnseen | TsSpec::NextUnseen => Some(
+                        self.in_conns[&conn]
+                            .last_gotten
+                            .map_or(Timestamp::ZERO, Timestamp::next),
+                    ),
+                    TsSpec::Newest | TsSpec::Oldest => None,
+                };
+                let reason = if self.closed {
+                    MissReason::ClosedEmpty
+                } else {
+                    MissReason::NotYetAvailable
+                };
+                Err(self.miss(conn, reason, point))
+            }
+        }
+    }
+
+    /// Build a [`GetMiss`] with the neighbouring available timestamps around
+    /// `point` (or around the whole range when `point` is `None`).
+    fn miss(&self, _conn: ConnId, reason: MissReason, point: Option<Timestamp>) -> GetMiss {
+        let (below, above) = match point {
+            Some(p) => (
+                self.items.range(..p).next_back().map(|(&ts, _)| ts),
+                self.items.range(p..).next().map(|(&ts, _)| ts),
+            ),
+            None => (self.items.keys().next_back().copied(), None),
+        };
+        GetMiss {
+            reason,
+            below,
+            above,
+        }
+    }
+
+    pub(crate) fn detach_input(&mut self, conn: ConnId) {
+        self.in_conns.remove(&conn);
+        self.gc();
+    }
+
+    /// Returns true if the channel should close because the last producer
+    /// detached.
+    pub(crate) fn detach_output(&mut self) -> bool {
+        self.out_count -= 1;
+        if self.out_count == 0 && self.close_on_last_output && self.ever_output {
+            self.closed = true;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+impl<T> Drop for Inner<T> {
+    fn drop(&mut self) {
+        let st = self.state.get_mut();
+        st.stats.dropped_live += st.items.len() as u64;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_configures_capacity_and_name() {
+        let ch: Channel<u32> = ChannelBuilder::new("c").capacity(2).build();
+        assert_eq!(ch.name(), "c");
+        let out = ch.attach_output();
+        out.put(Timestamp(0), 10).unwrap();
+        out.try_put(Timestamp(1), 11).unwrap();
+        assert_eq!(out.try_put(Timestamp(2), 12), Err(PutError::Full));
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        let _ = ChannelBuilder::new("c").capacity(0);
+    }
+
+    #[test]
+    fn duplicate_timestamp_rejected() {
+        let ch: Channel<u32> = Channel::new("c");
+        let out = ch.attach_output();
+        out.put(Timestamp(5), 1).unwrap();
+        assert_eq!(
+            out.put(Timestamp(5), 2),
+            Err(PutError::DuplicateTimestamp(Timestamp(5)))
+        );
+    }
+
+    #[test]
+    fn out_of_order_puts_accepted() {
+        let ch: Channel<u32> = Channel::new("c");
+        let out = ch.attach_output();
+        out.put(Timestamp(3), 3).unwrap();
+        out.put(Timestamp(1), 1).unwrap();
+        out.put(Timestamp(2), 2).unwrap();
+        assert_eq!(ch.oldest_ts(), Some(Timestamp(1)));
+        assert_eq!(ch.newest_ts(), Some(Timestamp(3)));
+        assert_eq!(ch.len(), 3);
+    }
+
+    #[test]
+    fn gc_is_prefix_ordered() {
+        let ch: Channel<u32> = Channel::new("c");
+        let out = ch.attach_output();
+        let inp = ch.attach_input();
+        for t in 0..4 {
+            out.put(Timestamp(t), t as u32).unwrap();
+        }
+        // Consuming ts 2 alone reclaims nothing: ts 0,1 still uncovered.
+        inp.consume(Timestamp(2)).unwrap();
+        assert_eq!(ch.len(), 4);
+        // Advancing the frontier past 0..=1 reclaims 0,1 AND the already
+        // consumed 2, but not 3.
+        inp.advance_frontier(Timestamp(2));
+        assert_eq!(ch.len(), 1);
+        assert_eq!(ch.gc_floor(), Timestamp(3));
+        assert_eq!(ch.oldest_ts(), Some(Timestamp(3)));
+    }
+
+    #[test]
+    fn gc_waits_for_all_consumers() {
+        let ch: Channel<u32> = Channel::new("c");
+        let out = ch.attach_output();
+        let a = ch.attach_input();
+        let b = ch.attach_input();
+        out.put(Timestamp(0), 7).unwrap();
+        a.consume(Timestamp(0)).unwrap();
+        assert_eq!(ch.len(), 1, "second consumer still owes a consume");
+        b.consume(Timestamp(0)).unwrap();
+        assert_eq!(ch.len(), 0);
+        assert_eq!(ch.stats().reclaimed, 1);
+    }
+
+    #[test]
+    fn no_reclamation_without_consumers() {
+        let ch: Channel<u32> = Channel::new("c");
+        let out = ch.attach_output();
+        out.put(Timestamp(0), 7).unwrap();
+        assert_eq!(ch.len(), 1);
+    }
+
+    #[test]
+    fn detach_releases_obligation() {
+        let ch: Channel<u32> = Channel::new("c");
+        let out = ch.attach_output();
+        let a = ch.attach_input();
+        let b = ch.attach_input();
+        out.put(Timestamp(0), 7).unwrap();
+        a.consume(Timestamp(0)).unwrap();
+        drop(b); // detach: `a`'s consume now suffices
+        assert_eq!(ch.len(), 0);
+    }
+
+    #[test]
+    fn put_below_all_frontiers_rejected() {
+        let ch: Channel<u32> = Channel::new("c");
+        let out = ch.attach_output();
+        let inp = ch.attach_input();
+        inp.advance_frontier(Timestamp(10));
+        assert_eq!(
+            out.put(Timestamp(5), 0),
+            Err(PutError::BelowFrontier(Timestamp(5)))
+        );
+        // But a second consumer with a low frontier makes it observable.
+        let _inp2 = ch.attach_input();
+        out.put(Timestamp(5), 0).unwrap();
+    }
+
+    #[test]
+    fn reput_of_reclaimed_timestamp_rejected() {
+        let ch: Channel<u32> = Channel::new("c");
+        let out = ch.attach_output();
+        let inp = ch.attach_input();
+        out.put(Timestamp(0), 1).unwrap();
+        inp.consume(Timestamp(0)).unwrap();
+        assert_eq!(ch.len(), 0);
+        assert_eq!(
+            out.put(Timestamp(0), 2),
+            Err(PutError::BelowFrontier(Timestamp(0)))
+        );
+    }
+
+    #[test]
+    fn close_rejects_puts() {
+        let ch: Channel<u32> = Channel::new("c");
+        let out = ch.attach_output();
+        ch.close();
+        assert!(ch.is_closed());
+        assert_eq!(out.put(Timestamp(0), 1), Err(PutError::Closed));
+    }
+
+    #[test]
+    fn last_output_detach_closes_channel() {
+        let ch: Channel<u32> = Channel::new("c");
+        let out = ch.attach_output();
+        let out2 = ch.attach_output();
+        drop(out);
+        assert!(!ch.is_closed());
+        drop(out2);
+        assert!(ch.is_closed());
+    }
+
+    #[test]
+    fn close_on_detach_can_be_disabled() {
+        let ch: Channel<u32> = ChannelBuilder::new("c")
+            .close_on_last_output_detach(false)
+            .build();
+        let out = ch.attach_output();
+        drop(out);
+        assert!(!ch.is_closed());
+    }
+
+    #[test]
+    fn late_consumer_starts_at_gc_floor() {
+        let ch: Channel<u32> = Channel::new("c");
+        let out = ch.attach_output();
+        let a = ch.attach_input();
+        out.put(Timestamp(0), 0).unwrap();
+        out.put(Timestamp(1), 1).unwrap();
+        a.consume(Timestamp(0)).unwrap();
+        assert_eq!(ch.gc_floor(), Timestamp(1));
+        let b = ch.attach_input();
+        // b can see ts 1 but a get for ts 0 is permanently unsatisfiable.
+        assert!(b.try_get(TsSpec::Exact(Timestamp(1))).is_ok());
+        let miss = b.try_get(TsSpec::Exact(Timestamp(0))).unwrap_err();
+        assert_eq!(miss.reason, MissReason::BelowFrontier);
+    }
+
+    #[test]
+    fn debug_formats() {
+        let ch: Channel<u32> = Channel::new("frames");
+        assert!(format!("{ch:?}").contains("frames"));
+    }
+}

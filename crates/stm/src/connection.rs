@@ -1,0 +1,597 @@
+//! Connection handles: the task-facing API of a channel.
+//!
+//! Tasks never hold a channel directly; they hold *connections* ("conn" in
+//! the Stampede API of paper Fig. 8), which carry per-consumer read state and
+//! per-producer lifetime so the GC and auto-close logic can reason about who
+//! is still attached.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::channel::Inner;
+use crate::error::{ConsumeError, GetError, GetMiss, MissReason, PutError};
+use crate::time::Timestamp;
+use crate::wildcard::TsSpec;
+
+/// Identifies one input connection within its channel.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub(crate) struct ConnId(pub(crate) u64);
+
+/// A successful `get`: the resolved timestamp and a shared handle to the
+/// item. Items are shared (`Arc`) rather than copied, the natural Rust
+/// rendering of STM's zero-copy intent for large video frames.
+#[derive(Debug)]
+pub struct GetOk<T> {
+    /// The timestamp the spec resolved to.
+    pub ts: Timestamp,
+    /// The item.
+    pub value: Arc<T>,
+}
+
+impl<T> Clone for GetOk<T> {
+    fn clone(&self) -> Self {
+        GetOk {
+            ts: self.ts,
+            value: Arc::clone(&self.value),
+        }
+    }
+}
+
+/// A producer's attachment to a channel. Dropping it detaches; when the last
+/// producer detaches the channel (by default) closes.
+pub struct OutputConn<T> {
+    inner: Arc<Inner<T>>,
+    detached: bool,
+}
+
+impl<T> OutputConn<T> {
+    pub(crate) fn new(inner: Arc<Inner<T>>) -> Self {
+        OutputConn {
+            inner,
+            detached: false,
+        }
+    }
+
+    /// Insert `value` at timestamp `ts`, blocking while the channel is at
+    /// capacity (flow control). Fails on duplicate timestamps, closed
+    /// channels, or timestamps no consumer could observe.
+    pub fn put(&self, ts: Timestamp, value: T) -> Result<(), PutError> {
+        let value = Arc::new(value);
+        let mut st = self.inner.state.lock();
+        loop {
+            if st.closed {
+                return Err(PutError::Closed);
+            }
+            if !st.at_capacity() {
+                break;
+            }
+            self.inner.space_freed.wait(&mut st);
+        }
+        st.do_put(ts, value)?;
+        // The new item may already be fully covered (consume-before-put).
+        let reclaimed = st.gc();
+        drop(st);
+        self.inner.items_changed.notify_all();
+        if reclaimed > 0 {
+            self.inner.space_freed.notify_all();
+        }
+        Ok(())
+    }
+
+    /// Non-blocking [`put`](Self::put): fails with [`PutError::Full`] instead
+    /// of waiting when the channel is at capacity.
+    pub fn try_put(&self, ts: Timestamp, value: T) -> Result<(), PutError> {
+        let mut st = self.inner.state.lock();
+        if st.closed {
+            return Err(PutError::Closed);
+        }
+        if st.at_capacity() {
+            return Err(PutError::Full);
+        }
+        st.do_put(ts, Arc::new(value))?;
+        let reclaimed = st.gc();
+        drop(st);
+        self.inner.items_changed.notify_all();
+        if reclaimed > 0 {
+            self.inner.space_freed.notify_all();
+        }
+        Ok(())
+    }
+
+    /// Detach explicitly (equivalent to dropping the handle).
+    pub fn detach(mut self) {
+        self.detach_impl();
+    }
+
+    fn detach_impl(&mut self) {
+        if self.detached {
+            return;
+        }
+        self.detached = true;
+        let mut st = self.inner.state.lock();
+        let closed = st.detach_output();
+        drop(st);
+        if closed {
+            self.inner.items_changed.notify_all();
+            self.inner.space_freed.notify_all();
+        }
+    }
+}
+
+impl<T> Drop for OutputConn<T> {
+    fn drop(&mut self) {
+        self.detach_impl();
+    }
+}
+
+/// A consumer's attachment to a channel, carrying its read cursor, consumed
+/// set, and GC frontier. Dropping it detaches and releases its GC
+/// obligations.
+pub struct InputConn<T> {
+    inner: Arc<Inner<T>>,
+    id: ConnId,
+    detached: bool,
+}
+
+impl<T> InputConn<T> {
+    pub(crate) fn new(inner: Arc<Inner<T>>, id: ConnId) -> Self {
+        InputConn {
+            inner,
+            id,
+            detached: false,
+        }
+    }
+
+    /// Non-blocking get. On a miss, reports why and which timestamps *are*
+    /// available around the request point (paper Fig. 8's `ts_range`).
+    pub fn try_get(&self, spec: TsSpec) -> Result<GetOk<T>, GetMiss> {
+        let mut st = self.inner.state.lock();
+        st.do_get(self.id, spec)
+            .map(|(ts, value)| GetOk { ts, value })
+    }
+
+    /// Blocking get: waits until an item matching `spec` arrives. Fails fast
+    /// when the request is permanently unsatisfiable (below the frontier or
+    /// already consumed) or when the channel closes with no match.
+    pub fn get(&self, spec: TsSpec) -> Result<GetOk<T>, GetError> {
+        self.get_deadline(spec, None)
+    }
+
+    /// [`get`](Self::get) with a timeout.
+    pub fn get_timeout(&self, spec: TsSpec, timeout: Duration) -> Result<GetOk<T>, GetError> {
+        self.get_deadline(spec, Some(std::time::Instant::now() + timeout))
+    }
+
+    fn get_deadline(
+        &self,
+        spec: TsSpec,
+        deadline: Option<std::time::Instant>,
+    ) -> Result<GetOk<T>, GetError> {
+        let mut st = self.inner.state.lock();
+        loop {
+            match st.do_get(self.id, spec) {
+                Ok((ts, value)) => return Ok(GetOk { ts, value }),
+                Err(miss) => match miss.reason {
+                    MissReason::BelowFrontier | MissReason::AlreadyConsumed => {
+                        return Err(GetError::Unsatisfiable(miss.reason));
+                    }
+                    MissReason::ClosedEmpty => return Err(GetError::Closed),
+                    MissReason::NotYetAvailable => {
+                        if st.closed {
+                            return Err(GetError::Closed);
+                        }
+                        match deadline {
+                            None => {
+                                self.inner.items_changed.wait(&mut st);
+                            }
+                            Some(dl) => {
+                                if self.inner.items_changed.wait_until(&mut st, dl).timed_out() {
+                                    return Err(GetError::Timeout);
+                                }
+                            }
+                        }
+                    }
+                },
+            }
+        }
+    }
+
+    /// Declare this connection finished with timestamp `ts`: one unit of the
+    /// GC obligation on that item. Consuming does not require having gotten
+    /// the item (a task may decide to skip a frame it inspected elsewhere).
+    pub fn consume(&self, ts: Timestamp) -> Result<(), ConsumeError> {
+        let mut st = self.inner.state.lock();
+        let cs = st.in_conns.get_mut(&self.id).expect("attached");
+        if ts < cs.frontier {
+            return Err(ConsumeError::BelowFrontier(ts));
+        }
+        if !cs.consumed.insert(ts) {
+            return Err(ConsumeError::AlreadyConsumed(ts));
+        }
+        let n = st.gc();
+        drop(st);
+        if n > 0 {
+            self.inner.space_freed.notify_all();
+        }
+        Ok(())
+    }
+
+    /// Promise never to request any timestamp `< frontier` over this
+    /// connection — the virtual-time advance that lets the GC reclaim whole
+    /// prefixes (a downstream task skipping to the newest frame advances its
+    /// frontier past everything it skipped). Monotonic: lower values are
+    /// ignored.
+    pub fn advance_frontier(&self, frontier: Timestamp) {
+        let mut st = self.inner.state.lock();
+        let cs = st.in_conns.get_mut(&self.id).expect("attached");
+        if frontier > cs.frontier {
+            cs.frontier = frontier;
+            // Explicit consumes below the new frontier are now redundant.
+            cs.consumed = cs.consumed.split_off(&frontier);
+        }
+        let n = st.gc();
+        drop(st);
+        if n > 0 {
+            self.inner.space_freed.notify_all();
+        }
+    }
+
+    /// Consume the item *and* advance the frontier past it in one step —
+    /// the common pattern of strictly in-order consumers.
+    pub fn consume_through(&self, ts: Timestamp) {
+        self.advance_frontier(ts.next());
+    }
+
+    /// This connection's current frontier.
+    #[must_use]
+    pub fn frontier(&self) -> Timestamp {
+        let st = self.inner.state.lock();
+        st.in_conns[&self.id].frontier
+    }
+
+    /// The largest timestamp ever returned by a `get` on this connection.
+    #[must_use]
+    pub fn last_gotten(&self) -> Option<Timestamp> {
+        let st = self.inner.state.lock();
+        st.in_conns[&self.id].last_gotten
+    }
+
+    /// Detach explicitly (equivalent to dropping the handle).
+    pub fn detach(mut self) {
+        self.detach_impl();
+    }
+
+    fn detach_impl(&mut self) {
+        if self.detached {
+            return;
+        }
+        self.detached = true;
+        let mut st = self.inner.state.lock();
+        st.detach_input(self.id);
+        drop(st);
+        self.inner.space_freed.notify_all();
+    }
+}
+
+impl<T> Drop for InputConn<T> {
+    fn drop(&mut self) {
+        self.detach_impl();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::channel::Channel;
+    use std::thread;
+    use std::time::Duration;
+
+    fn chan() -> Channel<u32> {
+        Channel::new("t")
+    }
+
+    #[test]
+    fn exact_get_returns_item() {
+        let ch = chan();
+        let out = ch.attach_output();
+        let inp = ch.attach_input();
+        out.put(Timestamp(4), 44).unwrap();
+        let got = inp.try_get(TsSpec::Exact(Timestamp(4))).unwrap();
+        assert_eq!(got.ts, Timestamp(4));
+        assert_eq!(*got.value, 44);
+        // An item may be gotten repeatedly until consumed.
+        assert!(inp.try_get(TsSpec::Exact(Timestamp(4))).is_ok());
+    }
+
+    #[test]
+    fn newest_and_oldest_wildcards() {
+        let ch = chan();
+        let out = ch.attach_output();
+        let inp = ch.attach_input();
+        for t in [2u64, 5, 9] {
+            out.put(Timestamp(t), t as u32).unwrap();
+        }
+        assert_eq!(inp.try_get(TsSpec::Newest).unwrap().ts, Timestamp(9));
+        assert_eq!(inp.try_get(TsSpec::Oldest).unwrap().ts, Timestamp(2));
+    }
+
+    #[test]
+    fn newest_unseen_skips_but_never_repeats() {
+        let ch = chan();
+        let out = ch.attach_output();
+        let inp = ch.attach_input();
+        for t in 0..3u64 {
+            out.put(Timestamp(t), t as u32).unwrap();
+        }
+        // First call: newest is 2.
+        assert_eq!(inp.try_get(TsSpec::NewestUnseen).unwrap().ts, Timestamp(2));
+        // Nothing newer yet → miss, even though 0 and 1 are present.
+        assert!(inp.try_get(TsSpec::NewestUnseen).is_err());
+        out.put(Timestamp(3), 3).unwrap();
+        assert_eq!(inp.try_get(TsSpec::NewestUnseen).unwrap().ts, Timestamp(3));
+    }
+
+    #[test]
+    fn newest_unseen_global_shares_state_across_connections() {
+        // A pool of worker connections draining one stream without
+        // duplicating work — "the newest value not previously gotten over
+        // any connection".
+        let ch = chan();
+        let out = ch.attach_output();
+        let a = ch.attach_input();
+        let b = ch.attach_input();
+        for t in 0..3u64 {
+            out.put(Timestamp(t), t as u32).unwrap();
+        }
+        assert_eq!(a.try_get(TsSpec::NewestUnseenGlobal).unwrap().ts, Timestamp(2));
+        // `b` has seen nothing itself, but the channel-global cursor moved.
+        assert!(b.try_get(TsSpec::NewestUnseenGlobal).is_err());
+        out.put(Timestamp(3), 3).unwrap();
+        assert_eq!(b.try_get(TsSpec::NewestUnseenGlobal).unwrap().ts, Timestamp(3));
+        // Per-connection NewestUnseen is also affected for `a` only through
+        // its own history: `b` never got ts 2, so per-conn it is still new.
+        out.put(Timestamp(4), 4).unwrap();
+        assert_eq!(b.try_get(TsSpec::NewestUnseen).unwrap().ts, Timestamp(4));
+    }
+
+    #[test]
+    fn newest_unseen_global_interacts_with_plain_gets() {
+        let ch = chan();
+        let out = ch.attach_output();
+        let a = ch.attach_input();
+        out.put(Timestamp(5), 5).unwrap();
+        // A plain Exact get also advances the global cursor.
+        let _ = a.try_get(TsSpec::Exact(Timestamp(5))).unwrap();
+        assert!(a.try_get(TsSpec::NewestUnseenGlobal).is_err());
+        let miss = a.try_get(TsSpec::NewestUnseenGlobal).unwrap_err();
+        assert_eq!(miss.reason, MissReason::NotYetAvailable);
+    }
+
+    #[test]
+    fn next_unseen_is_in_order_without_skips() {
+        let ch = chan();
+        let out = ch.attach_output();
+        let inp = ch.attach_input();
+        for t in 0..3u64 {
+            out.put(Timestamp(t), t as u32).unwrap();
+        }
+        assert_eq!(inp.try_get(TsSpec::NextUnseen).unwrap().ts, Timestamp(0));
+        assert_eq!(inp.try_get(TsSpec::NextUnseen).unwrap().ts, Timestamp(1));
+        assert_eq!(inp.try_get(TsSpec::NextUnseen).unwrap().ts, Timestamp(2));
+        assert!(inp.try_get(TsSpec::NextUnseen).is_err());
+    }
+
+    #[test]
+    fn at_or_after_selects_lower_bound() {
+        let ch = chan();
+        let out = ch.attach_output();
+        let inp = ch.attach_input();
+        for t in [1u64, 4, 7] {
+            out.put(Timestamp(t), 0).unwrap();
+        }
+        assert_eq!(
+            inp.try_get(TsSpec::AtOrAfter(Timestamp(3))).unwrap().ts,
+            Timestamp(4)
+        );
+        assert_eq!(
+            inp.try_get(TsSpec::AtOrAfter(Timestamp(4))).unwrap().ts,
+            Timestamp(4)
+        );
+    }
+
+    #[test]
+    fn unseen_state_is_per_connection() {
+        let ch = chan();
+        let out = ch.attach_output();
+        let a = ch.attach_input();
+        let b = ch.attach_input();
+        out.put(Timestamp(0), 0).unwrap();
+        assert!(a.try_get(TsSpec::NewestUnseen).is_ok());
+        // `a` saw it, but `b` has not.
+        assert!(a.try_get(TsSpec::NewestUnseen).is_err());
+        assert!(b.try_get(TsSpec::NewestUnseen).is_ok());
+    }
+
+    #[test]
+    fn miss_reports_neighbours() {
+        let ch = chan();
+        let out = ch.attach_output();
+        let inp = ch.attach_input();
+        out.put(Timestamp(1), 0).unwrap();
+        out.put(Timestamp(5), 0).unwrap();
+        let miss = inp.try_get(TsSpec::Exact(Timestamp(3))).unwrap_err();
+        assert_eq!(miss.reason, MissReason::NotYetAvailable);
+        assert_eq!(miss.below, Some(Timestamp(1)));
+        assert_eq!(miss.above, Some(Timestamp(5)));
+    }
+
+    #[test]
+    fn consumed_item_cannot_be_regotten() {
+        let ch = chan();
+        let out = ch.attach_output();
+        let a = ch.attach_input();
+        let _b = ch.attach_input(); // keeps the item live
+        out.put(Timestamp(0), 0).unwrap();
+        a.consume(Timestamp(0)).unwrap();
+        let miss = a.try_get(TsSpec::Exact(Timestamp(0))).unwrap_err();
+        assert_eq!(miss.reason, MissReason::AlreadyConsumed);
+        // Wildcards also skip the consumed item.
+        assert!(a.try_get(TsSpec::Newest).is_err());
+    }
+
+    #[test]
+    fn double_consume_rejected() {
+        let ch = chan();
+        let out = ch.attach_output();
+        let a = ch.attach_input();
+        let _b = ch.attach_input();
+        out.put(Timestamp(0), 0).unwrap();
+        a.consume(Timestamp(0)).unwrap();
+        assert_eq!(
+            a.consume(Timestamp(0)),
+            Err(ConsumeError::AlreadyConsumed(Timestamp(0)))
+        );
+    }
+
+    #[test]
+    fn consume_below_frontier_rejected() {
+        let ch = chan();
+        let _out = ch.attach_output();
+        let a = ch.attach_input();
+        a.advance_frontier(Timestamp(10));
+        assert_eq!(
+            a.consume(Timestamp(3)),
+            Err(ConsumeError::BelowFrontier(Timestamp(3)))
+        );
+    }
+
+    #[test]
+    fn frontier_is_monotonic() {
+        let ch = chan();
+        let a = ch.attach_input();
+        a.advance_frontier(Timestamp(10));
+        a.advance_frontier(Timestamp(5)); // ignored
+        assert_eq!(a.frontier(), Timestamp(10));
+    }
+
+    #[test]
+    fn consume_through_reclaims_prefix() {
+        let ch = chan();
+        let out = ch.attach_output();
+        let a = ch.attach_input();
+        for t in 0..5u64 {
+            out.put(Timestamp(t), 0).unwrap();
+        }
+        a.consume_through(Timestamp(2));
+        assert_eq!(ch.len(), 2);
+        assert_eq!(a.frontier(), Timestamp(3));
+    }
+
+    #[test]
+    fn blocking_get_wakes_on_put() {
+        let ch = chan();
+        let out = ch.attach_output();
+        let inp = ch.attach_input();
+        let h = thread::spawn(move || inp.get(TsSpec::Exact(Timestamp(0))).unwrap());
+        thread::sleep(Duration::from_millis(20));
+        out.put(Timestamp(0), 99).unwrap();
+        let got = h.join().unwrap();
+        assert_eq!(*got.value, 99);
+    }
+
+    #[test]
+    fn blocking_get_fails_on_close() {
+        let ch = chan();
+        let inp = ch.attach_input();
+        let ch2 = ch.clone();
+        let h = thread::spawn(move || inp.get(TsSpec::Newest));
+        thread::sleep(Duration::from_millis(20));
+        ch2.close();
+        assert_eq!(h.join().unwrap().unwrap_err(), GetError::Closed);
+    }
+
+    #[test]
+    fn get_timeout_elapses() {
+        let ch = chan();
+        let _out = ch.attach_output();
+        let inp = ch.attach_input();
+        let err = inp
+            .get_timeout(TsSpec::Newest, Duration::from_millis(30))
+            .unwrap_err();
+        assert_eq!(err, GetError::Timeout);
+    }
+
+    #[test]
+    fn get_unsatisfiable_fails_fast() {
+        let ch = chan();
+        let _out = ch.attach_output();
+        let inp = ch.attach_input();
+        inp.advance_frontier(Timestamp(10));
+        let err = inp.get(TsSpec::Exact(Timestamp(1))).unwrap_err();
+        assert_eq!(err, GetError::Unsatisfiable(MissReason::BelowFrontier));
+    }
+
+    #[test]
+    fn capacity_put_blocks_until_consume() {
+        let ch: Channel<u32> = Channel::with_capacity("cap", 1);
+        let out = ch.attach_output();
+        let inp = ch.attach_input();
+        out.put(Timestamp(0), 0).unwrap();
+        let h = thread::spawn(move || {
+            out.put(Timestamp(1), 1).unwrap();
+        });
+        thread::sleep(Duration::from_millis(20));
+        assert_eq!(ch.len(), 1, "second put must still be blocked");
+        inp.consume_through(Timestamp(0));
+        h.join().unwrap();
+        assert_eq!(ch.newest_ts(), Some(Timestamp(1)));
+    }
+
+    #[test]
+    fn producer_consumer_pipeline_threads() {
+        let ch: Channel<u64> = Channel::new("pipe");
+        let out = ch.attach_output();
+        let inp = ch.attach_input();
+        let n = 200u64;
+        let prod = thread::spawn(move || {
+            for t in 0..n {
+                out.put(Timestamp(t), t * 2).unwrap();
+            }
+        });
+        let cons = thread::spawn(move || {
+            let mut sum = 0u64;
+            for _ in 0..n {
+                let got = inp.get(TsSpec::NextUnseen).unwrap();
+                assert_eq!(*got.value, got.ts.0 * 2);
+                sum += *got.value;
+                inp.consume_through(got.ts);
+            }
+            sum
+        });
+        prod.join().unwrap();
+        let sum = cons.join().unwrap();
+        assert_eq!(sum, (0..n).map(|t| t * 2).sum());
+        assert_eq!(ch.len(), 0);
+    }
+
+    #[test]
+    fn explicit_detach_consumes_handle() {
+        let ch = chan();
+        let out = ch.attach_output();
+        let inp = ch.attach_input();
+        inp.detach();
+        out.detach();
+        assert!(ch.is_closed());
+    }
+
+    #[test]
+    fn get_ok_clone_shares_value() {
+        let ch = chan();
+        let out = ch.attach_output();
+        let inp = ch.attach_input();
+        out.put(Timestamp(0), 5).unwrap();
+        let a = inp.try_get(TsSpec::Newest).unwrap();
+        let b = a.clone();
+        assert!(Arc::ptr_eq(&a.value, &b.value));
+    }
+}

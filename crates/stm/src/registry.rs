@@ -1,0 +1,185 @@
+//! A name → channel registry, the STM analogue of Stampede's cluster-wide
+//! channel namespace: tasks "name the various channels they touch" rather
+//! than passing handles around.
+
+use std::any::Any;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::channel::Channel;
+
+/// Error returned when a registered name is re-requested at a different item
+/// type.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct TypeMismatch {
+    /// The offending channel name is reported through `Display`.
+    _priv: (),
+}
+
+impl fmt::Display for TypeMismatch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "channel exists with a different item type")
+    }
+}
+
+impl std::error::Error for TypeMismatch {}
+
+/// A shared namespace of channels keyed by name. Cloning shares the
+/// namespace, mirroring STM's location transparency: any task on any "node"
+/// that looks up the same name reaches the same channel.
+#[derive(Clone, Default)]
+pub struct Registry {
+    inner: Arc<Mutex<HashMap<String, Box<dyn Any + Send + Sync>>>>,
+}
+
+impl Registry {
+    /// Create an empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Look up `name`, creating an unbounded channel of item type `T` on
+    /// first use. Fails if the name already maps to a different item type.
+    pub fn channel<T: Send + Sync + 'static>(
+        &self,
+        name: &str,
+    ) -> Result<Channel<T>, TypeMismatch> {
+        let mut map = self.inner.lock();
+        if let Some(boxed) = map.get(name) {
+            return boxed
+                .downcast_ref::<Channel<T>>()
+                .cloned()
+                .ok_or(TypeMismatch { _priv: () });
+        }
+        let ch: Channel<T> = Channel::new(name);
+        map.insert(name.to_string(), Box::new(ch.clone()));
+        Ok(ch)
+    }
+
+    /// Register an existing (possibly capacity-bounded) channel under a name.
+    /// Fails if the name is taken by a channel of a different type; replaces
+    /// nothing.
+    pub fn register<T: Send + Sync + 'static>(
+        &self,
+        name: &str,
+        ch: Channel<T>,
+    ) -> Result<Channel<T>, TypeMismatch> {
+        let mut map = self.inner.lock();
+        if let Some(boxed) = map.get(name) {
+            return boxed
+                .downcast_ref::<Channel<T>>()
+                .cloned()
+                .ok_or(TypeMismatch { _priv: () });
+        }
+        map.insert(name.to_string(), Box::new(ch.clone()));
+        Ok(ch)
+    }
+
+    /// Names currently registered, sorted.
+    #[must_use]
+    pub fn names(&self) -> Vec<String> {
+        let map = self.inner.lock();
+        let mut v: Vec<String> = map.keys().cloned().collect();
+        v.sort();
+        v
+    }
+
+    /// Number of registered channels.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.inner.lock().len()
+    }
+
+    /// Whether the registry is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.inner.lock().is_empty()
+    }
+}
+
+impl fmt::Debug for Registry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Registry")
+            .field("channels", &self.names())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::Timestamp;
+    use crate::wildcard::TsSpec;
+
+    #[test]
+    fn same_name_returns_same_channel() {
+        let reg = Registry::new();
+        let a: Channel<u32> = reg.channel("frames").unwrap();
+        let b: Channel<u32> = reg.channel("frames").unwrap();
+        let out = a.attach_output();
+        let inp = b.attach_input();
+        out.put(Timestamp(0), 7).unwrap();
+        assert_eq!(*inp.try_get(TsSpec::Newest).unwrap().value, 7);
+    }
+
+    #[test]
+    fn type_mismatch_detected() {
+        let reg = Registry::new();
+        let _a: Channel<u32> = reg.channel("frames").unwrap();
+        let b: Result<Channel<String>, _> = reg.channel("frames");
+        assert!(b.is_err());
+        assert!(b.unwrap_err().to_string().contains("different item type"));
+    }
+
+    #[test]
+    fn registry_is_shared_by_clone() {
+        let reg = Registry::new();
+        let reg2 = reg.clone();
+        let _: Channel<u32> = reg.channel("a").unwrap();
+        assert_eq!(reg2.len(), 1);
+        assert_eq!(reg2.names(), vec!["a".to_string()]);
+        assert!(!reg2.is_empty());
+    }
+
+    #[test]
+    fn register_prebuilt_channel() {
+        let reg = Registry::new();
+        let ch: Channel<u32> = Channel::with_capacity("bounded", 3);
+        reg.register("bounded", ch.clone()).unwrap();
+        let again: Channel<u32> = reg.channel("bounded").unwrap();
+        // Same underlying store.
+        let out = ch.attach_output();
+        out.put(Timestamp(0), 1).unwrap();
+        assert_eq!(again.len(), 1);
+    }
+
+    #[test]
+    fn register_existing_name_returns_existing() {
+        let reg = Registry::new();
+        let first: Channel<u32> = reg.channel("x").unwrap();
+        let other: Channel<u32> = Channel::new("x2");
+        let got = reg.register("x", other).unwrap();
+        let out = first.attach_output();
+        out.put(Timestamp(0), 1).unwrap();
+        assert_eq!(got.len(), 1, "register returned the pre-existing channel");
+    }
+
+    #[test]
+    fn cross_thread_usage() {
+        let reg = Registry::new();
+        let reg2 = reg.clone();
+        let h = std::thread::spawn(move || {
+            let ch: Channel<u64> = reg2.channel("shared").unwrap();
+            let out = ch.attach_output();
+            out.put(Timestamp(1), 42).unwrap();
+        });
+        h.join().unwrap();
+        let ch: Channel<u64> = reg.channel("shared").unwrap();
+        let inp = ch.attach_input();
+        assert_eq!(*inp.try_get(TsSpec::Newest).unwrap().value, 42);
+    }
+}

@@ -1,0 +1,261 @@
+//! Model-based property tests for Space-Time Memory.
+//!
+//! A simple reference model (sets of puts/consumes/frontiers) is driven with
+//! the same random operation sequence as the real channel; the GC safety and
+//! wildcard-semantics invariants must agree at every step.
+
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+use stm::{Channel, MissReason, PutError, Timestamp, TsSpec};
+
+/// Operations the fuzzer may apply. Connection index is always in 0..N_CONNS.
+#[derive(Clone, Debug)]
+enum Op {
+    Put(u64),
+    Consume(usize, u64),
+    AdvanceFrontier(usize, u64),
+    GetNewest(usize),
+    GetOldest(usize),
+    GetNextUnseen(usize),
+    GetExact(usize, u64),
+}
+
+const N_CONNS: usize = 3;
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    let ts = 0u64..24;
+    let conn = 0usize..N_CONNS;
+    prop_oneof![
+        ts.clone().prop_map(Op::Put),
+        (conn.clone(), ts.clone()).prop_map(|(c, t)| Op::Consume(c, t)),
+        (conn.clone(), ts.clone()).prop_map(|(c, t)| Op::AdvanceFrontier(c, t)),
+        conn.clone().prop_map(Op::GetNewest),
+        conn.clone().prop_map(Op::GetOldest),
+        conn.clone().prop_map(Op::GetNextUnseen),
+        (conn, ts).prop_map(|(c, t)| Op::GetExact(c, t)),
+    ]
+}
+
+/// Reference model of one channel with N_CONNS input connections.
+#[derive(Default)]
+struct Model {
+    /// Timestamps put and not yet reclaimed.
+    live: BTreeSet<u64>,
+    /// Everything below this is reclaimed.
+    gc_floor: u64,
+    /// Per-connection frontier.
+    frontier: [u64; N_CONNS],
+    /// Per-connection consumed set (at or above frontier).
+    consumed: [BTreeSet<u64>; N_CONNS],
+    /// Per-connection last gotten.
+    last_gotten: [Option<u64>; N_CONNS],
+}
+
+impl Model {
+    fn covers(&self, c: usize, ts: u64) -> bool {
+        ts < self.frontier[c] || self.consumed[c].contains(&ts)
+    }
+
+    fn gc(&mut self) {
+        while let Some(&ts) = self.live.iter().next() {
+            if (0..N_CONNS).all(|c| self.covers(c, ts)) {
+                self.live.remove(&ts);
+                self.gc_floor = self.gc_floor.max(ts + 1);
+                for c in 0..N_CONNS {
+                    self.consumed[c].remove(&ts);
+                    self.frontier[c] = self.frontier[c].max(self.gc_floor);
+                }
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn put(&mut self, ts: u64) -> Result<(), ()> {
+        if ts < self.gc_floor || (0..N_CONNS).all(|c| ts < self.frontier[c]) {
+            return Err(());
+        }
+        if self.live.contains(&ts) {
+            return Err(());
+        }
+        self.live.insert(ts);
+        Ok(())
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The real channel and the reference model agree on live contents,
+    /// GC floor, and get results after every operation.
+    #[test]
+    fn channel_matches_model(ops in proptest::collection::vec(op_strategy(), 1..120)) {
+        let ch: Channel<u64> = Channel::new("model");
+        let out = ch.attach_output();
+        let conns: Vec<_> = (0..N_CONNS).map(|_| ch.attach_input()).collect();
+        let mut model = Model::default();
+
+        for op in ops {
+            match op {
+                Op::Put(ts) => {
+                    let real = out.put(Timestamp(ts), ts);
+                    let want = model.put(ts);
+                    prop_assert_eq!(real.is_ok(), want.is_ok(), "put {} divergence", ts);
+                    // A successful put may complete pending coverage
+                    // (consume-before-put), so let the model GC too.
+                    model.gc();
+                }
+                Op::Consume(c, ts) => {
+                    let real = conns[c].consume(Timestamp(ts));
+                    let legal = ts >= model.frontier[c] && !model.consumed[c].contains(&ts);
+                    prop_assert_eq!(real.is_ok(), legal, "consume {} @conn{}", ts, c);
+                    if legal {
+                        model.consumed[c].insert(ts);
+                        model.gc();
+                    }
+                }
+                Op::AdvanceFrontier(c, ts) => {
+                    conns[c].advance_frontier(Timestamp(ts));
+                    if ts > model.frontier[c] {
+                        model.frontier[c] = ts;
+                        model.consumed[c] = model.consumed[c].split_off(&ts);
+                    }
+                    model.gc();
+                }
+                Op::GetNewest(c) => {
+                    let want = model.live.iter().rev().copied()
+                        .find(|&ts| ts >= model.frontier[c] && !model.consumed[c].contains(&ts));
+                    match conns[c].try_get(TsSpec::Newest) {
+                        Ok(got) => {
+                            prop_assert_eq!(Some(got.ts.0), want);
+                            let lg = &mut model.last_gotten[c];
+                            *lg = Some(lg.map_or(got.ts.0, |p| p.max(got.ts.0)));
+                        }
+                        Err(_) => prop_assert_eq!(want, None),
+                    }
+                }
+                Op::GetOldest(c) => {
+                    let want = model.live.iter().copied()
+                        .find(|&ts| ts >= model.frontier[c] && !model.consumed[c].contains(&ts));
+                    match conns[c].try_get(TsSpec::Oldest) {
+                        Ok(got) => {
+                            prop_assert_eq!(Some(got.ts.0), want);
+                            let lg = &mut model.last_gotten[c];
+                            *lg = Some(lg.map_or(got.ts.0, |p| p.max(got.ts.0)));
+                        }
+                        Err(_) => prop_assert_eq!(want, None),
+                    }
+                }
+                Op::GetNextUnseen(c) => {
+                    let lower = model.last_gotten[c].map_or(0, |p| p + 1);
+                    let want = model.live.range(lower..).copied()
+                        .find(|&ts| ts >= model.frontier[c] && !model.consumed[c].contains(&ts));
+                    match conns[c].try_get(TsSpec::NextUnseen) {
+                        Ok(got) => {
+                            prop_assert_eq!(Some(got.ts.0), want);
+                            model.last_gotten[c] = Some(got.ts.0);
+                        }
+                        Err(_) => prop_assert_eq!(want, None),
+                    }
+                }
+                Op::GetExact(c, ts) => {
+                    let real = conns[c].try_get(TsSpec::Exact(Timestamp(ts)));
+                    let gettable = model.live.contains(&ts)
+                        && ts >= model.frontier[c]
+                        && !model.consumed[c].contains(&ts);
+                    match real {
+                        Ok(got) => {
+                            prop_assert!(gettable);
+                            prop_assert_eq!(got.ts.0, ts);
+                            prop_assert_eq!(*got.value, ts);
+                            let lg = &mut model.last_gotten[c];
+                            *lg = Some(lg.map_or(ts, |p| p.max(ts)));
+                        }
+                        Err(miss) => {
+                            prop_assert!(!gettable);
+                            if ts < model.frontier[c] {
+                                prop_assert_eq!(miss.reason, MissReason::BelowFrontier);
+                            } else if model.consumed[c].contains(&ts) {
+                                prop_assert_eq!(miss.reason, MissReason::AlreadyConsumed);
+                            }
+                        }
+                    }
+                }
+            }
+
+            // Global invariants after every step.
+            let real_live: Vec<u64> = {
+                // Reconstruct live set through channel observers.
+                let mut v = Vec::new();
+                if let (Some(lo), Some(hi)) = (ch.oldest_ts(), ch.newest_ts()) {
+                    let probe = ch.attach_input();
+                    let mut cur = lo;
+                    loop {
+                        if probe.try_get(TsSpec::Exact(cur)).is_ok() {
+                            v.push(cur.0);
+                        }
+                        if cur >= hi { break; }
+                        cur = cur.next();
+                    }
+                }
+                v
+            };
+            let model_live: Vec<u64> = model.live.iter().copied().collect();
+            prop_assert_eq!(&real_live, &model_live, "live sets diverged");
+            prop_assert_eq!(ch.gc_floor().0, model.gc_floor, "gc floor diverged");
+            prop_assert_eq!(ch.len(), model.live.len());
+        }
+    }
+
+    /// NextUnseen over one connection yields strictly increasing timestamps
+    /// regardless of interleaved puts.
+    #[test]
+    fn next_unseen_strictly_increasing(
+        puts in proptest::collection::btree_set(0u64..64, 1..32),
+        gets in 1usize..40,
+    ) {
+        let ch: Channel<u64> = Channel::new("inc");
+        let out = ch.attach_output();
+        let inp = ch.attach_input();
+        let puts: Vec<u64> = puts.into_iter().collect();
+        let mut it = puts.iter();
+        let mut seen: Vec<u64> = Vec::new();
+        for i in 0..gets {
+            // Interleave puts with gets.
+            if i % 2 == 0 {
+                if let Some(&ts) = it.next() {
+                    out.put(Timestamp(ts), ts).unwrap();
+                }
+            }
+            if let Ok(got) = inp.try_get(TsSpec::NextUnseen) {
+                seen.push(got.ts.0);
+            }
+        }
+        for w in seen.windows(2) {
+            prop_assert!(w[0] < w[1], "NextUnseen repeated or regressed: {:?}", seen);
+        }
+    }
+
+    /// Put/consume conservation: live + reclaimed == successful puts.
+    #[test]
+    fn conservation(ops in proptest::collection::vec((0u64..32, any::<bool>()), 1..64)) {
+        let ch: Channel<u64> = Channel::new("cons");
+        let out = ch.attach_output();
+        let inp = ch.attach_input();
+        let mut ok_puts = 0u64;
+        for (ts, consume) in ops {
+            match out.put(Timestamp(ts), ts) {
+                Ok(()) => ok_puts += 1,
+                Err(PutError::DuplicateTimestamp(_)) | Err(PutError::BelowFrontier(_)) => {}
+                Err(e) => prop_assert!(false, "unexpected put error {e:?}"),
+            }
+            if consume {
+                let _ = inp.consume(Timestamp(ts));
+            }
+        }
+        let stats = ch.stats();
+        prop_assert_eq!(stats.puts, ok_puts);
+        prop_assert_eq!(stats.live as u64 + stats.reclaimed, ok_puts);
+        prop_assert_eq!(stats.live, ch.len());
+    }
+}

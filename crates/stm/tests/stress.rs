@@ -1,0 +1,175 @@
+//! Concurrency stress tests: many threads hammering one channel must never
+//! lose, duplicate, or leak items.
+
+use std::collections::HashSet;
+use std::thread;
+
+use stm::{Channel, GetError, Timestamp, TsSpec};
+
+const N_FRAMES: u64 = 2_000;
+
+#[test]
+fn multi_stage_pipeline_under_capacity_pressure() {
+    // producer → stage1 → stage2 with tight channels; every item must flow
+    // through exactly once, in order.
+    let a: Channel<u64> = Channel::with_capacity("a", 3);
+    let b: Channel<u64> = Channel::with_capacity("b", 3);
+    let out_a = a.attach_output();
+    let in_a = a.attach_input();
+    let out_b = b.attach_output();
+    let in_b = b.attach_input();
+
+    let producer = thread::spawn(move || {
+        for ts in 0..N_FRAMES {
+            out_a.put(Timestamp(ts), ts * 3).unwrap();
+        }
+    });
+    let stage1 = thread::spawn(move || {
+        while let Ok(got) = in_a.get(TsSpec::NextUnseen) {
+            out_b.put(got.ts, *got.value + 1).unwrap();
+            in_a.consume_through(got.ts);
+        }
+    });
+    let stage2 = thread::spawn(move || {
+        let mut seen = Vec::new();
+        while let Ok(got) = in_b.get(TsSpec::NextUnseen) {
+            assert_eq!(*got.value, got.ts.0 * 3 + 1);
+            seen.push(got.ts.0);
+            in_b.consume_through(got.ts);
+        }
+        seen
+    });
+
+    producer.join().unwrap();
+    stage1.join().unwrap();
+    let seen = stage2.join().unwrap();
+    assert_eq!(seen.len() as u64, N_FRAMES);
+    assert!(seen.windows(2).all(|w| w[1] == w[0] + 1), "order violated");
+    assert_eq!(a.stats().reclaimed, N_FRAMES);
+    assert_eq!(b.stats().reclaimed, N_FRAMES);
+    assert!(a.stats().peak_live <= 3);
+    assert!(b.stats().peak_live <= 3);
+}
+
+#[test]
+fn worker_pool_with_global_unseen_partitions_the_stream() {
+    // Four workers share one stream via NewestUnseenGlobal: every frame is
+    // claimed by at most one worker (no duplicated work). The channel is
+    // unbounded: a capacity-bounded channel would deadlock this pattern,
+    // because a worker blocked in `get` cannot advance its frontier, pinning
+    // the GC while the producer waits for space — skip-style pools must pair
+    // with unbounded channels or polling consumers.
+    let ch: Channel<u64> = Channel::new("pool");
+    let out = ch.attach_output();
+    let producer = thread::spawn(move || {
+        for ts in 0..N_FRAMES {
+            out.put(Timestamp(ts), ts).unwrap();
+        }
+    });
+    let workers: Vec<_> = (0..4)
+        .map(|_| {
+            let conn = ch.attach_input();
+            thread::spawn(move || {
+                let mut mine = Vec::new();
+                loop {
+                    match conn.get(TsSpec::NewestUnseenGlobal) {
+                        Ok(got) => {
+                            mine.push(got.ts.0);
+                            conn.consume(got.ts).unwrap();
+                        }
+                        Err(GetError::Closed) => break,
+                        Err(e) => panic!("{e}"),
+                    }
+                }
+                mine
+            })
+        })
+        .collect();
+    producer.join().unwrap();
+    let claimed: Vec<Vec<u64>> = workers.into_iter().map(|w| w.join().unwrap()).collect();
+    let mut all: Vec<u64> = claimed.iter().flatten().copied().collect();
+    let unique: HashSet<u64> = all.iter().copied().collect();
+    assert_eq!(unique.len(), all.len(), "a frame was processed twice");
+    all.sort_unstable();
+    assert!(!all.is_empty());
+    assert!(*all.last().unwrap() < N_FRAMES);
+}
+
+#[test]
+fn many_readers_never_observe_reclaimed_items() {
+    // One in-order consumer drives GC; three racing readers use wildcards.
+    // Readers must always succeed or miss cleanly — never see stale data.
+    let ch: Channel<u64> = Channel::with_capacity("readers", 8);
+    let out = ch.attach_output();
+    let consumer = ch.attach_input();
+    let readers: Vec<_> = (0..3)
+        .map(|_| {
+            let conn = ch.attach_input();
+            let chc = ch.clone();
+            thread::spawn(move || {
+                let mut reads = 0u64;
+                while !chc.is_closed() || !chc.is_empty() {
+                    if let Ok(got) = conn.try_get(TsSpec::Newest) {
+                        assert_eq!(*got.value, got.ts.0 * 7);
+                        reads += 1;
+                        // Frontier advance lets GC proceed past us.
+                        conn.advance_frontier(got.ts.next());
+                    }
+                    std::thread::yield_now();
+                }
+                drop(conn);
+                reads
+            })
+        })
+        .collect();
+
+    let producer = thread::spawn(move || {
+        for ts in 0..500u64 {
+            out.put(Timestamp(ts), ts * 7).unwrap();
+        }
+    });
+    let drainer = thread::spawn(move || {
+        let mut n = 0u64;
+        while let Ok(got) = consumer.get(TsSpec::NextUnseen) {
+            consumer.consume_through(got.ts);
+            n += 1;
+        }
+        n
+    });
+    producer.join().unwrap();
+    let drained = drainer.join().unwrap();
+    assert_eq!(drained, 500);
+    for r in readers {
+        let _ = r.join().unwrap();
+    }
+    assert_eq!(ch.len(), 0);
+}
+
+#[test]
+fn interleaved_attach_detach_during_traffic() {
+    let ch: Channel<u64> = Channel::with_capacity("churn", 16);
+    let out = ch.attach_output();
+    let steady = ch.attach_input();
+    let chc = ch.clone();
+    let churner = thread::spawn(move || {
+        for _ in 0..200 {
+            let conn = chc.attach_input();
+            let _ = conn.try_get(TsSpec::Oldest);
+            drop(conn); // detach releases its GC obligation
+        }
+    });
+    let producer = thread::spawn(move || {
+        for ts in 0..1_000u64 {
+            out.put(Timestamp(ts), ts).unwrap();
+        }
+    });
+    let mut n = 0u64;
+    while let Ok(got) = steady.get(TsSpec::NextUnseen) {
+        steady.consume_through(got.ts);
+        n += 1;
+    }
+    producer.join().unwrap();
+    churner.join().unwrap();
+    assert_eq!(n, 1_000);
+    assert_eq!(ch.len(), 0, "churning consumers must not strand items");
+}

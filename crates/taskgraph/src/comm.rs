@@ -1,0 +1,115 @@
+//! Communication cost models: "execution times for communication of each
+//! data type both within and across nodes in the cluster" (Fig. 6, *Input*).
+//!
+//! Within an SMP node, channel items move through shared memory (cheap);
+//! across nodes they cross the interconnect (Memory Channel / Myrinet in the
+//! paper's cluster). This asymmetry is why "the minimal latency schedule for
+//! an iteration may not use all processors but is instead restricted to the
+//! processors on a single node" (§3.3).
+
+use crate::cost::Micros;
+
+/// Whether a transfer stays within one SMP node.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Locality {
+    /// Producer and consumer run on processors of the same node.
+    IntraNode,
+    /// The item crosses the cluster interconnect.
+    InterNode,
+}
+
+/// Latency + bandwidth model for channel transfers.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct CommCosts {
+    /// Fixed per-item latency within a node (shared-memory handoff).
+    pub intra_latency: Micros,
+    /// Per-KiB cost within a node (cache traffic).
+    pub intra_per_kib: Micros,
+    /// Fixed per-item latency across nodes (message setup).
+    pub inter_latency: Micros,
+    /// Per-KiB cost across nodes (interconnect bandwidth).
+    pub inter_per_kib: Micros,
+}
+
+impl CommCosts {
+    /// A model where communication is free — useful for isolating pure
+    /// scheduling effects in tests.
+    pub const FREE: CommCosts = CommCosts {
+        intra_latency: Micros(0),
+        intra_per_kib: Micros(0),
+        inter_latency: Micros(0),
+        inter_per_kib: Micros(0),
+    };
+
+    /// Default model loosely calibrated to the paper's platform: near-free
+    /// shared-memory handoffs, ~100 MB/s-class interconnect with ~100 us
+    /// message setup.
+    #[must_use]
+    pub fn default_cluster() -> Self {
+        CommCosts {
+            intra_latency: Micros(5),
+            intra_per_kib: Micros(0),
+            inter_latency: Micros(100),
+            inter_per_kib: Micros(10),
+        }
+    }
+
+    /// Cost of moving one item of `bytes` bytes with the given locality.
+    #[must_use]
+    pub fn transfer(&self, bytes: u64, locality: Locality) -> Micros {
+        let kib = bytes.div_ceil(1024);
+        match locality {
+            Locality::IntraNode => self.intra_latency + self.intra_per_kib * kib,
+            Locality::InterNode => self.inter_latency + self.inter_per_kib * kib,
+        }
+    }
+}
+
+impl Default for CommCosts {
+    fn default() -> Self {
+        CommCosts::default_cluster()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn free_model_costs_nothing() {
+        assert_eq!(CommCosts::FREE.transfer(1 << 20, Locality::InterNode), Micros::ZERO);
+    }
+
+    #[test]
+    fn inter_node_dominates_intra_node() {
+        let c = CommCosts::default_cluster();
+        let bytes = 230_400; // one 320x240 RGB frame
+        assert!(c.transfer(bytes, Locality::InterNode) > c.transfer(bytes, Locality::IntraNode));
+    }
+
+    #[test]
+    fn transfer_scales_with_size() {
+        let c = CommCosts::default_cluster();
+        let small = c.transfer(1024, Locality::InterNode);
+        let big = c.transfer(10 * 1024, Locality::InterNode);
+        assert_eq!(big - small, c.inter_per_kib * 9);
+    }
+
+    #[test]
+    fn zero_bytes_still_pays_latency() {
+        let c = CommCosts::default_cluster();
+        assert_eq!(c.transfer(0, Locality::InterNode), c.inter_latency);
+    }
+
+    #[test]
+    fn partial_kib_rounds_up() {
+        let c = CommCosts {
+            intra_latency: Micros(0),
+            intra_per_kib: Micros(7),
+            inter_latency: Micros(0),
+            inter_per_kib: Micros(0),
+        };
+        assert_eq!(c.transfer(1, Locality::IntraNode), Micros(7));
+        assert_eq!(c.transfer(1025, Locality::IntraNode), Micros(14));
+    }
+}

@@ -1,0 +1,306 @@
+//! Execution-time and item-size models, evaluated against an [`AppState`].
+//!
+//! The scheduling algorithm's input includes "execution times for each
+//! operation including its data parallel variants" (Fig. 6). Costs live in
+//! simulated microseconds ([`Micros`]) so the discrete-event simulator is
+//! exact and deterministic.
+
+use crate::state::AppState;
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub};
+
+/// A duration in simulated microseconds.
+///
+/// All cost models, simulator timestamps, and schedule offsets use this unit.
+/// It is a plain `u64`, so arithmetic is exact and ordering is total — the
+/// properties the optimal enumerator's branch-and-bound relies on.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Micros(pub u64);
+
+impl Micros {
+    /// Zero duration.
+    pub const ZERO: Micros = Micros(0);
+
+    /// Construct from milliseconds.
+    #[must_use]
+    pub fn from_millis(ms: u64) -> Self {
+        Micros(ms * 1_000)
+    }
+
+    /// Construct from seconds.
+    #[must_use]
+    pub fn from_secs(s: u64) -> Self {
+        Micros(s * 1_000_000)
+    }
+
+    /// Construct from fractional seconds (rounded to the nearest microsecond).
+    #[must_use]
+    pub fn from_secs_f64(s: f64) -> Self {
+        assert!(s >= 0.0 && s.is_finite(), "duration must be finite and >= 0");
+        Micros((s * 1e6).round() as u64)
+    }
+
+    /// Value in seconds as a float (for reporting only).
+    #[must_use]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Value in whole milliseconds (truncated).
+    #[must_use]
+    pub fn as_millis(self) -> u64 {
+        self.0 / 1_000
+    }
+
+    /// Saturating subtraction.
+    #[must_use]
+    pub fn saturating_sub(self, rhs: Micros) -> Micros {
+        Micros(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Ceiling division by a count (used for splitting work into chunks:
+    /// rounding up keeps chunk-cost sums conservative).
+    #[must_use]
+    pub fn div_ceil(self, n: u64) -> Micros {
+        assert!(n > 0, "division by zero chunks");
+        Micros(self.0.div_ceil(n))
+    }
+}
+
+impl Add for Micros {
+    type Output = Micros;
+    fn add(self, rhs: Micros) -> Micros {
+        Micros(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Micros {
+    fn add_assign(&mut self, rhs: Micros) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Micros {
+    type Output = Micros;
+    fn sub(self, rhs: Micros) -> Micros {
+        Micros(self.0 - rhs.0)
+    }
+}
+
+impl Mul<u64> for Micros {
+    type Output = Micros;
+    fn mul(self, rhs: u64) -> Micros {
+        Micros(self.0 * rhs)
+    }
+}
+
+impl Div<u64> for Micros {
+    type Output = Micros;
+    fn div(self, rhs: u64) -> Micros {
+        Micros(self.0 / rhs)
+    }
+}
+
+impl Sum for Micros {
+    fn sum<I: Iterator<Item = Micros>>(iter: I) -> Micros {
+        iter.fold(Micros::ZERO, Add::add)
+    }
+}
+
+impl fmt::Debug for Micros {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}us", self.0)
+    }
+}
+
+impl fmt::Display for Micros {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1_000_000 {
+            write!(f, "{:.3}s", self.as_secs_f64())
+        } else if self.0 >= 1_000 {
+            write!(f, "{:.1}ms", self.0 as f64 / 1e3)
+        } else {
+            write!(f, "{}us", self.0)
+        }
+    }
+}
+
+/// A task's execution time as a function of the application state.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum CostModel {
+    /// State-independent cost (the tracker's T1–T3: digitizing, histogram and
+    /// change detection "do not depend on the number of models being
+    /// tracked", §1).
+    Const(Micros),
+    /// `base + per_model * n_models` (the tracker's T4 and T5: "both linear
+    /// in the number of models but the constant factor is quite different",
+    /// §1).
+    PerModel {
+        /// State-independent part.
+        base: Micros,
+        /// Additional cost per tracked model.
+        per_model: Micros,
+    },
+    /// Exact per-state table (e.g. measured by calibration). Lookup is by
+    /// `n_models`; missing entries fall back to the nearest measured state,
+    /// which is how one extrapolates calibration data to unmeasured regimes.
+    Table(Vec<(u32, Micros)>),
+}
+
+impl CostModel {
+    /// Evaluate the model for a given state.
+    #[must_use]
+    pub fn eval(&self, state: &AppState) -> Micros {
+        match self {
+            CostModel::Const(c) => *c,
+            CostModel::PerModel { base, per_model } => {
+                *base + *per_model * u64::from(state.n_models)
+            }
+            CostModel::Table(entries) => {
+                assert!(!entries.is_empty(), "empty cost table");
+                entries
+                    .iter()
+                    .min_by_key(|(n, _)| n.abs_diff(state.n_models))
+                    .map(|(_, c)| *c)
+                    .expect("non-empty table")
+            }
+        }
+    }
+
+    /// Whether the cost varies with the application state — i.e. whether this
+    /// task contributes to the *dynamism* the regime framework must handle.
+    #[must_use]
+    pub fn is_state_dependent(&self) -> bool {
+        match self {
+            CostModel::Const(_) => false,
+            CostModel::PerModel { per_model, .. } => per_model.0 > 0,
+            CostModel::Table(entries) => {
+                entries.iter().any(|(_, c)| *c != entries[0].1)
+            }
+        }
+    }
+}
+
+/// An item's size in bytes as a function of the application state (back
+/// projections, for instance, carry one plane per model).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum SizeModel {
+    /// State-independent size.
+    Const(u64),
+    /// `base + per_model * n_models` bytes.
+    PerModel {
+        /// State-independent part.
+        base: u64,
+        /// Additional bytes per tracked model.
+        per_model: u64,
+    },
+}
+
+impl SizeModel {
+    /// Evaluate to a byte count for the given state.
+    #[must_use]
+    pub fn eval(&self, state: &AppState) -> u64 {
+        match self {
+            SizeModel::Const(b) => *b,
+            SizeModel::PerModel { base, per_model } => {
+                base + per_model * u64::from(state.n_models)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn micros_constructors_agree() {
+        assert_eq!(Micros::from_millis(3), Micros(3_000));
+        assert_eq!(Micros::from_secs(2), Micros(2_000_000));
+        assert_eq!(Micros::from_secs_f64(0.000_001), Micros(1));
+        assert_eq!(Micros::from_secs_f64(1.5), Micros(1_500_000));
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn negative_seconds_rejected() {
+        let _ = Micros::from_secs_f64(-1.0);
+    }
+
+    #[test]
+    fn micros_arithmetic() {
+        let a = Micros(10);
+        assert_eq!(a + Micros(5), Micros(15));
+        assert_eq!(a - Micros(5), Micros(5));
+        assert_eq!(a * 3, Micros(30));
+        assert_eq!(a / 3, Micros(3));
+        assert_eq!(a.div_ceil(3), Micros(4));
+        assert_eq!(Micros(3).saturating_sub(Micros(10)), Micros::ZERO);
+        let total: Micros = [Micros(1), Micros(2), Micros(3)].into_iter().sum();
+        assert_eq!(total, Micros(6));
+    }
+
+    #[test]
+    fn micros_display_scales_units() {
+        assert_eq!(Micros(500).to_string(), "500us");
+        assert_eq!(Micros(2_500).to_string(), "2.5ms");
+        assert_eq!(Micros(3_200_000).to_string(), "3.200s");
+    }
+
+    #[test]
+    fn const_model_ignores_state() {
+        let m = CostModel::Const(Micros(100));
+        assert_eq!(m.eval(&AppState::new(1)), Micros(100));
+        assert_eq!(m.eval(&AppState::new(8)), Micros(100));
+        assert!(!m.is_state_dependent());
+    }
+
+    #[test]
+    fn per_model_is_linear() {
+        let m = CostModel::PerModel {
+            base: Micros(20),
+            per_model: Micros(856),
+        };
+        assert_eq!(m.eval(&AppState::new(0)), Micros(20));
+        assert_eq!(m.eval(&AppState::new(1)), Micros(876));
+        assert_eq!(m.eval(&AppState::new(8)), Micros(20 + 8 * 856));
+        assert!(m.is_state_dependent());
+    }
+
+    #[test]
+    fn per_model_with_zero_slope_is_static() {
+        let m = CostModel::PerModel {
+            base: Micros(20),
+            per_model: Micros(0),
+        };
+        assert!(!m.is_state_dependent());
+    }
+
+    #[test]
+    fn table_picks_nearest_state() {
+        let m = CostModel::Table(vec![(1, Micros(10)), (4, Micros(40)), (8, Micros(80))]);
+        assert_eq!(m.eval(&AppState::new(1)), Micros(10));
+        assert_eq!(m.eval(&AppState::new(4)), Micros(40));
+        assert_eq!(m.eval(&AppState::new(7)), Micros(80));
+        assert_eq!(m.eval(&AppState::new(2)), Micros(10));
+        assert!(m.is_state_dependent());
+    }
+
+    #[test]
+    #[should_panic(expected = "empty cost table")]
+    fn empty_table_panics() {
+        let _ = CostModel::Table(vec![]).eval(&AppState::new(1));
+    }
+
+    #[test]
+    fn size_models_evaluate() {
+        let s = SizeModel::Const(230_400);
+        assert_eq!(s.eval(&AppState::new(8)), 230_400);
+        let s = SizeModel::PerModel {
+            base: 0,
+            per_model: 76_800,
+        };
+        assert_eq!(s.eval(&AppState::new(2)), 153_600);
+    }
+}

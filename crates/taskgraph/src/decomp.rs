@@ -1,0 +1,395 @@
+//! Data decompositions: the FP × MP choice space of §2.2 and Table 1.
+//!
+//! A data-parallel task's input "may be divided in both ways at the same
+//! time so that one piece of work corresponds to searching for a subset of
+//! models in a region of the frame". The number of work chunks is `FP × MP`
+//! and "numbers in parentheses are the total number of work chunks".
+
+use crate::cost::Micros;
+use crate::state::AppState;
+
+/// One point in the decomposition space: `fp` frame partitions × `mp` model
+/// partitions.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Decomposition {
+    /// Number of regions the frame is divided into (FP).
+    pub fp: u32,
+    /// Number of model subsets (MP). Clamped to the number of live models at
+    /// evaluation time — one cannot split one model eight ways.
+    pub mp: u32,
+}
+
+impl Decomposition {
+    /// The trivial decomposition: whole frame, all models, one chunk.
+    pub const NONE: Decomposition = Decomposition { fp: 1, mp: 1 };
+
+    /// Create a decomposition; both factors must be nonzero.
+    #[must_use]
+    pub fn new(fp: u32, mp: u32) -> Self {
+        assert!(fp > 0 && mp > 0, "decomposition factors must be positive");
+        Decomposition { fp, mp }
+    }
+
+    /// MP after clamping to the models actually present in `state` (at least
+    /// one, so an idle state still makes one chunk).
+    #[must_use]
+    pub fn effective_mp(&self, state: &AppState) -> u32 {
+        self.mp.min(state.n_models.max(1))
+    }
+
+    /// Total number of work chunks for `state` (the paper's parenthesised
+    /// counts in Table 1).
+    #[must_use]
+    pub fn chunks(&self, state: &AppState) -> u32 {
+        self.fp * self.effective_mp(state)
+    }
+
+    /// Whether this is the trivial single-chunk decomposition for `state`.
+    #[must_use]
+    pub fn is_trivial(&self, state: &AppState) -> bool {
+        self.chunks(state) == 1
+    }
+}
+
+impl std::fmt::Display for Decomposition {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "FP={} MP={}", self.fp, self.mp)
+    }
+}
+
+/// How a task may be decomposed and what each chunk costs.
+///
+/// The chunk cost model is an *even-split plus overheads* model validated
+/// against the paper's Table 1: the task's total work divides evenly over
+/// the chunks, and each non-trivial chunk pays (a) a fixed overhead
+/// (splitter tagging, work-queue traffic, joiner merge share) and (b) a
+/// per-model overhead for every model the chunk must set up — splitting the
+/// frame into regions replicates model setup in every region, which is why
+/// Table 1's FP=4 row (2.033 s) loses to MP=8 (1.857 s) at eight models even
+/// though both divide the pixel work evenly. With `c` chunks on `k`
+/// processors the task makespan is `split + ceil(c / k) * chunk_cost + join`
+/// — waves of chunks, which is why 32 chunks on 4 processors (Table 1:
+/// 2.155 s) lose to coarser splits despite finer grain.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct DataParallelSpec {
+    /// Frame-partition counts the splitter supports (always include 1).
+    pub fp_options: Vec<u32>,
+    /// Model-partition counts the splitter supports (always include 1).
+    /// Values above the live model count are clamped, so listing `[1, 8]`
+    /// permits "split by model" in every state.
+    pub mp_options: Vec<u32>,
+    /// Fixed overhead added to every chunk of a non-trivial decomposition.
+    pub per_chunk_overhead: Micros,
+    /// Overhead per model assigned to a chunk (model setup replicated across
+    /// frame regions). Zero for tasks whose work does not factor by model.
+    pub per_model_chunk_overhead: Micros,
+    /// One-time cost of the splitter per task activation.
+    pub split_cost: Micros,
+    /// One-time cost of the joiner per task activation.
+    pub join_cost: Micros,
+}
+
+impl DataParallelSpec {
+    /// A spec allowing the given FP and MP factor lists with symmetric
+    /// overheads.
+    #[must_use]
+    pub fn new(fp_options: Vec<u32>, mp_options: Vec<u32>, per_chunk_overhead: Micros) -> Self {
+        assert!(
+            fp_options.contains(&1) && mp_options.contains(&1),
+            "factor lists must include the trivial factor 1"
+        );
+        assert!(
+            fp_options.iter().all(|&f| f > 0) && mp_options.iter().all(|&m| m > 0),
+            "factors must be positive"
+        );
+        DataParallelSpec {
+            fp_options,
+            mp_options,
+            per_chunk_overhead,
+            per_model_chunk_overhead: Micros::ZERO,
+            split_cost: Micros::ZERO,
+            join_cost: Micros::ZERO,
+        }
+    }
+
+    /// Set splitter/joiner activation costs.
+    #[must_use]
+    pub fn with_split_join(mut self, split: Micros, join: Micros) -> Self {
+        self.split_cost = split;
+        self.join_cost = join;
+        self
+    }
+
+    /// Set the per-model chunk overhead (see the struct docs).
+    #[must_use]
+    pub fn with_model_overhead(mut self, per_model: Micros) -> Self {
+        self.per_model_chunk_overhead = per_model;
+        self
+    }
+
+    /// Enumerate the distinct decompositions available in `state`,
+    /// deduplicated after MP clamping (MP=8 and MP=4 coincide when only 4
+    /// models are present). Always contains at least [`Decomposition::NONE`].
+    #[must_use]
+    pub fn variants(&self, state: &AppState) -> Vec<Decomposition> {
+        let mut out: Vec<Decomposition> = Vec::new();
+        for &fp in &self.fp_options {
+            for &mp in &self.mp_options {
+                let d = Decomposition::new(fp, mp);
+                let eff = Decomposition::new(fp, d.effective_mp(state));
+                if !out.contains(&eff) {
+                    out.push(eff);
+                }
+            }
+        }
+        out.sort_by_key(|d| (d.fp, d.mp));
+        out
+    }
+
+    /// The execution plan for running this task with total work `work` under
+    /// decomposition `d` in `state`. The trivial single-chunk plan pays no
+    /// decomposition overhead (it is the serial task, Table 1's FP=1 MP=1
+    /// cells).
+    #[must_use]
+    pub fn plan(&self, work: Micros, d: Decomposition, state: &AppState) -> ChunkPlan {
+        self.plan_mixed(work, d, state, state)
+    }
+
+    /// Like [`plan`](Self::plan), but with the chunk *structure* fixed by
+    /// `structural` while the work distributed over those chunks reflects
+    /// `cost`. Models running a splitter configured for one regime on data
+    /// from another (schedule/regime mismatch).
+    ///
+    /// The model axis cannot parallelize beyond the models actually present:
+    /// a splitter configured for MP=4 receiving one model puts all of that
+    /// model's work in one chunk. The reported `chunk_cost` is the *critical*
+    /// chunk's cost (the others may be near-empty), which is what bounds the
+    /// replayed makespan.
+    #[must_use]
+    pub fn plan_mixed(
+        &self,
+        work: Micros,
+        d: Decomposition,
+        structural: &AppState,
+        cost: &AppState,
+    ) -> ChunkPlan {
+        let state = structural;
+        let mp_eff = d.effective_mp(state);
+        let chunks = d.fp * mp_eff;
+        let chunk_cost = if chunks == 1 {
+            work
+        } else {
+            let model_par = mp_eff.min(cost.n_models.max(1));
+            let models_per_chunk = u64::from(cost.n_models.max(1).div_ceil(model_par));
+            work.div_ceil(u64::from(d.fp * model_par))
+                + self.per_chunk_overhead
+                + self.per_model_chunk_overhead * models_per_chunk
+        };
+        ChunkPlan {
+            decomp: Decomposition::new(d.fp, mp_eff),
+            chunks,
+            chunk_cost,
+            split_cost: if chunks == 1 { Micros::ZERO } else { self.split_cost },
+            join_cost: if chunks == 1 { Micros::ZERO } else { self.join_cost },
+        }
+    }
+
+    /// Latency of the task on `k` dedicated processors under plan `p`:
+    /// split + chunk waves + join.
+    #[must_use]
+    pub fn makespan(p: &ChunkPlan, k: u32) -> Micros {
+        assert!(k > 0, "need at least one processor");
+        let waves = p.chunks.div_ceil(k);
+        p.split_cost + p.chunk_cost * u64::from(waves) + p.join_cost
+    }
+}
+
+/// A concrete execution plan: chunk count and per-chunk cost for one task
+/// activation under one decomposition in one state.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct ChunkPlan {
+    /// The (clamped) decomposition.
+    pub decomp: Decomposition,
+    /// Total chunks (`fp * effective_mp`).
+    pub chunks: u32,
+    /// Cost of each chunk, overhead included.
+    pub chunk_cost: Micros,
+    /// One-time splitter cost.
+    pub split_cost: Micros,
+    /// One-time joiner cost.
+    pub join_cost: Micros,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> DataParallelSpec {
+        DataParallelSpec::new(vec![1, 4], vec![1, 8], Micros::from_millis(35))
+            .with_model_overhead(Micros::from_millis(35))
+    }
+
+    #[test]
+    fn chunk_counts_match_table1_parentheses() {
+        // Table 1 parenthesised counts: (1), (8), (1) / (4), (32), (4).
+        let one = AppState::new(1);
+        let eight = AppState::new(8);
+        assert_eq!(Decomposition::new(1, 1).chunks(&eight), 1);
+        assert_eq!(Decomposition::new(1, 8).chunks(&eight), 8);
+        assert_eq!(Decomposition::new(4, 1).chunks(&eight), 4);
+        assert_eq!(Decomposition::new(4, 8).chunks(&eight), 32);
+        // With one model, the model axis collapses.
+        assert_eq!(Decomposition::new(1, 8).chunks(&one), 1);
+        assert_eq!(Decomposition::new(4, 8).chunks(&one), 4);
+    }
+
+    #[test]
+    fn variants_deduplicate_after_clamping() {
+        let s = spec();
+        let one = s.variants(&AppState::new(1));
+        // MP=8 clamps to MP=1 → only FP varies.
+        assert_eq!(
+            one,
+            vec![Decomposition::new(1, 1), Decomposition::new(4, 1)]
+        );
+        let eight = s.variants(&AppState::new(8));
+        assert_eq!(eight.len(), 4);
+    }
+
+    #[test]
+    fn variants_always_include_trivial() {
+        let s = spec();
+        for n in 0..10 {
+            assert!(s
+                .variants(&AppState::new(n))
+                .contains(&Decomposition::NONE));
+        }
+    }
+
+    #[test]
+    fn idle_state_still_makes_one_chunk() {
+        let d = Decomposition::new(1, 8);
+        assert_eq!(d.chunks(&AppState::new(0)), 1);
+    }
+
+    #[test]
+    fn even_split_plan_reproduces_table1_shape() {
+        // Work scaled to the paper: T4 ≈ 856 ms per model, overheads 35 ms
+        // per chunk + 35 ms per model per chunk, 4 processors.
+        let s = spec();
+        let w1 = Micros::from_millis(876);
+        let w8 = Micros::from_millis(20 + 8 * 856);
+        let one = AppState::new(1);
+        let eight = AppState::new(8);
+        let lat = |work, fp, mp, st: &AppState| {
+            let p = s.plan(work, Decomposition::new(fp, mp), st);
+            DataParallelSpec::makespan(&p, 4).as_secs_f64()
+        };
+        // 1 model: FP=4 beats FP=1.
+        assert!(lat(w1, 4, 1, &one) < lat(w1, 1, 1, &one));
+        // 8 models: MP=8 beats everything else in the Table 1 grid.
+        let best = lat(w8, 1, 8, &eight);
+        assert!(best < lat(w8, 1, 1, &eight));
+        assert!(best < lat(w8, 4, 1, &eight));
+        assert!(best < lat(w8, 4, 8, &eight));
+        // And the combined 32-chunk split is worse than the 4-chunk split.
+        assert!(lat(w8, 4, 8, &eight) > lat(w8, 4, 1, &eight));
+    }
+
+    #[test]
+    fn table1_cells_match_paper_within_seven_percent() {
+        // Paper Table 1 (seconds/frame): rows FP ∈ {1,4}; columns
+        // (1 model), (8 models MP=8), (8 models MP=1).
+        let s = spec();
+        let w1 = Micros::from_millis(876);
+        let w8 = Micros::from_millis(20 + 8 * 856);
+        let one = AppState::new(1);
+        let eight = AppState::new(8);
+        let lat = |work, fp, mp, st: &AppState| {
+            let p = s.plan(work, Decomposition::new(fp, mp), st);
+            DataParallelSpec::makespan(&p, 4).as_secs_f64()
+        };
+        let cells = [
+            (lat(w1, 1, 1, &one), 0.876),
+            (lat(w1, 4, 1, &one), 0.275),
+            (lat(w8, 1, 8, &eight), 1.857),
+            (lat(w8, 4, 8, &eight), 2.155),
+            (lat(w8, 1, 1, &eight), 6.850),
+            (lat(w8, 4, 1, &eight), 2.033),
+        ];
+        for (got, paper) in cells {
+            let rel = (got - paper).abs() / paper;
+            assert!(rel < 0.07, "got {got:.3}s vs paper {paper:.3}s");
+        }
+    }
+
+    #[test]
+    fn makespan_counts_waves() {
+        let s = spec();
+        let p = s.plan(Micros::from_millis(800), Decomposition::new(4, 2), &AppState::new(8));
+        assert_eq!(p.chunks, 8);
+        // 8 chunks on 3 procs → 3 waves.
+        let m3 = DataParallelSpec::makespan(&p, 3);
+        let m8 = DataParallelSpec::makespan(&p, 8);
+        assert_eq!(m3, p.chunk_cost * 3);
+        assert_eq!(m8, p.chunk_cost * 1);
+    }
+
+    #[test]
+    fn mixed_plan_cannot_split_absent_models() {
+        // Splitter configured at 8 models with MP=4, but only one model is
+        // actually present: its work cannot be divided on the model axis,
+        // so the critical chunk carries the whole model's work.
+        let s = spec();
+        let heavy = AppState::new(8);
+        let light = AppState::new(1);
+        let w_light = Micros::from_millis(876);
+        let mixed = s.plan_mixed(w_light, Decomposition::new(1, 8), &heavy, &light);
+        assert_eq!(mixed.chunks, 8, "structure is fixed by the heavy state");
+        // Critical chunk does all 876 ms (plus overheads).
+        assert!(mixed.chunk_cost >= w_light);
+        // Native plan at the light state would have collapsed to serial.
+        let native = s.plan(w_light, Decomposition::new(1, 8), &light);
+        assert_eq!(native.chunks, 1);
+        // Frame-axis splitting still works across states.
+        let mixed_fp = s.plan_mixed(w_light, Decomposition::new(4, 1), &heavy, &light);
+        assert!(mixed_fp.chunk_cost < w_light / 2);
+    }
+
+    #[test]
+    fn mixed_plan_with_same_states_matches_plan() {
+        let s = spec();
+        let st = AppState::new(8);
+        let w = Micros::from_millis(6868);
+        for (fp, mp) in [(1, 1), (4, 1), (1, 8), (4, 8)] {
+            let a = s.plan(w, Decomposition::new(fp, mp), &st);
+            let b = s.plan_mixed(w, Decomposition::new(fp, mp), &st, &st);
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn split_join_costs_add_once() {
+        let s = spec().with_split_join(Micros(100), Micros(200));
+        let p = s.plan(Micros(1000), Decomposition::new(4, 1), &AppState::new(1));
+        let m = DataParallelSpec::makespan(&p, 4);
+        assert_eq!(m, Micros(100) + p.chunk_cost + Micros(200));
+    }
+
+    #[test]
+    #[should_panic(expected = "include the trivial factor")]
+    fn factor_lists_require_one() {
+        let _ = DataParallelSpec::new(vec![2, 4], vec![1], Micros::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_factor_rejected() {
+        let _ = Decomposition::new(0, 1);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Decomposition::new(4, 8).to_string(), "FP=4 MP=8");
+    }
+}

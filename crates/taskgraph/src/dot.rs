@@ -1,0 +1,75 @@
+//! GraphViz (DOT) export of a task graph, rendering tasks as ovals and
+//! channels as boxes, matching the visual vocabulary of the paper's Fig. 2.
+
+use crate::graph::TaskGraph;
+use crate::state::AppState;
+use std::fmt::Write as _;
+
+/// Render `graph` as a DOT digraph. Task labels include the evaluated cost
+/// for `state`, so the same graph rendered in different regimes makes the
+/// dynamism visible.
+#[must_use]
+pub fn to_dot(graph: &TaskGraph, state: &AppState) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "digraph taskgraph {{");
+    let _ = writeln!(s, "  rankdir=LR;");
+    for (i, t) in graph.tasks().iter().enumerate() {
+        let cost = t.cost.eval(state);
+        let dp = if t.dp.is_some() { " (DP)" } else { "" };
+        let _ = writeln!(
+            s,
+            "  t{i} [shape=oval, label=\"{}{dp}\\n{cost}\"];",
+            t.name
+        );
+    }
+    for (i, c) in graph.channels().iter().enumerate() {
+        let _ = writeln!(
+            s,
+            "  c{i} [shape=box, style=rounded, label=\"{}\\n{} B\"];",
+            c.name,
+            c.item_size.eval(state)
+        );
+        if let Some(p) = c.producer {
+            let _ = writeln!(s, "  t{} -> c{i};", p.0);
+        }
+        for cons in &c.consumers {
+            let _ = writeln!(s, "  c{i} -> t{};", cons.0);
+        }
+    }
+    let _ = writeln!(s, "}}");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builders;
+
+    #[test]
+    fn dot_contains_all_nodes_and_edges() {
+        let g = builders::color_tracker();
+        let dot = to_dot(&g, &AppState::new(8));
+        assert!(dot.starts_with("digraph"));
+        for t in g.tasks() {
+            assert!(dot.contains(&t.name), "missing task {}", t.name);
+        }
+        for c in g.channels() {
+            assert!(dot.contains(&c.name), "missing channel {}", c.name);
+        }
+        // One edge per producer plus one per consumer.
+        let arrows = dot.matches("->").count();
+        let expected: usize = g
+            .channels()
+            .iter()
+            .map(|c| usize::from(c.producer.is_some()) + c.consumers.len())
+            .sum();
+        assert_eq!(arrows, expected);
+    }
+
+    #[test]
+    fn dp_tasks_are_marked() {
+        let g = builders::color_tracker();
+        let dot = to_dot(&g, &AppState::new(1));
+        assert!(dot.contains("Target Detection (DP)"));
+    }
+}

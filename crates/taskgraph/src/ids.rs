@@ -1,0 +1,52 @@
+//! Typed indices for tasks and channels within one [`TaskGraph`](crate::TaskGraph).
+
+use std::fmt;
+
+/// Index of a task within its graph.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TaskId(pub usize);
+
+/// Index of a channel within its graph.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ChanId(pub usize);
+
+impl fmt::Debug for TaskId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T{}", self.0)
+    }
+}
+
+impl fmt::Display for TaskId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T{}", self.0)
+    }
+}
+
+impl fmt::Debug for ChanId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "C{}", self.0)
+    }
+}
+
+impl fmt::Display for ChanId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "C{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_format_compactly() {
+        assert_eq!(format!("{}", TaskId(4)), "T4");
+        assert_eq!(format!("{:?}", ChanId(2)), "C2");
+    }
+
+    #[test]
+    fn ids_order_by_index() {
+        assert!(TaskId(1) < TaskId(2));
+        assert!(ChanId(0) < ChanId(5));
+    }
+}

@@ -1,0 +1,80 @@
+//! Application state: "the set of variables that influence the scheduling
+//! decision" (§2.1).
+
+use std::fmt;
+
+/// The regime-determining state of a constrained dynamic application.
+///
+/// For the color tracker "the state corresponds to the number of people
+/// currently interacting with the kiosk. This number will typically be from
+/// one to five and will change infrequently relative to the processing rate"
+/// (§2.1). `aux` carries extra discrete state dimensions for applications
+/// that need them (e.g. day/night illumination modes); it participates in
+/// equality/hashing so schedule tables key on the full state.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct AppState {
+    /// Number of target models currently being tracked.
+    pub n_models: u32,
+    /// Additional discrete state dimension (0 when unused).
+    pub aux: u32,
+}
+
+impl AppState {
+    /// A state tracking `n_models` targets, with no auxiliary dimension.
+    #[must_use]
+    pub fn new(n_models: u32) -> Self {
+        AppState { n_models, aux: 0 }
+    }
+
+    /// A state with an auxiliary dimension.
+    #[must_use]
+    pub fn with_aux(n_models: u32, aux: u32) -> Self {
+        AppState { n_models, aux }
+    }
+
+    /// Whether any targets are present (the kiosk is "idle" otherwise).
+    #[must_use]
+    pub fn is_idle(&self) -> bool {
+        self.n_models == 0
+    }
+}
+
+impl Default for AppState {
+    fn default() -> Self {
+        AppState::new(1)
+    }
+}
+
+impl fmt::Display for AppState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.aux == 0 {
+            write!(f, "{} model(s)", self.n_models)
+        } else {
+            write!(f, "{} model(s), aux={}", self.n_models, self.aux)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equality_covers_all_dimensions() {
+        assert_eq!(AppState::new(3), AppState::with_aux(3, 0));
+        assert_ne!(AppState::new(3), AppState::new(4));
+        assert_ne!(AppState::with_aux(3, 1), AppState::new(3));
+    }
+
+    #[test]
+    fn idle_detection() {
+        assert!(AppState::new(0).is_idle());
+        assert!(!AppState::new(1).is_idle());
+    }
+
+    #[test]
+    fn display_is_readable() {
+        assert_eq!(AppState::new(2).to_string(), "2 model(s)");
+        assert_eq!(AppState::with_aux(2, 1).to_string(), "2 model(s), aux=1");
+    }
+}

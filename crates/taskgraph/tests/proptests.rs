@@ -1,0 +1,140 @@
+//! Property tests over random DAGs and decompositions.
+
+use proptest::prelude::*;
+use taskgraph::{
+    AppState, CostModel, DataParallelSpec, Decomposition, GraphAnalysis, Micros, SizeModel,
+    TaskGraph, TaskGraphBuilder, TaskId,
+};
+
+/// Build a random layered DAG: `layers` of up to `width` tasks; each task in
+/// layer i+1 consumes a channel from at least one task in layer i.
+fn random_dag(seed: (Vec<Vec<u64>>, u64)) -> TaskGraph {
+    let (layer_costs, edge_bits) = seed;
+    let mut b = TaskGraphBuilder::new();
+    let mut layers: Vec<Vec<TaskId>> = Vec::new();
+    let mut n = 0usize;
+    for (li, costs) in layer_costs.iter().enumerate() {
+        let mut layer = Vec::new();
+        for (ti, &c) in costs.iter().enumerate() {
+            layer.push(b.task(format!("L{li}N{ti}"), CostModel::Const(Micros(c % 1000 + 1))));
+            n += 1;
+        }
+        layers.push(layer);
+    }
+    let mut bits = edge_bits;
+    for li in 1..layers.len() {
+        for (&to_idx, prev_layer) in layers[li].iter().zip(std::iter::repeat(&layers[li - 1])) {
+            // Always connect to one deterministic parent, plus extras by bits.
+            let first = prev_layer[0];
+            let ch = b.channel(format!("ch{}_{}", li, to_idx.0), SizeModel::Const(64));
+            b.produces(first, ch);
+            b.consumes(to_idx, ch);
+            for &p in prev_layer.iter().skip(1) {
+                bits = bits.rotate_left(7).wrapping_mul(0x9E3779B97F4A7C15);
+                if bits & 1 == 1 {
+                    let ch = b.channel(format!("x{}_{}_{}", li, to_idx.0, p.0), SizeModel::Const(64));
+                    b.produces(p, ch);
+                    b.consumes(to_idx, ch);
+                }
+            }
+        }
+    }
+    let _ = n;
+    b.build()
+}
+
+fn dag_strategy() -> impl Strategy<Value = TaskGraph> {
+    (
+        proptest::collection::vec(proptest::collection::vec(1u64..1000, 1..4), 1..5),
+        any::<u64>(),
+    )
+        .prop_map(random_dag)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Topological order exists and respects all edges for layered DAGs.
+    #[test]
+    fn random_dags_are_acyclic_and_analysable(g in dag_strategy()) {
+        let a = GraphAnalysis::new(&g, &AppState::new(1));
+        let order = a.topo_order();
+        prop_assert_eq!(order.len(), g.n_tasks());
+        let pos = |t: TaskId| order.iter().position(|&x| x == t).unwrap();
+        for (from, to, _) in g.edges() {
+            prop_assert!(pos(from) < pos(to));
+        }
+    }
+
+    /// Span <= work, and the processor-count lower bound interpolates
+    /// between them monotonically.
+    #[test]
+    fn span_work_bounds(g in dag_strategy()) {
+        let a = GraphAnalysis::new(&g, &AppState::new(1));
+        prop_assert!(a.critical_path().length <= a.work());
+        let mut prev = a.makespan_lower_bound(1);
+        prop_assert_eq!(prev, a.work().max(a.critical_path().length));
+        for p in 2..8 {
+            let lb = a.makespan_lower_bound(p);
+            prop_assert!(lb <= prev, "lower bound must not grow with processors");
+            prop_assert!(lb >= a.critical_path().length);
+            prev = lb;
+        }
+    }
+
+    /// Critical path tasks form a dependence chain with matching total cost.
+    #[test]
+    fn critical_path_is_a_chain(g in dag_strategy()) {
+        let state = AppState::new(1);
+        let a = GraphAnalysis::new(&g, &state);
+        let cp = a.critical_path();
+        let cost: Micros = cp.tasks.iter().map(|&t| g.task(t).cost.eval(&state)).sum();
+        prop_assert_eq!(cost, cp.length);
+        for w in cp.tasks.windows(2) {
+            prop_assert!(g.successors(w[0]).contains(&w[1]));
+        }
+    }
+
+    /// Chunk plans: total chunk work (sans overhead) always covers the
+    /// original work, and chunk counts match fp * min(mp, n).
+    #[test]
+    fn chunk_plans_cover_work(
+        work_ms in 1u64..10_000,
+        fp in 1u32..8,
+        mp in 1u32..10,
+        n_models in 0u32..10,
+        overhead_ms in 0u64..100,
+    ) {
+        let spec = DataParallelSpec::new(vec![1, fp], vec![1, mp], Micros::from_millis(overhead_ms));
+        let state = AppState::new(n_models);
+        let work = Micros::from_millis(work_ms);
+        let plan = spec.plan(work, Decomposition::new(fp, mp), &state);
+        prop_assert_eq!(plan.chunks, fp * mp.min(n_models.max(1)));
+        // Ceiling split: chunks * chunk_cost >= work.
+        prop_assert!(plan.chunk_cost * u64::from(plan.chunks) >= work);
+        // Single chunk means the serial task: no overhead at all.
+        if plan.chunks == 1 {
+            prop_assert_eq!(plan.chunk_cost, work);
+        }
+    }
+
+    /// Makespan is monotonically non-increasing in processor count.
+    #[test]
+    fn makespan_monotone_in_processors(
+        work_ms in 1u64..10_000,
+        chunks in 1u32..16,
+    ) {
+        let spec = DataParallelSpec::new(vec![1, chunks], vec![1], Micros::from_millis(10));
+        let plan = spec.plan(
+            Micros::from_millis(work_ms),
+            Decomposition::new(chunks, 1),
+            &AppState::new(1),
+        );
+        let mut prev = DataParallelSpec::makespan(&plan, 1);
+        for k in 2..12 {
+            let m = DataParallelSpec::makespan(&plan, k);
+            prop_assert!(m <= prev);
+            prev = m;
+        }
+    }
+}

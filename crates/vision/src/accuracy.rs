@@ -1,0 +1,164 @@
+//! Tracking-quality evaluation against the synthetic scene's ground truth.
+//!
+//! The paper's performance objectives (latency, uniformity) only matter if
+//! the tracker actually tracks; this module quantifies that, so schedule and
+//! decomposition changes can be shown not to alter results (decomposition
+//! exactness) and the synthetic workload can be validated as non-trivial.
+
+use crate::peak::ModelLocation;
+use crate::synth::Scene;
+
+/// Accumulated tracking-quality statistics.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct AccuracyStats {
+    /// Frames evaluated.
+    pub frames: u64,
+    /// (model, frame) pairs where the target was on screen.
+    pub visible: u64,
+    /// Visible targets that were detected within `radius`.
+    pub hits: u64,
+    /// Visible targets that were detected but localized outside `radius`.
+    pub mislocalized: u64,
+    /// Visible targets not detected at all.
+    pub missed: u64,
+    /// Off-screen targets incorrectly reported as detected.
+    pub false_detections: u64,
+    /// Sum of pixel errors over hits + mislocalized (for the mean).
+    sum_error: f64,
+}
+
+impl AccuracyStats {
+    /// Fraction of visible targets detected within the radius.
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        if self.visible == 0 {
+            return 1.0;
+        }
+        self.hits as f64 / self.visible as f64
+    }
+
+    /// Mean localization error in pixels over all detections of visible
+    /// targets.
+    #[must_use]
+    pub fn mean_error(&self) -> f64 {
+        let n = self.hits + self.mislocalized;
+        if n == 0 {
+            return 0.0;
+        }
+        self.sum_error / n as f64
+    }
+}
+
+/// Evaluates per-frame tracker output against the scene.
+#[derive(Clone, Debug)]
+pub struct AccuracyTracker {
+    scene: Scene,
+    /// A detection counts as a hit within this pixel radius of the truth.
+    pub radius: f64,
+    stats: AccuracyStats,
+}
+
+impl AccuracyTracker {
+    /// Evaluate against `scene`, with a hit radius scaled to the target
+    /// size (2× the larger ellipse radius).
+    #[must_use]
+    pub fn new(scene: Scene) -> Self {
+        let radius = scene
+            .targets()
+            .iter()
+            .map(|t| t.radii.0.max(t.radii.1))
+            .max()
+            .unwrap_or(8) as f64
+            * 2.0;
+        AccuracyTracker {
+            scene,
+            radius,
+            stats: AccuracyStats::default(),
+        }
+    }
+
+    /// Record one frame's locations (as produced by
+    /// [`crate::peak::peak_detection`]).
+    pub fn record(&mut self, frame: u64, locations: &[ModelLocation]) {
+        self.stats.frames += 1;
+        for loc in locations {
+            let visible = self.scene.is_visible(loc.model, frame);
+            if visible {
+                self.stats.visible += 1;
+                if loc.detected {
+                    let (tx, ty) = self.scene.target_center(loc.model, frame);
+                    let err = ((loc.x as f64 - tx as f64).powi(2)
+                        + (loc.y as f64 - ty as f64).powi(2))
+                    .sqrt();
+                    self.stats.sum_error += err;
+                    if err <= self.radius {
+                        self.stats.hits += 1;
+                    } else {
+                        self.stats.mislocalized += 1;
+                    }
+                } else {
+                    self.stats.missed += 1;
+                }
+            } else if loc.detected {
+                self.stats.false_detections += 1;
+            }
+        }
+    }
+
+    /// The accumulated statistics.
+    #[must_use]
+    pub fn stats(&self) -> AccuracyStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tracker::Tracker;
+
+    #[test]
+    fn tracker_accuracy_on_static_population() {
+        let scene = Scene::demo(160, 120, 2, 17);
+        let mut tracker = Tracker::new(&scene.models(), 160, 120);
+        let mut acc = AccuracyTracker::new(scene.clone());
+        for f in 0..6u64 {
+            let locs = tracker.process(&scene.render(f));
+            acc.record(f, &locs);
+        }
+        let s = acc.stats();
+        assert_eq!(s.frames, 6);
+        assert_eq!(s.visible, 12);
+        assert!(s.hit_rate() >= 0.8, "hit rate {}", s.hit_rate());
+        assert!(s.mean_error() < acc.radius, "error {}", s.mean_error());
+        assert_eq!(s.false_detections, 0);
+    }
+
+    #[test]
+    fn departures_are_not_hallucinated() {
+        // Target 1 leaves at frame 3; after that, reporting it as detected
+        // would be a false detection.
+        let scene = Scene::demo(160, 120, 2, 23).with_visit(1, 0, 3);
+        let mut tracker = Tracker::new(&scene.models(), 160, 120);
+        let mut acc = AccuracyTracker::new(scene.clone());
+        for f in 0..8u64 {
+            let locs = tracker.process(&scene.render(f));
+            acc.record(f, &locs);
+        }
+        let s = acc.stats();
+        // Visible pairs: target 0 × 8 + target 1 × 3.
+        assert_eq!(s.visible, 11);
+        assert_eq!(
+            s.false_detections, 0,
+            "tracker hallucinated a departed target: {s:?}"
+        );
+        assert!(s.hit_rate() >= 0.7, "hit rate {}", s.hit_rate());
+    }
+
+    #[test]
+    fn stats_edge_cases() {
+        let s = AccuracyStats::default();
+        assert_eq!(s.hit_rate(), 1.0, "vacuous");
+        assert_eq!(s.mean_error(), 0.0);
+    }
+}

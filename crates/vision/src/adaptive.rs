@@ -1,0 +1,233 @@
+//! The adaptive kiosk tracker: the tracked-model set grows on arrivals and
+//! shrinks on departures — the very process that *generates* the
+//! application's constrained dynamism. "Each time a person approaches the
+//! kiosk they are detected and greeted… the processing requirements depend
+//! fundamentally on the number of customers and their rate of arrival and
+//! departure."
+//!
+//! Per frame: run T2–T5 with the currently enrolled models; retire models
+//! undetected for `retire_after` consecutive frames; when unexplained motion
+//! remains (moving pixels far from every tracked person), enroll a new model
+//! from it.
+
+use crate::change::change_detection;
+use crate::color::ColorHist;
+use crate::detect::target_detection;
+use crate::enroll::enroll_from_motion;
+use crate::frame::Frame;
+use crate::histogram::image_histogram;
+use crate::peak::{peak_detection, ModelLocation};
+
+/// One enrolled person.
+#[derive(Clone, Debug)]
+struct Enrolled {
+    model: ColorHist,
+    /// Consecutive frames without a confident detection.
+    misses: u32,
+    /// Last confident location.
+    last_seen: Option<(usize, usize)>,
+}
+
+/// A tracker that manages its own model set.
+#[derive(Clone, Debug)]
+pub struct AdaptiveTracker {
+    width: usize,
+    height: usize,
+    people: Vec<Enrolled>,
+    /// Detection threshold (as in [`crate::tracker::Tracker`]).
+    pub min_score: f32,
+    /// Frames of consecutive misses before a model is retired.
+    pub retire_after: u32,
+    /// Pixel radius around a tracked person within which motion is
+    /// "explained" and does not trigger enrollment.
+    pub explain_radius: usize,
+    /// Change-detection threshold. Higher than the tracking default so
+    /// sensor noise does not read as an arriving person.
+    pub motion_threshold: u16,
+    prev: Option<Frame>,
+    enrollments: u64,
+    retirements: u64,
+}
+
+impl AdaptiveTracker {
+    /// An empty-model tracker for the given frame size.
+    #[must_use]
+    pub fn new(width: usize, height: usize) -> Self {
+        AdaptiveTracker {
+            width,
+            height,
+            people: Vec::new(),
+            min_score: crate::tracker::DEFAULT_MIN_SCORE,
+            retire_after: 3,
+            explain_radius: 24,
+            motion_threshold: 60,
+            prev: None,
+            enrollments: 0,
+            retirements: 0,
+        }
+    }
+
+    /// Number of currently enrolled models — the regime signal a
+    /// [`cds-core`](https://docs.rs) detector would consume.
+    #[must_use]
+    pub fn population(&self) -> u32 {
+        self.people.len() as u32
+    }
+
+    /// Total enrollments so far.
+    #[must_use]
+    pub fn enrollments(&self) -> u64 {
+        self.enrollments
+    }
+
+    /// Total retirements so far.
+    #[must_use]
+    pub fn retirements(&self) -> u64 {
+        self.retirements
+    }
+
+    /// Process one frame: track, retire, enroll. Returns the locations of
+    /// the models that were enrolled *before* this frame.
+    pub fn process(&mut self, frame: &Frame) -> Vec<ModelLocation> {
+        assert_eq!((frame.width, frame.height), (self.width, self.height));
+        let hist = image_histogram(frame);
+        let had_prev = self.prev.is_some();
+        // Two motion masks: a sensitive one gating the tracker (slow movers
+        // change few pixels strongly) and a strict one for enrollment (an
+        // arrival changes many pixels strongly; sensor noise must not read
+        // as a person).
+        let track_mask = change_detection(
+            frame,
+            self.prev.as_ref(),
+            u16::from(crate::change::DEFAULT_THRESHOLD),
+        );
+        let enroll_mask = change_detection(frame, self.prev.as_ref(), self.motion_threshold);
+
+        // Track the enrolled set.
+        let models: Vec<ColorHist> = self.people.iter().map(|p| p.model.clone()).collect();
+        let locations = if models.is_empty() {
+            Vec::new()
+        } else {
+            let scores = target_detection(frame, &hist, &models, &track_mask);
+            peak_detection(&scores, self.min_score)
+        };
+        for (person, loc) in self.people.iter_mut().zip(&locations) {
+            if loc.detected {
+                person.misses = 0;
+                person.last_seen = Some((loc.x, loc.y));
+            } else {
+                person.misses += 1;
+            }
+        }
+
+        // Retire the departed.
+        let before = self.people.len();
+        let retire_after = self.retire_after;
+        self.people.retain(|p| p.misses < retire_after);
+        self.retirements += (before - self.people.len()) as u64;
+
+        // Enroll from unexplained motion: blank out the neighbourhood of
+        // every tracked person, then see if a person-sized blob remains.
+        let mut unexplained = enroll_mask;
+        for p in &self.people {
+            if let Some((cx, cy)) = p.last_seen {
+                let r = self.explain_radius;
+                for y in cy.saturating_sub(r)..(cy + r).min(self.height) {
+                    for x in cx.saturating_sub(r)..(cx + r).min(self.width) {
+                        unexplained.set(x, y, false);
+                    }
+                }
+            }
+        }
+        // The first frame's all-set mask carries no motion information, so
+        // enrollment needs a real previous frame.
+        if !had_prev {
+            self.prev = Some(frame.clone());
+            return locations;
+        }
+        if let Some((model, bbox)) = enroll_from_motion(frame, &unexplained) {
+            self.people.push(Enrolled {
+                model,
+                misses: 0,
+                last_seen: Some(((bbox.x0 + bbox.x1) / 2, (bbox.y0 + bbox.y1) / 2)),
+            });
+            self.enrollments += 1;
+        }
+
+        self.prev = Some(frame.clone());
+        locations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::Scene;
+
+    #[test]
+    fn empty_scene_enrolls_nobody() {
+        let scene = Scene::demo(160, 120, 1, 41).with_visit(0, 1_000, 2_000);
+        let mut t = AdaptiveTracker::new(160, 120);
+        for f in 0..6u64 {
+            let _ = t.process(&scene.render(f));
+        }
+        assert_eq!(t.population(), 0);
+        assert_eq!(t.enrollments(), 0);
+    }
+
+    #[test]
+    fn arrival_is_enrolled_and_departure_retired() {
+        // One person visits frames 3..10 of a 16-frame session.
+        let scene = Scene::demo(160, 120, 1, 47).with_visit(0, 3, 10);
+        let mut t = AdaptiveTracker::new(160, 120);
+        let mut population = Vec::new();
+        for f in 0..16u64 {
+            let _ = t.process(&scene.render(f));
+            population.push(t.population());
+        }
+        assert_eq!(population[2], 0, "nobody before the visit");
+        assert!(
+            population[4] >= 1,
+            "arrival at frame 3 was never enrolled: {population:?}"
+        );
+        assert_eq!(
+            *population.last().unwrap(),
+            0,
+            "departure was never retired: {population:?}"
+        );
+        assert!(t.enrollments() >= 1);
+        assert!(t.retirements() >= 1);
+    }
+
+    #[test]
+    fn two_staggered_visitors_are_both_enrolled() {
+        let scene = Scene::demo(160, 120, 2, 53)
+            .with_visit(0, 2, 30)
+            .with_visit(1, 8, 30);
+        let mut t = AdaptiveTracker::new(160, 120);
+        let mut peak = 0u32;
+        for f in 0..16u64 {
+            let _ = t.process(&scene.render(f));
+            peak = peak.max(t.population());
+        }
+        assert!(peak >= 2, "second arrival missed (peak {peak})");
+    }
+
+    #[test]
+    fn steady_population_does_not_churn() {
+        // A person arrives at frame 2 and stays for the whole session: one
+        // enrollment, stable population, no flapping.
+        let scene = Scene::demo(160, 120, 1, 59).with_visit(0, 2, u64::MAX);
+        let mut t = AdaptiveTracker::new(160, 120);
+        for f in 0..12u64 {
+            let _ = t.process(&scene.render(f));
+        }
+        assert_eq!(t.population(), 1, "exactly one model for one person");
+        assert!(
+            t.enrollments() <= 2,
+            "steady person re-enrolled {} times",
+            t.enrollments()
+        );
+        assert_eq!(t.retirements(), t.enrollments() - 1);
+    }
+}

@@ -1,0 +1,77 @@
+//! T3 — Change Detection: frame differencing against the previous frame,
+//! producing the "Motion Mask" channel. Cost depends only on frame size.
+
+use crate::frame::{BitMask, Frame};
+
+/// Per-channel absolute difference threshold above which a pixel counts as
+/// "moving".
+pub const DEFAULT_THRESHOLD: u8 = 24;
+
+/// Compute a motion mask: a pixel is set when the summed per-channel
+/// absolute difference against `prev` exceeds `threshold`. With no previous
+/// frame (start of stream), everything is considered moving — the tracker
+/// must search the whole frame.
+#[must_use]
+pub fn change_detection(frame: &Frame, prev: Option<&Frame>, threshold: u16) -> BitMask {
+    let Some(prev) = prev else {
+        return BitMask::all_set(frame.width, frame.height);
+    };
+    assert_eq!(
+        (frame.width, frame.height),
+        (prev.width, prev.height),
+        "frame sizes must match"
+    );
+    let mut mask = BitMask::new(frame.width, frame.height);
+    for y in 0..frame.height {
+        for x in 0..frame.width {
+            let a = frame.pixel(x, y);
+            let b = prev.pixel(x, y);
+            let d = u16::from(a[0].abs_diff(b[0]))
+                + u16::from(a[1].abs_diff(b[1]))
+                + u16::from(a[2].abs_diff(b[2]));
+            if d > threshold {
+                mask.set(x, y, true);
+            }
+        }
+    }
+    mask
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_previous_frame_means_search_everywhere() {
+        let f = Frame::new(10, 10);
+        let m = change_detection(&f, None, u16::from(DEFAULT_THRESHOLD));
+        assert_eq!(m.count_set(), 100);
+    }
+
+    #[test]
+    fn identical_frames_produce_empty_mask() {
+        let f = Frame::new(10, 10);
+        let m = change_detection(&f, Some(&f), u16::from(DEFAULT_THRESHOLD));
+        assert_eq!(m.count_set(), 0);
+    }
+
+    #[test]
+    fn changed_pixels_are_flagged() {
+        let prev = Frame::new(10, 10);
+        let mut cur = Frame::new(10, 10);
+        cur.set_pixel(3, 4, [200, 0, 0]);
+        cur.set_pixel(7, 8, [0, 10, 0]); // below threshold
+        let m = change_detection(&cur, Some(&prev), u16::from(DEFAULT_THRESHOLD));
+        assert!(m.get(3, 4));
+        assert!(!m.get(7, 8));
+        assert_eq!(m.count_set(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "sizes must match")]
+    fn mismatched_sizes_rejected() {
+        let a = Frame::new(10, 10);
+        let b = Frame::new(8, 8);
+        let _ = change_detection(&a, Some(&b), 10);
+    }
+}

@@ -1,0 +1,195 @@
+//! Quantized RGB color histograms — the "Color Model" data of the tracker,
+//! after Swain & Ballard, *Color Indexing*, IJCV 1991 (reference 14 of the paper).
+
+use crate::frame::{Frame, Region};
+
+/// Bits of quantization per channel (4 → 16³ = 4096 bins), matching the
+/// coarse histograms color-indexing trackers use for robustness.
+pub const QUANT_BITS: u32 = 4;
+
+/// Number of bins along one channel.
+pub const BINS_PER_CHANNEL: usize = 1 << QUANT_BITS;
+
+/// Total bins.
+pub const N_BINS: usize = BINS_PER_CHANNEL * BINS_PER_CHANNEL * BINS_PER_CHANNEL;
+
+/// Map a pixel to its histogram bin.
+#[inline]
+#[must_use]
+pub fn bin_of(rgb: [u8; 3]) -> usize {
+    let shift = 8 - QUANT_BITS;
+    let r = (rgb[0] >> shift) as usize;
+    let g = (rgb[1] >> shift) as usize;
+    let b = (rgb[2] >> shift) as usize;
+    (r << (2 * QUANT_BITS)) | (g << QUANT_BITS) | b
+}
+
+/// A quantized color histogram.
+#[derive(Clone, PartialEq, Debug)]
+pub struct ColorHist {
+    bins: Box<[f32]>,
+    total: f64,
+}
+
+impl ColorHist {
+    /// An empty histogram.
+    #[must_use]
+    pub fn empty() -> ColorHist {
+        ColorHist {
+            bins: vec![0.0; N_BINS].into_boxed_slice(),
+            total: 0.0,
+        }
+    }
+
+    /// Histogram of a frame region.
+    #[must_use]
+    pub fn of_region(frame: &Frame, region: Region) -> ColorHist {
+        let mut h = ColorHist::empty();
+        for y in region.y0..region.y1 {
+            for x in region.x0..region.x1 {
+                h.bins[bin_of(frame.pixel(x, y))] += 1.0;
+            }
+        }
+        h.total = region.area() as f64;
+        h
+    }
+
+    /// Histogram count in a bin.
+    #[inline]
+    #[must_use]
+    pub fn bin(&self, i: usize) -> f32 {
+        self.bins[i]
+    }
+
+    /// Total mass (pixels counted).
+    #[must_use]
+    pub fn total(&self) -> f64 {
+        self.total
+    }
+
+    /// Swain–Ballard histogram intersection similarity in `[0, 1]`:
+    /// `Σ min(h1, h2) / Σ h2`.
+    #[must_use]
+    pub fn intersection(&self, other: &ColorHist) -> f64 {
+        if other.total == 0.0 {
+            return 0.0;
+        }
+        let s: f64 = self
+            .bins
+            .iter()
+            .zip(other.bins.iter())
+            .map(|(&a, &b)| f64::from(a.min(b)))
+            .sum();
+        s / other.total
+    }
+
+    /// The Swain–Ballard ratio histogram `min(model / image, 1)` used by
+    /// back projection: how diagnostic each color is for this model given
+    /// the current image.
+    #[must_use]
+    pub fn ratio(&self, image: &ColorHist) -> Box<[f32]> {
+        let mut r = vec![0.0f32; N_BINS].into_boxed_slice();
+        for i in 0..N_BINS {
+            let m = self.bins[i];
+            if m > 0.0 {
+                let im = image.bins[i];
+                r[i] = if im > 0.0 { (m / im).min(1.0) } else { 1.0 };
+            }
+        }
+        r
+    }
+
+    /// Merge another histogram into this one (used by the data-parallel
+    /// joiner to combine per-region histograms).
+    pub fn merge(&mut self, other: &ColorHist) {
+        for (a, b) in self.bins.iter_mut().zip(other.bins.iter()) {
+            *a += b;
+        }
+        self.total += other.total;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn solid(width: usize, height: usize, rgb: [u8; 3]) -> Frame {
+        let mut f = Frame::new(width, height);
+        for y in 0..height {
+            for x in 0..width {
+                f.set_pixel(x, y, rgb);
+            }
+        }
+        f
+    }
+
+    #[test]
+    fn bins_partition_color_space() {
+        assert_eq!(bin_of([0, 0, 0]), 0);
+        assert_eq!(bin_of([255, 255, 255]), N_BINS - 1);
+        // Nearby colors share a bin at 4-bit quantization.
+        assert_eq!(bin_of([100, 100, 100]), bin_of([103, 97, 101]));
+        assert_ne!(bin_of([255, 0, 0]), bin_of([0, 255, 0]));
+    }
+
+    #[test]
+    fn solid_frame_histogram_is_one_bin() {
+        let f = solid(10, 10, [200, 40, 40]);
+        let h = ColorHist::of_region(&f, f.region());
+        assert_eq!(h.total(), 100.0);
+        assert_eq!(h.bin(bin_of([200, 40, 40])), 100.0);
+        let other: f32 = (0..N_BINS)
+            .filter(|&i| i != bin_of([200, 40, 40]))
+            .map(|i| h.bin(i))
+            .sum();
+        assert_eq!(other, 0.0);
+    }
+
+    #[test]
+    fn intersection_is_one_for_identical() {
+        let f = solid(8, 8, [10, 200, 30]);
+        let h = ColorHist::of_region(&f, f.region());
+        assert!((h.intersection(&h) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn intersection_is_zero_for_disjoint() {
+        let a = ColorHist::of_region(&solid(8, 8, [255, 0, 0]), Region::full(8, 8));
+        let b = ColorHist::of_region(&solid(8, 8, [0, 0, 255]), Region::full(8, 8));
+        assert_eq!(a.intersection(&b), 0.0);
+    }
+
+    #[test]
+    fn ratio_caps_at_one_and_flags_diagnostic_colors() {
+        let model = ColorHist::of_region(&solid(4, 4, [255, 0, 0]), Region::full(4, 4));
+        let mut image = ColorHist::of_region(&solid(8, 8, [0, 255, 0]), Region::full(8, 8));
+        // Image has a little red too.
+        image.bins[bin_of([255, 0, 0])] = 32.0;
+        let r = model.ratio(&image);
+        assert!((r[bin_of([255, 0, 0])] - 0.5).abs() < 1e-6); // 16 / 32
+        assert_eq!(r[bin_of([0, 255, 0])], 0.0);
+        // Model color absent from image → maximally diagnostic.
+        let empty_image = ColorHist::empty();
+        let r2 = model.ratio(&empty_image);
+        assert_eq!(r2[bin_of([255, 0, 0])], 1.0);
+    }
+
+    #[test]
+    fn merge_equals_whole_region_histogram() {
+        let mut f = Frame::new(10, 10);
+        for y in 0..10 {
+            for x in 0..10 {
+                f.set_pixel(x, y, [(x * 25) as u8, (y * 25) as u8, 128]);
+            }
+        }
+        let whole = ColorHist::of_region(&f, f.region());
+        let mut merged = ColorHist::empty();
+        for part in f.region().split_rows(3) {
+            merged.merge(&ColorHist::of_region(&f, part));
+        }
+        assert_eq!(merged.total(), whole.total());
+        for i in 0..N_BINS {
+            assert_eq!(merged.bin(i), whole.bin(i));
+        }
+    }
+}

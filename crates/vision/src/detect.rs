@@ -1,0 +1,474 @@
+//! T4 — Target Detection: Swain–Ballard histogram back projection of every
+//! model over the frame, masked by motion, with a horizontal box filter.
+//! This is "highly compute intensive and a good candidate for
+//! parallelization" (§2.2): cost is `O(pixels × models)` with a large
+//! constant, and the work decomposes along exactly the two axes of Table 1:
+//!
+//! * **FP** — the frame splits into full-width row strips, so the
+//!   horizontal box filter stays exact per strip;
+//! * **MP** — the model set splits into contiguous ranges.
+//!
+//! Each chunk must recompute the ratio histogram of every model it touches —
+//! the *real* per-model-per-chunk setup cost that makes Table 1's FP=4 row
+//! lose to MP=8 at eight models.
+//!
+//! The complementary vertical pass lives in T5 ([`crate::peak`]), keeping
+//! the separable smoothing exact under decomposition.
+
+use crate::color::{ColorHist, BINS_PER_CHANNEL, QUANT_BITS};
+use crate::frame::{BitMask, Frame, Region};
+
+/// Horizontal box-filter half-width (full window = `2*HALF + 1` pixels).
+pub const HALF_WINDOW: usize = 7;
+
+/// Bits per channel of the per-model lookup table used at pixel-lookup time
+/// (finer than the histogram quantization; values between coarse bins are
+/// trilinearly interpolated). Building this LUT is the *model setup* cost
+/// that every chunk pays per model — the physical source of Table 1's
+/// per-model-per-chunk overhead.
+pub const LUT_BITS: u32 = 6;
+
+/// Entries per channel of the ratio LUT.
+pub const LUT_SIZE: usize = 1 << LUT_BITS;
+
+/// Build the back-projection lookup table for one model against the current
+/// image histogram: the Swain–Ballard ratio histogram, upsampled from the
+/// coarse `16³` grid to a smooth `64³` table by trilinear interpolation.
+#[must_use]
+pub fn ratio_lut(model: &ColorHist, image: &ColorHist) -> Box<[f32]> {
+    let ratio = model.ratio(image);
+    let mut lut = vec![0.0f32; LUT_SIZE * LUT_SIZE * LUT_SIZE].into_boxed_slice();
+    let scale = BINS_PER_CHANNEL as f32 / LUT_SIZE as f32;
+    let max_bin = (BINS_PER_CHANNEL - 1) as f32;
+    // Continuous coordinate of LUT cell center on the coarse grid, then
+    // trilinear interpolation between the eight surrounding coarse bins.
+    let coord = |v: usize| -> (usize, usize, f32) {
+        let c = ((v as f32 + 0.5) * scale - 0.5).clamp(0.0, max_bin);
+        let lo = c.floor() as usize;
+        let hi = (lo + 1).min(BINS_PER_CHANNEL - 1);
+        (lo, hi, c - lo as f32)
+    };
+    let at = |r: usize, g: usize, b: usize| -> f32 {
+        ratio[(r << (2 * QUANT_BITS)) | (g << QUANT_BITS) | b]
+    };
+    let mut i = 0usize;
+    for r in 0..LUT_SIZE {
+        let (r0, r1, fr) = coord(r);
+        for g in 0..LUT_SIZE {
+            let (g0, g1, fg) = coord(g);
+            for b in 0..LUT_SIZE {
+                let (b0, b1, fb) = coord(b);
+                let c00 = at(r0, g0, b0) * (1.0 - fb) + at(r0, g0, b1) * fb;
+                let c01 = at(r0, g1, b0) * (1.0 - fb) + at(r0, g1, b1) * fb;
+                let c10 = at(r1, g0, b0) * (1.0 - fb) + at(r1, g0, b1) * fb;
+                let c11 = at(r1, g1, b0) * (1.0 - fb) + at(r1, g1, b1) * fb;
+                let c0 = c00 * (1.0 - fg) + c01 * fg;
+                let c1 = c10 * (1.0 - fg) + c11 * fg;
+                lut[i] = c0 * (1.0 - fr) + c1 * fr;
+                i += 1;
+            }
+        }
+    }
+    lut
+}
+
+/// LUT index of a pixel at [`LUT_BITS`] quantization.
+#[inline]
+#[must_use]
+pub fn lut_index(rgb: [u8; 3]) -> usize {
+    let shift = 8 - LUT_BITS;
+    let r = (rgb[0] >> shift) as usize;
+    let g = (rgb[1] >> shift) as usize;
+    let b = (rgb[2] >> shift) as usize;
+    (r << (2 * LUT_BITS)) | (g << LUT_BITS) | b
+}
+
+/// A dense per-model score map (one plane of the "Back Projections"
+/// channel).
+#[derive(Clone, PartialEq, Debug)]
+pub struct ScoreMap {
+    /// Width in pixels.
+    pub width: usize,
+    /// Height in pixels.
+    pub height: usize,
+    data: Vec<f32>,
+}
+
+impl ScoreMap {
+    /// An all-zero map.
+    #[must_use]
+    pub fn new(width: usize, height: usize) -> ScoreMap {
+        ScoreMap {
+            width,
+            height,
+            data: vec![0.0; width * height],
+        }
+    }
+
+    /// Read one score.
+    #[inline]
+    #[must_use]
+    pub fn get(&self, x: usize, y: usize) -> f32 {
+        self.data[y * self.width + x]
+    }
+
+    /// Write one score.
+    #[inline]
+    pub fn set(&mut self, x: usize, y: usize, v: f32) {
+        self.data[y * self.width + x] = v;
+    }
+
+    /// One row as a slice.
+    #[must_use]
+    pub fn row(&self, y: usize) -> &[f32] {
+        &self.data[y * self.width..(y + 1) * self.width]
+    }
+
+    /// The location and value of the maximum score.
+    #[must_use]
+    pub fn argmax(&self) -> (usize, usize, f32) {
+        let mut best = (0, 0, f32::NEG_INFINITY);
+        for y in 0..self.height {
+            for x in 0..self.width {
+                let v = self.get(x, y);
+                if v > best.2 {
+                    best = (x, y, v);
+                }
+            }
+        }
+        best
+    }
+}
+
+/// One unit of data-parallel work: a row-strip region × a model range.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct DetectChunk {
+    /// Full-width row strip to process.
+    pub region: Region,
+    /// First model index (inclusive).
+    pub model_lo: usize,
+    /// Last model index (exclusive).
+    pub model_hi: usize,
+}
+
+/// Partition the detection work into `fp × min(mp, n_models)` chunks — the
+/// splitter of the paper's Fig. 9, with the decomposition chosen per regime.
+#[must_use]
+pub fn detect_chunks(
+    width: usize,
+    height: usize,
+    n_models: usize,
+    fp: usize,
+    mp: usize,
+) -> Vec<DetectChunk> {
+    assert!(fp >= 1 && mp >= 1, "factors must be positive");
+    let mp = mp.min(n_models.max(1));
+    let regions = Region::full(width, height).split_rows(fp);
+    let mut chunks = Vec::with_capacity(fp * mp);
+    let base = n_models / mp;
+    let extra = n_models % mp;
+    for region in regions {
+        let mut lo = 0usize;
+        for i in 0..mp {
+            let len = base + usize::from(i < extra);
+            chunks.push(DetectChunk {
+                region,
+                model_lo: lo,
+                model_hi: lo + len,
+            });
+            lo += len;
+        }
+    }
+    chunks
+}
+
+/// The partial result of one chunk: smoothed, masked back-projection rows
+/// for each model in the chunk's range.
+#[derive(Clone, PartialEq, Debug)]
+pub struct PartialScores {
+    /// Model index.
+    pub model: usize,
+    /// The strip these rows cover.
+    pub region: Region,
+    /// Row-major scores, `region.area()` long.
+    pub data: Vec<f32>,
+}
+
+/// Execute one chunk (the worker of Fig. 9). Recomputes the ratio histogram
+/// for every model in range — the replicated setup cost of frame
+/// partitioning.
+#[must_use]
+pub fn target_detection_chunk(
+    frame: &Frame,
+    image_hist: &ColorHist,
+    models: &[ColorHist],
+    mask: &BitMask,
+    chunk: DetectChunk,
+) -> Vec<PartialScores> {
+    let region = chunk.region;
+    assert_eq!(region.width(), frame.width, "chunks must be full-width strips");
+    let mut out = Vec::with_capacity(chunk.model_hi - chunk.model_lo);
+    for (m, model) in models
+        .iter()
+        .enumerate()
+        .take(chunk.model_hi)
+        .skip(chunk.model_lo)
+    {
+        // Per-model setup, paid by every chunk that touches the model.
+        let lut = ratio_lut(model, image_hist);
+        let w = region.width();
+        let mut raw = vec![0.0f32; region.area()];
+        for (ry, y) in (region.y0..region.y1).enumerate() {
+            for x in 0..w {
+                if mask.get(x, y) {
+                    raw[ry * w + x] = lut[lut_index(frame.pixel(x, y))];
+                }
+            }
+        }
+        // Horizontal box filter (running sum), exact within the full-width
+        // strip.
+        let mut data = vec![0.0f32; region.area()];
+        for ry in 0..region.height() {
+            let row = &raw[ry * w..(ry + 1) * w];
+            let mut acc = 0.0f32;
+            // Initial window [0, HALF].
+            for &v in &row[..=HALF_WINDOW.min(w - 1)] {
+                acc += v;
+            }
+            for x in 0..w {
+                data[ry * w + x] = acc;
+                // Slide: add x + HALF + 1, drop x - HALF.
+                let add = x + HALF_WINDOW + 1;
+                if add < w {
+                    acc += row[add];
+                }
+                if x >= HALF_WINDOW {
+                    acc -= row[x - HALF_WINDOW];
+                }
+            }
+        }
+        out.push(PartialScores {
+            model: m,
+            region,
+            data,
+        });
+    }
+    out
+}
+
+/// Assemble chunk outputs into per-model score maps (the joiner of Fig. 9).
+/// Panics if the partials do not tile the frame exactly once per model.
+#[must_use]
+pub fn merge_partials(
+    width: usize,
+    height: usize,
+    n_models: usize,
+    partials: &[PartialScores],
+) -> Vec<ScoreMap> {
+    let mut maps: Vec<ScoreMap> = (0..n_models).map(|_| ScoreMap::new(width, height)).collect();
+    let mut covered = vec![0usize; n_models];
+    for p in partials {
+        let map = &mut maps[p.model];
+        let w = p.region.width();
+        for (ry, y) in (p.region.y0..p.region.y1).enumerate() {
+            for x in 0..w {
+                map.set(x, y, p.data[ry * w + x]);
+            }
+        }
+        covered[p.model] += p.region.area();
+    }
+    for (m, &c) in covered.iter().enumerate() {
+        assert_eq!(c, width * height, "model {m} not fully covered");
+    }
+    maps
+}
+
+/// The whole serial task: one chunk covering everything, then merge.
+#[must_use]
+pub fn target_detection(
+    frame: &Frame,
+    image_hist: &ColorHist,
+    models: &[ColorHist],
+    mask: &BitMask,
+) -> Vec<ScoreMap> {
+    let chunk = DetectChunk {
+        region: frame.region(),
+        model_lo: 0,
+        model_hi: models.len(),
+    };
+    let partials = target_detection_chunk(frame, image_hist, models, mask, chunk);
+    merge_partials(frame.width, frame.height, models.len(), &partials)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::histogram::image_histogram;
+
+    fn red_square_frame() -> (Frame, Vec<ColorHist>) {
+        let mut f = Frame::new(64, 48);
+        // Gray background.
+        for y in 0..48 {
+            for x in 0..64 {
+                f.set_pixel(x, y, [90, 90, 90]);
+            }
+        }
+        // Red square at (40..52, 20..32).
+        for y in 20..32 {
+            for x in 40..52 {
+                f.set_pixel(x, y, [220, 30, 30]);
+            }
+        }
+        // Model: pure red patch.
+        let mut patch = Frame::new(8, 8);
+        for y in 0..8 {
+            for x in 0..8 {
+                patch.set_pixel(x, y, [220, 30, 30]);
+            }
+        }
+        let model = ColorHist::of_region(&patch, patch.region());
+        (f, vec![model])
+    }
+
+    #[test]
+    fn detection_peaks_on_planted_target() {
+        let (f, models) = red_square_frame();
+        let hist = image_histogram(&f);
+        let mask = BitMask::all_set(f.width, f.height);
+        let maps = target_detection(&f, &hist, &models, &mask);
+        assert_eq!(maps.len(), 1);
+        let (x, y, score) = maps[0].argmax();
+        assert!(score > 0.0);
+        assert!((40..52).contains(&x), "x={x}");
+        assert!((20..32).contains(&y), "y={y}");
+    }
+
+    #[test]
+    fn motion_mask_suppresses_static_target() {
+        let (f, models) = red_square_frame();
+        let hist = image_histogram(&f);
+        let empty = BitMask::new(f.width, f.height);
+        let maps = target_detection(&f, &hist, &models, &empty);
+        let (_, _, score) = maps[0].argmax();
+        assert_eq!(score, 0.0, "nothing moving → nothing detected");
+    }
+
+    #[test]
+    fn chunk_grid_shapes() {
+        let chunks = detect_chunks(64, 48, 8, 4, 8);
+        assert_eq!(chunks.len(), 32);
+        let chunks = detect_chunks(64, 48, 8, 1, 8);
+        assert_eq!(chunks.len(), 8);
+        assert!(chunks.iter().all(|c| c.model_hi - c.model_lo == 1));
+        // MP clamps to the model count.
+        let chunks = detect_chunks(64, 48, 1, 1, 8);
+        assert_eq!(chunks.len(), 1);
+        // Uneven model split: 5 models over 2 → 3 + 2.
+        let chunks = detect_chunks(64, 48, 5, 1, 2);
+        assert_eq!(chunks[0].model_hi - chunks[0].model_lo, 3);
+        assert_eq!(chunks[1].model_hi - chunks[1].model_lo, 2);
+    }
+
+    #[test]
+    fn decomposed_detection_is_exact() {
+        // Any FP × MP decomposition reproduces the serial result bit-for-bit
+        // — the invariant that lets the splitter pick its decomposition
+        // per regime without changing semantics.
+        let (mut f, _) = red_square_frame();
+        // A second, blue target.
+        for y in 5..15 {
+            for x in 5..15 {
+                f.set_pixel(x, y, [20, 40, 210]);
+            }
+        }
+        let mut patch = Frame::new(8, 8);
+        for y in 0..8 {
+            for x in 0..8 {
+                patch.set_pixel(x, y, [20, 40, 210]);
+            }
+        }
+        let models = vec![
+            {
+                let mut p = Frame::new(8, 8);
+                for y in 0..8 {
+                    for x in 0..8 {
+                        p.set_pixel(x, y, [220, 30, 30]);
+                    }
+                }
+                ColorHist::of_region(&p, p.region())
+            },
+            ColorHist::of_region(&patch, patch.region()),
+        ];
+        let hist = image_histogram(&f);
+        let mask = BitMask::all_set(f.width, f.height);
+        let serial = target_detection(&f, &hist, &models, &mask);
+        for (fp, mp) in [(1, 2), (2, 1), (3, 2), (4, 2)] {
+            let chunks = detect_chunks(f.width, f.height, models.len(), fp, mp);
+            let partials: Vec<PartialScores> = chunks
+                .iter()
+                .flat_map(|&c| target_detection_chunk(&f, &hist, &models, &mask, c))
+                .collect();
+            let merged = merge_partials(f.width, f.height, models.len(), &partials);
+            assert_eq!(merged, serial, "FP={fp} MP={mp} diverged");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not fully covered")]
+    fn incomplete_merge_panics() {
+        let (f, models) = red_square_frame();
+        let hist = image_histogram(&f);
+        let mask = BitMask::all_set(f.width, f.height);
+        let chunks = detect_chunks(f.width, f.height, 1, 2, 1);
+        let partials = target_detection_chunk(&f, &hist, &models, &mask, chunks[0]);
+        let _ = merge_partials(f.width, f.height, 1, &partials);
+    }
+
+    #[test]
+    fn ratio_lut_interpolates_ratio_histogram() {
+        use crate::color::bin_of;
+        // Model: pure red; image: mixture.
+        let mut red = Frame::new(8, 8);
+        for y in 0..8 {
+            for x in 0..8 {
+                red.set_pixel(x, y, [220, 30, 30]);
+            }
+        }
+        let model = ColorHist::of_region(&red, red.region());
+        let mut img = Frame::new(8, 8);
+        for y in 0..8 {
+            for x in 0..8 {
+                img.set_pixel(x, y, if x < 4 { [220, 30, 30] } else { [30, 220, 30] });
+            }
+        }
+        let image = ColorHist::of_region(&img, img.region());
+        let lut = ratio_lut(&model, &image);
+        let ratio = model.ratio(&image);
+        // At the model color the LUT carries substantial mass (trilinear
+        // smoothing of an isolated coarse bin attenuates the peak, but it
+        // stays well above background), and it never exceeds the bin value.
+        let got = lut[lut_index([220, 30, 30])];
+        let want = ratio[bin_of([220, 30, 30])];
+        assert!(got > 0.2 && got <= want + 1e-6, "got {got}, bin value {want}");
+        // Far from the model color, the LUT is near zero.
+        assert!(lut[lut_index([30, 220, 30])] < 0.05);
+        assert!(got > 10.0 * lut[lut_index([30, 220, 30])].max(1e-9));
+        assert_eq!(lut.len(), LUT_SIZE * LUT_SIZE * LUT_SIZE);
+    }
+
+    #[test]
+    fn lut_index_covers_range() {
+        assert_eq!(lut_index([0, 0, 0]), 0);
+        assert_eq!(lut_index([255, 255, 255]), LUT_SIZE.pow(3) - 1);
+        assert_ne!(lut_index([255, 0, 0]), lut_index([0, 0, 255]));
+    }
+
+    #[test]
+    fn score_map_accessors() {
+        let mut m = ScoreMap::new(4, 3);
+        m.set(2, 1, 5.0);
+        assert_eq!(m.get(2, 1), 5.0);
+        assert_eq!(m.row(1), &[0.0, 0.0, 5.0, 0.0]);
+        assert_eq!(m.argmax(), (2, 1, 5.0));
+    }
+}

@@ -1,0 +1,152 @@
+//! Model enrollment: acquiring a new customer's color model on arrival.
+//!
+//! "Each time a person approaches the kiosk they are detected and greeted by
+//! the DECface agent" — detection of an *unknown* person comes from motion
+//! (change detection), and their clothing-color model is then built from the
+//! moving region so the color tracker can follow them. This is how the
+//! tracked-model set (the application state!) grows at run time.
+
+use crate::color::ColorHist;
+use crate::frame::{BitMask, Frame, Region};
+
+/// Minimum number of moving pixels before a region is considered a person
+/// rather than noise.
+pub const MIN_BLOB_AREA: usize = 64;
+
+/// The bounding box of the set pixels of `mask`, if any.
+#[must_use]
+pub fn motion_bbox(mask: &BitMask) -> Option<Region> {
+    let (mut x0, mut y0, mut x1, mut y1) = (usize::MAX, usize::MAX, 0usize, 0usize);
+    let mut any = false;
+    for y in 0..mask.height {
+        for x in 0..mask.width {
+            if mask.get(x, y) {
+                any = true;
+                x0 = x0.min(x);
+                y0 = y0.min(y);
+                x1 = x1.max(x + 1);
+                y1 = y1.max(y + 1);
+            }
+        }
+    }
+    any.then_some(Region { x0, y0, x1, y1 })
+}
+
+/// Attempt to enroll a new model from the moving region of `frame`.
+///
+/// Returns the clothing-color histogram of the *core* of the motion
+/// bounding box (the central half, which is clothing rather than background
+/// bleeding into the box), plus the box itself. `None` when there is not
+/// enough motion to be a person.
+#[must_use]
+pub fn enroll_from_motion(frame: &Frame, mask: &BitMask) -> Option<(ColorHist, Region)> {
+    let bbox = motion_bbox(mask)?;
+    if mask.count_set() < MIN_BLOB_AREA || bbox.area() < MIN_BLOB_AREA {
+        return None;
+    }
+    // Central half of the box: step a quarter in from each side.
+    let dx = bbox.width() / 4;
+    let dy = bbox.height() / 4;
+    let core = Region {
+        x0: bbox.x0 + dx,
+        y0: bbox.y0 + dy,
+        x1: (bbox.x1 - dx).max(bbox.x0 + dx + 1),
+        y1: (bbox.y1 - dy).max(bbox.y0 + dy + 1),
+    };
+    // Histogram only the moving pixels inside the core, so background
+    // inside the box does not pollute the model.
+    let mut hist = ColorHist::empty();
+    let mut counted = 0usize;
+    for y in core.y0..core.y1 {
+        for x in core.x0..core.x1 {
+            if mask.get(x, y) {
+                hist.merge(&ColorHist::of_region(
+                    frame,
+                    Region {
+                        x0: x,
+                        y0: y,
+                        x1: x + 1,
+                        y1: y + 1,
+                    },
+                ));
+                counted += 1;
+            }
+        }
+    }
+    if counted < MIN_BLOB_AREA / 4 {
+        return None;
+    }
+    Some((hist, bbox))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::change::change_detection;
+    use crate::color::bin_of;
+    use crate::detect::target_detection;
+    use crate::histogram::image_histogram;
+    use crate::peak::peak_detection;
+    use crate::synth::Scene;
+
+    #[test]
+    fn empty_mask_enrolls_nothing() {
+        let f = Frame::new(64, 48);
+        let m = BitMask::new(64, 48);
+        assert!(enroll_from_motion(&f, &m).is_none());
+        assert!(motion_bbox(&m).is_none());
+    }
+
+    #[test]
+    fn tiny_blob_is_rejected_as_noise() {
+        let f = Frame::new(64, 48);
+        let mut m = BitMask::new(64, 48);
+        for i in 0..10 {
+            m.set(10 + i, 10, true);
+        }
+        assert!(enroll_from_motion(&f, &m).is_none());
+    }
+
+    #[test]
+    fn bbox_covers_set_pixels_exactly() {
+        let mut m = BitMask::new(32, 32);
+        m.set(5, 7, true);
+        m.set(20, 25, true);
+        let b = motion_bbox(&m).unwrap();
+        assert_eq!((b.x0, b.y0, b.x1, b.y1), (5, 7, 21, 26));
+    }
+
+    #[test]
+    fn arrival_is_enrolled_and_then_trackable() {
+        // A person walks in at frame 5; the kiosk has no model for them.
+        // Enroll from motion, then verify the color tracker finds them with
+        // the enrolled model.
+        let scene = Scene::demo(160, 120, 1, 31).with_visit(0, 5, u64::MAX);
+        let before = scene.render(4); // empty scene
+        let arrival = scene.render(5); // person appears
+        let mask = change_detection(&arrival, Some(&before), 24);
+        let (model, bbox) = enroll_from_motion(&arrival, &mask).expect("person detected");
+
+        // The enrolled model is dominated by the clothing color.
+        let clothing_bin = bin_of(scene.targets()[0].color);
+        let dominant = (0..crate::color::N_BINS)
+            .max_by(|&a, &b| model.bin(a).partial_cmp(&model.bin(b)).unwrap())
+            .unwrap();
+        assert_eq!(dominant, clothing_bin, "enrolled model off-color");
+        let (cx, cy) = scene.target_center(0, 5);
+        assert!(bbox.contains(cx, cy), "bbox missed the person");
+
+        // Track with the enrolled model on a later frame.
+        let later = scene.render(8);
+        let hist = image_histogram(&later);
+        let full = BitMask::all_set(160, 120);
+        let scores = target_detection(&later, &hist, &[model], &full);
+        let locs = peak_detection(&scores, 1.0);
+        assert!(locs[0].detected);
+        let (tx, ty) = scene.target_center(0, 8);
+        let err = ((locs[0].x as f64 - tx as f64).powi(2)
+            + (locs[0].y as f64 - ty as f64).powi(2))
+        .sqrt();
+        assert!(err < 40.0, "tracking error {err} with enrolled model");
+    }
+}

@@ -1,0 +1,38 @@
+//! T2 — Histogram: the whole-image color histogram feeding the "Color
+//! Model" channel. Its cost depends only on the frame size, never on the
+//! number of tracked models ("the time for tasks T1, T2, and T3 do not
+//! depend on the number of models being tracked", §1).
+
+use crate::color::ColorHist;
+use crate::frame::Frame;
+
+/// Compute the image histogram of a whole frame.
+#[must_use]
+pub fn image_histogram(frame: &Frame) -> ColorHist {
+    ColorHist::of_region(frame, frame.region())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_total_is_pixel_count() {
+        let f = Frame::new(32, 24);
+        let h = image_histogram(&f);
+        assert_eq!(h.total(), (32 * 24) as f64);
+    }
+
+    #[test]
+    fn histogram_is_deterministic() {
+        let mut f = Frame::new(16, 16);
+        for y in 0..16 {
+            for x in 0..16 {
+                f.set_pixel(x, y, [(x * 16) as u8, (y * 16) as u8, 7]);
+            }
+        }
+        let a = image_histogram(&f);
+        let b = image_histogram(&f);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,200 @@
+//! Customer arrival/departure processes — the source of the application's
+//! constrained dynamism. "The processing requirements depend fundamentally
+//! on the number of customers and their rate of arrival and departure" (§1);
+//! the number present "will typically be from one to five and will change
+//! infrequently relative to the processing rate as people come and go".
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration of the arrival process.
+#[derive(Clone, Copy, Debug)]
+pub struct KioskConfig {
+    /// Mean frames between consecutive arrivals (exponential
+    /// inter-arrival).
+    pub mean_interarrival_frames: f64,
+    /// Mean frames a customer stays (exponential dwell).
+    pub mean_dwell_frames: f64,
+    /// Capacity: arrivals beyond this walk away.
+    pub max_people: usize,
+    /// Length of the generated timeline.
+    pub n_frames: u64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for KioskConfig {
+    fn default() -> Self {
+        KioskConfig {
+            mean_interarrival_frames: 120.0,
+            mean_dwell_frames: 300.0,
+            max_people: 5,
+            n_frames: 1_000,
+            seed: 1,
+        }
+    }
+}
+
+/// One customer's visit.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Visit {
+    /// Customer index (also selects a clothing color / model slot).
+    pub person: usize,
+    /// First frame present.
+    pub enter: u64,
+    /// First frame absent.
+    pub leave: u64,
+}
+
+/// Sample an exponential variate with the given mean.
+fn exp_sample(rng: &mut StdRng, mean: f64) -> f64 {
+    let u: f64 = rng.random_range(f64::EPSILON..1.0);
+    -u.ln() * mean
+}
+
+/// Generate the visit list for a kiosk session.
+#[must_use]
+pub fn generate_visits(cfg: &KioskConfig) -> Vec<Visit> {
+    assert!(cfg.mean_interarrival_frames > 0.0 && cfg.mean_dwell_frames > 0.0);
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut visits: Vec<Visit> = Vec::new();
+    let mut t = 0.0f64;
+    let mut person = 0usize;
+    loop {
+        t += exp_sample(&mut rng, cfg.mean_interarrival_frames);
+        let enter = t as u64;
+        if enter >= cfg.n_frames {
+            break;
+        }
+        // Capacity check: count customers present at `enter`.
+        let present = visits
+            .iter()
+            .filter(|v| v.enter <= enter && v.leave > enter)
+            .count();
+        if present >= cfg.max_people {
+            continue; // walks away
+        }
+        let dwell = exp_sample(&mut rng, cfg.mean_dwell_frames).max(1.0) as u64;
+        visits.push(Visit {
+            person,
+            enter,
+            leave: (enter + dwell.max(1)).min(cfg.n_frames),
+        });
+        person += 1;
+    }
+    visits
+}
+
+/// Convert visits into an occupancy track: `(frame, people_present)` change
+/// points, first entry at frame 0. This is the ground-truth regime signal.
+#[must_use]
+pub fn occupancy_track(visits: &[Visit], n_frames: u64) -> Vec<(u64, u32)> {
+    let mut deltas: Vec<(u64, i32)> = Vec::new();
+    for v in visits {
+        deltas.push((v.enter, 1));
+        if v.leave < n_frames {
+            deltas.push((v.leave, -1));
+        }
+    }
+    deltas.sort();
+    let mut track = vec![(0u64, 0u32)];
+    let mut count = 0i32;
+    for (frame, d) in deltas {
+        count += d;
+        let c = u32::try_from(count).expect("occupancy never negative");
+        if frame == track.last().unwrap().0 {
+            track.last_mut().unwrap().1 = c;
+        } else if c != track.last().unwrap().1 {
+            track.push((frame, c));
+        }
+    }
+    track
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> KioskConfig {
+        KioskConfig {
+            mean_interarrival_frames: 50.0,
+            mean_dwell_frames: 150.0,
+            max_people: 5,
+            n_frames: 2_000,
+            seed: 42,
+        }
+    }
+
+    #[test]
+    fn visits_are_deterministic_and_in_range() {
+        let a = generate_visits(&cfg());
+        let b = generate_visits(&cfg());
+        assert_eq!(a, b);
+        assert!(!a.is_empty());
+        for v in &a {
+            assert!(v.enter < v.leave);
+            assert!(v.leave <= 2_000);
+        }
+    }
+
+    #[test]
+    fn occupancy_respects_capacity() {
+        let visits = generate_visits(&cfg());
+        let track = occupancy_track(&visits, 2_000);
+        assert_eq!(track[0].0, 0);
+        for &(_, c) in &track {
+            assert!(c <= 5, "occupancy {c} exceeds capacity");
+        }
+    }
+
+    #[test]
+    fn occupancy_changes_are_infrequent_relative_to_frames() {
+        // Constrained dynamism: far fewer transitions than frames.
+        let visits = generate_visits(&cfg());
+        let track = occupancy_track(&visits, 2_000);
+        assert!(track.len() > 2, "some dynamism expected");
+        assert!(
+            track.len() < 200,
+            "changes must be infrequent, got {}",
+            track.len()
+        );
+    }
+
+    #[test]
+    fn occupancy_matches_direct_count() {
+        let visits = generate_visits(&cfg());
+        let track = occupancy_track(&visits, 2_000);
+        let occupancy_at = |frame: u64| -> u32 {
+            let idx = track.partition_point(|&(f, _)| f <= frame) - 1;
+            track[idx].1
+        };
+        for frame in [0u64, 100, 500, 999, 1500, 1999] {
+            let direct = visits
+                .iter()
+                .filter(|v| v.enter <= frame && v.leave > frame)
+                .count() as u32;
+            assert_eq!(occupancy_at(frame), direct, "frame {frame}");
+        }
+    }
+
+    #[test]
+    fn longer_dwell_raises_mean_occupancy() {
+        let short = KioskConfig {
+            mean_dwell_frames: 50.0,
+            ..cfg()
+        };
+        let long = KioskConfig {
+            mean_dwell_frames: 500.0,
+            ..cfg()
+        };
+        let mean = |c: &KioskConfig| -> f64 {
+            let track = occupancy_track(&generate_visits(c), c.n_frames);
+            let mut sum = 0u64;
+            for w in track.windows(2) {
+                sum += (w[1].0 - w[0].0) * u64::from(w[0].1);
+            }
+            sum as f64 / c.n_frames as f64
+        };
+        assert!(mean(&long) > mean(&short));
+    }
+}

@@ -1,0 +1,391 @@
+//! Synthetic scene generation: the stand-in for the kiosk's NTSC camera.
+//!
+//! A scene renders a textured gray background with sensor noise, plus moving
+//! elliptical targets in saturated clothing colors (the color-indexing
+//! tracker identifies people "based on their motion and clothing color").
+//! Everything is keyed on a seed and a frame index, so any frame can be
+//! rendered independently, deterministically, and in parallel.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::color::ColorHist;
+use crate::frame::Frame;
+
+/// A distinct-clothing-color palette for up to eight simultaneous targets.
+pub const PALETTE: [[u8; 3]; 8] = [
+    [220, 40, 40],  // red
+    [40, 60, 220],  // blue
+    [230, 200, 30], // yellow
+    [200, 40, 200], // magenta
+    [40, 200, 200], // cyan
+    [240, 130, 20], // orange
+    [120, 40, 200], // purple
+    [40, 180, 60],  // green
+];
+
+/// One synthetic person: an ellipse of a given clothing color bouncing
+/// around the frame.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct TargetSpec {
+    /// Clothing color.
+    pub color: [u8; 3],
+    /// Ellipse radii (x, y) in pixels.
+    pub radii: (usize, usize),
+    /// Position at frame 0, in pixels.
+    pub start: (f64, f64),
+    /// Velocity in pixels per frame.
+    pub velocity: (f64, f64),
+}
+
+impl TargetSpec {
+    /// Center position at `frame`, bouncing off the walls (triangle-wave
+    /// reflection keeps it closed-form and frame-independent).
+    #[must_use]
+    pub fn center_at(&self, frame: u64, width: usize, height: usize) -> (usize, usize) {
+        let reflect = |p: f64, lo: f64, hi: f64| -> f64 {
+            let span = hi - lo;
+            if span <= 0.0 {
+                return lo;
+            }
+            let t = (p - lo).rem_euclid(2.0 * span);
+            lo + if t < span { t } else { 2.0 * span - t }
+        };
+        let t = frame as f64;
+        let (rx, ry) = (self.radii.0 as f64, self.radii.1 as f64);
+        let x = reflect(self.start.0 + self.velocity.0 * t, rx, width as f64 - rx - 1.0);
+        let y = reflect(self.start.1 + self.velocity.1 * t, ry, height as f64 - ry - 1.0);
+        (x.round() as usize, y.round() as usize)
+    }
+}
+
+/// A deterministic synthetic scene.
+#[derive(Clone, Debug)]
+pub struct Scene {
+    /// Frame width.
+    pub width: usize,
+    /// Frame height.
+    pub height: usize,
+    targets: Vec<TargetSpec>,
+    /// Per-target visibility window `[enter, leave)` in frames — customers
+    /// arriving at and leaving the kiosk. Defaults to always visible.
+    visits: Vec<(u64, u64)>,
+    /// Per-channel uniform sensor-noise amplitude.
+    pub noise: u8,
+    seed: u64,
+}
+
+impl Scene {
+    /// A scene with explicit targets.
+    #[must_use]
+    pub fn new(width: usize, height: usize, targets: Vec<TargetSpec>, noise: u8, seed: u64) -> Self {
+        assert!(targets.len() <= PALETTE.len(), "at most {} targets", PALETTE.len());
+        let visits = vec![(0, u64::MAX); targets.len()];
+        Scene {
+            width,
+            height,
+            targets,
+            visits,
+            noise,
+            seed,
+        }
+    }
+
+    /// Restrict target `i` to be on screen only during `[enter, leave)` —
+    /// the kiosk-customer dynamics that drive regime changes.
+    #[must_use]
+    pub fn with_visit(mut self, i: usize, enter: u64, leave: u64) -> Self {
+        assert!(enter < leave, "visit must be non-empty");
+        self.visits[i] = (enter, leave);
+        self
+    }
+
+    /// Whether target `i` is on screen at `frame`.
+    #[must_use]
+    pub fn is_visible(&self, i: usize, frame: u64) -> bool {
+        let (enter, leave) = self.visits[i];
+        frame >= enter && frame < leave
+    }
+
+    /// Ground-truth number of targets on screen at `frame`.
+    #[must_use]
+    pub fn population_at(&self, frame: u64) -> u32 {
+        (0..self.targets.len())
+            .filter(|&i| self.is_visible(i, frame))
+            .count() as u32
+    }
+
+    /// A full kiosk session: one target per visit of a customer process
+    /// (see [`crate::kiosk::generate_visits`]), each visible only during its
+    /// visit window. Visits beyond the palette size are dropped (the kiosk
+    /// can only distinguish so many clothing colors).
+    #[must_use]
+    pub fn from_visits(
+        width: usize,
+        height: usize,
+        visits: &[crate::kiosk::Visit],
+        seed: u64,
+    ) -> Self {
+        let n = visits.len().min(PALETTE.len());
+        let mut scene = Scene::demo(width, height, n, seed);
+        for (i, v) in visits.iter().take(n).enumerate() {
+            scene = scene.with_visit(i, v.enter, v.leave);
+        }
+        scene
+    }
+
+    /// A ready-made demo scene: `n` targets from the palette with seeded
+    /// random positions and velocities.
+    #[must_use]
+    pub fn demo(width: usize, height: usize, n: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let rx = (width / 12).max(3);
+        let ry = (height / 8).max(4);
+        let targets = (0..n)
+            .map(|i| TargetSpec {
+                color: PALETTE[i % PALETTE.len()],
+                radii: (rx, ry),
+                start: (
+                    rng.random_range(rx as f64..(width - rx - 1) as f64),
+                    rng.random_range(ry as f64..(height - ry - 1) as f64),
+                ),
+                velocity: (
+                    rng.random_range(-3.0..3.0),
+                    rng.random_range(-2.0..2.0),
+                ),
+            })
+            .collect();
+        Scene::new(width, height, targets, 10, seed)
+    }
+
+    /// The scene's targets.
+    #[must_use]
+    pub fn targets(&self) -> &[TargetSpec] {
+        &self.targets
+    }
+
+    /// Ground-truth center of target `i` at `frame`.
+    #[must_use]
+    pub fn target_center(&self, i: usize, frame: u64) -> (usize, usize) {
+        self.targets[i].center_at(frame, self.width, self.height)
+    }
+
+    /// Render frame `frame`: background texture + noise + targets.
+    #[must_use]
+    pub fn render(&self, frame: u64) -> Frame {
+        let mut rng = StdRng::seed_from_u64(self.seed ^ frame.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let mut f = Frame::new(self.width, self.height);
+        let n = i16::from(self.noise);
+        for y in 0..self.height {
+            for x in 0..self.width {
+                // Low-saturation checkerboard-ish texture.
+                let base = 80 + (((x / 8) + (y / 8)) % 2) as i16 * 20;
+                let jitter = |rng: &mut StdRng| -> u8 {
+                    (base + rng.random_range(-n..=n)).clamp(0, 255) as u8
+                };
+                f.set_pixel(x, y, [jitter(&mut rng), jitter(&mut rng), jitter(&mut rng)]);
+            }
+        }
+        for (i, t) in self.targets.iter().enumerate() {
+            if !self.is_visible(i, frame) {
+                continue;
+            }
+            let (cx, cy) = t.center_at(frame, self.width, self.height);
+            let (rx, ry) = t.radii;
+            let y_lo = cy.saturating_sub(ry);
+            let y_hi = (cy + ry + 1).min(self.height);
+            let x_lo = cx.saturating_sub(rx);
+            let x_hi = (cx + rx + 1).min(self.width);
+            for y in y_lo..y_hi {
+                for x in x_lo..x_hi {
+                    let dx = (x as f64 - cx as f64) / rx as f64;
+                    let dy = (y as f64 - cy as f64) / ry as f64;
+                    if dx * dx + dy * dy <= 1.0 {
+                        let c = t.color;
+                        let px = [
+                            (i16::from(c[0]) + rng.random_range(-n..=n)).clamp(0, 255) as u8,
+                            (i16::from(c[1]) + rng.random_range(-n..=n)).clamp(0, 255) as u8,
+                            (i16::from(c[2]) + rng.random_range(-n..=n)).clamp(0, 255) as u8,
+                        ];
+                        f.set_pixel(x, y, px);
+                    }
+                }
+            }
+        }
+        f
+    }
+
+    /// Color models for the scene's targets: the histogram of a rendered
+    /// clothing patch (what the kiosk acquires when a person is first
+    /// detected and enrolled).
+    #[must_use]
+    pub fn models(&self) -> Vec<ColorHist> {
+        self.targets
+            .iter()
+            .enumerate()
+            .map(|(i, t)| {
+                let mut rng = StdRng::seed_from_u64(self.seed ^ (0xC0FF_EE00 + i as u64));
+                let mut patch = Frame::new(16, 16);
+                let n = i16::from(self.noise);
+                for y in 0..16 {
+                    for x in 0..16 {
+                        let px = [
+                            (i16::from(t.color[0]) + rng.random_range(-n..=n)).clamp(0, 255) as u8,
+                            (i16::from(t.color[1]) + rng.random_range(-n..=n)).clamp(0, 255) as u8,
+                            (i16::from(t.color[2]) + rng.random_range(-n..=n)).clamp(0, 255) as u8,
+                        ];
+                        patch.set_pixel(x, y, px);
+                    }
+                }
+                ColorHist::of_region(&patch, patch.region())
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rendering_is_deterministic() {
+        let s = Scene::demo(80, 60, 3, 7);
+        assert_eq!(s.render(4), s.render(4));
+        assert_ne!(s.render(4), s.render(5), "frames differ over time");
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = Scene::demo(80, 60, 2, 1).render(0);
+        let b = Scene::demo(80, 60, 2, 2).render(0);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn targets_stay_in_bounds_forever() {
+        let s = Scene::demo(80, 60, 4, 99);
+        for f in [0u64, 1, 10, 100, 1_000, 123_456] {
+            for i in 0..4 {
+                let (x, y) = s.target_center(i, f);
+                assert!(x < 80 && y < 60, "target {i} at ({x},{y}) frame {f}");
+            }
+        }
+    }
+
+    #[test]
+    fn target_pixels_show_clothing_color() {
+        let s = Scene::demo(80, 60, 1, 3);
+        let f = s.render(0);
+        let (cx, cy) = s.target_center(0, 0);
+        let px = f.pixel(cx, cy);
+        let c = s.targets()[0].color;
+        for ch in 0..3 {
+            assert!(px[ch].abs_diff(c[ch]) <= 10, "channel {ch}: {px:?} vs {c:?}");
+        }
+    }
+
+    #[test]
+    fn models_match_target_colors() {
+        use crate::color::bin_of;
+        let s = Scene::demo(80, 60, 3, 11);
+        let models = s.models();
+        assert_eq!(models.len(), 3);
+        for (m, t) in models.iter().zip(s.targets()) {
+            // The model's dominant bin is the clothing color's bin.
+            let dominant = (0..crate::color::N_BINS)
+                .max_by(|&a, &b| m.bin(a).partial_cmp(&m.bin(b)).unwrap())
+                .unwrap();
+            assert_eq!(dominant, bin_of(t.color));
+        }
+    }
+
+    #[test]
+    fn reflection_bounces_rather_than_wraps() {
+        let t = TargetSpec {
+            color: PALETTE[0],
+            radii: (5, 5),
+            start: (10.0, 10.0),
+            velocity: (7.0, 0.0),
+        };
+        let mut xs: Vec<usize> = (0..60).map(|f| t.center_at(f, 100, 100).0).collect();
+        // Never out of range, and both directions occur.
+        assert!(xs.iter().all(|&x| (5..=94).contains(&x)));
+        xs.dedup();
+        let increases = xs.windows(2).filter(|w| w[1] > w[0]).count();
+        let decreases = xs.windows(2).filter(|w| w[1] < w[0]).count();
+        assert!(increases > 0 && decreases > 0);
+    }
+
+    #[test]
+    fn visits_control_visibility_and_population() {
+        let s = Scene::demo(80, 60, 3, 5)
+            .with_visit(0, 0, 10)
+            .with_visit(1, 5, 20)
+            .with_visit(2, 15, 30);
+        assert_eq!(s.population_at(0), 1);
+        assert_eq!(s.population_at(7), 2);
+        assert_eq!(s.population_at(12), 1);
+        assert_eq!(s.population_at(17), 2);
+        assert_eq!(s.population_at(25), 1);
+        assert_eq!(s.population_at(30), 0);
+        assert!(s.is_visible(0, 9) && !s.is_visible(0, 10));
+    }
+
+    #[test]
+    fn invisible_target_leaves_no_pixels() {
+        let s = Scene::demo(80, 60, 1, 3).with_visit(0, 10, 20);
+        let f = s.render(0);
+        let (cx, cy) = s.target_center(0, 0);
+        let px = f.pixel(cx, cy);
+        let c = s.targets()[0].color;
+        // At frame 0 the target is absent → background, not clothing color.
+        assert!(px[0].abs_diff(c[0]) > 50 || px[1].abs_diff(c[1]) > 50);
+        // At frame 15 it is present.
+        let f = s.render(15);
+        let (cx, cy) = s.target_center(0, 15);
+        let px = f.pixel(cx, cy);
+        for ch in 0..3 {
+            assert!(px[ch].abs_diff(c[ch]) <= 10);
+        }
+    }
+
+    #[test]
+    fn scene_from_visits_matches_occupancy() {
+        use crate::kiosk::{generate_visits, occupancy_track, KioskConfig};
+        let cfg = KioskConfig {
+            mean_interarrival_frames: 40.0,
+            mean_dwell_frames: 100.0,
+            max_people: 4,
+            n_frames: 400,
+            seed: 5,
+        };
+        let visits = generate_visits(&cfg);
+        let scene = Scene::from_visits(160, 120, &visits, 9);
+        let occ = occupancy_track(&visits[..visits.len().min(8)], cfg.n_frames);
+        for &(frame, expected) in &occ {
+            assert_eq!(
+                scene.population_at(frame),
+                expected,
+                "frame {frame}: scene population disagrees with the process"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_visit_rejected() {
+        let _ = Scene::demo(10, 10, 1, 0).with_visit(0, 5, 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "at most")]
+    fn too_many_targets_rejected() {
+        let t = TargetSpec {
+            color: [0, 0, 0],
+            radii: (1, 1),
+            start: (0.0, 0.0),
+            velocity: (0.0, 0.0),
+        };
+        let _ = Scene::new(10, 10, vec![t; 9], 0, 0);
+    }
+}

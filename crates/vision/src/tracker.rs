@@ -1,0 +1,127 @@
+//! The whole color tracker as a sequential reference implementation: the
+//! exact dataflow of Fig. 2, one frame at a time. The threaded runtime
+//! splits these same stages across tasks and channels; this module is the
+//! semantic oracle it is tested against.
+
+use crate::change::{change_detection, DEFAULT_THRESHOLD};
+use crate::color::ColorHist;
+use crate::detect::target_detection;
+use crate::frame::Frame;
+use crate::histogram::image_histogram;
+use crate::peak::{peak_detection, ModelLocation};
+
+/// Default absolute peak-response threshold for a confident detection.
+/// Tuned for the synthetic scenes: an on-screen target's smoothed response
+/// is orders of magnitude above background leakage.
+pub const DEFAULT_MIN_SCORE: f32 = 20.0;
+
+/// A stateful serial tracker (holds the previous frame for change
+/// detection).
+#[derive(Clone, Debug)]
+pub struct Tracker {
+    models: Vec<ColorHist>,
+    prev: Option<Frame>,
+    /// Detection threshold (see [`DEFAULT_MIN_SCORE`]).
+    pub min_score: f32,
+    width: usize,
+    height: usize,
+}
+
+impl Tracker {
+    /// A tracker for the given enrolled color models and frame size.
+    #[must_use]
+    pub fn new(models: &[ColorHist], width: usize, height: usize) -> Tracker {
+        Tracker {
+            models: models.to_vec(),
+            prev: None,
+            min_score: DEFAULT_MIN_SCORE,
+            width,
+            height,
+        }
+    }
+
+    /// The enrolled models.
+    #[must_use]
+    pub fn models(&self) -> &[ColorHist] {
+        &self.models
+    }
+
+    /// Process one frame through T2–T5, returning per-model locations.
+    pub fn process(&mut self, frame: &Frame) -> Vec<ModelLocation> {
+        assert_eq!((frame.width, frame.height), (self.width, self.height));
+        let hist = image_histogram(frame); // T2
+        let mask = change_detection(frame, self.prev.as_ref(), u16::from(DEFAULT_THRESHOLD)); // T3
+        let scores = target_detection(frame, &hist, &self.models, &mask); // T4
+        let locations = peak_detection(&scores, self.min_score); // T5
+        self.prev = Some(frame.clone());
+        locations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::peak::detected_count;
+    use crate::synth::Scene;
+
+    #[test]
+    fn tracker_follows_moving_targets() {
+        let scene = Scene::demo(160, 120, 2, 5);
+        let mut tracker = Tracker::new(&scene.models(), 160, 120);
+        let mut hits = 0usize;
+        let mut total = 0usize;
+        for f in 0..6u64 {
+            let frame = scene.render(f);
+            let locs = tracker.process(&frame);
+            // Frame 0 has an all-set motion mask; later frames rely on real
+            // differencing of moving targets.
+            for l in &locs {
+                let (tx, ty) = scene.target_center(l.model, f);
+                total += 1;
+                let dist2 = (l.x as f64 - tx as f64).powi(2) + (l.y as f64 - ty as f64).powi(2);
+                if l.detected && dist2 < (25.0f64).powi(2) {
+                    hits += 1;
+                }
+            }
+        }
+        assert!(
+            hits * 10 >= total * 8,
+            "tracking accuracy too low: {hits}/{total}"
+        );
+    }
+
+    #[test]
+    fn absent_model_scores_below_present_model() {
+        // Scene renders only target 0, but we enroll two models.
+        let scene = Scene::demo(160, 120, 1, 9);
+        let two = Scene::demo(160, 120, 2, 9);
+        let mut tracker = Tracker::new(&two.models(), 160, 120);
+        let frame = scene.render(3);
+        let locs = tracker.process(&frame);
+        assert_eq!(locs.len(), 2);
+        assert!(
+            locs[0].score > locs[1].score * 2.0,
+            "present {} vs absent {}",
+            locs[0].score,
+            locs[1].score
+        );
+    }
+
+    #[test]
+    fn detected_count_tracks_scene_population() {
+        for n in [1usize, 3] {
+            let scene = Scene::demo(160, 120, n, 21);
+            let mut tracker = Tracker::new(&scene.models(), 160, 120);
+            let locs = tracker.process(&scene.render(0));
+            assert_eq!(detected_count(&locs) as usize, n, "population {n}");
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn wrong_frame_size_rejected() {
+        let scene = Scene::demo(160, 120, 1, 2);
+        let mut tracker = Tracker::new(&scene.models(), 160, 120);
+        let _ = tracker.process(&Frame::new(80, 60));
+    }
+}

@@ -1,0 +1,36 @@
+//! # constrained-dynamic-scheduling
+//!
+//! A full reproduction of *Scheduling Constrained Dynamic Applications on
+//! Clusters* (Knobe, Rehg, Chauhan, Nikhil, Ramachandran — SC 1999), built
+//! as a Rust workspace. This facade crate re-exports the workspace's public
+//! API; see the individual crates for depth:
+//!
+//! * [`stm`] — Space-Time Memory channels (the Stampede substrate);
+//! * [`taskgraph`] — the macro-dataflow application model with
+//!   state-dependent cost models and FP×MP data decompositions;
+//! * [`cluster`] — cluster spec, discrete-event simulation, metrics, Gantt;
+//! * [`cds_core`] — the paper's contribution: optimal latency-first
+//!   schedule enumeration, software pipelining, and regime-based schedule
+//!   switching;
+//! * [`vision`] — the synthetic Smart Kiosk color tracker;
+//! * [`runtime`] — the threaded Stampede-like runtime (online and
+//!   schedule-driven executors).
+//!
+//! ```
+//! use constrained_dynamic_scheduling as cds;
+//! use cds::cds_core::optimal::{optimal_schedule, OptimalConfig};
+//! use cds::cluster::ClusterSpec;
+//! use cds::taskgraph::{builders, AppState};
+//!
+//! let graph = builders::color_tracker();
+//! let cluster = ClusterSpec::single_node(4);
+//! let sched = optimal_schedule(&graph, &cluster, &AppState::new(4), &OptimalConfig::default());
+//! assert!(sched.complete);
+//! ```
+
+pub use cds_core;
+pub use cluster;
+pub use runtime;
+pub use stm;
+pub use taskgraph;
+pub use vision;
