@@ -9,6 +9,8 @@ use cds_core::expand::ExpandedGraph;
 use cds_core::ii::find_best_ii;
 use cds_core::listsched::list_schedule;
 use cds_core::optimal::{optimal_schedule, OptimalConfig};
+use cds_core::persist::ScheduleCache;
+use cds_core::table::ScheduleTable;
 use cluster::ClusterSpec;
 use taskgraph::{builders, AppState, Decomposition};
 
@@ -52,6 +54,75 @@ fn bench_scheduler(c: &mut Criterion) {
         d.insert(t4, Decomposition::new(4, 8));
         b.iter(|| ExpandedGraph::build(&graph, &state, &d))
     });
+
+    // Parallel fan-out vs the serial search (same optimum, different
+    // wall-clock; on a 1-CPU host the two coincide).
+    let mut g = c.benchmark_group("search_threads");
+    g.sample_size(10);
+    let state8 = AppState::new(8);
+    for threads in [1usize, OptimalConfig::default().effective_threads()] {
+        g.bench_with_input(BenchmarkId::new("threads", threads), &threads, |b, &t| {
+            let cfg = OptimalConfig {
+                threads: t,
+                ..OptimalConfig::default()
+            };
+            b.iter(|| optimal_schedule(&graph, &cluster, &state8, &cfg))
+        });
+    }
+    g.finish();
+
+    // Dominance memo on vs off.
+    let mut g = c.benchmark_group("dominance");
+    g.sample_size(10);
+    for cap in [0usize, 100_000] {
+        g.bench_with_input(BenchmarkId::new("cap", cap), &cap, |b, &cap| {
+            let cfg = OptimalConfig {
+                dominance_cap: cap,
+                ..OptimalConfig::default()
+            };
+            b.iter(|| optimal_schedule(&graph, &cluster, &state8, &cfg))
+        });
+    }
+    g.finish();
+
+    // Cold table build vs warm rebuild from the persistent cache.
+    let mut g = c.benchmark_group("table_build");
+    g.sample_size(10);
+    let states: Vec<AppState> = [1u32, 4, 8].iter().map(|&n| AppState::new(n)).collect();
+    g.bench_function("cold", |b| {
+        b.iter(|| {
+            ScheduleTable::precompute_with_cache(
+                &graph,
+                &cluster,
+                &states,
+                &OptimalConfig::default(),
+                None,
+            )
+        })
+    });
+    g.bench_function("warm_cache", |b| {
+        let dir = std::env::temp_dir().join(format!("cds-bench-cache-{}", std::process::id()));
+        let cache = ScheduleCache::open(&dir).expect("cache dir");
+        // Prime once; the measured body is pure load+validate.
+        let _ = ScheduleTable::precompute_with_cache(
+            &graph,
+            &cluster,
+            &states,
+            &OptimalConfig::default(),
+            Some(&cache),
+        );
+        b.iter(|| {
+            ScheduleTable::precompute_with_cache(
+                &graph,
+                &cluster,
+                &states,
+                &OptimalConfig::default(),
+                Some(&cache),
+            )
+        });
+        let _ = std::fs::remove_dir_all(&dir);
+    });
+    g.finish();
 }
 
 criterion_group!(benches, bench_scheduler);

@@ -96,7 +96,12 @@ fn main() {
     let t4 = graph.task_by_name("Target Detection").unwrap();
     let mut decomp_by_state: BTreeMap<u32, String> = BTreeMap::new();
     for n in 1..=8u32 {
-        let r = optimal_schedule(&graph, &cluster, &AppState::new(n), &OptimalConfig::default());
+        let r = optimal_schedule(
+            &graph,
+            &cluster,
+            &AppState::new(n),
+            &OptimalConfig::default(),
+        );
         let d = r
             .best
             .iteration
@@ -113,7 +118,10 @@ fn main() {
 
     println!("\nshape checks:");
     let checks = [
-        ("optimal <= list <= pipeline orderings hold in every regime", all_pass),
+        (
+            "optimal <= list <= pipeline orderings hold in every regime",
+            all_pass,
+        ),
         (
             "the optimal decomposition is regime-dependent",
             distinct.len() > 1,

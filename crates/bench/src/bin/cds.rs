@@ -23,9 +23,7 @@ use cds_core::evaluate::evaluate_schedule;
 use cds_core::optimal::{optimal_schedule, OptimalConfig};
 use cds_core::persist;
 use cds_core::table::ScheduleTable;
-use cluster::{
-    render_gantt, simulate_online, ClusterSpec, FrameClock, GanttOptions, OnlineConfig,
-};
+use cluster::{render_gantt, simulate_online, ClusterSpec, FrameClock, GanttOptions, OnlineConfig};
 use taskgraph::{builders, AppState, Micros, TaskGraph};
 
 fn usage() -> ! {

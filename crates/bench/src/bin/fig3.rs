@@ -90,7 +90,12 @@ fn main() {
     }
     print_table(
         "Tuning with frame skipping (latency bounded, frames dropped)",
-        &["digitizer period", "latency (s)", "throughput (1/s)", "dropped"],
+        &[
+            "digitizer period",
+            "latency (s)",
+            "throughput (1/s)",
+            "dropped",
+        ],
         &rows,
     );
 

@@ -4,9 +4,7 @@
 
 use cds_core::evaluate::evaluate_schedule;
 use cds_core::pipeline::naive_pipeline;
-use cluster::{
-    render_gantt, simulate_online, ClusterSpec, FrameClock, GanttOptions, OnlineConfig,
-};
+use cluster::{render_gantt, simulate_online, ClusterSpec, FrameClock, GanttOptions, OnlineConfig};
 use kiosk_bench::csv_line;
 use taskgraph::{builders, AppState, Micros};
 
@@ -68,9 +66,7 @@ fn main() {
     println!("{}", pipeline.metrics);
     println!(
         "pipeline II={} rotation={} (latency = serial iteration = {})",
-        sched.ii,
-        sched.rotation,
-        sched.iteration.latency
+        sched.ii, sched.rotation, sched.iteration.latency
     );
 
     csv_line(&[

@@ -54,7 +54,10 @@ fn main() {
         out_b.metrics
     );
 
-    for (label, r, out) in [("task_parallel", &a, &out_a), ("task_data_parallel", &b, &out_b)] {
+    for (label, r, out) in [
+        ("task_parallel", &a, &out_a),
+        ("task_data_parallel", &b, &out_b),
+    ] {
         csv_line(&[
             "fig5".to_string(),
             label.to_string(),

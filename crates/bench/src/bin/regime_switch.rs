@@ -34,9 +34,7 @@ fn main() {
     };
     let visits = generate_visits(&kiosk);
     let occ = occupancy_track(&visits, kiosk.n_frames);
-    let track = StateTrack::from_changes(
-        occ.iter().map(|&(f, n)| (f, AppState::new(n))).collect(),
-    );
+    let track = StateTrack::from_changes(occ.iter().map(|&(f, n)| (f, AppState::new(n))).collect());
     println!(
         "workload: {} visits, {} regime transitions over {} frames, occupancy 0..={}",
         visits.len(),
@@ -152,7 +150,10 @@ fn main() {
             "regime switching beats the online scheduler",
             lat(3) < lat(0),
         ),
-        ("regime switching is within 40% of the oracle", lat(3) < lat(5) * 1.4),
+        (
+            "regime switching is within 40% of the oracle",
+            lat(3) < lat(5) * 1.4,
+        ),
         (
             "mismatch exposure is a small fraction of the run",
             rows[3][5].parse::<u64>().unwrap() * 4 < kiosk.n_frames,

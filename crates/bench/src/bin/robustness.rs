@@ -37,23 +37,23 @@ fn main() {
     for amp_pct in [0u32, 10, 20, 30, 50] {
         let a = f64::from(amp_pct) / 100.0;
         let mut rng = StdRng::seed_from_u64(0x0B0E + u64::from(amp_pct));
-        let stats = |iter: &cds_core::schedule::IterationSchedule,
-                         e: &ExpandedGraph,
-                         rng: &mut StdRng| {
-            let mut lats: Vec<f64> = (0..TRIALS)
-                .map(|_| {
-                    let factors: Vec<f64> =
-                        (0..e.len()).map(|_| rng.random_range(1.0 - a..=1.0 + a)).collect();
-                    replay_with_jitter(iter, e, &cluster, &factors)
-                        .latency
-                        .as_secs_f64()
-                })
-                .collect();
-            lats.sort_by(|x, y| x.partial_cmp(y).unwrap());
-            let mean = lats.iter().sum::<f64>() / lats.len() as f64;
-            let p95 = lats[(lats.len() * 95) / 100 - 1];
-            (mean, p95)
-        };
+        let stats =
+            |iter: &cds_core::schedule::IterationSchedule, e: &ExpandedGraph, rng: &mut StdRng| {
+                let mut lats: Vec<f64> = (0..TRIALS)
+                    .map(|_| {
+                        let factors: Vec<f64> = (0..e.len())
+                            .map(|_| rng.random_range(1.0 - a..=1.0 + a))
+                            .collect();
+                        replay_with_jitter(iter, e, &cluster, &factors)
+                            .latency
+                            .as_secs_f64()
+                    })
+                    .collect();
+                lats.sort_by(|x, y| x.partial_cmp(y).unwrap());
+                let mean = lats.iter().sum::<f64>() / lats.len() as f64;
+                let p95 = lats[(lats.len() * 95) / 100 - 1];
+                (mean, p95)
+            };
         let (om, op95) = stats(&opt.best.iteration, &e_opt, &mut rng);
         let (pm, pp95) = stats(&pipe.iteration, &e_pipe, &mut rng);
         advantage_holds &= op95 < pm;
@@ -94,7 +94,10 @@ fn main() {
             "optimal's p95 beats the pipeline's MEAN at every tested amplitude",
             advantage_holds,
         ),
-        ("zero noise reproduces the deterministic latency", zero_noise_exact),
+        (
+            "zero noise reproduces the deterministic latency",
+            zero_noise_exact,
+        ),
     ];
     for (name, ok) in checks {
         println!("  [{}] {name}", if ok { "PASS" } else { "FAIL" });

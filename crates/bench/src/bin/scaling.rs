@@ -57,7 +57,14 @@ fn main() {
         }
         print_table(
             &format!("{n_models} model(s)"),
-            &["procs", "latency (s)", "II (s)", "utilization", "T4 decomp", "complete"],
+            &[
+                "procs",
+                "latency (s)",
+                "II (s)",
+                "utilization",
+                "T4 decomp",
+                "complete",
+            ],
             &rows,
         );
         println!(

@@ -1,0 +1,178 @@
+//! Offline table-build cost: parallel search and the persistent cache.
+//!
+//! Times four ways of building the same multi-regime [`ScheduleTable`]:
+//!
+//! 1. `cold serial`   — branch-and-bound with one thread, no cache;
+//! 2. `cold parallel` — same search fanned across all host CPUs;
+//! 3. `cold + store`  — parallel search that also persists every schedule;
+//! 4. `warm cache`    — rebuild served entirely from the cache (no search).
+//!
+//! All four must produce identical tables (asserted), so the numbers
+//! isolate pure search/IO cost. On a single-core host the parallel row
+//! degenerates to the serial one plus scheduling overhead — the honest
+//! outcome; the cache row is hardware-independent.
+//!
+//! Flags: `--cache-dir DIR` keeps the cache at DIR (default: a fresh
+//! temp dir, removed afterwards), `--keep` skips the cleanup.
+
+use std::time::{Duration, Instant};
+
+use cds_core::optimal::OptimalConfig;
+use cds_core::persist::ScheduleCache;
+use cds_core::table::{ScheduleTable, TableBuildStats};
+use cluster::ClusterSpec;
+use kiosk_bench::{csv_line, print_table};
+use taskgraph::{builders, AppState, TaskGraph};
+
+struct Workload {
+    name: &'static str,
+    graph: TaskGraph,
+    cluster: ClusterSpec,
+    states: Vec<AppState>,
+    /// Base search options (threads overridden per mode). The surveillance
+    /// graph's decomposition product is in the hundreds, so it runs with
+    /// the same bounded budget its tests use.
+    cfg: OptimalConfig,
+    /// Whether the budget admits a complete search: only then is
+    /// serial ≡ parallel guaranteed (a truncated search explores a
+    /// thread-count-dependent prefix).
+    exact: bool,
+}
+
+fn workloads() -> Vec<Workload> {
+    vec![
+        Workload {
+            name: "color_tracker",
+            graph: builders::color_tracker(),
+            cluster: ClusterSpec::single_node(4),
+            states: [1u32, 2, 4, 8].map(AppState::new).to_vec(),
+            cfg: OptimalConfig::default(),
+            exact: true,
+        },
+        Workload {
+            name: "stereo_surveillance",
+            graph: builders::stereo_surveillance(),
+            cluster: ClusterSpec::single_node(4),
+            states: [1u32, 2, 3].map(AppState::new).to_vec(),
+            cfg: OptimalConfig {
+                max_nodes: 20_000,
+                max_schedules: 4,
+                ..OptimalConfig::default()
+            },
+            exact: false,
+        },
+    ]
+}
+
+fn build(
+    w: &Workload,
+    cfg: &OptimalConfig,
+    cache: Option<&ScheduleCache>,
+) -> (ScheduleTable, TableBuildStats, Duration) {
+    let t0 = Instant::now();
+    let (table, stats) =
+        ScheduleTable::precompute_with_cache(&w.graph, &w.cluster, &w.states, cfg, cache);
+    (table, stats, t0.elapsed())
+}
+
+fn tables_equal(a: &ScheduleTable, b: &ScheduleTable) -> bool {
+    a.len() == b.len() && a.states().iter().all(|s| a.get(s) == b.get(s))
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let keep = args.iter().any(|a| a == "--keep");
+    let cache_dir = args
+        .iter()
+        .position(|a| a == "--cache-dir")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| {
+            std::env::temp_dir()
+                .join(format!("cds-schedcache-{}", std::process::id()))
+                .to_string_lossy()
+                .into_owned()
+        });
+
+    let host_threads = OptimalConfig::default().effective_threads();
+    println!("Offline schedule-table build: parallel search × persistent cache");
+    println!("host threads: {host_threads}  cache dir: {cache_dir}");
+    if host_threads == 1 {
+        println!(
+            "(single-core host: the parallel row cannot beat serial here; \
+             the fan-out is exercised for correctness, not speedup)"
+        );
+    }
+
+    // One cache for every workload, cleared once up front so the cold
+    // modes really are cold but `--keep` preserves all workloads' entries.
+    let cache = ScheduleCache::open(&cache_dir).expect("cache dir");
+    cache.clear().expect("clear cache");
+
+    let mut rows = Vec::new();
+    for w in workloads() {
+        let serial = w.cfg.serial();
+        let parallel = w.cfg.clone(); // threads = all CPUs
+
+        let (t_serial, s_serial, d_serial) = build(&w, &serial, None);
+        let (t_par, s_par, d_par) = build(&w, &parallel, None);
+        let (t_store, s_store, d_store) = build(&w, &parallel, Some(&cache));
+        let (t_warm, s_warm, d_warm) = build(&w, &parallel, Some(&cache));
+
+        if w.exact {
+            assert!(tables_equal(&t_serial, &t_par), "parallel table differs");
+            assert!(tables_equal(&t_serial, &t_store), "cached table differs");
+        }
+        assert!(tables_equal(&t_store, &t_warm), "warm table differs");
+        assert_eq!(s_warm.cache_hits, w.states.len(), "warm build searched");
+        assert_eq!(s_warm.nodes_explored, 0, "warm build explored nodes");
+
+        for (mode, stats, dur) in [
+            ("cold serial", &s_serial, d_serial),
+            ("cold parallel", &s_par, d_par),
+            ("cold + store", &s_store, d_store),
+            ("warm cache", &s_warm, d_warm),
+        ] {
+            rows.push(vec![
+                w.name.to_string(),
+                mode.to_string(),
+                format!("{}", w.states.len()),
+                format!("{}", stats.cache_hits),
+                format!("{}", stats.searched()),
+                format!("{}", stats.nodes_explored),
+                format!("{:.4}", dur.as_secs_f64()),
+            ]);
+            csv_line(&[
+                "schedcache".to_string(),
+                w.name.to_string(),
+                mode.replace(' ', "_"),
+                stats.cache_hits.to_string(),
+                stats.searched().to_string(),
+                stats.nodes_explored.to_string(),
+                format!("{:.6}", dur.as_secs_f64()),
+            ]);
+        }
+
+        let speedup = d_serial.as_secs_f64() / d_par.as_secs_f64().max(1e-9);
+        let warmup = d_store.as_secs_f64() / d_warm.as_secs_f64().max(1e-9);
+        println!(
+            "\n{}: parallel speedup {speedup:.2}x over serial ({host_threads} threads), \
+             warm cache {warmup:.1}x faster than cold+store",
+            w.name
+        );
+    }
+
+    print_table(
+        "Schedule-table build cost by mode",
+        &[
+            "workload", "mode", "states", "hits", "searched", "nodes", "wall s",
+        ],
+        &rows,
+    );
+
+    if keep {
+        println!("\ncache kept at {cache_dir}");
+    } else if !args.iter().any(|a| a == "--cache-dir") {
+        let _ = std::fs::remove_dir_all(&cache_dir);
+    }
+}

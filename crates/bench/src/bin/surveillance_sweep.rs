@@ -30,9 +30,7 @@ fn main() {
     };
     let visits = generate_visits(&process);
     let occ = occupancy_track(&visits, process.n_frames);
-    let track = StateTrack::from_changes(
-        occ.iter().map(|&(f, n)| (f, AppState::new(n))).collect(),
-    );
+    let track = StateTrack::from_changes(occ.iter().map(|&(f, n)| (f, AppState::new(n))).collect());
     println!(
         "workload: {} visits, {} transitions, occupancy 0..={}",
         visits.len(),
@@ -121,7 +119,10 @@ fn main() {
             "regime switching beats both static schedules",
             lat(2) < lat(0) && lat(2) < lat(1),
         ),
-        ("regime switching within 40% of oracle", lat(2) < lat(3) * 1.4),
+        (
+            "regime switching within 40% of oracle",
+            lat(2) < lat(3) * 1.4,
+        ),
     ];
     for (name, ok) in checks {
         println!("  [{}] {name}", if ok { "PASS" } else { "FAIL" });

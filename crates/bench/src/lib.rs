@@ -57,11 +57,7 @@ mod tests {
 
     #[test]
     fn table_printing_does_not_panic() {
-        print_table(
-            "t",
-            &["a", "bb"],
-            &[vec!["1".to_string(), "2".to_string()]],
-        );
+        print_table("t", &["a", "bb"], &[vec!["1".to_string(), "2".to_string()]]);
         csv_line(&[1, 2, 3]);
     }
 

@@ -21,7 +21,11 @@ fn schedule_then_inspect_roundtrip() {
         .arg(&file)
         .output()
         .expect("run cds schedule");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = std::fs::read_to_string(&file).unwrap();
     assert!(text.starts_with("schedule v1"));
 
@@ -41,7 +45,11 @@ fn table_roundtrip_and_entries() {
         .arg(&file)
         .output()
         .expect("run cds table");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let out = cds().arg("inspect").arg(&file).output().expect("inspect");
     assert!(out.status.success());
     let stdout = String::from_utf8_lossy(&out.stdout);
@@ -53,7 +61,13 @@ fn table_roundtrip_and_entries() {
 fn simulate_reports_metrics() {
     let out = cds()
         .args([
-            "simulate", "--models", "1", "--period-ms", "2000", "--frames", "6",
+            "simulate",
+            "--models",
+            "1",
+            "--period-ms",
+            "2000",
+            "--frames",
+            "6",
         ])
         .output()
         .expect("run cds simulate");
@@ -79,7 +93,11 @@ fn surveillance_graph_variant_works() {
         .arg(&file)
         .output()
         .expect("run cds schedule surveillance");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let _ = std::fs::remove_file(&file);
 }
 

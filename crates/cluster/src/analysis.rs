@@ -33,11 +33,7 @@ pub fn pathology_report(trace: &ExecutionTrace, graph: &TaskGraph) -> PathologyR
     // consecutive slices (ordered by start).
     let mut max_task_burst = 1usize;
     for p in 0..trace.n_procs() {
-        let mut slices: Vec<_> = trace
-            .entries()
-            .iter()
-            .filter(|e| e.proc.0 == p)
-            .collect();
+        let mut slices: Vec<_> = trace.entries().iter().filter(|e| e.proc.0 == p).collect();
         slices.sort_by_key(|e| (e.start, e.end));
         let mut run = 1usize;
         for w in slices.windows(2) {
@@ -56,7 +52,9 @@ pub fn pathology_report(trace: &ExecutionTrace, graph: &TaskGraph) -> PathologyR
     type ActivationKey = (usize, u64, Option<(u32, u32)>);
     let mut slice_counts: HashMap<ActivationKey, usize> = HashMap::new();
     for e in trace.entries() {
-        *slice_counts.entry((e.task.0, e.frame, e.chunk)).or_insert(0) += 1;
+        *slice_counts
+            .entry((e.task.0, e.frame, e.chunk))
+            .or_insert(0) += 1;
     }
     let preempted_slices = slice_counts.values().filter(|&&c| c > 1).count();
 

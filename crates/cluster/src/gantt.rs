@@ -136,7 +136,10 @@ mod tests {
     fn empty_trace_renders_placeholder() {
         let g = builders::color_tracker();
         let t = ExecutionTrace::new(2);
-        assert_eq!(render_gantt(&t, &g, GanttOptions::default()), "(empty trace)\n");
+        assert_eq!(
+            render_gantt(&t, &g, GanttOptions::default()),
+            "(empty trace)\n"
+        );
     }
 
     #[test]
@@ -161,7 +164,10 @@ mod tests {
             from: Micros::from_millis(100),
         };
         let s = render_gantt(&t, &g, opts);
-        assert!(!s.contains("T10"), "digitizer should be before the window:\n{s}");
+        assert!(
+            !s.contains("T10"),
+            "digitizer should be before the window:\n{s}"
+        );
         assert!(s.contains("T40*"));
     }
 }

@@ -166,8 +166,9 @@ mod tests {
     #[test]
     fn regular_output_has_zero_cov() {
         // Completions at 100, 200, 300, 400: perfectly uniform.
-        let records: Vec<FrameRecord> =
-            (0..4).map(|i| rec(i, i * 100, Some((i + 1) * 100))).collect();
+        let records: Vec<FrameRecord> = (0..4)
+            .map(|i| rec(i, i * 100, Some((i + 1) * 100)))
+            .collect();
         let m = Metrics::from_records(&records, 0);
         assert_eq!(m.frames_completed, 4);
         assert_eq!(m.mean_latency, Micros(100));
@@ -225,9 +226,7 @@ mod tests {
     #[test]
     fn percentiles_are_order_statistics() {
         // Latencies 10, 20, ..., 100.
-        let records: Vec<FrameRecord> = (0..10)
-            .map(|i| rec(i, 0, Some((i + 1) * 10)))
-            .collect();
+        let records: Vec<FrameRecord> = (0..10).map(|i| rec(i, 0, Some((i + 1) * 10))).collect();
         let m = Metrics::from_records(&records, 0);
         assert_eq!(m.p50_latency, Micros(50));
         assert_eq!(m.p95_latency, Micros(100));

@@ -22,7 +22,7 @@
 //! paper's Fig. 3 tuning curve.
 
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, BTreeMap, HashMap};
+use std::collections::{BTreeMap, BinaryHeap, HashMap};
 
 use taskgraph::{AppState, ChunkPlan, Decomposition, Micros, TaskGraph, TaskId};
 
@@ -105,7 +105,9 @@ enum JobKind {
 impl JobKind {
     fn task(self) -> TaskId {
         match self {
-            JobKind::Serial(t) | JobKind::Split(t) | JobKind::Chunk(t, _, _) | JobKind::Join(t) => t,
+            JobKind::Serial(t) | JobKind::Split(t) | JobKind::Chunk(t, _, _) | JobKind::Join(t) => {
+                t
+            }
         }
     }
 }
@@ -493,7 +495,10 @@ impl<'g> Sim<'g> {
                 *left -= 1;
                 if *left == 0 {
                     self.chunks_left.remove(&(t.0, frame));
-                    let join = self.plan_of(t.0, frame).expect("chunk implies plan").join_cost;
+                    let join = self
+                        .plan_of(t.0, frame)
+                        .expect("chunk implies plan")
+                        .join_cost;
                     self.spawn(JobKind::Join(t), frame, join);
                 }
             }

@@ -247,7 +247,10 @@ mod tests {
         let csv = t.to_csv();
         let lines: Vec<&str> = csv.lines().collect();
         assert_eq!(lines.len(), 3);
-        assert_eq!(lines[0], "proc,task,frame,chunk_idx,chunk_of,start_us,end_us");
+        assert_eq!(
+            lines[0],
+            "proc,task,frame,chunk_idx,chunk_of,start_us,end_us"
+        );
         assert_eq!(lines[1], "0,3,7,,,100,250");
         assert_eq!(lines[2], "1,3,7,2,4,250,400");
     }

@@ -154,7 +154,10 @@ mod tests {
             (10, AppState::new(2)),
             (20, AppState::new(1)),
         ]);
-        assert_eq!(t.distinct_states(), vec![AppState::new(1), AppState::new(2)]);
+        assert_eq!(
+            t.distinct_states(),
+            vec![AppState::new(1), AppState::new(2)]
+        );
     }
 
     #[test]

@@ -5,9 +5,7 @@ use std::collections::BTreeMap;
 
 use cluster::{simulate_online, ClusterSpec, FrameClock, OnlineConfig};
 use proptest::prelude::*;
-use taskgraph::{
-    AppState, CostModel, Micros, SizeModel, TaskGraph, TaskGraphBuilder, TaskId,
-};
+use taskgraph::{AppState, CostModel, Micros, SizeModel, TaskGraph, TaskGraphBuilder, TaskId};
 
 /// Random layered DAG with one source (see cds-core's proptests for the
 /// same shape).

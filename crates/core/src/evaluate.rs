@@ -4,7 +4,9 @@
 //! types). This produces the "optimal" point of Fig. 3 and the timelines of
 //! Figs. 4–5.
 
-use cluster::{ClusterSpec, ExecutionTrace, FrameClock, FrameRecord, Metrics, SimOutcome, TraceEntry};
+use cluster::{
+    ClusterSpec, ExecutionTrace, FrameClock, FrameRecord, Metrics, SimOutcome, TraceEntry,
+};
 use taskgraph::{Micros, TaskGraph};
 
 use crate::expand::ExpandedGraph;
@@ -297,8 +299,7 @@ mod tests {
         let e = crate::expand::ExpandedGraph::build(&g, &state, &opt.best.iteration.decomp);
         let factors = vec![1.5; e.len()];
         let replayed = replay_with_jitter(&opt.best.iteration, &e, &c, &factors);
-        let ratio =
-            replayed.latency.as_secs_f64() / opt.best.iteration.latency.as_secs_f64();
+        let ratio = replayed.latency.as_secs_f64() / opt.best.iteration.latency.as_secs_f64();
         assert!((ratio - 1.5).abs() < 0.01, "ratio {ratio}");
     }
 
@@ -347,7 +348,13 @@ mod tests {
             &opt.best.iteration.decomp,
         );
         let replayed = replay_iteration(&opt.best.iteration, &e, &c);
-        for (old, new) in opt.best.iteration.placements.iter().zip(&replayed.placements) {
+        for (old, new) in opt
+            .best
+            .iteration
+            .placements
+            .iter()
+            .zip(&replayed.placements)
+        {
             assert_eq!(old.proc, new.proc);
             assert_eq!(old.task, new.task);
             assert_eq!(old.chunk, new.chunk);

@@ -320,11 +320,7 @@ mod tests {
     fn dp_expansion_creates_chunks() {
         let (g, e) = tracker_expansion(8, 1, 8);
         assert_eq!(e.len(), g.n_tasks() - 1 + 8);
-        let chunks: Vec<&Instance> = e
-            .instances()
-            .iter()
-            .filter(|i| i.chunk.is_some())
-            .collect();
+        let chunks: Vec<&Instance> = e.instances().iter().filter(|i| i.chunk.is_some()).collect();
         assert_eq!(chunks.len(), 8);
         assert!(chunks.iter().all(|c| c.chunk.unwrap().1 == 8));
         // All chunks share the same duration.
@@ -335,11 +331,7 @@ mod tests {
     fn chunk_fan_in_and_fan_out() {
         let (g, e) = tracker_expansion(8, 1, 4);
         let t5 = g.task_by_name("Peak Detection").unwrap();
-        let t5_inst = e
-            .instances()
-            .iter()
-            .position(|i| i.task == t5)
-            .unwrap();
+        let t5_inst = e.instances().iter().position(|i| i.task == t5).unwrap();
         // T5 waits for all four chunks.
         assert_eq!(e.instances()[t5_inst].preds.len(), 4);
         // Each chunk has three predecessors (frame, color model, mask).

@@ -11,19 +11,28 @@ use cluster::ClusterSpec;
 use crate::expand::ExpandedGraph;
 use crate::schedule::IterationSchedule;
 
-
 /// Why a schedule is illegal.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub enum ScheduleError {
     /// Placement count does not match the instance count.
-    WrongInstanceCount { expected: usize, got: usize },
+    WrongInstanceCount {
+        /// Instance count of the expanded graph.
+        expected: usize,
+        /// Placement count found in the schedule.
+        got: usize,
+    },
     /// Placement `i` does not correspond to instance `i`.
     InstanceMismatch(usize),
     /// Placement duration differs from the instance duration.
     WrongDuration(usize),
     /// Placement starts before a dependence (plus delay and communication)
     /// is satisfied.
-    DependenceViolated { instance: usize, pred: usize },
+    DependenceViolated {
+        /// The instance that starts too early.
+        instance: usize,
+        /// The predecessor whose completion it ignores.
+        pred: usize,
+    },
     /// Two placements overlap on one processor.
     ResourceConflict(usize, usize),
     /// A placement names a processor outside the cluster.
@@ -41,7 +50,10 @@ impl std::fmt::Display for ScheduleError {
             ScheduleError::InstanceMismatch(i) => write!(f, "placement {i} names wrong instance"),
             ScheduleError::WrongDuration(i) => write!(f, "placement {i} has wrong duration"),
             ScheduleError::DependenceViolated { instance, pred } => {
-                write!(f, "instance {instance} starts before predecessor {pred} completes")
+                write!(
+                    f,
+                    "instance {instance} starts before predecessor {pred} completes"
+                )
             }
             ScheduleError::ResourceConflict(a, b) => {
                 write!(f, "placements {a} and {b} overlap on one processor")
@@ -194,7 +206,10 @@ mod tests {
         let s = placements_from(&e, &[(0, 0), (0, 5), (0, 30), (0, 60)]);
         assert_eq!(
             check_iteration(&s, &e, &c),
-            Err(ScheduleError::DependenceViolated { instance: 1, pred: 0 })
+            Err(ScheduleError::DependenceViolated {
+                instance: 1,
+                pred: 0
+            })
         );
     }
 
@@ -228,7 +243,10 @@ mod tests {
         let (e, c) = serial_setup();
         let mut s = placements_from(&e, &[(0, 0), (0, 10), (0, 30), (0, 60)]);
         s.latency = Micros(1);
-        assert_eq!(check_iteration(&s, &e, &c), Err(ScheduleError::WrongLatency));
+        assert_eq!(
+            check_iteration(&s, &e, &c),
+            Err(ScheduleError::WrongLatency)
+        );
     }
 
     #[test]
@@ -269,7 +287,7 @@ mod tests {
         let g = builders::pipeline(&[10, 20]);
         let e = ExpandedGraph::build(&g, &AppState::new(1), &BTreeMap::new());
         let c = ClusterSpec::paper_cluster(); // inter-node costs nonzero
-        // stage1 on proc 4 (node 1) immediately after stage0 ends: illegal.
+                                              // stage1 on proc 4 (node 1) immediately after stage0 ends: illegal.
         let tight = placements_from(&e, &[(0, 0), (4, 10), (4, 30)]);
         assert!(matches!(
             check_iteration(&tight, &e, &c),
@@ -277,10 +295,7 @@ mod tests {
         ));
         // Same placement with slack for the transfers (inter-node into
         // stage1, intra-node into the sink): legal.
-        let comm = c
-            .comm()
-            .transfer(1024, taskgraph::Locality::InterNode)
-            .0;
+        let comm = c.comm().transfer(1024, taskgraph::Locality::InterNode).0;
         let intra = c.comm().transfer(16, taskgraph::Locality::IntraNode).0;
         let ok = placements_from(&e, &[(0, 0), (4, 10 + comm), (4, 30 + comm + intra)]);
         check_iteration(&ok, &e, &c).unwrap();

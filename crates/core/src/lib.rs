@@ -31,6 +31,10 @@
 //! // The optimal latency at 8 models beats the serial iteration by a wide margin.
 //! assert!(best.minimal_latency < graph.total_work(&AppState::new(8)));
 //! ```
+//!
+//! See `docs/ARCHITECTURE.md` for the full paper-to-code map.
+
+#![warn(missing_docs)]
 
 pub mod detector;
 pub mod evaluate;
@@ -55,9 +59,12 @@ pub use legality::{check_iteration, check_pipelined};
 pub use listsched::list_schedule;
 pub use multinode::{is_node_confined, node_pipelined};
 pub use optimal::{optimal_schedule, OptimalConfig, OptimalResult};
-pub use persist::{schedule_from_str, schedule_to_string, table_from_str, table_to_string};
+pub use persist::{
+    schedule_cache_key, schedule_from_str, schedule_to_string, table_from_str, table_to_string,
+    CacheMiss, ScheduleCache,
+};
 pub use pipeline::naive_pipeline;
 pub use schedule::{IterationSchedule, PipelinedSchedule, Placement};
 pub use switcher::{simulate_regime_switched, SwitchConfig, TransitionPolicy};
-pub use table::ScheduleTable;
+pub use table::{ScheduleTable, TableBuildStats};
 pub use tuning::{tuning_curve, TuningPoint};

@@ -137,11 +137,8 @@ mod tests {
         let c = ClusterSpec::paper_cluster();
         let s = list_schedule(&e, &c);
         check_iteration(&s, &e, &c).unwrap();
-        let nodes: std::collections::HashSet<_> = s
-            .placements
-            .iter()
-            .map(|p| c.node_of(p.proc))
-            .collect();
+        let nodes: std::collections::HashSet<_> =
+            s.placements.iter().map(|p| c.node_of(p.proc)).collect();
         assert_eq!(nodes.len(), 1, "pipeline should stay on one node");
     }
 }

@@ -26,13 +26,26 @@
 //! * processors that are indistinguishable (same node, same ready time) are
 //!   branched once;
 //! * placements are generated in non-decreasing start order, so each
-//!   schedule is visited essentially once.
+//!   schedule is visited essentially once;
+//! * partial schedules that are *dominated* — same set of placed instances
+//!   on the same processors, with every finish time and the start-order
+//!   watermark pointwise no earlier than a previously seen partial — are
+//!   pruned via a bounded memo table ([`OptimalConfig::dominance_cap`]).
+//!
+//! The per-decomposition searches are independent, so they fan out across
+//! worker threads ([`OptimalConfig::threads`]); the incumbent latency bound
+//! is shared through an atomic so a fast decomposition prunes the slow
+//! ones. The parallel search returns the same minimal latency `L` as the
+//! serial one (the property tests assert this); the tie set `S` may differ
+//! in membership order when ties race, which is why results are merged in
+//! deterministic decomposition order.
 //!
 //! The node budget is a backstop, not a tuning knob: if it is exceeded the
 //! result is flagged `complete = false` and the affected decomposition falls
 //! back to its list schedule.
 
-use std::collections::{BTreeMap, HashSet};
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 use cluster::{ClusterSpec, ProcId};
 use taskgraph::{AppState, Decomposition, Micros, TaskGraph, TaskId};
@@ -52,6 +65,12 @@ pub struct OptimalConfig {
     /// Explore data-parallel decompositions (`false` = serial tasks only,
     /// the "task parallelism only" setting of Fig. 5(a)).
     pub explore_decompositions: bool,
+    /// Worker threads for the per-decomposition fan-out. `0` means one per
+    /// available CPU; `1` runs the whole search on the calling thread.
+    pub threads: usize,
+    /// Cap on retained dominance-memo entries per decomposition search
+    /// (`0` disables the dominance prune entirely).
+    pub dominance_cap: usize,
 }
 
 impl Default for OptimalConfig {
@@ -60,6 +79,31 @@ impl Default for OptimalConfig {
             max_schedules: 32,
             max_nodes: 2_000_000,
             explore_decompositions: true,
+            threads: 0,
+            dominance_cap: 100_000,
+        }
+    }
+}
+
+impl OptimalConfig {
+    /// The configured thread count resolved against the host.
+    #[must_use]
+    pub fn effective_threads(&self) -> usize {
+        if self.threads == 0 {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        } else {
+            self.threads
+        }
+    }
+
+    /// This config with the fan-out disabled (single-threaded search).
+    #[must_use]
+    pub fn serial(&self) -> Self {
+        OptimalConfig {
+            threads: 1,
+            ..self.clone()
         }
     }
 }
@@ -77,9 +121,26 @@ pub struct OptimalResult {
     pub candidates: usize,
     /// Total branch-and-bound nodes explored.
     pub nodes_explored: u64,
+    /// Decompositions skipped outright because their makespan lower bound
+    /// exceeded the shared incumbent.
+    pub combos_pruned: usize,
+    /// Partial schedules pruned by the dominance memo.
+    pub dominance_prunes: u64,
     /// False if any decomposition hit the node budget (its exploration fell
     /// back to the list schedule, so optimality is no longer guaranteed).
     pub complete: bool,
+}
+
+/// What one decomposition search produced (sent back to the merge step).
+struct ComboOutcome {
+    /// Candidate schedules: what the search collected, or the list-schedule
+    /// fallback when the search was truncated or collected nothing.
+    found: Vec<IterationSchedule>,
+    nodes: u64,
+    truncated: bool,
+    dominance_prunes: u64,
+    /// True when the combo was skipped via the shared-incumbent bound.
+    pruned: bool,
 }
 
 /// Run the Fig. 6 algorithm for `state` on `cluster`.
@@ -91,13 +152,6 @@ pub fn optimal_schedule(
     cfg: &OptimalConfig,
 ) -> OptimalResult {
     let combos = decomposition_combos(graph, state, cfg.explore_decompositions);
-    let mut best_latency = Micros(u64::MAX);
-    /// Canonical schedule key paired with its decomposition key.
-    type ComboKey = (Vec<(u32, u64, u64)>, Vec<(usize, u32, u32)>);
-    let mut s_set: Vec<IterationSchedule> = Vec::new();
-    let mut keys: HashSet<ComboKey> = HashSet::new();
-    let mut nodes_total = 0u64;
-    let mut complete = true;
 
     // Expand every combo and order by its makespan lower bound: good
     // decompositions search first, so the dominated-combo prune below
@@ -115,37 +169,54 @@ pub fn optimal_schedule(
         .collect();
     expansions.sort_by_key(|(lb, e)| (*lb, e.len()));
 
-    for (lb, expanded) in expansions {
-        // Dominated combo: even a perfect schedule of this decomposition
-        // cannot reach the incumbent (ties kept for the S set).
-        if lb > best_latency {
-            continue;
+    // The incumbent latency bound, shared across all decomposition
+    // searches (and across worker threads): monotonically decreasing, only
+    // ever set from the latency of an actual legal schedule, so `lb >
+    // incumbent` proves a decomposition cannot contribute to `S`.
+    let incumbent = AtomicU64::new(u64::MAX);
+    // Work queue: combo indices in sorted order.
+    let next = AtomicUsize::new(0);
+
+    let threads = cfg.effective_threads().clamp(1, expansions.len().max(1));
+    let mut outcomes: Vec<(usize, ComboOutcome)> = if threads <= 1 {
+        search_worker(&expansions, cluster, cfg, &incumbent, &next)
+    } else {
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|_| {
+                    scope.spawn(|| search_worker(&expansions, cluster, cfg, &incumbent, &next))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("search worker panicked"))
+                .collect()
+        })
+    };
+    // Merge in decomposition order so the S set is deterministic given the
+    // per-combo candidate sets.
+    outcomes.sort_by_key(|(i, _)| *i);
+
+    let mut best_latency = Micros(u64::MAX);
+    /// Canonical schedule key paired with its decomposition key.
+    type ComboKey = (Vec<(u32, u64, u64)>, Vec<(usize, u32, u32)>);
+    let mut s_set: Vec<IterationSchedule> = Vec::new();
+    let mut keys: HashSet<ComboKey> = HashSet::new();
+    let mut nodes_total = 0u64;
+    let mut combos_pruned = 0usize;
+    let mut dominance_prunes = 0u64;
+    let mut complete = true;
+
+    for (_, outcome) in outcomes {
+        nodes_total += outcome.nodes;
+        dominance_prunes += outcome.dominance_prunes;
+        if outcome.pruned {
+            combos_pruned += 1;
         }
-        let seed = list_schedule(&expanded, cluster);
-        let mut search = Search {
-            expanded: &expanded,
-            cluster,
-            best: best_latency.min(seed.latency),
-            collected: Vec::new(),
-            keys: HashSet::new(),
-            nodes: 0,
-            max_nodes: cfg.max_nodes,
-            max_schedules: cfg.max_schedules,
-            truncated: false,
-        };
-        search.run();
-        nodes_total += search.nodes;
-        if search.truncated {
+        if outcome.truncated {
             complete = false;
         }
-
-        // Candidate schedules from this decomposition: what the search
-        // collected, or the list-schedule fallback when truncated/empty.
-        let mut found = search.collected;
-        if found.is_empty() {
-            found.push(seed);
-        }
-        for sched in found {
+        for sched in outcome.found {
             if sched.latency < best_latency {
                 best_latency = sched.latency;
                 s_set.clear();
@@ -177,7 +248,83 @@ pub fn optimal_schedule(
         minimal_latency: best_latency,
         candidates: s_set.len(),
         nodes_explored: nodes_total,
+        combos_pruned,
+        dominance_prunes,
         complete,
+    }
+}
+
+/// One worker: pull decomposition indices off the shared queue until it is
+/// drained, searching each and reporting the outcome.
+fn search_worker(
+    expansions: &[(Micros, ExpandedGraph)],
+    cluster: &ClusterSpec,
+    cfg: &OptimalConfig,
+    incumbent: &AtomicU64,
+    next: &AtomicUsize,
+) -> Vec<(usize, ComboOutcome)> {
+    let mut out = Vec::new();
+    loop {
+        let i = next.fetch_add(1, Ordering::Relaxed);
+        let Some((lb, expanded)) = expansions.get(i) else {
+            return out;
+        };
+        // Dominated combo: even a perfect schedule of this decomposition
+        // cannot reach the incumbent (strict `>`: ties kept for the S set).
+        if lb.0 > incumbent.load(Ordering::Relaxed) {
+            out.push((
+                i,
+                ComboOutcome {
+                    found: Vec::new(),
+                    nodes: 0,
+                    truncated: false,
+                    dominance_prunes: 0,
+                    pruned: true,
+                },
+            ));
+            continue;
+        }
+        // Seed with the list schedule so pruning bites from the first
+        // branch. The seed is a real legal schedule, so it may tighten the
+        // shared incumbent too.
+        let seed = list_schedule(expanded, cluster);
+        incumbent.fetch_min(seed.latency.0, Ordering::Relaxed);
+        let mut search = Search {
+            expanded,
+            cluster,
+            best: Micros(incumbent.load(Ordering::Relaxed)),
+            shared: incumbent,
+            collected: Vec::new(),
+            keys: HashSet::new(),
+            nodes: 0,
+            max_nodes: cfg.max_nodes,
+            max_schedules: cfg.max_schedules,
+            truncated: false,
+            dom: HashMap::new(),
+            dom_entries: 0,
+            dom_cap: if cluster.n_procs() <= MAX_DOM_PROCS && expanded.len() <= 64 {
+                cfg.dominance_cap
+            } else {
+                0
+            },
+            dom_prunes: 0,
+        };
+        search.run();
+
+        let mut found = search.collected;
+        if found.is_empty() {
+            found.push(seed);
+        }
+        out.push((
+            i,
+            ComboOutcome {
+                found,
+                nodes: search.nodes,
+                truncated: search.truncated,
+                dominance_prunes: search.dom_prunes,
+                pruned: false,
+            },
+        ));
     }
 }
 
@@ -214,18 +361,55 @@ pub fn decomposition_combos(
     combos
 }
 
+/// Processor-id ceiling for the dominance memo's compact encoding.
+const MAX_DOM_PROCS: u32 = 64;
+/// Cap on memo entries sharing one placed-set key (bounds compare cost).
+const DOM_PER_KEY: usize = 16;
+
+/// One dominance-memo entry: the schedule-relevant residue of a partial
+/// schedule with a given placed-instance set.
+struct DomEntry {
+    /// Processor of each placed instance, in instance-index order.
+    procs: Box<[u8]>,
+    /// `[last_start, end of each placed instance in instance-index order]`.
+    times: Box<[u64]>,
+}
+
+impl DomEntry {
+    /// Whether `self` dominates `other`: identical processor assignment and
+    /// every time component no later. Any completion reachable from
+    /// `other` is then matched by one reachable from `self` with a latency
+    /// at most as large (equality included, so exact revisits prune too).
+    fn dominates(&self, other: &DomEntry) -> bool {
+        self.procs == other.procs
+            && self
+                .times
+                .iter()
+                .zip(other.times.iter())
+                .all(|(a, b)| a <= b)
+    }
+}
+
 struct Search<'a> {
     expanded: &'a ExpandedGraph,
     cluster: &'a ClusterSpec,
-    /// Best latency known (global incumbent; equal-latency schedules are
-    /// collected).
+    /// Best latency known to this search (synced with [`Search::shared`];
+    /// equal-latency schedules are collected).
     best: Micros,
+    /// The cross-thread incumbent: latencies of real schedules only.
+    shared: &'a AtomicU64,
     collected: Vec<IterationSchedule>,
     keys: HashSet<Vec<(u32, u64, u64)>>,
     nodes: u64,
     max_nodes: u64,
     max_schedules: usize,
     truncated: bool,
+    /// Dominance memo: placed-instance bitmask → non-dominated entries.
+    dom: HashMap<u64, Vec<DomEntry>>,
+    dom_entries: usize,
+    /// Entry budget (0 = prune disabled for this search).
+    dom_cap: usize,
+    dom_prunes: u64,
 }
 
 struct SearchState {
@@ -233,6 +417,8 @@ struct SearchState {
     preds_left: Vec<usize>,
     proc_ready: Vec<Micros>,
     placed: usize,
+    /// Bitmask of placed instances (valid while the DAG has ≤ 64).
+    placed_mask: u64,
     partial_latency: Micros,
     last_start: Micros,
 }
@@ -250,6 +436,7 @@ impl<'a> Search<'a> {
                 .collect(),
             proc_ready: vec![Micros::ZERO; self.cluster.n_procs() as usize],
             placed: 0,
+            placed_mask: 0,
             partial_latency: Micros::ZERO,
             last_start: Micros::ZERO,
         };
@@ -280,11 +467,49 @@ impl<'a> Search<'a> {
         t
     }
 
+    /// Dominance prune: return true when this partial schedule is dominated
+    /// by a memoized one; otherwise memoize it (within budget).
+    fn dominated(&mut self, st: &SearchState) -> bool {
+        let n_placed = st.placed;
+        let mut procs = Vec::with_capacity(n_placed);
+        let mut times = Vec::with_capacity(n_placed + 1);
+        times.push(st.last_start.0);
+        for p in st.placements.iter().flatten() {
+            procs.push(p.proc.0 as u8);
+            times.push(p.end.0);
+        }
+        let cand = DomEntry {
+            procs: procs.into_boxed_slice(),
+            times: times.into_boxed_slice(),
+        };
+        let entries = self.dom.entry(st.placed_mask).or_default();
+        if entries.iter().any(|e| e.dominates(&cand)) {
+            return true;
+        }
+        // Keep the list non-dominated and bounded.
+        let before = entries.len();
+        entries.retain(|e| !cand.dominates(e));
+        self.dom_entries -= before - entries.len();
+        if self.dom_entries < self.dom_cap && entries.len() < DOM_PER_KEY {
+            entries.push(cand);
+            self.dom_entries += 1;
+        }
+        false
+    }
+
     fn dfs(&mut self, st: &mut SearchState) {
         self.nodes += 1;
         if self.nodes > self.max_nodes {
             self.truncated = true;
             return;
+        }
+        // Adopt improvements from other decomposition searches: anything we
+        // collected before the improvement can no longer be minimal.
+        let global = self.shared.load(Ordering::Relaxed);
+        if global < self.best.0 {
+            self.best = Micros(global);
+            self.collected.clear();
+            self.keys.clear();
         }
         let n = self.expanded.len();
         if st.placed == n {
@@ -293,6 +518,7 @@ impl<'a> Search<'a> {
                 self.best = latency;
                 self.collected.clear();
                 self.keys.clear();
+                self.shared.fetch_min(latency.0, Ordering::Relaxed);
             }
             if latency == self.best && self.collected.len() < self.max_schedules {
                 let sched = IterationSchedule {
@@ -316,6 +542,12 @@ impl<'a> Search<'a> {
             if self.est_lb(st, i) + self.expanded.bottom_level(i) > self.best {
                 return;
             }
+        }
+
+        // Dominance prune (after the cheap bound prunes).
+        if self.dom_cap > 0 && st.placed >= 2 && self.dominated(st) {
+            self.dom_prunes += 1;
+            return;
         }
 
         // Chunk symmetry: only the lowest-indexed unplaced chunk of each
@@ -366,6 +598,7 @@ impl<'a> Search<'a> {
                 st.partial_latency = st.partial_latency.max(end);
                 st.last_start = start;
                 st.placed += 1;
+                st.placed_mask |= 1u64.checked_shl(i as u32).unwrap_or(0);
                 for &s in self.expanded.succs(i) {
                     st.preds_left[s] -= 1;
                 }
@@ -376,6 +609,7 @@ impl<'a> Search<'a> {
                 for &s in self.expanded.succs(i) {
                     st.preds_left[s] += 1;
                 }
+                st.placed_mask &= !(1u64.checked_shl(i as u32).unwrap_or(0));
                 st.placed -= 1;
                 st.last_start = saved_last;
                 st.partial_latency = saved_latency;
@@ -558,5 +792,64 @@ mod tests {
         let l2 = optimal_schedule(&g, &ClusterSpec::single_node(2), &state, &cfg).minimal_latency;
         let l4 = optimal_schedule(&g, &ClusterSpec::single_node(4), &state, &cfg).minimal_latency;
         assert!(l4 <= l2);
+    }
+
+    #[test]
+    fn parallel_search_matches_serial_latency() {
+        // The fan-out must not change the computed optimum, whatever the
+        // thread count (workers share the incumbent but merge
+        // deterministically).
+        let g = builders::color_tracker();
+        let c = ClusterSpec::single_node(4);
+        for n in [1u32, 4, 8] {
+            let state = AppState::new(n);
+            let serial = optimal_schedule(&g, &c, &state, &OptimalConfig::default().serial());
+            for threads in [2usize, 3, 8] {
+                let cfg = OptimalConfig {
+                    threads,
+                    ..OptimalConfig::default()
+                };
+                let par = optimal_schedule(&g, &c, &state, &cfg);
+                assert_eq!(
+                    par.minimal_latency, serial.minimal_latency,
+                    "threads={threads} state={n}"
+                );
+                assert_eq!(par.best.ii, serial.best.ii, "threads={threads} state={n}");
+                let e = ExpandedGraph::build(&g, &state, &par.best.iteration.decomp);
+                check_iteration(&par.best.iteration, &e, &c).unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn dominance_prune_preserves_optimum() {
+        let g = builders::color_tracker();
+        let c = ClusterSpec::single_node(4);
+        for n in [1u32, 8] {
+            let state = AppState::new(n);
+            let with = optimal_schedule(&g, &c, &state, &OptimalConfig::default());
+            let without = optimal_schedule(
+                &g,
+                &c,
+                &state,
+                &OptimalConfig {
+                    dominance_cap: 0,
+                    ..OptimalConfig::default()
+                },
+            );
+            assert_eq!(with.minimal_latency, without.minimal_latency, "state {n}");
+            // The memo only ever removes work.
+            assert!(with.nodes_explored <= without.nodes_explored, "state {n}");
+        }
+    }
+
+    #[test]
+    fn dominance_prune_reduces_search_nodes() {
+        // On the 8-model tracker the prune must actually bite.
+        let g = builders::color_tracker();
+        let c = ClusterSpec::single_node(4);
+        let state = AppState::new(8);
+        let r = optimal_schedule(&g, &c, &state, &OptimalConfig::default());
+        assert!(r.dominance_prunes > 0, "memo never fired");
     }
 }

@@ -17,13 +17,28 @@
 //! place 3 0/4 1 140000 514000
 //! end
 //! ```
+//!
+//! On top of the line protocol sits [`ScheduleCache`]: a directory of
+//! per-regime schedule files keyed by a content hash of the inputs that
+//! determine the search result (task graph, cluster, application state and
+//! the result-affecting search options). Table construction consults the
+//! cache first and only runs the branch-and-bound search on misses; entries
+//! that fail validation — wrong key, parse error, or a schedule that is no
+//! longer legal for the current graph — are deleted and re-searched, never
+//! silently served.
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
 
-use cluster::ProcId;
-use taskgraph::{AppState, Decomposition, Micros, TaskId};
+use cluster::{ClusterSpec, ProcId};
+use taskgraph::{AppState, Decomposition, Micros, TaskGraph, TaskId};
 
+use crate::expand::ExpandedGraph;
+use crate::legality::check_iteration;
+use crate::optimal::OptimalConfig;
 use crate::schedule::{IterationSchedule, PipelinedSchedule, Placement};
 use crate::table::ScheduleTable;
 
@@ -260,6 +275,181 @@ pub fn table_from_str(s: &str) -> Result<ScheduleTable, ParseError> {
     Ok(ScheduleTable::from_entries(entries))
 }
 
+/// 64-bit FNV-1a over `bytes`.
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// The cache key for one regime's schedule: a content hash of everything
+/// that determines the search result.
+///
+/// The hash covers the task graph, the cluster (both via their `Debug`
+/// form, which spells out every cost, edge and locality), the application
+/// state, and the result-affecting members of [`OptimalConfig`]
+/// (`max_schedules`, `max_nodes`, `explore_decompositions`). The
+/// search-strategy knobs — `threads` and `dominance_cap` — are deliberately
+/// excluded: they change how the optimum is found, not what it is (the
+/// property tests pin this equivalence down).
+#[must_use]
+pub fn schedule_cache_key(
+    graph: &TaskGraph,
+    cluster: &ClusterSpec,
+    state: &AppState,
+    cfg: &OptimalConfig,
+) -> u64 {
+    let fingerprint = format!(
+        "cds-cache v1|graph={graph:?}|cluster={cluster:?}|state={state:?}|cfg={},{},{}",
+        cfg.max_schedules, cfg.max_nodes, cfg.explore_decompositions
+    );
+    fnv1a64(fingerprint.as_bytes())
+}
+
+/// Why a cache lookup did not return a schedule.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CacheMiss {
+    /// No entry for this key.
+    Absent,
+    /// An entry existed but failed validation and was deleted.
+    Invalidated,
+}
+
+/// A directory of persisted per-regime schedules, keyed by
+/// [`schedule_cache_key`].
+///
+/// Each entry is one file, `sched-<key>.txt`, holding the key in a comment
+/// line followed by a standard schedule block. Loading re-validates the
+/// entry against the *current* graph and cluster (embedded key, parse-level
+/// invariants, and a full legality re-check of every placement); anything
+/// stale or corrupted is deleted so the caller re-searches.
+#[derive(Clone, Debug)]
+pub struct ScheduleCache {
+    dir: PathBuf,
+}
+
+impl ScheduleCache {
+    /// Open (creating if needed) a cache rooted at `dir`.
+    pub fn open(dir: impl Into<PathBuf>) -> io::Result<Self> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        Ok(ScheduleCache { dir })
+    }
+
+    /// The directory backing this cache.
+    #[must_use]
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn path_for(&self, key: u64) -> PathBuf {
+        self.dir.join(format!("sched-{key:016x}.txt"))
+    }
+
+    /// Number of entries currently on disk.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        fs::read_dir(&self.dir)
+            .map(|rd| {
+                rd.filter_map(Result::ok)
+                    .filter(|e| {
+                        e.file_name()
+                            .to_str()
+                            .is_some_and(|n| n.starts_with("sched-") && n.ends_with(".txt"))
+                    })
+                    .count()
+            })
+            .unwrap_or(0)
+    }
+
+    /// Whether the cache holds no entries.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Look up the schedule for `key`, validating it against the current
+    /// `graph`/`cluster`/`state`. Invalid entries are deleted and reported
+    /// as [`CacheMiss::Invalidated`] so the caller re-searches.
+    pub fn load(
+        &self,
+        key: u64,
+        graph: &TaskGraph,
+        cluster: &ClusterSpec,
+        state: &AppState,
+    ) -> Result<PipelinedSchedule, CacheMiss> {
+        let path = self.path_for(key);
+        let Ok(text) = fs::read_to_string(&path) else {
+            return Err(CacheMiss::Absent);
+        };
+        match self.validate(key, &text, graph, cluster, state) {
+            Some(sched) => Ok(sched),
+            None => {
+                // Stale or corrupted: delete so it is never served again.
+                let _ = fs::remove_file(&path);
+                Err(CacheMiss::Invalidated)
+            }
+        }
+    }
+
+    fn validate(
+        &self,
+        key: u64,
+        text: &str,
+        graph: &TaskGraph,
+        cluster: &ClusterSpec,
+        state: &AppState,
+    ) -> Option<PipelinedSchedule> {
+        // The embedded key guards against renamed or mixed-up files.
+        let expected = format!("# cds-cache key={key:016x}");
+        if text.lines().next().map(str::trim) != Some(expected.as_str()) {
+            return None;
+        }
+        // Parse-level invariants (latency consistency, pipeline collisions).
+        let sched = schedule_from_str(text).ok()?;
+        // The entry must answer the question that was asked…
+        if sched.iteration.state != *state || sched.n_procs != cluster.n_procs() {
+            return None;
+        }
+        // …and every placement must still be legal for the *current* graph
+        // and cluster: durations, dependences and communication delays are
+        // re-derived from scratch, so a graph edit that survives the hash
+        // (it cannot, but defense in depth is cheap) or a hand-edited file
+        // is caught here.
+        let expanded = ExpandedGraph::build(graph, state, &sched.iteration.decomp);
+        check_iteration(&sched.iteration, &expanded, cluster).ok()?;
+        Some(sched)
+    }
+
+    /// Persist `sched` under `key`.
+    pub fn store(&self, key: u64, sched: &PipelinedSchedule) -> io::Result<()> {
+        let mut text = format!("# cds-cache key={key:016x}\n");
+        text.push_str(&schedule_to_string(sched));
+        // Write-then-rename so a crash never leaves a torn entry.
+        let tmp = self.dir.join(format!("sched-{key:016x}.tmp"));
+        fs::write(&tmp, text)?;
+        fs::rename(&tmp, self.path_for(key))
+    }
+
+    /// Remove every entry (used by `--cache-clear` style flows and tests).
+    pub fn clear(&self) -> io::Result<()> {
+        for entry in fs::read_dir(&self.dir)? {
+            let entry = entry?;
+            if entry
+                .file_name()
+                .to_str()
+                .is_some_and(|n| n.starts_with("sched-"))
+            {
+                fs::remove_file(entry.path())?;
+            }
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -307,10 +497,8 @@ mod tests {
     #[test]
     fn corrupted_latency_is_rejected() {
         let s = sample();
-        let text = schedule_to_string(&s).replace(
-            &format!("latency {}", s.iteration.latency.0),
-            "latency 1",
-        );
+        let text = schedule_to_string(&s)
+            .replace(&format!("latency {}", s.iteration.latency.0), "latency 1");
         let e = schedule_from_str(&text).unwrap_err();
         assert!(e.message.contains("latency"), "{e}");
     }
@@ -319,8 +507,8 @@ mod tests {
     fn colliding_schedule_is_rejected() {
         let s = sample();
         // Halving the II breaks the pipeline feasibility.
-        let text =
-            schedule_to_string(&s).replace(&format!("ii {}", s.ii.0), &format!("ii {}", s.ii.0 / 4));
+        let text = schedule_to_string(&s)
+            .replace(&format!("ii {}", s.ii.0), &format!("ii {}", s.ii.0 / 4));
         let e = schedule_from_str(&text).unwrap_err();
         assert!(e.message.contains("collides"), "{e}");
     }
@@ -347,5 +535,124 @@ mod tests {
     fn empty_table_parses() {
         let t = table_from_str("").unwrap();
         assert!(t.is_empty());
+    }
+
+    fn temp_cache(tag: &str) -> ScheduleCache {
+        let dir = std::env::temp_dir().join(format!("cds-cache-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        ScheduleCache::open(dir).unwrap()
+    }
+
+    #[test]
+    fn cache_roundtrips_and_counts() {
+        let g = builders::color_tracker();
+        let c = ClusterSpec::single_node(4);
+        let state = AppState::new(4);
+        let cfg = OptimalConfig::default();
+        let cache = temp_cache("roundtrip");
+        let key = schedule_cache_key(&g, &c, &state, &cfg);
+        assert_eq!(cache.load(key, &g, &c, &state), Err(CacheMiss::Absent));
+
+        let sched = sample();
+        cache.store(key, &sched).unwrap();
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.load(key, &g, &c, &state), Ok(sched));
+
+        cache.clear().unwrap();
+        assert!(cache.is_empty());
+        let _ = std::fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn cache_key_tracks_inputs() {
+        let g = builders::color_tracker();
+        let c4 = ClusterSpec::single_node(4);
+        let c2 = ClusterSpec::single_node(2);
+        let cfg = OptimalConfig::default();
+        let k = schedule_cache_key(&g, &c4, &AppState::new(4), &cfg);
+        // Different state, cluster, or result-affecting config → new key.
+        assert_ne!(k, schedule_cache_key(&g, &c4, &AppState::new(5), &cfg));
+        assert_ne!(k, schedule_cache_key(&g, &c2, &AppState::new(4), &cfg));
+        let cfg2 = OptimalConfig {
+            max_nodes: 7,
+            ..OptimalConfig::default()
+        };
+        assert_ne!(k, schedule_cache_key(&g, &c4, &AppState::new(4), &cfg2));
+        // Search-strategy knobs do not change the key.
+        let cfg3 = OptimalConfig {
+            threads: 7,
+            dominance_cap: 0,
+            ..OptimalConfig::default()
+        };
+        assert_eq!(k, schedule_cache_key(&g, &c4, &AppState::new(4), &cfg3));
+    }
+
+    #[test]
+    fn corrupted_cache_entry_is_deleted_not_served() {
+        let g = builders::color_tracker();
+        let c = ClusterSpec::single_node(4);
+        let state = AppState::new(4);
+        let cfg = OptimalConfig::default();
+        let cache = temp_cache("corrupt");
+        let key = schedule_cache_key(&g, &c, &state, &cfg);
+        cache.store(key, &sample()).unwrap();
+
+        // Corrupt the stored latency in place.
+        let path = cache.dir().join(format!("sched-{key:016x}.txt"));
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, text.replace("latency", "latency 1 #")).unwrap();
+
+        assert_eq!(cache.load(key, &g, &c, &state), Err(CacheMiss::Invalidated));
+        // The bad entry is gone: a second load is a plain miss.
+        assert_eq!(cache.load(key, &g, &c, &state), Err(CacheMiss::Absent));
+        let _ = std::fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn stale_cache_entry_for_other_inputs_is_rejected() {
+        let g = builders::color_tracker();
+        let c = ClusterSpec::single_node(4);
+        let state = AppState::new(4);
+        let cfg = OptimalConfig::default();
+        let cache = temp_cache("stale");
+        let key = schedule_cache_key(&g, &c, &state, &cfg);
+
+        // A schedule for a *different* state stored under this key (file
+        // renamed, hash collision, bug upstream — whatever the cause, it
+        // must be rejected by the state check).
+        let other = optimal_schedule(&g, &c, &AppState::new(2), &OptimalConfig::default()).best;
+        cache.store(key, &other).unwrap();
+        assert_eq!(cache.load(key, &g, &c, &state), Err(CacheMiss::Invalidated));
+
+        // A schedule for a different cluster size likewise.
+        let c2 = ClusterSpec::single_node(2);
+        let narrow = optimal_schedule(&g, &c2, &state, &OptimalConfig::default()).best;
+        cache.store(key, &narrow).unwrap();
+        assert_eq!(cache.load(key, &g, &c, &state), Err(CacheMiss::Invalidated));
+        let _ = std::fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn renamed_cache_file_fails_key_check() {
+        let g = builders::color_tracker();
+        let c = ClusterSpec::single_node(4);
+        let state = AppState::new(4);
+        let cfg = OptimalConfig::default();
+        let cache = temp_cache("renamed");
+        let key = schedule_cache_key(&g, &c, &state, &cfg);
+        cache.store(key, &sample()).unwrap();
+
+        // Move the entry to a different key's filename.
+        let other_key = key ^ 1;
+        std::fs::rename(
+            cache.dir().join(format!("sched-{key:016x}.txt")),
+            cache.dir().join(format!("sched-{other_key:016x}.txt")),
+        )
+        .unwrap();
+        assert_eq!(
+            cache.load(other_key, &g, &c, &state),
+            Err(CacheMiss::Invalidated)
+        );
+        let _ = std::fs::remove_dir_all(cache.dir());
     }
 }

@@ -76,7 +76,15 @@ impl IterationSchedule {
     /// on a cluster of identical processors.
     #[must_use]
     pub fn canonical_key(&self) -> Vec<(u32, u64, u64)> {
-        let mut relabel: Vec<Option<u32>> = vec![None; 1 + self.placements.iter().map(|p| p.proc.0 as usize).max().unwrap_or(0)];
+        let mut relabel: Vec<Option<u32>> = vec![
+            None;
+            1 + self
+                .placements
+                .iter()
+                .map(|p| p.proc.0 as usize)
+                .max()
+                .unwrap_or(0)
+        ];
         let mut next = 0u32;
         let mut key = Vec::with_capacity(self.placements.len());
         for p in &self.placements {
@@ -115,7 +123,10 @@ impl PipelinedSchedule {
     /// The processor on which placement `p` of iteration `iter` runs.
     #[must_use]
     pub fn proc_of(&self, p: &Placement, iter: u64) -> ProcId {
-        ProcId(((u64::from(p.proc.0) + iter * u64::from(self.rotation)) % u64::from(self.n_procs)) as u32)
+        ProcId(
+            ((u64::from(p.proc.0) + iter * u64::from(self.rotation)) % u64::from(self.n_procs))
+                as u32,
+        )
     }
 
     /// Steady-state throughput in iterations per second.

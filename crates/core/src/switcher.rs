@@ -113,15 +113,22 @@ pub fn simulate_regime_switched(
     type ReplayStats = (Micros, Micros, Micros);
     let mut cache: HashMap<(StateKey, StateKey), ReplayStats> = HashMap::new();
     let mut replay = |design: AppState, true_state: AppState| -> (Micros, Micros, Micros) {
-        let k = ((design.n_models, design.aux), (true_state.n_models, true_state.aux));
+        let k = (
+            (design.n_models, design.aux),
+            (true_state.n_models, true_state.aux),
+        );
         if let Some(&v) = cache.get(&k) {
             return v;
         }
         let sched = table
             .get(&design)
             .unwrap_or_else(|| table.get_nearest(&design));
-        let expanded =
-            ExpandedGraph::build_with_costs(graph, &sched.iteration.state, &true_state, &sched.iteration.decomp);
+        let expanded = ExpandedGraph::build_with_costs(
+            graph,
+            &sched.iteration.state,
+            &true_state,
+            &sched.iteration.decomp,
+        );
         let iter = replay_iteration(&sched.iteration, &expanded, cluster);
         let pipelined = find_best_ii(&iter, n_procs);
         let v = (iter.latency, pipelined.ii, digitize_offset(&iter, graph));
@@ -277,10 +284,20 @@ mod tests {
                 policy: TransitionPolicy::CutOver,
             },
         );
-        let static_small = run(&g, &c, &t, &track, ScheduleStrategy::Static(AppState::new(1)));
+        let static_small = run(
+            &g,
+            &c,
+            &t,
+            &track,
+            ScheduleStrategy::Static(AppState::new(1)),
+        );
         assert_eq!(switched.switches.len(), 2, "both changes detected once");
         // Mismatch exposure is limited to the detection window.
-        assert!(switched.mismatch_frames < 20, "got {}", switched.mismatch_frames);
+        assert!(
+            switched.mismatch_frames < 20,
+            "got {}",
+            switched.mismatch_frames
+        );
         assert!(static_small.mismatch_frames >= 80);
         // Regime switching wins on mean latency: the 1-model schedule is
         // catastrophic at 8 models.
@@ -339,7 +356,13 @@ mod tests {
     fn static_on_true_state_matches_oracle_when_constant() {
         let (g, c, t, _) = setup();
         let constant = StateTrack::constant(AppState::new(4));
-        let st = run(&g, &c, &t, &constant, ScheduleStrategy::Static(AppState::new(4)));
+        let st = run(
+            &g,
+            &c,
+            &t,
+            &constant,
+            ScheduleStrategy::Static(AppState::new(4)),
+        );
         let or = run(&g, &c, &t, &constant, ScheduleStrategy::Oracle);
         assert_eq!(st.metrics.mean_latency, or.metrics.mean_latency);
         assert_eq!(st.mismatch_frames, 0);

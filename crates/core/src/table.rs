@@ -12,7 +12,30 @@ use cluster::ClusterSpec;
 use taskgraph::{AppState, TaskGraph};
 
 use crate::optimal::{optimal_schedule, OptimalConfig};
+use crate::persist::{schedule_cache_key, CacheMiss, ScheduleCache};
 use crate::schedule::PipelinedSchedule;
+
+/// How each entry of a cache-assisted table build was obtained.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct TableBuildStats {
+    /// Entries served from the persistent cache without searching.
+    pub cache_hits: usize,
+    /// Entries searched because the cache had nothing for their key.
+    pub cache_misses: usize,
+    /// Entries searched because a cache entry existed but failed
+    /// validation (and was deleted).
+    pub cache_invalidated: usize,
+    /// Total branch-and-bound nodes explored by the searches that ran.
+    pub nodes_explored: u64,
+}
+
+impl TableBuildStats {
+    /// Number of states that required a branch-and-bound search.
+    #[must_use]
+    pub fn searched(&self) -> usize {
+        self.cache_misses + self.cache_invalidated
+    }
+}
 
 fn key(s: &AppState) -> (u32, u32) {
     (s.n_models, s.aux)
@@ -51,12 +74,49 @@ impl ScheduleTable {
         states: &[AppState],
         cfg: &OptimalConfig,
     ) -> Self {
+        Self::precompute_with_cache(graph, cluster, states, cfg, None).0
+    }
+
+    /// [`ScheduleTable::precompute`], consulting a persistent
+    /// [`ScheduleCache`] first: states whose key is cached (and validates)
+    /// skip the search entirely; misses are searched and the result stored
+    /// back, so the next build of the same table is pure I/O.
+    #[must_use]
+    pub fn precompute_with_cache(
+        graph: &TaskGraph,
+        cluster: &ClusterSpec,
+        states: &[AppState],
+        cfg: &OptimalConfig,
+        cache: Option<&ScheduleCache>,
+    ) -> (Self, TableBuildStats) {
         let mut entries = BTreeMap::new();
+        let mut stats = TableBuildStats::default();
         for s in states {
-            let result = optimal_schedule(graph, cluster, s, cfg);
-            entries.insert(key(s), (*s, result.best));
+            if let Some(cache) = cache {
+                let k = schedule_cache_key(graph, cluster, s, cfg);
+                match cache.load(k, graph, cluster, s) {
+                    Ok(sched) => {
+                        stats.cache_hits += 1;
+                        entries.insert(key(s), (*s, sched));
+                        continue;
+                    }
+                    Err(CacheMiss::Absent) => stats.cache_misses += 1,
+                    Err(CacheMiss::Invalidated) => stats.cache_invalidated += 1,
+                }
+                let result = optimal_schedule(graph, cluster, s, cfg);
+                stats.nodes_explored += result.nodes_explored;
+                // Persist best-effort: a read-only cache dir degrades to a
+                // plain cold build rather than failing the table.
+                let _ = cache.store(k, &result.best);
+                entries.insert(key(s), (*s, result.best));
+            } else {
+                stats.cache_misses += 1;
+                let result = optimal_schedule(graph, cluster, s, cfg);
+                stats.nodes_explored += result.nodes_explored;
+                entries.insert(key(s), (*s, result.best));
+            }
         }
-        ScheduleTable { entries }
+        (ScheduleTable { entries }, stats)
     }
 
     /// Build from explicit entries (e.g. hand-tuned or heuristic schedules;
@@ -65,7 +125,10 @@ impl ScheduleTable {
     #[must_use]
     pub fn from_entries(entries: Vec<(AppState, PipelinedSchedule)>) -> Self {
         ScheduleTable {
-            entries: entries.into_iter().map(|(s, p)| (key(&s), (s, p))).collect(),
+            entries: entries
+                .into_iter()
+                .map(|(s, p)| (key(&s), (s, p)))
+                .collect(),
         }
     }
 
@@ -169,5 +232,72 @@ mod tests {
     fn nearest_on_empty_table_panics() {
         let t = ScheduleTable::from_entries(vec![]);
         let _ = t.get_nearest(&AppState::new(1));
+    }
+
+    #[test]
+    fn warm_cache_build_skips_search_and_matches_cold() {
+        let g = builders::color_tracker();
+        let c = ClusterSpec::single_node(4);
+        let states: Vec<AppState> = [1u32, 2, 4].iter().map(|&n| AppState::new(n)).collect();
+        let cfg = OptimalConfig::default();
+        let dir = std::env::temp_dir().join(format!("cds-table-cache-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = ScheduleCache::open(&dir).unwrap();
+
+        let (cold, cold_stats) =
+            ScheduleTable::precompute_with_cache(&g, &c, &states, &cfg, Some(&cache));
+        assert_eq!(cold_stats.cache_hits, 0);
+        assert_eq!(cold_stats.searched(), states.len());
+        assert!(cold_stats.nodes_explored > 0);
+
+        let (warm, warm_stats) =
+            ScheduleTable::precompute_with_cache(&g, &c, &states, &cfg, Some(&cache));
+        assert_eq!(warm_stats.cache_hits, states.len());
+        assert_eq!(warm_stats.searched(), 0);
+        assert_eq!(warm_stats.nodes_explored, 0, "warm build must not search");
+
+        // The warm table is byte-identical to the cold one.
+        assert_eq!(warm.len(), cold.len());
+        for s in cold.states() {
+            assert_eq!(warm.get(&s), cold.get(&s), "state {s:?}");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn invalidated_cache_entry_is_researched() {
+        let g = builders::color_tracker();
+        let c = ClusterSpec::single_node(4);
+        let states = [AppState::new(2)];
+        let cfg = OptimalConfig::default();
+        let dir = std::env::temp_dir().join(format!("cds-table-inval-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = ScheduleCache::open(&dir).unwrap();
+
+        let (cold, _) = ScheduleTable::precompute_with_cache(&g, &c, &states, &cfg, Some(&cache));
+
+        // Corrupt the single entry on disk.
+        let entry = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(Result::ok)
+            .find(|e| e.file_name().to_string_lossy().ends_with(".txt"))
+            .unwrap()
+            .path();
+        let text = std::fs::read_to_string(&entry).unwrap();
+        std::fs::write(&entry, text.replace("\nii ", "\nii x")).unwrap();
+
+        let (rebuilt, stats) =
+            ScheduleTable::precompute_with_cache(&g, &c, &states, &cfg, Some(&cache));
+        assert_eq!(stats.cache_invalidated, 1);
+        assert_eq!(stats.cache_hits, 0);
+        // The corrupted entry was re-searched, and the result is right.
+        assert_eq!(
+            rebuilt.get(&states[0]).unwrap(),
+            cold.get(&states[0]).unwrap()
+        );
+        // And the cache was repaired: next build hits.
+        let (_, again) = ScheduleTable::precompute_with_cache(&g, &c, &states, &cfg, Some(&cache));
+        assert_eq!(again.cache_hits, 1);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -375,6 +375,88 @@ proptest! {
     }
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The parallel fan-out returns the same minimal latency L* (and the
+    /// same best initiation interval) as the sequential search on random
+    /// small graphs — the shared atomic incumbent and the dominance memo
+    /// are pure prunes, never result changes.
+    #[test]
+    fn parallel_search_matches_serial(
+        costs in proptest::collection::vec(1u64..300, 2..7),
+        edges in any::<u64>(),
+        procs in 1u32..5,
+        threads in 2usize..5,
+    ) {
+        let g = small_dag(costs, edges);
+        let c = ClusterSpec::single_node(procs);
+        let state = AppState::new(1);
+        let serial = optimal_schedule(&g, &c, &state, &OptimalConfig::default().serial());
+        let cfg = OptimalConfig { threads, ..OptimalConfig::default() };
+        let par = optimal_schedule(&g, &c, &state, &cfg);
+        prop_assert_eq!(par.minimal_latency, serial.minimal_latency);
+        prop_assert_eq!(par.best.ii, serial.best.ii);
+        // And with the dominance memo off, still the same optimum.
+        let nodom = OptimalConfig { threads, dominance_cap: 0, ..OptimalConfig::default() };
+        let r = optimal_schedule(&g, &c, &state, &nodom);
+        prop_assert_eq!(r.minimal_latency, serial.minimal_latency);
+        let e = ExpandedGraph::build(&g, &state, &par.best.iteration.decomp);
+        check_iteration(&par.best.iteration, &e, &c).unwrap();
+    }
+
+    /// Persisting a table through the schedule cache and rebuilding from it
+    /// reproduces the table exactly, entry for entry, without searching.
+    #[test]
+    fn cache_roundtrip_reproduces_table(
+        costs in proptest::collection::vec(1u64..300, 2..6),
+        edges in any::<u64>(),
+        procs in 1u32..4,
+        tag in any::<u64>(),
+    ) {
+        use cds_core::persist::ScheduleCache;
+        use cds_core::table::ScheduleTable;
+
+        let g = small_dag(costs, edges);
+        let c = ClusterSpec::single_node(procs);
+        let states = [AppState::new(1)];
+        let cfg = OptimalConfig::default();
+        let dir = std::env::temp_dir().join(
+            format!("cds-prop-cache-{}-{tag:x}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = ScheduleCache::open(&dir).unwrap();
+
+        let (cold, cold_stats) =
+            ScheduleTable::precompute_with_cache(&g, &c, &states, &cfg, Some(&cache));
+        prop_assert_eq!(cold_stats.cache_hits, 0);
+        let (warm, warm_stats) =
+            ScheduleTable::precompute_with_cache(&g, &c, &states, &cfg, Some(&cache));
+        prop_assert_eq!(warm_stats.cache_hits, states.len());
+        prop_assert_eq!(warm_stats.nodes_explored, 0);
+        prop_assert_eq!(warm.len(), cold.len());
+        for s in cold.states() {
+            prop_assert_eq!(warm.get(&s), cold.get(&s));
+        }
+
+        // Any corruption of the stored entry is detected and re-searched,
+        // never served: flip one digit of the latency line.
+        for entry in std::fs::read_dir(&dir).unwrap().filter_map(Result::ok) {
+            let p = entry.path();
+            let text = std::fs::read_to_string(&p).unwrap();
+            std::fs::write(&p, text.replace("\nlatency ", "\nlatency 9")).unwrap();
+        }
+        let (fixed, fixed_stats) =
+            ScheduleTable::precompute_with_cache(&g, &c, &states, &cfg, Some(&cache));
+        prop_assert_eq!(fixed_stats.cache_hits, 0);
+        prop_assert_eq!(
+            fixed_stats.cache_invalidated + fixed_stats.cache_misses, states.len());
+        for s in cold.states() {
+            prop_assert_eq!(fixed.get(&s), cold.get(&s));
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
 /// Non-proptest regression: the enumerator collects multiple distinct
 /// minimal schedules when ties exist.
 #[test]

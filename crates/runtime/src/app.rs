@@ -118,8 +118,9 @@ impl TrackerApp {
         let frames: Channel<Frame> = ChannelBuilder::new("Frame").capacity(cap).build();
         let hist: Channel<ColorHist> = ChannelBuilder::new("Color Model").capacity(cap).build();
         let mask: Channel<BitMask> = ChannelBuilder::new("Motion Mask").capacity(cap).build();
-        let scores: Channel<Vec<ScoreMap>> =
-            ChannelBuilder::new("Back Projections").capacity(cap).build();
+        let scores: Channel<Vec<ScoreMap>> = ChannelBuilder::new("Back Projections")
+            .capacity(cap)
+            .build();
         let locations: Channel<Vec<ModelLocation>> =
             ChannelBuilder::new("Model Locations").capacity(cap).build();
 

@@ -61,7 +61,12 @@ impl Measurements {
         };
 
         let (mean, min, max, p95) = if latencies.is_empty() {
-            (Duration::ZERO, Duration::ZERO, Duration::ZERO, Duration::ZERO)
+            (
+                Duration::ZERO,
+                Duration::ZERO,
+                Duration::ZERO,
+                Duration::ZERO,
+            )
         } else {
             let sum: Duration = latencies.iter().sum();
             let mut sorted = latencies.clone();

@@ -9,7 +9,8 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use parking_lot::Mutex;
 
 use cds_core::detector::RegimeDetector;
-use taskgraph::AppState;
+use cds_core::table::ScheduleTable;
+use taskgraph::{AppState, TaskId};
 
 fn encode(fp: u32, mp: u32) -> u64 {
     (u64::from(fp) << 32) | u64::from(mp)
@@ -42,6 +43,39 @@ impl RegimeController {
             current: AtomicU64::new(encode(initial_decomp.0, initial_decomp.1)),
             switches: AtomicU64::new(0),
         }
+    }
+
+    /// Build a controller straight from an offline [`ScheduleTable`] (the
+    /// output of `ScheduleTable::precompute_with_cache`, possibly loaded
+    /// from the persistent schedule cache): for every state the table
+    /// covers, the decomposition the optimal schedule chose for `dp_task`
+    /// becomes that regime's `(FP, MP)` entry. States where the optimal
+    /// schedule keeps `dp_task` serial map to `(1, 1)`.
+    ///
+    /// This is the §3.4 offline→online hand-off: the branch-and-bound
+    /// search (offline, cached) decides *what* each regime runs; this
+    /// controller only decides *when* to switch.
+    #[must_use]
+    pub fn from_schedule_table(
+        table: &ScheduleTable,
+        dp_task: TaskId,
+        initial: u32,
+        confirm_after: usize,
+    ) -> Self {
+        let map: BTreeMap<u32, (u32, u32)> = table
+            .states()
+            .into_iter()
+            .map(|s| {
+                let sched = table.get(&s).expect("state listed");
+                let d = sched
+                    .iteration
+                    .decomp
+                    .get(&dp_task)
+                    .map_or((1, 1), |d| (d.fp, d.mp));
+                (s.n_models, d)
+            })
+            .collect();
+        Self::new(initial, confirm_after, map)
     }
 
     fn lookup(table: &BTreeMap<u32, (u32, u32)>, n: u32) -> (u32, u32) {
@@ -130,5 +164,40 @@ mod tests {
     #[should_panic(expected = "non-empty")]
     fn empty_table_rejected() {
         let _ = RegimeController::new(0, 1, BTreeMap::new());
+    }
+
+    #[test]
+    fn controller_from_offline_schedule_table() {
+        use cds_core::optimal::OptimalConfig;
+        use cds_core::table::ScheduleTable;
+        use cluster::ClusterSpec;
+        use taskgraph::builders;
+
+        let g = builders::color_tracker();
+        let c = ClusterSpec::single_node(4);
+        let states: Vec<AppState> = [1u32, 8].iter().map(|&n| AppState::new(n)).collect();
+        let table = ScheduleTable::precompute(&g, &c, &states, &OptimalConfig::default());
+        let t4 = g.task_by_name("Target Detection").unwrap();
+
+        let ctl = RegimeController::from_schedule_table(&table, t4, 1, 2);
+        // At 1 model the optimal schedule decomposes T4 by frame (MP
+        // clamps to 1); observe a regime change to 8 models and the
+        // controller must hand out the 8-model optimum's decomposition.
+        let pair = |s: &ScheduleTable, n: u32| {
+            s.get(&AppState::new(n))
+                .unwrap()
+                .iteration
+                .decomp
+                .get(&t4)
+                .map_or((1, 1), |d| (d.fp, d.mp))
+        };
+        let at1 = ctl.current_decomp();
+        assert_eq!(at1, pair(&table, 1));
+        ctl.observe(8);
+        ctl.observe(8);
+        let at8 = ctl.current_decomp();
+        assert_eq!(at8, pair(&table, 8));
+        assert_eq!(ctl.switches(), 1);
+        assert_ne!(at1, at8, "regimes 1 and 8 should use different decomps");
     }
 }

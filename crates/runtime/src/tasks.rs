@@ -17,12 +17,12 @@ use crossbeam::channel::bounded;
 use parking_lot::Mutex;
 
 use stm::{Channel, GetError, GetOk, InputConn, OutputConn, Timestamp, TsSpec};
+use vision::detect::{merge_partials, PartialScores};
+use vision::peak::detected_count;
 use vision::{
     change_detection, detect_chunks, image_histogram, peak_detection, target_detection_chunk,
     BitMask, ColorHist, DetectChunk, Frame, ModelLocation, ScoreMap,
 };
-use vision::detect::{merge_partials, PartialScores};
-use vision::peak::detected_count;
 
 use crate::measure::Measurements;
 use crate::pool::WorkerPool;
@@ -332,8 +332,13 @@ pub struct ChunkJob {
 impl ChunkJob {
     /// Execute the chunk and send the partials back (the worker of Fig. 9).
     pub fn run(self) {
-        let partials =
-            target_detection_chunk(&self.frame, &self.hist, &self.models, &self.mask, self.chunk);
+        let partials = target_detection_chunk(
+            &self.frame,
+            &self.hist,
+            &self.models,
+            &self.mask,
+            self.chunk,
+        );
         // The joiner may already have given up (executor shutdown).
         let _ = self.reply.send(partials);
     }
@@ -523,8 +528,7 @@ impl TaskBody for DetectTask {
                 };
                 match ready {
                     Some(all) => {
-                        let maps =
-                            merge_partials(self.width, self.height, self.models.len(), &all);
+                        let maps = merge_partials(self.width, self.height, self.models.len(), &all);
                         self.publish(ts, maps)
                     }
                     None => Ok(()),

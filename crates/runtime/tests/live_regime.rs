@@ -75,6 +75,10 @@ fn debounce_prevents_switching_on_brief_occlusion() {
     let controller = Arc::new(RegimeController::new(2, 4, table));
     let app = TrackerApp::build_with_scene(&cfg, scene, Some(Arc::clone(&controller)));
     let _ = OnlineExecutor::run(&app, 0);
-    assert_eq!(controller.switches(), 0, "steady population must not switch");
+    assert_eq!(
+        controller.switches(),
+        0,
+        "steady population must not switch"
+    );
     assert_eq!(controller.current_decomp(), (1, 2));
 }

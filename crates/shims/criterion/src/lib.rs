@@ -1,0 +1,252 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the API subset the workspace's benches use — `Criterion`,
+//! `criterion_group!`/`criterion_main!`, `bench_function`,
+//! `benchmark_group`, `bench_with_input`, `BenchmarkId`, `sample_size`, and
+//! `Bencher::iter` — as a plain wall-clock harness. Statistical analysis is
+//! reduced to mean/min over a fixed sample count; output is one line per
+//! benchmark. Honors `--bench` being passed by `cargo bench` and treats any
+//! other CLI argument as a substring filter on benchmark names, like the
+//! real crate.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifier for a parameterized benchmark (`group/function/param`).
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// `BenchmarkId::new("function", parameter)`.
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            name: format!("{}/{}", function.into(), parameter),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.name)
+    }
+}
+
+/// The per-benchmark timing driver.
+pub struct Bencher {
+    samples: usize,
+    /// Mean duration of one iteration, filled by [`Bencher::iter`].
+    result: Option<(Duration, Duration)>,
+}
+
+impl Bencher {
+    /// Time `f`, storing mean and min per-iteration duration.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warmup + calibration: find an iteration count that runs long
+        // enough to be timeable.
+        let t0 = Instant::now();
+        black_box(f());
+        let once = t0.elapsed();
+        let iters_per_sample = if once < Duration::from_micros(50) {
+            (Duration::from_millis(2).as_nanos() / once.as_nanos().max(1)).clamp(1, 100_000) as u32
+        } else {
+            1
+        };
+        let mut mean_total = Duration::ZERO;
+        let mut min = Duration::MAX;
+        let mut n = 0u32;
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(f());
+            }
+            let d = t0.elapsed() / iters_per_sample;
+            mean_total += d;
+            min = min.min(d);
+            n += 1;
+        }
+        self.result = Some((mean_total / n.max(1), min));
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.3} s", ns as f64 / 1e9)
+    }
+}
+
+/// The harness entry point, mirroring `criterion::Criterion`.
+pub struct Criterion {
+    filter: Option<String>,
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // cargo bench passes `--bench`; anything else is a name filter.
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with("--"));
+        Criterion {
+            filter,
+            sample_size: 10,
+        }
+    }
+}
+
+impl Criterion {
+    fn should_run(&self, name: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| name.contains(f))
+    }
+
+    fn run_one(&self, name: &str, samples: usize, f: &mut dyn FnMut(&mut Bencher)) {
+        if !self.should_run(name) {
+            return;
+        }
+        let mut b = Bencher {
+            samples,
+            result: None,
+        };
+        f(&mut b);
+        match b.result {
+            Some((mean, min)) => println!(
+                "bench {name:<50} mean {:>12}   min {:>12}",
+                fmt_duration(mean),
+                fmt_duration(min)
+            ),
+            None => println!("bench {name:<50} (no measurement)"),
+        }
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let samples = self.sample_size;
+        self.run_one(name, samples, &mut f);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            parent: self,
+            name: name.into(),
+            sample_size: None,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Override the number of samples for benchmarks in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    fn samples(&self) -> usize {
+        self.sample_size.unwrap_or(self.parent.sample_size)
+    }
+
+    /// Run one benchmark in this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl std::fmt::Display,
+        mut f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        let samples = self.samples();
+        self.parent.run_one(&full, samples, &mut f);
+        self
+    }
+
+    /// Run one parameterized benchmark in this group.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        let samples = self.samples();
+        self.parent.run_one(&full, samples, &mut |b| f(b, input));
+        self
+    }
+
+    /// Close the group (a no-op in this harness).
+    pub fn finish(self) {}
+}
+
+/// Define a benchmark group function, mirroring `criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Define `main`, mirroring `criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_measures() {
+        let mut c = Criterion {
+            filter: None,
+            sample_size: 3,
+        };
+        let mut ran = 0u32;
+        c.bench_function("smoke", |b| {
+            b.iter(|| {
+                ran += 1;
+                std::hint::black_box(ran)
+            })
+        });
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn groups_and_ids_compose_names() {
+        let id = BenchmarkId::new("models", 8);
+        assert_eq!(id.to_string(), "models/8");
+        let mut c = Criterion {
+            filter: Some("nomatch".to_string()),
+            sample_size: 3,
+        };
+        let mut g = c.benchmark_group("grp");
+        g.sample_size(2);
+        let mut ran = false;
+        g.bench_function("skipped", |b| {
+            ran = true;
+            b.iter(|| 1)
+        });
+        g.finish();
+        assert!(!ran, "filter should have skipped the benchmark");
+    }
+}

@@ -325,7 +325,8 @@ impl<T> State<T> {
         spec: TsSpec,
     ) -> Result<(Timestamp, Arc<T>), GetMiss> {
         let cs = self.in_conns.get(&conn).expect("connection detached");
-        let eligible = |s: &InConnState, ts: Timestamp| ts >= s.frontier && !s.consumed.contains(&ts);
+        let eligible =
+            |s: &InConnState, ts: Timestamp| ts >= s.frontier && !s.consumed.contains(&ts);
 
         let found: Option<Timestamp> = match spec {
             TsSpec::Exact(ts) => {
@@ -383,8 +384,7 @@ impl<T> State<T> {
                 let value = Arc::clone(self.items.get(&ts).expect("found ts present"));
                 let cs = self.in_conns.get_mut(&conn).expect("connection detached");
                 cs.last_gotten = Some(cs.last_gotten.map_or(ts, |p| p.max(ts)));
-                self.global_last_gotten =
-                    Some(self.global_last_gotten.map_or(ts, |p| p.max(ts)));
+                self.global_last_gotten = Some(self.global_last_gotten.map_or(ts, |p| p.max(ts)));
                 self.stats.on_get();
                 Ok((ts, value))
             }

@@ -343,11 +343,17 @@ mod tests {
         for t in 0..3u64 {
             out.put(Timestamp(t), t as u32).unwrap();
         }
-        assert_eq!(a.try_get(TsSpec::NewestUnseenGlobal).unwrap().ts, Timestamp(2));
+        assert_eq!(
+            a.try_get(TsSpec::NewestUnseenGlobal).unwrap().ts,
+            Timestamp(2)
+        );
         // `b` has seen nothing itself, but the channel-global cursor moved.
         assert!(b.try_get(TsSpec::NewestUnseenGlobal).is_err());
         out.put(Timestamp(3), 3).unwrap();
-        assert_eq!(b.try_get(TsSpec::NewestUnseenGlobal).unwrap().ts, Timestamp(3));
+        assert_eq!(
+            b.try_get(TsSpec::NewestUnseenGlobal).unwrap().ts,
+            Timestamp(3)
+        );
         // Per-connection NewestUnseen is also affected for `a` only through
         // its own history: `b` never got ts 2, so per-conn it is still new.
         out.put(Timestamp(4), 4).unwrap();

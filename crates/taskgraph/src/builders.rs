@@ -42,13 +42,28 @@ pub fn color_tracker_scaled(scale_us: u64) -> TaskGraph {
 
     // Channels (sizes for a 320x240 RGB stream).
     let frame = b.channel("Frame", SizeModel::Const(320 * 240 * 3));
-    let color_model = b.channel("Color Model", SizeModel::PerModel { base: 0, per_model: 4096 });
+    let color_model = b.channel(
+        "Color Model",
+        SizeModel::PerModel {
+            base: 0,
+            per_model: 4096,
+        },
+    );
     let motion_mask = b.channel("Motion Mask", SizeModel::Const(320 * 240 / 8));
     let back_proj = b.channel(
         "Back Projections",
-        SizeModel::PerModel { base: 0, per_model: 320 * 240 },
+        SizeModel::PerModel {
+            base: 0,
+            per_model: 320 * 240,
+        },
     );
-    let locations = b.channel("Model Locations", SizeModel::PerModel { base: 16, per_model: 16 });
+    let locations = b.channel(
+        "Model Locations",
+        SizeModel::PerModel {
+            base: 16,
+            per_model: 16,
+        },
+    );
 
     // T1: Digitizer — "too fast to be visible at this scale".
     let t1 = b.task("Digitizer", CostModel::Const(ms(1)));
@@ -63,8 +78,7 @@ pub fn color_tracker_scaled(scale_us: u64) -> TaskGraph {
             base: ms(20),
             per_model: ms(856),
         },
-        DataParallelSpec::new(vec![1, 2, 4], vec![1, 2, 4, 8], ms(35))
-            .with_model_overhead(ms(35)),
+        DataParallelSpec::new(vec![1, 2, 4], vec![1, 2, 4, 8], ms(35)).with_model_overhead(ms(35)),
     );
     // T5: Peak Detection — linear in models, small constant.
     let t5 = b.task(
@@ -118,9 +132,27 @@ pub fn stereo_surveillance() -> TaskGraph {
     let frame_b = b.channel("Frame B", SizeModel::Const(640 * 480 * 3));
     let clean_a = b.channel("Clean A", SizeModel::Const(640 * 480 * 3));
     let clean_b = b.channel("Clean B", SizeModel::Const(640 * 480 * 3));
-    let tracks_a = b.channel("Tracks A", SizeModel::PerModel { base: 32, per_model: 64 });
-    let tracks_b = b.channel("Tracks B", SizeModel::PerModel { base: 32, per_model: 64 });
-    let scene = b.channel("Scene Estimate", SizeModel::PerModel { base: 64, per_model: 96 });
+    let tracks_a = b.channel(
+        "Tracks A",
+        SizeModel::PerModel {
+            base: 32,
+            per_model: 64,
+        },
+    );
+    let tracks_b = b.channel(
+        "Tracks B",
+        SizeModel::PerModel {
+            base: 32,
+            per_model: 64,
+        },
+    );
+    let scene = b.channel(
+        "Scene Estimate",
+        SizeModel::PerModel {
+            base: 64,
+            per_model: 96,
+        },
+    );
     let alarms = b.channel("Alarms", SizeModel::Const(64));
 
     let cam_a = b.task("Camera A", CostModel::Const(ms(1)));
@@ -137,19 +169,26 @@ pub fn stereo_surveillance() -> TaskGraph {
     );
     let det_a = b.dp_task(
         "Detect A",
-        CostModel::PerModel { base: ms(30), per_model: ms(220) },
-        DataParallelSpec::new(vec![1, 2, 4], vec![1, 2, 4], ms(12))
-            .with_model_overhead(ms(10)),
+        CostModel::PerModel {
+            base: ms(30),
+            per_model: ms(220),
+        },
+        DataParallelSpec::new(vec![1, 2, 4], vec![1, 2, 4], ms(12)).with_model_overhead(ms(10)),
     );
     let det_b = b.dp_task(
         "Detect B",
-        CostModel::PerModel { base: ms(30), per_model: ms(220) },
-        DataParallelSpec::new(vec![1, 2, 4], vec![1, 2, 4], ms(12))
-            .with_model_overhead(ms(10)),
+        CostModel::PerModel {
+            base: ms(30),
+            per_model: ms(220),
+        },
+        DataParallelSpec::new(vec![1, 2, 4], vec![1, 2, 4], ms(12)).with_model_overhead(ms(10)),
     );
     let fusion = b.task(
         "Fusion",
-        CostModel::PerModel { base: ms(15), per_model: ms(20) },
+        CostModel::PerModel {
+            base: ms(15),
+            per_model: ms(20),
+        },
     );
     let alarm = b.task("Alarm Policy", CostModel::Const(ms(5)));
 
@@ -206,7 +245,10 @@ pub fn fork_join(width: usize, branch_cost_us: u64) -> TaskGraph {
     let src = b.task("fork", CostModel::Const(Micros(1)));
     let join = b.task("join", CostModel::Const(Micros(1)));
     for i in 0..width {
-        let t = b.task(format!("branch{i}"), CostModel::Const(Micros(branch_cost_us)));
+        let t = b.task(
+            format!("branch{i}"),
+            CostModel::Const(Micros(branch_cost_us)),
+        );
         let cin = b.channel(format!("in{i}"), SizeModel::Const(64));
         let cout = b.channel(format!("out{i}"), SizeModel::Const(64));
         b.produces(src, cin);
@@ -252,8 +294,12 @@ mod tests {
         assert_eq!(g.successors(t4), vec![id("Peak Detection")]);
         // T2 and T3 are independent of each other — the task parallelism of
         // Fig. 5(a).
-        assert!(!g.predecessors(id("Histogram")).contains(&id("Change Detection")));
-        assert!(!g.predecessors(id("Change Detection")).contains(&id("Histogram")));
+        assert!(!g
+            .predecessors(id("Histogram"))
+            .contains(&id("Change Detection")));
+        assert!(!g
+            .predecessors(id("Change Detection"))
+            .contains(&id("Histogram")));
     }
 
     #[test]

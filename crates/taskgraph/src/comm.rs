@@ -77,7 +77,10 @@ mod tests {
 
     #[test]
     fn free_model_costs_nothing() {
-        assert_eq!(CommCosts::FREE.transfer(1 << 20, Locality::InterNode), Micros::ZERO);
+        assert_eq!(
+            CommCosts::FREE.transfer(1 << 20, Locality::InterNode),
+            Micros::ZERO
+        );
     }
 
     #[test]

@@ -37,7 +37,10 @@ impl Micros {
     /// Construct from fractional seconds (rounded to the nearest microsecond).
     #[must_use]
     pub fn from_secs_f64(s: f64) -> Self {
-        assert!(s >= 0.0 && s.is_finite(), "duration must be finite and >= 0");
+        assert!(
+            s >= 0.0 && s.is_finite(),
+            "duration must be finite and >= 0"
+        );
         Micros((s * 1e6).round() as u64)
     }
 
@@ -175,9 +178,7 @@ impl CostModel {
         match self {
             CostModel::Const(_) => false,
             CostModel::PerModel { per_model, .. } => per_model.0 > 0,
-            CostModel::Table(entries) => {
-                entries.iter().any(|(_, c)| *c != entries[0].1)
-            }
+            CostModel::Table(entries) => entries.iter().any(|(_, c)| *c != entries[0].1),
         }
     }
 }
@@ -203,9 +204,7 @@ impl SizeModel {
     pub fn eval(&self, state: &AppState) -> u64 {
         match self {
             SizeModel::Const(b) => *b,
-            SizeModel::PerModel { base, per_model } => {
-                base + per_model * u64::from(state.n_models)
-            }
+            SizeModel::PerModel { base, per_model } => base + per_model * u64::from(state.n_models),
         }
     }
 }

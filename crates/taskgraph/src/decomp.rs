@@ -189,8 +189,16 @@ impl DataParallelSpec {
             decomp: Decomposition::new(d.fp, mp_eff),
             chunks,
             chunk_cost,
-            split_cost: if chunks == 1 { Micros::ZERO } else { self.split_cost },
-            join_cost: if chunks == 1 { Micros::ZERO } else { self.join_cost },
+            split_cost: if chunks == 1 {
+                Micros::ZERO
+            } else {
+                self.split_cost
+            },
+            join_cost: if chunks == 1 {
+                Micros::ZERO
+            } else {
+                self.join_cost
+            },
         }
     }
 
@@ -260,9 +268,7 @@ mod tests {
     fn variants_always_include_trivial() {
         let s = spec();
         for n in 0..10 {
-            assert!(s
-                .variants(&AppState::new(n))
-                .contains(&Decomposition::NONE));
+            assert!(s.variants(&AppState::new(n)).contains(&Decomposition::NONE));
         }
     }
 
@@ -326,7 +332,11 @@ mod tests {
     #[test]
     fn makespan_counts_waves() {
         let s = spec();
-        let p = s.plan(Micros::from_millis(800), Decomposition::new(4, 2), &AppState::new(8));
+        let p = s.plan(
+            Micros::from_millis(800),
+            Decomposition::new(4, 2),
+            &AppState::new(8),
+        );
         assert_eq!(p.chunks, 8);
         // 8 chunks on 3 procs → 3 waves.
         let m3 = DataParallelSpec::makespan(&p, 3);

@@ -16,11 +16,7 @@ pub fn to_dot(graph: &TaskGraph, state: &AppState) -> String {
     for (i, t) in graph.tasks().iter().enumerate() {
         let cost = t.cost.eval(state);
         let dp = if t.dp.is_some() { " (DP)" } else { "" };
-        let _ = writeln!(
-            s,
-            "  t{i} [shape=oval, label=\"{}{dp}\\n{cost}\"];",
-            t.name
-        );
+        let _ = writeln!(s, "  t{i} [shape=oval, label=\"{}{dp}\\n{cost}\"];", t.name);
     }
     for (i, c) in graph.channels().iter().enumerate() {
         let _ = writeln!(

@@ -205,10 +205,7 @@ impl TaskGraph {
         for (_, to, _) in self.edges() {
             indeg[to.0] += 1;
         }
-        let mut queue: Vec<TaskId> = self
-            .task_ids()
-            .filter(|t| indeg[t.0] == 0)
-            .collect();
+        let mut queue: Vec<TaskId> = self.task_ids().filter(|t| indeg[t.0] == 0).collect();
         let mut seen = 0usize;
         while let Some(t) = queue.pop() {
             seen += 1;

@@ -16,7 +16,10 @@ fn random_dag(seed: (Vec<Vec<u64>>, u64)) -> TaskGraph {
     for (li, costs) in layer_costs.iter().enumerate() {
         let mut layer = Vec::new();
         for (ti, &c) in costs.iter().enumerate() {
-            layer.push(b.task(format!("L{li}N{ti}"), CostModel::Const(Micros(c % 1000 + 1))));
+            layer.push(b.task(
+                format!("L{li}N{ti}"),
+                CostModel::Const(Micros(c % 1000 + 1)),
+            ));
             n += 1;
         }
         layers.push(layer);
@@ -32,7 +35,10 @@ fn random_dag(seed: (Vec<Vec<u64>>, u64)) -> TaskGraph {
             for &p in prev_layer.iter().skip(1) {
                 bits = bits.rotate_left(7).wrapping_mul(0x9E3779B97F4A7C15);
                 if bits & 1 == 1 {
-                    let ch = b.channel(format!("x{}_{}_{}", li, to_idx.0, p.0), SizeModel::Const(64));
+                    let ch = b.channel(
+                        format!("x{}_{}_{}", li, to_idx.0, p.0),
+                        SizeModel::Const(64),
+                    );
                     b.produces(p, ch);
                     b.consumes(to_idx, ch);
                 }

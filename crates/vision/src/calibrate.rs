@@ -6,17 +6,15 @@
 
 use std::time::Instant;
 
-use taskgraph::{
-    CostModel, DataParallelSpec, Micros, SizeModel, TaskGraph, TaskGraphBuilder,
-};
+use taskgraph::{CostModel, DataParallelSpec, Micros, SizeModel, TaskGraph, TaskGraphBuilder};
 
 use crate::change::{change_detection, DEFAULT_THRESHOLD};
+use crate::detect::target_detection;
 use crate::detect::{detect_chunks, target_detection_chunk};
 use crate::frame::BitMask;
 use crate::histogram::image_histogram;
 use crate::peak::peak_detection;
 use crate::synth::Scene;
-use crate::detect::target_detection;
 
 /// Measured serial kernel times for one model count.
 #[derive(Clone, Copy, Debug)]
@@ -113,10 +111,8 @@ pub fn calibrated_tracker(width: usize, height: usize, times: &[KernelTimes]) ->
         .detect_chunk_fp4
         .saturating_sub(biggest.detect / 4)
         .max(Micros(1));
-    let per_model_overhead = Micros(
-        per_chunk_overhead.0 / u64::from(biggest.n_models.max(1)),
-    )
-    .max(Micros(1));
+    let per_model_overhead =
+        Micros(per_chunk_overhead.0 / u64::from(biggest.n_models.max(1))).max(Micros(1));
 
     let mut b = TaskGraphBuilder::new();
     let frame_bytes = (width * height * 3) as u64;
@@ -132,7 +128,10 @@ pub fn calibrated_tracker(width: usize, height: usize, times: &[KernelTimes]) ->
     );
     let locations = b.channel(
         "Model Locations",
-        SizeModel::PerModel { base: 16, per_model: 24 },
+        SizeModel::PerModel {
+            base: 16,
+            per_model: 24,
+        },
     );
 
     let t1 = b.task("Digitizer", table(&|t| t.digitize));

@@ -206,7 +206,11 @@ pub fn target_detection_chunk(
     chunk: DetectChunk,
 ) -> Vec<PartialScores> {
     let region = chunk.region;
-    assert_eq!(region.width(), frame.width, "chunks must be full-width strips");
+    assert_eq!(
+        region.width(),
+        frame.width,
+        "chunks must be full-width strips"
+    );
     let mut out = Vec::with_capacity(chunk.model_hi - chunk.model_lo);
     for (m, model) in models
         .iter()
@@ -265,7 +269,9 @@ pub fn merge_partials(
     n_models: usize,
     partials: &[PartialScores],
 ) -> Vec<ScoreMap> {
-    let mut maps: Vec<ScoreMap> = (0..n_models).map(|_| ScoreMap::new(width, height)).collect();
+    let mut maps: Vec<ScoreMap> = (0..n_models)
+        .map(|_| ScoreMap::new(width, height))
+        .collect();
     let mut covered = vec![0usize; n_models];
     for p in partials {
         let map = &mut maps[p.model];
@@ -449,7 +455,10 @@ mod tests {
         // stays well above background), and it never exceeds the bin value.
         let got = lut[lut_index([220, 30, 30])];
         let want = ratio[bin_of([220, 30, 30])];
-        assert!(got > 0.2 && got <= want + 1e-6, "got {got}, bin value {want}");
+        assert!(
+            got > 0.2 && got <= want + 1e-6,
+            "got {got}, bin value {want}"
+        );
         // Far from the model color, the LUT is near zero.
         assert!(lut[lut_index([30, 220, 30])] < 0.05);
         assert!(got > 10.0 * lut[lut_index([30, 220, 30])].max(1e-9));

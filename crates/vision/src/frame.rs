@@ -48,7 +48,11 @@ impl Region {
     /// one row taller.
     #[must_use]
     pub fn split_rows(&self, n: usize) -> Vec<Region> {
-        assert!(n >= 1 && n <= self.height().max(1), "cannot split {} rows into {n}", self.height());
+        assert!(
+            n >= 1 && n <= self.height().max(1),
+            "cannot split {} rows into {n}",
+            self.height()
+        );
         let base = self.height() / n;
         let extra = self.height() % n;
         let mut out = Vec::with_capacity(n);

@@ -36,7 +36,7 @@ pub fn peak_detection(scores: &[ScoreMap], min_score: f32) -> Vec<ModelLocation>
             // blob's response plateaus across the whole window overlap).
             let mut best = f32::NEG_INFINITY;
             let mut bbox = (0usize, 0usize, 0usize, 0usize); // x0, x1, y0, y1
-            // Column-wise running sum over rows.
+                                                             // Column-wise running sum over rows.
             let mut acc: Vec<f32> = vec![0.0; w];
             for y in 0..=HALF_WINDOW.min(h - 1) {
                 for (x, a) in acc.iter_mut().enumerate() {

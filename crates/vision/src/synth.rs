@@ -53,8 +53,16 @@ impl TargetSpec {
         };
         let t = frame as f64;
         let (rx, ry) = (self.radii.0 as f64, self.radii.1 as f64);
-        let x = reflect(self.start.0 + self.velocity.0 * t, rx, width as f64 - rx - 1.0);
-        let y = reflect(self.start.1 + self.velocity.1 * t, ry, height as f64 - ry - 1.0);
+        let x = reflect(
+            self.start.0 + self.velocity.0 * t,
+            rx,
+            width as f64 - rx - 1.0,
+        );
+        let y = reflect(
+            self.start.1 + self.velocity.1 * t,
+            ry,
+            height as f64 - ry - 1.0,
+        );
         (x.round() as usize, y.round() as usize)
     }
 }
@@ -78,8 +86,18 @@ pub struct Scene {
 impl Scene {
     /// A scene with explicit targets.
     #[must_use]
-    pub fn new(width: usize, height: usize, targets: Vec<TargetSpec>, noise: u8, seed: u64) -> Self {
-        assert!(targets.len() <= PALETTE.len(), "at most {} targets", PALETTE.len());
+    pub fn new(
+        width: usize,
+        height: usize,
+        targets: Vec<TargetSpec>,
+        noise: u8,
+        seed: u64,
+    ) -> Self {
+        assert!(
+            targets.len() <= PALETTE.len(),
+            "at most {} targets",
+            PALETTE.len()
+        );
         let visits = vec![(0, u64::MAX); targets.len()];
         Scene {
             width,
@@ -149,10 +167,7 @@ impl Scene {
                     rng.random_range(rx as f64..(width - rx - 1) as f64),
                     rng.random_range(ry as f64..(height - ry - 1) as f64),
                 ),
-                velocity: (
-                    rng.random_range(-3.0..3.0),
-                    rng.random_range(-2.0..2.0),
-                ),
+                velocity: (rng.random_range(-3.0..3.0), rng.random_range(-2.0..2.0)),
             })
             .collect();
         Scene::new(width, height, targets, 10, seed)
@@ -280,7 +295,10 @@ mod tests {
         let px = f.pixel(cx, cy);
         let c = s.targets()[0].color;
         for ch in 0..3 {
-            assert!(px[ch].abs_diff(c[ch]) <= 10, "channel {ch}: {px:?} vs {c:?}");
+            assert!(
+                px[ch].abs_diff(c[ch]) <= 10,
+                "channel {ch}: {px:?} vs {c:?}"
+            );
         }
     }
 

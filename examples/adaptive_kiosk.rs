@@ -27,7 +27,11 @@ fn main() {
     };
     let visits = generate_visits(&process);
     let scene = Scene::from_visits(160, 120, &visits, 99);
-    println!("session: {} visits over {} frames", visits.len(), process.n_frames);
+    println!(
+        "session: {} visits over {} frames",
+        visits.len(),
+        process.n_frames
+    );
 
     // Offline: the schedule table over the regime set.
     let graph = builders::color_tracker();
@@ -65,7 +69,11 @@ fn main() {
                 active.iteration.latency,
                 active.ii,
                 decomp,
-                if switched.is_some() { "   ← switched" } else { "" },
+                if switched.is_some() {
+                    "   ← switched"
+                } else {
+                    ""
+                },
             );
         }
     }

@@ -33,7 +33,10 @@ fn main() {
     };
     let visits = generate_visits(&kiosk);
     let occ = occupancy_track(&visits, kiosk.n_frames);
-    println!("customer process: {} visits; occupancy timeline:", visits.len());
+    println!(
+        "customer process: {} visits; occupancy timeline:",
+        visits.len()
+    );
     for w in occ.windows(2) {
         println!(
             "  frames {:>4}..{:>4}: {} person(s)",
@@ -44,9 +47,7 @@ fn main() {
         println!("  frames {f:>4}..{}: {n} person(s)", kiosk.n_frames);
     }
 
-    let track = StateTrack::from_changes(
-        occ.iter().map(|&(f, n)| (f, AppState::new(n))).collect(),
-    );
+    let track = StateTrack::from_changes(occ.iter().map(|&(f, n)| (f, AppState::new(n))).collect());
 
     // Offline: one optimal schedule per regime ("since the resulting
     // schedule will be operating for months, we can afford to evaluate all
@@ -93,10 +94,7 @@ fn main() {
     println!("  oracle                  : {}", oracle.metrics);
     println!("\nregime switches performed: {}", switched.switches.len());
     for s in &switched.switches {
-        println!(
-            "  frame {:>4} @ {}: {} → {}",
-            s.frame, s.at, s.from, s.to
-        );
+        println!("  frame {:>4} @ {}: {} → {}", s.frame, s.at, s.from, s.to);
     }
     println!(
         "\nframes executed under a mismatched schedule: {} (fixed: {})",

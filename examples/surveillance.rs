@@ -21,8 +21,11 @@ fn main() {
     graph.validate().expect("well-formed");
     let cluster = ClusterSpec::single_node(4);
 
-    println!("Two-camera surveillance graph: {} tasks, {} channels, 2 sources\n",
-             graph.n_tasks(), graph.channels().len());
+    println!(
+        "Two-camera surveillance graph: {} tasks, {} channels, 2 sources\n",
+        graph.n_tasks(),
+        graph.channels().len()
+    );
 
     // Offline: one schedule per regime (0–4 tracked subjects). With four
     // data-parallel tasks the decomposition product is large, so bound the
@@ -37,7 +40,10 @@ fn main() {
     let table = ScheduleTable::precompute(&graph, &cluster, &states, &cfg);
 
     println!("per-regime optimal schedules (4 processors):");
-    println!("{:>9}  {:>10}  {:>10}  {:>8}  decompositions", "subjects", "latency", "naive", "II");
+    println!(
+        "{:>9}  {:>10}  {:>10}  {:>8}  decompositions",
+        "subjects", "latency", "naive", "II"
+    );
     for s in table.states() {
         let sched = table.get(&s).unwrap();
         let naive = naive_pipeline(&graph, &cluster, &s);
@@ -53,14 +59,23 @@ fn main() {
             sched.iteration.latency.to_string(),
             naive.iteration.latency.to_string(),
             sched.ii.to_string(),
-            if decomp.is_empty() { "(serial)".to_string() } else { decomp.join(", ") },
+            if decomp.is_empty() {
+                "(serial)".to_string()
+            } else {
+                decomp.join(", ")
+            },
         );
     }
 
     // Steady-state run at 2 subjects.
     let state = AppState::new(2);
     let sched = table.get(&state).unwrap();
-    let out = evaluate_schedule(sched, &graph, FrameClock::new(Micros::from_millis(100), 8), 2);
+    let out = evaluate_schedule(
+        sched,
+        &graph,
+        FrameClock::new(Micros::from_millis(100), 8),
+        2,
+    );
     println!("\nsteady state at 2 subjects: {}", out.metrics);
     println!(
         "{}",
@@ -75,5 +90,7 @@ fn main() {
         )
     );
     println!("Both camera arms overlap (task parallelism), detectors decompose per regime,");
-    println!("and iterations pipeline with the wrap-around rotation — the kiosk machinery, unchanged.");
+    println!(
+        "and iterations pipeline with the wrap-around rotation — the kiosk machinery, unchanged."
+    );
 }

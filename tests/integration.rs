@@ -34,8 +34,7 @@ fn optimal_beats_online_in_every_regime() {
         let state = AppState::new(n);
         let opt = optimal_schedule(&graph, &cluster, &state, &OptimalConfig::default());
 
-        let mut online_cfg =
-            OnlineConfig::new(FrameClock::new(Micros::from_millis(33), 20), state);
+        let mut online_cfg = OnlineConfig::new(FrameClock::new(Micros::from_millis(33), 20), state);
         let t4 = graph.task_by_name("Target Detection").unwrap();
         if let Some(d) = opt.best.iteration.decomp.get(&t4) {
             online_cfg.decomposition.insert(t4, *d);
@@ -109,8 +108,7 @@ fn regime_switching_end_to_end() {
         seed: 2,
     };
     let occ = occupancy_track(&generate_visits(&kiosk), kiosk.n_frames);
-    let track =
-        StateTrack::from_changes(occ.iter().map(|&(f, n)| (f, AppState::new(n))).collect());
+    let track = StateTrack::from_changes(occ.iter().map(|&(f, n)| (f, AppState::new(n))).collect());
     assert!(track.n_transitions() >= 2, "workload must be dynamic");
 
     let states: Vec<AppState> = (0..=5u32).map(AppState::new).collect();
@@ -237,11 +235,7 @@ fn persisted_schedule_drives_the_real_runtime() {
     let app = TrackerApp::build(&cfg, None);
     let stats = ScheduledExecutor::run(&app, &loaded, 0);
     assert_eq!(stats.frames_completed, 5);
-    assert!(app
-        .face
-        .observations()
-        .iter()
-        .all(|&(_, count)| count == 2));
+    assert!(app.face.observations().iter().all(|&(_, count)| count == 2));
 }
 
 /// The full perception → regime loop: an adaptive tracker enrolls and
