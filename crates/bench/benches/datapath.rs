@@ -1,0 +1,59 @@
+//! Criterion benchmarks for the online data path: buffer recycling vs
+//! per-frame allocation, and the end-to-end pooled tracker.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use runtime::{BufPool, OnlineExecutor, TrackerApp, TrackerConfig};
+use vision::{change_detection, change_detection_into, BitMask, Frame, Scene};
+
+const W: usize = 128;
+const H: usize = 128;
+
+fn bench_datapath(c: &mut Criterion) {
+    let scene = Scene::demo(W, H, 4, 42);
+    let prev = scene.render(0);
+    let frame = scene.render(1);
+
+    let mut g = c.benchmark_group("frame_produce");
+    g.bench_function("render_alloc", |b| {
+        b.iter(|| scene.render(std::hint::black_box(7)))
+    });
+    g.bench_function("render_pooled", |b| {
+        let pool: BufPool<Frame> = BufPool::new(2);
+        b.iter(|| {
+            let mut buf = pool.take_or(|| Frame::new(W, H));
+            scene.render_into(std::hint::black_box(7), &mut buf);
+        });
+    });
+    g.finish();
+
+    let mut g = c.benchmark_group("mask_produce");
+    g.bench_function("change_alloc", |b| {
+        b.iter(|| change_detection(std::hint::black_box(&frame), Some(&prev), 24))
+    });
+    g.bench_function("change_pooled", |b| {
+        let mut buf = BitMask::new(W, H);
+        b.iter(|| {
+            change_detection_into(std::hint::black_box(&frame), Some(&prev), 24, &mut buf);
+        });
+    });
+    g.finish();
+
+    let mut g = c.benchmark_group("tracker_e2e_8_frames");
+    g.sample_size(10);
+    for (label, recycle) in [("alloc", false), ("pooled", true)] {
+        g.bench_function(label, |b| {
+            b.iter(|| {
+                let mut cfg = TrackerConfig::small(2, 8);
+                cfg.period = std::time::Duration::ZERO;
+                cfg.recycle_buffers = recycle;
+                let app = TrackerApp::build(&cfg, None);
+                let stats = OnlineExecutor::run(&app, 0);
+                std::hint::black_box(stats.frames_completed)
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_datapath);
+criterion_main!(benches);

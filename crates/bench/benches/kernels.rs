@@ -3,8 +3,9 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use vision::{
-    change_detection, detect_chunks, image_histogram, peak_detection, target_detection,
-    target_detection_chunk, BitMask, Scene,
+    change_detection, change_detection_scalar, detect_chunks, image_histogram,
+    image_histogram_scalar, peak_detection, target_detection, target_detection_chunk, BitMask,
+    Scene,
 };
 
 const W: usize = 160;
@@ -51,6 +52,29 @@ fn bench_kernels(c: &mut Criterion) {
     c.bench_function("scene_render_t1", |b| {
         b.iter(|| scene.render(std::hint::black_box(7)))
     });
+
+    // The ISSUE's headline criterion: row-sliced vs pixel-at-a-time
+    // histogram at 128×128 (fast path must be ≥2× the scalar oracle).
+    let scene128 = Scene::demo(128, 128, 4, 42);
+    let f128 = scene128.render(1);
+    let p128 = scene128.render(0);
+    let mut g = c.benchmark_group("image_histogram_128");
+    g.bench_function("sliced", |b| {
+        b.iter(|| image_histogram(std::hint::black_box(&f128)))
+    });
+    g.bench_function("scalar", |b| {
+        b.iter(|| image_histogram_scalar(std::hint::black_box(&f128)))
+    });
+    g.finish();
+
+    let mut g = c.benchmark_group("change_detection_128");
+    g.bench_function("linear", |b| {
+        b.iter(|| change_detection(std::hint::black_box(&f128), Some(&p128), 24))
+    });
+    g.bench_function("scalar", |b| {
+        b.iter(|| change_detection_scalar(std::hint::black_box(&f128), Some(&p128), 24))
+    });
+    g.finish();
 }
 
 criterion_group!(benches, bench_kernels);

@@ -36,6 +36,47 @@ fn bench_stm(c: &mut Criterion) {
         });
     });
 
+    c.bench_function("put_many_batch_64", |b| {
+        let ch: Channel<u64> = Channel::new("bench_batch");
+        let out = ch.attach_output();
+        let inp = ch.attach_input();
+        let mut ts = 0u64;
+        b.iter(|| {
+            let base = ts;
+            out.put_many((base..base + 64).map(|t| (Timestamp(t), t)))
+                .unwrap();
+            inp.consume_range(Timestamp(base), Timestamp(base + 64));
+            ts += 64;
+        });
+    });
+
+    c.bench_function("put_loop_64", |b| {
+        let ch: Channel<u64> = Channel::new("bench_loop");
+        let out = ch.attach_output();
+        let inp = ch.attach_input();
+        let mut ts = 0u64;
+        b.iter(|| {
+            let base = ts;
+            for t in base..base + 64 {
+                out.put(Timestamp(t), t).unwrap();
+            }
+            for t in base..base + 64 {
+                inp.consume(Timestamp(t)).unwrap();
+            }
+            ts += 64;
+        });
+    });
+
+    c.bench_function("snapshot_read", |b| {
+        let ch: Channel<u64> = Channel::new("bench_snap");
+        let out = ch.attach_output();
+        let _hold = ch.attach_input();
+        for ts in 0..64u64 {
+            out.put(Timestamp(ts), ts).unwrap();
+        }
+        b.iter(|| std::hint::black_box(ch.snapshot()));
+    });
+
     c.bench_function("cross_thread_pipeline_1000", |b| {
         b.iter(|| {
             let ch: Channel<u64> = Channel::with_capacity("pipe", 16);

@@ -102,6 +102,28 @@ fn surveillance_graph_variant_works() {
 }
 
 #[test]
+fn datapath_bin_reports_speedups() {
+    let out = Command::new(env!("CARGO_BIN_EXE_datapath"))
+        .args(["--iters", "5", "--frames", "4"])
+        .output()
+        .expect("run datapath");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("== Speedups (before / after) =="),
+        "{stdout}"
+    );
+    assert!(stdout.contains("kernel/image_histogram"), "{stdout}");
+    assert!(stdout.contains("stm/put_consume_64"), "{stdout}");
+    assert!(stdout.contains("frame buffers allocated"), "{stdout}");
+    assert!(stdout.contains("headline:"), "{stdout}");
+}
+
+#[test]
 fn bad_usage_exits_nonzero() {
     let out = cds().output().expect("run cds");
     assert!(!out.status.success());

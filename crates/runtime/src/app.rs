@@ -7,11 +7,12 @@ use std::time::Duration;
 use stm::{Channel, ChannelBuilder};
 use vision::{BitMask, ColorHist, Frame, ModelLocation, Scene, ScoreMap};
 
+use crate::frame_pool::{BufPool, PoolStats, PooledFrame, PooledMask};
 use crate::measure::Measurements;
 use crate::pool::WorkerPool;
 use crate::regime_rt::RegimeController;
 use crate::tasks::{
-    ChangeTask, ChunkJob, DetectTask, DigitizerTask, FaceTask, HistogramTask, PeakTask, TaskBody,
+    ChangeTask, DetectTask, DigitizerTask, FaceTask, HistogramTask, PeakTask, PoolJob, TaskBody,
 };
 
 /// Configuration of a tracker run.
@@ -33,8 +34,13 @@ pub struct TrackerConfig {
     pub channel_capacity: usize,
     /// Fixed (FP, MP) decomposition for T4.
     pub decomposition: (u32, u32),
-    /// Worker-pool size for online-mode data parallelism (0 = none).
+    /// Worker-pool size for online-mode data parallelism (0 = none). The
+    /// pool is shared by T4 detection chunks and T2 histogram strips.
     pub pool_workers: usize,
+    /// Recycle frame and mask buffers through freelists so steady-state
+    /// execution allocates nothing per frame. Output is bit-identical
+    /// either way (producers overwrite recycled buffers completely).
+    pub recycle_buffers: bool,
     /// Peak detection threshold.
     pub min_score: f32,
     /// Failure injection: the digitizer dies after this many frames (the
@@ -57,6 +63,7 @@ impl TrackerConfig {
             channel_capacity: 8,
             decomposition: (1, 1),
             pool_workers: 0,
+            recycle_buffers: true,
             min_score: 5.0,
             digitizer_dies_after: None,
         }
@@ -79,12 +86,14 @@ pub struct TrackerApp {
     /// Number of frames this app will process.
     pub n_frames: u64,
     channels: AppChannels,
+    frame_pool: Option<BufPool<Frame>>,
+    mask_pool: Option<BufPool<BitMask>>,
 }
 
 struct AppChannels {
-    frames: Channel<Frame>,
+    frames: Channel<PooledFrame>,
     hist: Channel<ColorHist>,
-    mask: Channel<BitMask>,
+    mask: Channel<PooledMask>,
     scores: Channel<Vec<ScoreMap>>,
     locations: Channel<Vec<ModelLocation>>,
 }
@@ -115,31 +124,45 @@ impl TrackerApp {
         let measure = Arc::new(Measurements::new(cfg.n_frames as usize));
 
         let cap = cfg.channel_capacity;
-        let frames: Channel<Frame> = ChannelBuilder::new("Frame").capacity(cap).build();
+        let frames: Channel<PooledFrame> = ChannelBuilder::new("Frame").capacity(cap).build();
         let hist: Channel<ColorHist> = ChannelBuilder::new("Color Model").capacity(cap).build();
-        let mask: Channel<BitMask> = ChannelBuilder::new("Motion Mask").capacity(cap).build();
+        let mask: Channel<PooledMask> = ChannelBuilder::new("Motion Mask").capacity(cap).build();
         let scores: Channel<Vec<ScoreMap>> = ChannelBuilder::new("Back Projections")
             .capacity(cap)
             .build();
         let locations: Channel<Vec<ModelLocation>> =
             ChannelBuilder::new("Model Locations").capacity(cap).build();
 
+        // Buffer pools: a few more idle slots than the channel can hold, so
+        // a drained pipeline never discards buffers it is about to reuse.
+        let (frame_pool, mask_pool) = if cfg.recycle_buffers {
+            (Some(BufPool::new(cap + 2)), Some(BufPool::new(cap + 2)))
+        } else {
+            (None, None)
+        };
+
         let digitizer_frames = cfg
             .digitizer_dies_after
             .map_or(cfg.n_frames, |d| d.min(cfg.n_frames));
-        let digitizer = DigitizerTask::new(
+        let mut digitizer = DigitizerTask::new(
             scene.clone(),
             frames.clone(),
             cfg.period,
             digitizer_frames,
             Arc::clone(&measure),
         );
-        let histogram = HistogramTask::new(frames.attach_input(), hist.clone());
-        let change = ChangeTask::new(
+        if let Some(p) = &frame_pool {
+            digitizer = digitizer.with_frame_pool(p.clone());
+        }
+        let mut histogram = HistogramTask::new(frames.attach_input(), hist.clone());
+        let mut change = ChangeTask::new(
             frames.attach_input(),
             mask.clone(),
             u16::from(vision::change::DEFAULT_THRESHOLD),
         );
+        if let Some(p) = &mask_pool {
+            change = change.with_mask_pool(p.clone());
+        }
         let mut detect = DetectTask::new(
             frames.attach_input(),
             hist.attach_input(),
@@ -154,9 +177,12 @@ impl TrackerApp {
             detect = detect.with_controller(Arc::clone(c));
         }
         if cfg.pool_workers > 0 {
-            let pool: Arc<WorkerPool<ChunkJob>> =
-                Arc::new(WorkerPool::new(cfg.pool_workers, ChunkJob::run));
-            detect = detect.with_pool(pool);
+            // One pool serves both data-parallel stages (T4 chunks and T2
+            // histogram strips).
+            let pool: Arc<WorkerPool<PoolJob>> =
+                Arc::new(WorkerPool::new(cfg.pool_workers, PoolJob::run));
+            detect = detect.with_pool(Arc::clone(&pool));
+            histogram = histogram.with_pool(pool, cfg.pool_workers);
         }
         let peak = PeakTask::new(scores.attach_input(), locations.clone(), cfg.min_score);
         let face = Arc::new(FaceTask::new(
@@ -188,7 +214,22 @@ impl TrackerApp {
                 scores,
                 locations,
             },
+            frame_pool,
+            mask_pool,
         }
+    }
+
+    /// Frame-buffer pool traffic, when recycling is on. `created` stops
+    /// growing once the pipeline reaches steady state.
+    #[must_use]
+    pub fn frame_pool_stats(&self) -> Option<PoolStats> {
+        self.frame_pool.as_ref().map(BufPool::stats)
+    }
+
+    /// Mask-buffer pool traffic, when recycling is on.
+    #[must_use]
+    pub fn mask_pool_stats(&self) -> Option<PoolStats> {
+        self.mask_pool.as_ref().map(BufPool::stats)
     }
 
     /// Peak live occupancy observed across all channels (validates the

@@ -1,0 +1,253 @@
+//! Buffer recycling for the per-frame data plane.
+//!
+//! Steady-state tracking allocates (and frees) a full RGB frame and a motion
+//! mask every period — pure constant-factor overhead on the online path. A
+//! [`BufPool`] keeps returned buffers on a freelist; producers take a
+//! recycled buffer when one is idle and only allocate while the pipeline is
+//! still filling. Buffers travel through STM channels as [`Pooled`] handles
+//! and return to their pool automatically when the GC drops the last
+//! reference, so recycling is invisible to consumers (a `Pooled<Frame>`
+//! derefs to `Frame` everywhere).
+//!
+//! Correctness does not depend on buffer contents: every producer that
+//! recycles fills the buffer completely (`Scene::render_into` writes every
+//! pixel, `change_detection_into` writes every word), which is what keeps
+//! pooled output bit-identical to the allocating path.
+
+use std::ops::{Deref, DerefMut};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Weak};
+
+use parking_lot::Mutex;
+
+use vision::{BitMask, Frame};
+
+/// Counters describing a pool's traffic (all monotonic except via
+/// [`BufPool::stats`] snapshots).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct PoolStats {
+    /// Buffers allocated because the freelist was empty.
+    pub created: u64,
+    /// Takes served from the freelist (no allocation).
+    pub reused: u64,
+    /// Buffers returned to the freelist on drop.
+    pub returned: u64,
+    /// Buffers dropped on return because the freelist was at `max_idle`.
+    pub discarded: u64,
+}
+
+struct PoolInner<T> {
+    free: Mutex<Vec<T>>,
+    max_idle: usize,
+    created: AtomicU64,
+    reused: AtomicU64,
+    returned: AtomicU64,
+    discarded: AtomicU64,
+}
+
+/// An `Arc`-based freelist of reusable buffers. Cloning shares the pool.
+pub struct BufPool<T> {
+    inner: Arc<PoolInner<T>>,
+}
+
+impl<T> Clone for BufPool<T> {
+    fn clone(&self) -> Self {
+        BufPool {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<T> BufPool<T> {
+    /// A pool retaining at most `max_idle` idle buffers (excess returns are
+    /// dropped — the pool must not grow without bound when a pipeline
+    /// drains).
+    #[must_use]
+    pub fn new(max_idle: usize) -> Self {
+        BufPool {
+            inner: Arc::new(PoolInner {
+                free: Mutex::new(Vec::with_capacity(max_idle)),
+                max_idle,
+                created: AtomicU64::new(0),
+                reused: AtomicU64::new(0),
+                returned: AtomicU64::new(0),
+                discarded: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Take a recycled buffer, or build one with `make` when none is idle.
+    /// The buffer's previous contents are arbitrary — the caller must fully
+    /// overwrite it.
+    pub fn take_or(&self, make: impl FnOnce() -> T) -> Pooled<T> {
+        let recycled = self.inner.free.lock().pop();
+        let buf = match recycled {
+            Some(b) => {
+                self.inner.reused.fetch_add(1, Ordering::Relaxed);
+                b
+            }
+            None => {
+                self.inner.created.fetch_add(1, Ordering::Relaxed);
+                make()
+            }
+        };
+        Pooled {
+            buf: Some(buf),
+            pool: Arc::downgrade(&self.inner),
+        }
+    }
+
+    /// Number of idle buffers currently on the freelist.
+    #[must_use]
+    pub fn idle(&self) -> usize {
+        self.inner.free.lock().len()
+    }
+
+    /// Snapshot of the pool's traffic counters.
+    #[must_use]
+    pub fn stats(&self) -> PoolStats {
+        PoolStats {
+            created: self.inner.created.load(Ordering::Relaxed),
+            reused: self.inner.reused.load(Ordering::Relaxed),
+            returned: self.inner.returned.load(Ordering::Relaxed),
+            discarded: self.inner.discarded.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A buffer on loan from a [`BufPool`] (or detached, via
+/// [`Pooled::unpooled`]). Dereferences to the buffer; returns it to the pool
+/// on drop.
+pub struct Pooled<T> {
+    buf: Option<T>,
+    pool: Weak<PoolInner<T>>,
+}
+
+impl<T> Pooled<T> {
+    /// Wrap a buffer with no backing pool: drops normally. Lets unpooled and
+    /// pooled producers share one channel item type.
+    #[must_use]
+    pub fn unpooled(buf: T) -> Self {
+        Pooled {
+            buf: Some(buf),
+            pool: Weak::new(),
+        }
+    }
+}
+
+impl<T> Deref for Pooled<T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.buf.as_ref().expect("buffer present until drop")
+    }
+}
+
+impl<T> DerefMut for Pooled<T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.buf.as_mut().expect("buffer present until drop")
+    }
+}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for Pooled<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.deref().fmt(f)
+    }
+}
+
+impl<T: PartialEq> PartialEq for Pooled<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.deref() == other.deref()
+    }
+}
+
+impl<T> Drop for Pooled<T> {
+    fn drop(&mut self) {
+        let Some(buf) = self.buf.take() else { return };
+        // If the pool itself is gone, just drop the buffer.
+        if let Some(pool) = self.pool.upgrade() {
+            let mut free = pool.free.lock();
+            if free.len() < pool.max_idle {
+                free.push(buf);
+                drop(free);
+                pool.returned.fetch_add(1, Ordering::Relaxed);
+            } else {
+                drop(free);
+                pool.discarded.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+/// A recyclable RGB frame (the "Frame" channel item type).
+pub type PooledFrame = Pooled<Frame>;
+/// A recyclable motion mask (the "Motion Mask" channel item type).
+pub type PooledMask = Pooled<BitMask>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn takes_allocate_then_recycle() {
+        let pool: BufPool<Vec<u8>> = BufPool::new(4);
+        let a = pool.take_or(|| vec![1, 2, 3]);
+        assert_eq!(*a, vec![1, 2, 3]);
+        drop(a);
+        assert_eq!(pool.idle(), 1);
+        // The recycled buffer comes back dirty.
+        let b = pool.take_or(|| unreachable!("must reuse"));
+        assert_eq!(*b, vec![1, 2, 3]);
+        let s = pool.stats();
+        assert_eq!((s.created, s.reused, s.returned), (1, 1, 1));
+    }
+
+    #[test]
+    fn freelist_is_capped() {
+        let pool: BufPool<u64> = BufPool::new(2);
+        let bufs: Vec<_> = (0..5).map(|i| pool.take_or(|| i)).collect();
+        drop(bufs);
+        assert_eq!(pool.idle(), 2);
+        let s = pool.stats();
+        assert_eq!(s.created, 5);
+        assert_eq!(s.returned, 2);
+        assert_eq!(s.discarded, 3);
+    }
+
+    #[test]
+    fn unpooled_and_orphaned_buffers_drop_cleanly() {
+        let u = Pooled::unpooled(7u32);
+        assert_eq!(*u, 7);
+        drop(u);
+        let pool: BufPool<u32> = BufPool::new(1);
+        let b = pool.take_or(|| 9);
+        drop(pool);
+        drop(b); // pool already gone: plain drop, no panic
+    }
+
+    #[test]
+    fn deref_mut_mutates_in_place() {
+        let pool: BufPool<Frame> = BufPool::new(1);
+        let mut f = pool.take_or(|| Frame::new(4, 4));
+        f.set_pixel(0, 0, [9, 9, 9]);
+        assert_eq!(f.pixel(0, 0), [9, 9, 9]);
+        drop(f);
+        let g = pool.take_or(|| unreachable!());
+        assert_eq!(g.pixel(0, 0), [9, 9, 9], "recycled buffer keeps contents");
+    }
+
+    #[test]
+    fn steady_state_allocates_nothing() {
+        // Simulated pipeline: at most 3 buffers in flight at once.
+        let pool: BufPool<Vec<u8>> = BufPool::new(4);
+        let mut in_flight = std::collections::VecDeque::new();
+        for _ in 0..100 {
+            in_flight.push_back(pool.take_or(|| vec![0; 64]));
+            if in_flight.len() > 3 {
+                in_flight.pop_front();
+            }
+        }
+        let s = pool.stats();
+        assert!(s.created <= 4, "steady state must recycle: {s:?}");
+        assert!(s.reused >= 96);
+    }
+}

@@ -28,6 +28,7 @@
 pub mod app;
 pub mod exec_online;
 pub mod exec_scheduled;
+pub mod frame_pool;
 pub mod measure;
 pub mod pool;
 pub mod regime_rt;
@@ -36,7 +37,8 @@ pub mod tasks;
 pub use app::{TrackerApp, TrackerConfig};
 pub use exec_online::OnlineExecutor;
 pub use exec_scheduled::ScheduledExecutor;
+pub use frame_pool::{BufPool, PoolStats, Pooled, PooledFrame, PooledMask};
 pub use measure::{Measurements, RunStats};
-pub use pool::WorkerPool;
+pub use pool::{PoolClosed, WorkerPool};
 pub use regime_rt::RegimeController;
-pub use tasks::TaskBody;
+pub use tasks::{PoolJob, TaskBody};

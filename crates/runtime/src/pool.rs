@@ -6,6 +6,22 @@
 use crossbeam::channel::{unbounded, Sender};
 use std::thread::JoinHandle;
 
+/// Error returned by [`WorkerPool::submit`] after shutdown; carries the job
+/// back so the caller can run it inline or requeue it elsewhere.
+pub struct PoolClosed<J>(pub J);
+
+impl<J> std::fmt::Debug for PoolClosed<J> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("PoolClosed(..)")
+    }
+}
+
+impl<J> std::fmt::Display for PoolClosed<J> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("worker pool is shut down")
+    }
+}
+
 /// A fixed pool of worker threads consuming jobs of type `J`.
 pub struct WorkerPool<J: Send + 'static> {
     tx: Option<Sender<J>>,
@@ -41,13 +57,24 @@ impl<J: Send + 'static> WorkerPool<J> {
         }
     }
 
-    /// Enqueue one job. Panics if the pool is shut down.
-    pub fn submit(&self, job: J) {
-        self.tx
-            .as_ref()
-            .expect("pool is live")
-            .send(job)
-            .expect("workers alive");
+    /// Enqueue one job, or hand it back if the pool is shut down so the
+    /// caller can fall back to running it inline.
+    pub fn submit(&self, job: J) -> Result<(), PoolClosed<J>> {
+        match &self.tx {
+            Some(tx) => tx.send(job).map_err(|e| PoolClosed(e.0)),
+            None => Err(PoolClosed(job)),
+        }
+    }
+
+    /// Stop accepting jobs, drain the queue, and join every worker. Called
+    /// implicitly on drop; explicit shutdown lets callers observe (and test)
+    /// the join, and makes later `submit` calls return the job instead of
+    /// panicking.
+    pub fn shutdown(&mut self) {
+        self.tx.take();
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
     }
 
     /// Number of workers.
@@ -60,10 +87,7 @@ impl<J: Send + 'static> WorkerPool<J> {
 impl<J: Send + 'static> Drop for WorkerPool<J> {
     fn drop(&mut self) {
         // Closing the channel stops the workers after draining.
-        self.tx.take();
-        for h in self.handles.drain(..) {
-            let _ = h.join();
-        }
+        self.shutdown();
     }
 }
 
@@ -82,7 +106,7 @@ mod tests {
             c2.fetch_add(j, Ordering::SeqCst);
         });
         for j in 1..=100u64 {
-            pool.submit(j);
+            pool.submit(j).unwrap();
         }
         drop(pool); // joins workers, draining the queue
         assert_eq!(counter.load(Ordering::SeqCst), 5050);
@@ -97,7 +121,7 @@ mod tests {
             });
         let (tx, rx) = bounded(16);
         for x in 0..8u64 {
-            pool.submit((x, tx.clone()));
+            pool.submit((x, tx.clone())).unwrap();
         }
         let mut squares: Vec<u64> = (0..8).map(|_| rx.recv().unwrap()).collect();
         squares.sort_unstable();
@@ -116,8 +140,8 @@ mod tests {
                 rx2.recv().unwrap();
             }
         });
-        pool.submit(1); // blocks until job 0's signal is relayed
-        pool.submit(0);
+        pool.submit(1).unwrap(); // blocks until job 0's signal is relayed
+        pool.submit(0).unwrap();
         rx.recv().unwrap();
         tx2.send(()).unwrap();
         drop(pool);
@@ -127,5 +151,40 @@ mod tests {
     fn n_workers_reported() {
         let pool: WorkerPool<()> = WorkerPool::new(5, |()| {});
         assert_eq!(pool.n_workers(), 5);
+    }
+
+    #[test]
+    fn submit_after_shutdown_returns_the_job() {
+        let mut pool: WorkerPool<u64> = WorkerPool::new(2, |_| {});
+        pool.submit(1).unwrap();
+        pool.shutdown();
+        let PoolClosed(job) = pool.submit(42).unwrap_err();
+        assert_eq!(job, 42, "rejected job is handed back intact");
+        // Shutdown is idempotent.
+        pool.shutdown();
+        assert_eq!(pool.n_workers(), 0);
+    }
+
+    #[test]
+    fn drop_joins_workers_and_drains_queue() {
+        // Every worker parks its thread handle count via an Arc; after drop
+        // the Arc count proves the closures (and threads) are gone and all
+        // queued jobs ran first.
+        let processed = Arc::new(AtomicU64::new(0));
+        let alive = Arc::new(());
+        let p2 = Arc::clone(&processed);
+        let a2 = Arc::clone(&alive);
+        let pool: WorkerPool<u64> = WorkerPool::new(3, move |j| {
+            let _hold = &a2;
+            std::thread::sleep(std::time::Duration::from_millis(1));
+            p2.fetch_add(j, Ordering::SeqCst);
+        });
+        for j in 1..=20u64 {
+            pool.submit(j).unwrap();
+        }
+        drop(pool);
+        // Drop joined the workers: queue fully drained, handler clones freed.
+        assert_eq!(processed.load(Ordering::SeqCst), 210);
+        assert_eq!(Arc::strong_count(&alive), 1, "worker closures dropped");
     }
 }

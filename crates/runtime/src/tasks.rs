@@ -20,12 +20,14 @@ use stm::{Channel, GetError, GetOk, InputConn, OutputConn, Timestamp, TsSpec};
 use vision::detect::{merge_partials, PartialScores};
 use vision::peak::detected_count;
 use vision::{
-    change_detection, detect_chunks, image_histogram, peak_detection, target_detection_chunk,
-    BitMask, ColorHist, DetectChunk, Frame, ModelLocation, ScoreMap,
+    change_detection, change_detection_into, detect_chunks, image_histogram, peak_detection,
+    target_detection_chunk, BitMask, ColorHist, DetectChunk, Frame, ModelLocation, Region,
+    ScoreMap,
 };
 
+use crate::frame_pool::{BufPool, Pooled, PooledFrame, PooledMask};
 use crate::measure::Measurements;
-use crate::pool::WorkerPool;
+use crate::pool::{PoolClosed, WorkerPool};
 use crate::regime_rt::RegimeController;
 
 /// Signals that a task's stream is finished (channel closed or frame budget
@@ -120,12 +122,15 @@ fn get_or_stop<T>(conn: &InputConn<T>, ts: Timestamp) -> Result<GetOk<T>, Stop> 
 /// stand-in). The period is the hand-tuning knob of §3.1.
 pub struct DigitizerTask {
     scene: vision::Scene,
-    out: OutputConn<Frame>,
-    out_chan: Channel<Frame>,
+    out: OutputConn<PooledFrame>,
+    out_chan: Channel<PooledFrame>,
     period: Duration,
     n_frames: u64,
     epoch: Mutex<Option<Instant>>,
     measure: Arc<Measurements>,
+    /// Recycled frame buffers; `render_into` overwrites every pixel, so a
+    /// dirty buffer produces bit-identical frames.
+    frame_pool: Option<BufPool<Frame>>,
     /// Tracks finished instances so the stream closes only after every
     /// frame below `n_frames` has actually been put — concurrent instances
     /// (masters running ahead under rotation) must not cut earlier frames
@@ -138,7 +143,7 @@ impl DigitizerTask {
     #[must_use]
     pub fn new(
         scene: vision::Scene,
-        out_chan: Channel<Frame>,
+        out_chan: Channel<PooledFrame>,
         period: Duration,
         n_frames: u64,
         measure: Arc<Measurements>,
@@ -151,8 +156,17 @@ impl DigitizerTask {
             n_frames,
             epoch: Mutex::new(None),
             measure,
+            frame_pool: None,
             cursor: SharedCursor::default(),
         }
+    }
+
+    /// Render into recycled buffers from `pool` instead of allocating a
+    /// fresh frame each period.
+    #[must_use]
+    pub fn with_frame_pool(mut self, pool: BufPool<Frame>) -> Self {
+        self.frame_pool = Some(pool);
+        self
     }
 
     /// Record instance `ts` done; close the stream once the contiguous
@@ -183,7 +197,14 @@ impl TaskBody for DigitizerTask {
         if target > now {
             std::thread::sleep(target - now);
         }
-        let frame = self.scene.render(ts.0);
+        let frame = match &self.frame_pool {
+            Some(pool) => {
+                let mut buf = pool.take_or(|| Frame::new(self.scene.width, self.scene.height));
+                self.scene.render_into(ts.0, &mut buf);
+                buf
+            }
+            None => Pooled::unpooled(self.scene.render(ts.0)),
+        };
         if self.out.put(ts, frame).is_err() {
             return Err(Stop);
         }
@@ -197,11 +218,17 @@ impl TaskBody for DigitizerTask {
 // T2 — Histogram
 // ---------------------------------------------------------------------
 
-/// T2: whole-image color histogram → "Color Model" channel.
+/// T2: whole-image color histogram → "Color Model" channel. With a worker
+/// pool attached, the frame is split into row strips farmed as the paper's
+/// Fig. 9 splitter/worker/joiner; partial histograms merge exactly in any
+/// order (integer counts in `f32` bins), so the output is bit-identical to
+/// the serial path.
 pub struct HistogramTask {
-    input: InputConn<Frame>,
+    input: InputConn<PooledFrame>,
     out: OutputConn<ColorHist>,
     out_chan: Channel<ColorHist>,
+    /// `(pool, strips)`: farm row strips to the shared worker pool.
+    pool: Option<(Arc<WorkerPool<PoolJob>>, usize)>,
     cursor: SharedCursor,
     gate: CloseGate,
 }
@@ -209,13 +236,47 @@ pub struct HistogramTask {
 impl HistogramTask {
     /// Create the histogram task, producing into `out_chan`.
     #[must_use]
-    pub fn new(input: InputConn<Frame>, out_chan: Channel<ColorHist>) -> Self {
+    pub fn new(input: InputConn<PooledFrame>, out_chan: Channel<ColorHist>) -> Self {
         HistogramTask {
             input,
             out: out_chan.attach_output(),
             out_chan,
+            pool: None,
             cursor: SharedCursor::default(),
             gate: CloseGate::default(),
+        }
+    }
+
+    /// Farm `strips` row strips of each frame to `pool` (Fig. 9 data
+    /// parallelism for T2).
+    #[must_use]
+    pub fn with_pool(mut self, pool: Arc<WorkerPool<PoolJob>>, strips: usize) -> Self {
+        self.pool = Some((pool, strips));
+        self
+    }
+
+    fn compute(&self, frame: &Arc<PooledFrame>) -> ColorHist {
+        match &self.pool {
+            Some((pool, strips)) if *strips > 1 => {
+                let (tx, rx) = bounded(*strips);
+                for region in frame.region().split_rows(*strips) {
+                    let job = PoolJob::Hist(HistJob {
+                        frame: Arc::clone(frame),
+                        region,
+                        reply: tx.clone(),
+                    });
+                    if let Err(PoolClosed(job)) = pool.submit(job) {
+                        job.run(); // pool shut down: compute inline
+                    }
+                }
+                drop(tx);
+                let mut merged = ColorHist::empty();
+                for partial in rx.iter() {
+                    merged.merge(&partial);
+                }
+                merged
+            }
+            _ => image_histogram(frame),
         }
     }
 }
@@ -236,7 +297,7 @@ impl TaskBody for HistogramTask {
                 return Err(Stop);
             }
         };
-        let hist = image_histogram(&frame.value);
+        let hist = self.compute(&frame.value);
         if self.out.put(ts, hist).is_err() {
             return Err(Stop);
         }
@@ -258,10 +319,13 @@ impl TaskBody for HistogramTask {
 /// run concurrently. Its frontier trails one frame behind its commit
 /// prefix, since instance `ts` reads frame `ts − 1`.
 pub struct ChangeTask {
-    input: InputConn<Frame>,
-    out: OutputConn<BitMask>,
-    out_chan: Channel<BitMask>,
+    input: InputConn<PooledFrame>,
+    out: OutputConn<PooledMask>,
+    out_chan: Channel<PooledMask>,
     threshold: u16,
+    /// Recycled mask buffers; `change_detection_into` writes every word, so
+    /// a dirty buffer produces bit-identical masks.
+    mask_pool: Option<BufPool<BitMask>>,
     cursor: SharedCursor,
     gate: CloseGate,
 }
@@ -269,15 +333,28 @@ pub struct ChangeTask {
 impl ChangeTask {
     /// Create the change-detection task, producing into `out_chan`.
     #[must_use]
-    pub fn new(input: InputConn<Frame>, out_chan: Channel<BitMask>, threshold: u16) -> Self {
+    pub fn new(
+        input: InputConn<PooledFrame>,
+        out_chan: Channel<PooledMask>,
+        threshold: u16,
+    ) -> Self {
         ChangeTask {
             input,
             out: out_chan.attach_output(),
             out_chan,
             threshold,
+            mask_pool: None,
             cursor: SharedCursor::default(),
             gate: CloseGate::default(),
         }
+    }
+
+    /// Write masks into recycled buffers from `pool` instead of allocating
+    /// a fresh mask each frame.
+    #[must_use]
+    pub fn with_mask_pool(mut self, pool: BufPool<BitMask>) -> Self {
+        self.mask_pool = Some(pool);
+        self
     }
 }
 
@@ -298,7 +375,16 @@ impl TaskBody for ChangeTask {
             Some(p) => Some(get_or_stop(&self.input, p).inspect_err(stop)?),
             None => None,
         };
-        let mask = change_detection(&cur.value, prev.as_ref().map(|g| &*g.value), self.threshold);
+        let prev_frame: Option<&Frame> = prev.as_ref().map(|g| &**g.value);
+        let mask = match &self.mask_pool {
+            Some(pool) => {
+                let frame = &cur.value;
+                let mut buf = pool.take_or(|| BitMask::new(frame.width, frame.height));
+                change_detection_into(frame, prev_frame, self.threshold, &mut buf);
+                buf
+            }
+            None => Pooled::unpooled(change_detection(&cur.value, prev_frame, self.threshold)),
+        };
         if self.out.put(ts, mask).is_err() {
             return Err(Stop);
         }
@@ -317,13 +403,13 @@ impl TaskBody for ChangeTask {
 // ---------------------------------------------------------------------
 
 /// The three per-frame inputs of target detection.
-pub type DetectInputs = (Arc<Frame>, Arc<ColorHist>, Arc<BitMask>);
+pub type DetectInputs = (Arc<PooledFrame>, Arc<ColorHist>, Arc<PooledMask>);
 
 /// One unit of work farmed to the worker pool in online mode.
 pub struct ChunkJob {
-    frame: Arc<Frame>,
+    frame: Arc<PooledFrame>,
     hist: Arc<ColorHist>,
-    mask: Arc<BitMask>,
+    mask: Arc<PooledMask>,
     models: Arc<Vec<ColorHist>>,
     chunk: DetectChunk,
     reply: crossbeam::channel::Sender<Vec<PartialScores>>,
@@ -344,11 +430,46 @@ impl ChunkJob {
     }
 }
 
+/// One histogram row strip farmed to the worker pool (T2's Fig. 9 worker).
+pub struct HistJob {
+    frame: Arc<PooledFrame>,
+    region: Region,
+    reply: crossbeam::channel::Sender<ColorHist>,
+}
+
+impl HistJob {
+    /// Compute the strip's partial histogram and send it to the joiner.
+    pub fn run(self) {
+        let partial = ColorHist::of_region(&self.frame, self.region);
+        let _ = self.reply.send(partial);
+    }
+}
+
+/// The job type of the shared data-parallel worker pool: detection chunks
+/// and histogram strips ride the same workers, so one pool serves both
+/// data-parallel stages.
+pub enum PoolJob {
+    /// A T4 detection chunk.
+    Detect(ChunkJob),
+    /// A T2 histogram row strip.
+    Hist(HistJob),
+}
+
+impl PoolJob {
+    /// Execute the job (the worker body of Fig. 9).
+    pub fn run(self) {
+        match self {
+            PoolJob::Detect(j) => j.run(),
+            PoolJob::Hist(j) => j.run(),
+        }
+    }
+}
+
 /// T4: Swain–Ballard target detection with regime-dependent decomposition.
 pub struct DetectTask {
-    in_frames: InputConn<Frame>,
+    in_frames: InputConn<PooledFrame>,
     in_hist: InputConn<ColorHist>,
-    in_mask: InputConn<BitMask>,
+    in_mask: InputConn<PooledMask>,
     out: OutputConn<Vec<ScoreMap>>,
     out_chan: Channel<Vec<ScoreMap>>,
     models: Arc<Vec<ColorHist>>,
@@ -360,7 +481,7 @@ pub struct DetectTask {
     /// the current state from a pre-computed table" (Fig. 9 discussion).
     controller: Option<Arc<RegimeController>>,
     /// Worker pool for intra-task parallelism in online mode.
-    pool: Option<Arc<WorkerPool<ChunkJob>>>,
+    pool: Option<Arc<WorkerPool<PoolJob>>>,
     cursor: SharedCursor,
     gate: CloseGate,
     /// Per-timestamp join state in scheduled-chunk mode.
@@ -372,9 +493,9 @@ impl DetectTask {
     #[must_use]
     #[allow(clippy::too_many_arguments)]
     pub fn new(
-        in_frames: InputConn<Frame>,
+        in_frames: InputConn<PooledFrame>,
         in_hist: InputConn<ColorHist>,
-        in_mask: InputConn<BitMask>,
+        in_mask: InputConn<PooledMask>,
         out_chan: Channel<Vec<ScoreMap>>,
         models: Vec<ColorHist>,
         width: usize,
@@ -408,7 +529,7 @@ impl DetectTask {
 
     /// Attach a worker pool (online intra-task data parallelism).
     #[must_use]
-    pub fn with_pool(mut self, pool: Arc<WorkerPool<ChunkJob>>) -> Self {
+    pub fn with_pool(mut self, pool: Arc<WorkerPool<PoolJob>>) -> Self {
         self.pool = Some(pool);
         self
     }
@@ -470,7 +591,7 @@ impl TaskBody for DetectTask {
                     (Some(pool), n) if n > 1 => {
                         let (tx, rx) = bounded(n);
                         for &c in &chunks {
-                            pool.submit(ChunkJob {
+                            let job = PoolJob::Detect(ChunkJob {
                                 frame: Arc::clone(&frame),
                                 hist: Arc::clone(&hist),
                                 mask: Arc::clone(&mask),
@@ -478,6 +599,9 @@ impl TaskBody for DetectTask {
                                 chunk: c,
                                 reply: tx.clone(),
                             });
+                            if let Err(PoolClosed(job)) = pool.submit(job) {
+                                job.run(); // pool shut down: compute inline
+                            }
                         }
                         drop(tx);
                         rx.iter().flatten().collect()

@@ -1,14 +1,29 @@
 //! The channel store: time-indexed items, per-connection cursors, and the
 //! virtual-time garbage collector.
+//!
+//! # The GC fast path
+//!
+//! Reclamation is *incremental*: every live item carries a `covered` count —
+//! the number of attached input connections that have promised never to
+//! request it again (frontier above it, or explicit consume). Covering
+//! events (consume, frontier advance, detach) bump the counts as they
+//! happen, so a GC round only inspects the oldest item's counter instead of
+//! re-scanning every connection's cursor state per reclaim ("maintain the
+//! min-uncovered frontier across consumers" rather than recompute it).
+//!
+//! The hottest read-only fields (`gc_floor`, live count, closed flag) are
+//! mirrored into atomics so monitoring reads never contend with blocked
+//! `get`/`put` waiters on the state lock.
 
 use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use parking_lot::{Condvar, Mutex};
 
 use crate::connection::{ConnId, InputConn, OutputConn};
-use crate::error::{GetMiss, MissReason, PutError};
-use crate::stats::ChannelStats;
+use crate::error::{ConsumeError, GetMiss, MissReason, PutError};
+use crate::stats::{ChannelSnapshot, ChannelStats};
 use crate::time::Timestamp;
 use crate::wildcard::TsSpec;
 
@@ -40,8 +55,17 @@ impl InConnState {
     }
 }
 
+/// One live item plus its incremental GC state.
+pub(crate) struct Item<T> {
+    pub(crate) value: Arc<T>,
+    /// Number of attached input connections currently covering this
+    /// timestamp. The item is reclaimable once this reaches the number of
+    /// attached input connections.
+    covered: usize,
+}
+
 pub(crate) struct State<T> {
-    pub(crate) items: BTreeMap<Timestamp, Arc<T>>,
+    pub(crate) items: BTreeMap<Timestamp, Item<T>>,
     /// Everything below this has been reclaimed (prefix GC); puts below it
     /// are rejected, so "one item per timestamp" stays enforceable forever.
     pub(crate) gc_floor: Timestamp,
@@ -65,6 +89,22 @@ pub(crate) struct Inner<T> {
     pub(crate) items_changed: Condvar,
     /// Signalled when GC frees space or the channel closes.
     pub(crate) space_freed: Condvar,
+    /// Lock-free mirrors of the hottest read-only fields, refreshed by
+    /// every mutating operation before it releases the state lock.
+    floor_cache: AtomicU64,
+    live_cache: AtomicUsize,
+    closed_cache: AtomicBool,
+}
+
+impl<T> Inner<T> {
+    /// Refresh the lock-free mirrors from `st`. Must be called while the
+    /// state lock is still held (the caller owns `st`), so snapshot readers
+    /// can never observe values newer than the lock ever published.
+    pub(crate) fn sync_caches(&self, st: &State<T>) {
+        self.floor_cache.store(st.gc_floor.0, Ordering::Release);
+        self.live_cache.store(st.items.len(), Ordering::Release);
+        self.closed_cache.store(st.closed, Ordering::Release);
+    }
 }
 
 /// A Space-Time Memory channel: a shared, time-indexed collection of items.
@@ -142,6 +182,9 @@ impl ChannelBuilder {
                 }),
                 items_changed: Condvar::new(),
                 space_freed: Condvar::new(),
+                floor_cache: AtomicU64::new(0),
+                live_cache: AtomicUsize::new(0),
+                closed_cache: AtomicBool::new(false),
             }),
         }
     }
@@ -167,13 +210,13 @@ impl<T> Channel<T> {
         &self.inner.name
     }
 
-    /// Number of currently live (not yet reclaimed) items.
+    /// Number of currently live (not yet reclaimed) items. Lock-free.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.inner.state.lock().items.len()
+        self.inner.live_cache.load(Ordering::Acquire)
     }
 
-    /// Whether no items are currently live.
+    /// Whether no items are currently live. Lock-free.
     #[must_use]
     pub fn is_empty(&self) -> bool {
         self.len() == 0
@@ -192,12 +235,27 @@ impl<T> Channel<T> {
     }
 
     /// Everything below this timestamp has been reclaimed by the GC.
+    /// Lock-free: reads a mirror of the floor, so it never contends with
+    /// (or perturbs) blocked `get`/`put` waiters on the state lock.
     #[must_use]
     pub fn gc_floor(&self) -> Timestamp {
-        self.inner.state.lock().gc_floor
+        Timestamp(self.inner.floor_cache.load(Ordering::Acquire))
     }
 
-    /// Snapshot of traffic/occupancy statistics.
+    /// Lock-free snapshot of the channel's hottest fields (GC floor, live
+    /// count, closed flag). Monitoring loops should prefer this over
+    /// [`stats`](Self::stats), which must take the state lock.
+    #[must_use]
+    pub fn snapshot(&self) -> ChannelSnapshot {
+        ChannelSnapshot {
+            gc_floor: self.inner.floor_cache.load(Ordering::Acquire),
+            live: self.inner.live_cache.load(Ordering::Acquire),
+            closed: self.inner.closed_cache.load(Ordering::Acquire),
+        }
+    }
+
+    /// Snapshot of traffic/occupancy statistics (takes the state lock; use
+    /// [`snapshot`](Self::snapshot) for contention-free monitoring).
     #[must_use]
     pub fn stats(&self) -> ChannelStats {
         self.inner.state.lock().stats
@@ -208,15 +266,16 @@ impl<T> Channel<T> {
     pub fn close(&self) {
         let mut st = self.inner.state.lock();
         st.closed = true;
+        self.inner.sync_caches(&st);
         drop(st);
         self.inner.items_changed.notify_all();
         self.inner.space_freed.notify_all();
     }
 
-    /// Whether the channel has been closed for input.
+    /// Whether the channel has been closed for input. Lock-free.
     #[must_use]
     pub fn is_closed(&self) -> bool {
-        self.inner.state.lock().closed
+        self.inner.closed_cache.load(Ordering::Acquire)
     }
 
     /// Attach a new input (consumer) connection. Its frontier starts at the
@@ -227,6 +286,9 @@ impl<T> Channel<T> {
         let id = ConnId(st.next_conn);
         st.next_conn += 1;
         let floor = st.gc_floor;
+        // The new connection covers nothing live (its frontier is the
+        // floor), so existing `covered` counts stay valid against the
+        // larger connection count.
         st.in_conns.insert(id, InConnState::new(floor));
         drop(st);
         InputConn::new(Arc::clone(&self.inner), id)
@@ -245,42 +307,54 @@ impl<T> Channel<T> {
 
 impl<T> std::fmt::Debug for Channel<T> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let st = self.inner.state.lock();
+        // Deliberately lock-free: debug-printing a channel mid-run must not
+        // contend with the data path.
+        let snap = self.snapshot();
         f.debug_struct("Channel")
             .field("name", &self.inner.name)
-            .field("live", &st.items.len())
-            .field("gc_floor", &st.gc_floor)
-            .field("closed", &st.closed)
+            .field("live", &snap.live)
+            .field("gc_floor", &Timestamp(snap.gc_floor))
+            .field("closed", &snap.closed)
             .finish()
     }
 }
 
 impl<T> State<T> {
-    /// Run the prefix garbage collector: repeatedly reclaim the oldest live
-    /// item once every attached input connection covers it. Returns the
-    /// number of reclaimed items. With no input connections attached, items
-    /// are retained (a consumer may be about to attach).
+    /// Run the prefix garbage collector: reclaim the oldest live items while
+    /// their `covered` count equals the number of attached input
+    /// connections. Returns the number of reclaimed items. With no input
+    /// connections attached, items are retained (a consumer may be about to
+    /// attach).
     pub(crate) fn gc(&mut self) -> u64 {
-        if self.in_conns.is_empty() {
+        self.stats.gc_rounds += 1;
+        let n_in = self.in_conns.len();
+        if n_in == 0 {
             return 0;
         }
         let mut n = 0;
-        while let Some((&ts, _)) = self.items.first_key_value() {
-            if self.in_conns.values().all(|c| c.covers(ts)) {
+        while let Some((&ts, item)) = self.items.first_key_value() {
+            if item.covered == n_in {
                 self.items.remove(&ts);
                 self.gc_floor = self.gc_floor.max(ts.next());
-                for c in self.in_conns.values_mut() {
-                    c.consumed.remove(&ts);
-                    // Keep the per-connection invariant frontier >= gc_floor
-                    // so `covers` stays consistent after reclamation.
-                    c.frontier = c.frontier.max(self.gc_floor);
-                }
                 n += 1;
             } else {
                 break;
             }
         }
         if n > 0 {
+            // Keep the per-connection invariant frontier >= gc_floor (so
+            // `covers` stays consistent after reclamation) and drop consumed
+            // entries for reclaimed timestamps — once per GC round, not once
+            // per reclaimed item per connection.
+            let floor = self.gc_floor;
+            for c in self.in_conns.values_mut() {
+                if c.frontier < floor {
+                    c.frontier = floor;
+                }
+                if c.consumed.first().is_some_and(|&t| t < floor) {
+                    c.consumed = c.consumed.split_off(&floor);
+                }
+            }
             let live = self.items.len();
             self.stats.on_reclaim(n, live);
         }
@@ -295,14 +369,30 @@ impl<T> State<T> {
         if ts < self.gc_floor {
             return Err(PutError::BelowFrontier(ts));
         }
-        if !self.in_conns.is_empty() && self.in_conns.values().all(|c| ts < c.frontier) {
-            // No attached consumer could ever observe this item.
-            return Err(PutError::BelowFrontier(ts));
-        }
         if self.items.contains_key(&ts) {
             return Err(PutError::DuplicateTimestamp(ts));
         }
-        self.items.insert(ts, value);
+        // Seed the cover count: a connection may already cover a fresh item
+        // (frontier advanced past it, or consume-before-put).
+        let mut covered = 0;
+        if !self.in_conns.is_empty() {
+            let mut all_above = true;
+            for c in self.in_conns.values() {
+                if ts < c.frontier {
+                    covered += 1;
+                } else {
+                    all_above = false;
+                    if c.consumed.contains(&ts) {
+                        covered += 1;
+                    }
+                }
+            }
+            if all_above {
+                // No attached consumer could ever observe this item.
+                return Err(PutError::BelowFrontier(ts));
+            }
+        }
+        self.items.insert(ts, Item { value, covered });
         let live = self.items.len();
         self.stats.on_put(live);
         Ok(())
@@ -313,6 +403,64 @@ impl<T> State<T> {
         match self.capacity {
             Some(cap) => self.items.len() >= cap,
             None => false,
+        }
+    }
+
+    /// Mark `ts` consumed by `conn`, updating the item's cover count.
+    /// Does not run the GC; the caller decides when.
+    pub(crate) fn do_consume(&mut self, conn: ConnId, ts: Timestamp) -> Result<(), ConsumeError> {
+        let cs = self.in_conns.get_mut(&conn).expect("attached");
+        if ts < cs.frontier {
+            return Err(ConsumeError::BelowFrontier(ts));
+        }
+        if !cs.consumed.insert(ts) {
+            return Err(ConsumeError::AlreadyConsumed(ts));
+        }
+        if let Some(item) = self.items.get_mut(&ts) {
+            item.covered += 1;
+        }
+        Ok(())
+    }
+
+    /// Consume every live, not-yet-consumed timestamp in `[from, to)` on
+    /// `conn`, in one pass. Returns the number newly consumed. Timestamps
+    /// below the connection's frontier are already covered and are skipped
+    /// (not an error, unlike [`do_consume`](Self::do_consume)).
+    pub(crate) fn do_consume_range(&mut self, conn: ConnId, from: Timestamp, to: Timestamp) -> u64 {
+        let cs = self.in_conns.get_mut(&conn).expect("attached");
+        let lo = from.max(cs.frontier);
+        if lo >= to {
+            return 0;
+        }
+        let mut n = 0;
+        for (&ts, item) in self.items.range_mut(lo..to) {
+            if cs.consumed.insert(ts) {
+                item.covered += 1;
+                n += 1;
+            }
+        }
+        n
+    }
+
+    /// Advance `conn`'s frontier (monotonic: lower values are ignored),
+    /// updating cover counts for every newly covered live item. Does not
+    /// run the GC; the caller decides when.
+    pub(crate) fn do_advance_frontier(&mut self, conn: ConnId, frontier: Timestamp) {
+        let cs = self.in_conns.get_mut(&conn).expect("attached");
+        if frontier <= cs.frontier {
+            return;
+        }
+        let old = cs.frontier;
+        cs.frontier = frontier;
+        for (&ts, item) in self.items.range_mut(old..frontier) {
+            // Explicitly consumed items were counted at consume time.
+            if !cs.consumed.contains(&ts) {
+                item.covered += 1;
+            }
+        }
+        // Explicit consumes below the new frontier are now redundant.
+        if cs.consumed.first().is_some_and(|&t| t < frontier) {
+            cs.consumed = cs.consumed.split_off(&frontier);
         }
     }
 
@@ -338,7 +486,7 @@ impl<T> State<T> {
                     self.stats.on_miss();
                     return Err(self.miss(conn, MissReason::AlreadyConsumed, Some(ts)));
                 }
-                self.items.get(&ts).map(|_| ts)
+                self.items.contains_key(&ts).then_some(ts)
             }
             TsSpec::Newest => self
                 .items
@@ -381,7 +529,7 @@ impl<T> State<T> {
 
         match found {
             Some(ts) => {
-                let value = Arc::clone(self.items.get(&ts).expect("found ts present"));
+                let value = Arc::clone(&self.items.get(&ts).expect("found ts present").value);
                 let cs = self.in_conns.get_mut(&conn).expect("connection detached");
                 cs.last_gotten = Some(cs.last_gotten.map_or(ts, |p| p.max(ts)));
                 self.global_last_gotten = Some(self.global_last_gotten.map_or(ts, |p| p.max(ts)));
@@ -431,7 +579,16 @@ impl<T> State<T> {
     }
 
     pub(crate) fn detach_input(&mut self, conn: ConnId) {
-        self.in_conns.remove(&conn);
+        if let Some(cs) = self.in_conns.remove(&conn) {
+            // Un-count this connection's coverage so remaining counts stay
+            // relative to the smaller connection set. (Items it covered are
+            // covered by one fewer connection, but also need one fewer.)
+            for (&ts, item) in self.items.iter_mut() {
+                if cs.covers(ts) {
+                    item.covered -= 1;
+                }
+            }
+        }
         self.gc();
     }
 
@@ -444,6 +601,19 @@ impl<T> State<T> {
             true
         } else {
             false
+        }
+    }
+
+    /// Debug-only consistency check: every cover count equals the number of
+    /// connections whose cursor state covers the item.
+    #[cfg(test)]
+    pub(crate) fn assert_cover_counts(&self) {
+        for (&ts, item) in &self.items {
+            let want = self.in_conns.values().filter(|c| c.covers(ts)).count();
+            assert_eq!(
+                item.covered, want,
+                "cover count for {ts} diverged from cursor state"
+            );
         }
     }
 }
@@ -567,6 +737,31 @@ mod tests {
     }
 
     #[test]
+    fn put_covered_by_some_consumers_seeds_cover_count() {
+        let ch: Channel<u32> = Channel::new("c");
+        let out = ch.attach_output();
+        let a = ch.attach_input();
+        let b = ch.attach_input();
+        a.advance_frontier(Timestamp(10));
+        // `a` already covers ts 5; only `b`'s consume is owed.
+        out.put(Timestamp(5), 0).unwrap();
+        ch.inner.state.lock().assert_cover_counts();
+        b.consume(Timestamp(5)).unwrap();
+        assert_eq!(ch.len(), 0, "both covering → reclaimed");
+    }
+
+    #[test]
+    fn consume_before_put_reclaims_on_put() {
+        let ch: Channel<u32> = Channel::new("c");
+        let out = ch.attach_output();
+        let inp = ch.attach_input();
+        inp.consume(Timestamp(3)).unwrap();
+        out.put(Timestamp(3), 9).unwrap();
+        assert_eq!(ch.len(), 0, "consume-before-put covers the fresh item");
+        assert_eq!(ch.stats().reclaimed, 1);
+    }
+
+    #[test]
     fn reput_of_reclaimed_timestamp_rejected() {
         let ch: Channel<u32> = Channel::new("c");
         let out = ch.attach_output();
@@ -624,6 +819,62 @@ mod tests {
         assert!(b.try_get(TsSpec::Exact(Timestamp(1))).is_ok());
         let miss = b.try_get(TsSpec::Exact(Timestamp(0))).unwrap_err();
         assert_eq!(miss.reason, MissReason::BelowFrontier);
+    }
+
+    #[test]
+    fn snapshot_tracks_state_without_locking() {
+        let ch: Channel<u32> = Channel::new("c");
+        let out = ch.attach_output();
+        let inp = ch.attach_input();
+        assert_eq!(
+            ch.snapshot(),
+            ChannelSnapshot {
+                gc_floor: 0,
+                live: 0,
+                closed: false
+            }
+        );
+        out.put(Timestamp(0), 1).unwrap();
+        out.put(Timestamp(1), 2).unwrap();
+        assert_eq!(ch.snapshot().live, 2);
+        inp.consume_through(Timestamp(0));
+        let snap = ch.snapshot();
+        assert_eq!(snap.gc_floor, 1);
+        assert_eq!(snap.live, 1);
+        ch.close();
+        assert!(ch.snapshot().closed);
+    }
+
+    #[test]
+    fn cover_counts_stay_consistent_across_mixed_ops() {
+        let ch: Channel<u32> = Channel::new("c");
+        let out = ch.attach_output();
+        let a = ch.attach_input();
+        let b = ch.attach_input();
+        for t in 0..8 {
+            out.put(Timestamp(t), t as u32).unwrap();
+        }
+        a.consume(Timestamp(2)).unwrap();
+        a.advance_frontier(Timestamp(2));
+        b.consume(Timestamp(0)).unwrap();
+        ch.inner.state.lock().assert_cover_counts();
+        b.advance_frontier(Timestamp(5));
+        ch.inner.state.lock().assert_cover_counts();
+        a.advance_frontier(Timestamp(7));
+        ch.inner.state.lock().assert_cover_counts();
+        drop(b);
+        ch.inner.state.lock().assert_cover_counts();
+        assert_eq!(ch.gc_floor(), Timestamp(7));
+    }
+
+    #[test]
+    fn gc_round_counter_increments() {
+        let ch: Channel<u32> = Channel::new("c");
+        let out = ch.attach_output();
+        let inp = ch.attach_input();
+        out.put(Timestamp(0), 0).unwrap();
+        inp.consume(Timestamp(0)).unwrap();
+        assert!(ch.stats().gc_rounds >= 2, "{:?}", ch.stats());
     }
 
     #[test]

@@ -4,9 +4,14 @@
 //! the Stampede API of paper Fig. 8), which carry per-consumer read state and
 //! per-producer lifetime so the GC and auto-close logic can reason about who
 //! is still attached.
+//!
+//! Every operation here follows the same shape: acquire the state lock once,
+//! do the minimal mutation, refresh the lock-free caches, release, notify.
+//! The batch APIs ([`OutputConn::put_many`], [`InputConn::consume_range`])
+//! exist to amortize that lock round-trip over many items.
 
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use crate::channel::Inner;
 use crate::error::{ConsumeError, GetError, GetMiss, MissReason, PutError};
@@ -58,6 +63,7 @@ impl<T> OutputConn<T> {
     pub fn put(&self, ts: Timestamp, value: T) -> Result<(), PutError> {
         let value = Arc::new(value);
         let mut st = self.inner.state.lock();
+        st.stats.lock_acquisitions += 1;
         loop {
             if st.closed {
                 return Err(PutError::Closed);
@@ -70,6 +76,7 @@ impl<T> OutputConn<T> {
         st.do_put(ts, value)?;
         // The new item may already be fully covered (consume-before-put).
         let reclaimed = st.gc();
+        self.inner.sync_caches(&st);
         drop(st);
         self.inner.items_changed.notify_all();
         if reclaimed > 0 {
@@ -82,6 +89,7 @@ impl<T> OutputConn<T> {
     /// of waiting when the channel is at capacity.
     pub fn try_put(&self, ts: Timestamp, value: T) -> Result<(), PutError> {
         let mut st = self.inner.state.lock();
+        st.stats.lock_acquisitions += 1;
         if st.closed {
             return Err(PutError::Closed);
         }
@@ -90,12 +98,63 @@ impl<T> OutputConn<T> {
         }
         st.do_put(ts, Arc::new(value))?;
         let reclaimed = st.gc();
+        self.inner.sync_caches(&st);
         drop(st);
         self.inner.items_changed.notify_all();
         if reclaimed > 0 {
             self.inner.space_freed.notify_all();
         }
         Ok(())
+    }
+
+    /// Insert a batch of items under a single lock acquisition, blocking for
+    /// capacity as needed between items. Consumers are notified once, after
+    /// the whole batch.
+    ///
+    /// Returns the number of items inserted. On error, items inserted before
+    /// the failing one are retained (the error names the failing put), so a
+    /// producer can resume after the last accepted timestamp.
+    pub fn put_many(
+        &self,
+        items: impl IntoIterator<Item = (Timestamp, T)>,
+    ) -> Result<usize, PutError> {
+        let mut st = self.inner.state.lock();
+        st.stats.lock_acquisitions += 1;
+        let mut inserted = 0usize;
+        let mut reclaimed_total = 0u64;
+        let res = (|| {
+            for (ts, value) in items {
+                loop {
+                    if st.closed {
+                        return Err(PutError::Closed);
+                    }
+                    if !st.at_capacity() {
+                        break;
+                    }
+                    // Our own earlier puts may already be fully covered
+                    // (consume-before-put); reclaim before parking so a
+                    // covered batch cannot deadlock against itself.
+                    let freed = st.gc();
+                    reclaimed_total += freed;
+                    if freed == 0 {
+                        self.inner.space_freed.wait(&mut st);
+                    }
+                }
+                st.do_put(ts, Arc::new(value))?;
+                inserted += 1;
+            }
+            Ok(())
+        })();
+        reclaimed_total += st.gc();
+        self.inner.sync_caches(&st);
+        drop(st);
+        if inserted > 0 {
+            self.inner.items_changed.notify_all();
+        }
+        if reclaimed_total > 0 {
+            self.inner.space_freed.notify_all();
+        }
+        res.map(|()| inserted)
     }
 
     /// Detach explicitly (equivalent to dropping the handle).
@@ -110,6 +169,7 @@ impl<T> OutputConn<T> {
         self.detached = true;
         let mut st = self.inner.state.lock();
         let closed = st.detach_output();
+        self.inner.sync_caches(&st);
         drop(st);
         if closed {
             self.inner.items_changed.notify_all();
@@ -146,6 +206,7 @@ impl<T> InputConn<T> {
     /// available around the request point (paper Fig. 8's `ts_range`).
     pub fn try_get(&self, spec: TsSpec) -> Result<GetOk<T>, GetMiss> {
         let mut st = self.inner.state.lock();
+        st.stats.lock_acquisitions += 1;
         st.do_get(self.id, spec)
             .map(|(ts, value)| GetOk { ts, value })
     }
@@ -159,15 +220,13 @@ impl<T> InputConn<T> {
 
     /// [`get`](Self::get) with a timeout.
     pub fn get_timeout(&self, spec: TsSpec, timeout: Duration) -> Result<GetOk<T>, GetError> {
-        self.get_deadline(spec, Some(std::time::Instant::now() + timeout))
+        self.get_deadline(spec, Some(Instant::now() + timeout))
     }
 
-    fn get_deadline(
-        &self,
-        spec: TsSpec,
-        deadline: Option<std::time::Instant>,
-    ) -> Result<GetOk<T>, GetError> {
+    fn get_deadline(&self, spec: TsSpec, deadline: Option<Instant>) -> Result<GetOk<T>, GetError> {
         let mut st = self.inner.state.lock();
+        st.stats.lock_acquisitions += 1;
+        let mut waited = false;
         loop {
             match st.do_get(self.id, spec) {
                 Ok((ts, value)) => return Ok(GetOk { ts, value }),
@@ -180,15 +239,21 @@ impl<T> InputConn<T> {
                         if st.closed {
                             return Err(GetError::Closed);
                         }
-                        match deadline {
+                        let parked = Instant::now();
+                        let timed_out = match deadline {
                             None => {
                                 self.inner.items_changed.wait(&mut st);
+                                false
                             }
                             Some(dl) => {
-                                if self.inner.items_changed.wait_until(&mut st, dl).timed_out() {
-                                    return Err(GetError::Timeout);
-                                }
+                                self.inner.items_changed.wait_until(&mut st, dl).timed_out()
                             }
+                        };
+                        let ns = parked.elapsed().as_nanos() as u64;
+                        st.stats.on_blocked_wait(ns, !waited);
+                        waited = true;
+                        if timed_out {
+                            return Err(GetError::Timeout);
                         }
                     }
                 },
@@ -201,19 +266,32 @@ impl<T> InputConn<T> {
     /// the item (a task may decide to skip a frame it inspected elsewhere).
     pub fn consume(&self, ts: Timestamp) -> Result<(), ConsumeError> {
         let mut st = self.inner.state.lock();
-        let cs = st.in_conns.get_mut(&self.id).expect("attached");
-        if ts < cs.frontier {
-            return Err(ConsumeError::BelowFrontier(ts));
-        }
-        if !cs.consumed.insert(ts) {
-            return Err(ConsumeError::AlreadyConsumed(ts));
-        }
+        st.stats.lock_acquisitions += 1;
+        st.do_consume(self.id, ts)?;
         let n = st.gc();
+        self.inner.sync_caches(&st);
         drop(st);
         if n > 0 {
             self.inner.space_freed.notify_all();
         }
         Ok(())
+    }
+
+    /// Consume every live, not-yet-consumed timestamp in `[from, to)` under
+    /// a single lock acquisition and GC round. Timestamps already covered
+    /// (below the frontier or previously consumed) are skipped silently.
+    /// Returns the number newly consumed.
+    pub fn consume_range(&self, from: Timestamp, to: Timestamp) -> u64 {
+        let mut st = self.inner.state.lock();
+        st.stats.lock_acquisitions += 1;
+        let consumed = st.do_consume_range(self.id, from, to);
+        let n = st.gc();
+        self.inner.sync_caches(&st);
+        drop(st);
+        if n > 0 {
+            self.inner.space_freed.notify_all();
+        }
+        consumed
     }
 
     /// Promise never to request any timestamp `< frontier` over this
@@ -223,13 +301,10 @@ impl<T> InputConn<T> {
     /// ignored.
     pub fn advance_frontier(&self, frontier: Timestamp) {
         let mut st = self.inner.state.lock();
-        let cs = st.in_conns.get_mut(&self.id).expect("attached");
-        if frontier > cs.frontier {
-            cs.frontier = frontier;
-            // Explicit consumes below the new frontier are now redundant.
-            cs.consumed = cs.consumed.split_off(&frontier);
-        }
+        st.stats.lock_acquisitions += 1;
+        st.do_advance_frontier(self.id, frontier);
         let n = st.gc();
+        self.inner.sync_caches(&st);
         drop(st);
         if n > 0 {
             self.inner.space_freed.notify_all();
@@ -268,6 +343,7 @@ impl<T> InputConn<T> {
         self.detached = true;
         let mut st = self.inner.state.lock();
         st.detach_input(self.id);
+        self.inner.sync_caches(&st);
         drop(st);
         self.inner.space_freed.notify_all();
     }
@@ -494,6 +570,108 @@ mod tests {
     }
 
     #[test]
+    fn put_many_inserts_batch_under_one_lock() {
+        let ch = chan();
+        let out = ch.attach_output();
+        let inp = ch.attach_input();
+        let before = ch.stats().lock_acquisitions;
+        let n = out
+            .put_many((0..64u64).map(|t| (Timestamp(t), t as u32)))
+            .unwrap();
+        assert_eq!(n, 64);
+        assert_eq!(ch.len(), 64);
+        assert_eq!(
+            ch.stats().lock_acquisitions,
+            before + 1,
+            "one acquisition for the whole batch"
+        );
+        assert_eq!(inp.try_get(TsSpec::Oldest).unwrap().ts, Timestamp(0));
+        assert_eq!(inp.try_get(TsSpec::Newest).unwrap().ts, Timestamp(63));
+    }
+
+    #[test]
+    fn put_many_keeps_prefix_on_error() {
+        let ch = chan();
+        let out = ch.attach_output();
+        let _inp = ch.attach_input();
+        out.put(Timestamp(1), 0).unwrap();
+        let err = out
+            .put_many([(Timestamp(0), 0u32), (Timestamp(1), 1), (Timestamp(2), 2)])
+            .unwrap_err();
+        assert_eq!(err, PutError::DuplicateTimestamp(Timestamp(1)));
+        // ts 0 made it in before the duplicate failed; ts 2 did not.
+        assert_eq!(ch.oldest_ts(), Some(Timestamp(0)));
+        assert_eq!(ch.newest_ts(), Some(Timestamp(1)));
+    }
+
+    #[test]
+    fn put_many_blocks_for_capacity_then_completes() {
+        let ch: Channel<u32> = Channel::with_capacity("cap", 2);
+        let out = ch.attach_output();
+        let inp = ch.attach_input();
+        let h = thread::spawn(move || {
+            out.put_many((0..6u64).map(|t| (Timestamp(t), t as u32)))
+                .unwrap()
+        });
+        // Drain as the producer fills; the batch must make progress.
+        let mut next = 0u64;
+        while next < 6 {
+            if let Ok(got) = inp.get_timeout(TsSpec::NextUnseen, Duration::from_secs(5)) {
+                assert_eq!(got.ts, Timestamp(next));
+                inp.consume_through(got.ts);
+                next += 1;
+            }
+        }
+        assert_eq!(h.join().unwrap(), 6);
+    }
+
+    #[test]
+    fn put_many_self_covered_batch_does_not_deadlock() {
+        // A consumer that pre-consumed the whole range: every put is
+        // immediately reclaimable, so a capacity-1 channel must accept an
+        // arbitrarily long batch without parking forever.
+        let ch: Channel<u32> = Channel::with_capacity("cap", 1);
+        let out = ch.attach_output();
+        let inp = ch.attach_input();
+        for t in 0..8u64 {
+            inp.consume(Timestamp(t)).unwrap();
+        }
+        let n = out
+            .put_many((0..8u64).map(|t| (Timestamp(t), 0u32)))
+            .unwrap();
+        assert_eq!(n, 8);
+        assert_eq!(ch.len(), 0);
+    }
+
+    #[test]
+    fn consume_range_skips_covered_and_reclaims() {
+        let ch = chan();
+        let out = ch.attach_output();
+        let a = ch.attach_input();
+        for t in 0..6u64 {
+            out.put(Timestamp(t), 0).unwrap();
+        }
+        a.consume(Timestamp(2)).unwrap();
+        let before = ch.stats().lock_acquisitions;
+        let n = a.consume_range(Timestamp(0), Timestamp(5));
+        assert_eq!(n, 4, "ts 2 already consumed, ts 5 outside range");
+        assert_eq!(ch.stats().lock_acquisitions, before + 1);
+        assert_eq!(ch.len(), 1, "prefix 0..=4 reclaimed");
+        assert_eq!(ch.oldest_ts(), Some(Timestamp(5)));
+    }
+
+    #[test]
+    fn consume_range_below_frontier_is_a_noop() {
+        let ch = chan();
+        let out = ch.attach_output();
+        let a = ch.attach_input();
+        out.put(Timestamp(10), 0).unwrap();
+        a.advance_frontier(Timestamp(10));
+        assert_eq!(a.consume_range(Timestamp(0), Timestamp(10)), 0);
+        assert_eq!(ch.len(), 1);
+    }
+
+    #[test]
     fn blocking_get_wakes_on_put() {
         let ch = chan();
         let out = ch.attach_output();
@@ -503,6 +681,12 @@ mod tests {
         out.put(Timestamp(0), 99).unwrap();
         let got = h.join().unwrap();
         assert_eq!(*got.value, 99);
+        let stats = ch.stats();
+        assert_eq!(stats.blocked_gets, 1);
+        assert!(
+            stats.blocked_wait_ns > 0,
+            "parked time must be recorded: {stats:?}"
+        );
     }
 
     #[test]
@@ -525,6 +709,7 @@ mod tests {
             .get_timeout(TsSpec::Newest, Duration::from_millis(30))
             .unwrap_err();
         assert_eq!(err, GetError::Timeout);
+        assert_eq!(ch.stats().blocked_gets, 1);
     }
 
     #[test]

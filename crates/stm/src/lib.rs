@@ -57,6 +57,6 @@ pub use channel::{Channel, ChannelBuilder};
 pub use connection::{GetOk, InputConn, OutputConn};
 pub use error::{ConsumeError, GetError, GetMiss, MissReason, PutError, StmResult};
 pub use registry::{Registry, TypeMismatch};
-pub use stats::ChannelStats;
+pub use stats::{ChannelSnapshot, ChannelStats};
 pub use time::{Timestamp, TsDelta};
 pub use wildcard::TsSpec;

@@ -1,8 +1,10 @@
-//! Channel occupancy and traffic statistics.
+//! Channel occupancy, traffic, and contention statistics.
 
 /// Counters describing a channel's history, used by the experiment harnesses
 /// to verify the paper's claim that a fixed schedule bounds channel occupancy
-/// ("a fixed schedule determines the number of items in each channel").
+/// ("a fixed schedule determines the number of items in each channel"), and
+/// by the data-path benchmarks to observe lock contention on the online
+/// executor's hot path.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
 pub struct ChannelStats {
     /// Successful puts.
@@ -19,6 +21,15 @@ pub struct ChannelStats {
     pub live: usize,
     /// Maximum number of simultaneously live items ever observed.
     pub peak_live: usize,
+    /// Blocking `get`s that had to wait at least once for an item.
+    pub blocked_gets: u64,
+    /// Total nanoseconds blocking `get`s spent parked on the condvar.
+    pub blocked_wait_ns: u64,
+    /// State-lock acquisitions by data-path operations (put/get/consume/
+    /// frontier). Batch APIs acquire once per batch, which is the point.
+    pub lock_acquisitions: u64,
+    /// GC rounds run (each put/consume/frontier-advance triggers one).
+    pub gc_rounds: u64,
 }
 
 impl ChannelStats {
@@ -44,6 +55,27 @@ impl ChannelStats {
         self.reclaimed += n;
         self.live = live_now;
     }
+
+    /// Record one condvar wait inside a blocking `get`.
+    pub(crate) fn on_blocked_wait(&mut self, ns: u64, first_wait: bool) {
+        if first_wait {
+            self.blocked_gets += 1;
+        }
+        self.blocked_wait_ns += ns;
+    }
+}
+
+/// A cheap point-in-time view of a channel's hottest fields, readable
+/// without taking the state lock (and therefore without contending with
+/// blocked `get`/`put` waiters). See `Channel::snapshot`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct ChannelSnapshot {
+    /// Everything below this timestamp has been reclaimed (raw `u64`).
+    pub gc_floor: u64,
+    /// Number of currently live items.
+    pub live: usize,
+    /// Whether the channel has been closed for input.
+    pub closed: bool,
 }
 
 #[cfg(test)]
@@ -71,5 +103,15 @@ mod tests {
         s.on_miss();
         assert_eq!(s.gets, 2);
         assert_eq!(s.misses, 1);
+    }
+
+    #[test]
+    fn blocked_waits_accumulate() {
+        let mut s = ChannelStats::default();
+        s.on_blocked_wait(100, true);
+        s.on_blocked_wait(50, false);
+        s.on_blocked_wait(10, true);
+        assert_eq!(s.blocked_gets, 2);
+        assert_eq!(s.blocked_wait_ns, 160);
     }
 }

@@ -1,5 +1,11 @@
 //! T3 — Change Detection: frame differencing against the previous frame,
 //! producing the "Motion Mask" channel. Cost depends only on frame size.
+//!
+//! The fast path streams both frames' flat byte buffers linearly and builds
+//! each 64-pixel mask word in a register before a single store — no per-pixel
+//! 2-D index math or read-modify-write of mask words. Mask bits are row-major
+//! and continuous (`bit = y * width + x`), which is what makes the whole
+//! frame one linear stream.
 
 use crate::frame::{BitMask, Frame};
 
@@ -13,6 +19,56 @@ pub const DEFAULT_THRESHOLD: u8 = 24;
 /// must search the whole frame.
 #[must_use]
 pub fn change_detection(frame: &Frame, prev: Option<&Frame>, threshold: u16) -> BitMask {
+    let mut mask = BitMask::new(frame.width, frame.height);
+    change_detection_into(frame, prev, threshold, &mut mask);
+    mask
+}
+
+/// [`change_detection`] into a caller-provided mask buffer (every bit is
+/// overwritten), so a frame pool can recycle masks without per-frame
+/// allocation.
+pub fn change_detection_into(
+    frame: &Frame,
+    prev: Option<&Frame>,
+    threshold: u16,
+    out: &mut BitMask,
+) {
+    assert_eq!(
+        (frame.width, frame.height),
+        (out.width, out.height),
+        "mask size must match frame"
+    );
+    let Some(prev) = prev else {
+        out.fill_all();
+        return;
+    };
+    assert_eq!(
+        (frame.width, frame.height),
+        (prev.width, prev.height),
+        "frame sizes must match"
+    );
+    let words = out.words_mut();
+    let mut cur = frame.bytes().chunks_exact(3);
+    let mut old = prev.bytes().chunks_exact(3);
+    for word in words.iter_mut() {
+        let mut acc = 0u64;
+        for k in 0..64 {
+            let (Some(a), Some(b)) = (cur.next(), old.next()) else {
+                break; // padding bits of the final word stay clear
+            };
+            let d = u16::from(a[0].abs_diff(b[0]))
+                + u16::from(a[1].abs_diff(b[1]))
+                + u16::from(a[2].abs_diff(b[2]));
+            acc |= u64::from(d > threshold) << k;
+        }
+        *word = acc;
+    }
+}
+
+/// Reference pixel-at-a-time implementation of [`change_detection`]; the
+/// before/after oracle for the data-path benchmarks and equality tests.
+#[must_use]
+pub fn change_detection_scalar(frame: &Frame, prev: Option<&Frame>, threshold: u16) -> BitMask {
     let Some(prev) = prev else {
         return BitMask::all_set(frame.width, frame.height);
     };
@@ -65,6 +121,46 @@ mod tests {
         assert!(m.get(3, 4));
         assert!(!m.get(7, 8));
         assert_eq!(m.count_set(), 1);
+    }
+
+    #[test]
+    fn linear_path_matches_scalar_exactly() {
+        // Odd dimensions so the final word is partial; pseudo-random pixels
+        // exercise both sides of the threshold everywhere.
+        let (w, h) = (37, 29);
+        let mut a = Frame::new(w, h);
+        let mut b = Frame::new(w, h);
+        let mut s = 0x9e37u32;
+        for y in 0..h {
+            for x in 0..w {
+                s = s.wrapping_mul(1_103_515_245).wrapping_add(12_345);
+                a.set_pixel(x, y, [(s >> 8) as u8, (s >> 16) as u8, (s >> 24) as u8]);
+                s = s.wrapping_mul(1_103_515_245).wrapping_add(12_345);
+                b.set_pixel(x, y, [(s >> 8) as u8, (s >> 16) as u8, (s >> 24) as u8]);
+            }
+        }
+        for thr in [0u16, 10, 24, 80, 400] {
+            let fast = change_detection(&a, Some(&b), thr);
+            let slow = change_detection_scalar(&a, Some(&b), thr);
+            assert_eq!(fast, slow, "threshold {thr}");
+        }
+        // The no-previous-frame path must match too (padding bits included).
+        assert_eq!(
+            change_detection(&a, None, 24),
+            change_detection_scalar(&a, None, 24)
+        );
+    }
+
+    #[test]
+    fn into_reuses_dirty_buffer_bit_identically() {
+        let prev = Frame::new(10, 10);
+        let mut cur = Frame::new(10, 10);
+        cur.set_pixel(3, 4, [200, 0, 0]);
+        let fresh = change_detection(&cur, Some(&prev), 24);
+        // A recycled mask full of garbage must come out identical.
+        let mut dirty = BitMask::all_set(10, 10);
+        change_detection_into(&cur, Some(&prev), 24, &mut dirty);
+        assert_eq!(dirty, fresh);
     }
 
     #[test]

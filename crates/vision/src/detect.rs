@@ -223,9 +223,16 @@ pub fn target_detection_chunk(
         let w = region.width();
         let mut raw = vec![0.0f32; region.area()];
         for (ry, y) in (region.y0..region.y1).enumerate() {
-            for x in 0..w {
-                if mask.get(x, y) {
-                    raw[ry * w + x] = lut[lut_index(frame.pixel(x, y))];
+            // Row-slice fast path: one bounds check per row for the pixel
+            // bytes and the output row, a running linear bit cursor for the
+            // mask (chunks are full-width strips, so the row starts at
+            // bit y * width).
+            let row = frame.row(y);
+            let raw_row = &mut raw[ry * w..(ry + 1) * w];
+            let row_bit = y * frame.width;
+            for (x, px) in row.chunks_exact(3).enumerate() {
+                if mask.get_linear(row_bit + x) {
+                    raw_row[x] = lut[lut_index([px[0], px[1], px[2]])];
                 }
             }
         }
@@ -242,6 +249,66 @@ pub fn target_detection_chunk(
             for x in 0..w {
                 data[ry * w + x] = acc;
                 // Slide: add x + HALF + 1, drop x - HALF.
+                let add = x + HALF_WINDOW + 1;
+                if add < w {
+                    acc += row[add];
+                }
+                if x >= HALF_WINDOW {
+                    acc -= row[x - HALF_WINDOW];
+                }
+            }
+        }
+        out.push(PartialScores {
+            model: m,
+            region,
+            data,
+        });
+    }
+    out
+}
+
+/// Reference pixel-at-a-time implementation of [`target_detection_chunk`];
+/// the before/after oracle for the data-path benchmarks and equality tests.
+#[must_use]
+pub fn target_detection_chunk_scalar(
+    frame: &Frame,
+    image_hist: &ColorHist,
+    models: &[ColorHist],
+    mask: &BitMask,
+    chunk: DetectChunk,
+) -> Vec<PartialScores> {
+    let region = chunk.region;
+    assert_eq!(
+        region.width(),
+        frame.width,
+        "chunks must be full-width strips"
+    );
+    let mut out = Vec::with_capacity(chunk.model_hi - chunk.model_lo);
+    for (m, model) in models
+        .iter()
+        .enumerate()
+        .take(chunk.model_hi)
+        .skip(chunk.model_lo)
+    {
+        let lut = ratio_lut(model, image_hist);
+        let w = region.width();
+        let mut raw = vec![0.0f32; region.area()];
+        for (ry, y) in (region.y0..region.y1).enumerate() {
+            for x in 0..w {
+                if mask.get(x, y) {
+                    raw[ry * w + x] = lut[lut_index(frame.pixel(x, y))];
+                }
+            }
+        }
+        let mut data = vec![0.0f32; region.area()];
+        for ry in 0..region.height() {
+            let row = &raw[ry * w..(ry + 1) * w];
+            let mut acc = 0.0f32;
+            for &v in &row[..=HALF_WINDOW.min(w - 1)] {
+                acc += v;
+            }
+            for x in 0..w {
+                data[ry * w + x] = acc;
                 let add = x + HALF_WINDOW + 1;
                 if add < w {
                     acc += row[add];
@@ -416,6 +483,25 @@ mod tests {
                 .collect();
             let merged = merge_partials(f.width, f.height, models.len(), &partials);
             assert_eq!(merged, serial, "FP={fp} MP={mp} diverged");
+        }
+    }
+
+    #[test]
+    fn sliced_chunk_matches_scalar_exactly() {
+        let (f, models) = red_square_frame();
+        let hist = image_histogram(&f);
+        // A structured motion mask (not all-set) so the mask cursor path is
+        // exercised on both bit values.
+        let mut mask = BitMask::new(f.width, f.height);
+        for y in 0..f.height {
+            for x in 0..f.width {
+                mask.set(x, y, (x / 3 + y / 2) % 2 == 0);
+            }
+        }
+        for chunk in detect_chunks(f.width, f.height, models.len(), 3, 1) {
+            let fast = target_detection_chunk(&f, &hist, &models, &mask, chunk);
+            let slow = target_detection_chunk_scalar(&f, &hist, &models, &mask, chunk);
+            assert_eq!(fast, slow);
         }
     }
 

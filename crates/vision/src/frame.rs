@@ -122,6 +122,24 @@ impl Frame {
         &self.data
     }
 
+    /// One row of interleaved RGB bytes (`3 * width` long). The row-slice
+    /// entry point of the kernel fast paths: iterating
+    /// `row(y).chunks_exact(3)` hoists the per-pixel bounds checks of
+    /// [`pixel`](Self::pixel) out of the inner loop.
+    #[inline]
+    #[must_use]
+    pub fn row(&self, y: usize) -> &[u8] {
+        let w = self.width * 3;
+        &self.data[y * w..(y + 1) * w]
+    }
+
+    /// The interleaved bytes of the pixel range `[x0, x1)` of row `y`.
+    #[inline]
+    #[must_use]
+    pub fn row_range(&self, y: usize, x0: usize, x1: usize) -> &[u8] {
+        &self.row(y)[x0 * 3..x1 * 3]
+    }
+
     /// Size in bytes (the channel item size of the "Frame" channel).
     #[must_use]
     pub fn byte_len(&self) -> usize {
@@ -160,10 +178,28 @@ impl BitMask {
     #[must_use]
     pub fn all_set(width: usize, height: usize) -> BitMask {
         let mut m = BitMask::new(width, height);
-        for w in &mut m.bits {
-            *w = u64::MAX;
-        }
+        m.fill_all();
         m
+    }
+
+    /// Clear every bit in place (buffer-reuse equivalent of
+    /// [`new`](Self::new)).
+    pub fn clear(&mut self) {
+        self.bits.fill(0);
+    }
+
+    /// Set every bit in place (buffer-reuse equivalent of
+    /// [`all_set`](Self::all_set); padding bits are set too, exactly as
+    /// there).
+    pub fn fill_all(&mut self) {
+        self.bits.fill(u64::MAX);
+    }
+
+    /// The backing words, row-major and continuous (`bit = y * width + x`),
+    /// for kernels that stream a whole frame linearly.
+    #[inline]
+    pub(crate) fn words_mut(&mut self) -> &mut [u64] {
+        &mut self.bits
     }
 
     #[inline]
@@ -178,6 +214,13 @@ impl BitMask {
     pub fn get(&self, x: usize, y: usize) -> bool {
         let (w, m) = self.index(x, y);
         self.bits[w] & m != 0
+    }
+
+    /// Read one bit by linear index (`bit = y * width + x`); lets row loops
+    /// keep a running bit cursor instead of redoing the 2-D index math.
+    #[inline]
+    pub(crate) fn get_linear(&self, bit: usize) -> bool {
+        self.bits[bit / 64] & (1u64 << (bit % 64)) != 0
     }
 
     /// Set one bit.
@@ -288,6 +331,31 @@ mod tests {
     fn bitmask_all_set_counts_area_only() {
         let m = BitMask::all_set(33, 3);
         assert_eq!(m.count_set(), 99);
+    }
+
+    #[test]
+    fn rows_slice_the_flat_buffer() {
+        let mut f = Frame::new(4, 3);
+        f.set_pixel(0, 1, [1, 2, 3]);
+        f.set_pixel(3, 1, [7, 8, 9]);
+        let row = f.row(1);
+        assert_eq!(row.len(), 12);
+        assert_eq!(&row[..3], &[1, 2, 3]);
+        assert_eq!(&row[9..], &[7, 8, 9]);
+        assert_eq!(f.row_range(1, 3, 4), &[7, 8, 9]);
+        // Rows tile the byte buffer exactly.
+        let rebuilt: Vec<u8> = (0..3).flat_map(|y| f.row(y).to_vec()).collect();
+        assert_eq!(rebuilt, f.bytes());
+    }
+
+    #[test]
+    fn bitmask_clear_and_fill_match_constructors() {
+        let mut m = BitMask::all_set(33, 3);
+        m.clear();
+        assert_eq!(m, BitMask::new(33, 3));
+        m.fill_all();
+        assert_eq!(m, BitMask::all_set(33, 3));
+        assert!(m.get_linear(2 * 33 + 32));
     }
 
     #[test]

@@ -6,15 +6,51 @@
 use crate::color::ColorHist;
 use crate::frame::Frame;
 
-/// Compute the image histogram of a whole frame.
+/// Compute the image histogram of a whole frame (row-sliced fast path).
 #[must_use]
 pub fn image_histogram(frame: &Frame) -> ColorHist {
     ColorHist::of_region(frame, frame.region())
 }
 
+/// Reference pixel-at-a-time implementation of [`image_histogram`]; the
+/// before/after oracle for the data-path benchmarks and equality tests.
+#[must_use]
+pub fn image_histogram_scalar(frame: &Frame) -> ColorHist {
+    ColorHist::of_region_scalar(frame, frame.region())
+}
+
+/// The splitter/worker/joiner decomposition of the histogram (paper Fig. 9)
+/// run serially: partial histograms of `n` row strips, merged. Exactly
+/// equal to [`image_histogram`] in any merge order (bins are integer counts
+/// far below `f32` precision loss), which is what lets the runtime farm the
+/// strips to a worker pool without perturbing tracker output.
+#[must_use]
+pub fn image_histogram_striped(frame: &Frame, n: usize) -> ColorHist {
+    let mut merged = ColorHist::empty();
+    for strip in frame.region().split_rows(n) {
+        merged.merge(&ColorHist::of_region(frame, strip));
+    }
+    merged
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::color::N_BINS;
+
+    fn textured(width: usize, height: usize) -> Frame {
+        let mut f = Frame::new(width, height);
+        for y in 0..height {
+            for x in 0..width {
+                f.set_pixel(
+                    x,
+                    y,
+                    [(x * 16) as u8, (y * 16) as u8, ((x * y) % 251) as u8],
+                );
+            }
+        }
+        f
+    }
 
     #[test]
     fn histogram_total_is_pixel_count() {
@@ -25,14 +61,23 @@ mod tests {
 
     #[test]
     fn histogram_is_deterministic() {
-        let mut f = Frame::new(16, 16);
-        for y in 0..16 {
-            for x in 0..16 {
-                f.set_pixel(x, y, [(x * 16) as u8, (y * 16) as u8, 7]);
-            }
-        }
+        let f = textured(16, 16);
         let a = image_histogram(&f);
         let b = image_histogram(&f);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn fast_striped_and_scalar_agree_exactly() {
+        let f = textured(31, 23);
+        let scalar = image_histogram_scalar(&f);
+        assert_eq!(image_histogram(&f), scalar);
+        for n in [1, 2, 3, 5, 8] {
+            let striped = image_histogram_striped(&f, n);
+            assert_eq!(striped.total(), scalar.total());
+            for i in 0..N_BINS {
+                assert_eq!(striped.bin(i), scalar.bin(i), "bin {i} with {n} strips");
+            }
+        }
     }
 }

@@ -48,15 +48,15 @@ pub mod tracker;
 
 pub use accuracy::{AccuracyStats, AccuracyTracker};
 pub use adaptive::AdaptiveTracker;
-pub use change::change_detection;
+pub use change::{change_detection, change_detection_into, change_detection_scalar};
 pub use color::ColorHist;
 pub use detect::{
-    detect_chunks, merge_partials, target_detection, target_detection_chunk, DetectChunk,
-    PartialScores, ScoreMap,
+    detect_chunks, merge_partials, target_detection, target_detection_chunk,
+    target_detection_chunk_scalar, DetectChunk, PartialScores, ScoreMap,
 };
 pub use enroll::{enroll_from_motion, motion_bbox};
 pub use frame::{BitMask, Frame, Region};
-pub use histogram::image_histogram;
+pub use histogram::{image_histogram, image_histogram_scalar, image_histogram_striped};
 pub use kiosk::{occupancy_track, KioskConfig, Visit};
 pub use peak::{peak_detection, ModelLocation};
 pub use synth::{Scene, TargetSpec};

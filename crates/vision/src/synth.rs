@@ -188,8 +188,22 @@ impl Scene {
     /// Render frame `frame`: background texture + noise + targets.
     #[must_use]
     pub fn render(&self, frame: u64) -> Frame {
-        let mut rng = StdRng::seed_from_u64(self.seed ^ frame.wrapping_mul(0x9E37_79B9_7F4A_7C15));
         let mut f = Frame::new(self.width, self.height);
+        self.render_into(frame, &mut f);
+        f
+    }
+
+    /// [`render`](Self::render) into a caller-provided frame buffer. The
+    /// background pass writes every pixel, so a recycled (dirty) buffer
+    /// comes out bit-identical to a fresh allocation — the contract the
+    /// runtime's frame pool relies on.
+    pub fn render_into(&self, frame: u64, f: &mut Frame) {
+        assert_eq!(
+            (f.width, f.height),
+            (self.width, self.height),
+            "frame buffer size must match scene"
+        );
+        let mut rng = StdRng::seed_from_u64(self.seed ^ frame.wrapping_mul(0x9E37_79B9_7F4A_7C15));
         let n = i16::from(self.noise);
         for y in 0..self.height {
             for x in 0..self.width {
@@ -227,7 +241,6 @@ impl Scene {
                 }
             }
         }
-        f
     }
 
     /// Color models for the scene's targets: the histogram of a rendered
@@ -267,6 +280,16 @@ mod tests {
         let s = Scene::demo(80, 60, 3, 7);
         assert_eq!(s.render(4), s.render(4));
         assert_ne!(s.render(4), s.render(5), "frames differ over time");
+    }
+
+    #[test]
+    fn render_into_dirty_buffer_is_bit_identical() {
+        let s = Scene::demo(80, 60, 2, 7);
+        let fresh = s.render(4);
+        // Recycle the frame-3 buffer for frame 4, as the frame pool does.
+        let mut reused = s.render(3);
+        s.render_into(4, &mut reused);
+        assert_eq!(reused, fresh);
     }
 
     #[test]
