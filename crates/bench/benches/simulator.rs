@@ -1,0 +1,78 @@
+//! Criterion benchmarks for the online simulator event engine: the frozen
+//! pre-overhaul reference (`simulate_online_ref`) against the arena engine
+//! at each trace mode, plus the sweep driver over a small Fig. 3 grid.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use cluster::sweep::{sweep, SweepConfig};
+use cluster::{simulate_online_ref, ClusterSpec, FrameClock, OnlineConfig, SimArena, TraceMode};
+use taskgraph::{builders, AppState, Decomposition, Micros, TaskGraph};
+
+const FRAMES: u64 = 40;
+
+fn config(graph: &TaskGraph, period_ms: u64) -> OnlineConfig {
+    let t4 = graph.task_by_name("Target Detection").unwrap();
+    let mut cfg = OnlineConfig::new(
+        FrameClock::new(Micros::from_millis(period_ms), FRAMES),
+        AppState::new(8),
+    );
+    cfg.decomposition.insert(t4, Decomposition::new(1, 8));
+    cfg.channel_capacity = 3;
+    cfg.warmup_frames = 4;
+    cfg.quantum = Some(Micros::from_millis(20));
+    cfg
+}
+
+fn bench_simulator(c: &mut Criterion) {
+    let graph = builders::color_tracker();
+    let cluster = ClusterSpec::single_node(4);
+
+    // One saturated run (period well under the pipeline's service rate):
+    // the old engine vs the arena engine under each trace mode.
+    let mut g = c.benchmark_group("online_sim_saturated");
+    g.sample_size(20);
+    g.bench_function("reference_engine", |b| {
+        b.iter(|| simulate_online_ref(&graph, &cluster, config(&graph, 33)))
+    });
+    for (label, mode) in [
+        ("arena_full_trace", TraceMode::Full),
+        ("arena_summary", TraceMode::Summary),
+        ("arena_trace_off", TraceMode::Off),
+    ] {
+        g.bench_function(label, |b| {
+            let mut arena = SimArena::new();
+            let mut cfg = config(&graph, 33);
+            cfg.trace_mode = mode;
+            b.iter(|| arena.simulate(&graph, &cluster, &cfg));
+        });
+    }
+    g.finish();
+
+    // A small tuning-curve-shaped sweep: the historical per-run style vs
+    // the sweep driver with arena reuse.
+    let periods: Vec<u64> = vec![33, 66, 100, 200, 400, 1000, 2500, 5000];
+    let mut g = c.benchmark_group("tuning_sweep_8_periods");
+    g.sample_size(10);
+    g.bench_function("per_run_reference", |b| {
+        b.iter(|| {
+            periods
+                .iter()
+                .map(|&p| simulate_online_ref(&graph, &cluster, config(&graph, p)).metrics)
+                .collect::<Vec<_>>()
+        })
+    });
+    g.bench_function("sweep_driver", |b| {
+        b.iter(|| {
+            sweep(SweepConfig::serial(), periods.clone(), |arena, _, p| {
+                let mut cfg = config(&graph, p);
+                cfg.trace_mode = TraceMode::Off;
+                arena.simulate(&graph, &cluster, &cfg).metrics
+            })
+            .results
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_simulator);
+criterion_main!(benches);

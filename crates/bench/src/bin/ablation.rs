@@ -5,33 +5,47 @@
 //! * list scheduling over the best decomposition — a classic heuristic;
 //! * the optimal enumerator without data decompositions (Fig. 5(a));
 //! * the full optimal enumerator (Fig. 5(b)).
-
-use std::collections::BTreeMap;
+//!
+//! The per-regime work items are independent, so they run through the
+//! parallel sweep driver; results come back in regime order.
 
 use cds_core::expand::ExpandedGraph;
 use cds_core::ii::find_best_ii;
 use cds_core::listsched::list_schedule;
 use cds_core::optimal::{decomposition_combos, optimal_schedule, OptimalConfig};
 use cds_core::pipeline::naive_pipeline;
+use cluster::sweep::{sweep, SweepConfig};
 use cluster::ClusterSpec;
 use kiosk_bench::{csv_line, print_table};
 use taskgraph::{builders, AppState, Micros};
 
+struct RegimeResult {
+    n: u32,
+    pipe_lat: Micros,
+    list_lat: Micros,
+    task_only_lat: Micros,
+    full_lat: Micros,
+    full_ii: Micros,
+    nodes_explored: u64,
+    candidates: usize,
+    t4_decomp: String,
+    ordering_ok: bool,
+}
+
 fn main() {
     let graph = builders::color_tracker();
     let cluster = ClusterSpec::single_node(4);
+    let t4 = graph.task_by_name("Target Detection").unwrap();
 
     println!("Ablation: scheduling strategies across regimes (4 processors)");
 
-    let mut rows = Vec::new();
-    let mut all_pass = true;
-    for n in 1..=8u32 {
+    let out = sweep(SweepConfig::new(), (1..=8u32).collect(), |_, _, n| {
         let state = AppState::new(n);
 
         let pipe = naive_pipeline(&graph, &cluster, &state);
 
         // Best list schedule over all decompositions.
-        let (list_lat, list_ii) = decomposition_combos(&graph, &state, true)
+        let (list_lat, _list_ii) = decomposition_combos(&graph, &state, true)
             .into_iter()
             .map(|d| {
                 let e = ExpandedGraph::build(&graph, &state, &d);
@@ -49,32 +63,54 @@ fn main() {
         let task_only = optimal_schedule(&graph, &cluster, &state, &cfg_task);
         let full = optimal_schedule(&graph, &cluster, &state, &OptimalConfig::default());
 
-        let ok = full.minimal_latency <= list_lat
+        let ordering_ok = full.minimal_latency <= list_lat
             && full.minimal_latency <= task_only.minimal_latency
             && task_only.minimal_latency <= pipe.iteration.latency;
-        all_pass &= ok;
 
+        RegimeResult {
+            n,
+            pipe_lat: pipe.iteration.latency,
+            list_lat,
+            task_only_lat: task_only.minimal_latency,
+            full_lat: full.minimal_latency,
+            full_ii: full.best.ii,
+            nodes_explored: full.nodes_explored,
+            candidates: full.candidates,
+            t4_decomp: full
+                .best
+                .iteration
+                .decomp
+                .get(&t4)
+                .map_or("serial".to_string(), ToString::to_string),
+            ordering_ok,
+        }
+    });
+    println!("regime sweep: {}", out.stats);
+
+    let mut rows = Vec::new();
+    let mut all_pass = true;
+    for r in &out.results {
+        all_pass &= r.ordering_ok;
         let s = |m: Micros| format!("{:.3}", m.as_secs_f64());
         rows.push(vec![
-            n.to_string(),
-            s(pipe.iteration.latency),
-            s(list_lat),
-            s(task_only.minimal_latency),
-            s(full.minimal_latency),
-            s(full.best.ii),
-            full.nodes_explored.to_string(),
-            full.candidates.to_string(),
+            r.n.to_string(),
+            s(r.pipe_lat),
+            s(r.list_lat),
+            s(r.task_only_lat),
+            s(r.full_lat),
+            s(r.full_ii),
+            r.nodes_explored.to_string(),
+            r.candidates.to_string(),
         ]);
         csv_line(&[
             "ablation".to_string(),
-            n.to_string(),
-            format!("{:.4}", pipe.iteration.latency.as_secs_f64()),
-            format!("{:.4}", list_lat.as_secs_f64()),
-            format!("{:.4}", task_only.minimal_latency.as_secs_f64()),
-            format!("{:.4}", full.minimal_latency.as_secs_f64()),
-            format!("{:.4}", full.best.ii.as_secs_f64()),
+            r.n.to_string(),
+            format!("{:.4}", r.pipe_lat.as_secs_f64()),
+            format!("{:.4}", r.list_lat.as_secs_f64()),
+            format!("{:.4}", r.task_only_lat.as_secs_f64()),
+            format!("{:.4}", r.full_lat.as_secs_f64()),
+            format!("{:.4}", r.full_ii.as_secs_f64()),
         ]);
-        let _ = list_ii;
     }
     print_table(
         "Iteration latency (s) by strategy and regime",
@@ -92,29 +128,13 @@ fn main() {
     );
 
     // The headline regime claim: the optimal decomposition changes with
-    // the state.
-    let t4 = graph.task_by_name("Target Detection").unwrap();
-    let mut decomp_by_state: BTreeMap<u32, String> = BTreeMap::new();
-    for n in 1..=8u32 {
-        let r = optimal_schedule(
-            &graph,
-            &cluster,
-            &AppState::new(n),
-            &OptimalConfig::default(),
-        );
-        let d = r
-            .best
-            .iteration
-            .decomp
-            .get(&t4)
-            .map_or("serial".to_string(), ToString::to_string);
-        decomp_by_state.insert(n, d);
-    }
+    // the state (reusing the full results from the sweep above).
     println!("\noptimal T4 decomposition per regime:");
-    for (n, d) in &decomp_by_state {
-        println!("  {n} models → {d}");
+    for r in &out.results {
+        println!("  {} models → {}", r.n, r.t4_decomp);
     }
-    let distinct: std::collections::HashSet<&String> = decomp_by_state.values().collect();
+    let distinct: std::collections::HashSet<&String> =
+        out.results.iter().map(|r| &r.t4_decomp).collect();
 
     println!("\nshape checks:");
     let checks = [

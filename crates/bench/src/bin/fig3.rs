@@ -6,7 +6,8 @@
 
 use cds_core::evaluate::evaluate_schedule;
 use cds_core::optimal::{optimal_schedule, OptimalConfig};
-use cds_core::tuning::{paper_periods, tuning_curve};
+use cds_core::tuning::{paper_periods, tuning_curve_stats};
+use cluster::sweep::SweepConfig;
 use cluster::{ClusterSpec, FrameClock, OnlineConfig};
 use kiosk_bench::{csv_line, print_table};
 use taskgraph::{builders, AppState, Decomposition, Micros};
@@ -33,7 +34,9 @@ fn main() {
     }
     periods.sort();
 
-    let points = tuning_curve(&graph, &cluster, &template, &periods);
+    let (points, stats) =
+        tuning_curve_stats(&graph, &cluster, &template, &periods, SweepConfig::new());
+    println!("tuned sweep: {stats}");
     let mut rows = Vec::new();
     for p in &points {
         rows.push(vec![
@@ -61,7 +64,7 @@ fn main() {
     let mut skip_template = template.clone();
     skip_template.skip_stale = true;
     skip_template.channel_capacity = 8;
-    let skip_points = tuning_curve(
+    let (skip_points, skip_stats) = tuning_curve_stats(
         &graph,
         &cluster,
         &skip_template,
@@ -71,7 +74,9 @@ fn main() {
             Micros::from_secs(3),
             Micros::from_secs(5),
         ],
+        SweepConfig::new(),
     );
+    println!("skip sweep: {skip_stats}");
     let mut rows = Vec::new();
     for p in &skip_points {
         rows.push(vec![

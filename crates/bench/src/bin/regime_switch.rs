@@ -12,7 +12,8 @@ use cds_core::switcher::{
     simulate_regime_switched, ScheduleStrategy, SwitchConfig, TransitionPolicy,
 };
 use cds_core::table::ScheduleTable;
-use cluster::{simulate_online, ClusterSpec, FrameClock, OnlineConfig, StateTrack};
+use cluster::sweep::{sweep, SweepConfig};
+use cluster::{ClusterSpec, FrameClock, OnlineConfig, SimArena, StateTrack, TraceMode};
 use kiosk_bench::{csv_line, print_table};
 use taskgraph::{builders, AppState, Decomposition, Micros};
 use vision::kiosk::generate_visits;
@@ -81,7 +82,9 @@ fn main() {
         cfg.state_track = Some(track.clone());
         cfg.decomposition.insert(t4, Decomposition::new(1, 4));
         cfg.warmup_frames = 4;
-        let out = simulate_online(&graph, &cluster, cfg);
+        cfg.trace_mode = TraceMode::Off;
+        let mut arena = SimArena::new();
+        let out = arena.simulate(&graph, &cluster, &cfg);
         rows.push(vec![
             "online (pthread)".to_string(),
             format!("{:.3}", out.metrics.mean_latency.as_secs_f64()),
@@ -100,13 +103,21 @@ fn main() {
         ]);
     }
 
-    for (name, strategy) in strategies {
+    // The five strategies are independent runs over the same frame stream:
+    // sweep them in parallel, results in strategy order.
+    let swept = sweep(SweepConfig::new(), strategies, |_, _, (name, strategy)| {
         let cfg = SwitchConfig {
             clock: FrameClock::new(Micros::from_millis(500), kiosk.n_frames),
             strategy,
             warmup_frames: 4,
         };
-        let out = simulate_regime_switched(&graph, &cluster, &table, &track, &cfg);
+        (
+            name,
+            simulate_regime_switched(&graph, &cluster, &table, &track, &cfg),
+        )
+    });
+    println!("strategy sweep: {}", swept.stats);
+    for (name, out) in &swept.results {
         rows.push(vec![
             name.to_string(),
             format!("{:.3}", out.metrics.mean_latency.as_secs_f64()),

@@ -9,6 +9,7 @@ use cds_core::switcher::{
     simulate_regime_switched, ScheduleStrategy, SwitchConfig, TransitionPolicy,
 };
 use cds_core::table::ScheduleTable;
+use cluster::sweep::{sweep, SweepConfig};
 use cluster::{ClusterSpec, FrameClock, StateTrack};
 use kiosk_bench::{csv_line, print_table};
 use taskgraph::{builders, AppState, Micros};
@@ -56,21 +57,9 @@ fn main() {
         );
     }
 
-    let run = |strategy| {
-        simulate_regime_switched(
-            &graph,
-            &cluster,
-            &table,
-            &track,
-            &SwitchConfig {
-                clock: FrameClock::new(Micros::from_millis(300), process.n_frames),
-                strategy,
-                warmup_frames: 4,
-            },
-        )
-    };
-    let mut rows = Vec::new();
-    for (name, strategy) in [
+    // Independent strategy runs over the same subject process: sweep them
+    // in parallel, results in strategy order.
+    let strategies = vec![
         ("static-0", ScheduleStrategy::Static(AppState::new(0))),
         ("static-max", ScheduleStrategy::Static(AppState::new(4))),
         (
@@ -81,8 +70,24 @@ fn main() {
             },
         ),
         ("oracle", ScheduleStrategy::Oracle),
-    ] {
-        let out = run(strategy);
+    ];
+    let swept = sweep(SweepConfig::new(), strategies, |_, _, (name, strategy)| {
+        let out = simulate_regime_switched(
+            &graph,
+            &cluster,
+            &table,
+            &track,
+            &SwitchConfig {
+                clock: FrameClock::new(Micros::from_millis(300), process.n_frames),
+                strategy,
+                warmup_frames: 4,
+            },
+        );
+        (name, out)
+    });
+    println!("strategy sweep: {}", swept.stats);
+    let mut rows = Vec::new();
+    for (name, out) in &swept.results {
         rows.push(vec![
             name.to_string(),
             format!("{:.3}", out.metrics.mean_latency.as_secs_f64()),

@@ -1,0 +1,278 @@
+//! Simulator event-engine before/after: the frozen pre-overhaul engine
+//! (`simulate_online_ref`: HashMap state, per-run allocation, unconditional
+//! full trace) against the overhauled arena engine driven by the parallel
+//! sweep module.
+//!
+//! Two measurements, reported separately as the acceptance criteria ask:
+//!
+//! * **single-run** — one simulation, old engine vs `SimArena::simulate`
+//!   with `TraceMode::Off` (paired timing, median of repeats);
+//! * **multi-run sweep** — a Fig. 3-shaped parameter sweep, the old
+//!   one-`simulate_online_ref`-per-config loop vs `cluster::sweep` with
+//!   per-worker arena reuse. The run count is scaled so "before" takes at
+//!   least a second of wall clock, and the pair alternates over several
+//!   reps (medians compared) because this container's wall clock wanders
+//!   with load.
+//!
+//! Both paths are asserted to produce identical `Metrics` before anything
+//! is timed — a benchmark of two engines that disagree would be noise.
+//!
+//! Flags: `--runs N` (sweep size, default 120), `--frames N` (frames per
+//! run, default 160), `--threads N` (sweep workers, default auto),
+//! `--smoke` (tiny sweep, parallel driver checked against a golden serial
+//! result; exits non-zero on mismatch — the CI step).
+
+use std::time::Instant;
+
+use cluster::sweep::{sweep, SweepConfig};
+use cluster::{
+    simulate_online_ref, ClusterSpec, FrameClock, Metrics, OnlineConfig, SimArena, TraceMode,
+};
+use kiosk_bench::{csv_line, print_table};
+use taskgraph::{builders, AppState, Decomposition, Micros, TaskGraph};
+
+fn arg(args: &[String], flag: &str, default: u64) -> u64 {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// The Fig. 3-shaped workload: the color tracker at 8 models with the MP=8
+/// decomposition, digitizer period varied. A short quantum keeps the event
+/// count per run high — the regime where engine overhead dominates.
+fn template(graph: &TaskGraph, frames: u64) -> OnlineConfig {
+    let t4 = graph.task_by_name("Target Detection").unwrap();
+    let mut cfg = OnlineConfig::new(
+        FrameClock::new(Micros::from_millis(33), frames),
+        AppState::new(8),
+    );
+    cfg.decomposition.insert(t4, Decomposition::new(1, 8));
+    cfg.channel_capacity = 3;
+    cfg.warmup_frames = 4;
+    cfg.quantum = Some(Micros::from_millis(20));
+    cfg
+}
+
+/// The sweep's period grid, cycled to `runs` entries. Densely sampled
+/// around the saturated knee of the Fig. 3 curve (33–600 ms) — the region a
+/// tuner actually explores, and the one where the scheduler backlog makes
+/// engine overhead matter — with sparser unloaded points out to 5 s.
+fn periods(runs: usize) -> Vec<Micros> {
+    let grid = [
+        33u64, 50, 66, 100, 150, 200, 300, 400, 600, 1000, 2500, 5000,
+    ];
+    (0..runs)
+        .map(|i| Micros::from_millis(grid[i % grid.len()]))
+        .collect()
+}
+
+fn run_before(graph: &TaskGraph, cluster: &ClusterSpec, tpl: &OnlineConfig, p: Micros) -> Metrics {
+    let mut cfg = tpl.clone();
+    cfg.clock = FrameClock::new(p, tpl.clock.n_frames);
+    simulate_online_ref(graph, cluster, cfg).metrics
+}
+
+fn smoke(graph: &TaskGraph, cluster: &ClusterSpec, tpl: &OnlineConfig) -> bool {
+    let ps = periods(10);
+    let golden: Vec<Metrics> = ps
+        .iter()
+        .map(|&p| run_before(graph, cluster, tpl, p))
+        .collect();
+    let swept = sweep(
+        SweepConfig {
+            threads: 4,
+            progress: false,
+        },
+        ps,
+        |arena, _, p| {
+            let mut cfg = tpl.clone();
+            cfg.clock = FrameClock::new(p, tpl.clock.n_frames);
+            cfg.trace_mode = TraceMode::Off;
+            arena.simulate(graph, cluster, &cfg).metrics
+        },
+    );
+    let ok = golden == swept.results;
+    println!(
+        "smoke: parallel sweep vs golden serial reference over {} configs: {}",
+        golden.len(),
+        if ok { "IDENTICAL" } else { "MISMATCH" }
+    );
+    ok
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let graph = builders::color_tracker();
+    let cluster = ClusterSpec::single_node(4);
+    let frames = arg(&args, "--frames", 160);
+    let runs = arg(&args, "--runs", 120) as usize;
+    let threads = arg(&args, "--threads", 0) as usize;
+    let tpl = template(&graph, frames);
+
+    if args.iter().any(|a| a == "--smoke") {
+        if !smoke(&graph, &cluster, &tpl) {
+            std::process::exit(1);
+        }
+        return;
+    }
+
+    println!("Simulator event-engine overhaul: before/after on this host");
+    println!("color tracker, 4 procs, MP=8, 20 ms quantum, {frames} frames/run");
+
+    // Correctness gate before timing anything.
+    let p0 = Micros::from_millis(33);
+    let golden = run_before(&graph, &cluster, &tpl, p0);
+    let mut arena = SimArena::new();
+    let mut cfg = tpl.clone();
+    cfg.clock = FrameClock::new(p0, frames);
+    cfg.trace_mode = TraceMode::Off;
+    assert_eq!(
+        golden,
+        arena.simulate(&graph, &cluster, &cfg).metrics,
+        "engines disagree; refusing to time them"
+    );
+
+    // Part 1: single-run event loop, paired timing (alternating order),
+    // median of repeats.
+    let reps = 15;
+    let mut before_ns = Vec::new();
+    let mut after_ns = Vec::new();
+    for i in 0..reps {
+        let order: [bool; 2] = if i % 2 == 0 {
+            [true, false]
+        } else {
+            [false, true]
+        };
+        for is_before in order {
+            let t0 = Instant::now();
+            if is_before {
+                let _ = run_before(&graph, &cluster, &tpl, p0);
+            } else {
+                let _ = arena.simulate(&graph, &cluster, &cfg);
+            }
+            let ns = t0.elapsed().as_secs_f64() * 1e9;
+            if is_before {
+                before_ns.push(ns);
+            } else {
+                after_ns.push(ns);
+            }
+        }
+    }
+    before_ns.sort_by(f64::total_cmp);
+    after_ns.sort_by(f64::total_cmp);
+    let single_before = before_ns[before_ns.len() / 2];
+    let single_after = after_ns[after_ns.len() / 2];
+    let single_speedup = single_before / single_after;
+
+    // Part 2: the multi-run sweep. Before = the historical driving style
+    // (fresh engine + full trace per config, serial). After = the sweep
+    // driver (per-worker arena, TraceMode::Off). This container's wall
+    // clock wanders with load, so the pair alternates over several reps
+    // and the medians are compared — same discipline as Part 1 and the
+    // datapath harness.
+    let ps = periods(runs);
+    // One untimed oracle pass; every timed sweep rep is checked against it.
+    let golden: Vec<Metrics> = ps
+        .iter()
+        .map(|&p| run_before(&graph, &cluster, &tpl, p))
+        .collect();
+    let sweep_reps = 3;
+    let mut sweep_before = Vec::new();
+    let mut sweep_after = Vec::new();
+    let mut last_stats = None;
+    for i in 0..sweep_reps {
+        let order: [bool; 2] = if i % 2 == 0 {
+            [true, false]
+        } else {
+            [false, true]
+        };
+        for is_before in order {
+            if is_before {
+                let t0 = Instant::now();
+                let res: Vec<Metrics> = ps
+                    .iter()
+                    .map(|&p| run_before(&graph, &cluster, &tpl, p))
+                    .collect();
+                sweep_before.push(t0.elapsed().as_secs_f64());
+                std::hint::black_box(res);
+            } else {
+                let swept = sweep(
+                    SweepConfig {
+                        threads,
+                        progress: false,
+                    },
+                    ps.clone(),
+                    |arena, _, p| {
+                        let mut cfg = tpl.clone();
+                        cfg.clock = FrameClock::new(p, tpl.clock.n_frames);
+                        cfg.trace_mode = TraceMode::Off;
+                        arena.simulate(&graph, &cluster, &cfg).metrics
+                    },
+                );
+                sweep_after.push(swept.stats.elapsed.as_secs_f64());
+                assert_eq!(golden, swept.results, "sweep results must match the oracle");
+                last_stats = Some(swept.stats);
+            }
+        }
+    }
+    sweep_before.sort_by(f64::total_cmp);
+    sweep_after.sort_by(f64::total_cmp);
+    let sweep_before_s = sweep_before[sweep_before.len() / 2];
+    let sweep_after_s = sweep_after[sweep_after.len() / 2];
+    let sweep_speedup = sweep_before_s / sweep_after_s;
+    let stats = last_stats.expect("at least one sweep rep ran");
+
+    let rows = vec![
+        vec![
+            "single_run".to_string(),
+            format!("{:.0}", single_before),
+            format!("{:.0}", single_after),
+            format!("{single_speedup:.2}x"),
+        ],
+        vec![
+            format!("sweep_{runs}_runs"),
+            format!("{:.0}", sweep_before_s * 1e9),
+            format!("{:.0}", sweep_after_s * 1e9),
+            format!("{sweep_speedup:.2}x"),
+        ],
+    ];
+    csv_line(&[
+        "sweep".to_string(),
+        "single_run".to_string(),
+        format!("{single_before:.0}"),
+        format!("{single_after:.0}"),
+        format!("{single_speedup:.3}"),
+    ]);
+    csv_line(&[
+        "sweep".to_string(),
+        format!("sweep_{runs}_runs"),
+        format!("{:.0}", sweep_before_s * 1e9),
+        format!("{:.0}", sweep_after_s * 1e9),
+        format!("{sweep_speedup:.3}"),
+    ]);
+    print_table(
+        "Event engine, before vs after (wall ns)",
+        &["benchmark", "before (ns)", "after (ns)", "speedup"],
+        &rows,
+    );
+    println!(
+        "\nsweep driver: {stats} | every rep identical to the serial reference \
+         | medians of {sweep_reps} alternating before/after reps"
+    );
+    println!("\nshape checks:");
+    let checks = [
+        (
+            format!("before-sweep wall clock {sweep_before_s:.2}s >= 1s (honest denominator)"),
+            sweep_before_s >= 1.0,
+        ),
+        (
+            format!("sweep speedup {sweep_speedup:.2}x >= 2x"),
+            sweep_speedup >= 2.0,
+        ),
+    ];
+    for (name, ok) in checks {
+        println!("  [{}] {name}", if ok { "PASS" } else { "FAIL" });
+    }
+}

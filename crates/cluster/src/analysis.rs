@@ -2,11 +2,9 @@
 //! qualitatively — bursts of one task, preempted (partial) item processing,
 //! and upstream tasks running ahead of their consumers.
 
-use std::collections::HashMap;
+use taskgraph::{Micros, TaskGraph};
 
-use taskgraph::{TaskGraph, TaskId};
-
-use crate::trace::ExecutionTrace;
+use crate::trace::{ExecutionTrace, TraceEntry};
 
 /// Quantified scheduling pathologies of one run.
 #[derive(Clone, Copy, PartialEq, Debug)]
@@ -27,13 +25,25 @@ pub struct PathologyReport {
 }
 
 /// Analyse `trace` against its graph.
+///
+/// Single-pass grouping over the trace: slices are bucketed by processor
+/// and by task once, and per-task completion frames are computed once and
+/// shared across every edge that touches the task (the old implementation
+/// recomputed them per edge endpoint and hashed per slice).
 #[must_use]
 pub fn pathology_report(trace: &ExecutionTrace, graph: &TaskGraph) -> PathologyReport {
+    // Bucket slices by processor and by task in one pass.
+    let mut by_proc: Vec<Vec<&TraceEntry>> = vec![Vec::new(); trace.n_procs() as usize];
+    let mut by_task: Vec<Vec<(u64, Micros)>> = vec![Vec::new(); graph.n_tasks()];
+    for e in trace.entries() {
+        by_proc[e.proc.0 as usize].push(e);
+        by_task[e.task.0].push((e.frame, e.end));
+    }
+
     // Burst detection: per processor, longest run of equal task ids across
     // consecutive slices (ordered by start).
     let mut max_task_burst = 1usize;
-    for p in 0..trace.n_procs() {
-        let mut slices: Vec<_> = trace.entries().iter().filter(|e| e.proc.0 == p).collect();
+    for slices in &mut by_proc {
         slices.sort_by_key(|e| (e.start, e.end));
         let mut run = 1usize;
         for w in slices.windows(2) {
@@ -49,34 +59,54 @@ pub fn pathology_report(trace: &ExecutionTrace, graph: &TaskGraph) -> PathologyR
     }
 
     // Preemption: an activation (task, frame, chunk) split across >1 slice.
+    // Sort the activation keys and count duplicate runs — no hash table.
     type ActivationKey = (usize, u64, Option<(u32, u32)>);
-    let mut slice_counts: HashMap<ActivationKey, usize> = HashMap::new();
-    for e in trace.entries() {
-        *slice_counts
-            .entry((e.task.0, e.frame, e.chunk))
-            .or_insert(0) += 1;
+    let mut keys: Vec<ActivationKey> = trace
+        .entries()
+        .iter()
+        .map(|e| (e.task.0, e.frame, e.chunk))
+        .collect();
+    keys.sort_unstable();
+    let mut preempted_slices = 0usize;
+    let mut i = 0;
+    while i < keys.len() {
+        let mut j = i + 1;
+        while j < keys.len() && keys[j] == keys[i] {
+            j += 1;
+        }
+        if j - i > 1 {
+            preempted_slices += 1;
+        }
+        i = j;
     }
-    let preempted_slices = slice_counts.values().filter(|&&c| c > 1).count();
+
+    // Per-task completion frames, computed once: a frame completes at the
+    // max end over its slices; the list is ordered by completion time.
+    let completions: Vec<Vec<(Micros, u64)>> = by_task
+        .into_iter()
+        .map(|mut frames| {
+            frames.sort_unstable();
+            let mut v: Vec<(Micros, u64)> = Vec::with_capacity(frames.len());
+            for (frame, end) in frames {
+                match v.last_mut() {
+                    // Sorted by (frame, end): the last slice of a frame's
+                    // group carries its max end.
+                    Some(last) if last.1 == frame => last.0 = end,
+                    _ => v.push((end, frame)),
+                }
+            }
+            v.sort_unstable();
+            v
+        })
+        .collect();
 
     // Producer lead: for each edge (producer → consumer), compare the
     // producer's completed-frame count against the consumer's at each
     // producer-completion instant.
-    let completion_frames = |t: TaskId| -> Vec<(taskgraph::Micros, u64)> {
-        // A frame counts as completed at the max end over its slices.
-        let mut per_frame: HashMap<u64, taskgraph::Micros> = HashMap::new();
-        for e in trace.entries().iter().filter(|e| e.task == t) {
-            let cur = per_frame.entry(e.frame).or_insert(e.end);
-            *cur = (*cur).max(e.end);
-        }
-        let mut v: Vec<(taskgraph::Micros, u64)> =
-            per_frame.into_iter().map(|(f, t)| (t, f)).collect();
-        v.sort();
-        v
-    };
     let mut max_producer_lead = 0u64;
     for (from, to, _) in graph.edges() {
-        let prod = completion_frames(from);
-        let cons = completion_frames(to);
+        let prod = &completions[from.0];
+        let cons = &completions[to.0];
         for (i, &(t_done, _)) in prod.iter().enumerate() {
             let produced = i as u64 + 1;
             let consumed = cons.partition_point(|&(ct, _)| ct <= t_done) as u64;

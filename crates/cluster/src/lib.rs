@@ -24,14 +24,18 @@ pub mod analysis;
 pub mod gantt;
 pub mod metrics;
 pub mod online;
+pub mod online_ref;
 pub mod spec;
+pub mod sweep;
 pub mod trace;
 pub mod workload;
 
 pub use analysis::{pathology_report, PathologyReport};
 pub use gantt::{render_gantt, GanttOptions};
-pub use metrics::{FrameRecord, Metrics};
-pub use online::{simulate_online, OnlineConfig, SimOutcome};
+pub use metrics::{FrameRecord, Metrics, MetricsScratch};
+pub use online::{simulate_online, OnlineConfig, SimArena, SimOutcome, SimSummary};
+pub use online_ref::simulate_online_ref;
 pub use spec::{ClusterSpec, NodeId, ProcId};
-pub use trace::{ExecutionTrace, TraceEntry};
+pub use sweep::{sweep, SweepConfig, SweepOutput, SweepStats};
+pub use trace::{ExecutionTrace, TraceEntry, TraceMode};
 pub use workload::{FrameClock, StateTrack};

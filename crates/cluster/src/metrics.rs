@@ -53,19 +53,56 @@ pub struct Metrics {
     pub uniformity_cov: f64,
 }
 
+/// Reusable intermediate buffers for [`Metrics::from_records_in`].
+///
+/// Computing metrics needs two sorted views of the completed frames; a
+/// sweep over thousands of runs recomputes them per run. Renting a scratch
+/// (pre-sized via [`Metrics::reserve`]) makes the recompute allocation-free
+/// once the buffers have grown to the working-set size.
+#[derive(Clone, Debug, Default)]
+pub struct MetricsScratch {
+    /// `(completed_at, latency)` pairs, sorted by completion time.
+    completed: Vec<(Micros, Micros)>,
+    /// Post-warmup latencies, sorted ascending (percentile order statistics).
+    sorted_latencies: Vec<Micros>,
+}
+
 impl Metrics {
+    /// A scratch pre-sized for runs of `n_frames` frames (the per-frame
+    /// metrics hot path allocates nothing when reused across runs).
+    #[must_use]
+    pub fn reserve(n_frames: usize) -> MetricsScratch {
+        MetricsScratch {
+            completed: Vec::with_capacity(n_frames),
+            sorted_latencies: Vec::with_capacity(n_frames),
+        }
+    }
+
     /// Compute metrics from frame records, ignoring the first
     /// `warmup_frames` *completed* frames (pipeline fill).
     #[must_use]
     pub fn from_records(records: &[FrameRecord], warmup_frames: usize) -> Metrics {
-        let mut completed: Vec<(Micros, Micros)> = records
-            .iter()
-            .filter_map(|r| r.completed_at.map(|c| (c, c - r.digitized_at)))
-            .collect();
-        completed.sort_by_key(|&(c, _)| c);
-        let dropped = records.len() as u64 - completed.len() as u64;
-        let completed = if completed.len() > warmup_frames {
-            &completed[warmup_frames..]
+        Metrics::from_records_in(&mut Metrics::reserve(records.len()), records, warmup_frames)
+    }
+
+    /// [`Metrics::from_records`] with caller-provided scratch buffers;
+    /// byte-for-byte the same result, no per-call allocation on reuse.
+    #[must_use]
+    pub fn from_records_in(
+        scratch: &mut MetricsScratch,
+        records: &[FrameRecord],
+        warmup_frames: usize,
+    ) -> Metrics {
+        scratch.completed.clear();
+        scratch.completed.extend(
+            records
+                .iter()
+                .filter_map(|r| r.completed_at.map(|c| (c, c - r.digitized_at))),
+        );
+        scratch.completed.sort_by_key(|&(c, _)| c);
+        let dropped = records.len() as u64 - scratch.completed.len() as u64;
+        let completed = if scratch.completed.len() > warmup_frames {
+            &scratch.completed[warmup_frames..]
         } else {
             &[][..]
         };
@@ -84,13 +121,19 @@ impl Metrics {
             };
         }
 
-        let latencies: Vec<Micros> = completed.iter().map(|&(_, l)| l).collect();
-        let sum: Micros = latencies.iter().copied().sum();
-        let mean_latency = sum / latencies.len() as u64;
-        let min_latency = *latencies.iter().min().unwrap();
-        let max_latency = *latencies.iter().max().unwrap();
-        let mut sorted = latencies.clone();
-        sorted.sort();
+        let mut sum = Micros::ZERO;
+        let mut min_latency = Micros(u64::MAX);
+        let mut max_latency = Micros::ZERO;
+        for &(_, l) in completed {
+            sum += l;
+            min_latency = min_latency.min(l);
+            max_latency = max_latency.max(l);
+        }
+        let mean_latency = sum / completed.len() as u64;
+        let sorted = &mut scratch.sorted_latencies;
+        sorted.clear();
+        sorted.extend(completed.iter().map(|&(_, l)| l));
+        sorted.sort_unstable();
         // Nearest-rank percentiles.
         let rank = |p: f64| -> Micros {
             let idx = ((p * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
@@ -99,19 +142,22 @@ impl Metrics {
         let p50_latency = rank(0.50);
         let p95_latency = rank(0.95);
 
-        let gaps: Vec<f64> = completed
-            .windows(2)
-            .map(|w| (w[1].0 - w[0].0).as_secs_f64())
-            .collect();
-        let (throughput_hz, uniformity_cov) = if gaps.is_empty() {
+        // Inter-completion gaps, streamed (no gap buffer): two passes for a
+        // numerically identical mean/variance to the old Vec-based code.
+        let n_gaps = completed.len() - 1;
+        let (throughput_hz, uniformity_cov) = if n_gaps == 0 {
             (0.0, 0.0)
         } else {
-            let mean_gap = gaps.iter().sum::<f64>() / gaps.len() as f64;
-            let var = gaps
-                .iter()
-                .map(|g| (g - mean_gap) * (g - mean_gap))
+            let gap = |w: &[(Micros, Micros)]| (w[1].0 - w[0].0).as_secs_f64();
+            let mean_gap = completed.windows(2).map(gap).sum::<f64>() / n_gaps as f64;
+            let var = completed
+                .windows(2)
+                .map(|w| {
+                    let g = gap(w);
+                    (g - mean_gap) * (g - mean_gap)
+                })
                 .sum::<f64>()
-                / gaps.len() as f64;
+                / n_gaps as f64;
             let tp = if mean_gap > 0.0 { 1.0 / mean_gap } else { 0.0 };
             let cov = if mean_gap > 0.0 {
                 var.sqrt() / mean_gap
@@ -245,6 +291,26 @@ mod tests {
     fn latency_accessor() {
         assert_eq!(rec(0, 10, Some(30)).latency(), Some(Micros(20)));
         assert_eq!(rec(0, 10, None).latency(), None);
+    }
+
+    #[test]
+    fn scratch_reuse_matches_fresh_computation() {
+        let mut scratch = Metrics::reserve(8);
+        // Reuse the same scratch across runs of different sizes and shapes;
+        // every result must equal the allocation-per-call path bit for bit.
+        let runs: Vec<Vec<FrameRecord>> = vec![
+            (0..8).map(|i| rec(i, i * 50, Some(i * 50 + 120))).collect(),
+            vec![rec(0, 0, Some(10)), rec(1, 5, None), rec(2, 9, Some(40))],
+            vec![],
+            (0..3).map(|i| rec(i, 0, Some((i + 1) * 7))).collect(),
+        ];
+        for records in &runs {
+            for warmup in 0..3 {
+                let fresh = Metrics::from_records(records, warmup);
+                let reused = Metrics::from_records_in(&mut scratch, records, warmup);
+                assert_eq!(fresh, reused);
+            }
+        }
     }
 
     #[test]

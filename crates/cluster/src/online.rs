@@ -20,15 +20,29 @@
 //! full, which is what makes latency *plateau* (rather than diverge) when
 //! the digitizer period saturates the system — the upper branch of the
 //! paper's Fig. 3 tuning curve.
+//!
+//! ## The event engine
+//!
+//! All per-step state is index-addressed: processors, tasks, channels, and
+//! frames are dense integer ids, so the inner loop touches `Vec`s, never a
+//! hash map. Per-frame bookkeeping whose live window is small (channel
+//! consumer counts, missing inputs, outstanding chunks) lives in per-entity
+//! `(frame, count)` pair lists bounded by the channel capacity. A
+//! [`SimArena`] owns every buffer — the event heap, ready queue, occupancy
+//! tables, frame records, trace, and metrics scratch — and is rented across
+//! runs, so a parameter sweep allocates (almost) nothing after its first
+//! simulation. Trace recording is gated by
+//! [`TraceMode`](crate::trace::TraceMode); metrics are identical in every
+//! mode.
 
 use std::cmp::Reverse;
-use std::collections::{BTreeMap, BinaryHeap, HashMap};
+use std::collections::{BTreeMap, BinaryHeap, VecDeque};
 
 use taskgraph::{AppState, ChunkPlan, Decomposition, Micros, TaskGraph, TaskId};
 
-use crate::metrics::{FrameRecord, Metrics};
+use crate::metrics::{FrameRecord, Metrics, MetricsScratch};
 use crate::spec::{ClusterSpec, ProcId};
-use crate::trace::{ExecutionTrace, TraceEntry};
+use crate::trace::{ExecutionTrace, TraceEntry, TraceMode};
 use crate::workload::{FrameClock, StateTrack};
 
 /// Configuration of one online-scheduler run.
@@ -57,11 +71,15 @@ pub struct OnlineConfig {
     /// frames — the paper's uniformity pathology: a non-uniform execution
     /// "might process three frames in a row and then skip the next hundred".
     pub skip_stale: bool,
+    /// How much of the execution to record. Metrics are identical in every
+    /// mode; timing-oriented sweeps use [`TraceMode::Off`] to pay zero trace
+    /// cost.
+    pub trace_mode: TraceMode,
 }
 
 impl OnlineConfig {
     /// A run with sensible defaults: capacity 4, no preemption, serial
-    /// tasks, no frame skipping.
+    /// tasks, no frame skipping, full trace recording.
     #[must_use]
     pub fn new(clock: FrameClock, state: AppState) -> Self {
         OnlineConfig {
@@ -73,6 +91,7 @@ impl OnlineConfig {
             decomposition: BTreeMap::new(),
             warmup_frames: 2,
             skip_stale: false,
+            trace_mode: TraceMode::Full,
         }
     }
 }
@@ -80,10 +99,22 @@ impl OnlineConfig {
 /// The result of a simulated run.
 #[derive(Clone, Debug)]
 pub struct SimOutcome {
-    /// Every processor slice executed.
+    /// Every processor slice executed (as recorded by the run's
+    /// [`TraceMode`]).
     pub trace: ExecutionTrace,
     /// Per-frame lifecycle records.
     pub frames: Vec<FrameRecord>,
+    /// Aggregate metrics (warmup excluded).
+    pub metrics: Metrics,
+    /// Total simulated duration.
+    pub makespan: Micros,
+}
+
+/// The aggregate result of one arena-resident run: everything that escapes
+/// the [`SimArena`] by value. Frames and trace stay in the arena and are
+/// read (or carried into a [`SimOutcome`]) separately.
+#[derive(Clone, Copy, Debug)]
+pub struct SimSummary {
     /// Aggregate metrics (warmup excluded).
     pub metrics: Metrics,
     /// Total simulated duration.
@@ -132,124 +163,326 @@ enum Event {
     Digitize(u64),
 }
 
+#[derive(Clone, Debug)]
 struct Running {
     job: Job,
     slice_start: Micros,
     slice: Micros,
 }
 
-struct Sim<'g> {
-    graph: &'g TaskGraph,
-    cfg: OnlineConfig,
-    now: Micros,
+/// A `(frame, count)` pair list: the dense-map replacement for per-frame
+/// hash entries. The live window per entity is small (bounded by the
+/// channel capacity / outstanding activations), so linear scans beat
+/// hashing.
+type FrameCounts = Vec<(u64, u32)>;
+
+/// Register `count` for `frame`; the frame must not already be present.
+fn slot_insert(v: &mut FrameCounts, frame: u64, count: u32) {
+    debug_assert!(v.iter().all(|&(f, _)| f != frame), "duplicate frame slot");
+    v.push((frame, count));
+}
+
+/// Decrement `frame`'s count, dropping the pair at zero. Panics with `what`
+/// if the frame is absent — mirroring the accounting invariants the
+/// hash-map version asserted via `expect`.
+fn slot_dec(v: &mut FrameCounts, frame: u64, what: &str) -> u32 {
+    let i = v
+        .iter()
+        .position(|&(f, _)| f == frame)
+        .unwrap_or_else(|| panic!("{what}"));
+    v[i].1 -= 1;
+    let left = v[i].1;
+    if left == 0 {
+        v.swap_remove(i);
+    }
+    left
+}
+
+/// Decrement `frame`'s count, initializing it to `init` first if absent
+/// (the `entry().or_insert()` pattern). Drops the pair at zero.
+fn slot_dec_or_init(v: &mut FrameCounts, frame: u64, init: u32) -> u32 {
+    match v.iter().position(|&(f, _)| f == frame) {
+        Some(i) => {
+            v[i].1 -= 1;
+            let left = v[i].1;
+            if left == 0 {
+                v.swap_remove(i);
+            }
+            left
+        }
+        None => {
+            let left = init - 1;
+            if left > 0 {
+                v.push((frame, left));
+            }
+            left
+        }
+    }
+}
+
+fn refill_none<T>(v: &mut Vec<Option<T>>, n: usize) {
+    v.clear();
+    v.resize_with(n, || None);
+}
+
+/// Clear every queue in place (keeping capacities) and adjust the outer
+/// length to `n`.
+fn reset_queues<T>(v: &mut Vec<VecDeque<T>>, n: usize) {
+    for q in v.iter_mut() {
+        q.clear();
+    }
+    if v.len() < n {
+        v.resize_with(n, VecDeque::new);
+    } else {
+        v.truncate(n);
+    }
+}
+
+/// Clear every slot in place (keeping inner capacities) and adjust the
+/// outer length to `n`.
+fn reset_slots<T>(v: &mut Vec<Vec<T>>, n: usize) {
+    for s in v.iter_mut() {
+        s.clear();
+    }
+    if v.len() < n {
+        v.resize_with(n, Vec::new);
+    } else {
+        v.truncate(n);
+    }
+}
+
+/// Reusable simulator state: every buffer one online run needs, rented
+/// across runs.
+///
+/// A fresh arena per run reproduces the historical `simulate_online`
+/// behaviour; reusing one arena across a sweep makes the event loop
+/// allocation-free after the first run (buffers are cleared, never freed).
+/// Results are bit-identical either way — the arena holds no state that
+/// survives `simulate` other than buffer capacity.
+///
+/// ```
+/// use cluster::{ClusterSpec, FrameClock, OnlineConfig, SimArena, TraceMode};
+/// use taskgraph::{builders, AppState, Micros};
+///
+/// let graph = builders::color_tracker();
+/// let cluster = ClusterSpec::single_node(4);
+/// let mut arena = SimArena::new();
+/// let mut cfg = OnlineConfig::new(FrameClock::new(Micros::from_millis(500), 8), AppState::new(2));
+/// cfg.trace_mode = TraceMode::Off; // timing run: no trace cost
+/// let a = arena.simulate(&graph, &cluster, &cfg);
+/// let b = arena.simulate(&graph, &cluster, &cfg); // reuses every buffer
+/// assert_eq!(a.metrics, b.metrics);
+/// ```
+#[derive(Debug, Default)]
+pub struct SimArena {
     events: BinaryHeap<Reverse<(Micros, u64, Event)>>,
-    eseq: u64,
-    ready: Vec<Job>,
-    next_id: u64,
-    next_seq: u64,
+    /// Per-task FIFO of queued `Serial`/`Split` activations. Jobs are only
+    /// ever appended with a fresh, increasing `seq`, so each queue is
+    /// seq-sorted and the head is the task's oldest queued activation.
+    task_fifo: Vec<VecDeque<Job>>,
+    /// Queued `Chunk`/`Join` jobs (also seq-sorted): work any processor may
+    /// take without acquiring a task thread.
+    pool: VecDeque<Job>,
+    /// A preempted `Serial`/`Split` job that still owns its task's thread —
+    /// the only job of that task that can be scheduled until it finishes.
+    owner: Vec<Option<Job>>,
+    /// Scratch for the frame-skip path (frames consumed without running).
+    skip_scratch: Vec<u64>,
     /// Per-task thread occupancy: the id of the job holding the thread.
     busy: Vec<Option<u64>>,
-    running: HashMap<u32, Running>,
+    /// Per-processor running slice.
+    running: Vec<Option<Running>>,
     free_procs: Vec<u32>,
     /// Live (reserved or present) items per channel.
     occupancy: Vec<usize>,
-    /// Consumers still owing a consume for (channel, frame).
-    remaining_consumers: HashMap<(usize, u64), usize>,
-    /// Inputs not yet present for (task, frame).
-    missing_inputs: HashMap<(usize, u64), usize>,
-    /// Chunks still running for a DP activation (task, frame).
-    chunks_left: HashMap<(usize, u64), u32>,
-    /// Chunk plans for DP tasks, keyed by (task, n_models of the frame's
-    /// state) — a dynamic environment changes the plan between frames.
-    plans: HashMap<(usize, u32), ChunkPlan>,
+    /// Per channel: consumers still owing a consume, by frame.
+    remaining_consumers: Vec<FrameCounts>,
+    /// Per task: inputs not yet present, by frame.
+    missing_inputs: Vec<FrameCounts>,
+    /// Per task: chunks still running for a DP activation, by frame.
+    chunks_left: Vec<FrameCounts>,
+    /// Per task: chunk plans keyed by the `n_models` of the frame's state —
+    /// a dynamic environment changes the plan between frames.
+    plans: Vec<Vec<(u32, ChunkPlan)>>,
+    /// Distinct states of the run (scratch for plan construction).
+    states: Vec<AppState>,
+    /// The graph's source tasks (computed once per run).
+    sources: Vec<TaskId>,
     digitized: Vec<Option<Micros>>,
     completed: Vec<Option<Micros>>,
-    tasks_done: HashMap<u64, usize>,
+    /// Per-frame count of completed task activations.
+    tasks_done: Vec<u32>,
+    frames: Vec<FrameRecord>,
     trace: ExecutionTrace,
+    scratch: MetricsScratch,
+}
+
+impl SimArena {
+    /// An empty arena; buffers grow to the working-set size on first use.
+    #[must_use]
+    pub fn new() -> Self {
+        SimArena::default()
+    }
+
+    /// Run the online scheduler on `graph` over `cluster`, reusing this
+    /// arena's buffers. Identical results to [`simulate_online`] (which is
+    /// this method on a throwaway arena).
+    ///
+    /// Panics under the same conditions as [`simulate_online`].
+    pub fn simulate(
+        &mut self,
+        graph: &TaskGraph,
+        cluster: &ClusterSpec,
+        cfg: &OnlineConfig,
+    ) -> SimSummary {
+        graph.validate().expect("graph must validate");
+        assert!(cfg.channel_capacity >= 1, "capacity must be at least 1");
+        let n_frames = cfg.clock.n_frames;
+        let n_procs = cluster.n_procs();
+        self.reset(graph, n_procs, n_frames, cfg.trace_mode);
+
+        // Distinct states of the run: a dynamic run needs one chunk plan
+        // per (task, state) the track visits.
+        match &cfg.state_track {
+            Some(track) => {
+                for &(_, s) in track.changes() {
+                    if !self.states.contains(&s) {
+                        self.states.push(s);
+                    }
+                }
+            }
+            None => self.states.push(cfg.state),
+        }
+        for (tid, decomp) in &cfg.decomposition {
+            let task = graph.task(*tid);
+            let dp = task
+                .dp
+                .as_ref()
+                .unwrap_or_else(|| panic!("task {} is not data parallel", task.name));
+            for st in &self.states {
+                let plan = dp.plan(task.cost.eval(st), *decomp, st);
+                let slots = &mut self.plans[tid.0];
+                match slots.iter_mut().find(|e| e.0 == st.n_models) {
+                    Some(e) => e.1 = plan,
+                    None => slots.push((st.n_models, plan)),
+                }
+            }
+        }
+
+        let mut sim = Sim {
+            graph,
+            cfg,
+            now: Micros::ZERO,
+            eseq: 0,
+            next_id: 0,
+            next_seq: 0,
+            makespan: Micros::ZERO,
+            a: self,
+        };
+        for f in 0..n_frames {
+            let t = cfg.clock.arrival(f);
+            sim.push_event(t, Event::Digitize(f));
+        }
+        sim.run();
+        let makespan = sim.makespan;
+
+        self.frames.clear();
+        for f in 0..n_frames {
+            self.frames.push(FrameRecord {
+                frame: f,
+                digitized_at: self.digitized[f as usize].unwrap_or(Micros::ZERO),
+                completed_at: self.completed[f as usize],
+            });
+        }
+        self.trace.seal();
+        let metrics = Metrics::from_records_in(&mut self.scratch, &self.frames, cfg.warmup_frames);
+        SimSummary { metrics, makespan }
+    }
+
+    /// Per-frame lifecycle records of the most recent run.
+    #[must_use]
+    pub fn frames(&self) -> &[FrameRecord] {
+        &self.frames
+    }
+
+    /// The trace of the most recent run (contents per its [`TraceMode`]).
+    #[must_use]
+    pub fn trace(&self) -> &ExecutionTrace {
+        &self.trace
+    }
+
+    /// Convert the arena's last run into an owned [`SimOutcome`], consuming
+    /// the arena (moves the trace and frame buffers out instead of cloning).
+    #[must_use]
+    pub fn into_outcome(self, summary: SimSummary) -> SimOutcome {
+        SimOutcome {
+            trace: self.trace,
+            frames: self.frames,
+            metrics: summary.metrics,
+            makespan: summary.makespan,
+        }
+    }
+
+    fn reset(&mut self, graph: &TaskGraph, n_procs: u32, n_frames: u64, mode: TraceMode) {
+        let n_tasks = graph.n_tasks();
+        let n_chans = graph.channels().len();
+        self.events.clear();
+        reset_queues(&mut self.task_fifo, n_tasks);
+        self.pool.clear();
+        refill_none(&mut self.owner, n_tasks);
+        self.skip_scratch.clear();
+        refill_none(&mut self.busy, n_tasks);
+        refill_none(&mut self.running, n_procs as usize);
+        self.free_procs.clear();
+        self.free_procs.extend((0..n_procs).rev());
+        self.occupancy.clear();
+        self.occupancy.resize(n_chans, 0);
+        reset_slots(&mut self.remaining_consumers, n_chans);
+        reset_slots(&mut self.missing_inputs, n_tasks);
+        reset_slots(&mut self.chunks_left, n_tasks);
+        reset_slots(&mut self.plans, n_tasks);
+        self.states.clear();
+        self.sources.clear();
+        self.sources.extend(graph.sources());
+        refill_none(&mut self.digitized, n_frames as usize);
+        refill_none(&mut self.completed, n_frames as usize);
+        self.tasks_done.clear();
+        self.tasks_done.resize(n_frames as usize, 0);
+        self.trace.reset(n_procs, mode);
+    }
+}
+
+struct Sim<'a> {
+    graph: &'a TaskGraph,
+    cfg: &'a OnlineConfig,
+    now: Micros,
+    eseq: u64,
+    next_id: u64,
+    next_seq: u64,
+    /// Latest slice end observed (tracked directly so `TraceMode::Off` runs
+    /// still report a makespan).
+    makespan: Micros,
+    a: &'a mut SimArena,
 }
 
 /// Run the online scheduler on `graph` over `cluster`.
+///
+/// Equivalent to [`SimArena::simulate`] on a fresh arena — this is the
+/// reference (oracle) path sweeps are checked against.
 ///
 /// Panics if the configuration can deadlock (a diagnostic is printed with
 /// the stuck queue) — with a validated DAG and capacity ≥ 1 this does not
 /// happen.
 #[must_use]
 pub fn simulate_online(graph: &TaskGraph, cluster: &ClusterSpec, cfg: OnlineConfig) -> SimOutcome {
-    graph.validate().expect("graph must validate");
-    assert!(cfg.channel_capacity >= 1, "capacity must be at least 1");
-    let n_frames = cfg.clock.n_frames;
-    let n_procs = cluster.n_procs();
-
-    // Chunk plans per (task, state): a dynamic run needs one plan per
-    // distinct state the track visits.
-    let states: Vec<AppState> = match &cfg.state_track {
-        Some(track) => track.distinct_states(),
-        None => vec![cfg.state],
-    };
-    let mut plans = HashMap::new();
-    for (tid, decomp) in &cfg.decomposition {
-        let task = graph.task(*tid);
-        let dp = task
-            .dp
-            .as_ref()
-            .unwrap_or_else(|| panic!("task {} is not data parallel", task.name));
-        for st in &states {
-            let plan = dp.plan(task.cost.eval(st), *decomp, st);
-            plans.insert((tid.0, st.n_models), plan);
-        }
-    }
-
-    let mut sim = Sim {
-        graph,
-
-        now: Micros::ZERO,
-        events: BinaryHeap::new(),
-        eseq: 0,
-        ready: Vec::new(),
-        next_id: 0,
-        next_seq: 0,
-        busy: vec![None; graph.n_tasks()],
-        running: HashMap::new(),
-        free_procs: (0..n_procs).rev().collect(),
-        occupancy: vec![0; graph.channels().len()],
-        remaining_consumers: HashMap::new(),
-        missing_inputs: HashMap::new(),
-        chunks_left: HashMap::new(),
-        plans,
-        digitized: vec![None; n_frames as usize],
-        completed: vec![None; n_frames as usize],
-        tasks_done: HashMap::new(),
-        trace: ExecutionTrace::new(n_procs),
-        cfg,
-    };
-
-    for f in 0..n_frames {
-        let t = sim.cfg.clock.arrival(f);
-        sim.push_event(t, Event::Digitize(f));
-    }
-
-    sim.run();
-
-    let frames: Vec<FrameRecord> = (0..n_frames)
-        .map(|f| FrameRecord {
-            frame: f,
-            digitized_at: sim.digitized[f as usize].unwrap_or(Micros::ZERO),
-            completed_at: sim.completed[f as usize],
-        })
-        .collect();
-    let metrics = Metrics::from_records(&frames, sim.cfg.warmup_frames);
-    let makespan = sim.trace.makespan();
-    SimOutcome {
-        trace: sim.trace,
-        frames,
-        metrics,
-        makespan,
-    }
+    let mut arena = SimArena::new();
+    let summary = arena.simulate(graph, cluster, &cfg);
+    arena.into_outcome(summary)
 }
 
-impl<'g> Sim<'g> {
+impl Sim<'_> {
     fn push_event(&mut self, t: Micros, e: Event) {
-        self.events.push(Reverse((t, self.eseq, e)));
+        self.a.events.push(Reverse((t, self.eseq, e)));
         self.eseq += 1;
     }
 
@@ -262,7 +495,11 @@ impl<'g> Sim<'g> {
     }
 
     fn plan_of(&self, task: usize, frame: u64) -> Option<&ChunkPlan> {
-        self.plans.get(&(task, self.state_of(frame).n_models))
+        let n_models = self.state_of(frame).n_models;
+        self.a.plans[task]
+            .iter()
+            .find(|e| e.0 == n_models)
+            .map(|e| &e.1)
     }
 
     fn spawn(&mut self, kind: JobKind, frame: u64, cost: Micros) {
@@ -276,7 +513,10 @@ impl<'g> Sim<'g> {
         };
         self.next_id += 1;
         self.next_seq += 1;
-        self.ready.push(job);
+        match kind {
+            JobKind::Serial(t) | JobKind::Split(t) => self.a.task_fifo[t.0].push_back(job),
+            JobKind::Chunk(..) | JobKind::Join(_) => self.a.pool.push_back(job),
+        }
     }
 
     /// Spawn the activation of `task` for `frame`: a serial job, or the
@@ -299,103 +539,121 @@ impl<'g> Sim<'g> {
             .task(task)
             .outputs
             .iter()
-            .all(|c| self.occupancy[c.0] < self.cfg.channel_capacity)
-    }
-
-    fn eligible(&self, job: &Job) -> bool {
-        match job.kind {
-            JobKind::Serial(t) | JobKind::Split(t) => {
-                let thread_free = match self.busy[t.0] {
-                    None => true,
-                    Some(id) => id == job.id,
-                };
-                let space = job.reserved
-                    || matches!(job.kind, JobKind::Split(_))
-                    || self.outputs_have_space(t);
-                thread_free && space
-            }
-            JobKind::Join(t) => job.reserved || self.outputs_have_space(t),
-            JobKind::Chunk(..) => true,
-        }
+            .all(|c| self.a.occupancy[c.0] < self.cfg.channel_capacity)
     }
 
     /// Assign eligible jobs to free processors, FIFO by seq.
+    ///
+    /// The eligible set decomposes per queue, so each assignment scans one
+    /// candidate per task plus the pool head — not every queued job:
+    ///
+    /// * a preempted thread **owner** is its task's only schedulable job
+    ///   (thread held, output slots already reserved);
+    /// * otherwise a task's seq-sorted FIFO contributes its first job that
+    ///   passes the output-space check (`Split` phases bypass it, so they
+    ///   can overtake a space-blocked `Serial` head — exactly as in a flat
+    ///   scan);
+    /// * the chunk/join **pool** contributes its first eligible job.
+    ///
+    /// The overall pick is the minimum-seq candidate, identical to the
+    /// historical full scan for the oldest eligible job because within one
+    /// queue eligibility is uniform and seqs are sorted.
     fn dispatch(&mut self) {
+        enum Pick {
+            Owner(usize),
+            Fifo(usize, usize),
+            Pool(usize),
+        }
         loop {
-            if self.free_procs.is_empty() {
+            if self.a.free_procs.is_empty() {
                 return;
             }
-            // Oldest eligible job.
-            let mut best: Option<usize> = None;
-            for (i, job) in self.ready.iter().enumerate() {
-                if self.eligible(job) && best.is_none_or(|b| self.ready[b].seq > job.seq) {
-                    best = Some(i);
-                }
-            }
-            let Some(mut i) = best else { return };
-
-            // NewestUnseen-style consumption: when the selected job is the
-            // start of an activation with inputs, jump to the newest ready
-            // frame of the same task and skip (consume without processing)
-            // everything older — the activation job only exists once all of
-            // its inputs are present, so the skipped inputs are consumable.
-            if self.cfg.skip_stale {
-                let kind = self.ready[i].kind;
-                if matches!(kind, JobKind::Serial(_) | JobKind::Split(_))
-                    && !self.graph.task(kind.task()).inputs.is_empty()
-                    && !self.ready[i].reserved
-                    && self.busy[kind.task().0] != Some(self.ready[i].id)
-                {
-                    let t = kind.task();
-                    let busy_id = self.busy[t.0];
-                    let starts_activation = move |j: &Job| {
-                        matches!(j.kind, JobKind::Serial(_) | JobKind::Split(_))
-                            && j.kind.task() == t
-                            && !j.reserved
-                            && busy_id != Some(j.id)
-                    };
-                    let newest = self
-                        .ready
-                        .iter()
-                        .enumerate()
-                        .filter(|(_, j)| starts_activation(j))
-                        .max_by_key(|(_, j)| j.frame)
-                        .map(|(idx, j)| (idx, j.frame))
-                        .expect("selected job qualifies");
-                    let skipped: Vec<u64> = self
-                        .ready
-                        .iter()
-                        .filter(|j| starts_activation(j) && j.frame < newest.1)
-                        .map(|j| j.frame)
-                        .collect();
-                    self.ready
-                        .retain(|j| !(starts_activation(j) && j.frame < newest.1));
-                    for f in skipped {
-                        self.consume_inputs(t, f);
+            let graph = self.graph;
+            let mut best_seq = u64::MAX;
+            let mut best: Option<Pick> = None;
+            for t in 0..graph.n_tasks() {
+                if let Some(owner) = &self.a.owner[t] {
+                    if owner.seq < best_seq {
+                        best_seq = owner.seq;
+                        best = Some(Pick::Owner(t));
                     }
-                    // Indices shifted; find the newest job again.
-                    i = self
-                        .ready
-                        .iter()
-                        .position(|j| starts_activation(j) && j.frame == newest.1)
-                        .expect("newest job still queued");
+                } else if self.a.busy[t].is_none() && !self.a.task_fifo[t].is_empty() {
+                    let space = self.outputs_have_space(TaskId(t));
+                    for (i, job) in self.a.task_fifo[t].iter().enumerate() {
+                        if space || matches!(job.kind, JobKind::Split(_)) {
+                            if job.seq < best_seq {
+                                best_seq = job.seq;
+                                best = Some(Pick::Fifo(t, i));
+                            }
+                            break;
+                        }
+                    }
+                }
+            }
+            for (i, job) in self.a.pool.iter().enumerate() {
+                let ok = match job.kind {
+                    JobKind::Chunk(..) => true,
+                    JobKind::Join(t) => job.reserved || self.outputs_have_space(t),
+                    JobKind::Serial(_) | JobKind::Split(_) => {
+                        unreachable!("pool holds chunks and joins")
+                    }
+                };
+                if ok {
+                    if job.seq < best_seq {
+                        best = Some(Pick::Pool(i));
+                    }
+                    break;
                 }
             }
 
-            let mut job = self.ready.swap_remove(i);
-            let proc = self.free_procs.pop().expect("checked non-empty");
+            let mut job = match best {
+                None => return,
+                Some(Pick::Owner(t)) => self.a.owner[t].take().expect("owner present"),
+                Some(Pick::Pool(i)) => self.a.pool.remove(i).expect("pool candidate"),
+                Some(Pick::Fifo(t, i)) => {
+                    // NewestUnseen-style consumption: when the selected job
+                    // is the start of an activation with inputs, jump to the
+                    // newest queued frame of the same task and skip (consume
+                    // without processing) everything older — the activation
+                    // job only exists once all of its inputs are present, so
+                    // the skipped inputs are consumable.
+                    if self.cfg.skip_stale && !graph.task(TaskId(t)).inputs.is_empty() {
+                        let fifo = &mut self.a.task_fifo[t];
+                        let newest = fifo.iter().map(|j| j.frame).max().expect("fifo non-empty");
+                        let mut skipped = std::mem::take(&mut self.a.skip_scratch);
+                        let mut newest_job = None;
+                        while let Some(j) = fifo.pop_front() {
+                            if j.frame == newest {
+                                newest_job = Some(j);
+                            } else {
+                                skipped.push(j.frame);
+                            }
+                        }
+                        for &f in &skipped {
+                            self.consume_inputs(TaskId(t), f);
+                        }
+                        skipped.clear();
+                        self.a.skip_scratch = skipped;
+                        newest_job.expect("newest job was queued")
+                    } else {
+                        self.a.task_fifo[t].remove(i).expect("fifo candidate")
+                    }
+                }
+            };
+            let proc = self.a.free_procs.pop().expect("checked non-empty");
 
             // Acquire the task thread / reserve output slots on first slice.
             match job.kind {
                 JobKind::Serial(t) | JobKind::Split(t) => {
-                    self.busy[t.0] = Some(job.id);
+                    self.a.busy[t.0] = Some(job.id);
                 }
                 _ => {}
             }
             if matches!(job.kind, JobKind::Serial(_) | JobKind::Join(_)) && !job.reserved {
                 let t = job.kind.task();
-                for c in &self.graph.task(t).outputs {
-                    self.occupancy[c.0] += 1;
+                let graph = self.graph;
+                for c in &graph.task(t).outputs {
+                    self.a.occupancy[c.0] += 1;
                 }
                 job.reserved = true;
             }
@@ -406,24 +664,21 @@ impl<'g> Sim<'g> {
             };
             let end = self.now + slice;
             self.push_event(end, Event::Finish(proc));
-            self.running.insert(
-                proc,
-                Running {
-                    job,
-                    slice_start: self.now,
-                    slice,
-                },
-            );
+            self.a.running[proc as usize] = Some(Running {
+                job,
+                slice_start: self.now,
+                slice,
+            });
         }
     }
 
     fn run(&mut self) {
-        while let Some(Reverse((t, _, event))) = self.events.pop() {
+        while let Some(Reverse((t, _, event))) = self.a.events.pop() {
             self.now = t;
             match event {
                 Event::Digitize(frame) => {
-                    let sources = self.graph.sources();
-                    for s in sources {
+                    for i in 0..self.a.sources.len() {
+                        let s = self.a.sources[i];
                         self.spawn_activation(s, frame);
                     }
                 }
@@ -431,15 +686,21 @@ impl<'g> Sim<'g> {
             }
             self.dispatch();
         }
+        let queued: Vec<(JobKind, u64)> = self
+            .a
+            .task_fifo
+            .iter()
+            .flatten()
+            .chain(self.a.pool.iter())
+            .chain(self.a.owner.iter().flatten())
+            .map(|j| (j.kind, j.frame))
+            .collect();
         assert!(
-            self.ready.is_empty() && self.running.is_empty(),
+            queued.is_empty() && self.a.running.iter().all(Option::is_none),
             "online simulation deadlocked at {} with {} queued jobs: {:?}",
             self.now,
-            self.ready.len(),
-            self.ready
-                .iter()
-                .map(|j| (j.kind, j.frame))
-                .collect::<Vec<_>>()
+            queued.len(),
+            queued
         );
     }
 
@@ -448,14 +709,17 @@ impl<'g> Sim<'g> {
             mut job,
             slice_start,
             slice,
-        } = self.running.remove(&proc).expect("proc was running");
-        self.free_procs.push(proc);
+        } = self.a.running[proc as usize]
+            .take()
+            .expect("proc was running");
+        self.a.free_procs.push(proc);
+        self.makespan = self.makespan.max(self.now);
 
         let chunk = match job.kind {
             JobKind::Chunk(_, i, n) => Some((i, n)),
             _ => None,
         };
-        self.trace.push(TraceEntry {
+        self.a.trace.push(TraceEntry {
             proc: ProcId(proc),
             task: job.kind.task(),
             frame: job.frame,
@@ -466,35 +730,37 @@ impl<'g> Sim<'g> {
 
         job.remaining = job.remaining.saturating_sub(slice);
         if job.remaining > Micros::ZERO {
-            // Preempted: thread stays owned by this job; requeue at the back.
+            // Preempted: requeue at the back (fresh seq keeps every queue
+            // seq-sorted). A Serial/Split keeps its task thread, so it goes
+            // to the owner slot; chunks and joins rejoin the pool.
             job.seq = self.next_seq;
             self.next_seq += 1;
-            self.ready.push(job);
+            match job.kind {
+                JobKind::Serial(t) | JobKind::Split(t) => {
+                    self.a.owner[t.0] = Some(job);
+                }
+                JobKind::Chunk(..) | JobKind::Join(_) => self.a.pool.push_back(job),
+            }
             return;
         }
 
         let frame = job.frame;
         match job.kind {
             JobKind::Serial(t) => {
-                self.busy[t.0] = None;
+                self.a.busy[t.0] = None;
                 self.complete_activation(t, frame);
             }
             JobKind::Split(t) => {
                 // Thread blocks awaiting the joiner; chunks go to the pool.
                 let plan = *self.plan_of(t.0, frame).expect("split implies plan");
-                self.chunks_left.insert((t.0, frame), plan.chunks);
+                slot_insert(&mut self.a.chunks_left[t.0], frame, plan.chunks);
                 for i in 0..plan.chunks {
                     self.spawn(JobKind::Chunk(t, i, plan.chunks), frame, plan.chunk_cost);
                 }
             }
             JobKind::Chunk(t, _, _) => {
-                let left = self
-                    .chunks_left
-                    .get_mut(&(t.0, frame))
-                    .expect("chunk accounting");
-                *left -= 1;
-                if *left == 0 {
-                    self.chunks_left.remove(&(t.0, frame));
+                let left = slot_dec(&mut self.a.chunks_left[t.0], frame, "chunk accounting");
+                if left == 0 {
                     let join = self
                         .plan_of(t.0, frame)
                         .expect("chunk implies plan")
@@ -503,7 +769,7 @@ impl<'g> Sim<'g> {
                 }
             }
             JobKind::Join(t) => {
-                self.busy[t.0] = None;
+                self.a.busy[t.0] = None;
                 self.complete_activation(t, frame);
             }
         }
@@ -512,15 +778,15 @@ impl<'g> Sim<'g> {
     /// Release this task's claim on its inputs for `frame` (processing done
     /// or frame skipped): the GC obligation of STM's `consume`.
     fn consume_inputs(&mut self, t: TaskId, frame: u64) {
-        for &c in &self.graph.task(t).inputs.clone() {
-            let left = self
-                .remaining_consumers
-                .get_mut(&(c.0, frame))
-                .expect("input was present");
-            *left -= 1;
-            if *left == 0 {
-                self.remaining_consumers.remove(&(c.0, frame));
-                self.occupancy[c.0] -= 1;
+        let graph = self.graph;
+        for &c in &graph.task(t).inputs {
+            let left = slot_dec(
+                &mut self.a.remaining_consumers[c.0],
+                frame,
+                "input was present",
+            );
+            if left == 0 {
+                self.a.occupancy[c.0] -= 1;
             }
         }
     }
@@ -528,20 +794,23 @@ impl<'g> Sim<'g> {
     /// A logical task activation finished: publish outputs, consume inputs,
     /// track frame progress.
     fn complete_activation(&mut self, t: TaskId, frame: u64) {
-        let task = self.graph.task(t);
+        let graph = self.graph;
+        let task = graph.task(t);
         // Publish outputs (slots were reserved at start).
-        for &c in &task.outputs.clone() {
-            let consumers = self.graph.channel(c).consumers.clone();
-            self.remaining_consumers
-                .insert((c.0, frame), consumers.len());
-            for cons in consumers {
-                let missing = self
-                    .missing_inputs
-                    .entry((cons.0, frame))
-                    .or_insert_with(|| self.graph.task(cons).inputs.len());
-                *missing -= 1;
-                if *missing == 0 {
-                    self.missing_inputs.remove(&(cons.0, frame));
+        for &c in &task.outputs {
+            let consumers = &graph.channel(c).consumers;
+            slot_insert(
+                &mut self.a.remaining_consumers[c.0],
+                frame,
+                consumers.len() as u32,
+            );
+            for &cons in consumers {
+                let missing = slot_dec_or_init(
+                    &mut self.a.missing_inputs[cons.0],
+                    frame,
+                    graph.task(cons).inputs.len() as u32,
+                );
+                if missing == 0 {
                     self.spawn_activation(cons, frame);
                 }
             }
@@ -550,13 +819,12 @@ impl<'g> Sim<'g> {
         self.consume_inputs(t, frame);
         // Track the digitizer and per-frame completion.
         if task.inputs.is_empty() {
-            self.digitized[frame as usize] = Some(self.now);
+            self.a.digitized[frame as usize] = Some(self.now);
         }
-        let done = self.tasks_done.entry(frame).or_insert(0);
+        let done = &mut self.a.tasks_done[frame as usize];
         *done += 1;
-        if *done == self.graph.n_tasks() {
-            self.tasks_done.remove(&frame);
-            self.completed[frame as usize] = Some(self.now);
+        if *done as usize == graph.n_tasks() {
+            self.a.completed[frame as usize] = Some(self.now);
         }
     }
 }
@@ -591,6 +859,89 @@ mod tests {
         let b = simulate_online(&g, &c, tracker_cfg(500, 12, 3));
         assert_eq!(a.trace.entries(), b.trace.entries());
         assert_eq!(a.frames, b.frames);
+    }
+
+    #[test]
+    fn arena_reuse_is_bit_identical_to_fresh_runs() {
+        // One arena reused across heterogeneous runs (different graphs,
+        // processor counts, frame counts, quanta, skip modes) must
+        // reproduce every fresh-arena run exactly.
+        let tracker = builders::color_tracker();
+        let pipe = builders::pipeline(&[100, 200, 300]);
+        let c4 = ClusterSpec::single_node(4);
+        let c2 = ClusterSpec::single_node(2);
+        let mut quantum_cfg = tracker_cfg(500, 5, 4);
+        quantum_cfg.quantum = Some(Micros::from_millis(100));
+        let mut skip_cfg = tracker_cfg(33, 30, 8);
+        skip_cfg.skip_stale = true;
+        skip_cfg.channel_capacity = 16;
+        let mut dp_cfg = tracker_cfg(33, 20, 8);
+        dp_cfg.decomposition.insert(
+            tracker.task_by_name("Target Detection").unwrap(),
+            Decomposition::new(1, 8),
+        );
+        let pipe_cfg = OnlineConfig::new(FrameClock::new(Micros(300), 20), AppState::new(1));
+
+        let runs: Vec<(&TaskGraph, &ClusterSpec, OnlineConfig)> = vec![
+            (&tracker, &c4, tracker_cfg(2000, 10, 2)),
+            (&pipe, &c2, pipe_cfg),
+            (&tracker, &c2, quantum_cfg),
+            (&tracker, &c4, skip_cfg),
+            (&tracker, &c4, dp_cfg),
+            (&tracker, &c4, tracker_cfg(33, 25, 8)),
+        ];
+        let mut arena = SimArena::new();
+        for (g, c, cfg) in runs {
+            let fresh = simulate_online(g, c, cfg.clone());
+            let reused = arena.simulate(g, c, &cfg);
+            assert_eq!(fresh.metrics, reused.metrics);
+            assert_eq!(fresh.makespan, reused.makespan);
+            assert_eq!(fresh.frames, arena.frames());
+            assert_eq!(fresh.trace.entries(), arena.trace().entries());
+        }
+    }
+
+    #[test]
+    fn trace_modes_agree_on_everything_but_storage() {
+        let g = builders::color_tracker();
+        let c = ClusterSpec::single_node(4);
+        let mut arena = SimArena::new();
+        let mut cfg = tracker_cfg(33, 25, 8);
+        cfg.quantum = Some(Micros::from_millis(50));
+
+        cfg.trace_mode = TraceMode::Full;
+        let full = arena.simulate(&g, &c, &cfg);
+        let full_slices = arena.trace().recorded_slices();
+        let full_util = arena.trace().utilization();
+        assert!(arena.trace().is_complete());
+        assert!(full_slices > 0);
+
+        cfg.trace_mode = TraceMode::Summary;
+        let summary = arena.simulate(&g, &c, &cfg);
+        assert_eq!(summary.metrics, full.metrics);
+        assert_eq!(summary.makespan, full.makespan);
+        assert_eq!(arena.trace().recorded_slices(), full_slices);
+        assert!((arena.trace().utilization() - full_util).abs() < 1e-12);
+        assert!(arena.trace().entries().is_empty());
+
+        cfg.trace_mode = TraceMode::Ring(16);
+        let ring = arena.simulate(&g, &c, &cfg);
+        assert_eq!(ring.metrics, full.metrics);
+        assert_eq!(arena.trace().entries().len(), 16);
+        assert_eq!(arena.trace().recorded_slices(), full_slices);
+        // The ring window is the tail of the execution, in order.
+        assert!(arena
+            .trace()
+            .entries()
+            .windows(2)
+            .all(|w| w[0].start <= w[1].start));
+
+        cfg.trace_mode = TraceMode::Off;
+        let off = arena.simulate(&g, &c, &cfg);
+        assert_eq!(off.metrics, full.metrics);
+        assert_eq!(off.makespan, full.makespan, "makespan survives Off mode");
+        assert_eq!(arena.trace().recorded_slices(), 0);
+        assert!(arena.trace().entries().is_empty());
     }
 
     #[test]

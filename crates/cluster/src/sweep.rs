@@ -1,0 +1,268 @@
+//! Generic parallel parameter-sweep driver.
+//!
+//! Every evaluation figure (Fig. 3 tuning curves, the regime-switch trace,
+//! the ablation, the surveillance sweep) has the same shape: many
+//! *independent* simulator runs over a grid of configurations. This module
+//! runs such a grid over a pool of worker threads, one rented [`SimArena`]
+//! per worker so the event loop allocates nothing after its first run, and
+//! returns results in **input order** regardless of which worker finished
+//! which run when — so a parallel sweep is bit-identical to a serial one
+//! (asserted by the `sweep_determinism` test and the CI smoke step).
+//!
+//! The driver is generic over the per-run closure: it hands the closure a
+//! `&mut SimArena`, the input index, and the input value, and collects
+//! whatever the closure returns. Simulation itself stays deterministic
+//! because each run is self-contained; the only cross-run state is buffer
+//! capacity.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+use crossbeam::channel;
+
+use crate::online::SimArena;
+
+/// How a sweep is driven.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SweepConfig {
+    /// Worker thread count; `0` = available parallelism (at least 1).
+    pub threads: usize,
+    /// Print a progress line (to stderr) as runs complete.
+    pub progress: bool,
+}
+
+impl SweepConfig {
+    /// A quiet sweep on every available core.
+    #[must_use]
+    pub fn new() -> Self {
+        SweepConfig::default()
+    }
+
+    /// A serial sweep (one worker) — the oracle the parallel path is
+    /// checked against.
+    #[must_use]
+    pub fn serial() -> Self {
+        SweepConfig {
+            threads: 1,
+            progress: false,
+        }
+    }
+
+    fn resolve_threads(&self, n_inputs: usize) -> usize {
+        let hw = std::thread::available_parallelism().map_or(1, |n| n.get());
+        let t = if self.threads == 0 { hw } else { self.threads };
+        t.clamp(1, n_inputs.max(1))
+    }
+}
+
+/// Wall-clock accounting for one sweep.
+#[derive(Clone, Copy, Debug)]
+pub struct SweepStats {
+    /// Number of runs executed.
+    pub runs: usize,
+    /// Worker threads used.
+    pub threads: usize,
+    /// End-to-end wall-clock time.
+    pub elapsed: Duration,
+}
+
+impl SweepStats {
+    /// Completed runs per second of wall-clock time.
+    #[must_use]
+    pub fn runs_per_sec(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs > 0.0 {
+            self.runs as f64 / secs
+        } else {
+            0.0
+        }
+    }
+}
+
+impl std::fmt::Display for SweepStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} runs on {} thread(s) in {:.3} s ({:.1} runs/s)",
+            self.runs,
+            self.threads,
+            self.elapsed.as_secs_f64(),
+            self.runs_per_sec()
+        )
+    }
+}
+
+/// The results of a sweep, in input order, plus its wall-clock stats.
+#[derive(Clone, Debug)]
+pub struct SweepOutput<R> {
+    /// One result per input, `results[i]` from `inputs[i]`.
+    pub results: Vec<R>,
+    /// Wall-clock accounting.
+    pub stats: SweepStats,
+}
+
+/// Run `f` once per input over a pool of worker threads, each renting its
+/// own [`SimArena`], and return the results **in input order**.
+///
+/// `f` receives `(arena, input_index, input)`. The input order of the
+/// result vector — not worker scheduling — determines output order, so
+/// serial and parallel sweeps of a deterministic `f` are bit-identical.
+///
+/// A panic in `f` propagates out of the sweep.
+pub fn sweep<I, R, F>(cfg: SweepConfig, inputs: Vec<I>, f: F) -> SweepOutput<R>
+where
+    I: Send,
+    R: Send,
+    F: Fn(&mut SimArena, usize, I) -> R + Sync,
+{
+    let n = inputs.len();
+    let threads = cfg.resolve_threads(n);
+    let start = Instant::now();
+
+    let mut results: Vec<Option<R>> = Vec::with_capacity(n);
+    results.resize_with(n, || None);
+
+    if threads <= 1 {
+        // Serial fast path: no channels, no worker threads — the oracle.
+        let mut arena = SimArena::new();
+        for (i, input) in inputs.into_iter().enumerate() {
+            results[i] = Some(f(&mut arena, i, input));
+            if cfg.progress {
+                eprint!("\r  sweep: {}/{n} runs", i + 1);
+            }
+        }
+        if cfg.progress && n > 0 {
+            eprintln!();
+        }
+    } else {
+        let (job_tx, job_rx) = channel::unbounded::<(usize, I)>();
+        let (res_tx, res_rx) = channel::unbounded::<(usize, R)>();
+        for pair in inputs.into_iter().enumerate() {
+            job_tx.send(pair).expect("receiver lives");
+        }
+        drop(job_tx);
+        let done = AtomicUsize::new(0);
+
+        std::thread::scope(|s| {
+            for _ in 0..threads {
+                let job_rx = job_rx.clone();
+                let res_tx = res_tx.clone();
+                let done = &done;
+                let f = &f;
+                s.spawn(move || {
+                    let mut arena = SimArena::new();
+                    while let Ok((i, input)) = job_rx.recv() {
+                        let r = f(&mut arena, i, input);
+                        let finished = done.fetch_add(1, Ordering::Relaxed) + 1;
+                        if cfg.progress {
+                            eprint!("\r  sweep: {finished}/{n} runs");
+                        }
+                        if res_tx.send((i, r)).is_err() {
+                            return;
+                        }
+                    }
+                });
+            }
+            drop(res_tx);
+            for (i, r) in res_rx.iter() {
+                results[i] = Some(r);
+            }
+        });
+        if cfg.progress && n > 0 {
+            eprintln!();
+        }
+    }
+
+    let results: Vec<R> = results
+        .into_iter()
+        .map(|r| r.expect("every input produced a result"))
+        .collect();
+    SweepOutput {
+        results,
+        stats: SweepStats {
+            runs: n,
+            threads,
+            elapsed: start.elapsed(),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::online::OnlineConfig;
+    use crate::spec::ClusterSpec;
+    use crate::trace::TraceMode;
+    use crate::workload::FrameClock;
+    use taskgraph::{builders, AppState, Micros};
+
+    fn tracker_inputs() -> Vec<OnlineConfig> {
+        let mut inputs = Vec::new();
+        for period_ms in [20u64, 33, 100, 500, 2000] {
+            for n_models in [1u32, 4, 8] {
+                let mut cfg = OnlineConfig::new(
+                    FrameClock::new(Micros::from_millis(period_ms), 12),
+                    AppState::new(n_models),
+                );
+                cfg.trace_mode = TraceMode::Off;
+                inputs.push(cfg);
+            }
+        }
+        inputs
+    }
+
+    #[test]
+    fn results_are_in_input_order() {
+        let out = sweep(SweepConfig::new(), (0..100usize).collect(), |_, i, v| {
+            assert_eq!(i, v);
+            v * 2
+        });
+        assert_eq!(out.results, (0..100).map(|v| v * 2).collect::<Vec<_>>());
+        assert_eq!(out.stats.runs, 100);
+    }
+
+    #[test]
+    fn sweep_determinism_serial_vs_parallel_and_run_to_run() {
+        // The acceptance-criteria test: a real simulator sweep must be
+        // bit-identical serial vs. parallel and across repeated runs.
+        let graph = builders::color_tracker();
+        let cluster = ClusterSpec::single_node(4);
+        let run = |arena: &mut SimArena, _i: usize, cfg: OnlineConfig| {
+            let s = arena.simulate(&graph, &cluster, &cfg);
+            (s.metrics, s.makespan)
+        };
+        let serial = sweep(SweepConfig::serial(), tracker_inputs(), run);
+        let serial2 = sweep(SweepConfig::serial(), tracker_inputs(), run);
+        let parallel = sweep(
+            SweepConfig {
+                threads: 4,
+                progress: false,
+            },
+            tracker_inputs(),
+            run,
+        );
+        assert_eq!(serial.results, serial2.results, "run-to-run determinism");
+        assert_eq!(serial.results, parallel.results, "serial vs parallel");
+    }
+
+    #[test]
+    fn empty_sweep_is_fine() {
+        let out = sweep(SweepConfig::new(), Vec::<usize>::new(), |_, _, v| v);
+        assert!(out.results.is_empty());
+        assert_eq!(out.stats.runs, 0);
+    }
+
+    #[test]
+    fn thread_count_is_clamped_to_inputs() {
+        let out = sweep(
+            SweepConfig {
+                threads: 64,
+                progress: false,
+            },
+            vec![1, 2, 3],
+            |_, _, v| v,
+        );
+        assert_eq!(out.stats.threads, 3);
+        assert_eq!(out.results, vec![1, 2, 3]);
+    }
+}

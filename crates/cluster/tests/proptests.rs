@@ -3,7 +3,10 @@
 
 use std::collections::BTreeMap;
 
-use cluster::{simulate_online, ClusterSpec, FrameClock, OnlineConfig};
+use cluster::{
+    simulate_online, simulate_online_ref, ClusterSpec, FrameClock, OnlineConfig, SimArena,
+    TraceMode,
+};
 use proptest::prelude::*;
 use taskgraph::{AppState, CostModel, Micros, SizeModel, TaskGraph, TaskGraphBuilder, TaskId};
 
@@ -145,5 +148,68 @@ proptest! {
             );
         }
         let _ = BTreeMap::<u8, u8>::new();
+    }
+
+    /// The overhauled arena engine is bit-identical to the frozen
+    /// pre-overhaul reference engine — trace, frames, metrics and makespan —
+    /// over random graphs, processor counts, capacities and quanta.
+    #[test]
+    fn arena_engine_matches_reference_engine(
+        costs in proptest::collection::vec(1u64..500, 2..6),
+        edges in any::<u64>(),
+        procs in 1u32..5,
+        period in 1u64..2000,
+        capacity in 1usize..6,
+        quantum in proptest::option::of(10u64..300),
+        skip in any::<bool>(),
+    ) {
+        let g = random_graph(costs, edges);
+        let c = ClusterSpec::single_node(procs);
+        let mut cfg = OnlineConfig::new(
+            FrameClock::new(Micros(period), 10),
+            AppState::new(1),
+        );
+        cfg.channel_capacity = capacity;
+        cfg.quantum = quantum.map(Micros);
+        cfg.skip_stale = skip;
+        let reference = simulate_online_ref(&g, &c, cfg.clone());
+        let new = simulate_online(&g, &c, cfg);
+        prop_assert_eq!(reference.trace.entries(), new.trace.entries());
+        prop_assert_eq!(&reference.frames, &new.frames);
+        prop_assert_eq!(reference.metrics, new.metrics);
+        prop_assert_eq!(reference.makespan, new.makespan);
+    }
+
+    /// Trace recording never perturbs simulation results: Summary, Ring and
+    /// Off runs produce `Metrics` and makespans identical to Full — and one
+    /// reused arena serves all four modes back to back.
+    #[test]
+    fn trace_mode_never_perturbs_metrics(
+        costs in proptest::collection::vec(1u64..500, 2..6),
+        edges in any::<u64>(),
+        procs in 1u32..5,
+        period in 1u64..1500,
+        quantum in proptest::option::of(10u64..300),
+    ) {
+        let g = random_graph(costs, edges);
+        let c = ClusterSpec::single_node(procs);
+        let mut cfg = OnlineConfig::new(
+            FrameClock::new(Micros(period), 10),
+            AppState::new(1),
+        );
+        cfg.quantum = quantum.map(Micros);
+        let mut arena = SimArena::new();
+        cfg.trace_mode = TraceMode::Full;
+        let full = arena.simulate(&g, &c, &cfg);
+        let full_slices = arena.trace().recorded_slices();
+        for mode in [TraceMode::Summary, TraceMode::Ring(4), TraceMode::Off] {
+            cfg.trace_mode = mode;
+            let other = arena.simulate(&g, &c, &cfg);
+            prop_assert_eq!(other.metrics, full.metrics, "mode {:?}", mode);
+            prop_assert_eq!(other.makespan, full.makespan, "mode {:?}", mode);
+            if mode != TraceMode::Off {
+                prop_assert_eq!(arena.trace().recorded_slices(), full_slices);
+            }
+        }
     }
 }

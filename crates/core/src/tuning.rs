@@ -4,7 +4,8 @@
 //! measured latency and throughput as the digitizer period varied from 33 ms
 //! to 5 seconds."
 
-use cluster::{simulate_online, ClusterSpec, FrameClock, Metrics, OnlineConfig};
+use cluster::sweep::{sweep, SweepConfig, SweepStats};
+use cluster::{ClusterSpec, FrameClock, Metrics, OnlineConfig, TraceMode};
 use taskgraph::{Micros, TaskGraph};
 
 /// One point of the tuning curve.
@@ -18,6 +19,10 @@ pub struct TuningPoint {
 
 /// Run the online scheduler at each period in `periods`, holding everything
 /// else in `template` fixed.
+///
+/// Points come back in `periods` order regardless of worker scheduling;
+/// traces are not recorded (metrics are mode-invariant), so this is the
+/// cheapest way to regenerate Fig. 3.
 #[must_use]
 pub fn tuning_curve(
     graph: &TaskGraph,
@@ -25,18 +30,36 @@ pub fn tuning_curve(
     template: &OnlineConfig,
     periods: &[Micros],
 ) -> Vec<TuningPoint> {
-    periods
+    tuning_curve_stats(graph, cluster, template, periods, SweepConfig::new()).0
+}
+
+/// [`tuning_curve`] with explicit sweep control, also returning the sweep's
+/// wall-clock stats (for the bench bins' runs/sec reporting).
+#[must_use]
+pub fn tuning_curve_stats(
+    graph: &TaskGraph,
+    cluster: &ClusterSpec,
+    template: &OnlineConfig,
+    periods: &[Micros],
+    sweep_cfg: SweepConfig,
+) -> (Vec<TuningPoint>, SweepStats) {
+    let inputs: Vec<(Micros, OnlineConfig)> = periods
         .iter()
         .map(|&period| {
             let mut cfg = template.clone();
             cfg.clock = FrameClock::new(period, template.clock.n_frames);
-            let out = simulate_online(graph, cluster, cfg);
-            TuningPoint {
-                period,
-                metrics: out.metrics,
-            }
+            cfg.trace_mode = TraceMode::Off;
+            (period, cfg)
         })
-        .collect()
+        .collect();
+    let out = sweep(sweep_cfg, inputs, |arena, _i, (period, cfg)| {
+        let summary = arena.simulate(graph, cluster, &cfg);
+        TuningPoint {
+            period,
+            metrics: summary.metrics,
+        }
+    });
+    (out.results, out.stats)
 }
 
 /// The paper's sweep: 33 ms to 5 s "in steps of approximately one second".

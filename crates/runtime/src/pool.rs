@@ -166,6 +166,53 @@ mod tests {
     }
 
     #[test]
+    fn shutdown_time_submits_neither_deadlock_nor_drop_jobs() {
+        // Regression test for the shutdown/submit interaction: a burst of
+        // concurrent submitters races a slow pool into shutdown. Every job
+        // must be accounted for exactly once — drained by the workers during
+        // `shutdown`'s join, or handed back by `submit` for the caller's
+        // inline-fallback path — and the whole dance must terminate (a
+        // deadlock here hangs the test, which is the failure signal).
+        let processed = Arc::new(AtomicU64::new(0));
+        let p2 = Arc::clone(&processed);
+        let mut pool: WorkerPool<u64> = WorkerPool::new(2, move |j| {
+            // Slow worker: guarantees a backlog still queued when shutdown
+            // starts, so the drain path is actually exercised.
+            std::thread::sleep(std::time::Duration::from_micros(200));
+            p2.fetch_add(j, Ordering::SeqCst);
+        });
+        let inline = AtomicU64::new(0);
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let pool = &pool;
+                let inline = &inline;
+                s.spawn(move || {
+                    for j in (t * 25 + 1)..=(t * 25 + 25) {
+                        if let Err(PoolClosed(job)) = pool.submit(j) {
+                            // The documented fallback: run the rejected job
+                            // inline.
+                            inline.fetch_add(job, Ordering::SeqCst);
+                        }
+                    }
+                });
+            }
+        });
+        // Shutdown joins the workers; queued jobs drain first. Stragglers
+        // submitted afterwards must all come back for inline execution.
+        pool.shutdown();
+        for j in 101..=110u64 {
+            let PoolClosed(job) = pool.submit(j).unwrap_err();
+            inline.fetch_add(job, Ordering::SeqCst);
+        }
+        let total = processed.load(Ordering::SeqCst) + inline.load(Ordering::SeqCst);
+        assert_eq!(
+            total,
+            5050 + (101..=110u64).sum::<u64>(),
+            "every job ran exactly once"
+        );
+    }
+
+    #[test]
     fn drop_joins_workers_and_drains_queue() {
         // Every worker parks its thread handle count via an Arc; after drop
         // the Arc count proves the closures (and threads) are gone and all
