@@ -7,13 +7,22 @@ use std::time::Duration;
 use stm::{Channel, ChannelBuilder};
 use vision::{BitMask, ColorHist, Frame, ModelLocation, Scene, ScoreMap};
 
+use crate::error::{RuntimeHealth, Stage};
+use crate::faults::FaultInjector;
 use crate::frame_pool::{BufPool, PoolStats, PooledFrame, PooledMask};
 use crate::measure::Measurements;
-use crate::pool::WorkerPool;
+use crate::pool::{PoolHealth, WorkerPool};
 use crate::regime_rt::RegimeController;
 use crate::tasks::{
-    ChangeTask, DetectTask, DigitizerTask, FaceTask, HistogramTask, PeakTask, PoolJob, TaskBody,
+    ChangeTask, DetectTask, DigitizerTask, FaceTask, HistogramTask, PeakTask, PoolJob, StageCtx,
+    TaskBody,
 };
+
+/// Default per-frame latency budget when fault injection is on but no
+/// explicit deadline was configured: generous for test-sized frames, yet
+/// bounded, so an upstream drop cascades as clean deadline skips instead of
+/// deadlocking downstream stages.
+const DEFAULT_FAULT_DEADLINE: Duration = Duration::from_millis(400);
 
 /// Configuration of a tracker run.
 #[derive(Clone, Debug)]
@@ -47,6 +56,16 @@ pub struct TrackerConfig {
     /// camera cable is pulled). Downstream tasks must drain and stop
     /// cleanly via channel closure — no hangs, no leaks.
     pub digitizer_dies_after: Option<u64>,
+    /// Per-frame latency budget for every stage's input waits (the deadline
+    /// watchdog): a frame whose inputs miss the budget is skipped — STM
+    /// consume semantics — instead of back-pressuring the digitizer.
+    /// `None` waits forever (the pre-watchdog behavior), except that
+    /// attaching `faults` defaults the budget so injected drops cascade
+    /// cleanly.
+    pub frame_deadline: Option<Duration>,
+    /// Deterministic fault injection (see [`crate::faults`]); `None` for
+    /// production runs.
+    pub faults: Option<Arc<FaultInjector>>,
 }
 
 impl TrackerConfig {
@@ -66,6 +85,8 @@ impl TrackerConfig {
             recycle_buffers: true,
             min_score: 5.0,
             digitizer_dies_after: None,
+            frame_deadline: None,
+            faults: None,
         }
     }
 }
@@ -85,7 +106,11 @@ pub struct TrackerApp {
     pub scene: Scene,
     /// Number of frames this app will process.
     pub n_frames: u64,
+    /// Shared health ledger of the run: every frame-path fault any stage
+    /// absorbed (drops, deadline skips, chunk recomputes, regime clamps).
+    pub health: Arc<RuntimeHealth>,
     channels: AppChannels,
+    pool: Option<Arc<WorkerPool<PoolJob>>>,
     frame_pool: Option<BufPool<Frame>>,
     mask_pool: Option<BufPool<BitMask>>,
 }
@@ -122,6 +147,23 @@ impl TrackerApp {
         );
         let models = scene.models();
         let measure = Arc::new(Measurements::new(cfg.n_frames as usize));
+        let health = Arc::new(RuntimeHealth::default());
+        // The deadline watchdog: explicit budget wins; injecting faults
+        // without one gets a bounded default so upstream drops cascade as
+        // recorded deadline skips instead of wedging downstream gets.
+        let deadline = cfg
+            .frame_deadline
+            .or(cfg.faults.as_ref().map(|_| DEFAULT_FAULT_DEADLINE));
+        let stage_ctx = |stage: Stage| {
+            let mut ctx = StageCtx::new(stage).with_health(Arc::clone(&health));
+            if let Some(d) = deadline {
+                ctx = ctx.with_deadline(d);
+            }
+            if let Some(f) = &cfg.faults {
+                ctx = ctx.with_faults(Arc::clone(f));
+            }
+            ctx
+        };
 
         let cap = cfg.channel_capacity;
         let frames: Channel<PooledFrame> = ChannelBuilder::new("Frame").capacity(cap).build();
@@ -150,16 +192,19 @@ impl TrackerApp {
             cfg.period,
             digitizer_frames,
             Arc::clone(&measure),
-        );
+        )
+        .with_ctx(stage_ctx(Stage::Digitizer));
         if let Some(p) = &frame_pool {
             digitizer = digitizer.with_frame_pool(p.clone());
         }
-        let mut histogram = HistogramTask::new(frames.attach_input(), hist.clone());
+        let mut histogram = HistogramTask::new(frames.attach_input(), hist.clone())
+            .with_ctx(stage_ctx(Stage::Histogram));
         let mut change = ChangeTask::new(
             frames.attach_input(),
             mask.clone(),
             u16::from(vision::change::DEFAULT_THRESHOLD),
-        );
+        )
+        .with_ctx(stage_ctx(Stage::Change));
         if let Some(p) = &mask_pool {
             change = change.with_mask_pool(p.clone());
         }
@@ -172,24 +217,41 @@ impl TrackerApp {
             cfg.width,
             cfg.height,
             cfg.decomposition,
-        );
+        )
+        .with_ctx(stage_ctx(Stage::Detect));
         if let Some(c) = &controller {
             detect = detect.with_controller(Arc::clone(c));
         }
+        let mut shared_pool = None;
         if cfg.pool_workers > 0 {
             // One pool serves both data-parallel stages (T4 chunks and T2
-            // histogram strips).
-            let pool: Arc<WorkerPool<PoolJob>> =
-                Arc::new(WorkerPool::new(cfg.pool_workers, PoolJob::run));
+            // histogram strips). With fault injection attached, the handler
+            // probes the injector first — the injected panic lands inside
+            // the pool's catch_unwind, exactly where a real one would.
+            let pool: Arc<WorkerPool<PoolJob>> = match &cfg.faults {
+                Some(f) => {
+                    let f = Arc::clone(f);
+                    Arc::new(WorkerPool::new(cfg.pool_workers, move |job: PoolJob| {
+                        f.maybe_panic_job();
+                        job.run();
+                    }))
+                }
+                None => Arc::new(WorkerPool::new(cfg.pool_workers, PoolJob::run)),
+            };
             detect = detect.with_pool(Arc::clone(&pool));
-            histogram = histogram.with_pool(pool, cfg.pool_workers);
+            histogram = histogram.with_pool(Arc::clone(&pool), cfg.pool_workers);
+            shared_pool = Some(pool);
         }
-        let peak = PeakTask::new(scores.attach_input(), locations.clone(), cfg.min_score);
-        let face = Arc::new(FaceTask::new(
-            locations.attach_input(),
-            Arc::clone(&measure),
-            controller.clone(),
-        ));
+        let peak = PeakTask::new(scores.attach_input(), locations.clone(), cfg.min_score)
+            .with_ctx(stage_ctx(Stage::Peak));
+        let face = Arc::new(
+            FaceTask::new(
+                locations.attach_input(),
+                Arc::clone(&measure),
+                controller.clone(),
+            )
+            .with_ctx(stage_ctx(Stage::Face)),
+        );
 
         let tasks: Vec<Arc<dyn TaskBody>> = vec![
             Arc::new(digitizer),
@@ -207,6 +269,7 @@ impl TrackerApp {
             controller,
             scene,
             n_frames: cfg.n_frames,
+            health,
             channels: AppChannels {
                 frames,
                 hist,
@@ -214,9 +277,17 @@ impl TrackerApp {
                 scores,
                 locations,
             },
+            pool: shared_pool,
             frame_pool,
             mask_pool,
         }
+    }
+
+    /// The shared worker pool's fault ledger (panics contained, workers
+    /// respawned, inline fallbacks), when a pool is attached.
+    #[must_use]
+    pub fn pool_health(&self) -> Option<PoolHealth> {
+        self.pool.as_ref().map(|p| p.health())
     }
 
     /// Frame-buffer pool traffic, when recycling is on. `created` stops
@@ -269,7 +340,7 @@ mod tests {
         cfg.pool_workers = 2;
         let mut table = std::collections::BTreeMap::new();
         table.insert(0, (1, 1));
-        let c = Arc::new(RegimeController::new(2, 2, table));
+        let c = Arc::new(RegimeController::new(2, 2, table).unwrap());
         let app = TrackerApp::build(&cfg, Some(c));
         assert!(app.controller.is_some());
     }

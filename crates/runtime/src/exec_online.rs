@@ -31,7 +31,9 @@ impl OnlineExecutor {
                             }
                         }
                     })
-                    .expect("spawn task thread");
+                    // INVARIANT: startup-only (before any frame flows), not
+                    // on the steady-state frame path.
+                    .expect("spawn task thread at startup");
             }
         });
         app.measure.stats(warmup)

@@ -27,6 +27,8 @@ impl ScheduledExecutor {
     /// Returns wall-clock statistics (excluding `warmup` frames).
     #[must_use]
     pub fn run(app: &TrackerApp, sched: &PipelinedSchedule, warmup: usize) -> RunStats {
+        // INVARIANT: startup precondition on the *schedule*, checked once
+        // before any frame flows — never on the steady-state frame path.
         assert!(
             sched.find_collision().is_none(),
             "refusing to execute a colliding schedule"
@@ -75,7 +77,9 @@ impl ScheduledExecutor {
                             }
                         }
                     })
-                    .expect("spawn master");
+                    // INVARIANT: startup-only (before any frame flows), not
+                    // on the steady-state frame path.
+                    .expect("spawn master thread at startup");
             }
         });
         app.measure.stats(warmup)

@@ -138,12 +138,15 @@ impl<T> Pooled<T> {
 impl<T> Deref for Pooled<T> {
     type Target = T;
     fn deref(&self) -> &T {
+        // INVARIANT: `buf` is `Some` from construction until `drop` takes
+        // it; no safe API can observe the vacated state.
         self.buf.as_ref().expect("buffer present until drop")
     }
 }
 
 impl<T> DerefMut for Pooled<T> {
     fn deref_mut(&mut self) -> &mut T {
+        // INVARIANT: see `Deref` — `buf` is only vacated inside `drop`.
         self.buf.as_mut().expect("buffer present until drop")
     }
 }

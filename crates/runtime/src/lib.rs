@@ -26,8 +26,10 @@
 //! a pre-computed table" on every frame.
 
 pub mod app;
+pub mod error;
 pub mod exec_online;
 pub mod exec_scheduled;
+pub mod faults;
 pub mod frame_pool;
 pub mod measure;
 pub mod pool;
@@ -35,10 +37,12 @@ pub mod regime_rt;
 pub mod tasks;
 
 pub use app::{TrackerApp, TrackerConfig};
+pub use error::{HealthReport, RuntimeError, RuntimeHealth, Stage};
 pub use exec_online::OnlineExecutor;
 pub use exec_scheduled::ScheduledExecutor;
+pub use faults::{FaultInjector, FaultPlan, InjectedCounts};
 pub use frame_pool::{BufPool, PoolStats, Pooled, PooledFrame, PooledMask};
 pub use measure::{Measurements, RunStats};
-pub use pool::{PoolClosed, WorkerPool};
-pub use regime_rt::RegimeController;
+pub use pool::{PoolClosed, PoolHealth, WorkerPool};
+pub use regime_rt::{RegimeController, RegimeError};
 pub use tasks::{PoolJob, TaskBody};

@@ -24,14 +24,21 @@ impl Measurements {
         }
     }
 
-    /// Record that frame `ts` finished digitizing now.
+    /// Record that frame `ts` finished digitizing now. A timestamp beyond
+    /// the preallocated window is ignored — measurement must never panic
+    /// the live path.
     pub fn mark_digitized(&self, ts: u64) {
-        self.digitized.lock()[ts as usize] = Some(Instant::now());
+        if let Some(slot) = self.digitized.lock().get_mut(ts as usize) {
+            *slot = Some(Instant::now());
+        }
     }
 
-    /// Record that frame `ts` finished all processing now.
+    /// Record that frame `ts` finished all processing now (out-of-window
+    /// timestamps are ignored, as in [`mark_digitized`](Self::mark_digitized)).
     pub fn mark_completed(&self, ts: u64) {
-        self.completed.lock()[ts as usize] = Some(Instant::now());
+        if let Some(slot) = self.completed.lock().get_mut(ts as usize) {
+            *slot = Some(Instant::now());
+        }
     }
 
     /// Reduce to run statistics, skipping `warmup` completed frames.
@@ -74,8 +81,8 @@ impl Measurements {
             let p95 = sorted[((sorted.len() * 95).div_ceil(100)).clamp(1, sorted.len()) - 1];
             (
                 sum / latencies.len() as u32,
-                *sorted.first().unwrap(),
-                *sorted.last().unwrap(),
+                sorted.first().copied().unwrap_or_default(),
+                sorted.last().copied().unwrap_or_default(),
                 p95,
             )
         };

@@ -2,12 +2,25 @@
 //! splitter/worker/joiner structure. "Chunks get assigned to worker threads
 //! based on worker availability" — a shared channel serves as the work
 //! queue; replies flow through per-request done channels.
+//!
+//! The pool *contains* worker faults instead of propagating them: each job
+//! runs under [`std::panic::catch_unwind`], a panicking worker retires and
+//! is lazily respawned (up to a configurable cap), and [`shutdown`]
+//! (`WorkerPool::shutdown`) reports what happened through [`PoolHealth`]
+//! instead of re-raising a worker's panic into the joiner. A job that
+//! panics is consumed — its reply channel drops, which is exactly the
+//! signal a Fig. 9 joiner needs to recompute the lost chunk inline.
 
-use crossbeam::channel::{unbounded, Sender};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 
-/// Error returned by [`WorkerPool::submit`] after shutdown; carries the job
-/// back so the caller can run it inline or requeue it elsewhere.
+/// Error returned by [`WorkerPool::submit`] after shutdown (or once every
+/// worker has retired and the respawn cap is spent); carries the job back
+/// so the caller can run it inline or requeue it elsewhere.
 pub struct PoolClosed<J>(pub J);
 
 impl<J> std::fmt::Debug for PoolClosed<J> {
@@ -22,72 +35,255 @@ impl<J> std::fmt::Display for PoolClosed<J> {
     }
 }
 
+/// Fault ledger of a [`WorkerPool`]: what the pool absorbed so the rest of
+/// the pipeline didn't have to.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct PoolHealth {
+    /// Jobs whose handler panicked (contained by `catch_unwind`, plus any
+    /// worker thread that died in a way `catch_unwind` could not observe).
+    pub panics: u64,
+    /// Workers respawned to replace panicked ones.
+    pub respawns: u64,
+    /// Jobs handed back to callers (or drained at shutdown) for inline
+    /// execution instead of running on a pool worker.
+    pub inline_fallbacks: u64,
+}
+
+impl PoolHealth {
+    /// True when the pool never saw a fault.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        *self == PoolHealth::default()
+    }
+}
+
+impl std::fmt::Display for PoolHealth {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "panics={} respawns={} inline-fallbacks={}",
+            self.panics, self.respawns, self.inline_fallbacks
+        )
+    }
+}
+
+/// Counters shared between the pool handle and its worker threads.
+#[derive(Default)]
+struct Shared {
+    panics: AtomicU64,
+    respawns: AtomicU64,
+    inline_fallbacks: AtomicU64,
+    /// Workers that retired after a contained panic and await respawn.
+    retired: AtomicUsize,
+    /// Workers currently running their receive loop.
+    live: AtomicUsize,
+}
+
+impl Shared {
+    fn health(&self) -> PoolHealth {
+        PoolHealth {
+            panics: self.panics.load(Ordering::SeqCst),
+            respawns: self.respawns.load(Ordering::SeqCst),
+            inline_fallbacks: self.inline_fallbacks.load(Ordering::SeqCst),
+        }
+    }
+}
+
 /// A fixed pool of worker threads consuming jobs of type `J`.
+///
+/// Panics inside the handler never cross the pool boundary: the worker
+/// retires, a replacement is respawned on the next `submit` (up to
+/// [`with_respawn_cap`](Self::with_respawn_cap)), and the tally lands in
+/// [`PoolHealth`].
 pub struct WorkerPool<J: Send + 'static> {
     tx: Option<Sender<J>>,
-    handles: Vec<JoinHandle<()>>,
+    rx: Receiver<J>,
+    handler: Arc<dyn Fn(J) + Send + Sync + 'static>,
+    handles: Mutex<Vec<JoinHandle<()>>>,
+    shared: Arc<Shared>,
+    respawn_cap: u64,
+    spawned: AtomicUsize,
 }
 
 impl<J: Send + 'static> WorkerPool<J> {
-    /// Spawn `n` workers, each running `handler` on every job it receives.
+    /// Spawn `n` workers (at least one), each running `handler` on every job
+    /// it receives. The default respawn cap is `4 * n`.
     #[must_use]
     pub fn new<F>(n: usize, handler: F) -> Self
     where
-        F: Fn(J) + Send + Clone + 'static,
+        F: Fn(J) + Send + Sync + 'static,
     {
-        assert!(n >= 1, "pool needs at least one worker");
+        let n = n.max(1);
         let (tx, rx) = unbounded::<J>();
-        let handles = (0..n)
-            .map(|i| {
-                let rx = rx.clone();
-                let handler = handler.clone();
-                std::thread::Builder::new()
-                    .name(format!("dp-worker-{i}"))
-                    .spawn(move || {
-                        while let Ok(job) = rx.recv() {
-                            handler(job);
-                        }
-                    })
-                    .expect("spawn worker")
-            })
-            .collect();
-        WorkerPool {
+        let handler: Arc<dyn Fn(J) + Send + Sync> = Arc::new(handler);
+        let shared = Arc::new(Shared::default());
+        let pool = WorkerPool {
             tx: Some(tx),
-            handles,
+            rx,
+            handler,
+            handles: Mutex::new(Vec::with_capacity(n)),
+            shared,
+            respawn_cap: 4 * n as u64,
+            spawned: AtomicUsize::new(0),
+        };
+        {
+            let mut handles = pool.handles.lock();
+            for _ in 0..n {
+                if let Some(h) = pool.spawn_worker() {
+                    handles.push(h);
+                }
+            }
+        }
+        pool
+    }
+
+    /// Set the maximum number of panicked workers that will be replaced over
+    /// the pool's lifetime. Once spent, the pool degrades to the caller's
+    /// inline path instead of silently queueing jobs no one will run.
+    #[must_use]
+    pub fn with_respawn_cap(mut self, cap: u64) -> Self {
+        self.respawn_cap = cap;
+        self
+    }
+
+    /// Spawn one worker thread. Returns `None` if the OS refuses — the pool
+    /// degrades (fewer workers / inline fallback) rather than panicking.
+    fn spawn_worker(&self) -> Option<JoinHandle<()>> {
+        let i = self.spawned.fetch_add(1, Ordering::SeqCst);
+        let rx = self.rx.clone();
+        let handler = Arc::clone(&self.handler);
+        let shared = Arc::clone(&self.shared);
+        shared.live.fetch_add(1, Ordering::SeqCst);
+        let spawned = std::thread::Builder::new()
+            .name(format!("dp-worker-{i}"))
+            .spawn(move || {
+                while let Ok(job) = rx.recv() {
+                    // Contain the fault: the job is consumed either way, so
+                    // a panicking chunk drops its reply sender and the
+                    // joiner recomputes it inline. The worker retires (its
+                    // stack may hold poisoned state) and `heal` respawns a
+                    // fresh one.
+                    if catch_unwind(AssertUnwindSafe(|| (handler)(job))).is_err() {
+                        shared.panics.fetch_add(1, Ordering::SeqCst);
+                        shared.retired.fetch_add(1, Ordering::SeqCst);
+                        shared.live.fetch_sub(1, Ordering::SeqCst);
+                        return;
+                    }
+                }
+                shared.live.fetch_sub(1, Ordering::SeqCst);
+            });
+        match spawned {
+            Ok(h) => Some(h),
+            Err(_) => {
+                self.shared.live.fetch_sub(1, Ordering::SeqCst);
+                None
+            }
         }
     }
 
-    /// Enqueue one job, or hand it back if the pool is shut down so the
-    /// caller can fall back to running it inline.
+    /// Replace retired workers, up to the respawn cap.
+    fn heal(&self) {
+        loop {
+            let retired = self.shared.retired.load(Ordering::SeqCst);
+            if retired == 0 || self.shared.respawns.load(Ordering::SeqCst) >= self.respawn_cap {
+                return;
+            }
+            if self
+                .shared
+                .retired
+                .compare_exchange(retired, retired - 1, Ordering::SeqCst, Ordering::SeqCst)
+                .is_ok()
+            {
+                self.shared.respawns.fetch_add(1, Ordering::SeqCst);
+                if let Some(h) = self.spawn_worker() {
+                    self.handles.lock().push(h);
+                }
+            }
+        }
+    }
+
+    /// Enqueue one job, or hand it back if the pool is shut down — or has no
+    /// live worker left and the respawn cap is spent — so the caller can fall
+    /// back to running it inline. The hand-back is counted in
+    /// [`PoolHealth::inline_fallbacks`].
     pub fn submit(&self, job: J) -> Result<(), PoolClosed<J>> {
-        match &self.tx {
-            Some(tx) => tx.send(job).map_err(|e| PoolClosed(e.0)),
-            None => Err(PoolClosed(job)),
+        self.heal();
+        let Some(tx) = &self.tx else {
+            self.shared.inline_fallbacks.fetch_add(1, Ordering::SeqCst);
+            return Err(PoolClosed(job));
+        };
+        if self.shared.live.load(Ordering::SeqCst) == 0 {
+            // Every worker is gone and cannot be replaced: queueing the job
+            // would strand it (and hang its joiner). Drain anything already
+            // queued in this caller's thread, then hand the job back.
+            self.drain_inline();
+            self.shared.inline_fallbacks.fetch_add(1, Ordering::SeqCst);
+            return Err(PoolClosed(job));
+        }
+        match tx.send(job) {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                self.shared.inline_fallbacks.fetch_add(1, Ordering::SeqCst);
+                Err(PoolClosed(e.0))
+            }
         }
     }
 
-    /// Stop accepting jobs, drain the queue, and join every worker. Called
-    /// implicitly on drop; explicit shutdown lets callers observe (and test)
-    /// the join, and makes later `submit` calls return the job instead of
-    /// panicking.
-    pub fn shutdown(&mut self) {
+    /// Run any still-queued jobs in the current thread, containing panics.
+    fn drain_inline(&self) {
+        while let Ok(job) = self.rx.try_recv() {
+            self.shared.inline_fallbacks.fetch_add(1, Ordering::SeqCst);
+            if catch_unwind(AssertUnwindSafe(|| (self.handler)(job))).is_err() {
+                self.shared.panics.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+    }
+
+    /// Stop accepting jobs, drain the queue, join every worker, and report
+    /// the pool's fault ledger. A worker that died panicking is *reported*
+    /// (in [`PoolHealth::panics`]), never re-raised into the caller — the
+    /// historical double-panic-on-shutdown is gone. Idempotent; called
+    /// implicitly on drop.
+    pub fn shutdown(&mut self) -> PoolHealth {
         self.tx.take();
-        for h in self.handles.drain(..) {
-            let _ = h.join();
+        let handles: Vec<JoinHandle<()>> = std::mem::take(&mut *self.handles.lock());
+        for h in handles {
+            if h.join().is_err() {
+                // A panic escaped catch_unwind (e.g. thrown while dropping
+                // the first panic's payload). Report, don't re-raise.
+                self.shared.panics.fetch_add(1, Ordering::SeqCst);
+            }
         }
+        // If workers retired before emptying the queue, finish their jobs
+        // here so no submitted job is silently dropped.
+        self.drain_inline();
+        self.shared.health()
     }
 
-    /// Number of workers.
+    /// Snapshot of the pool's fault ledger.
+    #[must_use]
+    pub fn health(&self) -> PoolHealth {
+        self.shared.health()
+    }
+
+    /// Number of worker threads spawned and not yet joined (0 after
+    /// shutdown).
     #[must_use]
     pub fn n_workers(&self) -> usize {
-        self.handles.len()
+        self.handles.lock().len()
     }
 }
 
 impl<J: Send + 'static> Drop for WorkerPool<J> {
     fn drop(&mut self) {
-        // Closing the channel stops the workers after draining.
-        self.shutdown();
+        if std::thread::panicking() {
+            // Dropped during an unwind: joining could observe a worker
+            // panic and abort the process (panic-in-panic). Detach instead;
+            // closing the channel stops the workers after draining.
+            self.tx.take();
+            return;
+        }
+        let _ = self.shutdown();
     }
 }
 
@@ -163,6 +359,7 @@ mod tests {
         // Shutdown is idempotent.
         pool.shutdown();
         assert_eq!(pool.n_workers(), 0);
+        assert_eq!(pool.health().inline_fallbacks, 1);
     }
 
     #[test]
@@ -233,5 +430,114 @@ mod tests {
         // Drop joined the workers: queue fully drained, handler clones freed.
         assert_eq!(processed.load(Ordering::SeqCst), 210);
         assert_eq!(Arc::strong_count(&alive), 1, "worker closures dropped");
+    }
+
+    #[test]
+    fn panicking_job_is_contained_and_worker_respawned() {
+        // The tentpole regression: a panicking handler must not kill the
+        // pool. Non-panicking jobs before AND after the fault all run, the
+        // panic is tallied, and a replacement worker is spawned.
+        let processed = Arc::new(AtomicU64::new(0));
+        let p2 = Arc::clone(&processed);
+        let mut pool: WorkerPool<u64> = WorkerPool::new(1, move |j| {
+            if j == u64::MAX {
+                panic!("injected worker panic");
+            }
+            p2.fetch_add(j, Ordering::SeqCst);
+        });
+        for j in 1..=10u64 {
+            pool.submit(j).unwrap();
+        }
+        pool.submit(u64::MAX).unwrap();
+        for j in 11..=20u64 {
+            pool.submit(j).unwrap();
+        }
+        let health = pool.shutdown();
+        assert_eq!(processed.load(Ordering::SeqCst), (1..=20u64).sum::<u64>());
+        assert_eq!(health.panics, 1);
+        assert!(
+            health.respawns >= 1 || health.inline_fallbacks > 0,
+            "the lost worker was replaced or its backlog drained inline: {health}"
+        );
+    }
+
+    #[test]
+    fn shutdown_under_panic_reports_instead_of_repanicking() {
+        // Regression for the double-panic-on-shutdown: every worker dies
+        // panicking, then shutdown must complete normally and report the
+        // faults — the old `join().unwrap()` would have re-raised here.
+        let mut pool: WorkerPool<u64> =
+            WorkerPool::new(2, |_| panic!("injected worker panic")).with_respawn_cap(0);
+        pool.submit(1).unwrap();
+        pool.submit(2).unwrap();
+        // Give the workers a moment to pick the jobs up and die.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        let health = pool.shutdown();
+        assert_eq!(health.panics, 2, "both panics contained and counted");
+        assert_eq!(health.respawns, 0, "cap 0: no replacements");
+        assert_eq!(pool.n_workers(), 0);
+    }
+
+    #[test]
+    fn respawn_cap_degrades_to_inline_fallback() {
+        // Once the respawn budget is spent and every worker is gone, submit
+        // hands jobs back (counted) instead of stranding them in the queue.
+        let processed = Arc::new(AtomicU64::new(0));
+        let p2 = Arc::clone(&processed);
+        let mut pool: WorkerPool<u64> = WorkerPool::new(1, move |j| {
+            if j == u64::MAX {
+                panic!("injected worker panic");
+            }
+            p2.fetch_add(j, Ordering::SeqCst);
+        })
+        .with_respawn_cap(1);
+        // First panic: consumed by worker 0; heal() replaces it (respawn 1).
+        pool.submit(u64::MAX).unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        pool.submit(1).unwrap();
+        // Second panic kills the replacement; the cap is spent.
+        pool.submit(u64::MAX).unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        let mut inline = 0u64;
+        for j in 2..=5u64 {
+            if let Err(PoolClosed(job)) = pool.submit(j) {
+                inline += job; // documented fallback: run it inline
+            }
+        }
+        let health = pool.shutdown();
+        assert_eq!(health.panics, 2);
+        assert_eq!(health.respawns, 1, "cap honoured");
+        assert!(
+            health.inline_fallbacks >= 1,
+            "callers were told to fall back"
+        );
+        assert_eq!(
+            processed.load(Ordering::SeqCst) + inline,
+            (1..=5u64).sum::<u64>(),
+            "every non-panicking job ran exactly once, somewhere"
+        );
+    }
+
+    #[test]
+    fn drop_during_unwind_does_not_abort() {
+        // A pool dropped while the owning thread is already panicking must
+        // not join (and thus must not double-panic/abort).
+        let r = std::panic::catch_unwind(|| {
+            let pool: WorkerPool<u64> = WorkerPool::new(1, |_| panic!("injected worker panic"));
+            pool.submit(1).unwrap();
+            std::thread::sleep(std::time::Duration::from_millis(10));
+            panic!("owner panics with a live pool");
+        });
+        assert!(r.is_err(), "owner panic propagates cleanly");
+    }
+
+    #[test]
+    fn health_snapshot_mid_run() {
+        let pool: WorkerPool<u64> = WorkerPool::new(2, |_| {});
+        assert!(pool.health().is_clean());
+        assert_eq!(
+            pool.health().to_string(),
+            "panics=0 respawns=0 inline-fallbacks=0"
+        );
     }
 }

@@ -2,8 +2,15 @@
 //! decomposition table of §2.2 ("it is easy for the application to switch
 //! the data decomposition strategy based on the current state") wired to
 //! the debounced detector.
+//!
+//! The controller never panics at run time: a detector observation outside
+//! the precomputed table *clamps* to the nearest known regime (the §3.4
+//! table-lookup semantics — the table covers the constrained set of states,
+//! anything else maps to its closest listed neighbour) and bumps a counter;
+//! an empty table is a construction-time [`RegimeError`], not a live panic.
 
 use std::collections::BTreeMap;
+use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use parking_lot::Mutex;
@@ -20,6 +27,24 @@ fn decode(v: u64) -> (u32, u32) {
     ((v >> 32) as u32, (v & 0xFFFF_FFFF) as u32)
 }
 
+/// Construction-time errors of [`RegimeController`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum RegimeError {
+    /// The decomposition table has no entries: there is no regime to run
+    /// in, so the controller cannot be built.
+    EmptyTable,
+}
+
+impl fmt::Display for RegimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RegimeError::EmptyTable => f.write_str("decomposition table must be non-empty"),
+        }
+    }
+}
+
+impl std::error::Error for RegimeError {}
+
 /// Maps the detected people count to the decomposition the splitter should
 /// use, switching through a debounced detector.
 pub struct RegimeController {
@@ -27,22 +52,32 @@ pub struct RegimeController {
     table: BTreeMap<u32, (u32, u32)>,
     current: AtomicU64,
     switches: AtomicU64,
+    clamps: AtomicU64,
 }
 
 impl RegimeController {
     /// Create a controller. `table` maps a model count to `(FP, MP)`;
-    /// lookups take the nearest entry at or below the observed count
-    /// (falling back to the smallest entry).
-    #[must_use]
-    pub fn new(initial: u32, confirm_after: usize, table: BTreeMap<u32, (u32, u32)>) -> Self {
-        assert!(!table.is_empty(), "decomposition table must be non-empty");
-        let initial_decomp = Self::lookup(&table, initial);
-        RegimeController {
+    /// lookups take the nearest entry at or below the observed count,
+    /// clamping to the smallest entry when the observation falls below
+    /// every listed regime. An empty table is an error.
+    pub fn new(
+        initial: u32,
+        confirm_after: usize,
+        table: BTreeMap<u32, (u32, u32)>,
+    ) -> Result<Self, RegimeError> {
+        if table.is_empty() {
+            return Err(RegimeError::EmptyTable);
+        }
+        let ctl = RegimeController {
             detector: Mutex::new(RegimeDetector::new(AppState::new(initial), confirm_after)),
             table,
-            current: AtomicU64::new(encode(initial_decomp.0, initial_decomp.1)),
+            current: AtomicU64::new(0),
             switches: AtomicU64::new(0),
-        }
+            clamps: AtomicU64::new(0),
+        };
+        let (fp, mp) = ctl.lookup(initial);
+        ctl.current.store(encode(fp, mp), Ordering::SeqCst);
+        Ok(ctl)
     }
 
     /// Build a controller straight from an offline [`ScheduleTable`] (the
@@ -54,45 +89,52 @@ impl RegimeController {
     ///
     /// This is the §3.4 offline→online hand-off: the branch-and-bound
     /// search (offline, cached) decides *what* each regime runs; this
-    /// controller only decides *when* to switch.
-    #[must_use]
+    /// controller only decides *when* to switch. A table with no states
+    /// yields [`RegimeError::EmptyTable`].
     pub fn from_schedule_table(
         table: &ScheduleTable,
         dp_task: TaskId,
         initial: u32,
         confirm_after: usize,
-    ) -> Self {
+    ) -> Result<Self, RegimeError> {
         let map: BTreeMap<u32, (u32, u32)> = table
             .states()
             .into_iter()
-            .map(|s| {
-                let sched = table.get(&s).expect("state listed");
+            .filter_map(|s| {
+                // A state listed without a schedule cannot happen today, but
+                // skipping it beats panicking on a half-built table.
+                let sched = table.get(&s)?;
                 let d = sched
                     .iteration
                     .decomp
                     .get(&dp_task)
                     .map_or((1, 1), |d| (d.fp, d.mp));
-                (s.n_models, d)
+                Some((s.n_models, d))
             })
             .collect();
         Self::new(initial, confirm_after, map)
     }
 
-    fn lookup(table: &BTreeMap<u32, (u32, u32)>, n: u32) -> (u32, u32) {
-        table
-            .range(..=n)
-            .next_back()
-            .or_else(|| table.iter().next())
-            .map(|(_, &d)| d)
-            .expect("non-empty table")
+    /// The `(FP, MP)` for an observed model count: nearest table entry at
+    /// or below `n`, clamped to the smallest entry (and counted) when `n`
+    /// lies below every listed regime. The constructor guarantees the table
+    /// is non-empty; the `(1, 1)` fallback is unreachable belt-and-braces.
+    fn lookup(&self, n: u32) -> (u32, u32) {
+        if let Some((_, &d)) = self.table.range(..=n).next_back() {
+            return d;
+        }
+        self.clamps.fetch_add(1, Ordering::SeqCst);
+        self.table.iter().next().map_or((1, 1), |(_, &d)| d)
     }
 
     /// Feed the per-frame observation (the peak detector's people count).
     /// Updates the active decomposition when a regime change is confirmed.
+    /// A confirmed state outside the table clamps to the nearest known
+    /// regime instead of panicking (see [`clamps`](Self::clamps)).
     pub fn observe(&self, detected: u32) {
         let mut det = self.detector.lock();
         if let Some(new_state) = det.observe(AppState::new(detected)) {
-            let (fp, mp) = Self::lookup(&self.table, new_state.n_models);
+            let (fp, mp) = self.lookup(new_state.n_models);
             self.current.store(encode(fp, mp), Ordering::SeqCst);
             self.switches.fetch_add(1, Ordering::SeqCst);
         }
@@ -108,6 +150,13 @@ impl RegimeController {
     #[must_use]
     pub fn switches(&self) -> u64 {
         self.switches.load(Ordering::SeqCst)
+    }
+
+    /// Observations that fell outside the table and were clamped to the
+    /// nearest known regime.
+    #[must_use]
+    pub fn clamps(&self) -> u64 {
+        self.clamps.load(Ordering::SeqCst)
     }
 }
 
@@ -125,15 +174,15 @@ mod tests {
 
     #[test]
     fn initial_decomposition_from_table() {
-        let c = RegimeController::new(1, 2, table());
+        let c = RegimeController::new(1, 2, table()).unwrap();
         assert_eq!(c.current_decomp(), (4, 1));
-        let c = RegimeController::new(3, 2, table());
+        let c = RegimeController::new(3, 2, table()).unwrap();
         assert_eq!(c.current_decomp(), (1, 8));
     }
 
     #[test]
     fn confirmed_change_switches_decomposition() {
-        let c = RegimeController::new(1, 2, table());
+        let c = RegimeController::new(1, 2, table()).unwrap();
         c.observe(4);
         assert_eq!(c.current_decomp(), (4, 1), "one observation is not enough");
         c.observe(4);
@@ -143,7 +192,7 @@ mod tests {
 
     #[test]
     fn blips_do_not_switch() {
-        let c = RegimeController::new(1, 3, table());
+        let c = RegimeController::new(1, 3, table()).unwrap();
         for _ in 0..5 {
             c.observe(4);
             c.observe(1);
@@ -154,16 +203,36 @@ mod tests {
 
     #[test]
     fn lookup_takes_nearest_at_or_below() {
-        let c = RegimeController::new(0, 1, table());
+        let c = RegimeController::new(0, 1, table()).unwrap();
         assert_eq!(c.current_decomp(), (4, 1));
         c.observe(7); // ≥2 → (1, 8)
         assert_eq!(c.current_decomp(), (1, 8));
     }
 
     #[test]
-    #[should_panic(expected = "non-empty")]
-    fn empty_table_rejected() {
-        let _ = RegimeController::new(0, 1, BTreeMap::new());
+    fn empty_table_rejected_as_error() {
+        // Formerly a should_panic test: an empty table is now a typed
+        // constructor error, never a live panic.
+        match RegimeController::new(0, 1, BTreeMap::new()) {
+            Err(e) => assert_eq!(e, RegimeError::EmptyTable),
+            Ok(_) => panic!("empty table must be rejected"),
+        }
+    }
+
+    #[test]
+    fn out_of_table_state_clamps_to_nearest_regime() {
+        // Table starts at 1: an observed state of 0 lies below every listed
+        // regime. The old `expect` is gone — the controller clamps to the
+        // smallest entry and counts the clamp.
+        let mut t = BTreeMap::new();
+        t.insert(1, (4, 1));
+        t.insert(2, (1, 8));
+        let c = RegimeController::new(1, 1, t).unwrap();
+        assert_eq!(c.clamps(), 0);
+        c.observe(0); // confirm_after = 1: switches immediately
+        assert_eq!(c.current_decomp(), (4, 1), "clamped to the smallest regime");
+        assert_eq!(c.switches(), 1);
+        assert_eq!(c.clamps(), 1);
     }
 
     #[test]
@@ -179,7 +248,7 @@ mod tests {
         let table = ScheduleTable::precompute(&g, &c, &states, &OptimalConfig::default());
         let t4 = g.task_by_name("Target Detection").unwrap();
 
-        let ctl = RegimeController::from_schedule_table(&table, t4, 1, 2);
+        let ctl = RegimeController::from_schedule_table(&table, t4, 1, 2).unwrap();
         // At 1 model the optimal schedule decomposes T4 by frame (MP
         // clamps to 1); observe a regime change to 8 models and the
         // controller must hand out the 8-model optimum's decomposition.

@@ -8,6 +8,12 @@
 //! collection under that concurrency uses a [`SharedCursor`]: frontiers
 //! advance only over the *contiguous prefix* of completed timestamps, so an
 //! in-flight older instance can never lose its inputs to a younger one.
+//!
+//! Every body is panic-free on the steady-state frame path. Each stage
+//! carries a [`StageCtx`] that routes STM faults, missed latency budgets,
+//! and injected faults into the degradation ladder of [`crate::error`]:
+//! the frame is dropped, the cursor commits, frontiers advance, and the
+//! stream keeps flowing. Only genuine end-of-stream stops a task.
 
 use std::collections::{BTreeSet, HashMap};
 use std::sync::Arc;
@@ -16,7 +22,9 @@ use std::time::{Duration, Instant};
 use crossbeam::channel::bounded;
 use parking_lot::Mutex;
 
-use stm::{Channel, GetError, GetOk, InputConn, OutputConn, Timestamp, TsSpec};
+use stm::{
+    Channel, GetError, GetOk, InputConn, MissReason, OutputConn, PutError, Timestamp, TsSpec,
+};
 use vision::detect::{merge_partials, PartialScores};
 use vision::peak::detected_count;
 use vision::{
@@ -25,6 +33,8 @@ use vision::{
     ScoreMap,
 };
 
+use crate::error::{RuntimeError, RuntimeHealth, Stage};
+use crate::faults::FaultInjector;
 use crate::frame_pool::{BufPool, Pooled, PooledFrame, PooledMask};
 use crate::measure::Measurements;
 use crate::pool::{PoolClosed, WorkerPool};
@@ -34,6 +44,152 @@ use crate::regime_rt::RegimeController;
 /// exhausted).
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub struct Stop;
+
+/// How a frame-path fault concludes: the whole task stops (genuine end of
+/// stream), or exactly this frame is skipped and the stream continues (the
+/// drop-the-frame rung of the degradation ladder).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum FrameFault {
+    Stop,
+    Skip,
+}
+
+/// Per-stage runtime context: the stage's identity for fault attribution,
+/// the run's shared [`RuntimeHealth`] ledger, an optional per-frame latency
+/// budget (the deadline watchdog), and an optional [`FaultInjector`].
+///
+/// All STM traffic of a task body goes through [`StageCtx`] so the
+/// degradation policy lives in exactly one place: end-of-stream errors stop
+/// the task, everything else drops one frame and is recorded.
+#[derive(Clone)]
+pub struct StageCtx {
+    stage: Stage,
+    health: Arc<RuntimeHealth>,
+    deadline: Option<Duration>,
+    faults: Option<Arc<FaultInjector>>,
+}
+
+impl StageCtx {
+    /// A context for `stage` with a private health ledger, no deadline, and
+    /// no fault injection — the default every task starts with.
+    #[must_use]
+    pub fn new(stage: Stage) -> Self {
+        StageCtx {
+            stage,
+            health: Arc::new(RuntimeHealth::default()),
+            deadline: None,
+            faults: None,
+        }
+    }
+
+    /// Share the run-wide health ledger.
+    #[must_use]
+    pub fn with_health(mut self, health: Arc<RuntimeHealth>) -> Self {
+        self.health = health;
+        self
+    }
+
+    /// Bound every input wait by `deadline`; a frame whose inputs miss the
+    /// budget is skipped instead of back-pressuring the whole pipeline.
+    #[must_use]
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Attach a deterministic fault injector.
+    #[must_use]
+    pub fn with_faults(mut self, faults: Arc<FaultInjector>) -> Self {
+        self.faults = Some(faults);
+        self
+    }
+
+    /// The shared health ledger.
+    #[must_use]
+    pub fn health(&self) -> &Arc<RuntimeHealth> {
+        &self.health
+    }
+
+    /// Frame entry hook: applies any injected straggler delay.
+    fn begin(&self, ts: Timestamp) {
+        if let Some(f) = &self.faults {
+            f.delay(self.stage, ts.0);
+        }
+    }
+
+    /// The falsified regime observation for `ts`, if one is injected.
+    fn misread(&self, ts: u64) -> Option<u32> {
+        self.faults.as_ref().and_then(|f| f.misread(ts))
+    }
+
+    /// One STM `get` under the degradation policy. End-of-stream errors map
+    /// to [`FrameFault::Stop`]; a missed deadline or an unexpected error
+    /// (including an injected one) records a [`RuntimeError`] and maps to
+    /// [`FrameFault::Skip`]. This replaces the historical
+    /// `panic!("unexpected STM error …")` on the live path.
+    fn get<T>(&self, conn: &InputConn<T>, ts: Timestamp) -> Result<GetOk<T>, FrameFault> {
+        let res = match self.deadline {
+            Some(d) => conn.get_timeout(TsSpec::Exact(ts), d),
+            None => conn.get(TsSpec::Exact(ts)),
+        };
+        match res {
+            // An injected error fires only *after* the real get succeeded:
+            // the item is then already in the channel (its producer's put
+            // cannot race the skip's frontier advance), so a planned error
+            // costs exactly one frame here — never a put rejection upstream.
+            Ok(_)
+                if self
+                    .faults
+                    .as_ref()
+                    .is_some_and(|f| f.stm_error(self.stage, ts.0)) =>
+            {
+                self.health.record(RuntimeError::StmGet {
+                    stage: self.stage,
+                    ts: ts.0,
+                    err: GetError::Unsatisfiable(MissReason::AlreadyConsumed),
+                });
+                Err(FrameFault::Skip)
+            }
+            Ok(v) => Ok(v),
+            // Channel closed, or a sibling instance already settled this
+            // frame during shutdown: the stream has ended here.
+            Err(e) if e.is_end_of_stream() => Err(FrameFault::Stop),
+            Err(GetError::Timeout) => {
+                self.health.record(RuntimeError::DeadlineExceeded {
+                    stage: self.stage,
+                    ts: ts.0,
+                });
+                Err(FrameFault::Skip)
+            }
+            Err(e) => {
+                self.health.record(RuntimeError::StmGet {
+                    stage: self.stage,
+                    ts: ts.0,
+                    err: e,
+                });
+                Err(FrameFault::Skip)
+            }
+        }
+    }
+
+    /// One STM `put` under the degradation policy: a closed channel stops
+    /// the task; a rejected late put (straggler overtaken by the watchdog,
+    /// or duplicate) drops the frame and is recorded.
+    fn put<T>(&self, out: &OutputConn<T>, ts: Timestamp, value: T) -> Result<(), FrameFault> {
+        match out.put(ts, value) {
+            Ok(()) => Ok(()),
+            Err(PutError::Closed) => Err(FrameFault::Stop),
+            Err(e) => {
+                self.health.record(RuntimeError::StmPut {
+                    stage: self.stage,
+                    ts: ts.0,
+                    err: e,
+                });
+                Err(FrameFault::Skip)
+            }
+        }
+    }
+}
 
 /// A schedulable task body: process one timestamp, or one chunk of it.
 pub trait TaskBody: Send + Sync {
@@ -101,19 +257,6 @@ impl CloseGate {
     }
 }
 
-fn get_or_stop<T>(conn: &InputConn<T>, ts: Timestamp) -> Result<GetOk<T>, Stop> {
-    match conn.get(TsSpec::Exact(ts)) {
-        Ok(v) => Ok(v),
-        Err(GetError::Closed) => Err(Stop),
-        // Frontiers in this runtime only advance over frames the task has
-        // concluded (processed, or found closed) — so a below-frontier get
-        // means a sibling instance already settled this frame during
-        // shutdown. Nothing left to do.
-        Err(GetError::Unsatisfiable(stm::MissReason::BelowFrontier)) => Err(Stop),
-        Err(e) => panic!("unexpected STM error at {ts}: {e}"),
-    }
-}
-
 // ---------------------------------------------------------------------
 // T1 — Digitizer
 // ---------------------------------------------------------------------
@@ -128,6 +271,7 @@ pub struct DigitizerTask {
     n_frames: u64,
     epoch: Mutex<Option<Instant>>,
     measure: Arc<Measurements>,
+    ctx: StageCtx,
     /// Recycled frame buffers; `render_into` overwrites every pixel, so a
     /// dirty buffer produces bit-identical frames.
     frame_pool: Option<BufPool<Frame>>,
@@ -156,6 +300,7 @@ impl DigitizerTask {
             n_frames,
             epoch: Mutex::new(None),
             measure,
+            ctx: StageCtx::new(Stage::Digitizer),
             frame_pool: None,
             cursor: SharedCursor::default(),
         }
@@ -166,6 +311,13 @@ impl DigitizerTask {
     #[must_use]
     pub fn with_frame_pool(mut self, pool: BufPool<Frame>) -> Self {
         self.frame_pool = Some(pool);
+        self
+    }
+
+    /// Attach a runtime context (shared health, deadline, fault injection).
+    #[must_use]
+    pub fn with_ctx(mut self, ctx: StageCtx) -> Self {
+        self.ctx = ctx;
         self
     }
 
@@ -191,6 +343,7 @@ impl TaskBody for DigitizerTask {
             self.commit_and_maybe_close(ts.0);
             return Err(Stop);
         }
+        self.ctx.begin(ts);
         let epoch = *self.epoch.lock().get_or_insert_with(Instant::now);
         let target = epoch + self.period * ts.0 as u32;
         let now = Instant::now();
@@ -205,12 +358,19 @@ impl TaskBody for DigitizerTask {
             }
             None => Pooled::unpooled(self.scene.render(ts.0)),
         };
-        if self.out.put(ts, frame).is_err() {
-            return Err(Stop);
+        match self.ctx.put(&self.out, ts, frame) {
+            Ok(()) => {
+                self.measure.mark_digitized(ts.0);
+                self.commit_and_maybe_close(ts.0);
+                Ok(())
+            }
+            Err(FrameFault::Stop) => Err(Stop),
+            Err(FrameFault::Skip) => {
+                // The frame was refused (recorded); the stream continues.
+                self.commit_and_maybe_close(ts.0);
+                Ok(())
+            }
         }
-        self.measure.mark_digitized(ts.0);
-        self.commit_and_maybe_close(ts.0);
-        Ok(())
     }
 }
 
@@ -222,13 +382,15 @@ impl TaskBody for DigitizerTask {
 /// pool attached, the frame is split into row strips farmed as the paper's
 /// Fig. 9 splitter/worker/joiner; partial histograms merge exactly in any
 /// order (integer counts in `f32` bins), so the output is bit-identical to
-/// the serial path.
+/// the serial path. A strip whose reply never arrives (worker panic) is
+/// recomputed inline by the joiner — still bit-identical.
 pub struct HistogramTask {
     input: InputConn<PooledFrame>,
     out: OutputConn<ColorHist>,
     out_chan: Channel<ColorHist>,
     /// `(pool, strips)`: farm row strips to the shared worker pool.
     pool: Option<(Arc<WorkerPool<PoolJob>>, usize)>,
+    ctx: StageCtx,
     cursor: SharedCursor,
     gate: CloseGate,
 }
@@ -242,6 +404,7 @@ impl HistogramTask {
             out: out_chan.attach_output(),
             out_chan,
             pool: None,
+            ctx: StageCtx::new(Stage::Histogram),
             cursor: SharedCursor::default(),
             gate: CloseGate::default(),
         }
@@ -255,28 +418,73 @@ impl HistogramTask {
         self
     }
 
+    /// Attach a runtime context (shared health, deadline, fault injection).
+    #[must_use]
+    pub fn with_ctx(mut self, ctx: StageCtx) -> Self {
+        self.ctx = ctx;
+        self
+    }
+
     fn compute(&self, frame: &Arc<PooledFrame>) -> ColorHist {
         match &self.pool {
             Some((pool, strips)) if *strips > 1 => {
-                let (tx, rx) = bounded(*strips);
-                for region in frame.region().split_rows(*strips) {
+                let regions = frame.region().split_rows(*strips);
+                let n = regions.len();
+                let (tx, rx) = bounded(n);
+                for (idx, &region) in regions.iter().enumerate() {
                     let job = PoolJob::Hist(HistJob {
                         frame: Arc::clone(frame),
                         region,
+                        idx,
                         reply: tx.clone(),
                     });
                     if let Err(PoolClosed(job)) = pool.submit(job) {
-                        job.run(); // pool shut down: compute inline
+                        job.run(); // pool unavailable: compute inline
                     }
                 }
                 drop(tx);
+                // Indexed replies: a missing slot means the strip's worker
+                // panicked before sending — recompute it inline so the
+                // merged histogram stays bit-identical to the serial path.
+                let mut parts: Vec<Option<ColorHist>> = (0..n).map(|_| None).collect();
+                for (idx, partial) in rx.iter() {
+                    parts[idx] = Some(partial);
+                }
                 let mut merged = ColorHist::empty();
-                for partial in rx.iter() {
-                    merged.merge(&partial);
+                for (idx, part) in parts.into_iter().enumerate() {
+                    match part {
+                        Some(p) => merged.merge(&p),
+                        None => {
+                            self.ctx.health().record_chunk_recompute();
+                            merged.merge(&ColorHist::of_region(frame, regions[idx]));
+                        }
+                    }
                 }
                 merged
             }
             _ => image_histogram(frame),
+        }
+    }
+
+    /// Conclude a faulted frame: stop at end-of-stream, or skip-commit the
+    /// frame (frontier advances exactly as a publish would).
+    fn conclude(&self, ts: Timestamp, fault: FrameFault) -> Result<(), Stop> {
+        match fault {
+            FrameFault::Stop => {
+                self.gate.mark_closed(ts.0);
+                if self.gate.should_close(self.cursor.commit(ts.0)) {
+                    self.out_chan.close();
+                }
+                Err(Stop)
+            }
+            FrameFault::Skip => {
+                let prefix = self.cursor.commit(ts.0);
+                self.input.advance_frontier(Timestamp(prefix));
+                if self.gate.should_close(prefix) {
+                    self.out_chan.close();
+                }
+                Ok(())
+            }
         }
     }
 }
@@ -287,19 +495,14 @@ impl TaskBody for HistogramTask {
     }
 
     fn process(&self, ts: Timestamp, _chunk: Option<(u32, u32)>) -> Result<(), Stop> {
-        let frame = match get_or_stop(&self.input, ts) {
+        self.ctx.begin(ts);
+        let frame = match self.ctx.get(&self.input, ts) {
             Ok(f) => f,
-            Err(Stop) => {
-                self.gate.mark_closed(ts.0);
-                if self.gate.should_close(self.cursor.commit(ts.0)) {
-                    self.out_chan.close();
-                }
-                return Err(Stop);
-            }
+            Err(fault) => return self.conclude(ts, fault),
         };
         let hist = self.compute(&frame.value);
-        if self.out.put(ts, hist).is_err() {
-            return Err(Stop);
+        if let Err(fault) = self.ctx.put(&self.out, ts, hist) {
+            return self.conclude(ts, fault);
         }
         let prefix = self.cursor.commit(ts.0);
         self.input.advance_frontier(Timestamp(prefix));
@@ -326,6 +529,7 @@ pub struct ChangeTask {
     /// Recycled mask buffers; `change_detection_into` writes every word, so
     /// a dirty buffer produces bit-identical masks.
     mask_pool: Option<BufPool<BitMask>>,
+    ctx: StageCtx,
     cursor: SharedCursor,
     gate: CloseGate,
 }
@@ -344,6 +548,7 @@ impl ChangeTask {
             out_chan,
             threshold,
             mask_pool: None,
+            ctx: StageCtx::new(Stage::Change),
             cursor: SharedCursor::default(),
             gate: CloseGate::default(),
         }
@@ -356,6 +561,36 @@ impl ChangeTask {
         self.mask_pool = Some(pool);
         self
     }
+
+    /// Attach a runtime context (shared health, deadline, fault injection).
+    #[must_use]
+    pub fn with_ctx(mut self, ctx: StageCtx) -> Self {
+        self.ctx = ctx;
+        self
+    }
+
+    /// Conclude a faulted frame; T3's frontier trails its prefix by one
+    /// (instance `ts` reads frame `ts − 1`).
+    fn conclude(&self, ts: Timestamp, fault: FrameFault) -> Result<(), Stop> {
+        match fault {
+            FrameFault::Stop => {
+                self.gate.mark_closed(ts.0);
+                if self.gate.should_close(self.cursor.commit(ts.0)) {
+                    self.out_chan.close();
+                }
+                Err(Stop)
+            }
+            FrameFault::Skip => {
+                let prefix = self.cursor.commit(ts.0);
+                self.input
+                    .advance_frontier(Timestamp(prefix.saturating_sub(1)));
+                if self.gate.should_close(prefix) {
+                    self.out_chan.close();
+                }
+                Ok(())
+            }
+        }
+    }
 }
 
 impl TaskBody for ChangeTask {
@@ -364,15 +599,16 @@ impl TaskBody for ChangeTask {
     }
 
     fn process(&self, ts: Timestamp, _chunk: Option<(u32, u32)>) -> Result<(), Stop> {
-        let stop = |_: &Stop| {
-            self.gate.mark_closed(ts.0);
-            if self.gate.should_close(self.cursor.commit(ts.0)) {
-                self.out_chan.close();
-            }
+        self.ctx.begin(ts);
+        let cur = match self.ctx.get(&self.input, ts) {
+            Ok(c) => c,
+            Err(fault) => return self.conclude(ts, fault),
         };
-        let cur = get_or_stop(&self.input, ts).inspect_err(stop)?;
         let prev = match ts.prev() {
-            Some(p) => Some(get_or_stop(&self.input, p).inspect_err(stop)?),
+            Some(p) => match self.ctx.get(&self.input, p) {
+                Ok(g) => Some(g),
+                Err(fault) => return self.conclude(ts, fault),
+            },
             None => None,
         };
         let prev_frame: Option<&Frame> = prev.as_ref().map(|g| &**g.value);
@@ -385,8 +621,8 @@ impl TaskBody for ChangeTask {
             }
             None => Pooled::unpooled(change_detection(&cur.value, prev_frame, self.threshold)),
         };
-        if self.out.put(ts, mask).is_err() {
-            return Err(Stop);
+        if let Err(fault) = self.ctx.put(&self.out, ts, mask) {
+            return self.conclude(ts, fault);
         }
         let prefix = self.cursor.commit(ts.0);
         self.input
@@ -412,7 +648,8 @@ pub struct ChunkJob {
     mask: Arc<PooledMask>,
     models: Arc<Vec<ColorHist>>,
     chunk: DetectChunk,
-    reply: crossbeam::channel::Sender<Vec<PartialScores>>,
+    idx: usize,
+    reply: crossbeam::channel::Sender<(usize, Vec<PartialScores>)>,
 }
 
 impl ChunkJob {
@@ -426,7 +663,7 @@ impl ChunkJob {
             self.chunk,
         );
         // The joiner may already have given up (executor shutdown).
-        let _ = self.reply.send(partials);
+        let _ = self.reply.send((self.idx, partials));
     }
 }
 
@@ -434,14 +671,15 @@ impl ChunkJob {
 pub struct HistJob {
     frame: Arc<PooledFrame>,
     region: Region,
-    reply: crossbeam::channel::Sender<ColorHist>,
+    idx: usize,
+    reply: crossbeam::channel::Sender<(usize, ColorHist)>,
 }
 
 impl HistJob {
     /// Compute the strip's partial histogram and send it to the joiner.
     pub fn run(self) {
         let partial = ColorHist::of_region(&self.frame, self.region);
-        let _ = self.reply.send(partial);
+        let _ = self.reply.send((self.idx, partial));
     }
 }
 
@@ -465,6 +703,16 @@ impl PoolJob {
     }
 }
 
+/// Join state for one timestamp in scheduled-chunk mode.
+#[derive(Default)]
+struct PendingJoin {
+    arrived: u32,
+    /// Some chunk instance faulted: the frame is skip-committed at join
+    /// time instead of published.
+    abandoned: bool,
+    partials: Vec<PartialScores>,
+}
+
 /// T4: Swain–Ballard target detection with regime-dependent decomposition.
 pub struct DetectTask {
     in_frames: InputConn<PooledFrame>,
@@ -482,10 +730,11 @@ pub struct DetectTask {
     controller: Option<Arc<RegimeController>>,
     /// Worker pool for intra-task parallelism in online mode.
     pool: Option<Arc<WorkerPool<PoolJob>>>,
+    ctx: StageCtx,
     cursor: SharedCursor,
     gate: CloseGate,
     /// Per-timestamp join state in scheduled-chunk mode.
-    pending: Mutex<HashMap<u64, (u32, Vec<PartialScores>)>>,
+    pending: Mutex<HashMap<u64, PendingJoin>>,
 }
 
 impl DetectTask {
@@ -514,6 +763,7 @@ impl DetectTask {
             fixed_decomp,
             controller: None,
             pool: None,
+            ctx: StageCtx::new(Stage::Detect),
             cursor: SharedCursor::default(),
             gate: CloseGate::default(),
             pending: Mutex::new(HashMap::new()),
@@ -534,6 +784,13 @@ impl DetectTask {
         self
     }
 
+    /// Attach a runtime context (shared health, deadline, fault injection).
+    #[must_use]
+    pub fn with_ctx(mut self, ctx: StageCtx) -> Self {
+        self.ctx = ctx;
+        self
+    }
+
     fn current_decomp(&self) -> (u32, u32) {
         match &self.controller {
             Some(c) => c.current_decomp(),
@@ -541,22 +798,40 @@ impl DetectTask {
         }
     }
 
-    fn inputs(&self, ts: Timestamp) -> Result<DetectInputs, Stop> {
-        let close = |_: &Stop| {
-            self.gate.mark_closed(ts.0);
-            if self.gate.should_close(self.cursor.commit(ts.0)) {
-                self.out_chan.close();
-            }
-        };
-        let frame = get_or_stop(&self.in_frames, ts).inspect_err(close)?.value;
-        let hist = get_or_stop(&self.in_hist, ts).inspect_err(close)?.value;
-        let mask = get_or_stop(&self.in_mask, ts).inspect_err(close)?.value;
+    fn inputs(&self, ts: Timestamp) -> Result<DetectInputs, FrameFault> {
+        let frame = self.ctx.get(&self.in_frames, ts)?.value;
+        let hist = self.ctx.get(&self.in_hist, ts)?.value;
+        let mask = self.ctx.get(&self.in_mask, ts)?.value;
         Ok((frame, hist, mask))
     }
 
+    /// Conclude a faulted frame: stop at end-of-stream, or skip-commit the
+    /// frame (all three input frontiers advance as a publish would).
+    fn conclude(&self, ts: Timestamp, fault: FrameFault) -> Result<(), Stop> {
+        match fault {
+            FrameFault::Stop => {
+                self.gate.mark_closed(ts.0);
+                if self.gate.should_close(self.cursor.commit(ts.0)) {
+                    self.out_chan.close();
+                }
+                Err(Stop)
+            }
+            FrameFault::Skip => {
+                let prefix = Timestamp(self.cursor.commit(ts.0));
+                self.in_frames.advance_frontier(prefix);
+                self.in_hist.advance_frontier(prefix);
+                self.in_mask.advance_frontier(prefix);
+                if self.gate.should_close(prefix.0) {
+                    self.out_chan.close();
+                }
+                Ok(())
+            }
+        }
+    }
+
     fn publish(&self, ts: Timestamp, maps: Vec<ScoreMap>) -> Result<(), Stop> {
-        if self.out.put(ts, maps).is_err() {
-            return Err(Stop);
+        if let Err(fault) = self.ctx.put(&self.out, ts, maps) {
+            return self.conclude(ts, fault);
         }
         let prefix = Timestamp(self.cursor.commit(ts.0));
         self.in_frames.advance_frontier(prefix);
@@ -575,10 +850,14 @@ impl TaskBody for DetectTask {
     }
 
     fn process(&self, ts: Timestamp, chunk: Option<(u32, u32)>) -> Result<(), Stop> {
+        self.ctx.begin(ts);
         match chunk {
             None => {
                 // Whole activation: splitter + workers (or serial) + joiner.
-                let (frame, hist, mask) = self.inputs(ts)?;
+                let (frame, hist, mask) = match self.inputs(ts) {
+                    Ok(v) => v,
+                    Err(fault) => return self.conclude(ts, fault),
+                };
                 let (fp, mp) = self.current_decomp();
                 let chunks = detect_chunks(
                     self.width,
@@ -590,21 +869,47 @@ impl TaskBody for DetectTask {
                 let partials: Vec<PartialScores> = match (&self.pool, chunks.len()) {
                     (Some(pool), n) if n > 1 => {
                         let (tx, rx) = bounded(n);
-                        for &c in &chunks {
+                        for (idx, &c) in chunks.iter().enumerate() {
                             let job = PoolJob::Detect(ChunkJob {
                                 frame: Arc::clone(&frame),
                                 hist: Arc::clone(&hist),
                                 mask: Arc::clone(&mask),
                                 models: Arc::clone(&self.models),
                                 chunk: c,
+                                idx,
                                 reply: tx.clone(),
                             });
                             if let Err(PoolClosed(job)) = pool.submit(job) {
-                                job.run(); // pool shut down: compute inline
+                                job.run(); // pool unavailable: compute inline
                             }
                         }
                         drop(tx);
-                        rx.iter().flatten().collect()
+                        // Indexed replies: a missing slot means the chunk's
+                        // worker panicked before sending — the joiner
+                        // recomputes it inline (degradation ladder rung 3),
+                        // keeping the frame's output bit-identical.
+                        let mut slots: Vec<Option<Vec<PartialScores>>> =
+                            (0..n).map(|_| None).collect();
+                        for (idx, p) in rx.iter() {
+                            slots[idx] = Some(p);
+                        }
+                        let mut partials = Vec::new();
+                        for (idx, slot) in slots.into_iter().enumerate() {
+                            match slot {
+                                Some(p) => partials.extend(p),
+                                None => {
+                                    self.ctx.health().record_chunk_recompute();
+                                    partials.extend(target_detection_chunk(
+                                        &frame,
+                                        &hist,
+                                        &self.models,
+                                        &mask,
+                                        chunks[idx],
+                                    ));
+                                }
+                            }
+                        }
+                        partials
                     }
                     _ => chunks
                         .iter()
@@ -617,44 +922,68 @@ impl TaskBody for DetectTask {
                 self.publish(ts, maps)
             }
             Some((idx, count)) => {
-                // One chunk under an explicit schedule; the last chunk joins.
-                let (frame, hist, mask) = self.inputs(ts)?;
-                let (fp, mp) = self.fixed_decomp;
-                let chunks = detect_chunks(
-                    self.width,
-                    self.height,
-                    self.models.len(),
-                    fp as usize,
-                    mp as usize,
-                );
-                assert_eq!(
-                    chunks.len(),
-                    count as usize,
-                    "schedule chunk count disagrees with decomposition FP={fp} MP={mp}"
-                );
-                let partials = target_detection_chunk(
-                    &frame,
-                    &hist,
-                    &self.models,
-                    &mask,
-                    chunks[idx as usize],
-                );
+                // One chunk under an explicit schedule; the last chunk
+                // joins. A faulted instance abandons the frame but still
+                // counts toward the join, so the frame concludes (skipped)
+                // instead of leaking pending state.
+                let inputs = match self.inputs(ts) {
+                    Ok(v) => Some(v),
+                    Err(FrameFault::Stop) => return self.conclude(ts, FrameFault::Stop),
+                    Err(FrameFault::Skip) => None,
+                };
+                let mut partials = Vec::new();
+                let mut abandoned = inputs.is_none();
+                if let Some((frame, hist, mask)) = &inputs {
+                    let (fp, mp) = self.fixed_decomp;
+                    let chunks = detect_chunks(
+                        self.width,
+                        self.height,
+                        self.models.len(),
+                        fp as usize,
+                        mp as usize,
+                    );
+                    if chunks.len() != count as usize {
+                        // The schedule and the decomposition disagree:
+                        // formerly an assert, now one dropped frame.
+                        self.ctx.health().record(RuntimeError::ChunkMismatch {
+                            ts: ts.0,
+                            expected: count,
+                            got: chunks.len() as u32,
+                        });
+                        abandoned = true;
+                    } else {
+                        partials = target_detection_chunk(
+                            frame,
+                            hist,
+                            &self.models,
+                            mask,
+                            chunks[idx as usize],
+                        );
+                    }
+                }
                 let ready = {
                     let mut pending = self.pending.lock();
-                    let entry = pending.entry(ts.0).or_insert_with(|| (0, Vec::new()));
-                    entry.0 += 1;
-                    entry.1.extend(partials);
-                    if entry.0 == count {
-                        Some(pending.remove(&ts.0).expect("entry exists").1)
+                    let entry = pending.entry(ts.0).or_default();
+                    entry.arrived += 1;
+                    entry.abandoned |= abandoned;
+                    entry.partials.extend(partials);
+                    if entry.arrived == count {
+                        pending.remove(&ts.0)
                     } else {
                         None
                     }
                 };
                 match ready {
-                    Some(all) => {
-                        let maps = merge_partials(self.width, self.height, self.models.len(), &all);
+                    Some(join) if !join.abandoned => {
+                        let maps = merge_partials(
+                            self.width,
+                            self.height,
+                            self.models.len(),
+                            &join.partials,
+                        );
                         self.publish(ts, maps)
                     }
+                    Some(_) => self.conclude(ts, FrameFault::Skip),
                     None => Ok(()),
                 }
             }
@@ -672,6 +1001,7 @@ pub struct PeakTask {
     out: OutputConn<Vec<ModelLocation>>,
     out_chan: Channel<Vec<ModelLocation>>,
     min_score: f32,
+    ctx: StageCtx,
     cursor: SharedCursor,
     gate: CloseGate,
 }
@@ -689,8 +1019,37 @@ impl PeakTask {
             out: out_chan.attach_output(),
             out_chan,
             min_score,
+            ctx: StageCtx::new(Stage::Peak),
             cursor: SharedCursor::default(),
             gate: CloseGate::default(),
+        }
+    }
+
+    /// Attach a runtime context (shared health, deadline, fault injection).
+    #[must_use]
+    pub fn with_ctx(mut self, ctx: StageCtx) -> Self {
+        self.ctx = ctx;
+        self
+    }
+
+    /// Conclude a faulted frame: stop at end-of-stream, or skip-commit.
+    fn conclude(&self, ts: Timestamp, fault: FrameFault) -> Result<(), Stop> {
+        match fault {
+            FrameFault::Stop => {
+                self.gate.mark_closed(ts.0);
+                if self.gate.should_close(self.cursor.commit(ts.0)) {
+                    self.out_chan.close();
+                }
+                Err(Stop)
+            }
+            FrameFault::Skip => {
+                let prefix = self.cursor.commit(ts.0);
+                self.input.advance_frontier(Timestamp(prefix));
+                if self.gate.should_close(prefix) {
+                    self.out_chan.close();
+                }
+                Ok(())
+            }
         }
     }
 }
@@ -701,19 +1060,14 @@ impl TaskBody for PeakTask {
     }
 
     fn process(&self, ts: Timestamp, _chunk: Option<(u32, u32)>) -> Result<(), Stop> {
-        let scores = match get_or_stop(&self.input, ts) {
+        self.ctx.begin(ts);
+        let scores = match self.ctx.get(&self.input, ts) {
             Ok(s) => s,
-            Err(Stop) => {
-                self.gate.mark_closed(ts.0);
-                if self.gate.should_close(self.cursor.commit(ts.0)) {
-                    self.out_chan.close();
-                }
-                return Err(Stop);
-            }
+            Err(fault) => return self.conclude(ts, fault),
         };
         let locs = peak_detection(&scores.value, self.min_score);
-        if self.out.put(ts, locs).is_err() {
-            return Err(Stop);
+        if let Err(fault) = self.ctx.put(&self.out, ts, locs) {
+            return self.conclude(ts, fault);
         }
         let prefix = self.cursor.commit(ts.0);
         self.input.advance_frontier(Timestamp(prefix));
@@ -730,12 +1084,16 @@ impl TaskBody for PeakTask {
 
 /// The graph's sink: consumes model locations (in the kiosk this drives
 /// DECface's gaze), records completion, and feeds the regime controller
-/// with the observed people count.
+/// with the observed people count. An injected regime misread falsifies
+/// only what the controller hears — the logs keep the true observations,
+/// which is what makes misreads testable for output-invariance.
 pub struct FaceTask {
     input: InputConn<Vec<ModelLocation>>,
     measure: Arc<Measurements>,
     controller: Option<Arc<RegimeController>>,
+    ctx: StageCtx,
     locations_log: Mutex<Vec<(u64, u32)>>,
+    full_log: Mutex<Vec<(u64, Vec<ModelLocation>)>>,
     cursor: SharedCursor,
 }
 
@@ -751,9 +1109,18 @@ impl FaceTask {
             input,
             measure,
             controller,
+            ctx: StageCtx::new(Stage::Face),
             locations_log: Mutex::new(Vec::new()),
+            full_log: Mutex::new(Vec::new()),
             cursor: SharedCursor::default(),
         }
+    }
+
+    /// Attach a runtime context (shared health, deadline, fault injection).
+    #[must_use]
+    pub fn with_ctx(mut self, ctx: StageCtx) -> Self {
+        self.ctx = ctx;
+        self
     }
 
     /// `(timestamp, detected count)` per processed frame, in completion
@@ -761,6 +1128,14 @@ impl FaceTask {
     #[must_use]
     pub fn observations(&self) -> Vec<(u64, u32)> {
         self.locations_log.lock().clone()
+    }
+
+    /// `(timestamp, full model locations)` per processed frame, in
+    /// completion order — the bit-identity witness used by the fault
+    /// harness.
+    #[must_use]
+    pub fn locations(&self) -> Vec<(u64, Vec<ModelLocation>)> {
+        self.full_log.lock().clone()
     }
 }
 
@@ -770,13 +1145,24 @@ impl TaskBody for FaceTask {
     }
 
     fn process(&self, ts: Timestamp, _chunk: Option<(u32, u32)>) -> Result<(), Stop> {
-        let locs = get_or_stop(&self.input, ts)?;
+        self.ctx.begin(ts);
+        let locs = match self.ctx.get(&self.input, ts) {
+            Ok(l) => l,
+            Err(FrameFault::Stop) => return Err(Stop),
+            Err(FrameFault::Skip) => {
+                let prefix = self.cursor.commit(ts.0);
+                self.input.advance_frontier(Timestamp(prefix));
+                return Ok(());
+            }
+        };
         let count = detected_count(&locs.value);
         self.measure.mark_completed(ts.0);
         if let Some(c) = &self.controller {
-            c.observe(count);
+            // A misread lies to the controller only; the logs keep truth.
+            c.observe(self.ctx.misread(ts.0).unwrap_or(count));
         }
         self.locations_log.lock().push((ts.0, count));
+        self.full_log.lock().push((ts.0, (*locs.value).clone()));
         let prefix = self.cursor.commit(ts.0);
         self.input.advance_frontier(Timestamp(prefix));
         Ok(())
@@ -786,6 +1172,8 @@ impl TaskBody for FaceTask {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::faults::FaultPlan;
+    use stm::ChannelBuilder;
 
     #[test]
     fn shared_cursor_tracks_contiguous_prefix() {
@@ -814,5 +1202,63 @@ mod tests {
             h.join().unwrap();
         }
         assert_eq!(c.commit(64), 65);
+    }
+
+    #[test]
+    fn ctx_get_maps_timeout_to_skip_and_records() {
+        let chan: Channel<u32> = ChannelBuilder::new("t").capacity(4).build();
+        let conn = chan.attach_input();
+        let ctx = StageCtx::new(Stage::Peak).with_deadline(Duration::from_millis(5));
+        // Nothing was ever put: the deadline watchdog gives up and skips.
+        let r = ctx.get(&conn, Timestamp(0));
+        assert_eq!(r.err(), Some(FrameFault::Skip));
+        let report = ctx.health().report();
+        assert_eq!(report.deadline_skips, 1);
+        assert_eq!(report.total_drops(), 1);
+    }
+
+    #[test]
+    fn ctx_get_maps_closed_to_stop() {
+        let chan: Channel<u32> = ChannelBuilder::new("t").capacity(4).build();
+        let conn = chan.attach_input();
+        chan.close();
+        let ctx = StageCtx::new(Stage::Peak);
+        let r = ctx.get(&conn, Timestamp(0));
+        assert_eq!(r.err(), Some(FrameFault::Stop));
+        assert!(
+            ctx.health().report().is_clean(),
+            "end-of-stream is not a fault"
+        );
+    }
+
+    #[test]
+    fn ctx_injected_stm_error_skips_and_records() {
+        // The headline regression (tasks.rs once panicked here): an
+        // unexpected STM error must drop the frame, not the process.
+        let chan: Channel<u32> = ChannelBuilder::new("t").capacity(4).build();
+        let out = chan.attach_output();
+        let conn = chan.attach_input();
+        out.put(Timestamp(0), 7).unwrap();
+        let inj = FaultPlan::new().stm_error(Stage::Histogram, 0).build();
+        let ctx = StageCtx::new(Stage::Histogram).with_faults(Arc::clone(&inj));
+        assert_eq!(ctx.get(&conn, Timestamp(0)).err(), Some(FrameFault::Skip));
+        assert_eq!(ctx.health().report().stm_get_drops, 1);
+        // The fault fired once; the retry sees the real (healthy) channel.
+        assert_eq!(*ctx.get(&conn, Timestamp(0)).unwrap().value, 7);
+        assert_eq!(inj.injected().stm_errors, 1);
+    }
+
+    #[test]
+    fn ctx_put_rejection_skips_and_records() {
+        let chan: Channel<u32> = ChannelBuilder::new("t").capacity(4).build();
+        let out = chan.attach_output();
+        let ctx = StageCtx::new(Stage::Change);
+        out.put(Timestamp(3), 1).unwrap();
+        // Duplicate timestamp: rejected, recorded, stream continues.
+        assert_eq!(ctx.put(&out, Timestamp(3), 2).err(), Some(FrameFault::Skip));
+        assert_eq!(ctx.health().report().stm_put_drops, 1);
+        // Closed channel: genuine stop.
+        chan.close();
+        assert_eq!(ctx.put(&out, Timestamp(4), 3).err(), Some(FrameFault::Stop));
     }
 }

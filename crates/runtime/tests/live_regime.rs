@@ -30,7 +30,7 @@ fn controller_switches_decomposition_when_population_changes() {
     let mut table = BTreeMap::new();
     table.insert(0, (2, 1));
     table.insert(2, (1, 3));
-    let controller = Arc::new(RegimeController::new(1, 2, table));
+    let controller = Arc::new(RegimeController::new(1, 2, table).unwrap());
 
     let scene = dynamic_scene(&cfg);
     let app = TrackerApp::build_with_scene(&cfg, scene, Some(Arc::clone(&controller)));
@@ -72,7 +72,7 @@ fn debounce_prevents_switching_on_brief_occlusion() {
     let mut table = BTreeMap::new();
     table.insert(0, (1, 1));
     table.insert(2, (1, 2));
-    let controller = Arc::new(RegimeController::new(2, 4, table));
+    let controller = Arc::new(RegimeController::new(2, 4, table).unwrap());
     let app = TrackerApp::build_with_scene(&cfg, scene, Some(Arc::clone(&controller)));
     let _ = OnlineExecutor::run(&app, 0);
     assert_eq!(

@@ -409,6 +409,8 @@ impl<T> State<T> {
     /// Mark `ts` consumed by `conn`, updating the item's cover count.
     /// Does not run the GC; the caller decides when.
     pub(crate) fn do_consume(&mut self, conn: ConnId, ts: Timestamp) -> Result<(), ConsumeError> {
+        // INVARIANT: `conn` comes from a live `InputConn`, whose entry stays
+        // in `in_conns` until the connection's own drop detaches it.
         let cs = self.in_conns.get_mut(&conn).expect("attached");
         if ts < cs.frontier {
             return Err(ConsumeError::BelowFrontier(ts));
@@ -427,6 +429,7 @@ impl<T> State<T> {
     /// below the connection's frontier are already covered and are skipped
     /// (not an error, unlike [`do_consume`](Self::do_consume)).
     pub(crate) fn do_consume_range(&mut self, conn: ConnId, from: Timestamp, to: Timestamp) -> u64 {
+        // INVARIANT: `conn` comes from a live `InputConn` (see `do_consume`).
         let cs = self.in_conns.get_mut(&conn).expect("attached");
         let lo = from.max(cs.frontier);
         if lo >= to {
@@ -446,6 +449,7 @@ impl<T> State<T> {
     /// updating cover counts for every newly covered live item. Does not
     /// run the GC; the caller decides when.
     pub(crate) fn do_advance_frontier(&mut self, conn: ConnId, frontier: Timestamp) {
+        // INVARIANT: `conn` comes from a live `InputConn` (see `do_consume`).
         let cs = self.in_conns.get_mut(&conn).expect("attached");
         if frontier <= cs.frontier {
             return;
@@ -472,6 +476,7 @@ impl<T> State<T> {
         conn: ConnId,
         spec: TsSpec,
     ) -> Result<(Timestamp, Arc<T>), GetMiss> {
+        // INVARIANT: `conn` comes from a live `InputConn` (see `do_consume`).
         let cs = self.in_conns.get(&conn).expect("connection detached");
         let eligible =
             |s: &InConnState, ts: Timestamp| ts >= s.frontier && !s.consumed.contains(&ts);
@@ -529,7 +534,11 @@ impl<T> State<T> {
 
         match found {
             Some(ts) => {
+                // INVARIANT: `found` was selected from `self.items` keys
+                // under this same `&mut self` borrow — it cannot vanish.
                 let value = Arc::clone(&self.items.get(&ts).expect("found ts present").value);
+                // INVARIANT: `conn` is live (see `do_consume`); re-borrowed
+                // mutably only because the lookup above ended the shared one.
                 let cs = self.in_conns.get_mut(&conn).expect("connection detached");
                 cs.last_gotten = Some(cs.last_gotten.map_or(ts, |p| p.max(ts)));
                 self.global_last_gotten = Some(self.global_last_gotten.map_or(ts, |p| p.max(ts)));

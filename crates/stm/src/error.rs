@@ -87,6 +87,28 @@ pub enum GetError {
     Timeout,
 }
 
+impl GetError {
+    /// True when this error means the stream has *ended* for the requested
+    /// point: the channel closed, or the timestamp fell below the
+    /// connection's own frontier (a sibling instance already settled it).
+    /// Consumers should stop, not retry.
+    #[must_use]
+    pub fn is_end_of_stream(&self) -> bool {
+        matches!(
+            self,
+            GetError::Closed | GetError::Unsatisfiable(MissReason::BelowFrontier)
+        )
+    }
+
+    /// True when the request merely ran out of time — the item may still
+    /// arrive later. Latest-value consumers are free to skip the frame and
+    /// move on (the STM consume semantics of the paper §2.1).
+    #[must_use]
+    pub fn is_timeout(&self) -> bool {
+        matches!(self, GetError::Timeout)
+    }
+}
+
 impl fmt::Display for GetError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -123,6 +145,16 @@ impl std::error::Error for ConsumeError {}
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn get_error_classification() {
+        assert!(GetError::Closed.is_end_of_stream());
+        assert!(GetError::Unsatisfiable(MissReason::BelowFrontier).is_end_of_stream());
+        assert!(!GetError::Unsatisfiable(MissReason::AlreadyConsumed).is_end_of_stream());
+        assert!(!GetError::Timeout.is_end_of_stream());
+        assert!(GetError::Timeout.is_timeout());
+        assert!(!GetError::Closed.is_timeout());
+    }
 
     #[test]
     fn errors_format() {
