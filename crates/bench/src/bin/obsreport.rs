@@ -1,0 +1,312 @@
+//! Live observability report — the obs crate end to end on a real run.
+//!
+//! One binary demonstrates the whole PR-5 subsystem:
+//!
+//! 1. Runs the live tracker (threads + STM) with a regime controller built
+//!    from a precomputed [`ScheduleTable`], recording per-stage spans.
+//! 2. Reconstructs frame lifecycles and prints latency/throughput/
+//!    uniformity statistics from the drained spans.
+//! 3. Joins the measured per-stage costs against the table's predictions
+//!    in a schedule-conformance report (cost drift, misclassification,
+//!    channel occupancy).
+//! 4. Exports a merged Chrome trace — live run (pid 0) next to a
+//!    simulated run of the same application (pid 1) — and validates it.
+//! 5. Measures the tracing overhead of `TraceMode::Off/Ring/Full` against
+//!    a run built with no recorder at all.
+//!
+//! Output goes to stdout and (by default) `results/obs.txt`; the Chrome
+//! trace to `results/obs_trace.json`. Exit code is non-zero when a
+//! structural check fails (no frames committed, invalid trace JSON).
+
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use cds_core::optimal::OptimalConfig;
+use cds_core::table::ScheduleTable;
+use cluster::{simulate_online, ClusterSpec, FrameClock, OnlineConfig};
+use obs::{ChromeTrace, LifecycleStats, RegimeSpec, TraceMode};
+use runtime::{OnlineExecutor, RegimeController, Stage, TrackerApp, TrackerConfig};
+use taskgraph::{builders, AppState, Decomposition, Micros, TaskGraph, TaskId};
+use vision::Scene;
+
+struct Args {
+    frames: u64,
+    quick: bool,
+    out: String,
+    trace_out: String,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        frames: 48,
+        quick: false,
+        out: "results/obs.txt".to_string(),
+        trace_out: "results/obs_trace.json".to_string(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--frames" => {
+                let v = it.next().expect("--frames needs a value");
+                args.frames = v.parse().expect("--frames must be an integer");
+            }
+            "--quick" => args.quick = true,
+            "--out" => args.out = it.next().expect("--out needs a path"),
+            "--trace-out" => args.trace_out = it.next().expect("--trace-out needs a path"),
+            other => {
+                eprintln!("unknown flag {other}; usage: obsreport [--frames N] [--quick] [--out PATH] [--trace-out PATH]");
+                std::process::exit(2);
+            }
+        }
+    }
+    if args.quick {
+        args.frames = args.frames.min(16);
+    }
+    args
+}
+
+fn task_names(graph: &TaskGraph) -> Vec<String> {
+    (0..graph.n_tasks())
+        .map(|i| graph.task(TaskId(i)).name.clone())
+        .collect()
+}
+
+/// Extract one regime's predictions from its precomputed schedule.
+fn regime_spec(table: &ScheduleTable, state: &AppState, dp_task: TaskId) -> RegimeSpec {
+    let sched = table.get(state).expect("state was precomputed");
+    let decomp = sched
+        .iteration
+        .decomp
+        .get(&dp_task)
+        .map_or((1, 1), |d| (d.fp as u16, d.mp as u16));
+    RegimeSpec {
+        regime: state.n_models,
+        predicted_latency_us: sched.latency().0,
+        ii_us: sched.ii.0,
+        occupancy_bound: sched.overlapping_iterations() as u32,
+        decomp,
+        stage_costs_us: sched
+            .iteration
+            .stage_predictions()
+            .iter()
+            .map(|p| (p.task.0 as u8, p.wall.0))
+            .collect(),
+    }
+}
+
+/// Median wall time of `reps` fresh runs of `cfg` (pipeline threads join
+/// inside each run, so a sample is a full build + run + teardown).
+fn timed_runs(cfg: &TrackerConfig, reps: usize) -> Duration {
+    let mut samples: Vec<Duration> = (0..reps)
+        .map(|_| {
+            let app = TrackerApp::build(cfg, None);
+            let t0 = Instant::now();
+            let _ = OnlineExecutor::run(&app, 0);
+            t0.elapsed()
+        })
+        .collect();
+    samples.sort();
+    // Minimum, not mean: tracing overhead is a lower bound question and
+    // min is the standard low-noise estimator for wall-clock microbenches.
+    samples[0]
+}
+
+fn main() {
+    let args = parse_args();
+    let mut report = String::new();
+    let mut failures: Vec<String> = Vec::new();
+    macro_rules! out {
+        ($($t:tt)*) => {{
+            let line = format!($($t)*);
+            println!("{line}");
+            let _ = writeln!(report, "{line}");
+        }};
+    }
+
+    out!("== obsreport: live spans, Chrome trace, schedule conformance ==");
+
+    // ---- Offline side: the precomputed table and its predictions. ----
+    let graph = builders::color_tracker();
+    let cluster_spec = ClusterSpec::single_node(4);
+    let t4 = graph
+        .task_by_name("Target Detection")
+        .expect("tracker graph has T4");
+    let states = [AppState::new(1), AppState::new(3)];
+    let table =
+        ScheduleTable::precompute(&graph, &cluster_spec, &states, &OptimalConfig::default());
+    let specs: Vec<RegimeSpec> = states.iter().map(|s| regime_spec(&table, s, t4)).collect();
+    for spec in &specs {
+        out!(
+            "regime {}: L*={}us II={}us FP={} MP={} occupancy<={}",
+            spec.regime,
+            spec.predicted_latency_us,
+            spec.ii_us,
+            spec.decomp.0,
+            spec.decomp.1,
+            spec.occupancy_bound
+        );
+    }
+
+    // ---- Live run: population 1 -> 3 mid-stream, controller attached. ----
+    let n_frames = args.frames;
+    let join_at = (n_frames / 3).max(2);
+    let mut cfg = TrackerConfig::small(3, n_frames);
+    cfg.period = Duration::from_millis(2);
+    cfg.pool_workers = 2;
+    cfg.trace = Some(TraceMode::Full);
+    let scene = Scene::demo(cfg.width, cfg.height, 3, 13)
+        .with_visit(0, 0, u64::MAX)
+        .with_visit(1, join_at, u64::MAX)
+        .with_visit(2, join_at, u64::MAX);
+    let controller =
+        Arc::new(RegimeController::from_schedule_table(&table, t4, 1, 2).expect("non-empty table"));
+    let app = TrackerApp::build_with_scene(&cfg, scene, Some(Arc::clone(&controller)));
+    let stats = OnlineExecutor::run(&app, 2);
+    out!(
+        "live run: {}x{} frames={} period={:?} pool_workers={} -> completed={} switches={}",
+        cfg.width,
+        cfg.height,
+        n_frames,
+        cfg.period,
+        cfg.pool_workers,
+        stats.frames_completed,
+        controller.switches()
+    );
+    out!("health: {}", app.health.report());
+
+    let dump = app.recorder.as_ref().expect("trace was requested").drain();
+    out!(
+        "spans: recorded={} retained={} evicted={} threads={}",
+        dump.recorded,
+        dump.spans.len(),
+        dump.evicted,
+        dump.threads.len()
+    );
+    if dump.spans.is_empty() {
+        failures.push("no spans recorded by a Full-mode run".to_string());
+    }
+
+    // ---- Frame lifecycles from the span stream. ----
+    let frames = obs::frames::reconstruct(&dump);
+    let life = LifecycleStats::from_frames(&frames);
+    out!(
+        "lifecycle: total={} committed={} skipped={} incomplete={}",
+        life.frames_total,
+        life.committed,
+        life.skipped,
+        life.incomplete
+    );
+    out!(
+        "latency: p50={:.2}ms p95={:.2}ms max={:.2}ms  throughput={:.1}/s  uniformity_cov={:.3}",
+        life.latency.p50() as f64 / 1e6,
+        life.latency.p95() as f64 / 1e6,
+        life.latency.max() as f64 / 1e6,
+        life.throughput_hz,
+        life.uniformity_cov
+    );
+    if life.committed == 0 {
+        failures.push("no frames committed in the live run".to_string());
+    }
+
+    // Cross-check the span-derived view against the sink's own ledger.
+    if life.committed != stats.frames_completed {
+        failures.push(format!(
+            "span-reconstructed commits ({}) disagree with the sink ledger ({})",
+            life.committed, stats.frames_completed
+        ));
+    }
+
+    // ---- Schedule conformance. ----
+    let bound = specs.iter().map(|s| s.occupancy_bound).max().unwrap_or(1);
+    let channels = app.channel_checks(bound);
+    let scene_ref = &app.scene;
+    let count_fn = move |ts: u64| scene_ref.population_at(ts);
+    let conf = obs::conformance::check(&frames, &count_fn, &specs, &channels, 5.0, &Stage::names());
+    out!("{conf}");
+
+    // ---- Merged Chrome trace: live (pid 0) + simulated (pid 1). ----
+    let mut chrome = ChromeTrace::new();
+    chrome.push_dump(&dump, 0, "live tracker");
+    let mut sim_cfg = OnlineConfig::new(
+        FrameClock::new(Micros::from_millis(2), n_frames),
+        AppState::new(3),
+    );
+    let d3 = specs[1].decomp;
+    sim_cfg
+        .decomposition
+        .insert(t4, Decomposition::new(u32::from(d3.0), u32::from(d3.1)));
+    sim_cfg.trace_mode = cluster::TraceMode::Full;
+    let sim = simulate_online(&graph, &cluster_spec, sim_cfg);
+    sim.trace
+        .push_into_chrome(&mut chrome, 1, "simulated", &task_names(&graph));
+    let json = chrome.to_json();
+    match obs::chrome::validate(&json) {
+        Ok(n) => out!("chrome trace: {n} events (live + simulated), JSON valid"),
+        Err(e) => failures.push(format!("chrome trace invalid: {e}")),
+    }
+    if let Some(dir) = std::path::Path::new(&args.trace_out).parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    if let Err(e) = std::fs::write(&args.trace_out, &json) {
+        failures.push(format!("writing {}: {e}", args.trace_out));
+    } else {
+        out!("chrome trace written to {}", args.trace_out);
+    }
+
+    // ---- Tracing overhead: Off/Ring/Full vs a recorder-free build. ----
+    let reps = if args.quick { 3 } else { 5 };
+    let ov_frames = if args.quick { 24 } else { 96 };
+    let mut ov_cfg = TrackerConfig::small(2, ov_frames);
+    ov_cfg.period = Duration::ZERO; // free-running: tracing cost is maximally visible
+    let base = timed_runs(&ov_cfg, reps);
+    out!(
+        "overhead ({} frames, min of {} runs): untraced {:.2}ms",
+        ov_frames,
+        reps,
+        base.as_secs_f64() * 1e3
+    );
+    for (name, mode, gate) in [
+        ("off", TraceMode::Off, Some(1.0)),
+        ("ring(4096)", TraceMode::Ring(4096), None),
+        ("full", TraceMode::Full, None),
+    ] {
+        ov_cfg.trace = Some(mode);
+        let t = timed_runs(&ov_cfg, reps);
+        let pct = (t.as_secs_f64() / base.as_secs_f64() - 1.0) * 100.0;
+        let verdict = match gate {
+            Some(limit) if pct >= limit => "FAIL",
+            Some(_) => "PASS",
+            None => "info",
+        };
+        out!(
+            "overhead: {name:<10} {:.2}ms  ({pct:+.2}% vs untraced)  [{verdict}]",
+            t.as_secs_f64() * 1e3
+        );
+        if let (Some(limit), "FAIL") = (gate, verdict) {
+            // Wall-clock noise on shared runners can exceed the budget even
+            // for a no-op branch; record loudly, fail only structural checks.
+            out!("note: TraceMode::{name} exceeded the {limit}% budget on this host (noise-prone metric)");
+        }
+    }
+
+    // ---- Verdict + report file. ----
+    if failures.is_empty() {
+        out!("obsreport: PASS");
+    } else {
+        for f in &failures {
+            out!("FAILURE: {f}");
+        }
+        out!("obsreport: FAIL");
+    }
+    if let Some(dir) = std::path::Path::new(&args.out).parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    if let Err(e) = std::fs::write(&args.out, &report) {
+        eprintln!("writing {}: {e}", args.out);
+        std::process::exit(1);
+    }
+    if !failures.is_empty() {
+        std::process::exit(1);
+    }
+}

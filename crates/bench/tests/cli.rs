@@ -135,3 +135,35 @@ fn bad_usage_exits_nonzero() {
         .expect("run cds");
     assert!(!out.status.success());
 }
+
+#[test]
+fn obsreport_emits_valid_trace_and_conformance_table() {
+    let out_file = tmp("obs.txt");
+    let trace_file = tmp("obs_trace.json");
+    let out = Command::new(env!("CARGO_BIN_EXE_obsreport"))
+        .args(["--quick", "--out"])
+        .arg(&out_file)
+        .arg("--trace-out")
+        .arg(&trace_file)
+        .output()
+        .expect("run obsreport");
+    assert!(
+        out.status.success(),
+        "{}\n{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("schedule conformance"), "{stdout}");
+    assert!(stdout.contains("JSON valid"), "{stdout}");
+    assert!(stdout.contains("obsreport: PASS"), "{stdout}");
+
+    // The report file mirrors stdout; the trace revalidates from disk.
+    let report = std::fs::read_to_string(&out_file).unwrap();
+    assert!(report.contains("overhead"), "{report}");
+    let json = std::fs::read_to_string(&trace_file).unwrap();
+    let events = obs::chrome::validate(&json).expect("trace well-formed");
+    assert!(events > 0, "trace must contain events");
+    let _ = std::fs::remove_file(&out_file);
+    let _ = std::fs::remove_file(&trace_file);
+}

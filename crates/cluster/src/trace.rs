@@ -255,6 +255,56 @@ impl ExecutionTrace {
         v
     }
 
+    /// Push the stored slices into a shared [`obs::ChromeTrace`] builder as
+    /// process `pid`, one Chrome thread lane per simulated processor. This
+    /// is the unification point with the live runtime's trace export: push
+    /// a live [`obs::SpanDump`] and a simulated trace into the *same*
+    /// builder (distinct pids) and the two runs render side by side in
+    /// `chrome://tracing`.
+    ///
+    /// `task_names` maps `TaskId` indices to display names; missing entries
+    /// fall back to `task<N>`.
+    pub fn push_into_chrome(
+        &self,
+        chrome: &mut obs::ChromeTrace,
+        pid: u32,
+        process_name: &str,
+        task_names: &[String],
+    ) {
+        debug_assert_eq!(self.ring_head, 0, "ring trace exported before seal()");
+        chrome.set_process_name(pid, process_name);
+        for p in 0..self.n_procs {
+            chrome.set_thread_name(pid, p, &format!("proc {p}"));
+        }
+        for e in &self.entries {
+            let base = task_names
+                .get(e.task.0)
+                .map_or_else(|| format!("task{}", e.task.0), String::clone);
+            let name = match e.chunk {
+                Some((i, n)) => format!("{base} chunk {}/{n}", i + 1),
+                None => base,
+            };
+            chrome.complete(
+                &name,
+                "sim",
+                pid,
+                e.proc.0,
+                e.start.0 as f64,
+                e.duration().0 as f64,
+                Some(e.frame),
+            );
+        }
+    }
+
+    /// Export the stored slices as a standalone Chrome trace JSON document
+    /// (see [`ExecutionTrace::push_into_chrome`] for the merged variant).
+    #[must_use]
+    pub fn to_chrome_json(&self, task_names: &[String]) -> String {
+        let mut chrome = obs::ChromeTrace::new();
+        self.push_into_chrome(&mut chrome, 0, "simulated", task_names);
+        chrome.to_json()
+    }
+
     /// Export as CSV (`proc,task,frame,chunk_idx,chunk_of,start_us,end_us`),
     /// for external plotting of the Fig. 4/5 timelines.
     #[must_use]
@@ -370,6 +420,29 @@ mod tests {
         );
         assert_eq!(lines[1], "0,3,7,,,100,250");
         assert_eq!(lines[2], "1,3,7,2,4,250,400");
+    }
+
+    #[test]
+    fn chrome_export_is_valid_and_named() {
+        let mut t = ExecutionTrace::new(2);
+        t.push(entry(0, 0, 0, 0, 10));
+        t.push(TraceEntry {
+            proc: ProcId(1),
+            task: TaskId(1),
+            frame: 0,
+            chunk: Some((0, 2)),
+            start: Micros(10),
+            end: Micros(40),
+        });
+        let json = t.to_chrome_json(&["Digitizer".to_string(), "Histogram".to_string()]);
+        // 3 metadata (process + 2 threads) + 2 slices.
+        assert_eq!(obs::chrome::validate(&json), Ok(5), "{json}");
+        assert!(json.contains("Digitizer"));
+        assert!(json.contains("Histogram chunk 1/2"));
+        // Unknown task ids fall back to a stable name.
+        let mut u = ExecutionTrace::new(1);
+        u.push(entry(0, 9, 0, 0, 1));
+        assert!(u.to_chrome_json(&[]).contains("task9"));
     }
 
     #[test]

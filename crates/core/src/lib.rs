@@ -64,7 +64,7 @@ pub use persist::{
     CacheMiss, ScheduleCache,
 };
 pub use pipeline::naive_pipeline;
-pub use schedule::{IterationSchedule, PipelinedSchedule, Placement};
+pub use schedule::{IterationSchedule, PipelinedSchedule, Placement, StagePrediction};
 pub use switcher::{simulate_regime_switched, SwitchConfig, TransitionPolicy};
 pub use table::{ScheduleTable, TableBuildStats};
 pub use tuning::{tuning_curve, TuningPoint};

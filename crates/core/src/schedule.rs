@@ -70,6 +70,38 @@ impl IterationSchedule {
         self.placements.iter().map(Placement::duration).sum()
     }
 
+    /// Per-stage predicted costs, grouped by task: the numbers a live run's
+    /// measured stage times are checked against by the conformance layer
+    /// (`obs::conformance`). For a data-parallel task the *busy* cost sums
+    /// every chunk's duration while the *wall* cost spans first chunk start
+    /// to last chunk end — wall is what an observer timing the stage sees.
+    /// Returned in ascending `TaskId` order.
+    #[must_use]
+    pub fn stage_predictions(&self) -> Vec<StagePrediction> {
+        let mut by_task: BTreeMap<TaskId, StagePrediction> = BTreeMap::new();
+        for p in &self.placements {
+            let e = by_task.entry(p.task).or_insert(StagePrediction {
+                task: p.task,
+                busy: Micros::ZERO,
+                wall: Micros::ZERO,
+                first_start: p.start,
+                last_end: p.end,
+                chunks: 0,
+            });
+            e.busy += p.duration();
+            e.first_start = e.first_start.min(p.start);
+            e.last_end = e.last_end.max(p.end);
+            e.chunks += 1;
+        }
+        by_task
+            .into_values()
+            .map(|mut e| {
+                e.wall = e.last_end - e.first_start;
+                e
+            })
+            .collect()
+    }
+
     /// A canonical key identifying the schedule up to processor renaming:
     /// placements listed in instance order with processors relabelled by
     /// first appearance. Two schedules with equal keys are the same schedule
@@ -101,6 +133,25 @@ impl IterationSchedule {
         }
         key
     }
+}
+
+/// One task's predicted cost within an iteration schedule, aggregated over
+/// its data-parallel chunks. See [`IterationSchedule::stage_predictions`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct StagePrediction {
+    /// The task.
+    pub task: TaskId,
+    /// Summed duration of every placement of the task.
+    pub busy: Micros,
+    /// Last placement end minus first placement start — the stage's
+    /// scheduled wall time, the quantity a live measurement compares to.
+    pub wall: Micros,
+    /// Earliest placement start (offset within the iteration).
+    pub first_start: Micros,
+    /// Latest placement end.
+    pub last_end: Micros,
+    /// Number of placements (1 for a non-decomposed task).
+    pub chunks: u32,
 }
 
 /// A software-pipelined schedule: the single-iteration pattern repeated
@@ -282,6 +333,49 @@ mod tests {
         assert_eq!(a.canonical_key(), b.canonical_key());
         let c = iteration(vec![place(0, 0, 0, 10), place(1, 0, 10, 40)]);
         assert_ne!(a.canonical_key(), c.canonical_key());
+    }
+
+    #[test]
+    fn stage_predictions_aggregate_chunks() {
+        let it = iteration(vec![
+            place(0, 0, 0, 10),
+            // Task 1 as two overlapping chunks on different processors.
+            Placement {
+                task: TaskId(1),
+                chunk: Some((0, 2)),
+                proc: ProcId(1),
+                start: Micros(10),
+                end: Micros(30),
+            },
+            Placement {
+                task: TaskId(1),
+                chunk: Some((1, 2)),
+                proc: ProcId(2),
+                start: Micros(12),
+                end: Micros(35),
+            },
+        ]);
+        let preds = it.stage_predictions();
+        assert_eq!(preds.len(), 2);
+        assert_eq!(preds[0].task, TaskId(0));
+        assert_eq!(preds[0].busy, Micros(10));
+        assert_eq!(preds[0].wall, Micros(10));
+        assert_eq!(preds[0].chunks, 1);
+        let t1 = preds[1];
+        assert_eq!(t1.task, TaskId(1));
+        assert_eq!(t1.busy, Micros(43), "20 + 23 summed");
+        assert_eq!(t1.wall, Micros(25), "10..35 spanned");
+        assert_eq!(t1.chunks, 2);
+        // A real optimal schedule predicts every task of the graph.
+        use crate::optimal::{optimal_schedule, OptimalConfig};
+        use cluster::ClusterSpec;
+        let g = taskgraph::builders::color_tracker();
+        let c = ClusterSpec::single_node(4);
+        let r = optimal_schedule(&g, &c, &AppState::new(2), &OptimalConfig::default());
+        let preds = r.best.iteration.stage_predictions();
+        assert_eq!(preds.len(), g.n_tasks());
+        assert!(preds.iter().all(|p| p.wall <= r.best.iteration.latency));
+        assert!(preds.iter().all(|p| p.wall >= Micros(1)));
     }
 
     #[test]

@@ -1,0 +1,244 @@
+//! Log-bucketed histograms for latency/throughput/uniformity aggregation.
+//!
+//! The hot path (`record`) is a handful of atomic adds with no allocation,
+//! so histograms can sit on live-run structures without perturbing the
+//! pipeline they measure. Buckets are powers of two (bucket *i* holds
+//! values whose highest set bit is *i*), which is plenty of resolution for
+//! "is the measured latency near the predicted L*" questions while keeping
+//! the footprint at a fixed 64 counters.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of buckets: one per possible highest-set-bit of a `u64`.
+const BUCKETS: usize = 64;
+
+/// An allocation-free histogram over `u64` samples (typically nanoseconds).
+///
+/// All methods take `&self`; concurrent recording from many threads is
+/// safe. Quantiles are bucket-resolution approximations (within 2× of the
+/// true value), while `mean`, `min`, and `max` are exact.
+#[derive(Debug)]
+pub struct LogHist {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for LogHist {
+    fn default() -> LogHist {
+        LogHist::new()
+    }
+}
+
+fn bucket_of(v: u64) -> usize {
+    // Highest set bit; 0 lands in bucket 0.
+    (63 - v.max(1).leading_zeros()) as usize
+}
+
+impl LogHist {
+    /// An empty histogram.
+    #[must_use]
+    pub fn new() -> LogHist {
+        LogHist {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one sample.
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.min.fetch_min(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Number of samples recorded.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Exact mean of all samples (0 when empty).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            return 0.0;
+        }
+        self.sum.load(Ordering::Relaxed) as f64 / n as f64
+    }
+
+    /// Exact minimum sample (0 when empty).
+    #[must_use]
+    pub fn min(&self) -> u64 {
+        let m = self.min.load(Ordering::Relaxed);
+        if m == u64::MAX {
+            0
+        } else {
+            m
+        }
+    }
+
+    /// Exact maximum sample (0 when empty).
+    #[must_use]
+    pub fn max(&self) -> u64 {
+        self.max.load(Ordering::Relaxed)
+    }
+
+    /// Approximate quantile `q` in `[0, 1]`: the geometric midpoint of the
+    /// bucket containing the q-th sample, clamped to the observed min/max.
+    /// Returns 0 when empty.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> u64 {
+        let n = self.count();
+        if n == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * n as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= rank {
+                // Geometric midpoint of [2^i, 2^(i+1)).
+                let lo = 1u64 << i;
+                let mid = lo + lo / 2;
+                return mid.clamp(self.min(), self.max());
+            }
+        }
+        self.max()
+    }
+
+    /// Median (`quantile(0.5)`).
+    #[must_use]
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.5)
+    }
+
+    /// 95th percentile (`quantile(0.95)`).
+    #[must_use]
+    pub fn p95(&self) -> u64 {
+        self.quantile(0.95)
+    }
+
+    /// Fold another histogram into this one.
+    pub fn merge(&self, other: &LogHist) {
+        for (a, b) in self.buckets.iter().zip(&other.buckets) {
+            a.fetch_add(b.load(Ordering::Relaxed), Ordering::Relaxed);
+        }
+        self.count
+            .fetch_add(other.count.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.sum
+            .fetch_add(other.sum.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.min
+            .fetch_min(other.min.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.max
+            .fetch_max(other.max.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+}
+
+impl std::fmt::Display for LogHist {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.0} p50={} p95={} min={} max={}",
+            self.count(),
+            self.mean(),
+            self.p50(),
+            self.p95(),
+            self.min(),
+            self.max()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_hist_is_all_zero() {
+        let h = LogHist::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.p50(), 0);
+        assert_eq!(h.p95(), 0);
+    }
+
+    #[test]
+    fn single_sample_stats_are_exact() {
+        let h = LogHist::new();
+        h.record(1000);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.mean(), 1000.0);
+        assert_eq!(h.min(), 1000);
+        assert_eq!(h.max(), 1000);
+        // Quantiles clamp to [min, max], so a single sample is exact too.
+        assert_eq!(h.p50(), 1000);
+        assert_eq!(h.p95(), 1000);
+    }
+
+    #[test]
+    fn quantiles_are_within_a_bucket() {
+        let h = LogHist::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let p50 = h.p50();
+        // True median is 500; bucket resolution allows [256, 1000].
+        assert!((256..=1024).contains(&p50), "p50={p50}");
+        assert!(h.p95() >= p50);
+        assert_eq!(h.min(), 1);
+        assert_eq!(h.max(), 1000);
+        assert!((h.mean() - 500.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_samples_land_in_bucket_zero() {
+        let h = LogHist::new();
+        h.record(0);
+        h.record(0);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.p50(), 0);
+    }
+
+    #[test]
+    fn merge_combines_counts_and_extrema() {
+        let a = LogHist::new();
+        let b = LogHist::new();
+        a.record(10);
+        b.record(1000);
+        b.record(2000);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.min(), 10);
+        assert_eq!(a.max(), 2000);
+        assert!((a.mean() - 3010.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        let h = LogHist::new();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for v in 1..=1000u64 {
+                        h.record(v);
+                    }
+                });
+            }
+        });
+        assert_eq!(h.count(), 4000);
+        assert_eq!(h.min(), 1);
+        assert_eq!(h.max(), 1000);
+    }
+}

@@ -1,0 +1,639 @@
+//! Spans, the lock-free per-thread ring they land in, and the [`Recorder`]
+//! handle the runtime threads through every stage.
+//!
+//! The design mirrors the simulator's trace gating (`cluster::TraceMode`)
+//! but for *wall-clock* execution: recording must be cheap enough to leave
+//! on in production. Three properties deliver that:
+//!
+//! * **Per-thread sharding.** Each recording thread owns a private shard
+//!   found through a thread-local registry; the hot path never contends
+//!   with another thread.
+//! * **Lock-free ring storage.** In [`TraceMode::Ring`] a shard is a
+//!   fixed-capacity seqlock ring of atomic words: the owner thread writes
+//!   slots with plain atomic stores (drop-oldest on wrap), and the drain
+//!   side validates each slot's sequence number so a concurrently
+//!   overwritten slot is discarded instead of read torn. No mutex, no
+//!   allocation, no unbounded growth.
+//! * **Mode gating.** [`TraceMode::Off`] reduces [`Recorder::record`] to a
+//!   single enum compare — measured under 1% end-to-end against a build
+//!   with no recorder attached at all (see `results/obs.txt`).
+//!
+//! [`TraceMode::Full`] trades the bound for completeness: each shard keeps
+//! an owner-thread `Vec` behind an (uncontended) mutex, so every span of a
+//! long run is retained for exact frame reconstruction.
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU16, AtomicU64, Ordering};
+use std::sync::{Arc, Weak};
+use std::time::Instant;
+
+use parking_lot::Mutex;
+
+/// How much the live pipeline records, mirroring the simulator's gating.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum TraceMode {
+    /// Record nothing; [`Recorder::record`] is a single branch.
+    #[default]
+    Off,
+    /// Flight recorder: keep the *last* `n` spans per thread in a
+    /// lock-free ring (drop-oldest). Allocation-free after setup.
+    Ring(usize),
+    /// Keep every span (per-thread `Vec`, grows without bound).
+    Full,
+}
+
+/// What a span describes. Durations are `Compute`/`Get`/`Put`/`PoolChunk`/
+/// `Join`; the rest are instants (zero duration).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[repr(u8)]
+pub enum SpanKind {
+    /// A frame finished digitizing (instant; the lifecycle origin).
+    Digitize = 0,
+    /// A stage body's compute section for one frame (or one chunk of it).
+    Compute = 1,
+    /// A blocking STM `get` (duration = time to satisfy, including waits).
+    Get = 2,
+    /// An STM `put` (duration ≈ lock + wake cost; long under backpressure).
+    Put = 3,
+    /// One data-parallel chunk executed on a worker-pool thread.
+    PoolChunk = 4,
+    /// A joiner waiting for its farmed chunks to come back.
+    Join = 5,
+    /// A frame completed end-to-end at the sink (instant).
+    Commit = 6,
+    /// A frame skipped at a stage by the degradation ladder (instant).
+    Skip = 7,
+    /// A confirmed regime switch (instant; `frame` is the observation
+    /// ordinal, not a timestamp).
+    Switch = 8,
+    /// The `(FP, MP)` decomposition the splitter used for a frame
+    /// (instant; carried in the chunk field).
+    Decomp = 9,
+}
+
+impl SpanKind {
+    fn from_u8(v: u8) -> Option<SpanKind> {
+        Some(match v {
+            0 => SpanKind::Digitize,
+            1 => SpanKind::Compute,
+            2 => SpanKind::Get,
+            3 => SpanKind::Put,
+            4 => SpanKind::PoolChunk,
+            5 => SpanKind::Join,
+            6 => SpanKind::Commit,
+            7 => SpanKind::Skip,
+            8 => SpanKind::Switch,
+            9 => SpanKind::Decomp,
+            _ => return None,
+        })
+    }
+}
+
+/// One recorded event: what happened, to which frame, at which stage, when,
+/// and for how long. Timestamps are nanoseconds since the collector's epoch
+/// (the instant the [`Recorder`] was created).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Span {
+    /// What the span describes.
+    pub kind: SpanKind,
+    /// Stage index (the task-graph order; names live in the collector).
+    pub stage: u8,
+    /// Frame timestamp (or observation ordinal for [`SpanKind::Switch`]).
+    pub frame: u64,
+    /// `(index, count)` for chunk spans; `(fp, mp)` for [`SpanKind::Decomp`].
+    pub chunk: Option<(u16, u16)>,
+    /// Start, nanoseconds since the collector epoch.
+    pub start_ns: u64,
+    /// Duration in nanoseconds (0 for instants).
+    pub dur_ns: u64,
+    /// The recording thread's shard id.
+    pub tid: u16,
+}
+
+impl Span {
+    /// End instant in nanoseconds since the collector epoch.
+    #[must_use]
+    pub fn end_ns(&self) -> u64 {
+        self.start_ns.saturating_add(self.dur_ns)
+    }
+
+    fn pack(&self) -> [u64; 4] {
+        let (ci, cn, present) = match self.chunk {
+            Some((i, n)) => (u64::from(i), u64::from(n), 1u64),
+            None => (0, 0, 0),
+        };
+        let w0 = u64::from(self.kind as u8)
+            | (u64::from(self.stage) << 8)
+            | (ci << 16)
+            | (cn << 32)
+            | (present << 48);
+        [w0, self.frame, self.start_ns, self.dur_ns]
+    }
+
+    fn unpack(w: [u64; 4], tid: u16) -> Option<Span> {
+        let kind = SpanKind::from_u8((w[0] & 0xFF) as u8)?;
+        let chunk = if (w[0] >> 48) & 1 == 1 {
+            Some((
+                ((w[0] >> 16) & 0xFFFF) as u16,
+                ((w[0] >> 32) & 0xFFFF) as u16,
+            ))
+        } else {
+            None
+        };
+        Some(Span {
+            kind,
+            stage: ((w[0] >> 8) & 0xFF) as u8,
+            frame: w[1],
+            chunk,
+            start_ns: w[2],
+            dur_ns: w[3],
+            tid,
+        })
+    }
+}
+
+/// One seqlock slot: a sequence word plus the span's four payload words.
+/// The sequence is `2·pos + 1` while the owner writes slot `pos` and
+/// `2·pos + 2` once the payload is complete, so a drainer can detect both
+/// "still being written" and "already overwritten by a later wrap".
+struct Slot {
+    seq: AtomicU64,
+    words: [AtomicU64; 4],
+}
+
+impl Slot {
+    fn empty() -> Slot {
+        Slot {
+            seq: AtomicU64::new(0),
+            words: [
+                AtomicU64::new(0),
+                AtomicU64::new(0),
+                AtomicU64::new(0),
+                AtomicU64::new(0),
+            ],
+        }
+    }
+}
+
+/// A fixed-capacity drop-oldest span ring written by exactly one thread.
+///
+/// All state is atomic, so draining from another thread is safe Rust with
+/// no undefined behaviour: a slot whose sequence check fails (the writer
+/// wrapped past it, or is mid-write) is simply discarded.
+pub struct SpanRing {
+    slots: Box<[Slot]>,
+    /// Next absolute write position (monotone; slot = pos % capacity).
+    write_pos: AtomicU64,
+}
+
+impl SpanRing {
+    /// A ring holding the most recent `capacity` spans (at least 1).
+    #[must_use]
+    pub fn new(capacity: usize) -> SpanRing {
+        let capacity = capacity.max(1);
+        SpanRing {
+            slots: (0..capacity).map(|_| Slot::empty()).collect(),
+            write_pos: AtomicU64::new(0),
+        }
+    }
+
+    /// Capacity in spans.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Total spans ever pushed (monotone; exceeds `capacity` after wrap).
+    #[must_use]
+    pub fn pushed(&self) -> u64 {
+        self.write_pos.load(Ordering::SeqCst)
+    }
+
+    /// Push one span. Must only be called from the ring's owning thread —
+    /// the shard registry guarantees this by construction (each thread gets
+    /// its own shard).
+    pub fn push(&self, words: [u64; 4]) {
+        let pos = self.write_pos.load(Ordering::Relaxed);
+        let slot = &self.slots[(pos % self.slots.len() as u64) as usize];
+        slot.seq.store(2 * pos + 1, Ordering::SeqCst);
+        for (w, v) in slot.words.iter().zip(words) {
+            w.store(v, Ordering::SeqCst);
+        }
+        slot.seq.store(2 * pos + 2, Ordering::SeqCst);
+        self.write_pos.store(pos + 1, Ordering::SeqCst);
+    }
+
+    /// Snapshot the retained window, oldest first, discarding any slot the
+    /// writer is concurrently overwriting. Returns `(packed spans, evicted)`
+    /// where `evicted` counts drop-oldest victims.
+    #[must_use]
+    pub fn drain(&self) -> (Vec<[u64; 4]>, u64) {
+        let wp = self.write_pos.load(Ordering::SeqCst);
+        let lo = wp.saturating_sub(self.slots.len() as u64);
+        let mut out = Vec::with_capacity((wp - lo) as usize);
+        for pos in lo..wp {
+            let slot = &self.slots[(pos % self.slots.len() as u64) as usize];
+            let expected = 2 * pos + 2;
+            if slot.seq.load(Ordering::SeqCst) != expected {
+                continue;
+            }
+            let mut words = [0u64; 4];
+            for (v, w) in words.iter_mut().zip(&slot.words) {
+                *v = w.load(Ordering::SeqCst);
+            }
+            if slot.seq.load(Ordering::SeqCst) == expected {
+                out.push(words);
+            }
+        }
+        (out, lo)
+    }
+}
+
+/// Per-thread span storage: a ring ([`TraceMode::Ring`]) or an unbounded
+/// list ([`TraceMode::Full`]). The mutex on the full list is only ever
+/// contended at drain time — recording threads each own their shard.
+struct Shard {
+    tid: u16,
+    thread_name: String,
+    ring: Option<SpanRing>,
+    full: Option<Mutex<Vec<[u64; 4]>>>,
+    recorded: AtomicU64,
+}
+
+impl Shard {
+    fn record(&self, words: [u64; 4]) {
+        self.recorded.fetch_add(1, Ordering::Relaxed);
+        if let Some(ring) = &self.ring {
+            ring.push(words);
+        } else if let Some(full) = &self.full {
+            full.lock().push(words);
+        }
+    }
+}
+
+/// Shared sink behind every [`Recorder`] clone.
+struct Collector {
+    id: u64,
+    mode: TraceMode,
+    epoch: Instant,
+    stage_names: Vec<String>,
+    shards: Mutex<Vec<Arc<Shard>>>,
+    next_tid: AtomicU16,
+}
+
+static COLLECTOR_IDS: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    /// This thread's shards, one per live collector it has recorded into.
+    static TLS_SHARDS: RefCell<Vec<(u64, Weak<Shard>)>> = const { RefCell::new(Vec::new()) };
+}
+
+/// The handle task bodies record through. Cloning is an `Arc` bump; the
+/// clone records into the same collector.
+#[derive(Clone)]
+pub struct Recorder {
+    inner: Arc<Collector>,
+}
+
+impl std::fmt::Debug for Recorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Recorder(mode={:?})", self.inner.mode)
+    }
+}
+
+impl Recorder {
+    /// A recorder in `mode`. `stage_names` maps stage indices to display
+    /// names for reports and trace export; the epoch (time zero of every
+    /// span) is now.
+    #[must_use]
+    pub fn new(mode: TraceMode, stage_names: Vec<String>) -> Recorder {
+        Recorder {
+            inner: Arc::new(Collector {
+                id: COLLECTOR_IDS.fetch_add(1, Ordering::Relaxed),
+                mode,
+                epoch: Instant::now(),
+                stage_names,
+                shards: Mutex::new(Vec::new()),
+                next_tid: AtomicU16::new(0),
+            }),
+        }
+    }
+
+    /// The recording mode.
+    #[must_use]
+    pub fn mode(&self) -> TraceMode {
+        self.inner.mode
+    }
+
+    /// Whether spans are being kept at all. Callers can skip building span
+    /// inputs (e.g. reading the clock) when this is false.
+    #[must_use]
+    pub fn enabled(&self) -> bool {
+        self.inner.mode != TraceMode::Off
+    }
+
+    /// Nanoseconds since the collector epoch — the timebase of every span.
+    #[must_use]
+    pub fn now_ns(&self) -> u64 {
+        let d = self.inner.epoch.elapsed();
+        d.as_secs()
+            .saturating_mul(1_000_000_000)
+            .saturating_add(u64::from(d.subsec_nanos()))
+    }
+
+    /// The calling thread's shard for this collector, creating and
+    /// registering it on first use.
+    fn shard(&self) -> Option<Arc<Shard>> {
+        TLS_SHARDS.with(|tls| {
+            let mut tls = tls.borrow_mut();
+            for (id, weak) in tls.iter() {
+                if *id == self.inner.id {
+                    return weak.upgrade();
+                }
+            }
+            // First record from this thread: build its shard.
+            tls.retain(|(_, w)| w.strong_count() > 0);
+            let tid = self.inner.next_tid.fetch_add(1, Ordering::Relaxed);
+            let shard = Arc::new(Shard {
+                tid,
+                thread_name: std::thread::current()
+                    .name()
+                    .unwrap_or("worker")
+                    .to_string(),
+                ring: match self.inner.mode {
+                    TraceMode::Ring(cap) => Some(SpanRing::new(cap)),
+                    _ => None,
+                },
+                full: match self.inner.mode {
+                    TraceMode::Full => Some(Mutex::new(Vec::new())),
+                    _ => None,
+                },
+                recorded: AtomicU64::new(0),
+            });
+            self.inner.shards.lock().push(Arc::clone(&shard));
+            tls.push((self.inner.id, Arc::downgrade(&shard)));
+            Some(shard)
+        })
+    }
+
+    /// Record one span. In [`TraceMode::Off`] this returns after a single
+    /// compare; otherwise it lands in the calling thread's shard.
+    pub fn record(&self, span: Span) {
+        if self.inner.mode == TraceMode::Off {
+            return;
+        }
+        if let Some(shard) = self.shard() {
+            shard.record(span.pack());
+        }
+    }
+
+    /// Record a duration span from explicit epoch-relative endpoints.
+    pub fn span(
+        &self,
+        kind: SpanKind,
+        stage: u8,
+        frame: u64,
+        chunk: Option<(u16, u16)>,
+        start_ns: u64,
+        end_ns: u64,
+    ) {
+        if self.inner.mode == TraceMode::Off {
+            return;
+        }
+        self.record(Span {
+            kind,
+            stage,
+            frame,
+            chunk,
+            start_ns,
+            dur_ns: end_ns.saturating_sub(start_ns),
+            tid: 0,
+        });
+    }
+
+    /// Record an instantaneous event stamped now.
+    pub fn instant(&self, kind: SpanKind, stage: u8, frame: u64, chunk: Option<(u16, u16)>) {
+        if self.inner.mode == TraceMode::Off {
+            return;
+        }
+        let now = self.now_ns();
+        self.record(Span {
+            kind,
+            stage,
+            frame,
+            chunk,
+            start_ns: now,
+            dur_ns: 0,
+            tid: 0,
+        });
+    }
+
+    /// Snapshot everything recorded so far into a [`SpanDump`], sorted by
+    /// start time. Intended for end-of-run analysis (after the executor has
+    /// joined its task threads); a mid-run drain is safe but may discard
+    /// ring slots the writers are concurrently overwriting.
+    #[must_use]
+    pub fn drain(&self) -> SpanDump {
+        let shards = self.inner.shards.lock();
+        let mut spans = Vec::new();
+        let mut recorded = 0u64;
+        let mut evicted = 0u64;
+        let mut threads = Vec::new();
+        for shard in shards.iter() {
+            recorded += shard.recorded.load(Ordering::SeqCst);
+            threads.push((shard.tid, shard.thread_name.clone()));
+            if let Some(ring) = &shard.ring {
+                let (words, ev) = ring.drain();
+                evicted += ev;
+                spans.extend(words.into_iter().filter_map(|w| Span::unpack(w, shard.tid)));
+            } else if let Some(full) = &shard.full {
+                spans.extend(
+                    full.lock()
+                        .iter()
+                        .filter_map(|&w| Span::unpack(w, shard.tid)),
+                );
+            }
+        }
+        threads.sort();
+        spans.sort_by_key(|s| (s.start_ns, s.tid, s.frame));
+        SpanDump {
+            mode: self.inner.mode,
+            stage_names: self.inner.stage_names.clone(),
+            spans,
+            recorded,
+            evicted,
+            threads,
+        }
+    }
+}
+
+/// A drained snapshot of every shard: the raw material for frame
+/// reconstruction, Chrome export, and conformance checking.
+#[derive(Clone, Debug)]
+pub struct SpanDump {
+    /// The mode the spans were recorded under.
+    pub mode: TraceMode,
+    /// Stage index → display name.
+    pub stage_names: Vec<String>,
+    /// All retained spans, sorted by start time.
+    pub spans: Vec<Span>,
+    /// Total spans ever recorded (≥ `spans.len()`).
+    pub recorded: u64,
+    /// Ring-mode drop-oldest victims (0 in `Full` mode).
+    pub evicted: u64,
+    /// Shard id → thread name, sorted by id.
+    pub threads: Vec<(u16, String)>,
+}
+
+impl SpanDump {
+    /// The display name of stage `idx` (a stable fallback otherwise).
+    #[must_use]
+    pub fn stage_name(&self, idx: u8) -> &str {
+        self.stage_names
+            .get(idx as usize)
+            .map_or("stage?", String::as_str)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(kind: SpanKind, frame: u64, start: u64, dur: u64) -> Span {
+        Span {
+            kind,
+            stage: 1,
+            frame,
+            chunk: None,
+            start_ns: start,
+            dur_ns: dur,
+            tid: 0,
+        }
+    }
+
+    #[test]
+    fn pack_roundtrips_all_fields() {
+        let s = Span {
+            kind: SpanKind::PoolChunk,
+            stage: 3,
+            frame: 123_456_789,
+            chunk: Some((7, 12)),
+            start_ns: 42,
+            dur_ns: 1_000_000,
+            tid: 2,
+        };
+        assert_eq!(Span::unpack(s.pack(), 2), Some(s));
+        let none = span(SpanKind::Commit, 5, 10, 0);
+        assert_eq!(Span::unpack(none.pack(), 0), Some(none));
+    }
+
+    #[test]
+    fn off_mode_records_nothing() {
+        let r = Recorder::new(TraceMode::Off, vec!["a".into()]);
+        r.record(span(SpanKind::Compute, 0, 0, 10));
+        r.instant(SpanKind::Commit, 0, 0, None);
+        let d = r.drain();
+        assert!(d.spans.is_empty());
+        assert_eq!(d.recorded, 0);
+    }
+
+    #[test]
+    fn full_mode_keeps_everything() {
+        let r = Recorder::new(TraceMode::Full, vec!["a".into(), "b".into()]);
+        for f in 0..100u64 {
+            r.record(span(SpanKind::Compute, f, f * 10, 5));
+        }
+        let d = r.drain();
+        assert_eq!(d.spans.len(), 100);
+        assert_eq!(d.recorded, 100);
+        assert_eq!(d.evicted, 0);
+        assert!(d.spans.windows(2).all(|w| w[0].start_ns <= w[1].start_ns));
+        assert_eq!(d.stage_name(1), "b");
+        assert_eq!(d.stage_name(9), "stage?");
+    }
+
+    #[test]
+    fn ring_mode_drops_oldest() {
+        let r = Recorder::new(TraceMode::Ring(16), vec![]);
+        for f in 0..50u64 {
+            r.record(span(SpanKind::Compute, f, f, 1));
+        }
+        let d = r.drain();
+        assert_eq!(d.spans.len(), 16);
+        assert_eq!(d.recorded, 50);
+        assert_eq!(d.evicted, 34);
+        let frames: Vec<u64> = d.spans.iter().map(|s| s.frame).collect();
+        assert_eq!(frames, (34..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn spans_from_many_threads_land_in_private_shards() {
+        let r = Recorder::new(TraceMode::Ring(64), vec![]);
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let r = r.clone();
+                s.spawn(move || {
+                    for f in 0..32u64 {
+                        r.record(span(SpanKind::Compute, t * 100 + f, f, 1));
+                    }
+                });
+            }
+        });
+        let d = r.drain();
+        assert_eq!(d.recorded, 128);
+        assert_eq!(d.spans.len(), 128, "64-cap rings never wrapped");
+        assert_eq!(d.threads.len(), 4);
+        let tids: std::collections::BTreeSet<u16> = d.spans.iter().map(|s| s.tid).collect();
+        assert_eq!(tids.len(), 4);
+    }
+
+    #[test]
+    fn concurrent_drain_never_yields_torn_spans() {
+        // A writer hammers a tiny ring while a reader drains repeatedly:
+        // every span the reader sees must be one the writer actually wrote
+        // (frame == start_ns is the witness invariant).
+        let r = Recorder::new(TraceMode::Ring(8), vec![]);
+        std::thread::scope(|s| {
+            let w = r.clone();
+            s.spawn(move || {
+                for f in 0..20_000u64 {
+                    w.record(Span {
+                        kind: SpanKind::Compute,
+                        stage: 0,
+                        frame: f,
+                        chunk: None,
+                        start_ns: f,
+                        dur_ns: 2 * f,
+                        tid: 0,
+                    });
+                }
+            });
+            for _ in 0..200 {
+                for sp in r.drain().spans {
+                    assert_eq!(sp.frame, sp.start_ns, "torn span");
+                    assert_eq!(sp.dur_ns, 2 * sp.frame, "torn span");
+                }
+            }
+        });
+    }
+
+    #[test]
+    fn ring_capacity_floor_is_one() {
+        let ring = SpanRing::new(0);
+        assert_eq!(ring.capacity(), 1);
+        ring.push([1, 2, 3, 4]);
+        ring.push([5, 6, 7, 8]);
+        let (spans, evicted) = ring.drain();
+        assert_eq!(spans, vec![[5, 6, 7, 8]]);
+        assert_eq!(evicted, 1);
+        assert_eq!(ring.pushed(), 2);
+    }
+
+    #[test]
+    fn now_ns_is_monotone() {
+        let r = Recorder::new(TraceMode::Full, vec![]);
+        let a = r.now_ns();
+        let b = r.now_ns();
+        assert!(b >= a);
+    }
+}

@@ -4,6 +4,7 @@
 use std::sync::Arc;
 use std::time::Duration;
 
+use obs::{ChannelCheck, Recorder, TraceMode};
 use stm::{Channel, ChannelBuilder};
 use vision::{BitMask, ColorHist, Frame, ModelLocation, Scene, ScoreMap};
 
@@ -66,6 +67,11 @@ pub struct TrackerConfig {
     /// Deterministic fault injection (see [`crate::faults`]); `None` for
     /// production runs.
     pub faults: Option<Arc<FaultInjector>>,
+    /// Live observability: `Some(mode)` attaches an [`obs::Recorder`] in
+    /// that mode to every stage, pool job, and the regime controller.
+    /// `None` builds no recorder at all — the baseline the
+    /// [`TraceMode::Off`] overhead claim is measured against.
+    pub trace: Option<TraceMode>,
 }
 
 impl TrackerConfig {
@@ -87,6 +93,7 @@ impl TrackerConfig {
             digitizer_dies_after: None,
             frame_deadline: None,
             faults: None,
+            trace: None,
         }
     }
 }
@@ -109,10 +116,13 @@ pub struct TrackerApp {
     /// Shared health ledger of the run: every frame-path fault any stage
     /// absorbed (drops, deadline skips, chunk recomputes, regime clamps).
     pub health: Arc<RuntimeHealth>,
+    /// The span recorder, when [`TrackerConfig::trace`] asked for one.
+    pub recorder: Option<Recorder>,
     channels: AppChannels,
     pool: Option<Arc<WorkerPool<PoolJob>>>,
     frame_pool: Option<BufPool<Frame>>,
     mask_pool: Option<BufPool<BitMask>>,
+    channel_capacity: usize,
 }
 
 struct AppChannels {
@@ -146,8 +156,13 @@ impl TrackerApp {
             "scene and config sizes must agree"
         );
         let models = scene.models();
-        let measure = Arc::new(Measurements::new(cfg.n_frames as usize));
         let health = Arc::new(RuntimeHealth::default());
+        let measure = Arc::new(
+            Measurements::new(cfg.n_frames as usize)
+                .with_stages(Stage::ALL.len())
+                .with_health(Arc::clone(&health)),
+        );
+        let recorder = cfg.trace.map(|mode| Recorder::new(mode, Stage::names()));
         // The deadline watchdog: explicit budget wins; injecting faults
         // without one gets a bounded default so upstream drops cascade as
         // recorded deadline skips instead of wedging downstream gets.
@@ -155,12 +170,17 @@ impl TrackerApp {
             .frame_deadline
             .or(cfg.faults.as_ref().map(|_| DEFAULT_FAULT_DEADLINE));
         let stage_ctx = |stage: Stage| {
-            let mut ctx = StageCtx::new(stage).with_health(Arc::clone(&health));
+            let mut ctx = StageCtx::new(stage)
+                .with_health(Arc::clone(&health))
+                .with_measure(Arc::clone(&measure));
             if let Some(d) = deadline {
                 ctx = ctx.with_deadline(d);
             }
             if let Some(f) = &cfg.faults {
                 ctx = ctx.with_faults(Arc::clone(f));
+            }
+            if let Some(r) = &recorder {
+                ctx = ctx.with_recorder(r.clone());
             }
             ctx
         };
@@ -221,6 +241,10 @@ impl TrackerApp {
         .with_ctx(stage_ctx(Stage::Detect));
         if let Some(c) = &controller {
             detect = detect.with_controller(Arc::clone(c));
+            c.attach_health(Arc::clone(&health));
+            if let Some(r) = &recorder {
+                c.attach_recorder(r.clone());
+            }
         }
         let mut shared_pool = None;
         if cfg.pool_workers > 0 {
@@ -270,6 +294,7 @@ impl TrackerApp {
             scene,
             n_frames: cfg.n_frames,
             health,
+            recorder,
             channels: AppChannels {
                 frames,
                 hist,
@@ -280,6 +305,7 @@ impl TrackerApp {
             pool: shared_pool,
             frame_pool,
             mask_pool,
+            channel_capacity: cap,
         }
     }
 
@@ -301,6 +327,35 @@ impl TrackerApp {
     #[must_use]
     pub fn mask_pool_stats(&self) -> Option<PoolStats> {
         self.mask_pool.as_ref().map(BufPool::stats)
+    }
+
+    /// The shared worker pool's lifetime load counters
+    /// `(submitted, executed)`, when a pool is attached.
+    #[must_use]
+    pub fn pool_load(&self) -> Option<(u64, u64)> {
+        self.pool.as_ref().map(|p| (p.submitted(), p.executed()))
+    }
+
+    /// Per-channel occupancy rows for the schedule-conformance checker:
+    /// every channel's configured capacity and observed `peak_live`, with
+    /// `schedule_bound` (the active schedule's occupancy bound, in
+    /// overlapping iterations) applied to all channels.
+    #[must_use]
+    pub fn channel_checks(&self, schedule_bound: u32) -> Vec<ChannelCheck> {
+        let cap = self.channel_capacity as u32;
+        let row = |name: &str, peak: usize| ChannelCheck {
+            name: name.to_string(),
+            capacity: cap,
+            peak_live: peak as u32,
+            schedule_bound,
+        };
+        vec![
+            row("Frame", self.channels.frames.stats().peak_live),
+            row("Color Model", self.channels.hist.stats().peak_live),
+            row("Motion Mask", self.channels.mask.stats().peak_live),
+            row("Back Projections", self.channels.scores.stats().peak_live),
+            row("Model Locations", self.channels.locations.stats().peak_live),
+        ]
     }
 
     /// Peak live occupancy observed across all channels (validates the
@@ -332,6 +387,24 @@ mod tests {
         for (i, t) in app.tasks.iter().enumerate() {
             assert_eq!(t.name(), g.task(taskgraph::TaskId(i)).name, "task {i}");
         }
+    }
+
+    #[test]
+    fn app_builds_recorder_only_when_asked() {
+        let cfg = TrackerConfig::small(2, 4);
+        let app = TrackerApp::build(&cfg, None);
+        assert!(app.recorder.is_none(), "trace: None attaches no recorder");
+
+        let mut cfg = TrackerConfig::small(2, 4);
+        cfg.trace = Some(TraceMode::Ring(256));
+        let app = TrackerApp::build(&cfg, None);
+        let rec = app.recorder.as_ref().expect("trace: Some builds one");
+        assert_eq!(rec.mode(), TraceMode::Ring(256));
+        let checks = app.channel_checks(3);
+        assert_eq!(checks.len(), 5);
+        assert!(checks
+            .iter()
+            .all(|c| c.capacity == 8 && c.schedule_bound == 3));
     }
 
     #[test]

@@ -46,6 +46,38 @@ pub enum Stage {
 }
 
 impl Stage {
+    /// All six stages in task-graph order (the order
+    /// [`index`](Self::index) numbers them in).
+    pub const ALL: [Stage; 6] = [
+        Stage::Digitizer,
+        Stage::Histogram,
+        Stage::Change,
+        Stage::Detect,
+        Stage::Peak,
+        Stage::Face,
+    ];
+
+    /// The stage's index in task-graph order (0 = digitizer … 5 = face),
+    /// used as the span stage id in observability traces.
+    #[must_use]
+    pub fn index(self) -> u8 {
+        match self {
+            Stage::Digitizer => 0,
+            Stage::Histogram => 1,
+            Stage::Change => 2,
+            Stage::Detect => 3,
+            Stage::Peak => 4,
+            Stage::Face => 5,
+        }
+    }
+
+    /// Display names of all stages in [`index`](Self::index) order — the
+    /// `stage_names` every [`obs::Recorder`] for this pipeline should use.
+    #[must_use]
+    pub fn names() -> Vec<String> {
+        Stage::ALL.iter().map(ToString::to_string).collect()
+    }
+
     /// Stages strictly downstream of `self` on the dependency path — the
     /// number of cascaded deadline skips one dropped frame causes.
     #[must_use]
@@ -162,6 +194,7 @@ pub struct RuntimeHealth {
     chunk_mismatches: AtomicU64,
     chunk_recomputes: AtomicU64,
     regime_clamps: AtomicU64,
+    mark_drops: AtomicU64,
     log: Mutex<Vec<RuntimeError>>,
 }
 
@@ -194,6 +227,13 @@ impl RuntimeHealth {
         self.regime_clamps.fetch_add(1, Ordering::SeqCst);
     }
 
+    /// Record that a measurement mark (digitize/complete/stage) arrived for
+    /// a timestamp outside the preallocated window and was dropped.
+    /// Formerly this drop was silent; now the report shows it.
+    pub fn record_mark_drop(&self) {
+        self.mark_drops.fetch_add(1, Ordering::SeqCst);
+    }
+
     /// Snapshot of all counters.
     #[must_use]
     pub fn report(&self) -> HealthReport {
@@ -204,6 +244,7 @@ impl RuntimeHealth {
             chunk_mismatches: self.chunk_mismatches.load(Ordering::SeqCst),
             chunk_recomputes: self.chunk_recomputes.load(Ordering::SeqCst),
             regime_clamps: self.regime_clamps.load(Ordering::SeqCst),
+            mark_drops: self.mark_drops.load(Ordering::SeqCst),
         }
     }
 
@@ -229,6 +270,8 @@ pub struct HealthReport {
     pub chunk_recomputes: u64,
     /// Observations clamped to the nearest known regime.
     pub regime_clamps: u64,
+    /// Measurement marks dropped for out-of-window timestamps.
+    pub mark_drops: u64,
 }
 
 impl HealthReport {
@@ -250,13 +293,14 @@ impl fmt::Display for HealthReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "get-drops={} put-drops={} deadline-skips={} chunk-mismatches={} chunk-recomputes={} regime-clamps={}",
+            "get-drops={} put-drops={} deadline-skips={} chunk-mismatches={} chunk-recomputes={} regime-clamps={} mark-drops={}",
             self.stm_get_drops,
             self.stm_put_drops,
             self.deadline_skips,
             self.chunk_mismatches,
             self.chunk_recomputes,
-            self.regime_clamps
+            self.regime_clamps,
+            self.mark_drops
         )
     }
 }
@@ -325,6 +369,29 @@ mod tests {
         assert!(e.to_string().contains('7'));
         let r = HealthReport::default();
         assert!(r.to_string().contains("deadline-skips=0"));
+    }
+
+    #[test]
+    fn stage_indices_cover_graph_order() {
+        for (i, s) in Stage::ALL.iter().enumerate() {
+            assert_eq!(s.index() as usize, i);
+        }
+        let names = Stage::names();
+        assert_eq!(names.len(), 6);
+        assert_eq!(names[0], "Digitizer");
+        assert_eq!(names[5], "DECface Update");
+    }
+
+    #[test]
+    fn mark_drops_surface_in_the_report() {
+        let h = RuntimeHealth::default();
+        assert!(h.report().is_clean());
+        h.record_mark_drop();
+        let r = h.report();
+        assert_eq!(r.mark_drops, 1);
+        assert!(!r.is_clean(), "a dropped mark is not a clean run");
+        assert_eq!(r.total_drops(), 0, "mark drops are not frame drops");
+        assert!(r.to_string().contains("mark-drops=1"));
     }
 
     #[test]

@@ -24,6 +24,14 @@
 //! run time: the peak detector's people count feeds a debounced detector,
 //! and the splitter "looks up the decomposition for the current state from
 //! a pre-computed table" on every frame.
+//!
+//! Observability: attach a [`TraceMode`](obs::TraceMode) through
+//! [`TrackerConfig::trace`](app::TrackerConfig) and every stage body, STM
+//! get/put, pool chunk, skip, and regime switch reports spans into an
+//! [`obs::Recorder`] for Chrome-trace export and schedule-conformance
+//! checking (see the `obs` crate).
+
+#![warn(missing_docs)]
 
 pub mod app;
 pub mod error;
@@ -45,4 +53,4 @@ pub use frame_pool::{BufPool, PoolStats, Pooled, PooledFrame, PooledMask};
 pub use measure::{Measurements, RunStats};
 pub use pool::{PoolClosed, PoolHealth, WorkerPool};
 pub use regime_rt::{RegimeController, RegimeError};
-pub use tasks::{PoolJob, TaskBody};
+pub use tasks::{PoolJob, StageCtx, TaskBody};

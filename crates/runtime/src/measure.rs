@@ -1,44 +1,130 @@
-//! Wall-clock measurement of runtime executions: per-frame digitize and
-//! completion instants, reduced to the paper's metrics (latency, throughput,
-//! uniformity).
+//! Wall-clock measurement of runtime executions: per-frame digitize,
+//! per-stage, and completion instants, reduced to the paper's metrics
+//! (latency, throughput, uniformity).
 
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
 
+use crate::error::RuntimeHealth;
+
 /// Shared per-run measurement store. The digitizer and the sink task write
-/// into it; `stats` reduces at the end.
-#[derive(Debug)]
+/// into it (optionally every stage, via [`mark_stage`](Measurements::mark_stage));
+/// `stats` reduces at the end.
+///
+/// A mark for a timestamp outside the preallocated window is *counted*
+/// (never silently lost, never a panic): see
+/// [`mark_drops`](Measurements::mark_drops) and, when a health ledger is
+/// attached, `HealthReport::mark_drops`.
+#[derive(Debug, Default)]
 pub struct Measurements {
     digitized: Mutex<Vec<Option<Instant>>>,
     completed: Mutex<Vec<Option<Instant>>>,
+    /// Per-stage completion instants: `stage_marks[stage][ts]`.
+    stage_marks: Mutex<Vec<Vec<Option<Instant>>>>,
+    mark_drops: AtomicU64,
+    health: Mutex<Option<Arc<RuntimeHealth>>>,
 }
 
 impl Measurements {
-    /// Storage for `n_frames` frames.
+    /// Storage for `n_frames` frames (digitize/complete marks only).
     #[must_use]
     pub fn new(n_frames: usize) -> Self {
         Measurements {
             digitized: Mutex::new(vec![None; n_frames]),
             completed: Mutex::new(vec![None; n_frames]),
+            stage_marks: Mutex::new(Vec::new()),
+            mark_drops: AtomicU64::new(0),
+            health: Mutex::new(None),
         }
     }
 
+    /// Also preallocate per-stage mark storage for `n_stages` stages, so
+    /// [`mark_stage`](Self::mark_stage) marks land instead of counting as
+    /// drops.
+    #[must_use]
+    pub fn with_stages(self, n_stages: usize) -> Self {
+        let n_frames = self.digitized.lock().len();
+        *self.stage_marks.lock() = vec![vec![None; n_frames]; n_stages];
+        self
+    }
+
+    /// Route out-of-window drop counts into the run's shared health ledger
+    /// as well as the local counter.
+    #[must_use]
+    pub fn with_health(self, health: Arc<RuntimeHealth>) -> Self {
+        *self.health.lock() = Some(health);
+        self
+    }
+
+    fn on_drop(&self) {
+        self.mark_drops.fetch_add(1, Ordering::SeqCst);
+        if let Some(h) = self.health.lock().as_ref() {
+            h.record_mark_drop();
+        }
+    }
+
+    /// Marks that arrived outside the preallocated window and were dropped.
+    #[must_use]
+    pub fn mark_drops(&self) -> u64 {
+        self.mark_drops.load(Ordering::SeqCst)
+    }
+
     /// Record that frame `ts` finished digitizing now. A timestamp beyond
-    /// the preallocated window is ignored — measurement must never panic
-    /// the live path.
+    /// the preallocated window is counted in [`mark_drops`](Self::mark_drops)
+    /// — measurement must never panic the live path.
     pub fn mark_digitized(&self, ts: u64) {
-        if let Some(slot) = self.digitized.lock().get_mut(ts as usize) {
-            *slot = Some(Instant::now());
+        match self.digitized.lock().get_mut(ts as usize) {
+            Some(slot) => *slot = Some(Instant::now()),
+            None => self.on_drop(),
         }
     }
 
     /// Record that frame `ts` finished all processing now (out-of-window
-    /// timestamps are ignored, as in [`mark_digitized`](Self::mark_digitized)).
+    /// timestamps are counted, as in [`mark_digitized`](Self::mark_digitized)).
     pub fn mark_completed(&self, ts: u64) {
-        if let Some(slot) = self.completed.lock().get_mut(ts as usize) {
-            *slot = Some(Instant::now());
+        match self.completed.lock().get_mut(ts as usize) {
+            Some(slot) => *slot = Some(Instant::now()),
+            None => self.on_drop(),
         }
+    }
+
+    /// Record that `stage` finished its work on frame `ts` now. A no-op
+    /// unless [`with_stages`](Self::with_stages) enabled stage marks; once
+    /// enabled, an unknown stage or out-of-window timestamp counts as a
+    /// dropped mark.
+    pub fn mark_stage(&self, stage: usize, ts: u64) {
+        let mut marks = self.stage_marks.lock();
+        if marks.is_empty() {
+            return;
+        }
+        match marks
+            .get_mut(stage)
+            .and_then(|row| row.get_mut(ts as usize))
+        {
+            Some(slot) => *slot = Some(Instant::now()),
+            None => self.on_drop(),
+        }
+    }
+
+    /// Digitize→stage latencies for `stage`, one per frame where both marks
+    /// landed, in frame order. Empty when stage marks were not enabled.
+    #[must_use]
+    pub fn stage_latencies(&self, stage: usize) -> Vec<Duration> {
+        let dig = self.digitized.lock();
+        let marks = self.stage_marks.lock();
+        let Some(row) = marks.get(stage) else {
+            return Vec::new();
+        };
+        dig.iter()
+            .zip(row.iter())
+            .filter_map(|(d, m)| match (d, m) {
+                (Some(d), Some(m)) => Some(m.saturating_duration_since(*d)),
+                _ => None,
+            })
+            .collect()
     }
 
     /// Reduce to run statistics, skipping `warmup` completed frames.
@@ -200,6 +286,68 @@ mod tests {
         m.mark_digitized(1); // never completes
         let s = m.stats(0);
         assert_eq!(s.frames_completed, 1);
+    }
+
+    #[test]
+    fn stats_on_single_frame_have_zero_throughput() {
+        // One completion: no gaps, so throughput and CoV are 0, and every
+        // latency percentile equals the single sample.
+        let m = Measurements::new(1);
+        m.mark_digitized(0);
+        m.mark_completed(0);
+        let s = m.stats(0);
+        assert_eq!(s.frames_completed, 1);
+        assert_eq!(s.throughput_hz, 0.0);
+        assert_eq!(s.uniformity_cov, 0.0);
+        assert_eq!(s.p95_latency, s.mean_latency);
+        assert_eq!(s.min_latency, s.max_latency);
+    }
+
+    #[test]
+    fn stats_when_every_frame_skipped_are_zero() {
+        // Frames digitized but never completed (all skipped downstream):
+        // no latency sample may be fabricated.
+        let m = Measurements::new(3);
+        for ts in 0..3 {
+            m.mark_digitized(ts);
+        }
+        let s = m.stats(0);
+        assert_eq!(s.frames_completed, 0);
+        assert_eq!(s.mean_latency, Duration::ZERO);
+        assert_eq!(s.max_latency, Duration::ZERO);
+        assert_eq!(s.throughput_hz, 0.0);
+        assert_eq!(s.uniformity_cov, 0.0);
+    }
+
+    #[test]
+    fn out_of_window_marks_are_counted_not_silent() {
+        use crate::error::RuntimeHealth;
+        use std::sync::Arc;
+        let health = Arc::new(RuntimeHealth::default());
+        let m = Measurements::new(2).with_health(Arc::clone(&health));
+        m.mark_digitized(0);
+        m.mark_digitized(7); // out of window: formerly silently ignored
+        m.mark_completed(9);
+        assert_eq!(m.mark_drops(), 2);
+        assert_eq!(health.report().mark_drops, 2);
+        assert_eq!(m.stats(0).frames_completed, 0);
+    }
+
+    #[test]
+    fn stage_marks_record_per_stage_latency() {
+        let m = Measurements::new(2).with_stages(3);
+        m.mark_digitized(0);
+        std::thread::sleep(Duration::from_millis(5));
+        m.mark_stage(1, 0);
+        m.mark_stage(1, 1); // frame 1 was never digitized: no sample
+        m.mark_stage(9, 0); // unknown stage: counted as a drop
+        m.mark_stage(1, 99); // out-of-window frame: counted as a drop
+        let lat = m.stage_latencies(1);
+        assert_eq!(lat.len(), 1);
+        assert!(lat[0] >= Duration::from_millis(5));
+        assert!(m.stage_latencies(0).is_empty());
+        assert!(m.stage_latencies(9).is_empty());
+        assert_eq!(m.mark_drops(), 2);
     }
 
     #[test]

@@ -77,6 +77,11 @@ struct Shared {
     retired: AtomicUsize,
     /// Workers currently running their receive loop.
     live: AtomicUsize,
+    /// Jobs accepted into the queue (load counter; see
+    /// [`WorkerPool::submitted`]).
+    submitted: AtomicU64,
+    /// Jobs a worker (or the inline drain) has finished consuming.
+    executed: AtomicU64,
 }
 
 impl Shared {
@@ -163,7 +168,9 @@ impl<J: Send + 'static> WorkerPool<J> {
                     // joiner recomputes it inline. The worker retires (its
                     // stack may hold poisoned state) and `heal` respawns a
                     // fresh one.
-                    if catch_unwind(AssertUnwindSafe(|| (handler)(job))).is_err() {
+                    let panicked = catch_unwind(AssertUnwindSafe(|| (handler)(job))).is_err();
+                    shared.executed.fetch_add(1, Ordering::SeqCst);
+                    if panicked {
                         shared.panics.fetch_add(1, Ordering::SeqCst);
                         shared.retired.fetch_add(1, Ordering::SeqCst);
                         shared.live.fetch_sub(1, Ordering::SeqCst);
@@ -221,7 +228,10 @@ impl<J: Send + 'static> WorkerPool<J> {
             return Err(PoolClosed(job));
         }
         match tx.send(job) {
-            Ok(()) => Ok(()),
+            Ok(()) => {
+                self.shared.submitted.fetch_add(1, Ordering::SeqCst);
+                Ok(())
+            }
             Err(e) => {
                 self.shared.inline_fallbacks.fetch_add(1, Ordering::SeqCst);
                 Err(PoolClosed(e.0))
@@ -233,7 +243,9 @@ impl<J: Send + 'static> WorkerPool<J> {
     fn drain_inline(&self) {
         while let Ok(job) = self.rx.try_recv() {
             self.shared.inline_fallbacks.fetch_add(1, Ordering::SeqCst);
-            if catch_unwind(AssertUnwindSafe(|| (self.handler)(job))).is_err() {
+            let panicked = catch_unwind(AssertUnwindSafe(|| (self.handler)(job))).is_err();
+            self.shared.executed.fetch_add(1, Ordering::SeqCst);
+            if panicked {
                 self.shared.panics.fetch_add(1, Ordering::SeqCst);
             }
         }
@@ -264,6 +276,26 @@ impl<J: Send + 'static> WorkerPool<J> {
     #[must_use]
     pub fn health(&self) -> PoolHealth {
         self.shared.health()
+    }
+
+    /// Jobs accepted into the queue over the pool's lifetime (monotone).
+    #[must_use]
+    pub fn submitted(&self) -> u64 {
+        self.shared.submitted.load(Ordering::SeqCst)
+    }
+
+    /// Jobs fully consumed by a worker or the inline drain (monotone;
+    /// includes jobs whose handler panicked — they are consumed too).
+    #[must_use]
+    pub fn executed(&self) -> u64 {
+        self.shared.executed.load(Ordering::SeqCst)
+    }
+
+    /// Instantaneous queue depth: accepted minus consumed. The
+    /// observability report samples this as the pool's backlog.
+    #[must_use]
+    pub fn queue_depth(&self) -> u64 {
+        self.submitted().saturating_sub(self.executed())
     }
 
     /// Number of worker threads spawned and not yet joined (0 after
@@ -529,6 +561,18 @@ mod tests {
             panic!("owner panics with a live pool");
         });
         assert!(r.is_err(), "owner panic propagates cleanly");
+    }
+
+    #[test]
+    fn load_counters_track_submitted_and_executed() {
+        let mut pool: WorkerPool<u64> = WorkerPool::new(2, |_| {});
+        for j in 0..10u64 {
+            pool.submit(j).unwrap();
+        }
+        assert_eq!(pool.submitted(), 10);
+        pool.shutdown(); // drains: every accepted job is consumed
+        assert_eq!(pool.executed(), 10);
+        assert_eq!(pool.queue_depth(), 0);
     }
 
     #[test]

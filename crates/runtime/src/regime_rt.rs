@@ -12,12 +12,16 @@
 use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
+use obs::{Recorder, SpanKind};
 use parking_lot::Mutex;
 
 use cds_core::detector::RegimeDetector;
 use cds_core::table::ScheduleTable;
 use taskgraph::{AppState, TaskId};
+
+use crate::error::{RuntimeHealth, Stage};
 
 fn encode(fp: u32, mp: u32) -> u64 {
     (u64::from(fp) << 32) | u64::from(mp)
@@ -53,6 +57,9 @@ pub struct RegimeController {
     current: AtomicU64,
     switches: AtomicU64,
     clamps: AtomicU64,
+    observations: AtomicU64,
+    recorder: Mutex<Option<Recorder>>,
+    health: Mutex<Option<Arc<RuntimeHealth>>>,
 }
 
 impl RegimeController {
@@ -74,6 +81,9 @@ impl RegimeController {
             current: AtomicU64::new(0),
             switches: AtomicU64::new(0),
             clamps: AtomicU64::new(0),
+            observations: AtomicU64::new(0),
+            recorder: Mutex::new(None),
+            health: Mutex::new(None),
         };
         let (fp, mp) = ctl.lookup(initial);
         ctl.current.store(encode(fp, mp), Ordering::SeqCst);
@@ -124,7 +134,22 @@ impl RegimeController {
             return d;
         }
         self.clamps.fetch_add(1, Ordering::SeqCst);
+        if let Some(h) = self.health.lock().as_ref() {
+            h.record_regime_clamp();
+        }
         self.table.iter().next().map_or((1, 1), |(_, &d)| d)
+    }
+
+    /// Report confirmed switches (as [`SpanKind::Switch`] instants carrying
+    /// the observation ordinal and the new `(FP, MP)`) into `rec`.
+    pub fn attach_recorder(&self, rec: Recorder) {
+        *self.recorder.lock() = Some(rec);
+    }
+
+    /// Route clamped observations into the run's shared health ledger as
+    /// well as the local counter.
+    pub fn attach_health(&self, health: Arc<RuntimeHealth>) {
+        *self.health.lock() = Some(health);
     }
 
     /// Feed the per-frame observation (the peak detector's people count).
@@ -132,11 +157,20 @@ impl RegimeController {
     /// A confirmed state outside the table clamps to the nearest known
     /// regime instead of panicking (see [`clamps`](Self::clamps)).
     pub fn observe(&self, detected: u32) {
+        let ordinal = self.observations.fetch_add(1, Ordering::SeqCst);
         let mut det = self.detector.lock();
         if let Some(new_state) = det.observe(AppState::new(detected)) {
             let (fp, mp) = self.lookup(new_state.n_models);
             self.current.store(encode(fp, mp), Ordering::SeqCst);
             self.switches.fetch_add(1, Ordering::SeqCst);
+            if let Some(r) = self.recorder.lock().as_ref().filter(|r| r.enabled()) {
+                r.instant(
+                    SpanKind::Switch,
+                    Stage::Detect.index(),
+                    ordinal,
+                    Some((fp as u16, mp as u16)),
+                );
+            }
         }
     }
 
@@ -233,6 +267,38 @@ mod tests {
         assert_eq!(c.current_decomp(), (4, 1), "clamped to the smallest regime");
         assert_eq!(c.switches(), 1);
         assert_eq!(c.clamps(), 1);
+    }
+
+    #[test]
+    fn switch_is_recorded_and_clamp_reaches_health() {
+        use crate::error::RuntimeHealth;
+        use obs::TraceMode;
+
+        let mut t = BTreeMap::new();
+        t.insert(1, (4, 1));
+        t.insert(2, (1, 8));
+        let c = RegimeController::new(1, 1, t).unwrap();
+        let rec = Recorder::new(TraceMode::Full, Stage::names());
+        let health = Arc::new(RuntimeHealth::default());
+        c.attach_recorder(rec.clone());
+        c.attach_health(Arc::clone(&health));
+
+        c.observe(0); // below the table: clamps AND switches (confirm=1)
+        c.observe(5); // switches to the ≥2 regime
+        assert_eq!(c.switches(), 2);
+        assert_eq!(c.clamps(), 1);
+        assert_eq!(health.report().regime_clamps, 1);
+
+        let dump = rec.drain();
+        let switches: Vec<_> = dump
+            .spans
+            .iter()
+            .filter(|s| s.kind == SpanKind::Switch)
+            .collect();
+        assert_eq!(switches.len(), 2);
+        assert_eq!(switches[0].frame, 0, "first switch on observation 0");
+        assert_eq!(switches[1].frame, 1);
+        assert_eq!(switches[1].chunk, Some((1, 8)), "carries the new decomp");
     }
 
     #[test]

@@ -20,6 +20,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use crossbeam::channel::bounded;
+use obs::{Recorder, SpanKind};
 use parking_lot::Mutex;
 
 use stm::{
@@ -56,17 +57,23 @@ enum FrameFault {
 
 /// Per-stage runtime context: the stage's identity for fault attribution,
 /// the run's shared [`RuntimeHealth`] ledger, an optional per-frame latency
-/// budget (the deadline watchdog), and an optional [`FaultInjector`].
+/// budget (the deadline watchdog), an optional [`FaultInjector`], an
+/// optional span [`Recorder`], and an optional [`Measurements`] store for
+/// per-stage marks.
 ///
 /// All STM traffic of a task body goes through [`StageCtx`] so the
 /// degradation policy lives in exactly one place: end-of-stream errors stop
-/// the task, everything else drops one frame and is recorded.
+/// the task, everything else drops one frame and is recorded. The same
+/// funnel gives observability a single seam: every `get`/`put` emits a
+/// span, every skip an instant, with zero cost when tracing is off.
 #[derive(Clone)]
 pub struct StageCtx {
     stage: Stage,
     health: Arc<RuntimeHealth>,
     deadline: Option<Duration>,
     faults: Option<Arc<FaultInjector>>,
+    recorder: Option<Recorder>,
+    measure: Option<Arc<Measurements>>,
 }
 
 impl StageCtx {
@@ -79,6 +86,8 @@ impl StageCtx {
             health: Arc::new(RuntimeHealth::default()),
             deadline: None,
             faults: None,
+            recorder: None,
+            measure: None,
         }
     }
 
@@ -104,10 +113,67 @@ impl StageCtx {
         self
     }
 
+    /// Attach a span recorder; every STM get/put, compute section, skip,
+    /// and commit of this stage is reported into it.
+    #[must_use]
+    pub fn with_recorder(mut self, recorder: Recorder) -> Self {
+        self.recorder = Some(recorder);
+        self
+    }
+
+    /// Attach a measurement store for per-stage completion marks.
+    #[must_use]
+    pub fn with_measure(mut self, measure: Arc<Measurements>) -> Self {
+        self.measure = Some(measure);
+        self
+    }
+
     /// The shared health ledger.
     #[must_use]
     pub fn health(&self) -> &Arc<RuntimeHealth> {
         &self.health
+    }
+
+    /// A clone of the attached recorder, when one is attached and actually
+    /// keeping spans — pool jobs carry this to record chunk spans on worker
+    /// threads.
+    #[must_use]
+    pub fn recorder(&self) -> Option<Recorder> {
+        self.recorder.as_ref().filter(|r| r.enabled()).cloned()
+    }
+
+    /// Epoch-relative clock read for span endpoints; `None` when tracing is
+    /// off, so callers skip span bookkeeping entirely.
+    fn rec_now(&self) -> Option<u64> {
+        self.recorder
+            .as_ref()
+            .filter(|r| r.enabled())
+            .map(Recorder::now_ns)
+    }
+
+    /// Record a duration span from `t0` (a [`rec_now`](Self::rec_now) read)
+    /// to now. A `None` start is tracing-off: nothing recorded.
+    fn rec_span(&self, kind: SpanKind, ts: u64, chunk: Option<(u16, u16)>, t0: Option<u64>) {
+        if let (Some(r), Some(t0)) = (&self.recorder, t0) {
+            let now = r.now_ns();
+            r.span(kind, self.stage.index(), ts, chunk, t0, now);
+        }
+    }
+
+    /// Record an instantaneous event stamped now (no-op when tracing is
+    /// off).
+    fn rec_instant(&self, kind: SpanKind, ts: u64, chunk: Option<(u16, u16)>) {
+        if let Some(r) = self.recorder.as_ref().filter(|r| r.enabled()) {
+            r.instant(kind, self.stage.index(), ts, chunk);
+        }
+    }
+
+    /// Record that this stage finished its work on frame `ts` into the
+    /// attached measurement store's per-stage marks.
+    fn mark_stage(&self, ts: u64) {
+        if let Some(m) = &self.measure {
+            m.mark_stage(self.stage.index() as usize, ts);
+        }
     }
 
     /// Frame entry hook: applies any injected straggler delay.
@@ -128,6 +194,7 @@ impl StageCtx {
     /// [`FrameFault::Skip`]. This replaces the historical
     /// `panic!("unexpected STM error …")` on the live path.
     fn get<T>(&self, conn: &InputConn<T>, ts: Timestamp) -> Result<GetOk<T>, FrameFault> {
+        let t0 = self.rec_now();
         let res = match self.deadline {
             Some(d) => conn.get_timeout(TsSpec::Exact(ts), d),
             None => conn.get(TsSpec::Exact(ts)),
@@ -148,9 +215,13 @@ impl StageCtx {
                     ts: ts.0,
                     err: GetError::Unsatisfiable(MissReason::AlreadyConsumed),
                 });
+                self.rec_instant(SpanKind::Skip, ts.0, None);
                 Err(FrameFault::Skip)
             }
-            Ok(v) => Ok(v),
+            Ok(v) => {
+                self.rec_span(SpanKind::Get, ts.0, None, t0);
+                Ok(v)
+            }
             // Channel closed, or a sibling instance already settled this
             // frame during shutdown: the stream has ended here.
             Err(e) if e.is_end_of_stream() => Err(FrameFault::Stop),
@@ -159,6 +230,7 @@ impl StageCtx {
                     stage: self.stage,
                     ts: ts.0,
                 });
+                self.rec_instant(SpanKind::Skip, ts.0, None);
                 Err(FrameFault::Skip)
             }
             Err(e) => {
@@ -167,6 +239,7 @@ impl StageCtx {
                     ts: ts.0,
                     err: e,
                 });
+                self.rec_instant(SpanKind::Skip, ts.0, None);
                 Err(FrameFault::Skip)
             }
         }
@@ -176,8 +249,12 @@ impl StageCtx {
     /// the task; a rejected late put (straggler overtaken by the watchdog,
     /// or duplicate) drops the frame and is recorded.
     fn put<T>(&self, out: &OutputConn<T>, ts: Timestamp, value: T) -> Result<(), FrameFault> {
+        let t0 = self.rec_now();
         match out.put(ts, value) {
-            Ok(()) => Ok(()),
+            Ok(()) => {
+                self.rec_span(SpanKind::Put, ts.0, None, t0);
+                Ok(())
+            }
             Err(PutError::Closed) => Err(FrameFault::Stop),
             Err(e) => {
                 self.health.record(RuntimeError::StmPut {
@@ -185,6 +262,7 @@ impl StageCtx {
                     ts: ts.0,
                     err: e,
                 });
+                self.rec_instant(SpanKind::Skip, ts.0, None);
                 Err(FrameFault::Skip)
             }
         }
@@ -350,6 +428,7 @@ impl TaskBody for DigitizerTask {
         if target > now {
             std::thread::sleep(target - now);
         }
+        let t0 = self.ctx.rec_now();
         let frame = match &self.frame_pool {
             Some(pool) => {
                 let mut buf = pool.take_or(|| Frame::new(self.scene.width, self.scene.height));
@@ -358,9 +437,12 @@ impl TaskBody for DigitizerTask {
             }
             None => Pooled::unpooled(self.scene.render(ts.0)),
         };
+        self.ctx.rec_span(SpanKind::Compute, ts.0, None, t0);
         match self.ctx.put(&self.out, ts, frame) {
             Ok(()) => {
                 self.measure.mark_digitized(ts.0);
+                self.ctx.rec_instant(SpanKind::Digitize, ts.0, None);
+                self.ctx.mark_stage(ts.0);
                 self.commit_and_maybe_close(ts.0);
                 Ok(())
             }
@@ -425,17 +507,21 @@ impl HistogramTask {
         self
     }
 
-    fn compute(&self, frame: &Arc<PooledFrame>) -> ColorHist {
+    fn compute(&self, ts: Timestamp, frame: &Arc<PooledFrame>) -> ColorHist {
         match &self.pool {
             Some((pool, strips)) if *strips > 1 => {
                 let regions = frame.region().split_rows(*strips);
                 let n = regions.len();
                 let (tx, rx) = bounded(n);
+                let rec = self.ctx.recorder();
                 for (idx, &region) in regions.iter().enumerate() {
                     let job = PoolJob::Hist(HistJob {
                         frame: Arc::clone(frame),
                         region,
                         idx,
+                        ts: ts.0,
+                        total: n as u16,
+                        rec: rec.clone(),
                         reply: tx.clone(),
                     });
                     if let Err(PoolClosed(job)) = pool.submit(job) {
@@ -446,10 +532,12 @@ impl HistogramTask {
                 // Indexed replies: a missing slot means the strip's worker
                 // panicked before sending — recompute it inline so the
                 // merged histogram stays bit-identical to the serial path.
+                let join_t0 = self.ctx.rec_now();
                 let mut parts: Vec<Option<ColorHist>> = (0..n).map(|_| None).collect();
                 for (idx, partial) in rx.iter() {
                     parts[idx] = Some(partial);
                 }
+                self.ctx.rec_span(SpanKind::Join, ts.0, None, join_t0);
                 let mut merged = ColorHist::empty();
                 for (idx, part) in parts.into_iter().enumerate() {
                     match part {
@@ -500,10 +588,13 @@ impl TaskBody for HistogramTask {
             Ok(f) => f,
             Err(fault) => return self.conclude(ts, fault),
         };
-        let hist = self.compute(&frame.value);
+        let t0 = self.ctx.rec_now();
+        let hist = self.compute(ts, &frame.value);
+        self.ctx.rec_span(SpanKind::Compute, ts.0, None, t0);
         if let Err(fault) = self.ctx.put(&self.out, ts, hist) {
             return self.conclude(ts, fault);
         }
+        self.ctx.mark_stage(ts.0);
         let prefix = self.cursor.commit(ts.0);
         self.input.advance_frontier(Timestamp(prefix));
         if self.gate.should_close(prefix) {
@@ -612,6 +703,7 @@ impl TaskBody for ChangeTask {
             None => None,
         };
         let prev_frame: Option<&Frame> = prev.as_ref().map(|g| &**g.value);
+        let t0 = self.ctx.rec_now();
         let mask = match &self.mask_pool {
             Some(pool) => {
                 let frame = &cur.value;
@@ -621,9 +713,11 @@ impl TaskBody for ChangeTask {
             }
             None => Pooled::unpooled(change_detection(&cur.value, prev_frame, self.threshold)),
         };
+        self.ctx.rec_span(SpanKind::Compute, ts.0, None, t0);
         if let Err(fault) = self.ctx.put(&self.out, ts, mask) {
             return self.conclude(ts, fault);
         }
+        self.ctx.mark_stage(ts.0);
         let prefix = self.cursor.commit(ts.0);
         self.input
             .advance_frontier(Timestamp(prefix.saturating_sub(1)));
@@ -649,12 +743,18 @@ pub struct ChunkJob {
     models: Arc<Vec<ColorHist>>,
     chunk: DetectChunk,
     idx: usize,
+    /// Frame timestamp and total chunk count, for span attribution.
+    ts: u64,
+    total: u16,
+    /// Records a [`SpanKind::PoolChunk`] span on the worker thread.
+    rec: Option<Recorder>,
     reply: crossbeam::channel::Sender<(usize, Vec<PartialScores>)>,
 }
 
 impl ChunkJob {
     /// Execute the chunk and send the partials back (the worker of Fig. 9).
     pub fn run(self) {
+        let t0 = self.rec.as_ref().map(Recorder::now_ns);
         let partials = target_detection_chunk(
             &self.frame,
             &self.hist,
@@ -662,6 +762,17 @@ impl ChunkJob {
             &self.mask,
             self.chunk,
         );
+        if let (Some(r), Some(t0)) = (&self.rec, t0) {
+            let now = r.now_ns();
+            r.span(
+                SpanKind::PoolChunk,
+                Stage::Detect.index(),
+                self.ts,
+                Some((self.idx as u16, self.total)),
+                t0,
+                now,
+            );
+        }
         // The joiner may already have given up (executor shutdown).
         let _ = self.reply.send((self.idx, partials));
     }
@@ -672,13 +783,30 @@ pub struct HistJob {
     frame: Arc<PooledFrame>,
     region: Region,
     idx: usize,
+    /// Frame timestamp and total strip count, for span attribution.
+    ts: u64,
+    total: u16,
+    /// Records a [`SpanKind::PoolChunk`] span on the worker thread.
+    rec: Option<Recorder>,
     reply: crossbeam::channel::Sender<(usize, ColorHist)>,
 }
 
 impl HistJob {
     /// Compute the strip's partial histogram and send it to the joiner.
     pub fn run(self) {
+        let t0 = self.rec.as_ref().map(Recorder::now_ns);
         let partial = ColorHist::of_region(&self.frame, self.region);
+        if let (Some(r), Some(t0)) = (&self.rec, t0) {
+            let now = r.now_ns();
+            r.span(
+                SpanKind::PoolChunk,
+                Stage::Histogram.index(),
+                self.ts,
+                Some((self.idx as u16, self.total)),
+                t0,
+                now,
+            );
+        }
         let _ = self.reply.send((self.idx, partial));
     }
 }
@@ -833,6 +961,7 @@ impl DetectTask {
         if let Err(fault) = self.ctx.put(&self.out, ts, maps) {
             return self.conclude(ts, fault);
         }
+        self.ctx.mark_stage(ts.0);
         let prefix = Timestamp(self.cursor.commit(ts.0));
         self.in_frames.advance_frontier(prefix);
         self.in_hist.advance_frontier(prefix);
@@ -858,7 +987,10 @@ impl TaskBody for DetectTask {
                     Ok(v) => v,
                     Err(fault) => return self.conclude(ts, fault),
                 };
+                let t0 = self.ctx.rec_now();
                 let (fp, mp) = self.current_decomp();
+                self.ctx
+                    .rec_instant(SpanKind::Decomp, ts.0, Some((fp as u16, mp as u16)));
                 let chunks = detect_chunks(
                     self.width,
                     self.height,
@@ -869,6 +1001,7 @@ impl TaskBody for DetectTask {
                 let partials: Vec<PartialScores> = match (&self.pool, chunks.len()) {
                     (Some(pool), n) if n > 1 => {
                         let (tx, rx) = bounded(n);
+                        let rec = self.ctx.recorder();
                         for (idx, &c) in chunks.iter().enumerate() {
                             let job = PoolJob::Detect(ChunkJob {
                                 frame: Arc::clone(&frame),
@@ -877,6 +1010,9 @@ impl TaskBody for DetectTask {
                                 models: Arc::clone(&self.models),
                                 chunk: c,
                                 idx,
+                                ts: ts.0,
+                                total: n as u16,
+                                rec: rec.clone(),
                                 reply: tx.clone(),
                             });
                             if let Err(PoolClosed(job)) = pool.submit(job) {
@@ -888,11 +1024,13 @@ impl TaskBody for DetectTask {
                         // worker panicked before sending — the joiner
                         // recomputes it inline (degradation ladder rung 3),
                         // keeping the frame's output bit-identical.
+                        let join_t0 = self.ctx.rec_now();
                         let mut slots: Vec<Option<Vec<PartialScores>>> =
                             (0..n).map(|_| None).collect();
                         for (idx, p) in rx.iter() {
                             slots[idx] = Some(p);
                         }
+                        self.ctx.rec_span(SpanKind::Join, ts.0, None, join_t0);
                         let mut partials = Vec::new();
                         for (idx, slot) in slots.into_iter().enumerate() {
                             match slot {
@@ -919,6 +1057,7 @@ impl TaskBody for DetectTask {
                         .collect(),
                 };
                 let maps = merge_partials(self.width, self.height, self.models.len(), &partials);
+                self.ctx.rec_span(SpanKind::Compute, ts.0, None, t0);
                 self.publish(ts, maps)
             }
             Some((idx, count)) => {
@@ -952,12 +1091,19 @@ impl TaskBody for DetectTask {
                         });
                         abandoned = true;
                     } else {
+                        let t0 = self.ctx.rec_now();
                         partials = target_detection_chunk(
                             frame,
                             hist,
                             &self.models,
                             mask,
                             chunks[idx as usize],
+                        );
+                        self.ctx.rec_span(
+                            SpanKind::Compute,
+                            ts.0,
+                            Some((idx as u16, count as u16)),
+                            t0,
                         );
                     }
                 }
@@ -1065,10 +1211,13 @@ impl TaskBody for PeakTask {
             Ok(s) => s,
             Err(fault) => return self.conclude(ts, fault),
         };
+        let t0 = self.ctx.rec_now();
         let locs = peak_detection(&scores.value, self.min_score);
+        self.ctx.rec_span(SpanKind::Compute, ts.0, None, t0);
         if let Err(fault) = self.ctx.put(&self.out, ts, locs) {
             return self.conclude(ts, fault);
         }
+        self.ctx.mark_stage(ts.0);
         let prefix = self.cursor.commit(ts.0);
         self.input.advance_frontier(Timestamp(prefix));
         if self.gate.should_close(prefix) {
@@ -1155,8 +1304,12 @@ impl TaskBody for FaceTask {
                 return Ok(());
             }
         };
+        let t0 = self.ctx.rec_now();
         let count = detected_count(&locs.value);
+        self.ctx.rec_span(SpanKind::Compute, ts.0, None, t0);
         self.measure.mark_completed(ts.0);
+        self.ctx.rec_instant(SpanKind::Commit, ts.0, None);
+        self.ctx.mark_stage(ts.0);
         if let Some(c) = &self.controller {
             // A misread lies to the controller only; the logs keep truth.
             c.observe(self.ctx.misread(ts.0).unwrap_or(count));

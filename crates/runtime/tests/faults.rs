@@ -206,10 +206,13 @@ fn misreads_lie_to_the_controller_but_not_the_output() {
     // the true detections; only the controller hears the lie.
     assert_survivors_bit_identical(&clean, &faulted, &plan, n);
     assert_eq!(inj.injected().misreads, plan.n_misreads());
-    assert!(app.health.report().is_clean());
+    let h = app.health.report();
+    assert_eq!(h.total_drops(), 0, "misreads never drop frames: {h}");
     // The out-of-table misread (0, below every entry) was confirmed
-    // immediately (confirm_after = 1) and clamped instead of panicking.
+    // immediately (confirm_after = 1) and clamped instead of panicking —
+    // counted on the controller AND surfaced in the run's health ledger.
     assert_eq!(ctl.clamps(), 1, "misread below the table clamps once");
+    assert_eq!(h.regime_clamps, 1, "the clamp reaches the health report");
 }
 
 #[test]

@@ -63,6 +63,39 @@ impl ChannelStats {
         }
         self.blocked_wait_ns += ns;
     }
+
+    /// Mean nanoseconds a *blocked* get spent parked (0.0 when no get ever
+    /// blocked). Gets that found their item immediately are excluded — this
+    /// measures how bad blocking was when it happened, not how often.
+    #[must_use]
+    pub fn blocked_wait_mean_ns(&self) -> f64 {
+        if self.blocked_gets == 0 {
+            0.0
+        } else {
+            self.blocked_wait_ns as f64 / self.blocked_gets as f64
+        }
+    }
+}
+
+impl std::fmt::Display for ChannelStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "puts={} gets={} misses={} live={}/{} (peak) reclaimed={} dropped={} \
+             blocked={} (mean {:.0} ns) locks={} gc={}",
+            self.puts,
+            self.gets,
+            self.misses,
+            self.live,
+            self.peak_live,
+            self.reclaimed,
+            self.dropped_live,
+            self.blocked_gets,
+            self.blocked_wait_mean_ns(),
+            self.lock_acquisitions,
+            self.gc_rounds
+        )
+    }
 }
 
 /// A cheap point-in-time view of a channel's hottest fields, readable
@@ -113,5 +146,28 @@ mod tests {
         s.on_blocked_wait(10, true);
         assert_eq!(s.blocked_gets, 2);
         assert_eq!(s.blocked_wait_ns, 160);
+    }
+
+    #[test]
+    fn blocked_wait_mean_handles_zero_and_divides() {
+        let s = ChannelStats::default();
+        assert_eq!(s.blocked_wait_mean_ns(), 0.0);
+        let mut s = ChannelStats::default();
+        s.on_blocked_wait(100, true);
+        s.on_blocked_wait(50, false);
+        s.on_blocked_wait(150, true);
+        assert!((s.blocked_wait_mean_ns() - 150.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn display_summarises_all_counters() {
+        let mut s = ChannelStats::default();
+        s.on_put(3);
+        s.on_get();
+        s.on_blocked_wait(200, true);
+        let text = s.to_string();
+        assert!(text.contains("puts=1"), "{text}");
+        assert!(text.contains("live=3/3 (peak)"), "{text}");
+        assert!(text.contains("mean 200 ns"), "{text}");
     }
 }

@@ -258,4 +258,42 @@ proptest! {
         prop_assert_eq!(stats.live as u64 + stats.reclaimed, ok_puts);
         prop_assert_eq!(stats.live, ch.len());
     }
+
+    /// Statistics invariants under arbitrary op interleavings: `peak_live`
+    /// never reads below `live`, and every cumulative counter is monotone
+    /// non-decreasing across successive `stats()` snapshots.
+    #[test]
+    fn stats_peak_covers_live_and_counters_are_monotone(
+        ops in proptest::collection::vec(op_strategy(), 1..100),
+    ) {
+        let ch: Channel<u64> = Channel::new("stats");
+        let out = ch.attach_output();
+        let conns: Vec<_> = (0..N_CONNS).map(|_| ch.attach_input()).collect();
+        let mut prev = ch.stats();
+        prop_assert!(prev.peak_live >= prev.live);
+        for op in ops {
+            match op {
+                Op::Put(ts) => { let _ = out.put(Timestamp(ts), ts); }
+                Op::Consume(c, ts) => { let _ = conns[c].consume(Timestamp(ts)); }
+                Op::AdvanceFrontier(c, ts) => conns[c].advance_frontier(Timestamp(ts)),
+                Op::GetNewest(c) => { let _ = conns[c].try_get(TsSpec::Newest); }
+                Op::GetOldest(c) => { let _ = conns[c].try_get(TsSpec::Oldest); }
+                Op::GetNextUnseen(c) => { let _ = conns[c].try_get(TsSpec::NextUnseen); }
+                Op::GetExact(c, ts) => { let _ = conns[c].try_get(TsSpec::Exact(Timestamp(ts))); }
+            }
+            let s = ch.stats();
+            prop_assert!(s.peak_live >= s.live, "peak {} < live {}", s.peak_live, s.live);
+            prop_assert!(s.peak_live >= prev.peak_live);
+            prop_assert!(s.puts >= prev.puts);
+            prop_assert!(s.gets >= prev.gets);
+            prop_assert!(s.misses >= prev.misses);
+            prop_assert!(s.reclaimed >= prev.reclaimed);
+            prop_assert!(s.dropped_live >= prev.dropped_live);
+            prop_assert!(s.blocked_gets >= prev.blocked_gets);
+            prop_assert!(s.blocked_wait_ns >= prev.blocked_wait_ns);
+            prop_assert!(s.lock_acquisitions >= prev.lock_acquisitions);
+            prop_assert!(s.gc_rounds >= prev.gc_rounds);
+            prev = s;
+        }
+    }
 }
