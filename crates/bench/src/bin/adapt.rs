@@ -1,0 +1,484 @@
+//! Adaptation-loop report — drift-triggered online re-scheduling end to end.
+//!
+//! One binary demonstrates the whole PR-6 subsystem:
+//!
+//! 1. **Calibrate**: runs the live tracker briefly and fits the task
+//!    graph's cost models to the *measured* per-stage compute on this
+//!    machine (the paper's costs are modeled at 1990s scale; the
+//!    adaptation loop compares measured against predicted, so predictions
+//!    must start honest). The schedule table is precomputed from the
+//!    fitted graph.
+//! 2. **Drift run**: re-runs the tracker with an [`AdaptLoop`] attached
+//!    while a planned compute-slow window inflates Peak Detection's cost
+//!    ~50x mid-run. The loop must detect the sustained drift from the cost
+//!    feed, launch a warm-started background re-search, and atomically
+//!    swap the result into the [`RegimeController`] between frames. The
+//!    detection→swap latency and per-phase deadline-miss counts (before /
+//!    during / after the drift window, judged against a frame budget from
+//!    the reconstructed end-to-end latencies) are reported from the trace.
+//! 3. **Warm vs cold**: compares warm-started vs cold branch-and-bound on
+//!    the rescaled graph (the exact search the loop launches).
+//! 4. **Synthesis + restart**: confirms a regime the offline table never
+//!    covered is synthesized online, persisted through the schedule cache,
+//!    and served *without a search* by a fresh loop sharing the cache.
+//!
+//! Output goes to stdout and (by default) `results/adapt.txt`. Exit code is
+//! non-zero when a structural check fails (drift not detected, swap never
+//! landing, restart re-searching instead of hitting the cache).
+
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use cds_core::optimal::{optimal_schedule_warm, OptimalConfig};
+use cds_core::table::ScheduleTable;
+use cluster::ClusterSpec;
+use obs::{FrameOutcome, SpanKind, TraceMode};
+use runtime::{
+    AdaptConfig, AdaptLoop, FaultPlan, OnlineExecutor, RegimeController, Stage, TrackerApp,
+    TrackerConfig,
+};
+use taskgraph::{builders, AppState, TaskGraph, TaskId};
+use vision::Scene;
+
+struct Args {
+    frames: u64,
+    quick: bool,
+    out: String,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        frames: 120,
+        quick: false,
+        out: "results/adapt.txt".to_string(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--frames" => {
+                let v = it.next().expect("--frames needs a value");
+                args.frames = v.parse().expect("--frames must be an integer");
+            }
+            "--quick" => args.quick = true,
+            "--out" => args.out = it.next().expect("--out needs a path"),
+            other => {
+                eprintln!("unknown flag {other}; usage: adapt [--frames N] [--quick] [--out PATH]");
+                std::process::exit(2);
+            }
+        }
+    }
+    if args.quick {
+        args.frames = args.frames.min(64);
+    }
+    args
+}
+
+/// Pump the loop's frame-boundary hook past the end of the run until the
+/// given install count is reached (a longer run would keep calling it);
+/// returns whether it was reached within the timeout.
+fn pump_until_installs(adapt: &AdaptLoop, from_frame: u64, target: u64) -> bool {
+    let deadline = Instant::now() + Duration::from_secs(120);
+    let mut frame = from_frame;
+    while adapt.stats().installs < target {
+        if Instant::now() >= deadline {
+            return false;
+        }
+        adapt.on_frame(frame);
+        frame += 1;
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    true
+}
+
+fn decomp_of(sched: &cds_core::schedule::PipelinedSchedule, t: TaskId) -> (u32, u32) {
+    sched
+        .iteration
+        .decomp
+        .get(&t)
+        .map_or((1, 1), |d| (d.fp, d.mp))
+}
+
+/// Run a short uninstrumented-policy run and fit every task's cost model to
+/// the measured mean compute on this machine: scale each cost by
+/// measured/predicted so the fitted graph predicts roughly what the feed
+/// will measure. This is how a deployment would seed the table — the
+/// paper's modeled costs are only as good as their calibration.
+fn fit_costs(
+    graph: &TaskGraph,
+    table: &ScheduleTable,
+    t4: TaskId,
+    n_models: u32,
+) -> (TaskGraph, u64) {
+    let calib_frames = 16u64;
+    let ctl = Arc::new(
+        RegimeController::from_schedule_table(table, t4, n_models, 2).expect("non-empty table"),
+    );
+    // window > calib_frames: the loop never evaluates; it is only here to
+    // wire its cost feed through the stage bodies.
+    let lp = AdaptLoop::new(
+        AdaptConfig {
+            window: u64::MAX,
+            ..AdaptConfig::default()
+        },
+        graph.clone(),
+        ClusterSpec::single_node(4),
+        table.clone(),
+        t4,
+        ctl,
+    );
+    let mut cfg = TrackerConfig::small(n_models as usize, calib_frames);
+    cfg.channel_capacity = calib_frames as usize + 2;
+    let scene = Scene::demo(cfg.width, cfg.height, cfg.n_targets, cfg.seed);
+    let app = TrackerApp::build_adaptive(&cfg, scene, None, Some(Arc::clone(&lp)));
+    let _ = OnlineExecutor::run(&app, 4);
+
+    let state = AppState::new(n_models);
+    let mut fitted = graph.clone();
+    let mut max_us = 1u64;
+    for (i, (count, sum_ns)) in lp.feed().take().iter().enumerate() {
+        if *count == 0 || i >= graph.n_tasks() {
+            continue;
+        }
+        let measured_us = (sum_ns / count / 1000).max(1);
+        max_us = max_us.max(measured_us);
+        let predicted_us = graph.task(TaskId(i)).cost.eval(&state).0.max(1);
+        fitted = fitted.with_scaled_cost(TaskId(i), measured_us, predicted_us);
+    }
+    (fitted, max_us)
+}
+
+#[allow(clippy::too_many_lines)]
+fn main() {
+    let args = parse_args();
+    let mut report = String::new();
+    let mut failures: Vec<String> = Vec::new();
+    macro_rules! out {
+        ($($t:tt)*) => {{
+            let line = format!($($t)*);
+            println!("{line}");
+            let _ = writeln!(report, "{line}");
+        }};
+    }
+
+    out!("== adapt: drift-triggered online re-scheduling ==");
+
+    // ---- 1. Calibrate: fit cost models to this machine. ----
+    let paper_graph = builders::color_tracker();
+    let cluster = ClusterSpec::single_node(4);
+    let t4 = paper_graph
+        .task_by_name("Target Detection")
+        .expect("tracker graph has T4");
+    let t5 = paper_graph
+        .task_by_name("Peak Detection")
+        .expect("tracker graph has T5");
+    let search = OptimalConfig::default().serial();
+    let states: Vec<AppState> = [1u32, 2].iter().map(|&n| AppState::new(n)).collect();
+    let paper_table = ScheduleTable::precompute(&paper_graph, &cluster, &states, &search);
+
+    let (graph, max_stage_us) = fit_costs(&paper_graph, &paper_table, t4, 2);
+    let table = ScheduleTable::precompute(&graph, &cluster, &states, &search);
+    out!(
+        "calibration: 16-frame run fits each stage's cost model to measured compute (max stage {:.1}ms)",
+        max_stage_us as f64 / 1e3
+    );
+    for s in &states {
+        let sched = table.get(s).expect("state was precomputed");
+        let (fp, mp) = decomp_of(sched, t4);
+        out!(
+            "fitted regime {}: L*={}us FP={fp} MP={mp}",
+            s.n_models,
+            sched.latency().0
+        );
+    }
+
+    // ---- 2. Drift run. ----
+    // Drift window: the middle half of the run. Peak Detection gains 10 ms
+    // per frame — orders of magnitude over its fitted sub-millisecond cost,
+    // far beyond the 3x drift tolerance, sustained across every evaluation
+    // window in the drift phase. The period is derived from the calibrated
+    // max stage cost so utilization stays low: the slowest stage plus the
+    // injected slow must fit inside one period, or the backlog (not the
+    // drift) would dominate the latency profile.
+    let n_frames = args.frames;
+    let drift_from = n_frames / 4;
+    let drift_to = (3 * n_frames) / 4;
+    let slow = Duration::from_millis(10);
+    let period = Duration::from_micros(2 * max_stage_us + 12_000) + slow;
+
+    let controller =
+        Arc::new(RegimeController::from_schedule_table(&table, t4, 2, 2).expect("non-empty table"));
+    let adapt = AdaptLoop::new(
+        AdaptConfig {
+            tolerance: 2.0,
+            window: 8,
+            confirm_windows: 2,
+            cooldown_frames: 16,
+            search: search.clone(),
+            cache_dir: None,
+        },
+        graph.clone(),
+        cluster.clone(),
+        table.clone(),
+        t4,
+        Arc::clone(&controller),
+    );
+    let sched_before = adapt.schedule_for(2).expect("state 2 precomputed");
+
+    let plan = FaultPlan::new().slow_window(Stage::Peak, drift_from, drift_to, slow);
+    let inj = plan.build();
+    let mut cfg = TrackerConfig::small(2, n_frames);
+    cfg.period = period;
+    cfg.channel_capacity = n_frames as usize + 2;
+    cfg.faults = Some(Arc::clone(&inj));
+    cfg.trace = Some(TraceMode::Full);
+    let scene = Scene::demo(cfg.width, cfg.height, cfg.n_targets, cfg.seed);
+    let app = TrackerApp::build_adaptive(
+        &cfg,
+        scene,
+        Some(Arc::clone(&controller)),
+        Some(Arc::clone(&adapt)),
+    );
+
+    let t_run = Instant::now();
+    let stats = OnlineExecutor::run(&app, 0);
+    let run_wall = t_run.elapsed();
+    out!(
+        "drift run: frames={n_frames} period={period:?} drift=[{drift_from},{drift_to}) slow=+{slow:?} -> completed={} wall={:.2}s",
+        stats.frames_completed,
+        run_wall.as_secs_f64()
+    );
+    if inj.injected().slows == 0 {
+        failures.push("no compute-slow faults fired".to_string());
+    }
+
+    // The search may still be in flight at run end; keep driving the hook.
+    let landed = pump_until_installs(&adapt, n_frames, 1);
+    let a = adapt.stats();
+    out!(
+        "adaptation: windows={} drift_windows={} launches={} installs={} swaps={}",
+        a.windows,
+        a.drift_windows,
+        a.launches,
+        a.installs,
+        controller.swaps()
+    );
+    if a.drift_windows < 2 {
+        failures.push(format!(
+            "injected drift not detected: {} drifting windows",
+            a.drift_windows
+        ));
+    }
+    if !landed {
+        failures.push("re-searched schedule never installed".to_string());
+    }
+    match (a.last_detect_to_swap, a.last_search_time) {
+        (Some(d2s), Some(st)) => out!(
+            "detection->swap latency: {:.1}ms (pure search {:.1}ms, {} nodes explored)",
+            d2s.as_secs_f64() * 1e3,
+            st.as_secs_f64() * 1e3,
+            a.last_nodes_explored
+        ),
+        _ => failures.push("no detection->swap latency recorded".to_string()),
+    }
+    if let Some(sched_after) = adapt.schedule_for(2) {
+        let (bfp, bmp) = decomp_of(&sched_before, t4);
+        let (afp, amp) = decomp_of(&sched_after, t4);
+        out!(
+            "schedule for regime 2: FP={bfp} MP={bmp} L*={}us -> FP={afp} MP={amp} L*={}us (re-fitted to drifted costs)",
+            sched_before.latency().0,
+            sched_after.latency().0
+        );
+    }
+
+    // ---- Deadline-miss recovery, phase by phase from the trace. ----
+    let dump = app.recorder.as_ref().expect("trace was requested").drain();
+    let swap_frame = dump
+        .spans
+        .iter()
+        .find(|s| s.kind == SpanKind::Resched && s.chunk.is_some())
+        .map(|s| s.frame);
+    match swap_frame {
+        Some(f) => out!("swap landed at frame {f} (Resched instant on the trace)"),
+        None => out!("swap landed after the run's last frame (no in-run Resched instant)"),
+    }
+    let frames = obs::frames::reconstruct(&dump);
+    let phase = |f: u64| -> usize {
+        if f < drift_from {
+            0
+        } else if f < drift_to {
+            1
+        } else {
+            2
+        }
+    };
+    let latency_of = |fl: &obs::FrameLife| -> Option<u64> {
+        match (fl.digitize_ns, fl.commit_ns) {
+            (Some(d), Some(c)) if fl.outcome == FrameOutcome::Committed => {
+                Some(c.saturating_sub(d))
+            }
+            _ => None,
+        }
+    };
+    // Self-calibrating frame budget: the pre-drift median end-to-end
+    // latency plus half the injected slow — well above baseline noise,
+    // well below a drifted frame.
+    let mut pre_lat: Vec<u64> = frames
+        .iter()
+        .filter(|fl| phase(fl.frame) == 0)
+        .filter_map(&latency_of)
+        .collect();
+    pre_lat.sort_unstable();
+    let pre_median = pre_lat.get(pre_lat.len() / 2).copied().unwrap_or(0);
+    let budget = Duration::from_nanos(pre_median) + slow / 2;
+    // (committed-in-budget, missed) per phase; a frame misses when its
+    // end-to-end latency exceeds the budget or it never committed.
+    let mut counts = [(0u64, 0u64); 3];
+    for fl in &frames {
+        let e = &mut counts[phase(fl.frame)];
+        match latency_of(fl) {
+            Some(ns) if Duration::from_nanos(ns) <= budget => e.0 += 1,
+            _ => e.1 += 1,
+        }
+    }
+    out!(
+        "deadline misses by phase (budget {:.1}ms = pre-drift median {:.1}ms + half the slow):",
+        budget.as_secs_f64() * 1e3,
+        pre_median as f64 / 1e6
+    );
+    for (name, (ok, missed)) in ["pre-drift", "drift", "post-drift"].iter().zip(&counts) {
+        out!("  {name:<10}  {ok:>4} in budget  {missed:>4} missed");
+    }
+    if counts[1].1 == 0 {
+        failures.push("drift phase produced no deadline misses".to_string());
+    }
+    if counts[2].0 == 0 {
+        failures.push("no deadline-miss recovery after the drift window".to_string());
+    }
+    out!(
+        "note: the injected slowdown ends with the fault window, so the miss recovery at frame {drift_to} reflects the injection ending; the swap's contribution is the re-fitted schedule above, not the disappearance of an artificial sleep"
+    );
+
+    // ---- 3. Warm vs cold re-search on the rescaled graph. ----
+    // Paper-scale costs: the larger search space makes the incumbent's
+    // pruning visible (the fitted graph's space is small enough that both
+    // searches touch every node).
+    let scaled: TaskGraph = paper_graph.with_scaled_cost(t5, 20, 1);
+    let warm_seed = paper_table.get(&AppState::new(2)).cloned();
+    let t0 = Instant::now();
+    let cold = optimal_schedule_warm(&scaled, &cluster, &AppState::new(2), &search, None);
+    let cold_t = t0.elapsed();
+    let t0 = Instant::now();
+    let warm = optimal_schedule_warm(
+        &scaled,
+        &cluster,
+        &AppState::new(2),
+        &search,
+        warm_seed.as_ref(),
+    );
+    let warm_t = t0.elapsed();
+    out!(
+        "re-search (Peak cost x20): cold {} nodes {:.1}ms, warm {} nodes {:.1}ms",
+        cold.nodes_explored,
+        cold_t.as_secs_f64() * 1e3,
+        warm.nodes_explored,
+        warm_t.as_secs_f64() * 1e3
+    );
+    if warm.best.latency() != cold.best.latency() {
+        failures.push(format!(
+            "warm and cold searches disagree on L* ({} vs {})",
+            warm.best.latency().0,
+            cold.best.latency().0
+        ));
+    }
+    if warm.nodes_explored > cold.nodes_explored {
+        failures.push(format!(
+            "warm start explored more nodes than cold ({} > {})",
+            warm.nodes_explored, cold.nodes_explored
+        ));
+    }
+
+    // ---- 4. Unknown-regime synthesis + restart through the cache. ----
+    let cache_dir = std::env::temp_dir().join(format!("cds_adapt_bench_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&cache_dir);
+    let adapt_cfg = AdaptConfig {
+        cache_dir: Some(cache_dir.clone()),
+        ..AdaptConfig::default()
+    };
+    let synth_loop = |label: &str, failures: &mut Vec<String>| -> Option<(u64, Duration)> {
+        let ctl = Arc::new(
+            RegimeController::from_schedule_table(&table, t4, 2, 1).expect("non-empty table"),
+        );
+        let lp = AdaptLoop::new(
+            adapt_cfg.clone(),
+            graph.clone(),
+            cluster.clone(),
+            table.clone(),
+            t4,
+            Arc::clone(&ctl),
+        );
+        // A confirmed state the offline table never covered: 4 models.
+        ctl.observe(4);
+        if ctl.pending_synthesis() != Some(4) {
+            failures.push(format!("{label}: state 4 not parked for synthesis"));
+            return None;
+        }
+        if !pump_until_installs(&lp, 0, 1) {
+            failures.push(format!("{label}: synthesized schedule never installed"));
+            return None;
+        }
+        let s = lp.stats();
+        if !ctl.has_regime(4) {
+            failures.push(format!("{label}: regime 4 missing after install"));
+        }
+        Some((
+            s.last_nodes_explored,
+            s.last_detect_to_swap.unwrap_or_default(),
+        ))
+    };
+    if let Some((nodes, d2s)) = synth_loop("synthesis", &mut failures) {
+        out!(
+            "synthesis of unseen regime 4: {} nodes, detection->swap {:.1}ms, persisted to cache",
+            nodes,
+            d2s.as_secs_f64() * 1e3
+        );
+        if nodes == 0 {
+            failures.push("first synthesis should be a real search, not a cache hit".to_string());
+        }
+    }
+    if let Some((nodes, d2s)) = synth_loop("restart", &mut failures) {
+        out!(
+            "restart (fresh loop, same cache): {} nodes, detection->swap {:.1}ms",
+            nodes,
+            d2s.as_secs_f64() * 1e3
+        );
+        if nodes == 0 {
+            out!("restart served regime 4 from the persistent cache without searching");
+        } else {
+            failures.push(format!(
+                "restart re-searched ({nodes} nodes) instead of hitting the cache"
+            ));
+        }
+    }
+    let _ = std::fs::remove_dir_all(&cache_dir);
+
+    // ---- Verdict + report file. ----
+    if failures.is_empty() {
+        out!("adapt: PASS");
+    } else {
+        for f in &failures {
+            out!("FAILURE: {f}");
+        }
+        out!("adapt: FAIL");
+    }
+    if let Some(dir) = std::path::Path::new(&args.out).parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    if let Err(e) = std::fs::write(&args.out, &report) {
+        eprintln!("writing {}: {e}", args.out);
+        std::process::exit(1);
+    }
+    if !failures.is_empty() {
+        std::process::exit(1);
+    }
+}

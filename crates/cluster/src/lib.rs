@@ -20,6 +20,8 @@
 //! All simulated time is in [`Micros`](taskgraph::Micros); runs are exactly
 //! reproducible.
 
+#![warn(missing_docs)]
+
 pub mod analysis;
 pub mod gantt;
 pub mod metrics;

@@ -32,7 +32,7 @@
 //! tables, frame records, trace, and metrics scratch — and is rented across
 //! runs, so a parameter sweep allocates (almost) nothing after its first
 //! simulation. Trace recording is gated by
-//! [`TraceMode`](crate::trace::TraceMode); metrics are identical in every
+//! [`TraceMode`]; metrics are identical in every
 //! mode.
 
 use std::cmp::Reverse;

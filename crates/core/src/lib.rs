@@ -58,7 +58,7 @@ pub use ii::{find_best_ii, find_best_ii_rotations};
 pub use legality::{check_iteration, check_pipelined};
 pub use listsched::list_schedule;
 pub use multinode::{is_node_confined, node_pipelined};
-pub use optimal::{optimal_schedule, OptimalConfig, OptimalResult};
+pub use optimal::{optimal_schedule, optimal_schedule_warm, OptimalConfig, OptimalResult};
 pub use persist::{
     schedule_cache_key, schedule_from_str, schedule_to_string, table_from_str, table_to_string,
     CacheMiss, ScheduleCache,

@@ -151,6 +151,35 @@ pub fn optimal_schedule(
     state: &AppState,
     cfg: &OptimalConfig,
 ) -> OptimalResult {
+    optimal_schedule_warm(graph, cluster, state, cfg, None)
+}
+
+/// [`optimal_schedule`] warm-started from a previous incumbent for the same
+/// regime — the re-search entry point of the online adaptation loop.
+///
+/// The warm schedule's *placements* are not reused (the re-search exists
+/// precisely because measured costs drifted away from the model that
+/// produced them, so the old start times are stale), but two things carry
+/// over:
+///
+/// * the warm schedule's decomposition is searched **first**, ahead of the
+///   lower-bound ordering — under moderate drift the optimal decomposition
+///   rarely changes, so the best combo seeds the incumbent immediately;
+/// * its list-schedule latency is installed into the shared incumbent
+///   *before* the fan-out starts, so every worker's dominated-combo prune
+///   (`lb > incumbent`) bites from the very first queue pull instead of
+///   only after some combo finishes seeding.
+///
+/// A `warm` whose decomposition is not among the current combos (e.g. the
+/// drifted state clamps a variant away) degrades silently to a cold search.
+#[must_use]
+pub fn optimal_schedule_warm(
+    graph: &TaskGraph,
+    cluster: &ClusterSpec,
+    state: &AppState,
+    cfg: &OptimalConfig,
+    warm: Option<&PipelinedSchedule>,
+) -> OptimalResult {
     let combos = decomposition_combos(graph, state, cfg.explore_decompositions);
 
     // Expand every combo and order by its makespan lower bound: good
@@ -174,6 +203,20 @@ pub fn optimal_schedule(
     // ever set from the latency of an actual legal schedule, so `lb >
     // incumbent` proves a decomposition cannot contribute to `S`.
     let incumbent = AtomicU64::new(u64::MAX);
+
+    if let Some(w) = warm {
+        if let Some(pos) = expansions
+            .iter()
+            .position(|(_, e)| e.decomp() == &w.iteration.decomp)
+        {
+            let entry = expansions.remove(pos);
+            // Pre-seed the shared bound with a legal schedule of the warm
+            // decomposition under the *current* costs.
+            let seed = list_schedule(&entry.1, cluster);
+            incumbent.fetch_min(seed.latency.0, Ordering::Relaxed);
+            expansions.insert(0, entry);
+        }
+    }
     // Work queue: combo indices in sorted order.
     let next = AtomicUsize::new(0);
 
@@ -819,6 +862,43 @@ mod tests {
                 check_iteration(&par.best.iteration, &e, &c).unwrap();
             }
         }
+    }
+
+    #[test]
+    fn warm_start_matches_cold_optimum() {
+        // Warm-starting from a previous incumbent must never change the
+        // result, only the amount of work done to reach it.
+        let g = builders::color_tracker();
+        let c = ClusterSpec::single_node(4);
+        let cfg = OptimalConfig::default().serial();
+        for n in [1u32, 8] {
+            let state = AppState::new(n);
+            let cold = optimal_schedule(&g, &c, &state, &cfg);
+            let warm = optimal_schedule_warm(&g, &c, &state, &cfg, Some(&cold.best));
+            assert_eq!(warm.minimal_latency, cold.minimal_latency, "state {n}");
+            assert_eq!(warm.best.ii, cold.best.ii, "state {n}");
+            assert!(
+                warm.nodes_explored <= cold.nodes_explored,
+                "state {n}: warm searched more ({} > {})",
+                warm.nodes_explored,
+                cold.nodes_explored
+            );
+            let e = ExpandedGraph::build(&g, &state, &warm.best.iteration.decomp);
+            check_iteration(&warm.best.iteration, &e, &c).unwrap();
+        }
+    }
+
+    #[test]
+    fn warm_start_with_foreign_decomp_degrades_to_cold() {
+        // A warm schedule from a different state whose decomposition is not
+        // among this state's combos must not derail the search.
+        let g = builders::color_tracker();
+        let c = ClusterSpec::single_node(4);
+        let cfg = OptimalConfig::default().serial();
+        let eight = optimal_schedule(&g, &c, &AppState::new(8), &cfg);
+        let one_cold = optimal_schedule(&g, &c, &AppState::new(1), &cfg);
+        let one_warm = optimal_schedule_warm(&g, &c, &AppState::new(1), &cfg, Some(&eight.best));
+        assert_eq!(one_warm.minimal_latency, one_cold.minimal_latency);
     }
 
     #[test]

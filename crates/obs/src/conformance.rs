@@ -153,6 +153,46 @@ fn median(mut v: Vec<f64>) -> f64 {
     v[v.len() / 2]
 }
 
+/// Median-calibrate a set of live per-stage cost measurements against
+/// their schedule predictions — the same math as [`check`]'s cost-drift
+/// pass, exposed for the online adaptation loop, which samples stage wall
+/// times continuously instead of reconstructing frames after the run.
+///
+/// `samples` holds `(stage index, predicted cost-model µs, measured mean
+/// wall ns)`; entries with a zero prediction or no data are skipped.
+/// Returns the calibration (wall ns per cost-model µs, the median of the
+/// measured/predicted ratios) and one [`StageRow`] per usable sample, with
+/// `drift` set where the calibrated ratio deviates from 1.0 beyond
+/// `tolerance`. With fewer than two usable samples the median is degenerate
+/// and every ratio is 1.0 by construction — callers should feed the whole
+/// stage vector, not one stage at a time.
+#[must_use]
+pub fn calibrate_stages(samples: &[(u8, u64, f64)], tolerance: f64) -> (f64, Vec<StageRow>) {
+    let usable: Vec<&(u8, u64, f64)> = samples
+        .iter()
+        .filter(|(_, p, m)| *p > 0 && *m > 0.0)
+        .collect();
+    let calibration = median(usable.iter().map(|(_, p, m)| m / *p as f64).collect());
+    let rows = usable
+        .into_iter()
+        .map(|&(stage, predicted_us, mean)| {
+            let ratio = if calibration > 0.0 {
+                mean / (predicted_us as f64 * calibration)
+            } else {
+                0.0
+            };
+            StageRow {
+                stage,
+                predicted_us,
+                measured_wall_ns_mean: mean,
+                ratio,
+                drift: calibration > 0.0 && (ratio - 1.0).abs() > tolerance,
+            }
+        })
+        .collect();
+    (calibration, rows)
+}
+
 /// Run the conformance check.
 ///
 /// * `frames` — reconstructed lifecycles (see [`crate::frames::reconstruct`]).
@@ -567,6 +607,27 @@ mod tests {
         // Display renders without panicking and shows the empty row.
         let text = report.to_string();
         assert!(text.contains('3'), "{text}");
+    }
+
+    #[test]
+    fn calibrate_stages_matches_offline_checker() {
+        // The live-loop helper must agree with `check` on identical data:
+        // stages 1 and 2 on-model at 1000 ns/unit, stage 3 at 3x.
+        let samples = [
+            (1u8, 100u64, 100_000.0),
+            (2, 200, 200_000.0),
+            (3, 300, 900_000.0),
+        ];
+        let (cal, rows) = calibrate_stages(&samples, 0.5);
+        assert!((cal - 1_000.0).abs() < 1e-6, "median calibration: {cal}");
+        assert_eq!(rows.len(), 3);
+        assert!(!rows[0].drift && !rows[1].drift);
+        assert!(rows[2].drift, "stage 3 is 3x over: {rows:?}");
+        assert!((rows[2].ratio - 3.0).abs() < 1e-9);
+        // Zero predictions and empty measurements are skipped, not divided.
+        let (cal, rows) = calibrate_stages(&[(0, 0, 5.0), (1, 10, 0.0)], 0.5);
+        assert_eq!(cal, 0.0);
+        assert!(rows.is_empty());
     }
 
     #[test]

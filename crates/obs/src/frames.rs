@@ -105,7 +105,11 @@ pub fn reconstruct(dump: &SpanDump) -> Vec<FrameLife> {
                 e.0 = e.0.min(s.start_ns);
                 e.1 = e.1.max(s.end_ns());
             }
-            SpanKind::Get | SpanKind::Put | SpanKind::Join | SpanKind::Switch => {}
+            SpanKind::Get
+            | SpanKind::Put
+            | SpanKind::Join
+            | SpanKind::Switch
+            | SpanKind::Resched => {}
         }
     }
 

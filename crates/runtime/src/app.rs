@@ -8,6 +8,7 @@ use obs::{ChannelCheck, Recorder, TraceMode};
 use stm::{Channel, ChannelBuilder};
 use vision::{BitMask, ColorHist, Frame, ModelLocation, Scene, ScoreMap};
 
+use crate::adapt::AdaptLoop;
 use crate::error::{RuntimeHealth, Stage};
 use crate::faults::FaultInjector;
 use crate::frame_pool::{BufPool, PoolStats, PooledFrame, PooledMask};
@@ -109,6 +110,9 @@ pub struct TrackerApp {
     pub face: Arc<FaceTask>,
     /// The regime controller, when one was attached.
     pub controller: Option<Arc<RegimeController>>,
+    /// The adaptation loop, when one was attached (drift-triggered online
+    /// re-scheduling; see [`crate::adapt`]).
+    pub adapt: Option<Arc<AdaptLoop>>,
     /// The scene (for ground-truth checks in tests).
     pub scene: Scene,
     /// Number of frames this app will process.
@@ -150,6 +154,22 @@ impl TrackerApp {
         scene: Scene,
         controller: Option<Arc<RegimeController>>,
     ) -> TrackerApp {
+        Self::build_adaptive(cfg, scene, controller, None)
+    }
+
+    /// [`build_with_scene`](Self::build_with_scene) plus an adaptation loop:
+    /// every stage reports compute costs into the loop's feed, the sink
+    /// drives its frame-boundary hook, background re-searches ride the
+    /// shared worker pool, and swap/launch instants land on the trace. The
+    /// loop should share `controller` — that is where its swaps are
+    /// installed.
+    #[must_use]
+    pub fn build_adaptive(
+        cfg: &TrackerConfig,
+        scene: Scene,
+        controller: Option<Arc<RegimeController>>,
+        adapt: Option<Arc<AdaptLoop>>,
+    ) -> TrackerApp {
         assert_eq!(
             (scene.width, scene.height),
             (cfg.width, cfg.height),
@@ -182,8 +202,14 @@ impl TrackerApp {
             if let Some(r) = &recorder {
                 ctx = ctx.with_recorder(r.clone());
             }
+            if let Some(a) = &adapt {
+                ctx = ctx.with_cost_feed(a.feed());
+            }
             ctx
         };
+        if let (Some(a), Some(r)) = (&adapt, &recorder) {
+            a.attach_recorder(r.clone());
+        }
 
         let cap = cfg.channel_capacity;
         let frames: Channel<PooledFrame> = ChannelBuilder::new("Frame").capacity(cap).build();
@@ -264,18 +290,23 @@ impl TrackerApp {
             };
             detect = detect.with_pool(Arc::clone(&pool));
             histogram = histogram.with_pool(Arc::clone(&pool), cfg.pool_workers);
+            if let Some(a) = &adapt {
+                a.attach_pool(Arc::clone(&pool));
+            }
             shared_pool = Some(pool);
         }
         let peak = PeakTask::new(scores.attach_input(), locations.clone(), cfg.min_score)
             .with_ctx(stage_ctx(Stage::Peak));
-        let face = Arc::new(
-            FaceTask::new(
-                locations.attach_input(),
-                Arc::clone(&measure),
-                controller.clone(),
-            )
-            .with_ctx(stage_ctx(Stage::Face)),
-        );
+        let mut face = FaceTask::new(
+            locations.attach_input(),
+            Arc::clone(&measure),
+            controller.clone(),
+        )
+        .with_ctx(stage_ctx(Stage::Face));
+        if let Some(a) = &adapt {
+            face = face.with_adapt(Arc::clone(a));
+        }
+        let face = Arc::new(face);
 
         let tasks: Vec<Arc<dyn TaskBody>> = vec![
             Arc::new(digitizer),
@@ -291,6 +322,7 @@ impl TrackerApp {
             measure,
             face,
             controller,
+            adapt,
             scene,
             n_frames: cfg.n_frames,
             health,

@@ -18,7 +18,7 @@
 //!    ([`RuntimeError`] recorded, frontier advanced, stream continues);
 //! 3. **recompute inline** — a data-parallel chunk lost to a worker panic
 //!    is recomputed by the joiner, so the frame's output is still
-//!    bit-identical ([`RuntimeHealth::chunk_recomputes`] in the report);
+//!    bit-identical (`chunk_recomputes` in the [`HealthReport`]);
 //! 4. **stop the task** — only genuine end-of-stream (channel closed)
 //!    terminates a task, exactly as before.
 
@@ -248,7 +248,7 @@ impl RuntimeHealth {
         }
     }
 
-    /// The retained fault log (up to the first [`FAULT_LOG_CAP`] faults).
+    /// The retained fault log (up to the first `FAULT_LOG_CAP` faults).
     #[must_use]
     pub fn faults(&self) -> Vec<RuntimeError> {
         self.log.lock().clone()

@@ -33,6 +33,7 @@
 
 #![warn(missing_docs)]
 
+pub mod adapt;
 pub mod app;
 pub mod error;
 pub mod exec_online;
@@ -44,6 +45,7 @@ pub mod pool;
 pub mod regime_rt;
 pub mod tasks;
 
+pub use adapt::{AdaptConfig, AdaptLoop, AdaptStats, CostFeed, ReschedJob, ReschedReason};
 pub use app::{TrackerApp, TrackerConfig};
 pub use error::{HealthReport, RuntimeError, RuntimeHealth, Stage};
 pub use exec_online::OnlineExecutor;
@@ -52,5 +54,5 @@ pub use faults::{FaultInjector, FaultPlan, InjectedCounts};
 pub use frame_pool::{BufPool, PoolStats, Pooled, PooledFrame, PooledMask};
 pub use measure::{Measurements, RunStats};
 pub use pool::{PoolClosed, PoolHealth, WorkerPool};
-pub use regime_rt::{RegimeController, RegimeError};
+pub use regime_rt::{RegimeController, RegimeError, ReschedSwap};
 pub use tasks::{PoolJob, StageCtx, TaskBody};

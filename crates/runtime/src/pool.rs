@@ -5,8 +5,8 @@
 //!
 //! The pool *contains* worker faults instead of propagating them: each job
 //! runs under [`std::panic::catch_unwind`], a panicking worker retires and
-//! is lazily respawned (up to a configurable cap), and [`shutdown`]
-//! (`WorkerPool::shutdown`) reports what happened through [`PoolHealth`]
+//! is lazily respawned (up to a configurable cap), and
+//! [`WorkerPool::shutdown`] reports what happened through [`PoolHealth`]
 //! instead of re-raising a worker's panic into the joiner. A job that
 //! panics is consumed — its reply channel drops, which is exactly the
 //! signal a Fig. 9 joiner needs to recompute the lost chunk inline.

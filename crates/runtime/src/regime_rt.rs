@@ -6,8 +6,25 @@
 //! The controller never panics at run time: a detector observation outside
 //! the precomputed table *clamps* to the nearest known regime (the §3.4
 //! table-lookup semantics — the table covers the constrained set of states,
-//! anything else maps to its closest listed neighbour) and bumps a counter;
-//! an empty table is a construction-time [`RegimeError`], not a live panic.
+//! anything else maps to its closest listed neighbour), bumps a counter,
+//! emits a clamp instant into the trace, and parks the unknown state in a
+//! synthesis mailbox for the adaptation loop to re-search in the background
+//! (see [`crate::adapt`]); an empty table is a construction-time
+//! [`RegimeError`], not a live panic.
+//!
+//! ## Generation-counted swaps
+//!
+//! Since PR 6 the published decomposition is a single `AtomicU64` packing
+//! `(generation, FP, MP)`: a reader (the splitter, once per frame) performs
+//! one load and can never observe a decomposition from one epoch paired
+//! with the generation of another. Writers — a confirmed regime switch from
+//! [`RegimeController::observe`], or a background re-search landing through
+//! [`RegimeController::install_regime`] — bump the generation on every
+//! publish, so "frames observe exactly the old or the new schedule" is a
+//! property of the word layout, not of locking discipline. The swap ledger
+//! ([`RegimeController::swaps`]) counts installs exactly; the property test
+//! in this module hammers concurrent readers against a swapping writer to
+//! hold both claims.
 
 use std::collections::BTreeMap;
 use std::fmt;
@@ -23,12 +40,19 @@ use taskgraph::{AppState, TaskId};
 
 use crate::error::{RuntimeHealth, Stage};
 
-fn encode(fp: u32, mp: u32) -> u64 {
-    (u64::from(fp) << 32) | u64::from(mp)
+/// Pack a publication epoch: generation in the high 32 bits, `FP` and `MP`
+/// in the two low 16-bit halves. One atomic load yields a consistent
+/// `(generation, FP, MP)` triple — the torn-read-freedom the swap path
+/// relies on.
+fn pack(generation: u32, fp: u32, mp: u32) -> u64 {
+    (u64::from(generation) << 32) | (u64::from(fp as u16) << 16) | u64::from(mp as u16)
 }
 
-fn decode(v: u64) -> (u32, u32) {
-    ((v >> 32) as u32, (v & 0xFFFF_FFFF) as u32)
+fn unpack(v: u64) -> (u32, (u32, u32)) {
+    (
+        (v >> 32) as u32,
+        (((v >> 16) & 0xFFFF) as u32, (v & 0xFFFF) as u32),
+    )
 }
 
 /// Construction-time errors of [`RegimeController`].
@@ -49,15 +73,38 @@ impl fmt::Display for RegimeError {
 
 impl std::error::Error for RegimeError {}
 
+/// What [`RegimeController::install_regime`] published: the generation the
+/// swap landed as and the decomposition now active.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct ReschedSwap {
+    /// The generation of the new publication epoch.
+    pub generation: u32,
+    /// The `(FP, MP)` active after the swap (the installed entry if the
+    /// active regime resolves to it; otherwise unchanged in value, but
+    /// republished under the new generation).
+    pub decomp: (u32, u32),
+}
+
 /// Maps the detected people count to the decomposition the splitter should
-/// use, switching through a debounced detector.
+/// use, switching through a debounced detector, and accepting atomic
+/// mid-run schedule swaps from the adaptation loop.
 pub struct RegimeController {
     detector: Mutex<RegimeDetector>,
-    table: BTreeMap<u32, (u32, u32)>,
+    /// Mutable since PR 6: the adaptation loop grafts synthesized regimes
+    /// in at run time. Locked only on switch confirmation and install —
+    /// never on the per-frame read path.
+    table: Mutex<BTreeMap<u32, (u32, u32)>>,
+    /// The packed `(generation, FP, MP)` publication word.
     current: AtomicU64,
+    /// Model count of the last confirmed regime (what installs re-resolve).
+    active_n: AtomicU64,
     switches: AtomicU64,
     clamps: AtomicU64,
+    swaps: AtomicU64,
     observations: AtomicU64,
+    /// Synthesis mailbox: `n + 1` of the most recent confirmed state with
+    /// no exact table entry, `0` when none is pending.
+    pending: AtomicU64,
     recorder: Mutex<Option<Recorder>>,
     health: Mutex<Option<Arc<RuntimeHealth>>>,
 }
@@ -77,16 +124,22 @@ impl RegimeController {
         }
         let ctl = RegimeController {
             detector: Mutex::new(RegimeDetector::new(AppState::new(initial), confirm_after)),
-            table,
+            table: Mutex::new(table),
             current: AtomicU64::new(0),
+            active_n: AtomicU64::new(u64::from(initial)),
             switches: AtomicU64::new(0),
             clamps: AtomicU64::new(0),
+            swaps: AtomicU64::new(0),
             observations: AtomicU64::new(0),
+            pending: AtomicU64::new(0),
             recorder: Mutex::new(None),
             health: Mutex::new(None),
         };
-        let (fp, mp) = ctl.lookup(initial);
-        ctl.current.store(encode(fp, mp), Ordering::SeqCst);
+        let (fp, mp, clamped) = ctl.lookup(initial);
+        if clamped {
+            ctl.note_clamp(initial);
+        }
+        ctl.current.store(pack(0, fp, mp), Ordering::SeqCst);
         Ok(ctl)
     }
 
@@ -125,23 +178,58 @@ impl RegimeController {
         Self::new(initial, confirm_after, map)
     }
 
-    /// The `(FP, MP)` for an observed model count: nearest table entry at
-    /// or below `n`, clamped to the smallest entry (and counted) when `n`
-    /// lies below every listed regime. The constructor guarantees the table
-    /// is non-empty; the `(1, 1)` fallback is unreachable belt-and-braces.
-    fn lookup(&self, n: u32) -> (u32, u32) {
-        if let Some((_, &d)) = self.table.range(..=n).next_back() {
-            return d;
+    /// The `(FP, MP)` for an observed model count, plus whether the lookup
+    /// clamped: nearest table entry at or below `n`, falling back to the
+    /// smallest entry when `n` lies below every listed regime. The
+    /// constructor guarantees the table is non-empty; the `(1, 1)` fallback
+    /// is unreachable belt-and-braces.
+    fn lookup(&self, n: u32) -> (u32, u32, bool) {
+        let table = self.table.lock();
+        if let Some((_, &(fp, mp))) = table.range(..=n).next_back() {
+            // Nearest-at-or-below with no exact entry still counts as a
+            // synthesis candidate, but not as a clamp (historical
+            // semantics: clamps are undershoots below the whole table).
+            return (fp, mp, false);
         }
+        let (fp, mp) = table.iter().next().map_or((1, 1), |(_, &d)| d);
+        (fp, mp, true)
+    }
+
+    /// Whether the table carries an exact entry for `n` models.
+    #[must_use]
+    pub fn has_regime(&self, n: u32) -> bool {
+        self.table.lock().contains_key(&n)
+    }
+
+    /// Count a clamp and park the unknown state for background synthesis.
+    fn note_clamp(&self, n: u32) {
         self.clamps.fetch_add(1, Ordering::SeqCst);
         if let Some(h) = self.health.lock().as_ref() {
             h.record_regime_clamp();
         }
-        self.table.iter().next().map_or((1, 1), |(_, &d)| d)
+        self.pending.store(u64::from(n) + 1, Ordering::SeqCst);
+    }
+
+    /// Publish a new `(FP, MP)` under a fresh generation; returns the new
+    /// generation. The read-modify-write is a single `fetch_update`, so
+    /// concurrent publishers each claim a distinct generation.
+    fn publish(&self, fp: u32, mp: u32) -> u32 {
+        let prev = self
+            .current
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |old| {
+                Some(pack((old >> 32) as u32 + 1, fp, mp))
+            })
+            // The closure always returns Some, so fetch_update cannot fail;
+            // fall back to the current word rather than panicking.
+            .unwrap_or_else(|v| v);
+        (prev >> 32) as u32 + 1
     }
 
     /// Report confirmed switches (as [`SpanKind::Switch`] instants carrying
-    /// the observation ordinal and the new `(FP, MP)`) into `rec`.
+    /// the observation ordinal and the new `(FP, MP)`) into `rec`. Clamped
+    /// confirmations additionally emit a Switch instant with *no* decomp
+    /// payload — the timeline marker that an out-of-table state was mapped
+    /// to its nearest neighbour.
     pub fn attach_recorder(&self, rec: Recorder) {
         *self.recorder.lock() = Some(rec);
     }
@@ -155,15 +243,30 @@ impl RegimeController {
     /// Feed the per-frame observation (the peak detector's people count).
     /// Updates the active decomposition when a regime change is confirmed.
     /// A confirmed state outside the table clamps to the nearest known
-    /// regime instead of panicking (see [`clamps`](Self::clamps)).
+    /// regime instead of panicking (see [`clamps`](Self::clamps)), leaves a
+    /// clamp instant on the trace, and parks the state in the synthesis
+    /// mailbox ([`pending_synthesis`](Self::pending_synthesis)).
     pub fn observe(&self, detected: u32) {
         let ordinal = self.observations.fetch_add(1, Ordering::SeqCst);
         let mut det = self.detector.lock();
         if let Some(new_state) = det.observe(AppState::new(detected)) {
-            let (fp, mp) = self.lookup(new_state.n_models);
-            self.current.store(encode(fp, mp), Ordering::SeqCst);
+            let n = new_state.n_models;
+            self.active_n.store(u64::from(n), Ordering::SeqCst);
+            let (fp, mp, clamped) = self.lookup(n);
+            if clamped {
+                self.note_clamp(n);
+            } else if !self.has_regime(n) {
+                // Covered by a smaller regime's schedule, but not exactly:
+                // also worth synthesizing, without counting as a clamp.
+                self.pending.store(u64::from(n) + 1, Ordering::SeqCst);
+            }
+            self.publish(fp, mp);
             self.switches.fetch_add(1, Ordering::SeqCst);
             if let Some(r) = self.recorder.lock().as_ref().filter(|r| r.enabled()) {
+                if clamped {
+                    // Switch-style instant with no decomp payload = clamp.
+                    r.instant(SpanKind::Switch, Stage::Detect.index(), ordinal, None);
+                }
                 r.instant(
                     SpanKind::Switch,
                     Stage::Detect.index(),
@@ -174,10 +277,66 @@ impl RegimeController {
         }
     }
 
+    /// Atomically swap a re-searched regime into the live table: the
+    /// adaptation loop's landing point. Inserts (or replaces) the entry for
+    /// `n_models`, re-resolves the active regime against the updated table,
+    /// and republishes under a fresh generation — one atomic store, so
+    /// concurrent frame commits observe exactly the old or the new epoch,
+    /// never a mixture. Counts exactly one swap in the ledger per call and
+    /// clears a matching synthesis request.
+    pub fn install_regime(&self, n_models: u32, fp: u32, mp: u32) -> ReschedSwap {
+        let mut table = self.table.lock();
+        table.insert(n_models, (fp, mp));
+        let active = self.active_n.load(Ordering::SeqCst) as u32;
+        let (afp, amp) = table
+            .range(..=active)
+            .next_back()
+            .map(|(_, &d)| d)
+            .or_else(|| table.iter().next().map(|(_, &d)| d))
+            .unwrap_or((1, 1));
+        drop(table);
+        let generation = self.publish(afp, amp);
+        self.swaps.fetch_add(1, Ordering::SeqCst);
+        let _ = self.pending.compare_exchange(
+            u64::from(n_models) + 1,
+            0,
+            Ordering::SeqCst,
+            Ordering::SeqCst,
+        );
+        ReschedSwap {
+            generation,
+            decomp: (afp, amp),
+        }
+    }
+
+    /// The confirmed state awaiting background synthesis, if any.
+    #[must_use]
+    pub fn pending_synthesis(&self) -> Option<u32> {
+        match self.pending.load(Ordering::SeqCst) {
+            0 => None,
+            v => Some((v - 1) as u32),
+        }
+    }
+
+    /// Model count of the last confirmed regime (the state the adaptation
+    /// loop should re-search when costs drift).
+    #[must_use]
+    pub fn active_regime(&self) -> u32 {
+        self.active_n.load(Ordering::SeqCst) as u32
+    }
+
     /// The decomposition the splitter should use right now.
     #[must_use]
     pub fn current_decomp(&self) -> (u32, u32) {
-        decode(self.current.load(Ordering::SeqCst))
+        unpack(self.current.load(Ordering::SeqCst)).1
+    }
+
+    /// The decomposition and the generation it was published under, read
+    /// from one atomic load (never torn across a concurrent swap).
+    #[must_use]
+    pub fn decomp_generation(&self) -> ((u32, u32), u32) {
+        let (generation, decomp) = unpack(self.current.load(Ordering::SeqCst));
+        (decomp, generation)
     }
 
     /// Confirmed regime switches so far.
@@ -191,6 +350,12 @@ impl RegimeController {
     #[must_use]
     pub fn clamps(&self) -> u64 {
         self.clamps.load(Ordering::SeqCst)
+    }
+
+    /// Re-searched schedules atomically swapped in by the adaptation loop.
+    #[must_use]
+    pub fn swaps(&self) -> u64 {
+        self.swaps.load(Ordering::SeqCst)
     }
 }
 
@@ -257,16 +422,19 @@ mod tests {
     fn out_of_table_state_clamps_to_nearest_regime() {
         // Table starts at 1: an observed state of 0 lies below every listed
         // regime. The old `expect` is gone — the controller clamps to the
-        // smallest entry and counts the clamp.
+        // smallest entry, counts the clamp, and parks the state for
+        // background synthesis.
         let mut t = BTreeMap::new();
         t.insert(1, (4, 1));
         t.insert(2, (1, 8));
         let c = RegimeController::new(1, 1, t).unwrap();
         assert_eq!(c.clamps(), 0);
+        assert_eq!(c.pending_synthesis(), None);
         c.observe(0); // confirm_after = 1: switches immediately
         assert_eq!(c.current_decomp(), (4, 1), "clamped to the smallest regime");
         assert_eq!(c.switches(), 1);
         assert_eq!(c.clamps(), 1);
+        assert_eq!(c.pending_synthesis(), Some(0), "clamp requests synthesis");
     }
 
     #[test]
@@ -290,15 +458,103 @@ mod tests {
         assert_eq!(health.report().regime_clamps, 1);
 
         let dump = rec.drain();
+        // Switch instants carrying a decomp payload are the switches…
         let switches: Vec<_> = dump
             .spans
             .iter()
-            .filter(|s| s.kind == SpanKind::Switch)
+            .filter(|s| s.kind == SpanKind::Switch && s.chunk.is_some())
             .collect();
         assert_eq!(switches.len(), 2);
         assert_eq!(switches[0].frame, 0, "first switch on observation 0");
         assert_eq!(switches[1].frame, 1);
         assert_eq!(switches[1].chunk, Some((1, 8)), "carries the new decomp");
+        // …and the payload-free Switch instant is the clamp marker.
+        let clamp_marks: Vec<_> = dump
+            .spans
+            .iter()
+            .filter(|s| s.kind == SpanKind::Switch && s.chunk.is_none())
+            .collect();
+        assert_eq!(clamp_marks.len(), 1, "clamp leaves a timeline instant");
+        assert_eq!(clamp_marks[0].frame, 0, "on the clamping observation");
+    }
+
+    #[test]
+    fn install_regime_swaps_generation_and_clears_pending() {
+        let mut t = BTreeMap::new();
+        t.insert(1, (4, 1));
+        let c = RegimeController::new(1, 1, t).unwrap();
+        let (d0, g0) = c.decomp_generation();
+        assert_eq!(d0, (4, 1));
+
+        // A confirmed out-of-table state above the table: nearest-below
+        // covers it (no clamp) but requests synthesis.
+        c.observe(3);
+        assert_eq!(c.clamps(), 0);
+        assert_eq!(c.pending_synthesis(), Some(3));
+
+        // The background search lands: the active regime (3) now resolves
+        // to the synthesized entry, under a fresh generation.
+        let swap = c.install_regime(3, 2, 2);
+        assert_eq!(swap.decomp, (2, 2));
+        assert_eq!(c.current_decomp(), (2, 2));
+        assert_eq!(c.swaps(), 1);
+        assert_eq!(c.pending_synthesis(), None, "install clears the request");
+        assert!(c.has_regime(3));
+        let (_, g1) = c.decomp_generation();
+        assert!(g1 > g0, "swap must bump the generation");
+
+        // Installing an entry the active regime does not resolve to keeps
+        // the decomp but still republishes and counts.
+        let swap2 = c.install_regime(10, 8, 8);
+        assert_eq!(swap2.decomp, (2, 2), "active regime 3 still wins");
+        assert_eq!(c.swaps(), 2);
+    }
+
+    #[test]
+    fn concurrent_reads_never_observe_torn_swap() {
+        // A writer swaps generations while readers hammer the packed word:
+        // every observed (generation, decomp) pair must be one the writer
+        // actually published. This is the cheap unit-level version of the
+        // proptest in tests/adapt_swap.rs.
+        let mut t = BTreeMap::new();
+        t.insert(1, (1, 1));
+        let c = Arc::new(RegimeController::new(1, 1, t).unwrap());
+        let published: Arc<Mutex<BTreeMap<u32, (u32, u32)>>> =
+            Arc::new(Mutex::new(BTreeMap::new()));
+        published.lock().insert(0, (1, 1));
+
+        std::thread::scope(|s| {
+            let w = Arc::clone(&c);
+            let plog = Arc::clone(&published);
+            s.spawn(move || {
+                for i in 1..200u32 {
+                    let (fp, mp) = (i % 7 + 1, i % 5 + 1);
+                    // Record the epoch before publishing: a reader may see
+                    // it the instant the store lands.
+                    plog.lock().insert(i, (fp, mp));
+                    let swap = w.install_regime(1, fp, mp);
+                    assert_eq!(swap.generation, i);
+                }
+            });
+            for _ in 0..2 {
+                let r = Arc::clone(&c);
+                let plog = Arc::clone(&published);
+                s.spawn(move || {
+                    for _ in 0..10_000 {
+                        let (decomp, generation) = r.decomp_generation();
+                        let expected = plog.lock().get(&generation).copied();
+                        // The writer logs before publishing, so a seen
+                        // generation is always logged.
+                        assert_eq!(
+                            expected,
+                            Some(decomp),
+                            "torn read at generation {generation}"
+                        );
+                    }
+                });
+            }
+        });
+        assert_eq!(c.swaps(), 199);
     }
 
     #[test]

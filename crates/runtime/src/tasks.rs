@@ -34,6 +34,7 @@ use vision::{
     ScoreMap,
 };
 
+use crate::adapt::{AdaptLoop, CostFeed, ReschedJob};
 use crate::error::{RuntimeError, RuntimeHealth, Stage};
 use crate::faults::FaultInjector;
 use crate::frame_pool::{BufPool, Pooled, PooledFrame, PooledMask};
@@ -74,6 +75,7 @@ pub struct StageCtx {
     faults: Option<Arc<FaultInjector>>,
     recorder: Option<Recorder>,
     measure: Option<Arc<Measurements>>,
+    feed: Option<Arc<CostFeed>>,
 }
 
 impl StageCtx {
@@ -88,6 +90,7 @@ impl StageCtx {
             faults: None,
             recorder: None,
             measure: None,
+            feed: None,
         }
     }
 
@@ -125,6 +128,14 @@ impl StageCtx {
     #[must_use]
     pub fn with_measure(mut self, measure: Arc<Measurements>) -> Self {
         self.measure = Some(measure);
+        self
+    }
+
+    /// Attach the adaptation loop's per-stage cost feed; every compute
+    /// section reports its wall time into it.
+    #[must_use]
+    pub fn with_cost_feed(mut self, feed: Arc<CostFeed>) -> Self {
+        self.feed = Some(feed);
         self
     }
 
@@ -180,6 +191,29 @@ impl StageCtx {
     fn begin(&self, ts: Timestamp) {
         if let Some(f) = &self.faults {
             f.delay(self.stage, ts.0);
+        }
+    }
+
+    /// Compute-section entry: applies any injected compute slowdown (the
+    /// cost-drift fault, which must land *inside* the measured window) and
+    /// starts the cost-feed clock. `None` when no feed is attached, so the
+    /// paired [`work_end`](Self::work_end) is free.
+    fn work_begin(&self, ts: Timestamp) -> Option<Instant> {
+        // Clock first, sleep second: the injected slowdown models the stage
+        // genuinely getting slower, so the feed must measure it.
+        let c0 = self.feed.as_ref().map(|_| Instant::now());
+        if let Some(f) = &self.faults {
+            f.compute_slow(self.stage, ts.0);
+        }
+        c0
+    }
+
+    /// Compute-section exit: report the measured wall time into the
+    /// adaptation loop's cost feed.
+    fn work_end(&self, c0: Option<Instant>) {
+        if let (Some(feed), Some(c0)) = (&self.feed, c0) {
+            let ns = u64::try_from(c0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            feed.record(self.stage.index() as usize, ns);
         }
     }
 
@@ -429,6 +463,7 @@ impl TaskBody for DigitizerTask {
             std::thread::sleep(target - now);
         }
         let t0 = self.ctx.rec_now();
+        let c0 = self.ctx.work_begin(ts);
         let frame = match &self.frame_pool {
             Some(pool) => {
                 let mut buf = pool.take_or(|| Frame::new(self.scene.width, self.scene.height));
@@ -437,6 +472,7 @@ impl TaskBody for DigitizerTask {
             }
             None => Pooled::unpooled(self.scene.render(ts.0)),
         };
+        self.ctx.work_end(c0);
         self.ctx.rec_span(SpanKind::Compute, ts.0, None, t0);
         match self.ctx.put(&self.out, ts, frame) {
             Ok(()) => {
@@ -589,7 +625,9 @@ impl TaskBody for HistogramTask {
             Err(fault) => return self.conclude(ts, fault),
         };
         let t0 = self.ctx.rec_now();
+        let c0 = self.ctx.work_begin(ts);
         let hist = self.compute(ts, &frame.value);
+        self.ctx.work_end(c0);
         self.ctx.rec_span(SpanKind::Compute, ts.0, None, t0);
         if let Err(fault) = self.ctx.put(&self.out, ts, hist) {
             return self.conclude(ts, fault);
@@ -704,6 +742,7 @@ impl TaskBody for ChangeTask {
         };
         let prev_frame: Option<&Frame> = prev.as_ref().map(|g| &**g.value);
         let t0 = self.ctx.rec_now();
+        let c0 = self.ctx.work_begin(ts);
         let mask = match &self.mask_pool {
             Some(pool) => {
                 let frame = &cur.value;
@@ -713,6 +752,7 @@ impl TaskBody for ChangeTask {
             }
             None => Pooled::unpooled(change_detection(&cur.value, prev_frame, self.threshold)),
         };
+        self.ctx.work_end(c0);
         self.ctx.rec_span(SpanKind::Compute, ts.0, None, t0);
         if let Err(fault) = self.ctx.put(&self.out, ts, mask) {
             return self.conclude(ts, fault);
@@ -811,14 +851,18 @@ impl HistJob {
     }
 }
 
-/// The job type of the shared data-parallel worker pool: detection chunks
-/// and histogram strips ride the same workers, so one pool serves both
-/// data-parallel stages.
+/// The job type of the shared data-parallel worker pool: detection chunks,
+/// histogram strips, and the adaptation loop's background re-searches all
+/// ride the same workers, so one pool serves every off-frame-path consumer.
 pub enum PoolJob {
     /// A T4 detection chunk.
     Detect(ChunkJob),
     /// A T2 histogram row strip.
     Hist(HistJob),
+    /// A drift- or synthesis-triggered schedule re-search (boxed: it
+    /// carries a whole task graph and cluster spec, and must not bloat the
+    /// per-chunk variants the hot path allocates).
+    Resched(Box<ReschedJob>),
 }
 
 impl PoolJob {
@@ -827,6 +871,7 @@ impl PoolJob {
         match self {
             PoolJob::Detect(j) => j.run(),
             PoolJob::Hist(j) => j.run(),
+            PoolJob::Resched(j) => j.run(),
         }
     }
 }
@@ -988,6 +1033,7 @@ impl TaskBody for DetectTask {
                     Err(fault) => return self.conclude(ts, fault),
                 };
                 let t0 = self.ctx.rec_now();
+                let c0 = self.ctx.work_begin(ts);
                 let (fp, mp) = self.current_decomp();
                 self.ctx
                     .rec_instant(SpanKind::Decomp, ts.0, Some((fp as u16, mp as u16)));
@@ -1057,6 +1103,7 @@ impl TaskBody for DetectTask {
                         .collect(),
                 };
                 let maps = merge_partials(self.width, self.height, self.models.len(), &partials);
+                self.ctx.work_end(c0);
                 self.ctx.rec_span(SpanKind::Compute, ts.0, None, t0);
                 self.publish(ts, maps)
             }
@@ -1212,7 +1259,9 @@ impl TaskBody for PeakTask {
             Err(fault) => return self.conclude(ts, fault),
         };
         let t0 = self.ctx.rec_now();
+        let c0 = self.ctx.work_begin(ts);
         let locs = peak_detection(&scores.value, self.min_score);
+        self.ctx.work_end(c0);
         self.ctx.rec_span(SpanKind::Compute, ts.0, None, t0);
         if let Err(fault) = self.ctx.put(&self.out, ts, locs) {
             return self.conclude(ts, fault);
@@ -1240,6 +1289,7 @@ pub struct FaceTask {
     input: InputConn<Vec<ModelLocation>>,
     measure: Arc<Measurements>,
     controller: Option<Arc<RegimeController>>,
+    adapt: Option<Arc<AdaptLoop>>,
     ctx: StageCtx,
     locations_log: Mutex<Vec<(u64, u32)>>,
     full_log: Mutex<Vec<(u64, Vec<ModelLocation>)>>,
@@ -1258,6 +1308,7 @@ impl FaceTask {
             input,
             measure,
             controller,
+            adapt: None,
             ctx: StageCtx::new(Stage::Face),
             locations_log: Mutex::new(Vec::new()),
             full_log: Mutex::new(Vec::new()),
@@ -1269,6 +1320,15 @@ impl FaceTask {
     #[must_use]
     pub fn with_ctx(mut self, ctx: StageCtx) -> Self {
         self.ctx = ctx;
+        self
+    }
+
+    /// Drive the adaptation loop from this sink: its frame-boundary hook
+    /// runs after every frame the sink settles — the "between frames"
+    /// moment swaps are allowed to land.
+    #[must_use]
+    pub fn with_adapt(mut self, adapt: Arc<AdaptLoop>) -> Self {
+        self.adapt = Some(adapt);
         self
     }
 
@@ -1301,11 +1361,18 @@ impl TaskBody for FaceTask {
             Err(FrameFault::Skip) => {
                 let prefix = self.cursor.commit(ts.0);
                 self.input.advance_frontier(Timestamp(prefix));
+                // A skipped frame is settled too: the adaptation loop keeps
+                // draining finished searches even under heavy degradation.
+                if let Some(a) = &self.adapt {
+                    a.on_frame(ts.0);
+                }
                 return Ok(());
             }
         };
         let t0 = self.ctx.rec_now();
+        let c0 = self.ctx.work_begin(ts);
         let count = detected_count(&locs.value);
+        self.ctx.work_end(c0);
         self.ctx.rec_span(SpanKind::Compute, ts.0, None, t0);
         self.measure.mark_completed(ts.0);
         self.ctx.rec_instant(SpanKind::Commit, ts.0, None);
@@ -1318,6 +1385,12 @@ impl TaskBody for FaceTask {
         self.full_log.lock().push((ts.0, (*locs.value).clone()));
         let prefix = self.cursor.commit(ts.0);
         self.input.advance_frontier(Timestamp(prefix));
+        // The frame-boundary hook of the adaptation loop: this frame is
+        // fully settled, so a re-searched schedule may swap in *now* —
+        // never mid-frame.
+        if let Some(a) = &self.adapt {
+            a.on_frame(ts.0);
+        }
         Ok(())
     }
 }

@@ -26,7 +26,11 @@ use vision::ModelLocation;
 
 /// A latency budget far above per-stage compute on test-sized frames
 /// (~1 ms) yet small enough that cascaded skips don't dominate wall time.
-const BUDGET: Duration = Duration::from_millis(250);
+/// The floor is set by scheduler starvation, not compute: on a loaded
+/// one-core host a runnable stage thread can wait hundreds of
+/// milliseconds for the CPU, and a budget inside that range turns load
+/// spikes into unplanned frame drops.
+const BUDGET: Duration = Duration::from_millis(750);
 
 fn faulted_cfg(n_frames: u64, faults: Option<Arc<FaultInjector>>) -> TrackerConfig {
     let mut cfg = TrackerConfig::small(2, n_frames);

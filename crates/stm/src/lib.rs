@@ -45,6 +45,8 @@
 //! assert_eq!(chan.len(), 0);
 //! ```
 
+#![warn(missing_docs)]
+
 mod channel;
 mod connection;
 mod error;

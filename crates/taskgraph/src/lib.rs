@@ -26,6 +26,8 @@
 //! assert!(eight > one, "work grows with the number of tracked models");
 //! ```
 
+#![warn(missing_docs)]
+
 mod analysis;
 pub mod builders;
 mod comm;

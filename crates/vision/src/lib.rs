@@ -32,6 +32,8 @@
 //! assert_eq!(locs.len(), 2);
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod accuracy;
 pub mod adaptive;
 pub mod calibrate;
