@@ -16,7 +16,7 @@ use cds_core::optimal::{decomposition_combos, optimal_schedule, OptimalConfig};
 use cds_core::pipeline::naive_pipeline;
 use cluster::sweep::{sweep, SweepConfig};
 use cluster::ClusterSpec;
-use kiosk_bench::{csv_line, print_table};
+use kiosk_bench::{csv_line, print_table, run_checks};
 use taskgraph::{builders, AppState, Micros};
 
 struct RegimeResult {
@@ -147,7 +147,5 @@ fn main() {
             distinct.len() > 1,
         ),
     ];
-    for (name, ok) in checks {
-        println!("  [{}] {name}", if ok { "PASS" } else { "FAIL" });
-    }
+    run_checks(&checks);
 }

@@ -15,11 +15,12 @@
 //! * end to end — the online tracker with `recycle_buffers` off vs on.
 //!
 //! Flags: `--frames N` (tracker frames, default 24), `--iters N` (kernel
-//! repetitions, default 40).
+//! repetitions, default 40), `--json PATH` (additionally write the
+//! machine-readable report).
 
 use std::time::Instant;
 
-use kiosk_bench::{csv_line, print_table};
+use kiosk_bench::{csv_line, print_table, Json, JsonReport};
 use runtime::{BufPool, OnlineExecutor, TrackerApp, TrackerConfig};
 use stm::{Channel, Timestamp};
 use vision::{
@@ -100,6 +101,7 @@ fn main() {
     struct Report {
         rows: Vec<Vec<String>>,
         speedups: Vec<(String, f64)>,
+        json: JsonReport,
     }
     impl Report {
         fn pair(&mut self, section: &str, what: &str, before_ns: f64, after_ns: f64) {
@@ -117,11 +119,23 @@ fn main() {
                 format!("{ns:.0}"),
             ]);
             csv_line(&["datapath", section, what, variant, &format!("{ns:.0}")]);
+            self.json.row(vec![
+                ("kernel", Json::Str(format!("{section}/{what}"))),
+                ("variant", Json::Str(variant.to_string())),
+                ("ns_per_op", Json::Num(ns)),
+            ]);
         }
     }
+    let mut json = JsonReport::new("datapath");
+    json.meta(
+        "host_features",
+        Json::Str(vision::BackendKind::Simd.get().features()),
+    );
+    json.meta("size", Json::Str(format!("{W}x{H}")));
     let mut report = Report {
         rows: Vec::new(),
         speedups: Vec::new(),
+        json,
     };
 
     // --- Kernels (equality asserted, then timed) ---------------------
@@ -302,4 +316,26 @@ fn main() {
         speedup_of("kernel/change_detection"),
         speedup_of("stm/put_consume_64"),
     );
+
+    if let Some(path) = args
+        .iter()
+        .position(|a| a == "--json")
+        .and_then(|i| args.get(i + 1))
+    {
+        let mut json = report.json;
+        for (name, s) in &report.speedups {
+            json.row(vec![
+                ("kernel", Json::Str(name.clone())),
+                ("variant", Json::Str("speedup".to_string())),
+                ("ns_per_op", Json::Num(*s)),
+            ]);
+        }
+        match json.write(std::path::Path::new(path)) {
+            Ok(()) => println!("json report written to {path}"),
+            Err(e) => {
+                eprintln!("[FAIL] could not write {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
 }

@@ -9,7 +9,7 @@ use cds_core::optimal::{optimal_schedule, OptimalConfig};
 use cds_core::tuning::{paper_periods, tuning_curve_stats};
 use cluster::sweep::SweepConfig;
 use cluster::{ClusterSpec, FrameClock, OnlineConfig};
-use kiosk_bench::{csv_line, print_table};
+use kiosk_bench::{csv_line, print_table, run_checks};
 use taskgraph::{builders, AppState, Decomposition, Micros};
 
 fn main() {
@@ -177,7 +177,5 @@ fn main() {
             opt_lat < max_tuned_lat / 2.0,
         ),
     ];
-    for (name, ok) in checks {
-        println!("  [{}] {name}", if ok { "PASS" } else { "FAIL" });
-    }
+    run_checks(&checks);
 }

@@ -5,7 +5,7 @@
 use cds_core::evaluate::evaluate_schedule;
 use cds_core::pipeline::naive_pipeline;
 use cluster::{render_gantt, simulate_online, ClusterSpec, FrameClock, GanttOptions, OnlineConfig};
-use kiosk_bench::csv_line;
+use kiosk_bench::{csv_line, run_checks};
 use taskgraph::{builders, AppState, Micros};
 
 fn main() {
@@ -113,7 +113,5 @@ fn main() {
                 && pipeline.metrics.frames_dropped == 0,
         ),
     ];
-    for (name, ok) in checks {
-        println!("  [{}] {name}", if ok { "PASS" } else { "FAIL" });
-    }
+    run_checks(&checks);
 }

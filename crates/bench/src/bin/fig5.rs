@@ -7,7 +7,7 @@ use cds_core::evaluate::evaluate_schedule;
 use cds_core::optimal::{optimal_schedule, OptimalConfig};
 use cds_core::pipeline::naive_pipeline;
 use cluster::{render_gantt, ClusterSpec, FrameClock, GanttOptions};
-use kiosk_bench::csv_line;
+use kiosk_bench::{csv_line, run_checks};
 use taskgraph::{builders, AppState, Micros};
 
 fn main() {
@@ -90,7 +90,5 @@ fn main() {
             a.best.find_collision().is_none() && b.best.find_collision().is_none(),
         ),
     ];
-    for (name, ok) in checks {
-        println!("  [{}] {name}", if ok { "PASS" } else { "FAIL" });
-    }
+    run_checks(&checks);
 }

@@ -13,7 +13,7 @@
 use cds_core::multinode::{is_node_confined, node_pipelined};
 use cds_core::optimal::{optimal_schedule, OptimalConfig};
 use cluster::ClusterSpec;
-use kiosk_bench::{csv_line, print_table};
+use kiosk_bench::{csv_line, print_table, run_checks};
 use taskgraph::{builders, AppState, CommCosts};
 
 fn main() {
@@ -108,7 +108,5 @@ fn main() {
             }),
         ),
     ];
-    for (name, ok) in checks {
-        println!("  [{}] {name}", if ok { "PASS" } else { "FAIL" });
-    }
+    run_checks(&checks);
 }

@@ -14,7 +14,7 @@ use cds_core::switcher::{
 use cds_core::table::ScheduleTable;
 use cluster::sweep::{sweep, SweepConfig};
 use cluster::{ClusterSpec, FrameClock, OnlineConfig, SimArena, StateTrack, TraceMode};
-use kiosk_bench::{csv_line, print_table};
+use kiosk_bench::{csv_line, print_table, run_checks};
 use taskgraph::{builders, AppState, Decomposition, Micros};
 use vision::kiosk::generate_visits;
 use vision::{occupancy_track, KioskConfig};
@@ -170,7 +170,5 @@ fn main() {
             rows[3][5].parse::<u64>().unwrap() * 4 < kiosk.n_frames,
         ),
     ];
-    for (name, ok) in checks {
-        println!("  [{}] {name}", if ok { "PASS" } else { "FAIL" });
-    }
+    run_checks(&checks);
 }

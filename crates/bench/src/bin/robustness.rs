@@ -13,7 +13,7 @@ use cds_core::expand::ExpandedGraph;
 use cds_core::optimal::{optimal_schedule, OptimalConfig};
 use cds_core::pipeline::naive_pipeline;
 use cluster::ClusterSpec;
-use kiosk_bench::{csv_line, print_table};
+use kiosk_bench::{csv_line, print_table, run_checks};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use taskgraph::{builders, AppState};
@@ -99,7 +99,5 @@ fn main() {
             zero_noise_exact,
         ),
     ];
-    for (name, ok) in checks {
-        println!("  [{}] {name}", if ok { "PASS" } else { "FAIL" });
-    }
+    run_checks(&checks);
 }

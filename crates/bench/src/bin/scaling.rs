@@ -7,7 +7,7 @@
 
 use cds_core::optimal::{optimal_schedule, OptimalConfig};
 use cluster::ClusterSpec;
-use kiosk_bench::{csv_line, print_table};
+use kiosk_bench::{csv_line, print_table, run_checks};
 use taskgraph::{builders, AppState};
 
 fn main() {
@@ -67,10 +67,7 @@ fn main() {
             ],
             &rows,
         );
-        println!(
-            "  [{}] latency is non-increasing in processors",
-            if monotone { "PASS" } else { "FAIL" }
-        );
+        run_checks(&[("latency is non-increasing in processors", monotone)]);
     }
     println!("\nThe latency floor is the decomposed critical path; beyond it extra processors");
     println!("only buy throughput (lower II via deeper pipelining) — the §3.3 observation.");

@@ -1,0 +1,235 @@
+//! Kernel-tier before/after: the scalar oracles vs the word (SWAR) kernels
+//! vs the runtime-dispatched SIMD paths, per hot kernel, per image size —
+//! and the schedule-table consequence, where each measured tier becomes a
+//! priced alternative the per-regime branch-and-bound can select.
+//!
+//! Every wide path is asserted **bit-identical** to the scalar oracle
+//! before it is timed; a mismatch panics, so a CI smoke run of this binary
+//! gates correctness, not just performance.
+//!
+//! Flags: `--iters N` (timing repetitions per kernel, default 60),
+//! `--smoke` (one small size, few iterations — the CI configuration),
+//! `--json PATH` (additionally write the machine-readable report).
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+use cds_core::optimal::OptimalConfig;
+use cds_core::pricing::optimal_schedule_priced;
+use cluster::ClusterSpec;
+use kiosk_bench::{csv_line, print_table, Json, JsonReport};
+use taskgraph::AppState;
+use vision::calibrate::{calibrated_tracker, measure_kernels, measure_tier_pricing};
+use vision::{BackendKind, BitMask, Frame, Scene};
+
+fn arg(args: &[String], flag: &str, default: u64) -> u64 {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn arg_str(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+/// Median wall time per call for each of the three tiers, measured in one
+/// interleaved loop (rotating which tier leads) so clock drift and
+/// scheduler noise hit all tiers equally and the ratios stay honest.
+fn time_tiers_ns(iters: u64, mut run: impl FnMut(BackendKind)) -> [f64; 3] {
+    let mut samples: [Vec<f64>; 3] = [Vec::new(), Vec::new(), Vec::new()];
+    let order = BackendKind::ALL;
+    for i in 0..iters.max(6) as usize {
+        for lane in 0..order.len() {
+            let k = (i + lane) % order.len();
+            let t0 = Instant::now();
+            run(order[k]);
+            samples[k].push(t0.elapsed().as_secs_f64() * 1e9);
+        }
+    }
+    samples.iter_mut().for_each(|s| s.sort_by(f64::total_cmp));
+    [
+        samples[0][samples[0].len() / 2],
+        samples[1][samples[1].len() / 2],
+        samples[2][samples[2].len() / 2],
+    ]
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let iters = arg(&args, "--iters", if smoke { 8 } else { 60 });
+    let json_path = arg_str(&args, "--json").map(PathBuf::from);
+
+    let features = BackendKind::Simd.get().features();
+    let sizes: &[(usize, usize)] = if smoke {
+        &[(96, 72)]
+    } else {
+        &[(128, 128), (320, 240), (640, 480)]
+    };
+
+    println!("Kernel tiers: scalar vs word vs SIMD on this host");
+    println!("simd features: {features}; {iters} iterations per kernel");
+
+    let mut report = JsonReport::new("simd");
+    report.meta("host_features", Json::Str(features.clone()));
+    let mut rows: Vec<Vec<String>> = Vec::new();
+
+    for &(w, h) in sizes {
+        let scene = Scene::demo(w, h, 3, 0x51AD);
+        let scalar = BackendKind::Scalar.get();
+        let mut prev = Frame::new(w, h);
+        let mut cur = Frame::new(w, h);
+        scalar.render_into(&scene, 0, &mut prev);
+        scalar.render_into(&scene, 1, &mut cur);
+
+        // --- Bit-identity gates: every tier against the oracle, before
+        // --- any timing. A failure panics → nonzero exit → CI fails.
+        for kind in [BackendKind::Word, BackendKind::Simd] {
+            let b = kind.get();
+            let mut f = Frame::new(w, h);
+            b.render_into(&scene, 1, &mut f);
+            assert_eq!(f, cur, "{kind:?} render diverges from scalar at {w}x{h}");
+            assert_eq!(
+                b.image_histogram(&cur),
+                scalar.image_histogram(&cur),
+                "{kind:?} histogram diverges from scalar at {w}x{h}"
+            );
+            for thr in [0u16, 24, 254, 255] {
+                let mut got = BitMask::all_set(w, h);
+                let mut want = BitMask::all_set(w, h);
+                b.change_detection_into(&cur, Some(&prev), thr, &mut got);
+                scalar.change_detection_into(&cur, Some(&prev), thr, &mut want);
+                assert_eq!(
+                    got, want,
+                    "{kind:?} change detection diverges from scalar at {w}x{h} thr {thr}"
+                );
+            }
+        }
+        println!("[PASS] {w}x{h}: word and simd tiers bit-identical to scalar oracles");
+
+        // --- Paired timing, one row per kernel × tier -----------------
+        let mut out_frame = Frame::new(w, h);
+        let mut out_mask = BitMask::new(w, h);
+        let kernels: Vec<(&str, [f64; 3])> = vec![
+            (
+                "render",
+                time_tiers_ns(iters, |k| {
+                    k.get().render_into(&scene, 2, &mut out_frame);
+                    std::hint::black_box(&out_frame);
+                }),
+            ),
+            (
+                "histogram",
+                time_tiers_ns(iters, |k| {
+                    std::hint::black_box(k.get().image_histogram(&cur));
+                }),
+            ),
+            (
+                "change_detection",
+                time_tiers_ns(iters, |k| {
+                    k.get()
+                        .change_detection_into(&cur, Some(&prev), 24, &mut out_mask);
+                    std::hint::black_box(&out_mask);
+                }),
+            ),
+        ];
+        for (kernel, ns) in kernels {
+            let scalar_ns = ns[0];
+            for (kind, &kernel_ns) in BackendKind::ALL.iter().zip(&ns) {
+                let speedup = scalar_ns / kernel_ns.max(1e-3);
+                rows.push(vec![
+                    format!("{w}x{h}"),
+                    kernel.to_string(),
+                    kind.name().to_string(),
+                    format!("{kernel_ns:.0}"),
+                    format!("{speedup:.2}"),
+                ]);
+                csv_line(&[
+                    "simd",
+                    &format!("{w}x{h}"),
+                    kernel,
+                    kind.name(),
+                    &format!("{kernel_ns:.0}"),
+                    &format!("{speedup:.2}"),
+                ]);
+                report.row(vec![
+                    ("kernel", Json::Str(kernel.to_string())),
+                    ("backend", Json::Str(kind.name().to_string())),
+                    ("size", Json::Str(format!("{w}x{h}"))),
+                    ("ns_per_op", Json::Num(kernel_ns)),
+                    ("speedup_vs_scalar", Json::Num(speedup)),
+                ]);
+            }
+        }
+    }
+
+    print_table(
+        "Kernel cost per tier (median ns per call)",
+        &["size", "kernel", "backend", "ns", "speedup_vs_scalar"],
+        &rows,
+    );
+
+    // --- The scheduling consequence: tiers as priced alternatives -----
+    // Calibrate a tracker graph on this host, measure per-tier factors,
+    // and let the per-regime search pick the tier. On a host where SIMD
+    // wins the hot kernels, the priced table should never choose scalar.
+    let (cw, ch) = if smoke { (96, 72) } else { (320, 240) };
+    let reps = if smoke { 2 } else { 8 };
+    let times = measure_kernels(cw, ch, &[1, 2, 4], reps);
+    let graph = calibrated_tracker(cw, ch, &times);
+    let pricing = measure_tier_pricing(cw, ch, reps, &graph);
+    let cluster = ClusterSpec::single_node(4);
+    let cfg = OptimalConfig::default();
+    let mut price_rows: Vec<Vec<String>> = Vec::new();
+    for n in [1u32, 2, 4] {
+        let priced = optimal_schedule_priced(&graph, &cluster, &AppState::new(n), &cfg, &pricing);
+        let per_tier: Vec<String> = priced
+            .per_tier
+            .iter()
+            .map(|(t, l)| format!("{}={}us", t.name(), l.0))
+            .collect();
+        price_rows.push(vec![
+            n.to_string(),
+            priced.tier.name().to_string(),
+            priced.result.minimal_latency.0.to_string(),
+            per_tier.join(" "),
+        ]);
+        report.row(vec![
+            ("kernel", Json::Str("priced_schedule".to_string())),
+            ("backend", Json::Str(priced.tier.name().to_string())),
+            ("size", Json::Str(format!("regime_{n}"))),
+            (
+                "ns_per_op",
+                Json::Num(priced.result.minimal_latency.0 as f64 * 1e3),
+            ),
+            ("speedup_vs_scalar", Json::Num(1.0)),
+        ]);
+        csv_line(&[
+            "simd_priced",
+            &n.to_string(),
+            priced.tier.name(),
+            &priced.result.minimal_latency.0.to_string(),
+        ]);
+    }
+    print_table(
+        "Priced per-regime search: winning kernel tier (calibrated graph)",
+        &["regime", "winner", "L*_us", "per-tier L*"],
+        &price_rows,
+    );
+
+    if let Some(path) = json_path {
+        match report.write(&path) {
+            Ok(()) => println!("json report written to {}", path.display()),
+            Err(e) => {
+                eprintln!("[FAIL] could not write {}: {e}", path.display());
+                std::process::exit(1);
+            }
+        }
+    }
+    println!("[PASS] all tiers bit-identical; report complete");
+}

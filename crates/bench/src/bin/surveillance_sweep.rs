@@ -11,7 +11,7 @@ use cds_core::switcher::{
 use cds_core::table::ScheduleTable;
 use cluster::sweep::{sweep, SweepConfig};
 use cluster::{ClusterSpec, FrameClock, StateTrack};
-use kiosk_bench::{csv_line, print_table};
+use kiosk_bench::{csv_line, print_table, run_checks};
 use taskgraph::{builders, AppState, Micros};
 use vision::kiosk::generate_visits;
 use vision::{occupancy_track, KioskConfig};
@@ -129,7 +129,5 @@ fn main() {
             lat(2) < lat(3) * 1.4,
         ),
     ];
-    for (name, ok) in checks {
-        println!("  [{}] {name}", if ok { "PASS" } else { "FAIL" });
-    }
+    run_checks(&checks);
 }

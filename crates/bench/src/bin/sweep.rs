@@ -28,7 +28,7 @@ use cluster::sweep::{sweep, SweepConfig};
 use cluster::{
     simulate_online_ref, ClusterSpec, FrameClock, Metrics, OnlineConfig, SimArena, TraceMode,
 };
-use kiosk_bench::{csv_line, print_table};
+use kiosk_bench::{csv_line, print_table, run_checks};
 use taskgraph::{builders, AppState, Decomposition, Micros, TaskGraph};
 
 fn arg(args: &[String], flag: &str, default: u64) -> u64 {
@@ -272,7 +272,5 @@ fn main() {
             sweep_speedup >= 2.0,
         ),
     ];
-    for (name, ok) in checks {
-        println!("  [{}] {name}", if ok { "PASS" } else { "FAIL" });
-    }
+    run_checks(&checks);
 }

@@ -18,7 +18,7 @@
 
 use std::time::Instant;
 
-use kiosk_bench::{csv_line, print_table};
+use kiosk_bench::{csv_line, print_table, run_checks};
 use taskgraph::{AppState, DataParallelSpec, Decomposition, Micros};
 use vision::detect::PartialScores;
 use vision::{
@@ -161,9 +161,7 @@ fn main() {
         ),
     ];
     println!("\nshape checks:");
-    for (name, ok) in checks {
-        println!("  [{}] {name}", if ok { "PASS" } else { "FAIL" });
-    }
+    run_checks(&checks);
 
     // --- Cost model at paper scale ---------------------------------------
     let spec = DataParallelSpec::new(vec![1, 4], vec![1, 8], Micros::from_millis(35))
@@ -288,8 +286,9 @@ fn main() {
         }
     );
     let distinct: std::collections::HashSet<&String> = chosen.iter().collect();
-    println!(
-        "\n  [{}] calibrated decomposition is regime-dependent on this host",
-        if distinct.len() > 1 { "PASS" } else { "FAIL" }
-    );
+    println!();
+    run_checks(&[(
+        "calibrated decomposition is regime-dependent on this host",
+        distinct.len() > 1,
+    )]);
 }

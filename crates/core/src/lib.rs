@@ -46,6 +46,7 @@ pub mod multinode;
 pub mod optimal;
 pub mod persist;
 pub mod pipeline;
+pub mod pricing;
 pub mod schedule;
 pub mod switcher;
 pub mod table;
@@ -64,6 +65,7 @@ pub use persist::{
     CacheMiss, ScheduleCache,
 };
 pub use pipeline::naive_pipeline;
+pub use pricing::{optimal_schedule_priced, precompute_priced, PricedResult, PricedTable};
 pub use schedule::{IterationSchedule, PipelinedSchedule, Placement, StagePrediction};
 pub use switcher::{simulate_regime_switched, SwitchConfig, TransitionPolicy};
 pub use table::{ScheduleTable, TableBuildStats};

@@ -1,0 +1,210 @@
+//! Kernel-tier pricing: treat each kernel implementation tier (scalar /
+//! word / SIMD — `taskgraph::KernelTier`) as a priced alternative the
+//! per-regime search can select, the CPU-variant extension of the paper's
+//! Table 1 regime-dependent decompositions.
+//!
+//! A [`taskgraph::TierPricing`] carries measured per-tier cost factors
+//! (from `vision::calibrate::measure_tier_pricing` or any other source).
+//! [`optimal_schedule_priced`] runs the Fig. 6 branch-and-bound once per
+//! tier against the tier-rescaled graph and keeps the fastest;
+//! [`precompute_priced`] does that for a whole set of regimes, producing a
+//! [`PricedTable`] that records which tier won each regime so the runtime
+//! can install the matching compute backend alongside the schedule.
+//!
+//! The schedule cache composes transparently: cache keys content-hash the
+//! graph's cost rows, so each tier's search gets its own cache entry.
+
+use cluster::ClusterSpec;
+use taskgraph::{AppState, KernelTier, Micros, TaskGraph, TierPricing};
+
+use crate::optimal::{optimal_schedule, OptimalConfig, OptimalResult};
+use crate::table::ScheduleTable;
+
+/// The outcome of a tier-priced search for one state.
+#[derive(Clone, Debug)]
+pub struct PricedResult {
+    /// The winning tier.
+    pub tier: KernelTier,
+    /// The winning tier's full search result.
+    pub result: OptimalResult,
+    /// Every priced tier's minimal latency, in pricing-row order.
+    pub per_tier: Vec<(KernelTier, Micros)>,
+}
+
+/// Run the per-regime search once per priced tier (each tier's measured
+/// factors applied to the graph's cost rows) and keep the fastest. Ties
+/// break toward the earliest pricing row, so listing tiers oracle-first
+/// makes the choice deterministic.
+///
+/// # Panics
+///
+/// Panics when `pricing` has no rows — there would be nothing to choose.
+#[must_use]
+pub fn optimal_schedule_priced(
+    graph: &TaskGraph,
+    cluster: &ClusterSpec,
+    state: &AppState,
+    cfg: &OptimalConfig,
+    pricing: &TierPricing,
+) -> PricedResult {
+    assert!(
+        !pricing.is_empty(),
+        "pricing must contain at least one tier"
+    );
+    let mut best: Option<(KernelTier, OptimalResult)> = None;
+    let mut per_tier = Vec::new();
+    for tier in pricing.tiers() {
+        let scaled = pricing.scaled(graph, tier);
+        let r = optimal_schedule(&scaled, cluster, state, cfg);
+        per_tier.push((tier, r.minimal_latency));
+        let wins = match &best {
+            None => true,
+            Some((_, b)) => r.minimal_latency < b.minimal_latency,
+        };
+        if wins {
+            best = Some((tier, r));
+        }
+    }
+    // INVARIANT: pricing is non-empty (asserted above), so at least one
+    // iteration ran and `best` was set.
+    let (tier, result) = best.unwrap();
+    PricedResult {
+        tier,
+        result,
+        per_tier,
+    }
+}
+
+/// One regime's priced outcome: the state, the winning tier, and every
+/// tier's minimal latency.
+pub type RegimeChoice = (AppState, KernelTier, Vec<(KernelTier, Micros)>);
+
+/// A schedule table whose entries carry the kernel tier that won each
+/// regime's priced search.
+#[derive(Clone, Debug)]
+pub struct PricedTable {
+    /// The winning schedules, one per regime (ordinary [`ScheduleTable`]
+    /// lookups apply — `get`, `get_nearest`, …).
+    pub table: ScheduleTable,
+    choices: Vec<RegimeChoice>,
+}
+
+impl PricedTable {
+    /// The tier that won `state`'s search, if the state was precomputed.
+    #[must_use]
+    pub fn tier_for(&self, state: &AppState) -> Option<KernelTier> {
+        self.choices
+            .iter()
+            .find(|(s, _, _)| s == state)
+            .map(|&(_, t, _)| t)
+    }
+
+    /// Every regime's per-tier latencies `(state, winner, [(tier, L*)…])`.
+    #[must_use]
+    pub fn choices(&self) -> &[RegimeChoice] {
+        &self.choices
+    }
+}
+
+/// [`ScheduleTable::precompute`] with the kernel tier as an extra priced
+/// axis: each regime stores its fastest tier's schedule and records the
+/// winning tier for the runtime to install alongside it.
+#[must_use]
+pub fn precompute_priced(
+    graph: &TaskGraph,
+    cluster: &ClusterSpec,
+    states: &[AppState],
+    cfg: &OptimalConfig,
+    pricing: &TierPricing,
+) -> PricedTable {
+    let mut entries = Vec::with_capacity(states.len());
+    let mut choices = Vec::with_capacity(states.len());
+    for state in states {
+        let priced = optimal_schedule_priced(graph, cluster, state, cfg, pricing);
+        entries.push((*state, priced.result.best));
+        choices.push((*state, priced.tier, priced.per_tier));
+    }
+    PricedTable {
+        table: ScheduleTable::from_entries(entries),
+        choices,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use taskgraph::builders;
+
+    fn pricing_for(g: &TaskGraph, scalar: u32, simd: u32) -> TierPricing {
+        let t2 = g.task_by_name("Histogram").unwrap();
+        let t3 = g.task_by_name("Change Detection").unwrap();
+        let mut p = TierPricing::new();
+        p.set_row(KernelTier::Scalar, vec![(t2, scalar), (t3, scalar)]);
+        p.set_row(KernelTier::Word, vec![(t2, 1000), (t3, 1000)]);
+        p.set_row(KernelTier::Simd, vec![(t2, simd), (t3, simd)]);
+        p
+    }
+
+    #[test]
+    fn priced_search_selects_the_cheap_tier() {
+        let g = builders::color_tracker();
+        let cluster = ClusterSpec::single_node(2);
+        let cfg = OptimalConfig::default().serial();
+        let pricing = pricing_for(&g, 2500, 400);
+        let r = optimal_schedule_priced(&g, &cluster, &AppState::new(2), &cfg, &pricing);
+        assert_eq!(r.tier, KernelTier::Simd);
+        assert_eq!(r.per_tier.len(), 3);
+        // The winner's latency is the minimum across tiers.
+        let min = r.per_tier.iter().map(|&(_, l)| l).min().unwrap();
+        assert_eq!(r.result.minimal_latency, min);
+        // The scalar tier can never beat the baseline here.
+        let scalar = r
+            .per_tier
+            .iter()
+            .find(|(t, _)| *t == KernelTier::Scalar)
+            .unwrap();
+        assert!(scalar.1 >= min);
+    }
+
+    #[test]
+    fn tie_breaks_toward_the_first_priced_row() {
+        let g = builders::color_tracker();
+        let cluster = ClusterSpec::single_node(2);
+        let cfg = OptimalConfig::default().serial();
+        // All tiers identical → the first row (scalar) must win.
+        let pricing = pricing_for(&g, 1000, 1000);
+        let r = optimal_schedule_priced(&g, &cluster, &AppState::new(2), &cfg, &pricing);
+        assert_eq!(r.tier, KernelTier::Scalar);
+    }
+
+    #[test]
+    fn priced_table_records_the_winner_per_regime() {
+        let g = builders::color_tracker();
+        let cluster = ClusterSpec::single_node(2);
+        let cfg = OptimalConfig::default().serial();
+        let pricing = pricing_for(&g, 2000, 500);
+        let states: Vec<AppState> = (1..=3).map(AppState::new).collect();
+        let priced = precompute_priced(&g, &cluster, &states, &cfg, &pricing);
+        assert_eq!(priced.table.len(), 3);
+        for s in &states {
+            assert_eq!(priced.tier_for(s), Some(KernelTier::Simd));
+            assert!(priced.table.get(s).is_some());
+        }
+        assert_eq!(priced.tier_for(&AppState::new(9)), None);
+        assert_eq!(priced.choices().len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one tier")]
+    fn empty_pricing_rejected() {
+        let g = builders::color_tracker();
+        let cluster = ClusterSpec::single_node(2);
+        let _ = optimal_schedule_priced(
+            &g,
+            &cluster,
+            &AppState::new(1),
+            &OptimalConfig::default().serial(),
+            &TierPricing::new(),
+        );
+    }
+}

@@ -63,8 +63,21 @@ pub struct StageRow {
     pub measured_wall_ns_mean: f64,
     /// `measured / (predicted × calibration)`; 1.0 = perfectly on-model.
     pub ratio: f64,
-    /// Whether `ratio` deviates from 1.0 beyond the tolerance.
+    /// Whether `ratio` deviates from 1.0 beyond the tolerance, in either
+    /// direction (see [`ratio_drifts`]).
     pub drift: bool,
+}
+
+/// The symmetric drift predicate: `ratio` drifts when it exceeds
+/// `1 + tolerance` (slow-down) **or** falls below `1 / (1 + tolerance)`
+/// (speed-up). The multiplicative symmetry makes an N× speed-up exactly as
+/// visible as an N× slow-down at any tolerance — the old additive rule
+/// `|ratio − 1| > tolerance` could never flag a speed-up once
+/// `tolerance ≥ 1`, leaving faster-than-modeled stages invisible to the
+/// adaptation loop.
+#[must_use]
+pub fn ratio_drifts(ratio: f64, tolerance: f64) -> bool {
+    ratio > 1.0 + tolerance || ratio < 1.0 / (1.0 + tolerance)
 }
 
 /// Conformance summary for one regime.
@@ -163,7 +176,8 @@ fn median(mut v: Vec<f64>) -> f64 {
 /// Returns the calibration (wall ns per cost-model µs, the median of the
 /// measured/predicted ratios) and one [`StageRow`] per usable sample, with
 /// `drift` set where the calibrated ratio deviates from 1.0 beyond
-/// `tolerance`. With fewer than two usable samples the median is degenerate
+/// `tolerance` in either direction ([`ratio_drifts`] — slow-downs *and*
+/// speed-ups). With fewer than two usable samples the median is degenerate
 /// and every ratio is 1.0 by construction — callers should feed the whole
 /// stage vector, not one stage at a time.
 #[must_use]
@@ -186,7 +200,7 @@ pub fn calibrate_stages(samples: &[(u8, u64, f64)], tolerance: f64) -> (f64, Vec
                 predicted_us,
                 measured_wall_ns_mean: mean,
                 ratio,
-                drift: calibration > 0.0 && (ratio - 1.0).abs() > tolerance,
+                drift: calibration > 0.0 && ratio_drifts(ratio, tolerance),
             }
         })
         .collect();
@@ -202,7 +216,9 @@ pub fn calibrate_stages(samples: &[(u8, u64, f64)], tolerance: f64) -> (f64, Vec
 /// * `regimes` — the table's predictions, one per precomputed state.
 /// * `channels` — end-of-run channel occupancy snapshots.
 /// * `tolerance` — allowed relative deviation of a stage's calibrated
-///   cost ratio from 1.0 before it is flagged as drift (e.g. 0.5 = ±50%).
+///   cost ratio from 1.0 before it is flagged as drift, applied
+///   symmetrically (0.5 flags ratios above 1.5 or below 1/1.5 ≈ 0.67;
+///   see [`ratio_drifts`]).
 #[must_use]
 pub fn check(
     frames: &[FrameLife],
@@ -278,7 +294,7 @@ pub fn check(
             } else {
                 0.0
             };
-            let drift = calibration > 0.0 && (ratio - 1.0).abs() > tolerance;
+            let drift = calibration > 0.0 && ratio_drifts(ratio, tolerance);
             if drift {
                 let name = stage_names
                     .get(stage as usize)
@@ -628,6 +644,30 @@ mod tests {
         let (cal, rows) = calibrate_stages(&[(0, 0, 5.0), (1, 10, 0.0)], 0.5);
         assert_eq!(cal, 0.0);
         assert!(rows.is_empty());
+    }
+
+    #[test]
+    fn speedups_drift_symmetrically_even_at_large_tolerance() {
+        // Regression for the PR 6 caveat: with the additive rule
+        // `|ratio − 1| > tolerance`, a speed-up could never fire once
+        // tolerance ≥ 1 (ratios are bounded below by 0). Stage 3 runs 4×
+        // *faster* than calibrated; at tolerance 1.0 the symmetric rule
+        // flags it (0.25 < 1/2) while on-model stages stay quiet.
+        let samples = [
+            (1u8, 100u64, 100_000.0),
+            (2, 200, 200_000.0),
+            (3, 400, 100_000.0), // ratio 0.25: 4× faster than the model
+        ];
+        let (cal, rows) = calibrate_stages(&samples, 1.0);
+        assert!((cal - 1_000.0).abs() < 1e-6, "median calibration: {cal}");
+        assert!(!rows[0].drift && !rows[1].drift);
+        assert!((rows[2].ratio - 0.25).abs() < 1e-9);
+        assert!(rows[2].drift, "4× speed-up invisible at tolerance 1.0");
+        // The predicate itself, both directions, multiplicatively symmetric.
+        assert!(ratio_drifts(2.01, 1.0) && ratio_drifts(0.49, 1.0));
+        assert!(!ratio_drifts(1.99, 1.0) && !ratio_drifts(0.51, 1.0));
+        assert!(ratio_drifts(1.51, 0.5) && ratio_drifts(1.0 / 1.51, 0.5));
+        assert!(!ratio_drifts(1.49, 0.5) && !ratio_drifts(1.0 / 1.49, 0.5));
     }
 
     #[test]

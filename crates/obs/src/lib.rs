@@ -31,7 +31,9 @@ pub mod hist;
 pub mod span;
 
 pub use chrome::ChromeTrace;
-pub use conformance::{calibrate_stages, ChannelCheck, ConformanceReport, RegimeSpec, StageRow};
+pub use conformance::{
+    calibrate_stages, ratio_drifts, ChannelCheck, ConformanceReport, RegimeSpec, StageRow,
+};
 pub use frames::{FrameLife, FrameOutcome, LifecycleStats};
 pub use hist::LogHist;
 pub use span::{Recorder, Span, SpanDump, SpanKind, SpanRing, TraceMode};

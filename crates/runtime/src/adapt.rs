@@ -38,7 +38,7 @@
 //! original graph, and a schedule fitted to a transient slowdown must die
 //! with the process that observed it.
 
-use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU32, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -105,6 +105,8 @@ impl Default for AdaptConfig {
 pub struct CostFeed {
     sums_ns: Vec<AtomicU64>,
     counts: Vec<AtomicU64>,
+    chunk_sums_ns: Vec<AtomicU64>,
+    chunk_counts: Vec<AtomicU64>,
 }
 
 impl CostFeed {
@@ -114,12 +116,24 @@ impl CostFeed {
         CostFeed {
             sums_ns: (0..n_stages).map(|_| AtomicU64::new(0)).collect(),
             counts: (0..n_stages).map(|_| AtomicU64::new(0)).collect(),
+            chunk_sums_ns: (0..n_stages).map(|_| AtomicU64::new(0)).collect(),
+            chunk_counts: (0..n_stages).map(|_| AtomicU64::new(0)).collect(),
         }
     }
 
     /// Report one frame's compute wall time for `stage`.
     pub fn record(&self, stage: usize, wall_ns: u64) {
         if let (Some(s), Some(c)) = (self.sums_ns.get(stage), self.counts.get(stage)) {
+            s.fetch_add(wall_ns, Ordering::Relaxed);
+            c.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Report one pool chunk's kernel wall time for `stage` (a strip or
+    /// detection chunk — finer grain than [`record`](Self::record)'s whole
+    /// compute section, the signal chunk-width tuning derives from).
+    pub fn record_chunk(&self, stage: usize, wall_ns: u64) {
+        if let (Some(s), Some(c)) = (self.chunk_sums_ns.get(stage), self.chunk_counts.get(stage)) {
             s.fetch_add(wall_ns, Ordering::Relaxed);
             c.fetch_add(1, Ordering::Relaxed);
         }
@@ -133,6 +147,82 @@ impl CostFeed {
             .zip(&self.sums_ns)
             .map(|(c, s)| (c.swap(0, Ordering::Relaxed), s.swap(0, Ordering::Relaxed)))
             .collect()
+    }
+
+    /// Drain the per-chunk window: per-stage `(chunks, total_ns)`,
+    /// resetting both.
+    #[must_use]
+    pub fn take_chunks(&self) -> Vec<(u64, u64)> {
+        self.chunk_counts
+            .iter()
+            .zip(&self.chunk_sums_ns)
+            .map(|(c, s)| (c.swap(0, Ordering::Relaxed), s.swap(0, Ordering::Relaxed)))
+            .collect()
+    }
+}
+
+/// Mean strip cost (ns) at which the tuner stops narrowing: strips cheaper
+/// than this are dominated by submit/join overhead, so the tuner trades
+/// parallelism for granularity, exactly the paper's §3.2 chunk-size
+/// argument applied online.
+pub const TARGET_STRIP_NS: u64 = 200_000;
+
+/// How many pooled frames between strip-count re-derivations.
+pub const RETUNE_FRAMES: u64 = 8;
+
+/// Online chunk-width tuning for pooled data-parallel stages: instead of a
+/// fixed strip constant, the joiner reports each frame's total measured
+/// strip kernel time and the tuner re-derives the strip count every
+/// [`RETUNE_FRAMES`] frames as `frame_ns / TARGET_STRIP_NS`, clamped to
+/// `[1, max]`. Frames too small to amortize pool dispatch collapse toward
+/// serial execution; large frames widen until each strip still carries
+/// [`TARGET_STRIP_NS`] of work.
+pub struct StripTuner {
+    strips: AtomicUsize,
+    max: usize,
+    frame_ns: AtomicU64,
+    frames: AtomicU64,
+}
+
+impl StripTuner {
+    /// A tuner starting at `initial` strips, never prescribing more than
+    /// `max` (both clamped to at least 1).
+    #[must_use]
+    pub fn new(initial: usize, max: usize) -> Self {
+        let max = max.max(1);
+        StripTuner {
+            strips: AtomicUsize::new(initial.clamp(1, max)),
+            max,
+            frame_ns: AtomicU64::new(0),
+            frames: AtomicU64::new(0),
+        }
+    }
+
+    /// The strip count currently prescribed.
+    #[must_use]
+    pub fn strips(&self) -> usize {
+        self.strips.load(Ordering::Relaxed)
+    }
+
+    /// Report one frame's total measured strip kernel time; every
+    /// [`RETUNE_FRAMES`] reports the prescription is re-derived from the
+    /// window mean.
+    pub fn observe_frame(&self, total_strip_ns: u64) {
+        self.frame_ns.fetch_add(total_strip_ns, Ordering::Relaxed);
+        let n = self.frames.fetch_add(1, Ordering::Relaxed) + 1;
+        if n < RETUNE_FRAMES {
+            return;
+        }
+        let frames = self.frames.swap(0, Ordering::Relaxed);
+        let total = self.frame_ns.swap(0, Ordering::Relaxed);
+        if frames == 0 {
+            return; // another thread raced the drain; its window decides
+        }
+        let mean = total / frames;
+        #[allow(clippy::cast_possible_truncation)]
+        let want = (mean / TARGET_STRIP_NS.max(1)) as usize;
+        self.strips
+            .store(want.clamp(1, self.max), Ordering::Relaxed);
     }
 }
 
@@ -610,6 +700,48 @@ mod tests {
     }
 
     #[test]
+    fn cost_feed_keeps_chunk_samples_separate_from_frame_samples() {
+        let f = CostFeed::new(2);
+        f.record(1, 1000);
+        f.record_chunk(1, 200);
+        f.record_chunk(1, 400);
+        f.record_chunk(7, 1); // out of range: ignored
+        assert_eq!(f.take_chunks(), vec![(0, 0), (2, 600)]);
+        assert_eq!(f.take(), vec![(0, 0), (1, 1000)], "frame window untouched");
+        assert_eq!(f.take_chunks(), vec![(0, 0), (0, 0)], "drained");
+    }
+
+    #[test]
+    fn strip_tuner_rederives_width_from_measured_cost() {
+        // Cheap frames (well under one TARGET_STRIP_NS of work) collapse to
+        // a single serial strip once the retune window fills.
+        let t = StripTuner::new(4, 8);
+        assert_eq!(t.strips(), 4, "seeded width until evidence arrives");
+        for _ in 0..7 {
+            t.observe_frame(50_000);
+            assert_eq!(t.strips(), 4, "no retune mid-window");
+        }
+        t.observe_frame(50_000);
+        assert_eq!(t.strips(), 1, "tiny frames go serial");
+
+        // Expensive frames widen, but never past the configured max.
+        for _ in 0..8 {
+            t.observe_frame(TARGET_STRIP_NS * 100);
+        }
+        assert_eq!(t.strips(), 8, "clamped to max");
+
+        // A mid-cost window lands on cost / target.
+        for _ in 0..8 {
+            t.observe_frame(TARGET_STRIP_NS * 3);
+        }
+        assert_eq!(t.strips(), 3);
+
+        // Degenerate construction still prescribes at least one strip.
+        let t = StripTuner::new(0, 0);
+        assert_eq!(t.strips(), 1);
+    }
+
+    #[test]
     fn sustained_drift_launches_search_and_installs_swap() {
         let (g, c, table, t4) = fixture();
         let ctl = controller(&table, t4);
@@ -670,6 +802,64 @@ mod tests {
         assert_eq!(ctl.swaps(), 1, "exactly one swap in the ledger");
         assert!(stats.last_detect_to_swap.is_some());
         assert!(stats.last_nodes_explored > 0, "a real search ran");
+    }
+
+    /// PR 6 caveat #2 regression: a stage that gets *faster* (a kernel-tier
+    /// upgrade, say) must trigger re-scheduling just like a slowdown — the
+    /// drift predicate is symmetric, so speed-ups are visible even at
+    /// `tolerance ≥ 1.0`, where `ratio < 1` could never exceed `1 + tol`.
+    #[test]
+    fn sustained_speedup_also_launches_search_and_installs_swap() {
+        let (g, c, table, t4) = fixture();
+        let ctl = controller(&table, t4);
+        let cfg = AdaptConfig {
+            window: 4,
+            confirm_windows: 2,
+            cooldown_frames: 0,
+            tolerance: 1.0,
+            ..AdaptConfig::default()
+        };
+        let adapt = AdaptLoop::new(cfg, g.clone(), c, table, t4, Arc::clone(&ctl));
+        let feed = adapt.feed();
+
+        let sched = adapt.schedule_for(1).unwrap();
+        let preds: BTreeMap<u8, u64> = sched
+            .iteration
+            .stage_predictions()
+            .iter()
+            .map(|p| (p.task.0 as u8, p.wall.0))
+            .collect();
+        let mut frame = 0u64;
+        let mut feed_window = |drift: bool| {
+            for _ in 0..4 {
+                for (&stage, &wall_us) in &preds {
+                    // Stage 3 runs at a quarter of its predicted share:
+                    // ratio 0.25 < 1 / (1 + tolerance) = 0.5.
+                    let div = if drift && stage == 3 { 4 } else { 1 };
+                    feed.record(usize::from(stage), (wall_us / div).max(1));
+                }
+                adapt.on_frame(frame);
+                frame += 1;
+            }
+        };
+
+        feed_window(false);
+        assert_eq!(adapt.stats().drift_windows, 0, "clean window: no drift");
+        feed_window(true);
+        feed_window(true);
+        assert_eq!(adapt.stats().launches, 1, "confirmed speed-up launches");
+
+        let t0 = Instant::now();
+        while adapt.stats().installs == 0 {
+            assert!(
+                t0.elapsed() < Duration::from_secs(60),
+                "search never landed"
+            );
+            std::thread::sleep(Duration::from_millis(10));
+            adapt.on_frame(frame);
+            frame += 1;
+        }
+        assert_eq!(ctl.swaps(), 1, "the faster reality was installed");
     }
 
     #[test]

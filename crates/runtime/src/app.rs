@@ -6,7 +6,7 @@ use std::time::Duration;
 
 use obs::{ChannelCheck, Recorder, TraceMode};
 use stm::{Channel, ChannelBuilder};
-use vision::{BitMask, ColorHist, Frame, ModelLocation, Scene, ScoreMap};
+use vision::{BackendKind, BitMask, ColorHist, Frame, ModelLocation, Scene, ScoreMap};
 
 use crate::adapt::AdaptLoop;
 use crate::error::{RuntimeHealth, Stage};
@@ -73,6 +73,11 @@ pub struct TrackerConfig {
     /// `None` builds no recorder at all — the baseline the
     /// [`TraceMode::Off`] overhead claim is measured against.
     pub trace: Option<TraceMode>,
+    /// Which compute-kernel tier the stage bodies dispatch through
+    /// (scalar oracles, portable word kernels, or runtime-detected SIMD).
+    /// Every tier is bit-identical; they differ only in speed, which is
+    /// what the priced schedule search weighs.
+    pub backend: BackendKind,
 }
 
 impl TrackerConfig {
@@ -95,6 +100,7 @@ impl TrackerConfig {
             frame_deadline: None,
             faults: None,
             trace: None,
+            backend: BackendKind::from_env(),
         }
     }
 }
@@ -192,7 +198,8 @@ impl TrackerApp {
         let stage_ctx = |stage: Stage| {
             let mut ctx = StageCtx::new(stage)
                 .with_health(Arc::clone(&health))
-                .with_measure(Arc::clone(&measure));
+                .with_measure(Arc::clone(&measure))
+                .with_backend(cfg.backend.get());
             if let Some(d) = deadline {
                 ctx = ctx.with_deadline(d);
             }

@@ -45,7 +45,9 @@ pub mod pool;
 pub mod regime_rt;
 pub mod tasks;
 
-pub use adapt::{AdaptConfig, AdaptLoop, AdaptStats, CostFeed, ReschedJob, ReschedReason};
+pub use adapt::{
+    AdaptConfig, AdaptLoop, AdaptStats, CostFeed, ReschedJob, ReschedReason, StripTuner,
+};
 pub use app::{TrackerApp, TrackerConfig};
 pub use error::{HealthReport, RuntimeError, RuntimeHealth, Stage};
 pub use exec_online::OnlineExecutor;

@@ -29,12 +29,11 @@ use stm::{
 use vision::detect::{merge_partials, PartialScores};
 use vision::peak::detected_count;
 use vision::{
-    change_detection, change_detection_into, detect_chunks, image_histogram, peak_detection,
-    target_detection_chunk, BitMask, ColorHist, DetectChunk, Frame, ModelLocation, Region,
-    ScoreMap,
+    detect_chunks, peak_detection, target_detection_chunk, BitMask, ColorHist, ComputeBackend,
+    DetectChunk, Frame, ModelLocation, Region, ScoreMap,
 };
 
-use crate::adapt::{AdaptLoop, CostFeed, ReschedJob};
+use crate::adapt::{AdaptLoop, CostFeed, ReschedJob, StripTuner};
 use crate::error::{RuntimeError, RuntimeHealth, Stage};
 use crate::faults::FaultInjector;
 use crate::frame_pool::{BufPool, Pooled, PooledFrame, PooledMask};
@@ -76,6 +75,7 @@ pub struct StageCtx {
     recorder: Option<Recorder>,
     measure: Option<Arc<Measurements>>,
     feed: Option<Arc<CostFeed>>,
+    backend: &'static dyn ComputeBackend,
 }
 
 impl StageCtx {
@@ -91,6 +91,7 @@ impl StageCtx {
             recorder: None,
             measure: None,
             feed: None,
+            backend: vision::active(),
         }
     }
 
@@ -137,6 +138,29 @@ impl StageCtx {
     pub fn with_cost_feed(mut self, feed: Arc<CostFeed>) -> Self {
         self.feed = Some(feed);
         self
+    }
+
+    /// Select the compute backend this stage's kernels dispatch through.
+    /// Defaults to [`vision::active`] (the fastest tier the host supports,
+    /// overridable via `CDS_BACKEND`).
+    #[must_use]
+    pub fn with_backend(mut self, backend: &'static dyn ComputeBackend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// The compute backend this stage's kernels dispatch through.
+    #[must_use]
+    pub fn backend(&self) -> &'static dyn ComputeBackend {
+        self.backend
+    }
+
+    /// Report one pool chunk's kernel wall time into the cost feed (no-op
+    /// without an attached feed).
+    pub fn record_chunk_cost(&self, wall_ns: u64) {
+        if let Some(f) = &self.feed {
+            f.record_chunk(usize::from(self.stage.index()), wall_ns);
+        }
     }
 
     /// The shared health ledger.
@@ -467,10 +491,14 @@ impl TaskBody for DigitizerTask {
         let frame = match &self.frame_pool {
             Some(pool) => {
                 let mut buf = pool.take_or(|| Frame::new(self.scene.width, self.scene.height));
-                self.scene.render_into(ts.0, &mut buf);
+                self.ctx.backend().render_into(&self.scene, ts.0, &mut buf);
                 buf
             }
-            None => Pooled::unpooled(self.scene.render(ts.0)),
+            None => {
+                let mut buf = Frame::new(self.scene.width, self.scene.height);
+                self.ctx.backend().render_into(&self.scene, ts.0, &mut buf);
+                Pooled::unpooled(buf)
+            }
         };
         self.ctx.work_end(c0);
         self.ctx.rec_span(SpanKind::Compute, ts.0, None, t0);
@@ -506,8 +534,9 @@ pub struct HistogramTask {
     input: InputConn<PooledFrame>,
     out: OutputConn<ColorHist>,
     out_chan: Channel<ColorHist>,
-    /// `(pool, strips)`: farm row strips to the shared worker pool.
-    pool: Option<(Arc<WorkerPool<PoolJob>>, usize)>,
+    /// `(pool, tuner)`: farm row strips to the shared worker pool, the
+    /// strip count re-derived online from measured per-strip kernel costs.
+    pool: Option<(Arc<WorkerPool<PoolJob>>, Arc<StripTuner>)>,
     ctx: StageCtx,
     cursor: SharedCursor,
     gate: CloseGate,
@@ -528,12 +557,20 @@ impl HistogramTask {
         }
     }
 
-    /// Farm `strips` row strips of each frame to `pool` (Fig. 9 data
-    /// parallelism for T2).
+    /// Farm row strips of each frame to `pool` (Fig. 9 data parallelism for
+    /// T2). `strips` seeds a [`StripTuner`] that then re-derives the strip
+    /// count from measured per-strip kernel costs: small frames collapse to
+    /// fewer (down to a serial 1), big frames widen up to `2 × strips`.
     #[must_use]
     pub fn with_pool(mut self, pool: Arc<WorkerPool<PoolJob>>, strips: usize) -> Self {
-        self.pool = Some((pool, strips));
+        self.pool = Some((pool, Arc::new(StripTuner::new(strips, strips * 2))));
         self
+    }
+
+    /// The live strip count the tuner currently prescribes, when pooled.
+    #[must_use]
+    pub fn strips(&self) -> Option<usize> {
+        self.pool.as_ref().map(|(_, t)| t.strips())
     }
 
     /// Attach a runtime context (shared health, deadline, fault injection).
@@ -544,9 +581,17 @@ impl HistogramTask {
     }
 
     fn compute(&self, ts: Timestamp, frame: &Arc<PooledFrame>) -> ColorHist {
+        let backend = self.ctx.backend();
+        let region = frame.region();
+        // The tuner's prescription, clamped to what the frame can yield
+        // (split_rows rejects more strips than rows).
+        let strips = match &self.pool {
+            Some((_, tuner)) => tuner.strips().min(region.height().max(1)),
+            None => 1,
+        };
         match &self.pool {
-            Some((pool, strips)) if *strips > 1 => {
-                let regions = frame.region().split_rows(*strips);
+            Some((pool, tuner)) if strips > 1 => {
+                let regions = region.split_rows(strips);
                 let n = regions.len();
                 let (tx, rx) = bounded(n);
                 let rec = self.ctx.recorder();
@@ -557,6 +602,7 @@ impl HistogramTask {
                         idx,
                         ts: ts.0,
                         total: n as u16,
+                        backend,
                         rec: rec.clone(),
                         reply: tx.clone(),
                     });
@@ -570,8 +616,11 @@ impl HistogramTask {
                 // merged histogram stays bit-identical to the serial path.
                 let join_t0 = self.ctx.rec_now();
                 let mut parts: Vec<Option<ColorHist>> = (0..n).map(|_| None).collect();
-                for (idx, partial) in rx.iter() {
+                let mut frame_ns = 0u64;
+                for (idx, strip_ns, partial) in rx.iter() {
                     parts[idx] = Some(partial);
+                    frame_ns = frame_ns.saturating_add(strip_ns);
+                    self.ctx.record_chunk_cost(strip_ns);
                 }
                 self.ctx.rec_span(SpanKind::Join, ts.0, None, join_t0);
                 let mut merged = ColorHist::empty();
@@ -580,13 +629,14 @@ impl HistogramTask {
                         Some(p) => merged.merge(&p),
                         None => {
                             self.ctx.health().record_chunk_recompute();
-                            merged.merge(&ColorHist::of_region(frame, regions[idx]));
+                            merged.merge(&backend.region_histogram(frame, regions[idx]));
                         }
                     }
                 }
+                tuner.observe_frame(frame_ns);
                 merged
             }
-            _ => image_histogram(frame),
+            _ => backend.image_histogram(frame),
         }
     }
 
@@ -747,10 +797,19 @@ impl TaskBody for ChangeTask {
             Some(pool) => {
                 let frame = &cur.value;
                 let mut buf = pool.take_or(|| BitMask::new(frame.width, frame.height));
-                change_detection_into(frame, prev_frame, self.threshold, &mut buf);
+                self.ctx.backend().change_detection_into(
+                    frame,
+                    prev_frame,
+                    self.threshold,
+                    &mut buf,
+                );
                 buf
             }
-            None => Pooled::unpooled(change_detection(&cur.value, prev_frame, self.threshold)),
+            None => Pooled::unpooled(self.ctx.backend().change_detection(
+                &cur.value,
+                prev_frame,
+                self.threshold,
+            )),
         };
         self.ctx.work_end(c0);
         self.ctx.rec_span(SpanKind::Compute, ts.0, None, t0);
@@ -826,16 +885,22 @@ pub struct HistJob {
     /// Frame timestamp and total strip count, for span attribution.
     ts: u64,
     total: u16,
+    /// The compute backend the strip kernel dispatches through.
+    backend: &'static dyn ComputeBackend,
     /// Records a [`SpanKind::PoolChunk`] span on the worker thread.
     rec: Option<Recorder>,
-    reply: crossbeam::channel::Sender<(usize, ColorHist)>,
+    reply: crossbeam::channel::Sender<(usize, u64, ColorHist)>,
 }
 
 impl HistJob {
-    /// Compute the strip's partial histogram and send it to the joiner.
+    /// Compute the strip's partial histogram and send it — with the
+    /// kernel's wall time, the joiner's strip-tuning signal — to the
+    /// joiner.
     pub fn run(self) {
         let t0 = self.rec.as_ref().map(Recorder::now_ns);
-        let partial = ColorHist::of_region(&self.frame, self.region);
+        let k0 = Instant::now();
+        let partial = self.backend.region_histogram(&self.frame, self.region);
+        let kernel_ns = k0.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
         if let (Some(r), Some(t0)) = (&self.rec, t0) {
             let now = r.now_ns();
             r.span(
@@ -847,7 +912,7 @@ impl HistJob {
                 now,
             );
         }
-        let _ = self.reply.send((self.idx, partial));
+        let _ = self.reply.send((self.idx, kernel_ns, partial));
     }
 }
 

@@ -37,6 +37,7 @@ mod dot;
 mod graph;
 mod ids;
 mod state;
+mod tier;
 
 pub use analysis::{CriticalPath, GraphAnalysis};
 pub use comm::{CommCosts, Locality};
@@ -46,3 +47,4 @@ pub use dot::to_dot;
 pub use graph::{ChannelSpec, GraphError, Task, TaskGraph, TaskGraphBuilder};
 pub use ids::{ChanId, TaskId};
 pub use state::AppState;
+pub use tier::{permille_of, KernelTier, TierPricing};

@@ -1,0 +1,164 @@
+//! Kernel implementation tiers: the CPU-variant axis of the cost model.
+//!
+//! A task's kernel can have several implementations (scalar oracle, word
+//! bit-tricks, explicit SIMD) with very different constants on the same
+//! machine. Each tier is a *priced alternative* the schedule search can
+//! select per regime, exactly like the paper's Table 1 regime-dependent
+//! decompositions — the decomposition axis varies *how the data is split*,
+//! the tier axis varies *how fast each chunk runs*. [`TierPricing`] carries
+//! measured per-tier cost ratios and rescales a [`TaskGraph`]'s rows so the
+//! branch-and-bound search prices one tier at a time.
+
+use crate::cost::Micros;
+use crate::graph::TaskGraph;
+use crate::ids::TaskId;
+
+/// One kernel implementation tier, mirrored by the vision crate's
+/// `ComputeBackend` implementations (this crate stays dependency-free, so
+/// the mapping lives over there).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum KernelTier {
+    /// Pixel-at-a-time reference kernels — the bit-identity oracles.
+    Scalar,
+    /// u32/u64 word-load bit-trick kernels.
+    Word,
+    /// Explicit wide SIMD with runtime feature dispatch.
+    Simd,
+}
+
+impl KernelTier {
+    /// Every tier, in oracle-to-fastest order (the deterministic tie-break
+    /// order of the priced search).
+    pub const ALL: [KernelTier; 3] = [KernelTier::Scalar, KernelTier::Word, KernelTier::Simd];
+
+    /// Stable lower-case name (matches the `CDS_BACKEND` values).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            KernelTier::Scalar => "scalar",
+            KernelTier::Word => "word",
+            KernelTier::Simd => "simd",
+        }
+    }
+}
+
+/// Measured per-tier cost scale factors, in permille of the graph's
+/// baseline cost rows, for the tasks whose kernels are tier-dispatched.
+///
+/// A row `(tier, [(task, permille), …])` says: under `tier`, `task` costs
+/// `permille / 1000` of its baseline row. Tasks absent from a row keep
+/// their baseline cost (their kernels have a single implementation).
+#[derive(Clone, Debug, Default)]
+pub struct TierPricing {
+    rows: Vec<(KernelTier, Vec<(TaskId, u32)>)>,
+}
+
+impl TierPricing {
+    /// An empty pricing table (no tiers to choose from).
+    #[must_use]
+    pub fn new() -> TierPricing {
+        TierPricing { rows: Vec::new() }
+    }
+
+    /// Add one tier's measured factors. Replaces an existing row for the
+    /// same tier.
+    pub fn set_row(&mut self, tier: KernelTier, factors: Vec<(TaskId, u32)>) {
+        assert!(
+            factors.iter().all(|&(_, p)| p > 0),
+            "permille factors must be positive"
+        );
+        if let Some(row) = self.rows.iter_mut().find(|(t, _)| *t == tier) {
+            row.1 = factors;
+        } else {
+            self.rows.push((tier, factors));
+        }
+    }
+
+    /// The tiers with a row, in insertion order.
+    pub fn tiers(&self) -> impl Iterator<Item = KernelTier> + '_ {
+        self.rows.iter().map(|(t, _)| *t)
+    }
+
+    /// Number of priced tiers.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether no tier has been priced.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// The graph with `tier`'s factors applied to its cost rows. A tier
+    /// without a row returns the baseline graph unchanged.
+    #[must_use]
+    pub fn scaled(&self, graph: &TaskGraph, tier: KernelTier) -> TaskGraph {
+        let Some((_, factors)) = self.rows.iter().find(|(t, _)| *t == tier) else {
+            return graph.clone();
+        };
+        let mut g = graph.clone();
+        for &(task, permille) in factors {
+            if permille != 1000 {
+                g = g.with_scaled_cost(task, u64::from(permille), 1000);
+            }
+        }
+        g
+    }
+
+    /// Permille factor of `task` under `tier` (1000 when unpriced).
+    #[must_use]
+    pub fn factor(&self, tier: KernelTier, task: TaskId) -> u32 {
+        self.rows
+            .iter()
+            .find(|(t, _)| *t == tier)
+            .and_then(|(_, f)| f.iter().find(|(id, _)| *id == task))
+            .map_or(1000, |&(_, p)| p)
+    }
+}
+
+/// Derive a permille factor from two measured times (`tier_time` relative
+/// to `base_time`), clamped to at least 1 so a zero measurement cannot
+/// erase a cost row.
+#[must_use]
+pub fn permille_of(tier_time: Micros, base_time: Micros) -> u32 {
+    let base = base_time.0.max(1);
+    u32::try_from((tier_time.0.saturating_mul(1000) / base).max(1)).unwrap_or(u32::MAX)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builders;
+    use crate::state::AppState;
+
+    #[test]
+    fn scaled_graph_reprices_only_listed_tasks() {
+        let g = builders::color_tracker();
+        let t2 = g.task_by_name("Histogram").unwrap();
+        let t4 = g.task_by_name("Target Detection").unwrap();
+        let mut pricing = TierPricing::new();
+        pricing.set_row(KernelTier::Scalar, vec![(t2, 2500)]);
+        pricing.set_row(KernelTier::Simd, vec![(t2, 500)]);
+        let s = AppState::new(2);
+        let base = g.task(t2).cost.eval(&s);
+        let scalar = pricing.scaled(&g, KernelTier::Scalar);
+        let simd = pricing.scaled(&g, KernelTier::Simd);
+        assert_eq!(scalar.task(t2).cost.eval(&s).0, base.0 * 2500 / 1000);
+        assert_eq!(simd.task(t2).cost.eval(&s).0, base.0 * 500 / 1000);
+        // Unlisted task untouched; unpriced tier is the baseline.
+        assert_eq!(scalar.task(t4).cost.eval(&s), g.task(t4).cost.eval(&s));
+        let word = pricing.scaled(&g, KernelTier::Word);
+        assert_eq!(word.task(t2).cost.eval(&s), base);
+        assert_eq!(pricing.factor(KernelTier::Scalar, t2), 2500);
+        assert_eq!(pricing.factor(KernelTier::Scalar, t4), 1000);
+    }
+
+    #[test]
+    fn permille_rounds_down_and_never_hits_zero() {
+        assert_eq!(permille_of(Micros(250), Micros(1000)), 250);
+        assert_eq!(permille_of(Micros(3), Micros(2)), 1500);
+        assert_eq!(permille_of(Micros(0), Micros(1000)), 1);
+    }
+}

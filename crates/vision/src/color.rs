@@ -144,6 +144,19 @@ impl ColorHist {
         h
     }
 
+    /// Build a histogram from raw integer bin counts and a pixel total —
+    /// the assembly point for the SIMD backend's bank merge. Counts must be
+    /// exact pixel tallies (they are converted to `f32` exactly below 2²⁴,
+    /// the same argument as [`of_region`](Self::of_region)).
+    pub(crate) fn from_counts(counts: &[u32], total: f64) -> ColorHist {
+        let mut h = ColorHist::empty();
+        for (b, &c) in h.bins.iter_mut().zip(counts) {
+            *b = c as f32;
+        }
+        h.total = total;
+        h
+    }
+
     /// Reference pixel-at-a-time implementation of
     /// [`of_region`](Self::of_region); kept as the before/after oracle for
     /// the data-path benchmarks and equality tests.

@@ -140,6 +140,15 @@ impl Frame {
         &self.row(y)[x0 * 3..x1 * 3]
     }
 
+    /// Mutable row slice — the write-side twin of [`row`](Self::row), so
+    /// producers (the renderer's background pass) can stream a row without
+    /// per-pixel index math.
+    #[inline]
+    pub fn row_mut(&mut self, y: usize) -> &mut [u8] {
+        let w = self.width * 3;
+        &mut self.data[y * w..(y + 1) * w]
+    }
+
     /// Size in bytes (the channel item size of the "Frame" channel).
     #[must_use]
     pub fn byte_len(&self) -> usize {

@@ -36,6 +36,7 @@
 
 pub mod accuracy;
 pub mod adaptive;
+pub mod backend;
 pub mod calibrate;
 pub mod change;
 pub mod color;
@@ -45,11 +46,13 @@ pub mod frame;
 pub mod histogram;
 pub mod kiosk;
 pub mod peak;
+pub(crate) mod simd;
 pub mod synth;
 pub mod tracker;
 
 pub use accuracy::{AccuracyStats, AccuracyTracker};
 pub use adaptive::AdaptiveTracker;
+pub use backend::{active, BackendKind, ComputeBackend};
 pub use change::{change_detection, change_detection_into, change_detection_scalar};
 pub use color::ColorHist;
 pub use detect::{

@@ -1,0 +1,466 @@
+//! Explicit wide-SIMD kernel implementations for the `Simd` compute
+//! backend: SSE2/SSSE3/AVX2 via `std::arch` on x86_64 (AVX2 and SSSE3
+//! runtime-dispatched with `is_x86_feature_detected!`), NEON on aarch64.
+//!
+//! Every path here is bit-identical to the scalar oracles for the inputs
+//! the dispatching backend sends it — see the per-kernel notes. All blocks
+//! work on unaligned loads, and every row/word tail falls back to the same
+//! scalar arithmetic the word kernels use, so odd widths and misaligned
+//! region offsets cost nothing in correctness.
+
+/// Gather every third bit of `x` (positions 0, 3, 6, …) into the low bits
+/// of the result — the 3-interleave decode step of a Morton code. Valid for
+/// source bits at positions ≤ 60 (callers keep inputs within 48 bits); used
+/// to turn per-*byte* compare masks (one bit per R/G/B byte offset) into
+/// one predicate bit per *pixel*.
+#[cfg(any(target_arch = "x86_64", test))]
+#[inline]
+pub(crate) fn every_third_bit(x: u64) -> u64 {
+    let mut x = x & 0x1249_2492_4924_9249;
+    x = (x ^ (x >> 2)) & 0x10c3_0c30_c30c_30c3;
+    x = (x ^ (x >> 4)) & 0x100f_00f0_0f00_f00f;
+    x = (x ^ (x >> 8)) & 0x001f_0000_ff00_00ff;
+    x = (x ^ (x >> 16)) & 0x001f_0000_0000_ffff;
+    (x ^ (x >> 32)) & 0x001f_ffff
+}
+
+#[cfg(target_arch = "x86_64")]
+pub(crate) mod x86 {
+    //! x86_64 paths. SSE2 is architecturally guaranteed; SSSE3 (histogram
+    //! deinterleave) and AVX2 (32-pixel change blocks) are checked at run
+    //! time by the entry points, which report whether they ran.
+
+    use core::arch::x86_64::*;
+
+    use super::every_third_bit;
+    use crate::color::{bin_of, ColorHist, N_BINS};
+    use crate::frame::{BitMask, Frame, Region};
+
+    // ---------------------------------------------------------------- T3 —
+    // change detection. A pixel is "moving" when the summed per-channel
+    // absolute difference D = Σ|cur−prev| exceeds the threshold T. The SIMD
+    // sum saturates at 255, and min(D, 255) > T ⇔ D > T whenever T ≤ 254,
+    // so the dispatcher only sends thresholds < 255 here (larger ones go to
+    // the word kernel).
+
+    /// One 16-pixel block at byte offset `0` of `cur`/`old` (48 bytes each,
+    /// caller-guaranteed readable): per-byte absolute differences, 3-byte
+    /// sliding sums through a zero-padded scratch, saturating threshold
+    /// compare, then the per-byte mask is compacted to one bit per pixel.
+    #[inline]
+    #[target_feature(enable = "sse2")]
+    unsafe fn change_block16_sse2(cur: *const u8, old: *const u8, thr: u8) -> u64 {
+        let mut scratch = [0u8; 64];
+        for i in 0..3 {
+            let a = _mm_loadu_si128(cur.add(16 * i).cast());
+            let b = _mm_loadu_si128(old.add(16 * i).cast());
+            let d = _mm_or_si128(_mm_subs_epu8(a, b), _mm_subs_epu8(b, a));
+            _mm_storeu_si128(scratch.as_mut_ptr().add(16 * i).cast(), d);
+        }
+        let t = _mm_set1_epi8(thr as i8);
+        let zero = _mm_setzero_si128();
+        let mut m = 0u64;
+        for g in 0..3 {
+            // Sliding reloads at +0/+1/+2 give s[j] = d[j] + d[j+1] + d[j+2]
+            // in every byte lane; the last loads run into the zeroed pad.
+            let v0 = _mm_loadu_si128(scratch.as_ptr().add(16 * g).cast());
+            let v1 = _mm_loadu_si128(scratch.as_ptr().add(16 * g + 1).cast());
+            let v2 = _mm_loadu_si128(scratch.as_ptr().add(16 * g + 2).cast());
+            let s = _mm_adds_epu8(_mm_adds_epu8(v0, v1), v2);
+            // s > thr ⇔ saturating_sub(s, thr) ≠ 0 (no unsigned gt in SSE2).
+            let le = _mm_cmpeq_epi8(_mm_subs_epu8(s, t), zero);
+            let gt = u64::from(!(_mm_movemask_epi8(le) as u32) & 0xFFFF);
+            m |= gt << (16 * g);
+        }
+        // Pixel k's sum sits at byte position 3k of the 48-bit mask.
+        every_third_bit(m)
+    }
+
+    /// The 32-pixel AVX2 variant of [`change_block16_sse2`] (96 bytes per
+    /// frame, caller-guaranteed readable).
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    unsafe fn change_block32_avx2(cur: *const u8, old: *const u8, thr: u8) -> u64 {
+        let mut scratch = [0u8; 128];
+        for i in 0..3 {
+            let a = _mm256_loadu_si256(cur.add(32 * i).cast());
+            let b = _mm256_loadu_si256(old.add(32 * i).cast());
+            let d = _mm256_or_si256(_mm256_subs_epu8(a, b), _mm256_subs_epu8(b, a));
+            _mm256_storeu_si256(scratch.as_mut_ptr().add(32 * i).cast(), d);
+        }
+        let t = _mm256_set1_epi8(thr as i8);
+        let zero = _mm256_setzero_si256();
+        let mut gm = [0u64; 3];
+        for (g, m) in gm.iter_mut().enumerate() {
+            let v0 = _mm256_loadu_si256(scratch.as_ptr().add(32 * g).cast());
+            let v1 = _mm256_loadu_si256(scratch.as_ptr().add(32 * g + 1).cast());
+            let v2 = _mm256_loadu_si256(scratch.as_ptr().add(32 * g + 2).cast());
+            let s = _mm256_adds_epu8(_mm256_adds_epu8(v0, v1), v2);
+            let le = _mm256_cmpeq_epi8(_mm256_subs_epu8(s, t), zero);
+            *m = u64::from(!(_mm256_movemask_epi8(le) as u32));
+        }
+        // 96 byte positions; pixels 0..15 live in bytes 0..47 and pixels
+        // 16..31 in bytes 48..95 — split so each compaction input stays
+        // within every_third_bit's 48-bit domain.
+        let lo = gm[0] | (gm[1] & 0xFFFF) << 32;
+        let hi = (gm[1] >> 16) | gm[2] << 16;
+        every_third_bit(lo) | every_third_bit(hi) << 16
+    }
+
+    macro_rules! change_words_driver {
+        ($name:ident, $feature:literal, $lanes:literal, $block:ident) => {
+            /// Fill `words` with the change mask of `n_pixels` interleaved
+            /// RGB pixels: SIMD blocks while a full block fits inside the
+            /// current 64-pixel word, scalar arithmetic for the tail. The
+            /// final word's padding bits stay clear, exactly like the word
+            /// kernel.
+            #[target_feature(enable = $feature)]
+            unsafe fn $name(cur: &[u8], old: &[u8], n_pixels: usize, thr: u8, words: &mut [u64]) {
+                for (wi, word) in words.iter_mut().enumerate() {
+                    let p = wi * 64;
+                    let in_word = (n_pixels - p).min(64);
+                    let mut acc = 0u64;
+                    let mut k = 0usize;
+                    // k + LANES ≤ in_word ≤ n_pixels − p bounds every block
+                    // read: 3·(p + k) + 3·LANES ≤ 3·n_pixels = buffer length.
+                    while k + $lanes <= in_word {
+                        let at = 3 * (p + k);
+                        let bits = $block(cur.as_ptr().add(at), old.as_ptr().add(at), thr);
+                        acc |= bits << k;
+                        k += $lanes;
+                    }
+                    while k < in_word {
+                        let i = 3 * (p + k);
+                        let d = u16::from(cur[i].abs_diff(old[i]))
+                            + u16::from(cur[i + 1].abs_diff(old[i + 1]))
+                            + u16::from(cur[i + 2].abs_diff(old[i + 2]));
+                        acc |= u64::from(d > u16::from(thr)) << k;
+                        k += 1;
+                    }
+                    *word = acc;
+                }
+            }
+        };
+    }
+
+    change_words_driver!(change_words_sse2, "sse2", 16, change_block16_sse2);
+    change_words_driver!(change_words_avx2, "avx2", 32, change_block32_avx2);
+
+    /// SIMD change detection into a caller-provided mask. Caller has
+    /// already handled `prev = None`, size checks, and `threshold ≥ 255`.
+    /// AVX2 when the host has it, SSE2 (baseline on x86_64) otherwise.
+    pub(crate) fn change_detection_into(frame: &Frame, prev: &Frame, thr: u8, out: &mut BitMask) {
+        let n = frame.width * frame.height;
+        let (cur, old) = (frame.bytes(), prev.bytes());
+        let words = out.words_mut();
+        // SAFETY: both buffers are exactly 3·n bytes and the drivers bound
+        // every 3·LANES-byte block read by k + LANES ≤ n − p (see the
+        // driver comment); the AVX2 path runs only when detected, SSE2 is
+        // architecturally guaranteed on x86_64.
+        if is_x86_feature_detected!("avx2") {
+            unsafe { change_words_avx2(cur, old, n, thr, words) }
+        } else {
+            unsafe { change_words_sse2(cur, old, n, thr, words) }
+        }
+    }
+
+    // ---------------------------------------------------------------- T2 —
+    // region histogram. SSSE3 `pshufb` deinterleaves 16 RGB pixels into
+    // channel vectors, the 4-bit quantized bin index (r₄ g₄ b₄) is computed
+    // in-register for all 16 pixels, and the increments stay scalar over
+    // four banks (exactly the banked layout of the word kernel). Counts are
+    // integers, so any accumulation order is bit-identical.
+
+    /// Bin indices of 16 pixels (48 bytes at `px`, caller-guaranteed
+    /// readable) into `idx`: `idx[j] = (r>>4)<<8 | (g>>4)<<4 | (b>>4)`.
+    #[inline]
+    #[target_feature(enable = "ssse3")]
+    unsafe fn hist_block16_ssse3(px: *const u8, idx: &mut [u16; 16]) {
+        // pshufb selectors gathering channel c of pixel i (source byte
+        // 3i + c) from whichever of the three 16-byte loads holds it; −1
+        // lanes produce zero and are filled by OR from the other loads.
+        const SR: [[i8; 16]; 3] = [
+            [0, 3, 6, 9, 12, 15, -1, -1, -1, -1, -1, -1, -1, -1, -1, -1],
+            [-1, -1, -1, -1, -1, -1, 2, 5, 8, 11, 14, -1, -1, -1, -1, -1],
+            [-1, -1, -1, -1, -1, -1, -1, -1, -1, -1, -1, 1, 4, 7, 10, 13],
+        ];
+        const SG: [[i8; 16]; 3] = [
+            [1, 4, 7, 10, 13, -1, -1, -1, -1, -1, -1, -1, -1, -1, -1, -1],
+            [-1, -1, -1, -1, -1, 0, 3, 6, 9, 12, 15, -1, -1, -1, -1, -1],
+            [-1, -1, -1, -1, -1, -1, -1, -1, -1, -1, -1, 2, 5, 8, 11, 14],
+        ];
+        const SB: [[i8; 16]; 3] = [
+            [2, 5, 8, 11, 14, -1, -1, -1, -1, -1, -1, -1, -1, -1, -1, -1],
+            [-1, -1, -1, -1, -1, 1, 4, 7, 10, 13, -1, -1, -1, -1, -1, -1],
+            [-1, -1, -1, -1, -1, -1, -1, -1, -1, -1, 0, 3, 6, 9, 12, 15],
+        ];
+        let d = [
+            _mm_loadu_si128(px.cast()),
+            _mm_loadu_si128(px.add(16).cast()),
+            _mm_loadu_si128(px.add(32).cast()),
+        ];
+        let mut r = _mm_setzero_si128();
+        let mut g = _mm_setzero_si128();
+        let mut b = _mm_setzero_si128();
+        for i in 0..3 {
+            r = _mm_or_si128(
+                r,
+                _mm_shuffle_epi8(d[i], _mm_loadu_si128(SR[i].as_ptr().cast())),
+            );
+            g = _mm_or_si128(
+                g,
+                _mm_shuffle_epi8(d[i], _mm_loadu_si128(SG[i].as_ptr().cast())),
+            );
+            b = _mm_or_si128(
+                b,
+                _mm_shuffle_epi8(d[i], _mm_loadu_si128(SB[i].as_ptr().cast())),
+            );
+        }
+        let lo_nib = _mm_set1_epi8(0x0F);
+        let hi = _mm_and_si128(_mm_srli_epi16(r, 4), lo_nib);
+        let lo = _mm_or_si128(
+            _mm_and_si128(g, _mm_set1_epi8(0xF0u8 as i8)),
+            _mm_and_si128(_mm_srli_epi16(b, 4), lo_nib),
+        );
+        // Interleave to 16-bit lanes: lane j = lo[j] | hi[j] << 8.
+        _mm_storeu_si128(idx.as_mut_ptr().cast(), _mm_unpacklo_epi8(lo, hi));
+        _mm_storeu_si128(idx.as_mut_ptr().add(8).cast(), _mm_unpackhi_epi8(lo, hi));
+    }
+
+    /// One region row into the four count banks (`banks.len() == 4·N_BINS`).
+    #[target_feature(enable = "ssse3")]
+    unsafe fn hist_row_ssse3(row: &[u8], banks: &mut [u32]) {
+        let (b0, rest) = banks.split_at_mut(N_BINS);
+        let (b1, rest) = rest.split_at_mut(N_BINS);
+        let (b2, b3) = rest.split_at_mut(N_BINS);
+        let m = N_BINS - 1; // no-op mask that drops the bounds checks
+        let mut idx = [0u16; 16];
+        let mut blocks = row.chunks_exact(48);
+        for blk in blocks.by_ref() {
+            hist_block16_ssse3(blk.as_ptr(), &mut idx);
+            for j in (0..16).step_by(4) {
+                b0[idx[j] as usize & m] += 1;
+                b1[idx[j + 1] as usize & m] += 1;
+                b2[idx[j + 2] as usize & m] += 1;
+                b3[idx[j + 3] as usize & m] += 1;
+            }
+        }
+        for px in blocks.remainder().chunks_exact(3) {
+            b0[bin_of([px[0], px[1], px[2]]) & m] += 1;
+        }
+    }
+
+    /// SSSE3 region histogram; `None` when the host lacks SSSE3 (the
+    /// dispatcher then falls back to the word kernel).
+    pub(crate) fn region_histogram(frame: &Frame, region: Region) -> Option<ColorHist> {
+        if !is_x86_feature_detected!("ssse3") {
+            return None;
+        }
+        let mut banks = vec![0u32; 4 * N_BINS];
+        for y in region.y0..region.y1 {
+            let row = frame.row_range(y, region.x0, region.x1);
+            // SAFETY: SSSE3 verified above; the block reads 48 bytes per
+            // `chunks_exact(48)` chunk, all inside `row`.
+            unsafe { hist_row_ssse3(row, &mut banks) }
+        }
+        let (merged, rest) = banks.split_at_mut(N_BINS);
+        for (i, c) in merged.iter_mut().enumerate() {
+            *c += rest[i] + rest[N_BINS + i] + rest[2 * N_BINS + i];
+        }
+        Some(ColorHist::from_counts(merged, region.area() as f64))
+    }
+
+    /// Human-readable feature set the dispatcher will actually use.
+    pub(crate) fn feature_string() -> String {
+        let mut s = String::from("sse2");
+        if is_x86_feature_detected!("ssse3") {
+            s.push_str("+ssse3");
+        }
+        if is_x86_feature_detected!("avx2") {
+            s.push_str("+avx2");
+        }
+        s
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+        use crate::change::change_detection_scalar;
+
+        fn noisy_pair(w: usize, h: usize) -> (Frame, Frame) {
+            let mut a = Frame::new(w, h);
+            let mut b = Frame::new(w, h);
+            let mut s = 0xACE1u32;
+            for y in 0..h {
+                for x in 0..w {
+                    s = s.wrapping_mul(1_103_515_245).wrapping_add(12_345);
+                    a.set_pixel(x, y, [(s >> 8) as u8, (s >> 16) as u8, (s >> 24) as u8]);
+                    s = s.wrapping_mul(1_103_515_245).wrapping_add(12_345);
+                    b.set_pixel(x, y, [(s >> 8) as u8, (s >> 16) as u8, (s >> 24) as u8]);
+                }
+            }
+            (a, b)
+        }
+
+        #[test]
+        fn sse2_and_avx2_words_match_scalar() {
+            // 37×29 leaves a partial final word and a non-multiple-of-16
+            // tail; 16×4 is exactly one word of full blocks.
+            for (w, h) in [(37usize, 29usize), (16, 4), (5, 3), (64, 2)] {
+                let (a, b) = noisy_pair(w, h);
+                for thr in [0u8, 10, 24, 80, 254] {
+                    let slow = change_detection_scalar(&a, Some(&b), u16::from(thr));
+                    let mut fast = BitMask::all_set(w, h);
+                    let n = w * h;
+                    // SAFETY: same bounds argument as the dispatcher.
+                    unsafe {
+                        change_words_sse2(a.bytes(), b.bytes(), n, thr, fast.words_mut());
+                    }
+                    assert_eq!(fast, slow, "sse2 {w}x{h} thr {thr}");
+                    if is_x86_feature_detected!("avx2") {
+                        let mut fast = BitMask::all_set(w, h);
+                        // SAFETY: avx2 detected; same bounds argument.
+                        unsafe {
+                            change_words_avx2(a.bytes(), b.bytes(), n, thr, fast.words_mut());
+                        }
+                        assert_eq!(fast, slow, "avx2 {w}x{h} thr {thr}");
+                    }
+                }
+            }
+        }
+
+        #[test]
+        fn ssse3_histogram_matches_word_kernel() {
+            if !is_x86_feature_detected!("ssse3") {
+                return;
+            }
+            let (a, _) = noisy_pair(23, 17);
+            for region in [
+                a.region(),
+                Region {
+                    x0: 3,
+                    y0: 2,
+                    x1: 20,
+                    y1: 15,
+                },
+                Region {
+                    x0: 1,
+                    y0: 0,
+                    x1: 4,
+                    y1: 2,
+                }, // below one lane
+            ] {
+                let fast = region_histogram(&a, region).unwrap();
+                let slow = ColorHist::of_region_scalar(&a, region);
+                assert_eq!(fast, slow, "{region:?}");
+            }
+        }
+    }
+}
+
+#[cfg(target_arch = "aarch64")]
+pub(crate) mod neon {
+    //! NEON change detection (guaranteed on aarch64). The histogram and
+    //! render kernels delegate to the word tier there — the deinterleaving
+    //! loads exist (`vld3q_u8`) but have not been profiled on real silicon,
+    //! so only the obviously-translatable kernel is ported.
+
+    use core::arch::aarch64::*;
+
+    use crate::frame::{BitMask, Frame};
+
+    /// One 16-pixel block (48 bytes each side, caller-guaranteed readable).
+    /// NEON has no movemask; the 16 comparison lanes of interest round-trip
+    /// through a byte scratch and are packed scalarly.
+    #[inline]
+    #[target_feature(enable = "neon")]
+    unsafe fn change_block16_neon(cur: *const u8, old: *const u8, thr: u8) -> u64 {
+        let mut diff = [0u8; 64];
+        for i in 0..3 {
+            let a = vld1q_u8(cur.add(16 * i));
+            let b = vld1q_u8(old.add(16 * i));
+            vst1q_u8(diff.as_mut_ptr().add(16 * i), vabdq_u8(a, b));
+        }
+        let t = vdupq_n_u8(thr);
+        let mut cmp = [0u8; 48];
+        for g in 0..3 {
+            let v0 = vld1q_u8(diff.as_ptr().add(16 * g));
+            let v1 = vld1q_u8(diff.as_ptr().add(16 * g + 1));
+            let v2 = vld1q_u8(diff.as_ptr().add(16 * g + 2));
+            let s = vqaddq_u8(vqaddq_u8(v0, v1), v2);
+            vst1q_u8(cmp.as_mut_ptr().add(16 * g), vcgtq_u8(s, t));
+        }
+        let mut bits = 0u64;
+        for k in 0..16 {
+            // Pixel k's saturating sum lives at byte position 3k.
+            bits |= u64::from(cmp[3 * k] != 0) << k;
+        }
+        bits
+    }
+
+    #[target_feature(enable = "neon")]
+    unsafe fn change_words_neon(
+        cur: &[u8],
+        old: &[u8],
+        n_pixels: usize,
+        thr: u8,
+        words: &mut [u64],
+    ) {
+        for (wi, word) in words.iter_mut().enumerate() {
+            let p = wi * 64;
+            let in_word = (n_pixels - p).min(64);
+            let mut acc = 0u64;
+            let mut k = 0usize;
+            while k + 16 <= in_word {
+                let at = 3 * (p + k);
+                let bits = change_block16_neon(cur.as_ptr().add(at), old.as_ptr().add(at), thr);
+                acc |= bits << k;
+                k += 16;
+            }
+            while k < in_word {
+                let i = 3 * (p + k);
+                let d = u16::from(cur[i].abs_diff(old[i]))
+                    + u16::from(cur[i + 1].abs_diff(old[i + 1]))
+                    + u16::from(cur[i + 2].abs_diff(old[i + 2]));
+                acc |= u64::from(d > u16::from(thr)) << k;
+                k += 1;
+            }
+            *word = acc;
+        }
+    }
+
+    /// NEON change detection into a caller-provided mask; same dispatcher
+    /// contract as the x86 path (no `None` prev, sizes checked, thr < 255).
+    pub(crate) fn change_detection_into(frame: &Frame, prev: &Frame, thr: u8, out: &mut BitMask) {
+        let n = frame.width * frame.height;
+        // SAFETY: buffers are 3·n bytes; blocks read 48 bytes at 3·(p+k)
+        // only while k + 16 ≤ n − p; NEON is baseline on aarch64.
+        unsafe { change_words_neon(frame.bytes(), prev.bytes(), n, thr, out.words_mut()) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::every_third_bit;
+
+    #[test]
+    fn every_third_bit_matches_naive_gather() {
+        let naive = |x: u64| -> u64 {
+            let mut out = 0u64;
+            for k in 0..16 {
+                out |= ((x >> (3 * k)) & 1) << k;
+            }
+            out
+        };
+        let mut s = 0x1234_5678_9ABC_DEF0u64;
+        for _ in 0..1000 {
+            s = s
+                .wrapping_mul(6_364_136_223_846_793_005)
+                .wrapping_add(1_442_695_040_888_963_407);
+            let x = s & 0xFFFF_FFFF_FFFF; // 48-bit domain
+            assert_eq!(every_third_bit(x), naive(x), "x = {x:#x}");
+        }
+        assert_eq!(every_third_bit(0xFFFF_FFFF_FFFF), 0xFFFF);
+        assert_eq!(every_third_bit(0b100_1001), 0b111);
+    }
+}

@@ -215,6 +215,41 @@ impl Scene {
                 f.set_pixel(x, y, [jitter(&mut rng), jitter(&mut rng), jitter(&mut rng)]);
             }
         }
+        self.render_targets(frame, f, &mut rng);
+    }
+
+    /// [`render_into`](Self::render_into) with a row-sliced background pass:
+    /// each row is written through one `chunks_exact_mut(3)` stream instead
+    /// of per-pixel `set_pixel` index math. The RNG draw order is identical
+    /// (row-major, three draws per pixel), so the output is bit-identical to
+    /// [`render_into`](Self::render_into) — asserted by tests and used by
+    /// the word/SIMD compute backends. The renderer is inherently
+    /// draw-serial (every channel consumes one sequential RNG sample), so
+    /// this is as wide as T1 gets without changing the stream contract.
+    pub fn render_into_fast(&self, frame: u64, f: &mut Frame) {
+        assert_eq!(
+            (f.width, f.height),
+            (self.width, self.height),
+            "frame buffer size must match scene"
+        );
+        let mut rng = StdRng::seed_from_u64(self.seed ^ frame.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let n = i16::from(self.noise);
+        for y in 0..self.height {
+            let row = f.row_mut(y);
+            for (x, px) in row.chunks_exact_mut(3).enumerate() {
+                let base = 80 + (((x / 8) + (y / 8)) % 2) as i16 * 20;
+                px[0] = (base + rng.random_range(-n..=n)).clamp(0, 255) as u8;
+                px[1] = (base + rng.random_range(-n..=n)).clamp(0, 255) as u8;
+                px[2] = (base + rng.random_range(-n..=n)).clamp(0, 255) as u8;
+            }
+        }
+        self.render_targets(frame, f, &mut rng);
+    }
+
+    /// The target overlay pass shared by both render paths; consumes `rng`
+    /// exactly where the background pass left it.
+    fn render_targets(&self, frame: u64, f: &mut Frame, rng: &mut StdRng) {
+        let n = i16::from(self.noise);
         for (i, t) in self.targets.iter().enumerate() {
             if !self.is_visible(i, frame) {
                 continue;
@@ -290,6 +325,19 @@ mod tests {
         let mut reused = s.render(3);
         s.render_into(4, &mut reused);
         assert_eq!(reused, fresh);
+    }
+
+    #[test]
+    fn fast_render_is_bit_identical_to_oracle() {
+        // Odd width exercises the row-slice edges; a dirty recycled buffer
+        // must come out identical too.
+        let s = Scene::demo(81, 59, 3, 7).with_visit(2, 10, 20);
+        for frame in [0u64, 4, 15] {
+            let oracle = s.render(frame);
+            let mut fast = s.render(frame.wrapping_add(1));
+            s.render_into_fast(frame, &mut fast);
+            assert_eq!(fast, oracle, "frame {frame}");
+        }
     }
 
     #[test]
