@@ -22,9 +22,10 @@
 //!    covered is synthesized online, persisted through the schedule cache,
 //!    and served *without a search* by a fresh loop sharing the cache.
 //!
-//! Output goes to stdout and (by default) `results/adapt.txt`. Exit code is
-//! non-zero when a structural check fails (drift not detected, swap never
-//! landing, restart re-searching instead of hitting the cache).
+//! Output goes to stdout and (by default) `results/adapt.txt`; `--json PATH`
+//! additionally writes a machine-readable report. Exit code is non-zero when
+//! a structural check fails (drift not detected, swap never landing, restart
+//! re-searching instead of hitting the cache).
 
 use std::fmt::Write as _;
 use std::sync::Arc;
@@ -33,6 +34,7 @@ use std::time::{Duration, Instant};
 use cds_core::optimal::{optimal_schedule_warm, OptimalConfig};
 use cds_core::table::ScheduleTable;
 use cluster::ClusterSpec;
+use kiosk_bench::{Json, JsonReport};
 use obs::{FrameOutcome, SpanKind, TraceMode};
 use runtime::{
     AdaptConfig, AdaptLoop, FaultPlan, OnlineExecutor, RegimeController, Stage, TrackerApp,
@@ -45,6 +47,7 @@ struct Args {
     frames: u64,
     quick: bool,
     out: String,
+    json: Option<String>,
 }
 
 fn parse_args() -> Args {
@@ -52,6 +55,7 @@ fn parse_args() -> Args {
         frames: 120,
         quick: false,
         out: "results/adapt.txt".to_string(),
+        json: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -62,8 +66,11 @@ fn parse_args() -> Args {
             }
             "--quick" => args.quick = true,
             "--out" => args.out = it.next().expect("--out needs a path"),
+            "--json" => args.json = Some(it.next().expect("--json needs a path")),
             other => {
-                eprintln!("unknown flag {other}; usage: adapt [--frames N] [--quick] [--out PATH]");
+                eprintln!(
+                    "unknown flag {other}; usage: adapt [--frames N] [--quick] [--out PATH] [--json PATH]"
+                );
                 std::process::exit(2);
             }
         }
@@ -436,7 +443,8 @@ fn main() {
             s.last_detect_to_swap.unwrap_or_default(),
         ))
     };
-    if let Some((nodes, d2s)) = synth_loop("synthesis", &mut failures) {
+    let synth_res = synth_loop("synthesis", &mut failures);
+    if let Some((nodes, d2s)) = synth_res {
         out!(
             "synthesis of unseen regime 4: {} nodes, detection->swap {:.1}ms, persisted to cache",
             nodes,
@@ -446,7 +454,8 @@ fn main() {
             failures.push("first synthesis should be a real search, not a cache hit".to_string());
         }
     }
-    if let Some((nodes, d2s)) = synth_loop("restart", &mut failures) {
+    let restart_res = synth_loop("restart", &mut failures);
+    if let Some((nodes, d2s)) = restart_res {
         out!(
             "restart (fresh loop, same cache): {} nodes, detection->swap {:.1}ms",
             nodes,
@@ -461,6 +470,48 @@ fn main() {
         }
     }
     let _ = std::fs::remove_dir_all(&cache_dir);
+
+    // ---- Machine-readable report. ----
+    if let Some(path) = &args.json {
+        let mut json = JsonReport::new("adapt");
+        json.meta("frames", Json::Num(n_frames as f64));
+        json.meta("budget_ms", Json::Num(budget.as_secs_f64() * 1e3));
+        json.meta("drift_windows", Json::Num(a.drift_windows as f64));
+        json.meta("launches", Json::Num(a.launches as f64));
+        json.meta("installs", Json::Num(a.installs as f64));
+        json.meta(
+            "detect_to_swap_ms",
+            Json::Num(
+                a.last_detect_to_swap
+                    .map_or(f64::NAN, |d| d.as_secs_f64() * 1e3),
+            ),
+        );
+        json.meta("cold_nodes", Json::Num(cold.nodes_explored as f64));
+        json.meta("warm_nodes", Json::Num(warm.nodes_explored as f64));
+        json.meta(
+            "synthesis_nodes",
+            Json::Num(synth_res.map_or(f64::NAN, |(n, _)| n as f64)),
+        );
+        json.meta(
+            "restart_nodes",
+            Json::Num(restart_res.map_or(f64::NAN, |(n, _)| n as f64)),
+        );
+        json.meta("failures", Json::Num(failures.len() as f64));
+        for (name, (ok, missed)) in ["pre-drift", "drift", "post-drift"].iter().zip(&counts) {
+            json.row(vec![
+                ("phase", Json::Str((*name).to_string())),
+                ("in_budget", Json::Num(*ok as f64)),
+                ("missed", Json::Num(*missed as f64)),
+            ]);
+        }
+        match json.write(std::path::Path::new(path)) {
+            Ok(()) => out!("json report written to {path}"),
+            Err(e) => {
+                eprintln!("[FAIL] could not write {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
 
     // ---- Verdict + report file. ----
     if failures.is_empty() {

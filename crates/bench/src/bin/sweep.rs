@@ -19,8 +19,9 @@
 //!
 //! Flags: `--runs N` (sweep size, default 120), `--frames N` (frames per
 //! run, default 160), `--threads N` (sweep workers, default auto),
-//! `--smoke` (tiny sweep, parallel driver checked against a golden serial
-//! result; exits non-zero on mismatch — the CI step).
+//! `--json PATH` (machine-readable report), `--smoke` (tiny sweep, parallel
+//! driver checked against a golden serial result; exits non-zero on
+//! mismatch — the CI step).
 
 use std::time::Instant;
 
@@ -28,7 +29,7 @@ use cluster::sweep::{sweep, SweepConfig};
 use cluster::{
     simulate_online_ref, ClusterSpec, FrameClock, Metrics, OnlineConfig, SimArena, TraceMode,
 };
-use kiosk_bench::{csv_line, print_table, run_checks};
+use kiosk_bench::{csv_line, print_table, run_checks, Json, JsonReport};
 use taskgraph::{builders, AppState, Decomposition, Micros, TaskGraph};
 
 fn arg(args: &[String], flag: &str, default: u64) -> u64 {
@@ -37,6 +38,13 @@ fn arg(args: &[String], flag: &str, default: u64) -> u64 {
         .and_then(|i| args.get(i + 1))
         .and_then(|v| v.parse().ok())
         .unwrap_or(default)
+}
+
+fn arg_str(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
 }
 
 /// The Fig. 3-shaped workload: the color tracker at 8 models with the MP=8
@@ -261,6 +269,31 @@ fn main() {
         "\nsweep driver: {stats} | every rep identical to the serial reference \
          | medians of {sweep_reps} alternating before/after reps"
     );
+    if let Some(path) = arg_str(&args, "--json") {
+        let mut json = JsonReport::new("sweep");
+        json.meta("frames", Json::Num(frames as f64));
+        json.meta("runs", Json::Num(runs as f64));
+        json.row(vec![
+            ("benchmark", Json::Str("single_run".to_string())),
+            ("before_ns", Json::Num(single_before)),
+            ("after_ns", Json::Num(single_after)),
+            ("speedup", Json::Num(single_speedup)),
+        ]);
+        json.row(vec![
+            ("benchmark", Json::Str(format!("sweep_{runs}_runs"))),
+            ("before_ns", Json::Num(sweep_before_s * 1e9)),
+            ("after_ns", Json::Num(sweep_after_s * 1e9)),
+            ("speedup", Json::Num(sweep_speedup)),
+        ]);
+        match json.write(std::path::Path::new(&path)) {
+            Ok(()) => println!("json report written to {path}"),
+            Err(e) => {
+                eprintln!("[FAIL] could not write {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+
     println!("\nshape checks:");
     let checks = [
         (

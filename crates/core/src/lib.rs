@@ -48,6 +48,7 @@ pub mod persist;
 pub mod pipeline;
 pub mod pricing;
 pub mod schedule;
+pub mod sharedcache;
 pub mod switcher;
 pub mod table;
 pub mod tuning;
@@ -67,6 +68,9 @@ pub use persist::{
 pub use pipeline::naive_pipeline;
 pub use pricing::{optimal_schedule_priced, precompute_priced, PricedResult, PricedTable};
 pub use schedule::{IterationSchedule, PipelinedSchedule, Placement, StagePrediction};
+pub use sharedcache::{
+    CollectionStrategy, GcMap, LruStrategy, SharedScheduleCache, TrackableValue,
+};
 pub use switcher::{simulate_regime_switched, SwitchConfig, TransitionPolicy};
 pub use table::{ScheduleTable, TableBuildStats};
 pub use tuning::{tuning_curve, TuningPoint};

@@ -119,6 +119,61 @@ impl ScheduleTable {
         (ScheduleTable { entries }, stats)
     }
 
+    /// [`ScheduleTable::precompute`], going through the process-wide
+    /// [`SharedScheduleCache`](crate::sharedcache::SharedScheduleCache)
+    /// first, then the optional persistent disk cache, then the search.
+    ///
+    /// This is the fleet build path: when N tenants of the same application
+    /// build their tables against the same cluster, the first one to reach
+    /// each `(state, key)` runs the search (single-flight) and every other
+    /// tenant shares the in-memory result — N tables, one search per state.
+    /// Search results are written through to `disk` (best-effort) so the
+    /// *next process* is warm too.
+    #[must_use]
+    pub fn precompute_shared(
+        graph: &TaskGraph,
+        cluster: &ClusterSpec,
+        states: &[AppState],
+        cfg: &OptimalConfig,
+        shared: &crate::sharedcache::SharedScheduleCache,
+        disk: Option<&ScheduleCache>,
+    ) -> (Self, TableBuildStats) {
+        let mut entries = BTreeMap::new();
+        let mut stats = TableBuildStats::default();
+        for s in states {
+            let k = schedule_cache_key(graph, cluster, s, cfg);
+            let mut missed = None;
+            let mut nodes = 0;
+            let sched = shared.get_or_search(k, || {
+                if let Some(disk) = disk {
+                    match disk.load(k, graph, cluster, s) {
+                        Ok(sched) => return sched,
+                        Err(CacheMiss::Absent) => missed = Some(CacheMiss::Absent),
+                        Err(CacheMiss::Invalidated) => missed = Some(CacheMiss::Invalidated),
+                    }
+                } else {
+                    missed = Some(CacheMiss::Absent);
+                }
+                let result = optimal_schedule(graph, cluster, s, cfg);
+                nodes = result.nodes_explored;
+                if let Some(disk) = disk {
+                    // Best-effort write-through, as in precompute_with_cache.
+                    let _ = disk.store(k, &result.best);
+                }
+                result.best
+            });
+            match missed {
+                // Served from memory or from a validated disk entry.
+                None => stats.cache_hits += 1,
+                Some(CacheMiss::Absent) => stats.cache_misses += 1,
+                Some(CacheMiss::Invalidated) => stats.cache_invalidated += 1,
+            }
+            stats.nodes_explored += nodes;
+            entries.insert(key(s), (*s, (*sched).clone()));
+        }
+        (ScheduleTable { entries }, stats)
+    }
+
     /// Build from explicit entries (e.g. hand-tuned or heuristic schedules;
     /// "this approach to constrained dynamism is totally orthogonal to the
     /// approach to determining a good schedule for a single state").
@@ -292,6 +347,35 @@ mod tests {
             assert_eq!(warm.get(&s), cold.get(&s), "state {s:?}");
         }
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn shared_cache_build_searches_once_across_tenant_builds() {
+        let g = builders::color_tracker();
+        let c = ClusterSpec::single_node(4);
+        let states: Vec<AppState> = [1u32, 2].iter().map(|&n| AppState::new(n)).collect();
+        let cfg = OptimalConfig::default();
+        let shared = crate::sharedcache::SharedScheduleCache::new(4096);
+
+        let (first, cold) = ScheduleTable::precompute_shared(&g, &c, &states, &cfg, &shared, None);
+        assert_eq!(cold.searched(), states.len());
+        assert!(cold.nodes_explored > 0);
+
+        // A second "tenant" building the same table touches no search at
+        // all — every state is handed the resident schedule.
+        let (second, warm) = ScheduleTable::precompute_shared(&g, &c, &states, &cfg, &shared, None);
+        assert_eq!(warm.cache_hits, states.len());
+        assert_eq!(warm.nodes_explored, 0, "warm tenant build must not search");
+        assert_eq!(shared.searches(), states.len() as u64);
+        for s in first.states() {
+            assert_eq!(first.get(&s), second.get(&s), "state {s:?}");
+        }
+
+        // And it matches the classic uncached build bit-for-bit.
+        let direct = ScheduleTable::precompute(&g, &c, &states, &cfg);
+        for s in direct.states() {
+            assert_eq!(direct.get(&s), first.get(&s), "state {s:?}");
+        }
     }
 
     #[test]

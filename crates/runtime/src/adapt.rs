@@ -33,10 +33,15 @@
 //! through the PR 1 [`ScheduleCache`] under the exact key a process restart
 //! will look up — so a regime learned online survives the process.
 //!
-//! Drift-triggered re-searches run against a *rescaled* graph and are
-//! deliberately **not** persisted: the cache validates entries against the
-//! original graph, and a schedule fitted to a transient slowdown must die
-//! with the process that observed it.
+//! Drift-triggered re-searches run against a *rescaled* graph — and persist
+//! under the **rescaled graph's own cache key**: the permille cost vector is
+//! part of the key fingerprint, so a restart that confirms the same
+//! sustained drift re-derives the same rescaled graph, computes the same
+//! key, and is served the re-fit warm (validated against that identical
+//! rescaled graph). A restart whose costs went back to normal computes the
+//! *original* key and can never be served the drifted schedule — the
+//! validate-on-load safety that previously forced "never persist" is now
+//! carried by the key itself.
 
 use std::sync::atomic::{AtomicU32, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -613,6 +618,31 @@ impl AdaptLoop {
             let num = num.min(1e15) as u64;
             graph = graph.with_scaled_cost(TaskId(usize::from(r.stage)), num, 1000);
         }
+        // The re-fit is keyed on the *rescaled* graph (the permille cost
+        // vector is in the fingerprint): a restart confirming the same drift
+        // re-derives the same key and validates the entry against the same
+        // rescaled graph, while undrifted processes compute the original key
+        // and never see it. So first probe the cache for a re-fit an earlier
+        // process already paid for…
+        let key = schedule_cache_key(&graph, &self.cluster, &active, &self.cfg.search);
+        if let Some(cache) = &self.cache {
+            if let Ok(sched) = cache.load(key, &graph, &self.cluster, &active) {
+                // Served warm: route through the normal install path (the
+                // send can only fail if we dropped our own receiver).
+                let _ = self.tx.send(ReschedOutcome {
+                    state: active,
+                    sched,
+                    nodes_explored: 0,
+                    search_time: Duration::ZERO,
+                    persist_key: None,
+                    reason: ReschedReason::Drift,
+                    detected: Instant::now(),
+                    launch_frame: frame,
+                });
+                return;
+            }
+        }
+        // …and only search when no process has.
         let warm = self.warm_for(&active);
         self.launch(
             ReschedJob {
@@ -621,9 +651,7 @@ impl AdaptLoop {
                 state: active,
                 cfg: self.cfg.search.clone(),
                 warm,
-                // Never persisted: fitted to drifted costs, invalid for the
-                // original graph a restart would validate against.
-                persist_key: None,
+                persist_key: Some(key),
                 reason: ReschedReason::Drift,
                 detected: Instant::now(),
                 frame,
@@ -739,6 +767,50 @@ mod tests {
         // Degenerate construction still prescribes at least one strip.
         let t = StripTuner::new(0, 0);
         assert_eq!(t.strips(), 1);
+    }
+
+    /// Synthetic per-strip feedback loop: each frame carries `work` ns of
+    /// strip kernel time plus a 1 µs dispatch overhead per strip at the
+    /// currently prescribed width.
+    fn feed_frames(t: &StripTuner, work: u64, frames: u64) {
+        for _ in 0..frames {
+            let strips = t.strips() as u64;
+            t.observe_frame(work + strips * 1_000);
+        }
+    }
+
+    #[test]
+    fn strip_tuner_converges_to_target_granularity() {
+        let t = StripTuner::new(8, 64);
+        // 6 targets' worth of work: the loop settles at 6 strips, and each
+        // strip carries the 200 µs target within the truncation band
+        // [TARGET, TARGET·(1 + 1/strips)).
+        feed_frames(&t, 6 * TARGET_STRIP_NS, 8 * RETUNE_FRAMES);
+        assert_eq!(t.strips(), 6);
+        let per_strip = (6 * TARGET_STRIP_NS + 6_000) / t.strips() as u64;
+        assert!((TARGET_STRIP_NS..2 * TARGET_STRIP_NS).contains(&per_strip));
+        // Stability: more evidence at the same cost never moves it.
+        feed_frames(&t, 6 * TARGET_STRIP_NS, 8 * RETUNE_FRAMES);
+        assert_eq!(t.strips(), 6, "converged prescription is stable");
+    }
+
+    #[test]
+    fn strip_tuner_tracks_cost_step_mid_run() {
+        let t = StripTuner::new(4, 64);
+        feed_frames(&t, 10 * TARGET_STRIP_NS, 8 * RETUNE_FRAMES);
+        assert_eq!(t.strips(), 10);
+
+        // Cost step down mid-run: frames shrink to 1.5 targets of work —
+        // too small to amortize dispatch, the tuner collapses to serial.
+        feed_frames(&t, 3 * TARGET_STRIP_NS / 2, 8 * RETUNE_FRAMES);
+        assert_eq!(t.strips(), 1, "cheap frames collapse toward serial");
+
+        // Cost step up: 40 targets of work re-widens to 40 strips, each
+        // still carrying ~one target of kernel time.
+        feed_frames(&t, 40 * TARGET_STRIP_NS, 8 * RETUNE_FRAMES);
+        assert_eq!(t.strips(), 40);
+        let per_strip = (40 * TARGET_STRIP_NS + 40_000) / t.strips() as u64;
+        assert!((TARGET_STRIP_NS..2 * TARGET_STRIP_NS).contains(&per_strip));
     }
 
     #[test]
@@ -860,6 +932,108 @@ mod tests {
             frame += 1;
         }
         assert_eq!(ctl.swaps(), 1, "the faster reality was installed");
+    }
+
+    /// Feed one window (4 frames) of perfectly conformant costs, except
+    /// stage 3 at exactly 4× its prediction when `drift` is set — the exact
+    /// ratio makes the permille rescale (4000/1000) reproducible across
+    /// "processes", which is what keys the persisted re-fit.
+    fn feed_drift_window(
+        adapt: &AdaptLoop,
+        feed: &CostFeed,
+        preds: &BTreeMap<u8, u64>,
+        frame: &mut u64,
+        drift: bool,
+    ) {
+        for _ in 0..4 {
+            for (&stage, &wall_us) in preds {
+                let factor = if drift && stage == 3 { 4 } else { 1 };
+                feed.record(usize::from(stage), wall_us * factor);
+            }
+            adapt.on_frame(*frame);
+            *frame += 1;
+        }
+    }
+
+    #[test]
+    fn drift_refit_persists_and_restart_is_served_warm() {
+        let (g, c, table, t4) = fixture();
+        let dir = std::env::temp_dir().join(format!(
+            "cds-drift-cache-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cfg = AdaptConfig {
+            window: 4,
+            confirm_windows: 2,
+            cooldown_frames: 0,
+            tolerance: 0.5,
+            cache_dir: Some(dir.clone()),
+            ..AdaptConfig::default()
+        };
+        let preds: BTreeMap<u8, u64> = table
+            .get(&AppState::new(1))
+            .unwrap()
+            .iteration
+            .stage_predictions()
+            .iter()
+            .map(|p| (p.task.0 as u8, p.wall.0))
+            .collect();
+
+        // "First process": confirmed 4× drift on stage 3 → real search,
+        // result persisted under the rescaled graph's key.
+        let ctl = controller(&table, t4);
+        let adapt = AdaptLoop::new(
+            cfg.clone(),
+            g.clone(),
+            c.clone(),
+            table.clone(),
+            t4,
+            Arc::clone(&ctl),
+        );
+        let feed = adapt.feed();
+        let mut frame = 0u64;
+        feed_drift_window(&adapt, &feed, &preds, &mut frame, true);
+        feed_drift_window(&adapt, &feed, &preds, &mut frame, true);
+        assert_eq!(adapt.stats().launches, 1, "confirmed drift launches");
+        let t0 = Instant::now();
+        while adapt.stats().installs == 0 {
+            assert!(
+                t0.elapsed() < Duration::from_secs(60),
+                "search never landed"
+            );
+            std::thread::sleep(Duration::from_millis(10));
+            adapt.on_frame(frame);
+            frame += 1;
+        }
+        assert!(
+            adapt.stats().last_nodes_explored > 0,
+            "first process really searched"
+        );
+        let refit = adapt.schedule_for(1).unwrap();
+
+        // "Second process": fresh loop over the same cache directory
+        // confirms the *same* drift — the permille rescale reproduces the
+        // key, and the re-fit is installed without exploring a node.
+        let ctl2 = controller(&table, t4);
+        let adapt2 = AdaptLoop::new(cfg, g, c, table, t4, Arc::clone(&ctl2));
+        let feed2 = adapt2.feed();
+        let mut frame2 = 0u64;
+        feed_drift_window(&adapt2, &feed2, &preds, &mut frame2, true);
+        feed_drift_window(&adapt2, &feed2, &preds, &mut frame2, true);
+        adapt2.on_frame(frame2); // the cache hit was posted; install it
+        let stats = adapt2.stats();
+        assert_eq!(stats.installs, 1, "restart installs the persisted re-fit");
+        assert_eq!(stats.launches, 0, "no search launched after restart");
+        assert_eq!(stats.last_nodes_explored, 0, "zero nodes explored");
+        assert_eq!(ctl2.swaps(), 1);
+        assert_eq!(
+            adapt2.schedule_for(1).unwrap().iteration.latency,
+            refit.iteration.latency,
+            "the warm-served schedule is the first process's re-fit"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

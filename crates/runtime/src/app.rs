@@ -1,6 +1,7 @@
 //! Wiring: build the tracker's channels and task bodies into a runnable
 //! application (the Fig. 2 graph over real STM channels).
 
+use std::sync::atomic::AtomicBool;
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -105,6 +106,28 @@ impl TrackerConfig {
     }
 }
 
+/// One tenant's view of fleet-shared runtime resources: the fleet-wide
+/// worker pool and buffer freelists (shared by every tenant), plus this
+/// tenant's private weighted-fairness boost flag. Passing one of these to
+/// [`TrackerApp::build_shared`] suppresses the app's internal pool/freelist
+/// construction — a thousand tenants then multiplex one pool instead of
+/// spawning a thousand.
+#[derive(Clone)]
+pub struct SharedResources {
+    /// The fleet-wide worker pool all tenants' data-parallel stages submit to.
+    pub pool: Arc<WorkerPool<PoolJob>>,
+    /// Pool width; seeds each tenant's histogram strip tuner.
+    pub pool_workers: usize,
+    /// Shared frame-buffer freelist (`None` disables recycling).
+    pub frame_pool: Option<BufPool<Frame>>,
+    /// Shared mask-buffer freelist (`None` disables recycling).
+    pub mask_pool: Option<BufPool<BitMask>>,
+    /// This tenant's urgency flag: while `true`, the tenant's pool jobs ride
+    /// the urgent lane (set by the fleet monitor when the tenant falls
+    /// behind its deadline budget).
+    pub boost: Arc<AtomicBool>,
+}
+
 /// A fully wired tracker application: six task bodies in the task-id order
 /// of [`taskgraph::builders::color_tracker`], sharing STM channels.
 pub struct TrackerApp {
@@ -176,6 +199,33 @@ impl TrackerApp {
         controller: Option<Arc<RegimeController>>,
         adapt: Option<Arc<AdaptLoop>>,
     ) -> TrackerApp {
+        Self::build_inner(cfg, scene, controller, adapt, None)
+    }
+
+    /// [`build_adaptive`](Self::build_adaptive) for a fleet tenant: the
+    /// worker pool and buffer freelists come from `shared` instead of being
+    /// constructed per app, and every stage carries the tenant's boost flag
+    /// so the fleet monitor can route its pool jobs to the urgent lane.
+    /// `cfg.pool_workers` and `cfg.recycle_buffers` are ignored — `shared`
+    /// decides both.
+    #[must_use]
+    pub fn build_shared(
+        cfg: &TrackerConfig,
+        scene: Scene,
+        controller: Option<Arc<RegimeController>>,
+        adapt: Option<Arc<AdaptLoop>>,
+        shared: &SharedResources,
+    ) -> TrackerApp {
+        Self::build_inner(cfg, scene, controller, adapt, Some(shared))
+    }
+
+    fn build_inner(
+        cfg: &TrackerConfig,
+        scene: Scene,
+        controller: Option<Arc<RegimeController>>,
+        adapt: Option<Arc<AdaptLoop>>,
+        shared: Option<&SharedResources>,
+    ) -> TrackerApp {
         assert_eq!(
             (scene.width, scene.height),
             (cfg.width, cfg.height),
@@ -212,6 +262,9 @@ impl TrackerApp {
             if let Some(a) = &adapt {
                 ctx = ctx.with_cost_feed(a.feed());
             }
+            if let Some(s) = shared {
+                ctx = ctx.with_boost(Arc::clone(&s.boost));
+            }
             ctx
         };
         if let (Some(a), Some(r)) = (&adapt, &recorder) {
@@ -229,11 +282,14 @@ impl TrackerApp {
             ChannelBuilder::new("Model Locations").capacity(cap).build();
 
         // Buffer pools: a few more idle slots than the channel can hold, so
-        // a drained pipeline never discards buffers it is about to reuse.
-        let (frame_pool, mask_pool) = if cfg.recycle_buffers {
-            (Some(BufPool::new(cap + 2)), Some(BufPool::new(cap + 2)))
-        } else {
-            (None, None)
+        // a drained pipeline never discards buffers it is about to reuse. A
+        // fleet tenant recycles through the shared freelists instead.
+        let (frame_pool, mask_pool) = match shared {
+            Some(s) => (s.frame_pool.clone(), s.mask_pool.clone()),
+            None if cfg.recycle_buffers => {
+                (Some(BufPool::new(cap + 2)), Some(BufPool::new(cap + 2)))
+            }
+            None => (None, None),
         };
 
         let digitizer_frames = cfg
@@ -280,7 +336,14 @@ impl TrackerApp {
             }
         }
         let mut shared_pool = None;
-        if cfg.pool_workers > 0 {
+        if let Some(s) = shared {
+            detect = detect.with_pool(Arc::clone(&s.pool));
+            histogram = histogram.with_pool(Arc::clone(&s.pool), s.pool_workers.max(1));
+            if let Some(a) = &adapt {
+                a.attach_pool(Arc::clone(&s.pool));
+            }
+            shared_pool = Some(Arc::clone(&s.pool));
+        } else if cfg.pool_workers > 0 {
             // One pool serves both data-parallel stages (T4 chunks and T2
             // histogram strips). With fault injection attached, the handler
             // probes the injector first — the injected panic lands inside

@@ -1,0 +1,652 @@
+//! Multi-tenant tracker fleet: many independent streams on one shared
+//! runtime.
+//!
+//! Each tenant is a full [`TrackerApp`] — its own STM channels, regime
+//! controller, health ledger, and measurement store — but heavy compute is
+//! multiplexed onto **one** shared [`WorkerPool`], buffers recycle through
+//! **one** bounded pair of freelists, and every tenant's schedule table is
+//! built through **one** [`SharedScheduleCache`], so a thousand tenants in
+//! the same regime pay for a single branch-and-bound search.
+//!
+//! Three mechanisms keep the fleet honest under load:
+//!
+//! - **Admission control**: tenants are admitted one at a time; once the
+//!   measured pool utilization plus the marginal cost of one more stream
+//!   would cross [`FleetConfig::max_utilization`], further streams are
+//!   *rejected* instead of degrading everyone ("admission rejections, not
+//!   fleet-wide misses").
+//! - **Weighted fairness**: a monitor thread samples each tenant's frame
+//!   backlog; a tenant behind its deadline budget gets its boost flag set,
+//!   which routes its pool jobs onto the urgent lane until it catches up.
+//! - **Containment**: a faulting tenant degrades through its own
+//!   [`StageCtx`](crate::tasks::StageCtx) ladder and health ledger; other
+//!   tenants' outputs stay bit-identical to solo runs (the isolation tests
+//!   below assert exactly that).
+//!
+//! Observability composes per tenant: each tenant's span
+//! [`Recorder`](obs::Recorder) drains
+//! into one Chrome trace under its own `pid`, so a single
+//! `chrome://tracing` load shows the whole fleet side by side, and the
+//! schedule-conformance checker runs per tenant with a fleet-level rollup.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use cds_core::optimal::OptimalConfig;
+use cds_core::sharedcache::SharedScheduleCache;
+use cds_core::table::ScheduleTable;
+use cluster::ClusterSpec;
+use obs::{ChromeTrace, RegimeSpec};
+use parking_lot::Mutex;
+use taskgraph::{builders, AppState, TaskId};
+use vision::{BitMask, Frame, Scene};
+
+use crate::app::{SharedResources, TrackerApp, TrackerConfig};
+use crate::exec_online::OnlineExecutor;
+use crate::faults::FaultInjector;
+use crate::frame_pool::BufPool;
+use crate::measure::{Measurements, RunStats};
+use crate::pool::WorkerPool;
+use crate::regime_rt::RegimeController;
+use crate::tasks::PoolJob;
+
+/// Configuration of a fleet run: one tracker template plus the fleet-level
+/// knobs (pool size, deadline budget, admission threshold, fairness
+/// policy).
+#[derive(Clone)]
+pub struct FleetConfig {
+    /// Per-tenant tracker template. Each tenant clones this with its own
+    /// seed (`base.seed + tenant`); `pool_workers` and `recycle_buffers`
+    /// on the template are superseded by the fleet's shared resources.
+    pub base: TrackerConfig,
+    /// Number of streams asking to run.
+    pub tenants: usize,
+    /// Width of the one shared worker pool.
+    pub pool_workers: usize,
+    /// Per-tenant frame-deadline budget: the p99 criterion, and the STM
+    /// input-wait watchdog for every tenant stage.
+    pub deadline: Duration,
+    /// Admission threshold: a tenant is rejected when measured pool
+    /// utilization plus the marginal utilization of one more stream
+    /// (utilization ÷ admitted streams) would exceed this.
+    pub max_utilization: f64,
+    /// Streams admitted unconditionally before the utilization probe
+    /// applies (there is no signal to measure before the first stream).
+    pub min_admitted: usize,
+    /// Pacing between admission decisions — long enough for the monitor to
+    /// sample the marginal load of the previous admission.
+    pub admit_interval: Duration,
+    /// Monitor sampling period (utilization + per-tenant backlog).
+    pub monitor_tick: Duration,
+    /// Backlog (frames digitized but not completed) at or above which a
+    /// tenant's pool jobs ride the urgent lane.
+    pub boost_backlog: u64,
+    /// Completed frames excluded from each tenant's statistics.
+    pub warmup: usize,
+    /// Per-tenant fault injection, indexed by tenant (missing/`None`
+    /// entries inject nothing). Faults ride the tenant's own
+    /// [`StageCtx`](crate::tasks::StageCtx)
+    /// so they perturb only that tenant.
+    pub tenant_faults: Vec<Option<Arc<FaultInjector>>>,
+    /// Regimes (model counts) every tenant's schedule table covers. Empty
+    /// defaults to the template's target count.
+    pub regimes: Vec<u32>,
+    /// Weight bound of the shared cross-tenant schedule cache.
+    pub cache_weight: usize,
+    /// Idle-buffer bound of each shared freelist; `0` derives a bound from
+    /// the template's channel capacity.
+    pub buf_slots: usize,
+}
+
+impl FleetConfig {
+    /// A small, fast fleet suitable for tests: tiny frames, a 2-worker
+    /// pool, generous deadline, admission effectively open.
+    #[must_use]
+    pub fn small(tenants: usize, n_frames: u64) -> Self {
+        let mut base = TrackerConfig::small(2, n_frames);
+        base.period = Duration::from_millis(2);
+        FleetConfig {
+            base,
+            tenants,
+            pool_workers: 2,
+            deadline: Duration::from_secs(5),
+            max_utilization: 0.95,
+            min_admitted: 1,
+            admit_interval: Duration::from_millis(3),
+            monitor_tick: Duration::from_millis(1),
+            boost_backlog: 4,
+            warmup: 0,
+            tenant_faults: Vec::new(),
+            regimes: vec![1, 2],
+            cache_weight: 64,
+            buf_slots: 0,
+        }
+    }
+}
+
+/// One tenant's outcome within a fleet run.
+pub struct TenantRun {
+    /// Tenant index (also its Chrome-trace `pid`).
+    pub tenant: usize,
+    /// Whether admission control let this stream run.
+    pub admitted: bool,
+    /// Pool utilization observed at the rejection decision, for rejected
+    /// tenants.
+    pub reject_utilization: Option<f64>,
+    /// The tenant's application after the run (health ledger, face logs,
+    /// channels, recorder) — `None` when rejected.
+    pub app: Option<TrackerApp>,
+    /// The tenant's wall-clock statistics — `None` when rejected.
+    pub stats: Option<RunStats>,
+    /// Monitor ticks during which this tenant held the urgent lane.
+    pub boost_ticks: u64,
+}
+
+/// A completed fleet run: per-tenant outcomes plus fleet-level signals.
+pub struct FleetRun {
+    /// Per-tenant outcomes, indexed by tenant.
+    pub tenants: Vec<TenantRun>,
+    /// Highest pool utilization any monitor sample observed.
+    pub peak_utilization: f64,
+    /// Mean pool utilization over all monitor samples.
+    pub mean_utilization: f64,
+    /// Branch-and-bound searches the shared schedule cache actually ran.
+    pub cache_searches: u64,
+    /// Table entries served from the shared cache's memory.
+    pub cache_hits: u64,
+    /// Wall time from first admission to last tenant completion.
+    pub wall: Duration,
+    /// Jobs the shared pool executed across all tenants.
+    pub pool_executed: u64,
+    /// The deadline budget the run was judged against.
+    pub deadline: Duration,
+    /// Warmup frames excluded from per-tenant statistics.
+    pub warmup: usize,
+    /// Frames each admitted tenant was asked to process.
+    pub n_frames: u64,
+    /// The schedule table every tenant shares (built once, then served
+    /// from the shared cache).
+    pub table: ScheduleTable,
+    /// T4 (the regime-dependent data-parallel task) in the task graph.
+    pub dp_task: TaskId,
+}
+
+/// Fleet-level observability: one Chrome trace with a `pid` per tenant,
+/// plus the per-tenant schedule-conformance rollup.
+pub struct FleetObs {
+    /// Chrome `trace.json` covering every traced tenant.
+    pub trace_json: String,
+    /// `(tenant, conformant)` per traced tenant.
+    pub conformance: Vec<(usize, bool)>,
+}
+
+/// What the monitor tracks per admitted tenant.
+struct TenantLive {
+    tenant: usize,
+    measure: Arc<Measurements>,
+    boost: Arc<AtomicBool>,
+    boost_ticks: Arc<AtomicU64>,
+}
+
+impl FleetRun {
+    /// Streams admission control let run.
+    #[must_use]
+    pub fn admitted(&self) -> usize {
+        self.tenants.iter().filter(|t| t.admitted).count()
+    }
+
+    /// Streams admission control turned away.
+    #[must_use]
+    pub fn rejected(&self) -> usize {
+        self.tenants.len() - self.admitted()
+    }
+
+    /// Deadline misses for one admitted tenant: completed frames over the
+    /// budget plus frames that never completed at all (skipped or lost).
+    #[must_use]
+    pub fn deadline_misses(&self, tenant: usize) -> u64 {
+        let t = &self.tenants[tenant];
+        match (&t.app, &t.stats) {
+            (Some(app), Some(stats)) => {
+                let over = app.measure.over_deadline(self.deadline, self.warmup);
+                over + self.n_frames.saturating_sub(stats.frames_completed)
+            }
+            _ => 0,
+        }
+    }
+
+    /// Admitted tenants that met the fleet SLO: every frame completed and
+    /// p99 latency within the deadline budget.
+    #[must_use]
+    pub fn tenants_within_slo(&self) -> usize {
+        self.tenants
+            .iter()
+            .filter(|t| {
+                t.admitted
+                    && t.stats.as_ref().is_some_and(|s| {
+                        s.frames_completed == self.n_frames && s.p99_latency <= self.deadline
+                    })
+            })
+            .count()
+    }
+
+    /// The per-regime predictions of the shared table, for conformance
+    /// checking.
+    #[must_use]
+    pub fn regime_specs(&self) -> Vec<RegimeSpec> {
+        self.table
+            .states()
+            .iter()
+            .map(|s| {
+                // INVARIANT: states() enumerates exactly the table's keys.
+                let sched = self.table.get(s).expect("states() lists table entries");
+                let decomp = sched
+                    .iteration
+                    .decomp
+                    .get(&self.dp_task)
+                    .map_or((1, 1), |d| (d.fp as u16, d.mp as u16));
+                RegimeSpec {
+                    regime: s.n_models,
+                    predicted_latency_us: sched.latency().0,
+                    ii_us: sched.ii.0,
+                    occupancy_bound: sched.overlapping_iterations() as u32,
+                    decomp,
+                    stage_costs_us: sched
+                        .iteration
+                        .stage_predictions()
+                        .iter()
+                        .map(|p| (p.task.0 as u8, p.wall.0))
+                        .collect(),
+                }
+            })
+            .collect()
+    }
+
+    /// Drain every traced tenant's recorder into one Chrome trace (`pid` =
+    /// tenant index, process name `tenant-N`) and run the per-tenant
+    /// schedule-conformance check against the shared table's predictions.
+    /// `None` when no tenant was traced. Recorders are drained: call once.
+    #[must_use]
+    pub fn observability(&self, tolerance: f64) -> Option<FleetObs> {
+        let specs = self.regime_specs();
+        let bound = specs.iter().map(|s| s.occupancy_bound).max().unwrap_or(1);
+        let stage_names = crate::error::Stage::names();
+        let mut chrome = ChromeTrace::new();
+        let mut conformance = Vec::new();
+        for t in &self.tenants {
+            let Some(app) = &t.app else { continue };
+            let Some(rec) = &app.recorder else { continue };
+            let dump = rec.drain();
+            chrome.push_dump(&dump, t.tenant as u32, &format!("tenant-{}", t.tenant));
+            let frames = obs::frames::reconstruct(&dump);
+            let channels = app.channel_checks(bound);
+            let scene = &app.scene;
+            let count_fn = move |ts: u64| scene.population_at(ts);
+            let report = obs::conformance::check(
+                &frames,
+                &count_fn,
+                &specs,
+                &channels,
+                tolerance,
+                &stage_names,
+            );
+            conformance.push((t.tenant, report.conformant()));
+        }
+        if conformance.is_empty() {
+            return None;
+        }
+        Some(FleetObs {
+            trace_json: chrome.to_json(),
+            conformance,
+        })
+    }
+}
+
+/// Run a fleet: admit tenants one at a time under the utilization probe,
+/// multiplex every admitted tenant onto the shared pool with the monitor
+/// enforcing weighted fairness, and collect per-tenant statistics.
+#[must_use]
+#[allow(clippy::too_many_lines)]
+pub fn run_fleet(cfg: &FleetConfig) -> FleetRun {
+    assert!(cfg.tenants >= 1, "a fleet needs at least one tenant");
+    let workers = cfg.pool_workers.max(1);
+    let pool: Arc<WorkerPool<PoolJob>> = Arc::new(WorkerPool::new(workers, PoolJob::run));
+    let buf_slots = if cfg.buf_slots > 0 {
+        cfg.buf_slots
+    } else {
+        // Bounded regardless of tenant count: overflow returns are dropped,
+        // shortfalls allocate fresh — correctness never depends on the
+        // freelist being large enough.
+        (cfg.base.channel_capacity + 2) * 4
+    };
+    let (frame_pool, mask_pool): (Option<BufPool<Frame>>, Option<BufPool<BitMask>>) =
+        if cfg.base.recycle_buffers {
+            (Some(BufPool::new(buf_slots)), Some(BufPool::new(buf_slots)))
+        } else {
+            (None, None)
+        };
+
+    // The cross-tenant schedule cache: tenant 0's table build searches,
+    // every later tenant's build is served from memory.
+    let cache = SharedScheduleCache::new(cfg.cache_weight.max(1));
+    let graph = builders::color_tracker();
+    let cluster = ClusterSpec::single_node(4);
+    let dp_task = graph
+        .task_by_name("Target Detection")
+        .expect("tracker graph has T4"); // INVARIANT: the builder defines T4 by this name
+
+    let regimes: Vec<u32> = if cfg.regimes.is_empty() {
+        vec![cfg.base.n_targets as u32]
+    } else {
+        cfg.regimes.clone()
+    };
+    let states: Vec<AppState> = regimes.iter().map(|&n| AppState::new(n)).collect();
+    let search = OptimalConfig::default().serial();
+    let (table, _) =
+        ScheduleTable::precompute_shared(&graph, &cluster, &states, &search, &cache, None);
+
+    let live: Mutex<Vec<TenantLive>> = Mutex::new(Vec::new());
+    let stop = AtomicBool::new(false);
+    let util_bits = AtomicU64::new(0);
+    let util_acc: Mutex<(f64, f64, u64)> = Mutex::new((0.0, 0.0, 0)); // (peak, sum, samples)
+    let done = AtomicUsize::new(0);
+
+    let results: Vec<Mutex<Option<(TrackerApp, RunStats)>>> =
+        (0..cfg.tenants).map(|_| Mutex::new(None)).collect();
+    let mut admitted_flags = vec![false; cfg.tenants];
+    let mut reject_util = vec![None; cfg.tenants];
+    let t_start = Instant::now();
+
+    thread::scope(|s| {
+        // Monitor: pool utilization (busy_ns delta over wall × workers) and
+        // per-tenant backlog → boost flags.
+        s.spawn(|| {
+            let mut prev_busy = pool.busy_ns();
+            let mut prev_t = Instant::now();
+            // Raw per-tick samples are spiky — a long pool job's entire
+            // busy time lands in whichever tick it completes on — so the
+            // published utilization is an exponential moving average.
+            let mut ewma: Option<f64> = None;
+            while !stop.load(Ordering::Relaxed) {
+                thread::sleep(cfg.monitor_tick);
+                let now = Instant::now();
+                let busy = pool.busy_ns();
+                let dt = now.duration_since(prev_t).as_nanos() as f64;
+                if dt > 0.0 {
+                    let raw = (busy.saturating_sub(prev_busy)) as f64 / (dt * workers as f64);
+                    let util = match ewma {
+                        Some(prev) => 0.2 * raw + 0.8 * prev,
+                        None => raw,
+                    };
+                    ewma = Some(util);
+                    util_bits.store(util.to_bits(), Ordering::Relaxed);
+                    let mut acc = util_acc.lock();
+                    acc.0 = acc.0.max(util);
+                    acc.1 += util;
+                    acc.2 += 1;
+                }
+                prev_busy = busy;
+                prev_t = now;
+                for t in live.lock().iter() {
+                    let behind = t.measure.backlog() >= cfg.boost_backlog;
+                    t.boost.store(behind, Ordering::Relaxed);
+                    if behind {
+                        t.boost_ticks.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+            // Leave no tenant pinned to the urgent lane after the run.
+            for t in live.lock().iter() {
+                t.boost.store(false, Ordering::Relaxed);
+            }
+        });
+
+        // Admission loop: one decision per tenant, paced so the monitor
+        // sees the marginal load of the previous admission.
+        let mut admitted = 0usize;
+        for k in 0..cfg.tenants {
+            if k > 0 {
+                thread::sleep(cfg.admit_interval);
+            }
+            let util = f64::from_bits(util_bits.load(Ordering::Relaxed));
+            if k >= cfg.min_admitted.max(1) {
+                let marginal = if admitted > 0 {
+                    util / admitted as f64
+                } else {
+                    0.0
+                };
+                if util + marginal > cfg.max_utilization {
+                    reject_util[k] = Some(util);
+                    continue;
+                }
+            }
+            admitted += 1;
+            admitted_flags[k] = true;
+
+            // The tenant's table build: a shared-cache hit for every tenant
+            // after the first.
+            let (tenant_table, _) =
+                ScheduleTable::precompute_shared(&graph, &cluster, &states, &search, &cache, None);
+            let controller = RegimeController::from_schedule_table(
+                &tenant_table,
+                dp_task,
+                cfg.base.n_targets as u32,
+                2,
+            )
+            .ok()
+            .map(Arc::new);
+
+            let mut tcfg = cfg.base.clone();
+            tcfg.seed = cfg.base.seed + k as u64;
+            tcfg.frame_deadline = Some(cfg.deadline);
+            tcfg.pool_workers = 0; // the shared pool supersedes it
+            tcfg.faults = cfg.tenant_faults.get(k).cloned().flatten();
+            let scene = Scene::demo(tcfg.width, tcfg.height, tcfg.n_targets, tcfg.seed);
+
+            let boost = Arc::new(AtomicBool::new(false));
+            let boost_ticks = Arc::new(AtomicU64::new(0));
+            let shared = SharedResources {
+                pool: Arc::clone(&pool),
+                pool_workers: workers,
+                frame_pool: frame_pool.clone(),
+                mask_pool: mask_pool.clone(),
+                boost: Arc::clone(&boost),
+            };
+            let app = TrackerApp::build_shared(&tcfg, scene, controller, None, &shared);
+            live.lock().push(TenantLive {
+                tenant: k,
+                measure: Arc::clone(&app.measure),
+                boost,
+                boost_ticks,
+            });
+
+            let slot = &results[k];
+            let done = &done;
+            let warmup = cfg.warmup;
+            s.spawn(move || {
+                let stats = OnlineExecutor::run(&app, warmup);
+                *slot.lock() = Some((app, stats));
+                done.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+
+        // All admitted streams have threads; stop the monitor once they all
+        // finish (the scope would otherwise never join it).
+        while done.load(Ordering::SeqCst) < admitted {
+            thread::sleep(cfg.monitor_tick);
+        }
+        stop.store(true, Ordering::SeqCst);
+    });
+
+    let wall = t_start.elapsed();
+    let (peak, sum, samples) = *util_acc.lock();
+    let live = live.into_inner();
+    let tenants: Vec<TenantRun> = (0..cfg.tenants)
+        .map(|k| {
+            let run = results[k].lock().take();
+            let boost_ticks = live
+                .iter()
+                .find(|t| t.tenant == k)
+                .map_or(0, |t| t.boost_ticks.load(Ordering::Relaxed));
+            match run {
+                Some((app, stats)) => TenantRun {
+                    tenant: k,
+                    admitted: true,
+                    reject_utilization: None,
+                    app: Some(app),
+                    stats: Some(stats),
+                    boost_ticks,
+                },
+                None => TenantRun {
+                    tenant: k,
+                    admitted: admitted_flags[k],
+                    reject_utilization: reject_util[k],
+                    app: None,
+                    stats: None,
+                    boost_ticks,
+                },
+            }
+        })
+        .collect();
+
+    FleetRun {
+        tenants,
+        peak_utilization: peak,
+        mean_utilization: if samples > 0 {
+            sum / samples as f64
+        } else {
+            0.0
+        },
+        cache_searches: cache.searches(),
+        cache_hits: cache.hits(),
+        wall,
+        pool_executed: pool.executed(),
+        deadline: cfg.deadline,
+        warmup: cfg.warmup,
+        n_frames: cfg.base.n_frames,
+        table,
+        dp_task,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::Stage;
+    use crate::faults::FaultPlan;
+    use obs::TraceMode;
+
+    #[test]
+    fn fleet_runs_every_tenant_to_completion_with_one_table_search() {
+        let cfg = FleetConfig::small(3, 10);
+        let run = run_fleet(&cfg);
+        assert_eq!(run.admitted(), 3);
+        assert_eq!(run.rejected(), 0);
+        for t in &run.tenants {
+            let stats = t.stats.as_ref().expect("admitted tenant has stats");
+            assert_eq!(stats.frames_completed, 10, "tenant {}", t.tenant);
+        }
+        // The tentpole cache property: the first table build searched each
+        // regime once; the fleet's own build plus 3 tenant builds all hit.
+        assert_eq!(run.cache_searches, cfg.regimes.len() as u64);
+        assert_eq!(run.cache_hits, 3 * cfg.regimes.len() as u64);
+        assert!(run.pool_executed > 0, "tenants multiplexed the shared pool");
+    }
+
+    #[test]
+    fn admission_rejects_past_the_threshold() {
+        // A negative threshold can never be met, so everything past
+        // min_admitted is rejected — the deterministic degenerate case of
+        // the utilization probe.
+        let mut cfg = FleetConfig::small(4, 6);
+        cfg.max_utilization = -1.0;
+        cfg.min_admitted = 2;
+        let run = run_fleet(&cfg);
+        assert_eq!(run.admitted(), 2);
+        assert_eq!(run.rejected(), 2);
+        for t in &run.tenants[2..] {
+            assert!(!t.admitted);
+            assert!(t.reject_utilization.is_some());
+            assert!(t.app.is_none() && t.stats.is_none());
+        }
+        // Rejection degrades gracefully: admitted tenants still finish.
+        for t in &run.tenants[..2] {
+            assert_eq!(t.stats.as_ref().unwrap().frames_completed, 6);
+        }
+    }
+
+    #[test]
+    fn boost_flags_engage_when_every_frame_counts_as_backlog() {
+        let mut cfg = FleetConfig::small(2, 12);
+        cfg.boost_backlog = 0; // any backlog (even 0) holds the urgent lane
+        let run = run_fleet(&cfg);
+        for t in &run.tenants {
+            assert_eq!(t.stats.as_ref().unwrap().frames_completed, 12);
+            assert!(t.boost_ticks > 0, "tenant {} never boosted", t.tenant);
+        }
+    }
+
+    #[test]
+    fn faulted_tenant_is_contained_and_others_match_solo_runs_bitwise() {
+        let n_frames = 12u64;
+        let victim = 1usize;
+        let mut cfg = FleetConfig::small(3, n_frames);
+        cfg.tenant_faults = vec![
+            None,
+            Some(
+                FaultPlan::new()
+                    .stm_error(Stage::Change, 3)
+                    .stm_error(Stage::Detect, 7)
+                    .build(),
+            ),
+            None,
+        ];
+        let run = run_fleet(&cfg);
+
+        let victim_app = run.tenants[victim].app.as_ref().unwrap();
+        assert!(
+            !victim_app.health.report().is_clean(),
+            "injected faults must land in the victim's ledger"
+        );
+        for t in run.tenants.iter().filter(|t| t.tenant != victim) {
+            let app = t.app.as_ref().unwrap();
+            assert!(
+                app.health.report().is_clean(),
+                "tenant {} ledger perturbed by tenant {victim}'s faults",
+                t.tenant
+            );
+            // Bit-identity against a solo run of the same stream: same
+            // seed, same schedule table, no fleet, no pool.
+            let mut solo_cfg = cfg.base.clone();
+            solo_cfg.seed = cfg.base.seed + t.tenant as u64;
+            solo_cfg.frame_deadline = Some(cfg.deadline);
+            let solo = TrackerApp::build(&solo_cfg, None);
+            let solo_stats = OnlineExecutor::run(&solo, 0);
+            assert_eq!(solo_stats.frames_completed, n_frames);
+            let mut fleet_locs = app.face.locations();
+            let mut solo_locs = solo.face.locations();
+            fleet_locs.sort_by_key(|(ts, _)| *ts);
+            solo_locs.sort_by_key(|(ts, _)| *ts);
+            assert_eq!(
+                fleet_locs, solo_locs,
+                "tenant {} diverged from its solo run",
+                t.tenant
+            );
+        }
+    }
+
+    #[test]
+    fn fleet_trace_interleaves_tenants_by_pid_and_conformance_rolls_up() {
+        let mut cfg = FleetConfig::small(2, 8);
+        cfg.base.trace = Some(TraceMode::Full);
+        let run = run_fleet(&cfg);
+        let obs = run.observability(50.0).expect("both tenants were traced");
+        assert_eq!(obs.conformance.len(), 2);
+        assert!(obs.trace_json.contains("tenant-0"));
+        assert!(obs.trace_json.contains("tenant-1"));
+        let events = obs::chrome::validate(&obs.trace_json).expect("trace must parse");
+        assert!(events > 0);
+    }
+}

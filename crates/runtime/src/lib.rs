@@ -39,6 +39,7 @@ pub mod error;
 pub mod exec_online;
 pub mod exec_scheduled;
 pub mod faults;
+pub mod fleet;
 pub mod frame_pool;
 pub mod measure;
 pub mod pool;
@@ -48,11 +49,12 @@ pub mod tasks;
 pub use adapt::{
     AdaptConfig, AdaptLoop, AdaptStats, CostFeed, ReschedJob, ReschedReason, StripTuner,
 };
-pub use app::{TrackerApp, TrackerConfig};
+pub use app::{SharedResources, TrackerApp, TrackerConfig};
 pub use error::{HealthReport, RuntimeError, RuntimeHealth, Stage};
 pub use exec_online::OnlineExecutor;
 pub use exec_scheduled::ScheduledExecutor;
 pub use faults::{FaultInjector, FaultPlan, InjectedCounts};
+pub use fleet::{run_fleet, FleetConfig, FleetObs, FleetRun, TenantRun};
 pub use frame_pool::{BufPool, PoolStats, Pooled, PooledFrame, PooledMask};
 pub use measure::{Measurements, RunStats};
 pub use pool::{PoolClosed, PoolHealth, WorkerPool};

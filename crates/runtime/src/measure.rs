@@ -26,6 +26,10 @@ pub struct Measurements {
     stage_marks: Mutex<Vec<Vec<Option<Instant>>>>,
     mark_drops: AtomicU64,
     health: Mutex<Option<Arc<RuntimeHealth>>>,
+    // O(1) progress counters so a monitor thread can read backlog
+    // (digitized − completed) without taking the mark locks.
+    n_digitized: AtomicU64,
+    n_completed: AtomicU64,
 }
 
 impl Measurements {
@@ -38,6 +42,8 @@ impl Measurements {
             stage_marks: Mutex::new(Vec::new()),
             mark_drops: AtomicU64::new(0),
             health: Mutex::new(None),
+            n_digitized: AtomicU64::new(0),
+            n_completed: AtomicU64::new(0),
         }
     }
 
@@ -77,7 +83,10 @@ impl Measurements {
     /// — measurement must never panic the live path.
     pub fn mark_digitized(&self, ts: u64) {
         match self.digitized.lock().get_mut(ts as usize) {
-            Some(slot) => *slot = Some(Instant::now()),
+            Some(slot) => {
+                *slot = Some(Instant::now());
+                self.n_digitized.fetch_add(1, Ordering::Relaxed);
+            }
             None => self.on_drop(),
         }
     }
@@ -86,9 +95,35 @@ impl Measurements {
     /// timestamps are counted, as in [`mark_digitized`](Self::mark_digitized)).
     pub fn mark_completed(&self, ts: u64) {
         match self.completed.lock().get_mut(ts as usize) {
-            Some(slot) => *slot = Some(Instant::now()),
+            Some(slot) => {
+                *slot = Some(Instant::now());
+                self.n_completed.fetch_add(1, Ordering::Relaxed);
+            }
             None => self.on_drop(),
         }
+    }
+
+    /// Frames digitized so far — lock-free, safe to poll from a monitor.
+    #[must_use]
+    pub fn digitized_count(&self) -> u64 {
+        self.n_digitized.load(Ordering::Relaxed)
+    }
+
+    /// Frames completed so far — lock-free, safe to poll from a monitor.
+    #[must_use]
+    pub fn completed_count(&self) -> u64 {
+        self.n_completed.load(Ordering::Relaxed)
+    }
+
+    /// Frames currently in flight: digitized but not yet completed. The
+    /// fleet monitor uses this as a per-tenant backlog signal to decide
+    /// which tenants get the urgent pool lane.
+    #[must_use]
+    pub fn backlog(&self) -> u64 {
+        // Counters are updated independently; a completion may land between
+        // the two loads, so saturate rather than underflow.
+        self.digitized_count()
+            .saturating_sub(self.completed_count())
     }
 
     /// Record that `stage` finished its work on frame `ts` now. A no-op
@@ -127,6 +162,24 @@ impl Measurements {
             .collect()
     }
 
+    /// Completed frames (after skipping `warmup` of them, in frame order)
+    /// whose digitize→complete latency exceeded `deadline` — the fleet's
+    /// per-tenant deadline-miss count.
+    #[must_use]
+    pub fn over_deadline(&self, deadline: Duration, warmup: usize) -> u64 {
+        let dig = self.digitized.lock();
+        let done = self.completed.lock();
+        dig.iter()
+            .zip(done.iter())
+            .filter_map(|(d, c)| match (d, c) {
+                (Some(d), Some(c)) => Some(c.duration_since(*d)),
+                _ => None,
+            })
+            .skip(warmup)
+            .filter(|lat| *lat > deadline)
+            .count() as u64
+    }
+
     /// Reduce to run statistics, skipping `warmup` completed frames.
     #[must_use]
     pub fn stats(&self, warmup: usize) -> RunStats {
@@ -153,8 +206,9 @@ impl Measurements {
             Vec::new()
         };
 
-        let (mean, min, max, p95) = if latencies.is_empty() {
+        let (mean, min, max, p95, p99) = if latencies.is_empty() {
             (
+                Duration::ZERO,
                 Duration::ZERO,
                 Duration::ZERO,
                 Duration::ZERO,
@@ -164,12 +218,14 @@ impl Measurements {
             let sum: Duration = latencies.iter().sum();
             let mut sorted = latencies.clone();
             sorted.sort();
-            let p95 = sorted[((sorted.len() * 95).div_ceil(100)).clamp(1, sorted.len()) - 1];
+            let pct =
+                |p: usize| sorted[((sorted.len() * p).div_ceil(100)).clamp(1, sorted.len()) - 1];
             (
                 sum / latencies.len() as u32,
                 sorted.first().copied().unwrap_or_default(),
                 sorted.last().copied().unwrap_or_default(),
-                p95,
+                pct(95),
+                pct(99),
             )
         };
         let gaps: Vec<f64> = completions
@@ -193,6 +249,7 @@ impl Measurements {
             min_latency: min,
             max_latency: max,
             p95_latency: p95,
+            p99_latency: p99,
             throughput_hz,
             uniformity_cov,
         }
@@ -212,6 +269,8 @@ pub struct RunStats {
     pub max_latency: Duration,
     /// 95th-percentile latency.
     pub p95_latency: Duration,
+    /// 99th-percentile latency — the fleet's deadline-miss criterion.
+    pub p99_latency: Duration,
     /// Completions per second.
     pub throughput_hz: f64,
     /// Coefficient of variation of completion gaps.
@@ -222,10 +281,11 @@ impl std::fmt::Display for RunStats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "latency mean={:.1}ms min={:.1}ms p95={:.1}ms max={:.1}ms | throughput={:.2}/s | CoV={:.3} | frames={}",
+            "latency mean={:.1}ms min={:.1}ms p95={:.1}ms p99={:.1}ms max={:.1}ms | throughput={:.2}/s | CoV={:.3} | frames={}",
             self.mean_latency.as_secs_f64() * 1e3,
             self.min_latency.as_secs_f64() * 1e3,
             self.p95_latency.as_secs_f64() * 1e3,
+            self.p99_latency.as_secs_f64() * 1e3,
             self.max_latency.as_secs_f64() * 1e3,
             self.throughput_hz,
             self.uniformity_cov,
@@ -348,6 +408,40 @@ mod tests {
         assert!(m.stage_latencies(0).is_empty());
         assert!(m.stage_latencies(9).is_empty());
         assert_eq!(m.mark_drops(), 2);
+    }
+
+    #[test]
+    fn progress_counters_track_backlog() {
+        let m = Measurements::new(4);
+        m.mark_digitized(0);
+        m.mark_digitized(1);
+        m.mark_digitized(2);
+        m.mark_completed(0);
+        assert_eq!(m.digitized_count(), 3);
+        assert_eq!(m.completed_count(), 1);
+        assert_eq!(m.backlog(), 2);
+        // Out-of-window marks count as drops, never as progress.
+        m.mark_digitized(99);
+        assert_eq!(m.digitized_count(), 3);
+        assert_eq!(m.mark_drops(), 1);
+    }
+
+    #[test]
+    fn p99_sits_between_p95_and_max() {
+        let m = Measurements::new(200);
+        for ts in 0..200 {
+            m.mark_digitized(ts);
+            if ts == 199 {
+                std::thread::sleep(Duration::from_millis(12));
+            }
+            m.mark_completed(ts);
+        }
+        let s = m.stats(0);
+        assert!(s.p95_latency <= s.p99_latency);
+        assert!(s.p99_latency <= s.max_latency);
+        // One slow frame in 200: it is past the 99th percentile cut, so
+        // p99 must not absorb the outlier.
+        assert!(s.p99_latency < Duration::from_millis(12));
     }
 
     #[test]

@@ -1,7 +1,14 @@
 //! A generic worker pool: the "worker" threads of the paper's Fig. 9
 //! splitter/worker/joiner structure. "Chunks get assigned to worker threads
-//! based on worker availability" — a shared channel serves as the work
-//! queue; replies flow through per-request done channels.
+//! based on worker availability" — a shared two-lane queue serves as the
+//! work queue; replies flow through per-request done channels.
+//!
+//! The queue has two priority lanes: [`WorkerPool::submit`] enqueues on the
+//! normal lane, [`WorkerPool::submit_urgent`] on the urgent lane, and
+//! workers always drain the urgent lane first. The fleet layer uses the
+//! urgent lane for weighted-fair scheduling across tenants — a tenant
+//! behind on its frame-deadline budget submits urgent so its backlog
+//! overtakes tenants that are ahead.
 //!
 //! The pool *contains* worker faults instead of propagating them: each job
 //! runs under [`std::panic::catch_unwind`], a panicking worker retires and
@@ -11,12 +18,13 @@
 //! panics is consumed — its reply channel drops, which is exactly the
 //! signal a Fig. 9 joiner needs to recompute the lost chunk inline.
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
-use parking_lot::Mutex;
+use parking_lot::{Condvar, Mutex};
+use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 /// Error returned by [`WorkerPool::submit`] after shutdown (or once every
 /// worker has retired and the respawn cap is spent); carries the job back
@@ -82,6 +90,10 @@ struct Shared {
     submitted: AtomicU64,
     /// Jobs a worker (or the inline drain) has finished consuming.
     executed: AtomicU64,
+    /// Nanoseconds spent inside job handlers, summed over all workers (and
+    /// the inline drain). With `n_workers` and wall time this gives the
+    /// pool's utilization — the signal fleet admission control keys on.
+    busy_ns: AtomicU64,
 }
 
 impl Shared {
@@ -92,17 +104,107 @@ impl Shared {
             inline_fallbacks: self.inline_fallbacks.load(Ordering::SeqCst),
         }
     }
+
+    /// Run one job under `catch_unwind`, timing it. Returns true when the
+    /// handler panicked.
+    fn run_contained<J>(&self, handler: &(dyn Fn(J) + Send + Sync), job: J) -> bool {
+        let t0 = Instant::now();
+        let panicked = catch_unwind(AssertUnwindSafe(|| (handler)(job))).is_err();
+        self.busy_ns
+            .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::SeqCst);
+        self.executed.fetch_add(1, Ordering::SeqCst);
+        panicked
+    }
 }
 
-/// A fixed pool of worker threads consuming jobs of type `J`.
+/// The two-lane work queue: urgent jobs always dequeue before normal ones.
+/// Closing wakes every blocked worker; they drain what is left and exit.
+struct LaneQueue<J> {
+    lanes: Mutex<Lanes<J>>,
+    nonempty: Condvar,
+}
+
+struct Lanes<J> {
+    urgent: VecDeque<J>,
+    normal: VecDeque<J>,
+    closed: bool,
+}
+
+impl<J> LaneQueue<J> {
+    fn new() -> Self {
+        LaneQueue {
+            lanes: Mutex::new(Lanes {
+                urgent: VecDeque::new(),
+                normal: VecDeque::new(),
+                closed: false,
+            }),
+            nonempty: Condvar::new(),
+        }
+    }
+
+    /// Enqueue; hands the job back if the queue is closed.
+    fn push(&self, job: J, urgent: bool) -> Result<(), J> {
+        {
+            let mut g = self.lanes.lock();
+            if g.closed {
+                return Err(job);
+            }
+            if urgent {
+                g.urgent.push_back(job);
+            } else {
+                g.normal.push_back(job);
+            }
+        }
+        self.nonempty.notify_one();
+        Ok(())
+    }
+
+    /// Blocking dequeue, urgent lane first. `None` once closed *and* empty —
+    /// a close never drops queued jobs.
+    fn pop(&self) -> Option<J> {
+        let mut g = self.lanes.lock();
+        loop {
+            if let Some(j) = g.urgent.pop_front() {
+                return Some(j);
+            }
+            if let Some(j) = g.normal.pop_front() {
+                return Some(j);
+            }
+            if g.closed {
+                return None;
+            }
+            self.nonempty.wait(&mut g);
+        }
+    }
+
+    /// Non-blocking dequeue for the inline drain path.
+    fn try_pop(&self) -> Option<J> {
+        let mut g = self.lanes.lock();
+        if let Some(j) = g.urgent.pop_front() {
+            return Some(j);
+        }
+        g.normal.pop_front()
+    }
+
+    fn close(&self) {
+        self.lanes.lock().closed = true;
+        self.nonempty.notify_all();
+    }
+
+    fn is_closed(&self) -> bool {
+        self.lanes.lock().closed
+    }
+}
+
+/// A fixed pool of worker threads consuming jobs of type `J` from a
+/// two-lane (urgent/normal) priority queue.
 ///
 /// Panics inside the handler never cross the pool boundary: the worker
 /// retires, a replacement is respawned on the next `submit` (up to
 /// [`with_respawn_cap`](Self::with_respawn_cap)), and the tally lands in
 /// [`PoolHealth`].
 pub struct WorkerPool<J: Send + 'static> {
-    tx: Option<Sender<J>>,
-    rx: Receiver<J>,
+    queue: Arc<LaneQueue<J>>,
     handler: Arc<dyn Fn(J) + Send + Sync + 'static>,
     handles: Mutex<Vec<JoinHandle<()>>>,
     shared: Arc<Shared>,
@@ -119,12 +221,10 @@ impl<J: Send + 'static> WorkerPool<J> {
         F: Fn(J) + Send + Sync + 'static,
     {
         let n = n.max(1);
-        let (tx, rx) = unbounded::<J>();
         let handler: Arc<dyn Fn(J) + Send + Sync> = Arc::new(handler);
         let shared = Arc::new(Shared::default());
         let pool = WorkerPool {
-            tx: Some(tx),
-            rx,
+            queue: Arc::new(LaneQueue::new()),
             handler,
             handles: Mutex::new(Vec::with_capacity(n)),
             shared,
@@ -155,22 +255,20 @@ impl<J: Send + 'static> WorkerPool<J> {
     /// degrades (fewer workers / inline fallback) rather than panicking.
     fn spawn_worker(&self) -> Option<JoinHandle<()>> {
         let i = self.spawned.fetch_add(1, Ordering::SeqCst);
-        let rx = self.rx.clone();
+        let queue = Arc::clone(&self.queue);
         let handler = Arc::clone(&self.handler);
         let shared = Arc::clone(&self.shared);
         shared.live.fetch_add(1, Ordering::SeqCst);
         let spawned = std::thread::Builder::new()
             .name(format!("dp-worker-{i}"))
             .spawn(move || {
-                while let Ok(job) = rx.recv() {
+                while let Some(job) = queue.pop() {
                     // Contain the fault: the job is consumed either way, so
                     // a panicking chunk drops its reply sender and the
                     // joiner recomputes it inline. The worker retires (its
                     // stack may hold poisoned state) and `heal` respawns a
                     // fresh one.
-                    let panicked = catch_unwind(AssertUnwindSafe(|| (handler)(job))).is_err();
-                    shared.executed.fetch_add(1, Ordering::SeqCst);
-                    if panicked {
+                    if shared.run_contained(handler.as_ref(), job) {
                         shared.panics.fetch_add(1, Ordering::SeqCst);
                         shared.retired.fetch_add(1, Ordering::SeqCst);
                         shared.live.fetch_sub(1, Ordering::SeqCst);
@@ -209,16 +307,27 @@ impl<J: Send + 'static> WorkerPool<J> {
         }
     }
 
-    /// Enqueue one job, or hand it back if the pool is shut down — or has no
-    /// live worker left and the respawn cap is spent — so the caller can fall
-    /// back to running it inline. The hand-back is counted in
-    /// [`PoolHealth::inline_fallbacks`].
+    /// Enqueue one job on the normal lane, or hand it back if the pool is
+    /// shut down — or has no live worker left and the respawn cap is spent —
+    /// so the caller can fall back to running it inline. The hand-back is
+    /// counted in [`PoolHealth::inline_fallbacks`].
     pub fn submit(&self, job: J) -> Result<(), PoolClosed<J>> {
+        self.submit_lane(job, false)
+    }
+
+    /// Like [`submit`](Self::submit), but on the urgent lane: workers pick
+    /// this job up before anything still waiting on the normal lane. Used by
+    /// the fleet layer to boost tenants running behind their deadline budget.
+    pub fn submit_urgent(&self, job: J) -> Result<(), PoolClosed<J>> {
+        self.submit_lane(job, true)
+    }
+
+    fn submit_lane(&self, job: J, urgent: bool) -> Result<(), PoolClosed<J>> {
         self.heal();
-        let Some(tx) = &self.tx else {
+        if self.queue.is_closed() {
             self.shared.inline_fallbacks.fetch_add(1, Ordering::SeqCst);
             return Err(PoolClosed(job));
-        };
+        }
         if self.shared.live.load(Ordering::SeqCst) == 0 {
             // Every worker is gone and cannot be replaced: queueing the job
             // would strand it (and hang its joiner). Drain anything already
@@ -227,25 +336,23 @@ impl<J: Send + 'static> WorkerPool<J> {
             self.shared.inline_fallbacks.fetch_add(1, Ordering::SeqCst);
             return Err(PoolClosed(job));
         }
-        match tx.send(job) {
+        match self.queue.push(job, urgent) {
             Ok(()) => {
                 self.shared.submitted.fetch_add(1, Ordering::SeqCst);
                 Ok(())
             }
-            Err(e) => {
+            Err(job) => {
                 self.shared.inline_fallbacks.fetch_add(1, Ordering::SeqCst);
-                Err(PoolClosed(e.0))
+                Err(PoolClosed(job))
             }
         }
     }
 
     /// Run any still-queued jobs in the current thread, containing panics.
     fn drain_inline(&self) {
-        while let Ok(job) = self.rx.try_recv() {
+        while let Some(job) = self.queue.try_pop() {
             self.shared.inline_fallbacks.fetch_add(1, Ordering::SeqCst);
-            let panicked = catch_unwind(AssertUnwindSafe(|| (self.handler)(job))).is_err();
-            self.shared.executed.fetch_add(1, Ordering::SeqCst);
-            if panicked {
+            if self.shared.run_contained(self.handler.as_ref(), job) {
                 self.shared.panics.fetch_add(1, Ordering::SeqCst);
             }
         }
@@ -257,7 +364,7 @@ impl<J: Send + 'static> WorkerPool<J> {
     /// historical double-panic-on-shutdown is gone. Idempotent; called
     /// implicitly on drop.
     pub fn shutdown(&mut self) -> PoolHealth {
-        self.tx.take();
+        self.queue.close();
         let handles: Vec<JoinHandle<()>> = std::mem::take(&mut *self.handles.lock());
         for h in handles {
             if h.join().is_err() {
@@ -298,6 +405,15 @@ impl<J: Send + 'static> WorkerPool<J> {
         self.submitted().saturating_sub(self.executed())
     }
 
+    /// Cumulative nanoseconds spent executing job handlers, summed across
+    /// workers (monotone). `busy_ns / (wall_ns * n_workers)` is the pool's
+    /// utilization over a window — fleet admission control samples deltas of
+    /// this to decide whether a marginal stream fits.
+    #[must_use]
+    pub fn busy_ns(&self) -> u64 {
+        self.shared.busy_ns.load(Ordering::SeqCst)
+    }
+
     /// Number of worker threads spawned and not yet joined (0 after
     /// shutdown).
     #[must_use]
@@ -311,8 +427,8 @@ impl<J: Send + 'static> Drop for WorkerPool<J> {
         if std::thread::panicking() {
             // Dropped during an unwind: joining could observe a worker
             // panic and abort the process (panic-in-panic). Detach instead;
-            // closing the channel stops the workers after draining.
-            self.tx.take();
+            // closing the queue stops the workers after draining.
+            self.queue.close();
             return;
         }
         let _ = self.shutdown();
@@ -379,6 +495,58 @@ mod tests {
     fn n_workers_reported() {
         let pool: WorkerPool<()> = WorkerPool::new(5, |()| {});
         assert_eq!(pool.n_workers(), 5);
+    }
+
+    #[test]
+    fn urgent_jobs_overtake_normal_backlog() {
+        // One worker, gated so a backlog builds: normal jobs enqueued first,
+        // urgent jobs enqueued last, yet the urgent ones must run first once
+        // the gate opens.
+        let (gate_tx, gate_rx) = bounded::<()>(0);
+        let order = Arc::new(Mutex::new(Vec::<u64>::new()));
+        let o2 = Arc::clone(&order);
+        let pool: WorkerPool<u64> = WorkerPool::new(1, move |j| {
+            if j == 0 {
+                gate_rx.recv().unwrap(); // hold the lone worker
+            } else {
+                o2.lock().push(j);
+            }
+        });
+        pool.submit(0).unwrap(); // occupies the worker
+                                 // Wait until the worker has actually dequeued the gate job, so the
+                                 // backlog below stays queued behind it.
+        while pool.queue_depth() > 1 {
+            std::thread::yield_now();
+        }
+        for j in 1..=3u64 {
+            pool.submit(j).unwrap(); // normal lane
+        }
+        for j in 100..=101u64 {
+            pool.submit_urgent(j).unwrap(); // urgent lane, enqueued later
+        }
+        gate_tx.send(()).unwrap();
+        drop(pool); // drains in lane order
+        let got = order.lock().clone();
+        assert_eq!(
+            got,
+            vec![100, 101, 1, 2, 3],
+            "urgent lane drains before the earlier normal backlog"
+        );
+    }
+
+    #[test]
+    fn busy_ns_accumulates_handler_time() {
+        let mut pool: WorkerPool<u64> = WorkerPool::new(1, |_| {
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        });
+        pool.submit(1).unwrap();
+        pool.submit(2).unwrap();
+        pool.shutdown();
+        assert!(
+            pool.busy_ns() >= 10_000_000,
+            "two 5ms jobs: busy_ns={} >= 10ms",
+            pool.busy_ns()
+        );
     }
 
     #[test]

@@ -16,6 +16,7 @@
 //! stream keeps flowing. Only genuine end-of-stream stops a task.
 
 use std::collections::{BTreeSet, HashMap};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -76,6 +77,9 @@ pub struct StageCtx {
     measure: Option<Arc<Measurements>>,
     feed: Option<Arc<CostFeed>>,
     backend: &'static dyn ComputeBackend,
+    /// When set (by the fleet monitor for a tenant behind on its deadline
+    /// budget), this stage's pool jobs ride the urgent lane.
+    boost: Option<Arc<AtomicBool>>,
 }
 
 impl StageCtx {
@@ -92,6 +96,7 @@ impl StageCtx {
             measure: None,
             feed: None,
             backend: vision::active(),
+            boost: None,
         }
     }
 
@@ -153,6 +158,34 @@ impl StageCtx {
     #[must_use]
     pub fn backend(&self) -> &'static dyn ComputeBackend {
         self.backend
+    }
+
+    /// Attach a weighted-fairness boost flag: while it reads `true`, this
+    /// stage's pool jobs are submitted to the urgent lane. A fleet sets one
+    /// flag per tenant and flips it from the monitor thread when that tenant
+    /// falls behind its frame-deadline budget.
+    #[must_use]
+    pub fn with_boost(mut self, boost: Arc<AtomicBool>) -> Self {
+        self.boost = Some(boost);
+        self
+    }
+
+    /// Submit `job` to `pool`, choosing the lane from the boost flag, and
+    /// run it inline when the pool is closed (shutdown race: correctness
+    /// over parallelism).
+    pub fn submit_or_run(&self, pool: &WorkerPool<PoolJob>, job: PoolJob) {
+        let urgent = self
+            .boost
+            .as_ref()
+            .is_some_and(|b| b.load(Ordering::Relaxed));
+        let res = if urgent {
+            pool.submit_urgent(job)
+        } else {
+            pool.submit(job)
+        };
+        if let Err(PoolClosed(job)) = res {
+            job.run(); // pool unavailable: compute inline
+        }
     }
 
     /// Report one pool chunk's kernel wall time into the cost feed (no-op
@@ -283,7 +316,12 @@ impl StageCtx {
             // Channel closed, or a sibling instance already settled this
             // frame during shutdown: the stream has ended here.
             Err(e) if e.is_end_of_stream() => Err(FrameFault::Stop),
-            Err(GetError::Timeout) => {
+            // A timed-out wait and an upstream skip mark conclude the same
+            // way: the input for this frame isn't coming, drop it and move
+            // on. The mark is the load-independent fast path (no wall-clock
+            // budget burned); both are accounted as deadline skips so fault
+            // arithmetic is identical whichever signal arrives first.
+            Err(GetError::Timeout | GetError::Unsatisfiable(MissReason::Skipped)) => {
                 self.health.record(RuntimeError::DeadlineExceeded {
                     stage: self.stage,
                     ts: ts.0,
@@ -513,6 +551,9 @@ impl TaskBody for DigitizerTask {
             Err(FrameFault::Stop) => Err(Stop),
             Err(FrameFault::Skip) => {
                 // The frame was refused (recorded); the stream continues.
+                // The skip mark tells blocked consumers immediately that
+                // this frame is never coming.
+                self.out.mark_skipped(ts);
                 self.commit_and_maybe_close(ts.0);
                 Ok(())
             }
@@ -606,9 +647,7 @@ impl HistogramTask {
                         rec: rec.clone(),
                         reply: tx.clone(),
                     });
-                    if let Err(PoolClosed(job)) = pool.submit(job) {
-                        job.run(); // pool unavailable: compute inline
-                    }
+                    self.ctx.submit_or_run(pool, job);
                 }
                 drop(tx);
                 // Indexed replies: a missing slot means the strip's worker
@@ -652,6 +691,9 @@ impl HistogramTask {
                 Err(Stop)
             }
             FrameFault::Skip => {
+                // Tell blocked consumers immediately: this frame's output is
+                // never coming (the load-independent skip cascade).
+                self.out.mark_skipped(ts);
                 let prefix = self.cursor.commit(ts.0);
                 self.input.advance_frontier(Timestamp(prefix));
                 if self.gate.should_close(prefix) {
@@ -760,6 +802,9 @@ impl ChangeTask {
                 Err(Stop)
             }
             FrameFault::Skip => {
+                // Tell blocked consumers immediately: this frame's mask is
+                // never coming (the load-independent skip cascade).
+                self.out.mark_skipped(ts);
                 let prefix = self.cursor.commit(ts.0);
                 self.input
                     .advance_frontier(Timestamp(prefix.saturating_sub(1)));
@@ -1055,6 +1100,9 @@ impl DetectTask {
                 Err(Stop)
             }
             FrameFault::Skip => {
+                // Tell blocked consumers immediately: this frame's scores
+                // are never coming (the load-independent skip cascade).
+                self.out.mark_skipped(ts);
                 let prefix = Timestamp(self.cursor.commit(ts.0));
                 self.in_frames.advance_frontier(prefix);
                 self.in_hist.advance_frontier(prefix);
@@ -1126,9 +1174,7 @@ impl TaskBody for DetectTask {
                                 rec: rec.clone(),
                                 reply: tx.clone(),
                             });
-                            if let Err(PoolClosed(job)) = pool.submit(job) {
-                                job.run(); // pool unavailable: compute inline
-                            }
+                            self.ctx.submit_or_run(pool, job);
                         }
                         drop(tx);
                         // Indexed replies: a missing slot means the chunk's
@@ -1301,6 +1347,10 @@ impl PeakTask {
                 Err(Stop)
             }
             FrameFault::Skip => {
+                // Tell blocked consumers immediately: this frame's
+                // locations are never coming (the load-independent skip
+                // cascade).
+                self.out.mark_skipped(ts);
                 let prefix = self.cursor.commit(ts.0);
                 self.input.advance_frontier(Timestamp(prefix));
                 if self.gate.should_close(prefix) {

@@ -69,6 +69,10 @@ pub(crate) struct State<T> {
     /// Everything below this has been reclaimed (prefix GC); puts below it
     /// are rejected, so "one item per timestamp" stays enforceable forever.
     pub(crate) gc_floor: Timestamp,
+    /// Timestamps the producer promised never to put (skipped frames).
+    /// Tombstones, not items: they hold no value, don't count toward
+    /// capacity, and are pruned as the GC floor passes them.
+    pub(crate) skipped: std::collections::BTreeSet<Timestamp>,
     pub(crate) in_conns: HashMap<ConnId, InConnState>,
     pub(crate) out_count: usize,
     pub(crate) ever_output: bool,
@@ -170,6 +174,7 @@ impl ChannelBuilder {
                 state: Mutex::new(State {
                     items: BTreeMap::new(),
                     gc_floor: Timestamp::ZERO,
+                    skipped: Default::default(),
                     in_conns: HashMap::new(),
                     out_count: 0,
                     ever_output: false,
@@ -355,6 +360,10 @@ impl<T> State<T> {
                     c.consumed = c.consumed.split_off(&floor);
                 }
             }
+            // Skip tombstones below the floor can never be requested again.
+            if self.skipped.first().is_some_and(|&t| t < floor) {
+                self.skipped = self.skipped.split_off(&floor);
+            }
             let live = self.items.len();
             self.stats.on_reclaim(n, live);
         }
@@ -370,6 +379,12 @@ impl<T> State<T> {
             return Err(PutError::BelowFrontier(ts));
         }
         if self.items.contains_key(&ts) {
+            return Err(PutError::DuplicateTimestamp(ts));
+        }
+        if self.skipped.contains(&ts) {
+            // A skip tombstone is a promise that the item never arrives;
+            // consumers may already have acted on it, so a late put is
+            // refused like a duplicate of the (phantom) skipped item.
             return Err(PutError::DuplicateTimestamp(ts));
         }
         // Seed the cover count: a connection may already cover a fresh item
@@ -396,6 +411,18 @@ impl<T> State<T> {
         let live = self.items.len();
         self.stats.on_put(live);
         Ok(())
+    }
+
+    /// Record a skip tombstone at `ts`: the producer promises the item will
+    /// never be put. A no-op when an item already exists at `ts` (the item
+    /// wins), when `ts` is below the GC floor, or when the channel is
+    /// closed. Returns true when a tombstone was newly recorded (the caller
+    /// then wakes blocked getters).
+    pub(crate) fn do_mark_skipped(&mut self, ts: Timestamp) -> bool {
+        if self.closed || ts < self.gc_floor || self.items.contains_key(&ts) {
+            return false;
+        }
+        self.skipped.insert(ts)
     }
 
     /// Whether a put would currently block on capacity.
@@ -490,6 +517,10 @@ impl<T> State<T> {
                 if cs.consumed.contains(&ts) {
                     self.stats.on_miss();
                     return Err(self.miss(conn, MissReason::AlreadyConsumed, Some(ts)));
+                }
+                if !self.items.contains_key(&ts) && self.skipped.contains(&ts) {
+                    self.stats.on_miss();
+                    return Err(self.miss(conn, MissReason::Skipped, Some(ts)));
                 }
                 self.items.contains_key(&ts).then_some(ts)
             }

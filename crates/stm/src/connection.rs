@@ -157,6 +157,22 @@ impl<T> OutputConn<T> {
         res.map(|()| inserted)
     }
 
+    /// Promise that no item will ever be put at `ts`: downstream blocking
+    /// `Exact(ts)` gets fail immediately with
+    /// [`MissReason::Skipped`] instead of waiting out a deadline. This is
+    /// how a stage that drops a frame tells its consumers *now*, making the
+    /// skip cascade load-independent. A no-op when an item already exists at
+    /// `ts`, when `ts` was already reclaimed, or when the channel is closed.
+    pub fn mark_skipped(&self, ts: Timestamp) {
+        let mut st = self.inner.state.lock();
+        st.stats.lock_acquisitions += 1;
+        let marked = st.do_mark_skipped(ts);
+        drop(st);
+        if marked {
+            self.inner.items_changed.notify_all();
+        }
+    }
+
     /// Detach explicitly (equivalent to dropping the handle).
     pub fn detach(mut self) {
         self.detach_impl();
@@ -231,7 +247,9 @@ impl<T> InputConn<T> {
             match st.do_get(self.id, spec) {
                 Ok((ts, value)) => return Ok(GetOk { ts, value }),
                 Err(miss) => match miss.reason {
-                    MissReason::BelowFrontier | MissReason::AlreadyConsumed => {
+                    MissReason::BelowFrontier
+                    | MissReason::AlreadyConsumed
+                    | MissReason::Skipped => {
                         return Err(GetError::Unsatisfiable(miss.reason));
                     }
                     MissReason::ClosedEmpty => return Err(GetError::Closed),
@@ -710,6 +728,77 @@ mod tests {
             .unwrap_err();
         assert_eq!(err, GetError::Timeout);
         assert_eq!(ch.stats().blocked_gets, 1);
+    }
+
+    #[test]
+    fn mark_skipped_fails_blocked_getter_immediately() {
+        // The load-independent skip cascade: a consumer parked on Exact(ts)
+        // wakes with Skipped the moment the producer marks the frame — no
+        // deadline involved.
+        let ch = chan();
+        let out = ch.attach_output();
+        let inp = ch.attach_input();
+        let h = thread::spawn(move || inp.get(TsSpec::Exact(Timestamp(0))));
+        thread::sleep(Duration::from_millis(20));
+        out.mark_skipped(Timestamp(0));
+        assert_eq!(
+            h.join().unwrap().unwrap_err(),
+            GetError::Unsatisfiable(MissReason::Skipped)
+        );
+    }
+
+    #[test]
+    fn mark_skipped_then_get_misses_without_waiting() {
+        let ch = chan();
+        let out = ch.attach_output();
+        let inp = ch.attach_input();
+        out.mark_skipped(Timestamp(3));
+        let miss = inp.try_get(TsSpec::Exact(Timestamp(3))).unwrap_err();
+        assert_eq!(miss.reason, MissReason::Skipped);
+        let err = inp.get(TsSpec::Exact(Timestamp(3))).unwrap_err();
+        assert_eq!(err, GetError::Unsatisfiable(MissReason::Skipped));
+        // Other timestamps are unaffected.
+        out.put(Timestamp(4), 4).unwrap();
+        assert_eq!(*inp.get(TsSpec::Exact(Timestamp(4))).unwrap().value, 4);
+    }
+
+    #[test]
+    fn mark_skipped_is_noop_when_item_exists() {
+        let ch = chan();
+        let out = ch.attach_output();
+        let inp = ch.attach_input();
+        out.put(Timestamp(0), 9).unwrap();
+        out.mark_skipped(Timestamp(0));
+        assert_eq!(*inp.get(TsSpec::Exact(Timestamp(0))).unwrap().value, 9);
+    }
+
+    #[test]
+    fn put_after_mark_skipped_is_refused() {
+        let ch = chan();
+        let out = ch.attach_output();
+        let _inp = ch.attach_input();
+        out.mark_skipped(Timestamp(5));
+        assert_eq!(
+            out.put(Timestamp(5), 1),
+            Err(PutError::DuplicateTimestamp(Timestamp(5))),
+            "consumers may already have acted on the skip promise"
+        );
+    }
+
+    #[test]
+    fn skip_tombstones_are_pruned_by_gc() {
+        let ch = chan();
+        let out = ch.attach_output();
+        let inp = ch.attach_input();
+        out.put(Timestamp(0), 0).unwrap();
+        out.mark_skipped(Timestamp(1));
+        out.put(Timestamp(2), 2).unwrap();
+        inp.consume_through(Timestamp(2));
+        // Floor advanced past the tombstone: it is gone, and a get for it is
+        // now BelowFrontier (reclaimed), not Skipped.
+        let miss = inp.try_get(TsSpec::Exact(Timestamp(1))).unwrap_err();
+        assert_eq!(miss.reason, MissReason::BelowFrontier);
+        assert!(ch.inner.state.lock().skipped.is_empty());
     }
 
     #[test]

@@ -50,6 +50,12 @@ pub enum MissReason {
     BelowFrontier,
     /// The channel is closed and no matching item will ever arrive.
     ClosedEmpty,
+    /// The producer marked this timestamp skipped
+    /// ([`OutputConn::mark_skipped`](crate::OutputConn::mark_skipped)): the
+    /// item will never be put, so waiting is pointless. This is the
+    /// load-independent cascade signal for dropped frames — consumers skip
+    /// immediately instead of burning a wall-clock deadline.
+    Skipped,
 }
 
 /// A failed `try_get`, carrying the *neighbouring* available timestamps as in
@@ -151,6 +157,10 @@ mod tests {
         assert!(GetError::Closed.is_end_of_stream());
         assert!(GetError::Unsatisfiable(MissReason::BelowFrontier).is_end_of_stream());
         assert!(!GetError::Unsatisfiable(MissReason::AlreadyConsumed).is_end_of_stream());
+        assert!(
+            !GetError::Unsatisfiable(MissReason::Skipped).is_end_of_stream(),
+            "a skipped frame ends only that frame, not the stream"
+        );
         assert!(!GetError::Timeout.is_end_of_stream());
         assert!(GetError::Timeout.is_timeout());
         assert!(!GetError::Closed.is_timeout());

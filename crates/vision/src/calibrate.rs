@@ -222,7 +222,9 @@ mod tests {
 
     #[test]
     fn measurement_produces_positive_times() {
-        let times = measure_kernels(64, 48, &[1, 2], 1);
+        // reps > 1 for the same load-tolerance reason as the
+        // state-dependence test below.
+        let times = measure_kernels(64, 48, &[1, 2], 5);
         assert_eq!(times.len(), 2);
         for t in &times {
             assert!(t.histogram.0 >= 1);
@@ -255,7 +257,10 @@ mod tests {
 
     #[test]
     fn calibrated_graph_is_valid_and_state_dependent() {
-        let times = measure_kernels(64, 48, &[1, 4], 1);
+        // reps > 1: a single rep is load-sensitive enough that the 1-model
+        // measurement can out-measure the 4-model one when the whole
+        // workspace suite shares one core.
+        let times = measure_kernels(64, 48, &[1, 4], 5);
         let g = calibrated_tracker(64, 48, &times);
         g.validate().unwrap();
         let t4 = g.task(g.task_by_name("Target Detection").unwrap());
