@@ -20,11 +20,15 @@
 //! tenant). Exit code is non-zero when a structural check fails.
 
 use std::fmt::Write as _;
+use std::thread;
 use std::time::{Duration, Instant};
 
 use kiosk_bench::{csv_line, print_table, run_checks, Json, JsonReport};
 use obs::TraceMode;
-use runtime::{run_fleet, FleetConfig, FleetRun, OnlineExecutor, TrackerApp, TrackerConfig};
+use runtime::{
+    run_fleet, Fleet, FleetConfig, FleetRun, LifecycleState, OnlineExecutor, PriorityClass,
+    TenantSpec, TrackerApp, TrackerConfig,
+};
 
 struct Args {
     frames: u64,
@@ -311,6 +315,194 @@ fn main() {
         }
     }
 
+    // ---- Churn phase: the dynamic tenant lifecycle over a long run.
+    // Two Guaranteed tenants run a long paced stream; a burst of
+    // free-running BestEffort hogs arrives mid-run; a Standard probe is
+    // rejected by the admission gate under that load; the hogs are then
+    // detached (mid-run departure), and the retry loop re-admits the
+    // rejected probe once utilization decays through the hysteresis band.
+    let churn_frames: u64 = if args.smoke { 30 } else { 300 };
+    const CHURN_MAX_UTIL: f64 = 0.35;
+    const CHURN_HYSTERESIS: f64 = 0.10;
+    let mut ccfg = FleetConfig::small(0, churn_frames);
+    ccfg.base.width = size.0;
+    ccfg.base.height = size.1;
+    ccfg.base.period = period_base;
+    ccfg.base.channel_capacity = 8;
+    // A deliberately narrow pool: the burst must actually contend so the
+    // gate has something to reject against, on fast hosts too.
+    ccfg.pool_workers = 2;
+    ccfg.deadline = deadline;
+    ccfg.max_utilization = CHURN_MAX_UTIL;
+    // The floor covers the two Guaranteed tenants and the whole burst:
+    // the arrival burst is part of the scenario, not what the gate is
+    // being demonstrated against — the probe after it is.
+    ccfg.min_admitted = 6;
+    ccfg.monitor_tick = Duration::from_millis(8);
+    ccfg.boost_backlog = 2;
+    ccfg.warmup = 2;
+    ccfg.readmit = true;
+    ccfg.readmit_hysteresis = CHURN_HYSTERESIS;
+    // Shedding engages above the shed threshold only — kept clear of the
+    // admission knee so the two mechanisms do not mask each other.
+    ccfg.shed_utilization = 0.5;
+    ccfg.shed_hysteresis = 0.15;
+    out!(
+        "churn: {churn_frames}-frame Guaranteed streams at {fps_base} fps, BestEffort burst of 4, max_util {CHURN_MAX_UTIL}, hysteresis {CHURN_HYSTERESIS}"
+    );
+    let fleet = Fleet::launch(ccfg);
+    let guaranteed: Vec<_> = (0..2)
+        .map(|_| fleet.attach(TenantSpec::with_class(PriorityClass::Guaranteed)))
+        .collect();
+    thread::sleep(Duration::from_millis(if args.smoke { 200 } else { 800 }));
+
+    // The BestEffort arrival burst: hogs paced at the calibrated serial
+    // frame cost — each one demands a full core's worth of work — with an
+    // effectively unbounded frame budget (they depart, they never finish).
+    let hog_spec = TenantSpec {
+        class: PriorityClass::BestEffort,
+        period: Some(c_serial),
+        n_frames: Some(1_000_000),
+        ..TenantSpec::default()
+    };
+    let burst: Vec<_> = (0..4).map(|_| fleet.attach(hog_spec.clone())).collect();
+    let hogs: Vec<_> = burst.iter().filter(|h| h.admitted).collect();
+    out!(
+        "churn: burst admitted {}/{} BestEffort hogs",
+        hogs.len(),
+        burst.len()
+    );
+
+    // Attach 1-frame probes until the gate refuses one against live load.
+    let probe_deadline = Instant::now() + Duration::from_secs(20);
+    let mut probe = None;
+    while Instant::now() < probe_deadline {
+        let p = fleet.attach(TenantSpec {
+            n_frames: Some(1),
+            ..TenantSpec::default()
+        });
+        if !p.admitted {
+            out!(
+                "churn: probe tenant {} rejected at measured utilization {:.2}",
+                p.tenant,
+                p.utilization
+            );
+            probe = Some(p);
+            break;
+        }
+        thread::sleep(Duration::from_millis(50));
+    }
+    if probe.is_none() {
+        out!(
+            "churn: gate never rejected a probe (util stayed at {:.2})",
+            fleet.utilization()
+        );
+    }
+
+    // A window of genuine contention, then the mid-run departures.
+    thread::sleep(Duration::from_millis(if args.smoke { 300 } else { 2000 }));
+    let mut hog_sheds = 0u64;
+    let mut drains_clean = true;
+    for h in &hogs {
+        match fleet.detach_and_wait(h.tenant, Duration::from_secs(120)) {
+            Some(rollup) => {
+                hog_sheds += rollup.sheds;
+                // Drain accounting: a digitized frame either completed or
+                // was recorded as a policy drop downstream (deadline skip,
+                // STM drop) — nothing vanishes silently, and the budget was
+                // genuinely cut mid-run.
+                let h = &rollup.health;
+                let accounted = rollup.stats.frames_completed
+                    + h.deadline_skips
+                    + h.stm_get_drops
+                    + h.stm_put_drops;
+                drains_clean &= rollup.stats.frames_completed <= rollup.digitized
+                    && accounted >= rollup.digitized
+                    && rollup.digitized < 1_000_000;
+            }
+            None => drains_clean = false,
+        }
+    }
+    out!(
+        "churn: {} hogs departed mid-run ({} frames shed under pressure), drains clean: {drains_clean}",
+        hogs.len(),
+        hog_sheds
+    );
+
+    if let Some(p) = &probe {
+        let readmit_deadline = Instant::now() + Duration::from_secs(60);
+        while Instant::now() < readmit_deadline
+            && fleet.tenant_state(p.tenant) == Some(LifecycleState::Rejected)
+        {
+            thread::sleep(Duration::from_millis(10));
+        }
+    }
+    let churn = fleet.finish();
+
+    let churn_probe = probe.as_ref().map(|p| &churn.tenants[p.tenant]);
+    let guaranteed_misses: u64 = guaranteed
+        .iter()
+        .map(|g| churn.deadline_misses(g.tenant))
+        .sum();
+    let guaranteed_ok = guaranteed.iter().all(|g| {
+        let t = &churn.tenants[g.tenant];
+        t.stats
+            .as_ref()
+            .is_some_and(|s| s.frames_completed == churn_frames && s.p99_latency <= deadline)
+    });
+    let churn_headers = [
+        "tenant",
+        "class",
+        "state",
+        "frames",
+        "p99_ms",
+        "misses",
+        "sheds",
+        "readmitted",
+    ];
+    let churn_rows: Vec<Vec<String>> = churn
+        .tenants
+        .iter()
+        .map(|t| {
+            vec![
+                t.tenant.to_string(),
+                t.class.label().to_string(),
+                t.state.label().to_string(),
+                t.stats
+                    .as_ref()
+                    .map_or_else(|| "-".into(), |s| s.frames_completed.to_string()),
+                t.stats.as_ref().map_or_else(
+                    || "-".into(),
+                    |s| format!("{:.1}", s.p99_latency.as_secs_f64() * 1e3),
+                ),
+                churn.deadline_misses(t.tenant).to_string(),
+                t.sheds.to_string(),
+                if t.readmitted { "yes" } else { "no" }.to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        "fleet churn (dynamic lifecycle)",
+        &churn_headers,
+        &churn_rows,
+    );
+    for r in &churn_rows {
+        csv_line(r);
+    }
+    match churn_probe {
+        Some(t) if t.readmitted => out!(
+            "churn: departure re-admitted the rejected probe at utilization {:.2} (threshold {:.2} − hysteresis {:.2})",
+            t.readmit_utilization.unwrap_or(f64::NAN),
+            CHURN_MAX_UTIL,
+            CHURN_HYSTERESIS
+        ),
+        _ => out!("churn: rejected probe was NOT re-admitted"),
+    }
+    out!(
+        "churn: Guaranteed tenants finished {}x{churn_frames} frames with {guaranteed_misses} deadline misses through the burst",
+        guaranteed.len()
+    );
+
     // ---- Reports. ----
     if let Some(path) = &args.json {
         let mut json = JsonReport::new("fleet");
@@ -325,6 +517,43 @@ fn main() {
         json.meta(
             "serial_last_stream_delay_ms",
             Json::Num(serial_delay.as_secs_f64() * 1e3),
+        );
+        json.meta("churn_frames", Json::Num(churn_frames as f64));
+        json.meta("churn_burst_admitted", Json::Num(hogs.len() as f64));
+        json.meta(
+            "churn_hogs_departed",
+            Json::Num(
+                hogs.iter()
+                    .filter(|h| churn.tenants[h.tenant].state == LifecycleState::Departed)
+                    .count() as f64,
+            ),
+        );
+        json.meta("churn_hog_sheds", Json::Num(hog_sheds as f64));
+        json.meta(
+            "churn_probe_rejected",
+            Json::Num(f64::from(u8::from(probe.is_some()))),
+        );
+        json.meta(
+            "churn_probe_reject_util",
+            Json::Num(probe.as_ref().map_or(-1.0, |p| p.utilization)),
+        );
+        json.meta(
+            "churn_probe_readmitted",
+            Json::Num(f64::from(u8::from(
+                churn_probe.is_some_and(|t| t.readmitted),
+            ))),
+        );
+        json.meta(
+            "churn_probe_readmit_util",
+            Json::Num(
+                churn_probe
+                    .and_then(|t| t.readmit_utilization)
+                    .unwrap_or(-1.0),
+            ),
+        );
+        json.meta(
+            "churn_guaranteed_misses",
+            Json::Num(guaranteed_misses as f64),
         );
         for p in &points {
             json.row(vec![
@@ -384,6 +613,30 @@ fn main() {
             "past the knee: admission rejections, not fleet-wide misses".to_string(),
             heaviest.run.rejected() > 0
                 || heaviest.run.tenants_within_slo() == heaviest.run.admitted(),
+        ),
+        (
+            "churn: mid-run departure re-admitted a previously rejected stream".to_string(),
+            churn_probe.is_some_and(|t| {
+                t.readmitted
+                    && t.state == LifecycleState::Completed
+                    && t.readmit_utilization
+                        .is_some_and(|u| u <= CHURN_MAX_UTIL - CHURN_HYSTERESIS + 1e-9)
+            }),
+        ),
+        (
+            format!(
+                "churn: {} Guaranteed tenants held 0 p99 deadline misses through the BestEffort burst",
+                guaranteed.len()
+            ),
+            guaranteed_ok && guaranteed_misses == 0,
+        ),
+        (
+            "churn: every departed hog drained without losing in-flight frames".to_string(),
+            !hogs.is_empty()
+                && drains_clean
+                && hogs
+                    .iter()
+                    .all(|h| churn.tenants[h.tenant].state == LifecycleState::Departed),
         ),
     ];
     if !args.smoke {

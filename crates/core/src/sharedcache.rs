@@ -385,6 +385,14 @@ impl SharedScheduleCache {
     pub fn max_weight(&self) -> usize {
         self.inner.lock().map.max_weight()
     }
+
+    /// Sweep entries whose external handles are gone. A tenant's departure
+    /// drops its `Arc<PipelinedSchedule>` clones, which *unlocks* the
+    /// entries; this sweep then lets the weight bound actually reclaim
+    /// them. A no-op while the cache is within budget.
+    pub fn release_unused(&self) {
+        self.inner.lock().map.perform_gc();
+    }
 }
 
 #[cfg(test)]
@@ -519,6 +527,22 @@ mod tests {
             cache.get(7).is_none(),
             "unpinned entry evicted under pressure"
         );
+    }
+
+    #[test]
+    fn release_unused_sweeps_after_the_last_handle_drops() {
+        // The departure path: while a tenant holds its schedule Arc the
+        // entry is locked; once the tenant departs and drops it, an
+        // explicit sweep (not just the next insert) reclaims the weight.
+        let cache = SharedScheduleCache::new(1); // too small for any schedule
+        let schedule = sample();
+        let held = cache.get_or_search(7, || schedule.clone());
+        cache.release_unused();
+        assert_eq!(cache.len(), 1, "a pinned entry survives the sweep");
+        drop(held);
+        cache.release_unused();
+        assert!(cache.is_empty(), "the departed tenant's entry was swept");
+        assert_eq!(cache.evictions(), 1);
     }
 
     #[test]

@@ -14,7 +14,7 @@ use crate::error::{RuntimeHealth, Stage};
 use crate::faults::FaultInjector;
 use crate::frame_pool::{BufPool, PoolStats, PooledFrame, PooledMask};
 use crate::measure::Measurements;
-use crate::pool::{PoolHealth, WorkerPool};
+use crate::pool::{PoolHealth, PriorityClass, WorkerPool};
 use crate::regime_rt::RegimeController;
 use crate::tasks::{
     ChangeTask, DetectTask, DigitizerTask, FaceTask, HistogramTask, PeakTask, PoolJob, StageCtx,
@@ -126,6 +126,15 @@ pub struct SharedResources {
     /// the urgent lane (set by the fleet monitor when the tenant falls
     /// behind its deadline budget).
     pub boost: Arc<AtomicBool>,
+    /// The tenant's standing priority class: every pool job it submits
+    /// rides the class's queue lane (unless boosted).
+    pub class: PriorityClass,
+    /// Lifecycle drain flag: the fleet flips it on `detach`, the digitizer
+    /// stops producing, and in-flight frames drain to a clean close.
+    pub halt: Arc<AtomicBool>,
+    /// Shed flag: while `true`, the digitizer skip-commits frames instead
+    /// of rendering them (BestEffort degradation under fleet pressure).
+    pub shed: Arc<AtomicBool>,
 }
 
 /// A fully wired tracker application: six task bodies in the task-id order
@@ -263,7 +272,7 @@ impl TrackerApp {
                 ctx = ctx.with_cost_feed(a.feed());
             }
             if let Some(s) = shared {
-                ctx = ctx.with_boost(Arc::clone(&s.boost));
+                ctx = ctx.with_boost(Arc::clone(&s.boost)).with_class(s.class);
             }
             ctx
         };
@@ -305,6 +314,11 @@ impl TrackerApp {
         .with_ctx(stage_ctx(Stage::Digitizer));
         if let Some(p) = &frame_pool {
             digitizer = digitizer.with_frame_pool(p.clone());
+        }
+        if let Some(s) = shared {
+            digitizer = digitizer
+                .with_halt(Arc::clone(&s.halt))
+                .with_shed(Arc::clone(&s.shed));
         }
         let mut histogram = HistogramTask::new(frames.attach_input(), hist.clone())
             .with_ctx(stage_ctx(Stage::Histogram));
@@ -416,6 +430,17 @@ impl TrackerApp {
     #[must_use]
     pub fn pool_health(&self) -> Option<PoolHealth> {
         self.pool.as_ref().map(|p| p.health())
+    }
+
+    /// Block (condvar, not polling) until the attached pool has tallied at
+    /// least `n` contained panics or `timeout` elapses. True on success;
+    /// trivially true when no pool is attached and `n == 0`.
+    #[must_use]
+    pub fn wait_pool_panics(&self, n: u64, timeout: Duration) -> bool {
+        match &self.pool {
+            Some(p) => p.wait_panics(n, timeout),
+            None => n == 0,
+        }
     }
 
     /// Frame-buffer pool traffic, when recycling is on. `created` stops

@@ -195,6 +195,7 @@ pub struct RuntimeHealth {
     chunk_recomputes: AtomicU64,
     regime_clamps: AtomicU64,
     mark_drops: AtomicU64,
+    load_sheds: AtomicU64,
     log: Mutex<Vec<RuntimeError>>,
 }
 
@@ -234,6 +235,15 @@ impl RuntimeHealth {
         self.mark_drops.fetch_add(1, Ordering::SeqCst);
     }
 
+    /// Record that the digitizer deliberately skip-committed a frame
+    /// because the fleet flagged this (BestEffort) tenant to shed load —
+    /// a policy decision, not a fault, so it is tallied separately from
+    /// the drop ladder and excluded from
+    /// [`total_drops`](HealthReport::total_drops).
+    pub fn record_load_shed(&self) {
+        self.load_sheds.fetch_add(1, Ordering::SeqCst);
+    }
+
     /// Snapshot of all counters.
     #[must_use]
     pub fn report(&self) -> HealthReport {
@@ -245,6 +255,7 @@ impl RuntimeHealth {
             chunk_recomputes: self.chunk_recomputes.load(Ordering::SeqCst),
             regime_clamps: self.regime_clamps.load(Ordering::SeqCst),
             mark_drops: self.mark_drops.load(Ordering::SeqCst),
+            load_sheds: self.load_sheds.load(Ordering::SeqCst),
         }
     }
 
@@ -272,6 +283,9 @@ pub struct HealthReport {
     pub regime_clamps: u64,
     /// Measurement marks dropped for out-of-window timestamps.
     pub mark_drops: u64,
+    /// Frames deliberately skip-committed by the shed policy (BestEffort
+    /// degradation under fleet pressure). Not part of the drop ladder.
+    pub load_sheds: u64,
 }
 
 impl HealthReport {
@@ -293,14 +307,15 @@ impl fmt::Display for HealthReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "get-drops={} put-drops={} deadline-skips={} chunk-mismatches={} chunk-recomputes={} regime-clamps={} mark-drops={}",
+            "get-drops={} put-drops={} deadline-skips={} chunk-mismatches={} chunk-recomputes={} regime-clamps={} mark-drops={} load-sheds={}",
             self.stm_get_drops,
             self.stm_put_drops,
             self.deadline_skips,
             self.chunk_mismatches,
             self.chunk_recomputes,
             self.regime_clamps,
-            self.mark_drops
+            self.mark_drops,
+            self.load_sheds
         )
     }
 }
@@ -392,6 +407,17 @@ mod tests {
         assert!(!r.is_clean(), "a dropped mark is not a clean run");
         assert_eq!(r.total_drops(), 0, "mark drops are not frame drops");
         assert!(r.to_string().contains("mark-drops=1"));
+    }
+
+    #[test]
+    fn load_sheds_surface_in_the_report() {
+        let h = RuntimeHealth::default();
+        h.record_load_shed();
+        let r = h.report();
+        assert_eq!(r.load_sheds, 1);
+        assert_eq!(r.total_drops(), 0, "a shed is policy, not a drop");
+        assert!(!r.is_clean(), "the shed tenant's own ledger shows it");
+        assert!(r.to_string().contains("load-sheds=1"));
     }
 
     #[test]

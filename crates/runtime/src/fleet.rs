@@ -1,5 +1,5 @@
 //! Multi-tenant tracker fleet: many independent streams on one shared
-//! runtime.
+//! runtime, with a *dynamic* tenant lifecycle.
 //!
 //! Each tenant is a full [`TrackerApp`] — its own STM channels, regime
 //! controller, health ledger, and measurement store — but heavy compute is
@@ -8,27 +8,42 @@
 //! built through **one** [`SharedScheduleCache`], so a thousand tenants in
 //! the same regime pay for a single branch-and-bound search.
 //!
-//! Three mechanisms keep the fleet honest under load:
+//! The fleet is a living system ([`Fleet`]): streams [`attach`](Fleet::attach)
+//! and [`detach`](Fleet::detach) *mid-run*. An arrival goes through the EWMA
+//! admission gate against current measured utilization; a departure drains
+//! the tenant's in-flight frames, releases its freelist buffers and shared
+//! schedule-cache locks, and leaves a final rollup behind. Previously
+//! rejected streams sit in a retry queue and are re-admitted once
+//! utilization drops a hysteresis band below the admission threshold
+//! ([`FleetConfig::readmit`]).
 //!
-//! - **Admission control**: tenants are admitted one at a time; once the
-//!   measured pool utilization plus the marginal cost of one more stream
-//!   would cross [`FleetConfig::max_utilization`], further streams are
-//!   *rejected* instead of degrading everyone ("admission rejections, not
-//!   fleet-wide misses").
+//! Mechanisms that keep the fleet honest under load:
+//!
+//! - **Admission control**: once the measured pool utilization plus the
+//!   marginal cost of one more stream would cross
+//!   [`FleetConfig::max_utilization`], arrivals are *rejected* instead of
+//!   degrading everyone ("admission rejections, not fleet-wide misses").
+//! - **Priority classes**: every tenant carries a
+//!   [`PriorityClass`] wired into the pool's class-ordered lanes — a
+//!   `Guaranteed` tenant's chunks overtake any `BestEffort` backlog, and
+//!   under pressure `BestEffort` tenants degrade to skip-commit (load
+//!   shedding) instead of inflating the neighbors' p99.
 //! - **Weighted fairness**: a monitor thread samples each tenant's frame
-//!   backlog; a tenant behind its deadline budget gets its boost flag set,
-//!   which routes its pool jobs onto the urgent lane until it catches up.
+//!   backlog; a (non-BestEffort) tenant behind its deadline budget gets its
+//!   boost flag set, which routes its pool jobs onto the urgent lane until
+//!   it catches up.
 //! - **Containment**: a faulting tenant degrades through its own
 //!   [`StageCtx`](crate::tasks::StageCtx) ladder and health ledger; other
 //!   tenants' outputs stay bit-identical to solo runs (the isolation tests
-//!   below assert exactly that).
+//!   assert exactly that).
 //!
 //! Observability composes per tenant: each tenant's span
-//! [`Recorder`](obs::Recorder) drains
-//! into one Chrome trace under its own `pid`, so a single
-//! `chrome://tracing` load shows the whole fleet side by side, and the
-//! schedule-conformance checker runs per tenant with a fleet-level rollup.
+//! [`Recorder`](obs::Recorder) drains into one Chrome trace under its own
+//! `pid`, so a single `chrome://tracing` load shows the whole fleet side by
+//! side, and the schedule-conformance checker runs per tenant with a
+//! fleet-level rollup.
 
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread;
@@ -39,29 +54,32 @@ use cds_core::sharedcache::SharedScheduleCache;
 use cds_core::table::ScheduleTable;
 use cluster::ClusterSpec;
 use obs::{ChromeTrace, RegimeSpec};
-use parking_lot::Mutex;
-use taskgraph::{builders, AppState, TaskId};
+use parking_lot::{Condvar, Mutex};
+use taskgraph::{builders, AppState, TaskGraph, TaskId};
 use vision::{BitMask, Frame, Scene};
 
 use crate::app::{SharedResources, TrackerApp, TrackerConfig};
+use crate::error::HealthReport;
 use crate::exec_online::OnlineExecutor;
 use crate::faults::FaultInjector;
 use crate::frame_pool::BufPool;
+use crate::lifecycle::{self, AttachOutcome, LifecycleState, TenantSpec};
 use crate::measure::{Measurements, RunStats};
-use crate::pool::WorkerPool;
+use crate::pool::{PriorityClass, WorkerPool};
 use crate::regime_rt::RegimeController;
 use crate::tasks::PoolJob;
 
 /// Configuration of a fleet run: one tracker template plus the fleet-level
-/// knobs (pool size, deadline budget, admission threshold, fairness
-/// policy).
+/// knobs (pool size, deadline budget, admission threshold, fairness and
+/// lifecycle policy).
 #[derive(Clone)]
 pub struct FleetConfig {
     /// Per-tenant tracker template. Each tenant clones this with its own
     /// seed (`base.seed + tenant`); `pool_workers` and `recycle_buffers`
     /// on the template are superseded by the fleet's shared resources.
     pub base: TrackerConfig,
-    /// Number of streams asking to run.
+    /// Number of streams asking to run (used by [`run_fleet`]; a [`Fleet`]
+    /// driven through [`attach`](Fleet::attach) ignores it).
     pub tenants: usize,
     /// Width of the one shared worker pool.
     pub pool_workers: usize,
@@ -70,7 +88,7 @@ pub struct FleetConfig {
     pub deadline: Duration,
     /// Admission threshold: a tenant is rejected when measured pool
     /// utilization plus the marginal utilization of one more stream
-    /// (utilization ÷ admitted streams) would exceed this.
+    /// (utilization ÷ running streams) would exceed this.
     pub max_utilization: f64,
     /// Streams admitted unconditionally before the utilization probe
     /// applies (there is no signal to measure before the first stream).
@@ -98,11 +116,28 @@ pub struct FleetConfig {
     /// Idle-buffer bound of each shared freelist; `0` derives a bound from
     /// the template's channel capacity.
     pub buf_slots: usize,
+    /// Re-admission loop: when `true`, rejected streams enter a retry
+    /// queue and are re-attached once EWMA utilization drops below
+    /// `max_utilization - readmit_hysteresis`. Off by default — a plain
+    /// [`run_fleet`] keeps the PR 8 reject-is-final semantics.
+    pub readmit: bool,
+    /// Hysteresis band of the re-admission gate (see
+    /// [`lifecycle::readmit_ready`]): prevents admit/reject flapping when
+    /// utilization hovers at the knee.
+    pub readmit_hysteresis: f64,
+    /// Shed threshold for `BestEffort` tenants: while EWMA utilization
+    /// exceeds this, their digitizers skip-commit frames instead of
+    /// rendering. `f64::INFINITY` disables shedding.
+    pub shed_utilization: f64,
+    /// Hysteresis band of the shed gate (release only below
+    /// `shed_utilization - shed_hysteresis`).
+    pub shed_hysteresis: f64,
 }
 
 impl FleetConfig {
     /// A small, fast fleet suitable for tests: tiny frames, a 2-worker
-    /// pool, generous deadline, admission effectively open.
+    /// pool, generous deadline, admission effectively open, lifecycle
+    /// extras (re-admission, shedding) off.
     #[must_use]
     pub fn small(tenants: usize, n_frames: u64) -> Self {
         let mut base = TrackerConfig::small(2, n_frames);
@@ -122,6 +157,10 @@ impl FleetConfig {
             regimes: vec![1, 2],
             cache_weight: 64,
             buf_slots: 0,
+            readmit: false,
+            readmit_hysteresis: 0.1,
+            shed_utilization: f64::INFINITY,
+            shed_hysteresis: 0.1,
         }
     }
 }
@@ -130,10 +169,21 @@ impl FleetConfig {
 pub struct TenantRun {
     /// Tenant index (also its Chrome-trace `pid`).
     pub tenant: usize,
-    /// Whether admission control let this stream run.
+    /// Whether admission control (ever) let this stream run.
     pub admitted: bool,
-    /// Pool utilization observed at the rejection decision, for rejected
-    /// tenants.
+    /// The tenant's scheduling class.
+    pub class: PriorityClass,
+    /// Where the tenant ended its lifecycle.
+    pub state: LifecycleState,
+    /// Whether the stream was first rejected and later re-admitted by the
+    /// retry loop.
+    pub readmitted: bool,
+    /// EWMA utilization at the moment the retry loop re-admitted the
+    /// stream — by construction at most `max_utilization −
+    /// readmit_hysteresis` (the no-flapping evidence).
+    pub readmit_utilization: Option<f64>,
+    /// Pool utilization observed at the (first) rejection decision, for
+    /// tenants the gate turned away.
     pub reject_utilization: Option<f64>,
     /// The tenant's application after the run (health ledger, face logs,
     /// channels, recorder) — `None` when rejected.
@@ -142,6 +192,8 @@ pub struct TenantRun {
     pub stats: Option<RunStats>,
     /// Monitor ticks during which this tenant held the urgent lane.
     pub boost_ticks: u64,
+    /// Frames the shed policy skip-committed for this tenant.
+    pub sheds: u64,
 }
 
 /// A completed fleet run: per-tenant outcomes plus fleet-level signals.
@@ -156,7 +208,7 @@ pub struct FleetRun {
     pub cache_searches: u64,
     /// Table entries served from the shared cache's memory.
     pub cache_hits: u64,
-    /// Wall time from first admission to last tenant completion.
+    /// Wall time from fleet launch to the last tenant completion.
     pub wall: Duration,
     /// Jobs the shared pool executed across all tenants.
     pub pool_executed: u64,
@@ -164,7 +216,8 @@ pub struct FleetRun {
     pub deadline: Duration,
     /// Warmup frames excluded from per-tenant statistics.
     pub warmup: usize,
-    /// Frames each admitted tenant was asked to process.
+    /// Frames each admitted tenant was asked to process (the base budget;
+    /// a [`TenantSpec::n_frames`] override supersedes it per tenant).
     pub n_frames: u64,
     /// The schedule table every tenant shares (built once, then served
     /// from the shared cache).
@@ -182,12 +235,582 @@ pub struct FleetObs {
     pub conformance: Vec<(usize, bool)>,
 }
 
+/// The final rollup [`Fleet::detach_and_wait`] emits once a departed
+/// tenant has fully drained.
+pub struct TenantRollup {
+    /// Tenant index.
+    pub tenant: usize,
+    /// Wall-clock statistics over the frames that ran before departure.
+    pub stats: RunStats,
+    /// The tenant's final health ledger.
+    pub health: HealthReport,
+    /// Frames the shed policy skip-committed.
+    pub sheds: u64,
+    /// Frames the tenant digitized before the drain cut production.
+    pub digitized: u64,
+}
+
 /// What the monitor tracks per admitted tenant.
 struct TenantLive {
     tenant: usize,
+    class: PriorityClass,
     measure: Arc<Measurements>,
     boost: Arc<AtomicBool>,
     boost_ticks: Arc<AtomicU64>,
+    shed: Arc<AtomicBool>,
+    shedding: bool,
+}
+
+/// One tenant's lifecycle slot: state, knobs, and (eventually) results.
+struct TenantSlot {
+    spec: TenantSpec,
+    state: LifecycleState,
+    readmitted: bool,
+    readmit_utilization: Option<f64>,
+    reject_utilization: Option<f64>,
+    boost_ticks: Arc<AtomicU64>,
+    halt: Arc<AtomicBool>,
+    /// The tenant's own table handle: its `Arc<PipelinedSchedule>` clones
+    /// keep the shared cache's entries locked (unevictable) while the
+    /// tenant lives; taken on departure so the entries unlock.
+    table: Option<ScheduleTable>,
+    result: Option<(TrackerApp, RunStats)>,
+}
+
+/// Everything the fleet's threads share.
+struct FleetInner {
+    cfg: FleetConfig,
+    workers: usize,
+    pool: Arc<WorkerPool<PoolJob>>,
+    frame_pool: Option<BufPool<Frame>>,
+    mask_pool: Option<BufPool<BitMask>>,
+    cache: SharedScheduleCache,
+    graph: TaskGraph,
+    cluster: ClusterSpec,
+    states: Vec<AppState>,
+    search: OptimalConfig,
+    table: ScheduleTable,
+    dp_task: TaskId,
+    stop: AtomicBool,
+    readmit_enabled: AtomicBool,
+    util_bits: AtomicU64,
+    /// (peak, sum, samples) of the EWMA utilization.
+    util_acc: Mutex<(f64, f64, u64)>,
+    live: Mutex<Vec<TenantLive>>,
+    slots: Mutex<Vec<TenantSlot>>,
+    retry: Mutex<VecDeque<usize>>,
+    /// Tenant threads currently running.
+    running: AtomicUsize,
+    /// Wakes [`Fleet::finish`]/[`Fleet::detach_and_wait`] on any tenant
+    /// completion — the condvar replacement for the old polling join.
+    done_lock: Mutex<()>,
+    done_cv: Condvar,
+    handles: Mutex<Vec<thread::JoinHandle<()>>>,
+    t_start: Instant,
+}
+
+impl FleetInner {
+    fn utilization(&self) -> f64 {
+        f64::from_bits(self.util_bits.load(Ordering::Relaxed))
+    }
+
+    /// Mark tenant-thread completion and wake every waiter. The lock
+    /// acquire/release orders the notification after a waiter's predicate
+    /// check, so no completion is missed.
+    fn note_done(&self) {
+        self.running.fetch_sub(1, Ordering::SeqCst);
+        drop(self.done_lock.lock());
+        self.done_cv.notify_all();
+    }
+
+    /// Build and launch one admitted tenant (index `idx` must already hold
+    /// a slot). Called from `attach` and from the monitor's retry loop.
+    fn start_tenant(self: &Arc<Self>, idx: usize, readmitted: bool) {
+        let cfg = &self.cfg;
+        let spec = {
+            let mut slots = self.slots.lock();
+            let slot = &mut slots[idx];
+            slot.state = LifecycleState::Admitted;
+            slot.readmitted = readmitted;
+            if readmitted {
+                slot.readmit_utilization = Some(self.utilization());
+            }
+            slot.spec.clone()
+        };
+
+        // The tenant's table build: a shared-cache hit for every tenant
+        // after the first. Holding the table in the slot keeps the cache
+        // entries locked for exactly the tenant's lifetime.
+        let (tenant_table, _) = ScheduleTable::precompute_shared(
+            &self.graph,
+            &self.cluster,
+            &self.states,
+            &self.search,
+            &self.cache,
+            None,
+        );
+        let controller = RegimeController::from_schedule_table(
+            &tenant_table,
+            self.dp_task,
+            cfg.base.n_targets as u32,
+            2,
+        )
+        .ok()
+        .map(Arc::new);
+
+        let mut tcfg = cfg.base.clone();
+        tcfg.seed = cfg.base.seed + idx as u64;
+        tcfg.frame_deadline = Some(cfg.deadline);
+        tcfg.pool_workers = 0; // the shared pool supersedes it
+        tcfg.faults = spec.faults.clone();
+        if let Some(p) = spec.period {
+            tcfg.period = p;
+        }
+        if let Some(n) = spec.n_frames {
+            tcfg.n_frames = n;
+        }
+        let scene = Scene::demo(tcfg.width, tcfg.height, tcfg.n_targets, tcfg.seed);
+
+        let boost = Arc::new(AtomicBool::new(false));
+        let shed = Arc::new(AtomicBool::new(false));
+        let (halt, boost_ticks) = {
+            let slots = self.slots.lock();
+            (
+                Arc::clone(&slots[idx].halt),
+                Arc::clone(&slots[idx].boost_ticks),
+            )
+        };
+        let shared = SharedResources {
+            pool: Arc::clone(&self.pool),
+            pool_workers: self.workers,
+            frame_pool: self.frame_pool.clone(),
+            mask_pool: self.mask_pool.clone(),
+            boost: Arc::clone(&boost),
+            class: spec.class,
+            halt: Arc::clone(&halt),
+            shed: Arc::clone(&shed),
+        };
+        let app = TrackerApp::build_shared(&tcfg, scene, controller, None, &shared);
+        self.slots.lock()[idx].table = Some(tenant_table);
+        self.live.lock().push(TenantLive {
+            tenant: idx,
+            class: spec.class,
+            measure: Arc::clone(&app.measure),
+            boost,
+            boost_ticks,
+            shed,
+            shedding: false,
+        });
+
+        self.running.fetch_add(1, Ordering::SeqCst);
+        let inner = Arc::clone(self);
+        let warmup = cfg.warmup;
+        let handle = thread::Builder::new()
+            .name(format!("tenant-{idx}"))
+            .spawn(move || {
+                let stats = OnlineExecutor::run(&app, warmup);
+                inner.finish_tenant(idx, app, stats);
+            });
+        match handle {
+            Ok(h) => self.handles.lock().push(h),
+            Err(_) => {
+                // The OS refused a thread: the tenant never ran. Record it
+                // as departed-with-nothing rather than wedging finish().
+                let mut slots = self.slots.lock();
+                slots[idx].state = LifecycleState::Departed;
+                slots[idx].table = None;
+                self.live.lock().retain(|t| t.tenant != idx);
+                self.note_done();
+            }
+        }
+    }
+
+    /// Tenant thread epilogue: store results, settle the lifecycle state,
+    /// release the tenant's cache locks, and wake waiters.
+    fn finish_tenant(&self, idx: usize, app: TrackerApp, stats: RunStats) {
+        let departed = {
+            let mut slots = self.slots.lock();
+            let slot = &mut slots[idx];
+            let departed = slot.state == LifecycleState::Draining;
+            slot.state = if departed {
+                LifecycleState::Departed
+            } else {
+                LifecycleState::Completed
+            };
+            slot.result = Some((app, stats));
+            // Dropping the tenant's table clones unlocks its shared-cache
+            // entries (they become evictable again).
+            slot.table = None;
+            departed
+        };
+        self.live.lock().retain(|t| t.tenant != idx);
+        if departed {
+            // Departure releases capacity: sweep the cache so unlocked
+            // entries can actually leave if the weight bound demands it.
+            self.cache.release_unused();
+        }
+        self.note_done();
+    }
+
+    /// One monitor pass: sample utilization, drive boost/shed flags, and
+    /// retry rejected streams when the re-admission gate opens.
+    fn monitor_tick(self: &Arc<Self>, prev_busy: &mut u64, prev_t: &mut Instant) {
+        let now = Instant::now();
+        let busy = self.pool.busy_ns();
+        // Raw per-tick samples are spiky — a long pool job's entire busy
+        // time lands in whichever tick it completes on — so the published
+        // utilization is a clamped exponential moving average; degenerate
+        // windows (zero dt, zero workers) are rejected outright instead of
+        // poisoning it (see `lifecycle::utilization_sample`).
+        let prev = {
+            let bits = self.util_bits.load(Ordering::Relaxed);
+            let acc = self.util_acc.lock();
+            (acc.2 > 0).then(|| f64::from_bits(bits))
+        };
+        if let Some(util) = lifecycle::utilization_sample(
+            busy.saturating_sub(*prev_busy),
+            now.duration_since(*prev_t),
+            self.workers,
+            prev,
+        ) {
+            self.util_bits.store(util.to_bits(), Ordering::Relaxed);
+            let mut acc = self.util_acc.lock();
+            acc.0 = acc.0.max(util);
+            acc.1 += util;
+            acc.2 += 1;
+            *prev_busy = busy;
+            *prev_t = now;
+        }
+        let util = self.utilization();
+
+        for t in self.live.lock().iter_mut() {
+            // Boost (urgent lane) is for tenants with service guarantees;
+            // a BestEffort tenant never preempts, it sheds instead.
+            let behind = t.class != PriorityClass::BestEffort
+                && t.measure.backlog() >= self.cfg.boost_backlog;
+            t.boost.store(behind, Ordering::Relaxed);
+            if behind {
+                t.boost_ticks.fetch_add(1, Ordering::Relaxed);
+            }
+            if t.class == PriorityClass::BestEffort {
+                t.shedding = lifecycle::shed_pressure(
+                    t.shedding,
+                    util,
+                    self.cfg.shed_utilization,
+                    self.cfg.shed_hysteresis,
+                );
+                t.shed.store(t.shedding, Ordering::Relaxed);
+            }
+        }
+
+        // Re-admission: one retry per tick, and only once utilization has
+        // dropped a full hysteresis band below the admission threshold.
+        if self.cfg.readmit
+            && self.readmit_enabled.load(Ordering::SeqCst)
+            && lifecycle::readmit_ready(util, self.cfg.max_utilization, self.cfg.readmit_hysteresis)
+        {
+            let next = self.retry.lock().pop_front();
+            if let Some(idx) = next {
+                self.start_tenant(idx, true);
+            }
+        }
+    }
+}
+
+/// A live fleet: launch once, then [`attach`](Self::attach) and
+/// [`detach`](Self::detach) tenants while it runs, and
+/// [`finish`](Self::finish) to join everything into a [`FleetRun`].
+pub struct Fleet {
+    inner: Arc<FleetInner>,
+    monitor: Option<thread::JoinHandle<()>>,
+}
+
+impl Fleet {
+    /// Build the shared runtime (pool, freelists, schedule cache, fleet
+    /// table) and start the monitor thread. No tenants yet.
+    #[must_use]
+    pub fn launch(cfg: FleetConfig) -> Fleet {
+        let workers = cfg.pool_workers.max(1);
+        let pool: Arc<WorkerPool<PoolJob>> = Arc::new(WorkerPool::new(workers, PoolJob::run));
+        let buf_slots = if cfg.buf_slots > 0 {
+            cfg.buf_slots
+        } else {
+            // Bounded regardless of tenant count: overflow returns are
+            // dropped, shortfalls allocate fresh — correctness never
+            // depends on the freelist being large enough.
+            (cfg.base.channel_capacity + 2) * 4
+        };
+        let (frame_pool, mask_pool): (Option<BufPool<Frame>>, Option<BufPool<BitMask>>) =
+            if cfg.base.recycle_buffers {
+                (Some(BufPool::new(buf_slots)), Some(BufPool::new(buf_slots)))
+            } else {
+                (None, None)
+            };
+
+        // The cross-tenant schedule cache: this first table build searches,
+        // every tenant's build is served from memory.
+        let cache = SharedScheduleCache::new(cfg.cache_weight.max(1));
+        let graph = builders::color_tracker();
+        let cluster = ClusterSpec::single_node(4);
+        let dp_task = graph
+            .task_by_name("Target Detection")
+            .expect("tracker graph has T4"); // INVARIANT: the builder defines T4 by this name
+
+        let regimes: Vec<u32> = if cfg.regimes.is_empty() {
+            vec![cfg.base.n_targets as u32]
+        } else {
+            cfg.regimes.clone()
+        };
+        let states: Vec<AppState> = regimes.iter().map(|&n| AppState::new(n)).collect();
+        let search = OptimalConfig::default().serial();
+        let (table, _) =
+            ScheduleTable::precompute_shared(&graph, &cluster, &states, &search, &cache, None);
+
+        let inner = Arc::new(FleetInner {
+            cfg,
+            workers,
+            pool,
+            frame_pool,
+            mask_pool,
+            cache,
+            graph,
+            cluster,
+            states,
+            search,
+            table,
+            dp_task,
+            stop: AtomicBool::new(false),
+            readmit_enabled: AtomicBool::new(true),
+            util_bits: AtomicU64::new(0),
+            util_acc: Mutex::new((0.0, 0.0, 0)),
+            live: Mutex::new(Vec::new()),
+            slots: Mutex::new(Vec::new()),
+            retry: Mutex::new(VecDeque::new()),
+            running: AtomicUsize::new(0),
+            done_lock: Mutex::new(()),
+            done_cv: Condvar::new(),
+            handles: Mutex::new(Vec::new()),
+            t_start: Instant::now(),
+        });
+
+        let m_inner = Arc::clone(&inner);
+        let monitor = thread::Builder::new()
+            .name("fleet-monitor".into())
+            .spawn(move || {
+                let mut prev_busy = m_inner.pool.busy_ns();
+                let mut prev_t = Instant::now();
+                while !m_inner.stop.load(Ordering::Relaxed) {
+                    thread::sleep(m_inner.cfg.monitor_tick);
+                    m_inner.monitor_tick(&mut prev_busy, &mut prev_t);
+                }
+                // Leave no tenant pinned to the urgent lane after the run.
+                for t in m_inner.live.lock().iter() {
+                    t.boost.store(false, Ordering::Relaxed);
+                }
+            })
+            .ok();
+
+        Fleet { inner, monitor }
+    }
+
+    /// Ask to run one more stream. The EWMA admission gate decides against
+    /// *current* measured utilization; a rejected stream (with
+    /// [`FleetConfig::readmit`] on) enters the retry queue and may be
+    /// re-admitted later by the monitor.
+    pub fn attach(&self, spec: TenantSpec) -> AttachOutcome {
+        let inner = &self.inner;
+        let util = inner.utilization();
+        let (idx, admitted) = {
+            let mut slots = inner.slots.lock();
+            let idx = slots.len();
+            let admitted = lifecycle::admit(
+                util,
+                inner.running.load(Ordering::SeqCst),
+                idx,
+                inner.cfg.min_admitted,
+                inner.cfg.max_utilization,
+            );
+            slots.push(TenantSlot {
+                spec,
+                state: LifecycleState::Rejected,
+                readmitted: false,
+                readmit_utilization: None,
+                reject_utilization: (!admitted).then_some(util),
+                boost_ticks: Arc::new(AtomicU64::new(0)),
+                halt: Arc::new(AtomicBool::new(false)),
+                table: None,
+                result: None,
+            });
+            (idx, admitted)
+        };
+        if admitted {
+            inner.start_tenant(idx, false);
+        } else if inner.cfg.readmit {
+            inner.retry.lock().push_back(idx);
+        }
+        AttachOutcome {
+            tenant: idx,
+            admitted,
+            utilization: util,
+        }
+    }
+
+    /// Begin a tenant's departure: its digitizer stops at the next frame
+    /// boundary and in-flight frames drain through the pipeline. Returns
+    /// `false` unless the tenant is currently `Admitted`. Non-blocking;
+    /// use [`detach_and_wait`](Self::detach_and_wait) for the rollup.
+    pub fn detach(&self, tenant: usize) -> bool {
+        let mut slots = self.inner.slots.lock();
+        match slots.get_mut(tenant) {
+            Some(slot) if slot.state == LifecycleState::Admitted => {
+                slot.state = LifecycleState::Draining;
+                slot.halt.store(true, Ordering::SeqCst);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// [`detach`](Self::detach), then block until the tenant has fully
+    /// drained (or `timeout` elapses) and emit its final rollup.
+    pub fn detach_and_wait(&self, tenant: usize, timeout: Duration) -> Option<TenantRollup> {
+        let already_draining = {
+            let slots = self.inner.slots.lock();
+            slots
+                .get(tenant)
+                .is_some_and(|s| s.state == LifecycleState::Draining)
+        };
+        if !self.detach(tenant) && !already_draining {
+            return None;
+        }
+        let deadline = Instant::now() + timeout;
+        let inner = &self.inner;
+        {
+            let mut g = inner.done_lock.lock();
+            loop {
+                let state = inner.slots.lock()[tenant].state;
+                if state == LifecycleState::Departed {
+                    break;
+                }
+                let now = Instant::now();
+                if now >= deadline {
+                    return None;
+                }
+                let _ = inner.done_cv.wait_for(&mut g, deadline - now);
+            }
+        }
+        let slots = inner.slots.lock();
+        let (app, stats) = slots[tenant].result.as_ref()?;
+        Some(TenantRollup {
+            tenant,
+            stats: *stats,
+            health: app.health.report(),
+            sheds: app.measure.shed_count(),
+            digitized: app.measure.digitized_count(),
+        })
+    }
+
+    /// The current EWMA pool utilization the admission gate sees.
+    #[must_use]
+    pub fn utilization(&self) -> f64 {
+        self.inner.utilization()
+    }
+
+    /// A tenant's current lifecycle state.
+    #[must_use]
+    pub fn tenant_state(&self, tenant: usize) -> Option<LifecycleState> {
+        self.inner.slots.lock().get(tenant).map(|s| s.state)
+    }
+
+    /// Whether a tenant has been re-admitted by the retry loop.
+    #[must_use]
+    pub fn tenant_readmitted(&self, tenant: usize) -> bool {
+        self.inner
+            .slots
+            .lock()
+            .get(tenant)
+            .is_some_and(|s| s.readmitted)
+    }
+
+    /// Stop re-admitting, wait (condvar, not polling) for every running
+    /// tenant to finish, stop the monitor, and reduce to a [`FleetRun`].
+    #[must_use]
+    pub fn finish(mut self) -> FleetRun {
+        let inner = &self.inner;
+        inner.readmit_enabled.store(false, Ordering::SeqCst);
+        inner.retry.lock().clear();
+        {
+            let mut g = inner.done_lock.lock();
+            while inner.running.load(Ordering::SeqCst) > 0 {
+                inner.done_cv.wait(&mut g);
+            }
+        }
+        inner.stop.store(true, Ordering::SeqCst);
+        if let Some(m) = self.monitor.take() {
+            let _ = m.join();
+        }
+        for h in std::mem::take(&mut *inner.handles.lock()) {
+            let _ = h.join();
+        }
+
+        let wall = inner.t_start.elapsed();
+        let (peak, sum, samples) = *inner.util_acc.lock();
+        let mut slots = inner.slots.lock();
+        let tenants: Vec<TenantRun> = slots
+            .iter_mut()
+            .enumerate()
+            .map(|(k, slot)| {
+                let boost_ticks = slot.boost_ticks.load(Ordering::Relaxed);
+                match slot.result.take() {
+                    Some((app, stats)) => TenantRun {
+                        tenant: k,
+                        admitted: true,
+                        class: slot.spec.class,
+                        state: slot.state,
+                        readmitted: slot.readmitted,
+                        readmit_utilization: slot.readmit_utilization,
+                        reject_utilization: slot.reject_utilization,
+                        sheds: app.measure.shed_count(),
+                        app: Some(app),
+                        stats: Some(stats),
+                        boost_ticks,
+                    },
+                    None => TenantRun {
+                        tenant: k,
+                        admitted: slot.state != LifecycleState::Rejected,
+                        class: slot.spec.class,
+                        state: slot.state,
+                        readmitted: slot.readmitted,
+                        readmit_utilization: slot.readmit_utilization,
+                        reject_utilization: slot.reject_utilization,
+                        app: None,
+                        stats: None,
+                        boost_ticks,
+                        sheds: 0,
+                    },
+                }
+            })
+            .collect();
+
+        FleetRun {
+            tenants,
+            peak_utilization: peak,
+            mean_utilization: if samples > 0 {
+                sum / samples as f64
+            } else {
+                0.0
+            },
+            cache_searches: inner.cache.searches(),
+            cache_hits: inner.cache.hits(),
+            wall,
+            pool_executed: inner.pool.executed(),
+            deadline: inner.cfg.deadline,
+            warmup: inner.cfg.warmup,
+            n_frames: inner.cfg.base.n_frames,
+            table: inner.table.clone(),
+            dp_task: inner.dp_task,
+        }
+    }
 }
 
 impl FleetRun {
@@ -197,21 +820,27 @@ impl FleetRun {
         self.tenants.iter().filter(|t| t.admitted).count()
     }
 
-    /// Streams admission control turned away.
+    /// Streams admission control turned away (and never re-admitted).
     #[must_use]
     pub fn rejected(&self) -> usize {
         self.tenants.len() - self.admitted()
     }
 
     /// Deadline misses for one admitted tenant: completed frames over the
-    /// budget plus frames that never completed at all (skipped or lost).
+    /// budget plus frames that entered the pipeline (were digitized) but
+    /// never completed. Frames a departed tenant never produced, and
+    /// frames the shed policy skip-committed, are not misses — departure
+    /// and shedding are policy, not failures.
     #[must_use]
     pub fn deadline_misses(&self, tenant: usize) -> u64 {
         let t = &self.tenants[tenant];
         match (&t.app, &t.stats) {
             (Some(app), Some(stats)) => {
                 let over = app.measure.over_deadline(self.deadline, self.warmup);
-                over + self.n_frames.saturating_sub(stats.frames_completed)
+                over + app
+                    .measure
+                    .digitized_count()
+                    .saturating_sub(stats.frames_completed)
             }
             _ => 0,
         }
@@ -304,231 +933,29 @@ impl FleetRun {
     }
 }
 
-/// Run a fleet: admit tenants one at a time under the utilization probe,
-/// multiplex every admitted tenant onto the shared pool with the monitor
-/// enforcing weighted fairness, and collect per-tenant statistics.
+/// Run a static fleet: admit `cfg.tenants` streams one at a time under the
+/// utilization probe (paced by `admit_interval` so the monitor sees each
+/// admission's marginal load), let every admitted tenant run to
+/// completion, and collect per-tenant statistics. This is the PR 8
+/// batch-shaped entry point, now a thin wrapper over the dynamic
+/// [`Fleet`] lifecycle.
 #[must_use]
-#[allow(clippy::too_many_lines)]
 pub fn run_fleet(cfg: &FleetConfig) -> FleetRun {
     assert!(cfg.tenants >= 1, "a fleet needs at least one tenant");
-    let workers = cfg.pool_workers.max(1);
-    let pool: Arc<WorkerPool<PoolJob>> = Arc::new(WorkerPool::new(workers, PoolJob::run));
-    let buf_slots = if cfg.buf_slots > 0 {
-        cfg.buf_slots
-    } else {
-        // Bounded regardless of tenant count: overflow returns are dropped,
-        // shortfalls allocate fresh — correctness never depends on the
-        // freelist being large enough.
-        (cfg.base.channel_capacity + 2) * 4
-    };
-    let (frame_pool, mask_pool): (Option<BufPool<Frame>>, Option<BufPool<BitMask>>) =
-        if cfg.base.recycle_buffers {
-            (Some(BufPool::new(buf_slots)), Some(BufPool::new(buf_slots)))
-        } else {
-            (None, None)
+    let fleet = Fleet::launch(cfg.clone());
+    for k in 0..cfg.tenants {
+        if k > 0 {
+            thread::sleep(cfg.admit_interval);
+        }
+        let spec = TenantSpec {
+            class: PriorityClass::Standard,
+            faults: cfg.tenant_faults.get(k).cloned().flatten(),
+            period: None,
+            n_frames: None,
         };
-
-    // The cross-tenant schedule cache: tenant 0's table build searches,
-    // every later tenant's build is served from memory.
-    let cache = SharedScheduleCache::new(cfg.cache_weight.max(1));
-    let graph = builders::color_tracker();
-    let cluster = ClusterSpec::single_node(4);
-    let dp_task = graph
-        .task_by_name("Target Detection")
-        .expect("tracker graph has T4"); // INVARIANT: the builder defines T4 by this name
-
-    let regimes: Vec<u32> = if cfg.regimes.is_empty() {
-        vec![cfg.base.n_targets as u32]
-    } else {
-        cfg.regimes.clone()
-    };
-    let states: Vec<AppState> = regimes.iter().map(|&n| AppState::new(n)).collect();
-    let search = OptimalConfig::default().serial();
-    let (table, _) =
-        ScheduleTable::precompute_shared(&graph, &cluster, &states, &search, &cache, None);
-
-    let live: Mutex<Vec<TenantLive>> = Mutex::new(Vec::new());
-    let stop = AtomicBool::new(false);
-    let util_bits = AtomicU64::new(0);
-    let util_acc: Mutex<(f64, f64, u64)> = Mutex::new((0.0, 0.0, 0)); // (peak, sum, samples)
-    let done = AtomicUsize::new(0);
-
-    let results: Vec<Mutex<Option<(TrackerApp, RunStats)>>> =
-        (0..cfg.tenants).map(|_| Mutex::new(None)).collect();
-    let mut admitted_flags = vec![false; cfg.tenants];
-    let mut reject_util = vec![None; cfg.tenants];
-    let t_start = Instant::now();
-
-    thread::scope(|s| {
-        // Monitor: pool utilization (busy_ns delta over wall × workers) and
-        // per-tenant backlog → boost flags.
-        s.spawn(|| {
-            let mut prev_busy = pool.busy_ns();
-            let mut prev_t = Instant::now();
-            // Raw per-tick samples are spiky — a long pool job's entire
-            // busy time lands in whichever tick it completes on — so the
-            // published utilization is an exponential moving average.
-            let mut ewma: Option<f64> = None;
-            while !stop.load(Ordering::Relaxed) {
-                thread::sleep(cfg.monitor_tick);
-                let now = Instant::now();
-                let busy = pool.busy_ns();
-                let dt = now.duration_since(prev_t).as_nanos() as f64;
-                if dt > 0.0 {
-                    let raw = (busy.saturating_sub(prev_busy)) as f64 / (dt * workers as f64);
-                    let util = match ewma {
-                        Some(prev) => 0.2 * raw + 0.8 * prev,
-                        None => raw,
-                    };
-                    ewma = Some(util);
-                    util_bits.store(util.to_bits(), Ordering::Relaxed);
-                    let mut acc = util_acc.lock();
-                    acc.0 = acc.0.max(util);
-                    acc.1 += util;
-                    acc.2 += 1;
-                }
-                prev_busy = busy;
-                prev_t = now;
-                for t in live.lock().iter() {
-                    let behind = t.measure.backlog() >= cfg.boost_backlog;
-                    t.boost.store(behind, Ordering::Relaxed);
-                    if behind {
-                        t.boost_ticks.fetch_add(1, Ordering::Relaxed);
-                    }
-                }
-            }
-            // Leave no tenant pinned to the urgent lane after the run.
-            for t in live.lock().iter() {
-                t.boost.store(false, Ordering::Relaxed);
-            }
-        });
-
-        // Admission loop: one decision per tenant, paced so the monitor
-        // sees the marginal load of the previous admission.
-        let mut admitted = 0usize;
-        for k in 0..cfg.tenants {
-            if k > 0 {
-                thread::sleep(cfg.admit_interval);
-            }
-            let util = f64::from_bits(util_bits.load(Ordering::Relaxed));
-            if k >= cfg.min_admitted.max(1) {
-                let marginal = if admitted > 0 {
-                    util / admitted as f64
-                } else {
-                    0.0
-                };
-                if util + marginal > cfg.max_utilization {
-                    reject_util[k] = Some(util);
-                    continue;
-                }
-            }
-            admitted += 1;
-            admitted_flags[k] = true;
-
-            // The tenant's table build: a shared-cache hit for every tenant
-            // after the first.
-            let (tenant_table, _) =
-                ScheduleTable::precompute_shared(&graph, &cluster, &states, &search, &cache, None);
-            let controller = RegimeController::from_schedule_table(
-                &tenant_table,
-                dp_task,
-                cfg.base.n_targets as u32,
-                2,
-            )
-            .ok()
-            .map(Arc::new);
-
-            let mut tcfg = cfg.base.clone();
-            tcfg.seed = cfg.base.seed + k as u64;
-            tcfg.frame_deadline = Some(cfg.deadline);
-            tcfg.pool_workers = 0; // the shared pool supersedes it
-            tcfg.faults = cfg.tenant_faults.get(k).cloned().flatten();
-            let scene = Scene::demo(tcfg.width, tcfg.height, tcfg.n_targets, tcfg.seed);
-
-            let boost = Arc::new(AtomicBool::new(false));
-            let boost_ticks = Arc::new(AtomicU64::new(0));
-            let shared = SharedResources {
-                pool: Arc::clone(&pool),
-                pool_workers: workers,
-                frame_pool: frame_pool.clone(),
-                mask_pool: mask_pool.clone(),
-                boost: Arc::clone(&boost),
-            };
-            let app = TrackerApp::build_shared(&tcfg, scene, controller, None, &shared);
-            live.lock().push(TenantLive {
-                tenant: k,
-                measure: Arc::clone(&app.measure),
-                boost,
-                boost_ticks,
-            });
-
-            let slot = &results[k];
-            let done = &done;
-            let warmup = cfg.warmup;
-            s.spawn(move || {
-                let stats = OnlineExecutor::run(&app, warmup);
-                *slot.lock() = Some((app, stats));
-                done.fetch_add(1, Ordering::SeqCst);
-            });
-        }
-
-        // All admitted streams have threads; stop the monitor once they all
-        // finish (the scope would otherwise never join it).
-        while done.load(Ordering::SeqCst) < admitted {
-            thread::sleep(cfg.monitor_tick);
-        }
-        stop.store(true, Ordering::SeqCst);
-    });
-
-    let wall = t_start.elapsed();
-    let (peak, sum, samples) = *util_acc.lock();
-    let live = live.into_inner();
-    let tenants: Vec<TenantRun> = (0..cfg.tenants)
-        .map(|k| {
-            let run = results[k].lock().take();
-            let boost_ticks = live
-                .iter()
-                .find(|t| t.tenant == k)
-                .map_or(0, |t| t.boost_ticks.load(Ordering::Relaxed));
-            match run {
-                Some((app, stats)) => TenantRun {
-                    tenant: k,
-                    admitted: true,
-                    reject_utilization: None,
-                    app: Some(app),
-                    stats: Some(stats),
-                    boost_ticks,
-                },
-                None => TenantRun {
-                    tenant: k,
-                    admitted: admitted_flags[k],
-                    reject_utilization: reject_util[k],
-                    app: None,
-                    stats: None,
-                    boost_ticks,
-                },
-            }
-        })
-        .collect();
-
-    FleetRun {
-        tenants,
-        peak_utilization: peak,
-        mean_utilization: if samples > 0 {
-            sum / samples as f64
-        } else {
-            0.0
-        },
-        cache_searches: cache.searches(),
-        cache_hits: cache.hits(),
-        wall,
-        pool_executed: pool.executed(),
-        deadline: cfg.deadline,
-        warmup: cfg.warmup,
-        n_frames: cfg.base.n_frames,
-        table,
-        dp_task,
+        let _ = fleet.attach(spec);
     }
+    fleet.finish()
 }
 
 #[cfg(test)]
@@ -547,6 +974,7 @@ mod tests {
         for t in &run.tenants {
             let stats = t.stats.as_ref().expect("admitted tenant has stats");
             assert_eq!(stats.frames_completed, 10, "tenant {}", t.tenant);
+            assert_eq!(t.state, LifecycleState::Completed);
         }
         // The tentpole cache property: the first table build searched each
         // regime once; the fleet's own build plus 3 tenant builds all hit.
@@ -568,6 +996,7 @@ mod tests {
         assert_eq!(run.rejected(), 2);
         for t in &run.tenants[2..] {
             assert!(!t.admitted);
+            assert_eq!(t.state, LifecycleState::Rejected);
             assert!(t.reject_utilization.is_some());
             assert!(t.app.is_none() && t.stats.is_none());
         }
@@ -648,5 +1077,49 @@ mod tests {
         assert!(obs.trace_json.contains("tenant-1"));
         let events = obs::chrome::validate(&obs.trace_json).expect("trace must parse");
         assert!(events > 0);
+    }
+
+    #[test]
+    fn detach_drains_and_emits_a_rollup() {
+        // A long stream (high frame budget, real period) is detached
+        // mid-run: it must settle as Departed with a coherent rollup, and
+        // a co-tenant must be untouched.
+        let cfg = FleetConfig::small(0, 400);
+        let fleet = Fleet::launch(cfg);
+        let a = fleet.attach(TenantSpec::default());
+        let b = fleet.attach(TenantSpec {
+            n_frames: Some(12),
+            ..TenantSpec::default()
+        });
+        assert!(a.admitted && b.admitted);
+        assert_eq!(fleet.tenant_state(a.tenant), Some(LifecycleState::Admitted));
+        // Let A produce something before pulling it.
+        thread::sleep(Duration::from_millis(20));
+        let rollup = fleet
+            .detach_and_wait(a.tenant, Duration::from_secs(30))
+            .expect("tenant A drains within the budget");
+        assert_eq!(rollup.tenant, a.tenant);
+        assert!(
+            rollup.digitized < 400,
+            "detach cut production short: {} frames",
+            rollup.digitized
+        );
+        assert_eq!(
+            rollup.stats.frames_completed, rollup.digitized,
+            "every digitized frame drained to completion"
+        );
+        assert_eq!(fleet.tenant_state(a.tenant), Some(LifecycleState::Departed));
+        let run = fleet.finish();
+        assert_eq!(run.tenants[b.tenant].state, LifecycleState::Completed);
+        assert_eq!(
+            run.tenants[b.tenant]
+                .stats
+                .as_ref()
+                .unwrap()
+                .frames_completed,
+            12
+        );
+        assert_eq!(run.deadline_misses(a.tenant), 0, "drained ≠ missed");
+        assert_eq!(run.deadline_misses(b.tenant), 0);
     }
 }

@@ -41,6 +41,7 @@ pub mod exec_scheduled;
 pub mod faults;
 pub mod fleet;
 pub mod frame_pool;
+pub mod lifecycle;
 pub mod measure;
 pub mod pool;
 pub mod regime_rt;
@@ -54,9 +55,10 @@ pub use error::{HealthReport, RuntimeError, RuntimeHealth, Stage};
 pub use exec_online::OnlineExecutor;
 pub use exec_scheduled::ScheduledExecutor;
 pub use faults::{FaultInjector, FaultPlan, InjectedCounts};
-pub use fleet::{run_fleet, FleetConfig, FleetObs, FleetRun, TenantRun};
+pub use fleet::{run_fleet, Fleet, FleetConfig, FleetObs, FleetRun, TenantRollup, TenantRun};
 pub use frame_pool::{BufPool, PoolStats, Pooled, PooledFrame, PooledMask};
+pub use lifecycle::{AttachOutcome, LifecycleState, TenantSpec};
 pub use measure::{Measurements, RunStats};
-pub use pool::{PoolClosed, PoolHealth, WorkerPool};
+pub use pool::{PoolClosed, PoolHealth, PriorityClass, WorkerPool};
 pub use regime_rt::{RegimeController, RegimeError, ReschedSwap};
 pub use tasks::{PoolJob, StageCtx, TaskBody};

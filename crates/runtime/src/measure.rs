@@ -30,6 +30,9 @@ pub struct Measurements {
     // (digitized − completed) without taking the mark locks.
     n_digitized: AtomicU64,
     n_completed: AtomicU64,
+    /// Frames the digitizer skip-committed under the fleet's shed policy
+    /// (BestEffort degradation): never digitized, never a latency sample.
+    n_shed: AtomicU64,
 }
 
 impl Measurements {
@@ -44,6 +47,7 @@ impl Measurements {
             health: Mutex::new(None),
             n_digitized: AtomicU64::new(0),
             n_completed: AtomicU64::new(0),
+            n_shed: AtomicU64::new(0),
         }
     }
 
@@ -113,6 +117,18 @@ impl Measurements {
     #[must_use]
     pub fn completed_count(&self) -> u64 {
         self.n_completed.load(Ordering::Relaxed)
+    }
+
+    /// Record that the digitizer skip-committed frame `ts` under the shed
+    /// policy instead of rendering it.
+    pub fn mark_shed(&self, _ts: u64) {
+        self.n_shed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Frames shed so far — lock-free, safe to poll from a monitor.
+    #[must_use]
+    pub fn shed_count(&self) -> u64 {
+        self.n_shed.load(Ordering::Relaxed)
     }
 
     /// Frames currently in flight: digitized but not yet completed. The

@@ -3,12 +3,17 @@
 //! based on worker availability" — a shared two-lane queue serves as the
 //! work queue; replies flow through per-request done channels.
 //!
-//! The queue has two priority lanes: [`WorkerPool::submit`] enqueues on the
-//! normal lane, [`WorkerPool::submit_urgent`] on the urgent lane, and
-//! workers always drain the urgent lane first. The fleet layer uses the
-//! urgent lane for weighted-fair scheduling across tenants — a tenant
-//! behind on its frame-deadline budget submits urgent so its backlog
-//! overtakes tenants that are ahead.
+//! The queue has class-ordered priority lanes: an urgent lane on top, then
+//! one lane per [`PriorityClass`] (`Guaranteed`, `Standard`, `BestEffort`).
+//! [`WorkerPool::submit`] enqueues on the `Standard` lane,
+//! [`WorkerPool::submit_urgent`] on the urgent lane, and
+//! [`WorkerPool::submit_class`] on the class's own lane; workers always
+//! drain higher lanes first. The fleet layer uses the urgent lane for
+//! weighted-fair scheduling across tenants — a tenant behind on its
+//! frame-deadline budget submits urgent so its backlog overtakes tenants
+//! that are ahead — and the class lanes for tenant lifecycle priorities: a
+//! `Guaranteed` tenant's chunks overtake any `BestEffort` backlog without
+//! needing the boost flag at all.
 //!
 //! The pool *contains* worker faults instead of propagating them: each job
 //! runs under [`std::panic::catch_unwind`], a panicking worker retires and
@@ -24,7 +29,54 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
+
+/// Scheduling class of a tenant (and of every pool job it submits).
+///
+/// Maps one-to-one onto a queue lane: workers drain `Guaranteed` jobs
+/// before `Standard`, and `Standard` before `BestEffort`. The urgent lane
+/// (boost flag) still outranks all three — it is a *temporary* correction
+/// for a tenant behind its deadline budget, whereas the class is a
+/// standing property assigned at admission.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug, Default)]
+pub enum PriorityClass {
+    /// Latency-sensitive tenant: jobs overtake every Standard/BestEffort
+    /// backlog. The fleet never sheds or degrades a Guaranteed tenant.
+    Guaranteed,
+    /// The default class; equivalent to pre-lifecycle behavior.
+    #[default]
+    Standard,
+    /// Scavenger class: runs in whatever capacity is left, and under
+    /// pressure the fleet degrades it to skip-commit (load shed) instead
+    /// of letting its backlog inflate the neighbors' p99.
+    BestEffort,
+}
+
+impl PriorityClass {
+    /// Queue lane for this class (lane 0 is the urgent lane).
+    fn lane(self) -> usize {
+        match self {
+            PriorityClass::Guaranteed => 1,
+            PriorityClass::Standard => 2,
+            PriorityClass::BestEffort => 3,
+        }
+    }
+
+    /// Short label for reports.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            PriorityClass::Guaranteed => "guaranteed",
+            PriorityClass::Standard => "standard",
+            PriorityClass::BestEffort => "best-effort",
+        }
+    }
+}
+
+/// Lane 0: the urgent (boost) lane, above every class lane.
+const LANE_URGENT: usize = 0;
+/// Total number of queue lanes: urgent + one per `PriorityClass`.
+const N_LANES: usize = 4;
 
 /// Error returned by [`WorkerPool::submit`] after shutdown (or once every
 /// worker has retired and the respawn cap is spent); carries the job back
@@ -76,7 +128,6 @@ impl std::fmt::Display for PoolHealth {
 }
 
 /// Counters shared between the pool handle and its worker threads.
-#[derive(Default)]
 struct Shared {
     panics: AtomicU64,
     respawns: AtomicU64,
@@ -94,6 +145,29 @@ struct Shared {
     /// the inline drain). With `n_workers` and wall time this gives the
     /// pool's utilization — the signal fleet admission control keys on.
     busy_ns: AtomicU64,
+    /// Wakes [`WorkerPool::wait_executed`]/[`WorkerPool::wait_panics`]
+    /// whenever a counter above advances — the condvar replacement for the
+    /// fixed polling sleeps that used to burn CPU and add multi-ms latency
+    /// to lifecycle handoffs.
+    progress_lock: Mutex<()>,
+    progress: Condvar,
+}
+
+impl Default for Shared {
+    fn default() -> Self {
+        Shared {
+            panics: AtomicU64::new(0),
+            respawns: AtomicU64::new(0),
+            inline_fallbacks: AtomicU64::new(0),
+            retired: AtomicUsize::new(0),
+            live: AtomicUsize::new(0),
+            submitted: AtomicU64::new(0),
+            executed: AtomicU64::new(0),
+            busy_ns: AtomicU64::new(0),
+            progress_lock: Mutex::new(()),
+            progress: Condvar::new(),
+        }
+    }
 }
 
 impl Shared {
@@ -113,11 +187,38 @@ impl Shared {
         self.busy_ns
             .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::SeqCst);
         self.executed.fetch_add(1, Ordering::SeqCst);
+        self.note_progress();
         panicked
+    }
+
+    /// Publish counter progress to any waiter. Taking and dropping the
+    /// progress lock orders this notification after the waiter's predicate
+    /// check, so a wakeup between "predicate false" and "wait" cannot be
+    /// missed.
+    fn note_progress(&self) {
+        drop(self.progress_lock.lock());
+        self.progress.notify_all();
+    }
+
+    /// Block until `pred()` holds or `timeout` elapses; true on success.
+    fn wait_progress(&self, timeout: Duration, mut pred: impl FnMut() -> bool) -> bool {
+        let deadline = Instant::now() + timeout;
+        let mut guard = self.progress_lock.lock();
+        loop {
+            if pred() {
+                return true;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return false;
+            }
+            let _ = self.progress.wait_for(&mut guard, deadline - now);
+        }
     }
 }
 
-/// The two-lane work queue: urgent jobs always dequeue before normal ones.
+/// The class-ordered work queue: lane 0 (urgent) always dequeues first,
+/// then the Guaranteed, Standard, and BestEffort lanes in that order.
 /// Closing wakes every blocked worker; they drain what is left and exit.
 struct LaneQueue<J> {
     lanes: Mutex<Lanes<J>>,
@@ -125,49 +226,47 @@ struct LaneQueue<J> {
 }
 
 struct Lanes<J> {
-    urgent: VecDeque<J>,
-    normal: VecDeque<J>,
+    queues: [VecDeque<J>; N_LANES],
     closed: bool,
+}
+
+impl<J> Lanes<J> {
+    /// Pop from the highest-priority non-empty lane.
+    fn pop_ordered(&mut self) -> Option<J> {
+        self.queues.iter_mut().find_map(VecDeque::pop_front)
+    }
 }
 
 impl<J> LaneQueue<J> {
     fn new() -> Self {
         LaneQueue {
             lanes: Mutex::new(Lanes {
-                urgent: VecDeque::new(),
-                normal: VecDeque::new(),
+                queues: Default::default(),
                 closed: false,
             }),
             nonempty: Condvar::new(),
         }
     }
 
-    /// Enqueue; hands the job back if the queue is closed.
-    fn push(&self, job: J, urgent: bool) -> Result<(), J> {
+    /// Enqueue on `lane`; hands the job back if the queue is closed.
+    fn push(&self, job: J, lane: usize) -> Result<(), J> {
         {
             let mut g = self.lanes.lock();
             if g.closed {
                 return Err(job);
             }
-            if urgent {
-                g.urgent.push_back(job);
-            } else {
-                g.normal.push_back(job);
-            }
+            g.queues[lane].push_back(job);
         }
         self.nonempty.notify_one();
         Ok(())
     }
 
-    /// Blocking dequeue, urgent lane first. `None` once closed *and* empty —
+    /// Blocking dequeue in lane order. `None` once closed *and* empty —
     /// a close never drops queued jobs.
     fn pop(&self) -> Option<J> {
         let mut g = self.lanes.lock();
         loop {
-            if let Some(j) = g.urgent.pop_front() {
-                return Some(j);
-            }
-            if let Some(j) = g.normal.pop_front() {
+            if let Some(j) = g.pop_ordered() {
                 return Some(j);
             }
             if g.closed {
@@ -179,11 +278,7 @@ impl<J> LaneQueue<J> {
 
     /// Non-blocking dequeue for the inline drain path.
     fn try_pop(&self) -> Option<J> {
-        let mut g = self.lanes.lock();
-        if let Some(j) = g.urgent.pop_front() {
-            return Some(j);
-        }
-        g.normal.pop_front()
+        self.lanes.lock().pop_ordered()
     }
 
     fn close(&self) {
@@ -272,15 +367,18 @@ impl<J: Send + 'static> WorkerPool<J> {
                         shared.panics.fetch_add(1, Ordering::SeqCst);
                         shared.retired.fetch_add(1, Ordering::SeqCst);
                         shared.live.fetch_sub(1, Ordering::SeqCst);
+                        shared.note_progress();
                         return;
                     }
                 }
                 shared.live.fetch_sub(1, Ordering::SeqCst);
+                shared.note_progress();
             });
         match spawned {
             Ok(h) => Some(h),
             Err(_) => {
                 self.shared.live.fetch_sub(1, Ordering::SeqCst);
+                self.shared.note_progress();
                 None
             }
         }
@@ -307,22 +405,29 @@ impl<J: Send + 'static> WorkerPool<J> {
         }
     }
 
-    /// Enqueue one job on the normal lane, or hand it back if the pool is
-    /// shut down — or has no live worker left and the respawn cap is spent —
-    /// so the caller can fall back to running it inline. The hand-back is
-    /// counted in [`PoolHealth::inline_fallbacks`].
+    /// Enqueue one job on the `Standard` lane, or hand it back if the pool
+    /// is shut down — or has no live worker left and the respawn cap is
+    /// spent — so the caller can fall back to running it inline. The
+    /// hand-back is counted in [`PoolHealth::inline_fallbacks`].
     pub fn submit(&self, job: J) -> Result<(), PoolClosed<J>> {
-        self.submit_lane(job, false)
+        self.submit_lane(job, PriorityClass::Standard.lane())
     }
 
     /// Like [`submit`](Self::submit), but on the urgent lane: workers pick
-    /// this job up before anything still waiting on the normal lane. Used by
-    /// the fleet layer to boost tenants running behind their deadline budget.
+    /// this job up before anything waiting on any class lane. Used by the
+    /// fleet layer to boost tenants running behind their deadline budget.
     pub fn submit_urgent(&self, job: J) -> Result<(), PoolClosed<J>> {
-        self.submit_lane(job, true)
+        self.submit_lane(job, LANE_URGENT)
     }
 
-    fn submit_lane(&self, job: J, urgent: bool) -> Result<(), PoolClosed<J>> {
+    /// Like [`submit`](Self::submit), but on the lane of `class`: a
+    /// `Guaranteed` job overtakes any Standard/BestEffort backlog, a
+    /// `BestEffort` job yields to everything else.
+    pub fn submit_class(&self, job: J, class: PriorityClass) -> Result<(), PoolClosed<J>> {
+        self.submit_lane(job, class.lane())
+    }
+
+    fn submit_lane(&self, job: J, lane: usize) -> Result<(), PoolClosed<J>> {
         self.heal();
         if self.queue.is_closed() {
             self.shared.inline_fallbacks.fetch_add(1, Ordering::SeqCst);
@@ -336,7 +441,7 @@ impl<J: Send + 'static> WorkerPool<J> {
             self.shared.inline_fallbacks.fetch_add(1, Ordering::SeqCst);
             return Err(PoolClosed(job));
         }
-        match self.queue.push(job, urgent) {
+        match self.queue.push(job, lane) {
             Ok(()) => {
                 self.shared.submitted.fetch_add(1, Ordering::SeqCst);
                 Ok(())
@@ -354,6 +459,7 @@ impl<J: Send + 'static> WorkerPool<J> {
             self.shared.inline_fallbacks.fetch_add(1, Ordering::SeqCst);
             if self.shared.run_contained(self.handler.as_ref(), job) {
                 self.shared.panics.fetch_add(1, Ordering::SeqCst);
+                self.shared.note_progress();
             }
         }
     }
@@ -371,6 +477,7 @@ impl<J: Send + 'static> WorkerPool<J> {
                 // A panic escaped catch_unwind (e.g. thrown while dropping
                 // the first panic's payload). Report, don't re-raise.
                 self.shared.panics.fetch_add(1, Ordering::SeqCst);
+                self.shared.note_progress();
             }
         }
         // If workers retired before emptying the queue, finish their jobs
@@ -419,6 +526,25 @@ impl<J: Send + 'static> WorkerPool<J> {
     #[must_use]
     pub fn n_workers(&self) -> usize {
         self.handles.lock().len()
+    }
+
+    /// Block until at least `n` jobs have been consumed (see
+    /// [`executed`](Self::executed)) or `timeout` elapses; true on success.
+    /// Condvar-driven — no polling sleep, wakeups arrive the moment a
+    /// worker finishes a job.
+    #[must_use]
+    pub fn wait_executed(&self, n: u64, timeout: Duration) -> bool {
+        self.shared
+            .wait_progress(timeout, || self.shared.executed.load(Ordering::SeqCst) >= n)
+    }
+
+    /// Block until at least `n` contained panics have been tallied or
+    /// `timeout` elapses; true on success. Replaces the fixed "give the
+    /// workers a moment to die" sleeps in fault tests.
+    #[must_use]
+    pub fn wait_panics(&self, n: u64, timeout: Duration) -> bool {
+        self.shared
+            .wait_progress(timeout, || self.shared.panics.load(Ordering::SeqCst) >= n)
     }
 }
 
@@ -531,6 +657,62 @@ mod tests {
             got,
             vec![100, 101, 1, 2, 3],
             "urgent lane drains before the earlier normal backlog"
+        );
+    }
+
+    #[test]
+    fn class_lanes_dequeue_in_priority_order() {
+        // One worker held on a gate job; a BestEffort backlog enqueued
+        // first, Standard next, Guaranteed last — yet dequeue order must be
+        // Guaranteed, Standard, BestEffort, with the urgent lane on top of
+        // all three.
+        let (gate_tx, gate_rx) = bounded::<()>(0);
+        let (started_tx, started_rx) = bounded::<()>(1);
+        let order = Arc::new(Mutex::new(Vec::<u64>::new()));
+        let o2 = Arc::clone(&order);
+        let pool: WorkerPool<u64> = WorkerPool::new(1, move |j| {
+            if j == 0 {
+                started_tx.send(()).unwrap();
+                gate_rx.recv().unwrap();
+            } else {
+                o2.lock().push(j);
+            }
+        });
+        pool.submit(0).unwrap(); // occupies the lone worker
+        started_rx.recv().unwrap(); // gate job dequeued: backlog stays queued
+        for j in 300..=301u64 {
+            pool.submit_class(j, PriorityClass::BestEffort).unwrap();
+        }
+        for j in 200..=201u64 {
+            pool.submit_class(j, PriorityClass::Standard).unwrap();
+        }
+        for j in 100..=101u64 {
+            pool.submit_class(j, PriorityClass::Guaranteed).unwrap();
+        }
+        pool.submit_urgent(1).unwrap();
+        gate_tx.send(()).unwrap();
+        drop(pool); // drains in lane order
+        let got = order.lock().clone();
+        assert_eq!(
+            got,
+            vec![1, 100, 101, 200, 201, 300, 301],
+            "urgent, then Guaranteed, Standard, BestEffort"
+        );
+    }
+
+    #[test]
+    fn wait_executed_wakes_without_polling() {
+        let pool: WorkerPool<u64> = WorkerPool::new(2, |_| {});
+        for j in 0..6u64 {
+            pool.submit(j).unwrap();
+        }
+        assert!(
+            pool.wait_executed(6, Duration::from_secs(10)),
+            "all six jobs consumed"
+        );
+        assert!(
+            !pool.wait_executed(7, Duration::from_millis(20)),
+            "a seventh job never arrives: the wait times out"
         );
     }
 
@@ -670,8 +852,9 @@ mod tests {
             WorkerPool::new(2, |_| panic!("injected worker panic")).with_respawn_cap(0);
         pool.submit(1).unwrap();
         pool.submit(2).unwrap();
-        // Give the workers a moment to pick the jobs up and die.
-        std::thread::sleep(std::time::Duration::from_millis(20));
+        // Wait (condvar, not a fixed sleep) for the workers to pick the
+        // jobs up and die.
+        assert!(pool.wait_panics(2, Duration::from_secs(10)));
         let health = pool.shutdown();
         assert_eq!(health.panics, 2, "both panics contained and counted");
         assert_eq!(health.respawns, 0, "cap 0: no replacements");
@@ -693,11 +876,11 @@ mod tests {
         .with_respawn_cap(1);
         // First panic: consumed by worker 0; heal() replaces it (respawn 1).
         pool.submit(u64::MAX).unwrap();
-        std::thread::sleep(std::time::Duration::from_millis(20));
+        assert!(pool.wait_panics(1, Duration::from_secs(10)));
         pool.submit(1).unwrap();
         // Second panic kills the replacement; the cap is spent.
         pool.submit(u64::MAX).unwrap();
-        std::thread::sleep(std::time::Duration::from_millis(20));
+        assert!(pool.wait_panics(2, Duration::from_secs(10)));
         let mut inline = 0u64;
         for j in 2..=5u64 {
             if let Err(PoolClosed(job)) = pool.submit(j) {
@@ -725,7 +908,7 @@ mod tests {
         let r = std::panic::catch_unwind(|| {
             let pool: WorkerPool<u64> = WorkerPool::new(1, |_| panic!("injected worker panic"));
             pool.submit(1).unwrap();
-            std::thread::sleep(std::time::Duration::from_millis(10));
+            assert!(pool.wait_panics(1, Duration::from_secs(10)));
             panic!("owner panics with a live pool");
         });
         assert!(r.is_err(), "owner panic propagates cleanly");

@@ -16,7 +16,7 @@
 //! stream keeps flowing. Only genuine end-of-stream stops a task.
 
 use std::collections::{BTreeSet, HashMap};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -39,7 +39,7 @@ use crate::error::{RuntimeError, RuntimeHealth, Stage};
 use crate::faults::FaultInjector;
 use crate::frame_pool::{BufPool, Pooled, PooledFrame, PooledMask};
 use crate::measure::Measurements;
-use crate::pool::{PoolClosed, WorkerPool};
+use crate::pool::{PoolClosed, PriorityClass, WorkerPool};
 use crate::regime_rt::RegimeController;
 
 /// Signals that a task's stream is finished (channel closed or frame budget
@@ -80,6 +80,9 @@ pub struct StageCtx {
     /// When set (by the fleet monitor for a tenant behind on its deadline
     /// budget), this stage's pool jobs ride the urgent lane.
     boost: Option<Arc<AtomicBool>>,
+    /// The tenant's standing priority class: picks the pool lane whenever
+    /// the boost flag is not overriding it.
+    class: PriorityClass,
 }
 
 impl StageCtx {
@@ -97,6 +100,7 @@ impl StageCtx {
             feed: None,
             backend: vision::active(),
             boost: None,
+            class: PriorityClass::default(),
         }
     }
 
@@ -170,9 +174,18 @@ impl StageCtx {
         self
     }
 
-    /// Submit `job` to `pool`, choosing the lane from the boost flag, and
-    /// run it inline when the pool is closed (shutdown race: correctness
-    /// over parallelism).
+    /// Set the tenant's standing [`PriorityClass`]; the fleet assigns it at
+    /// admission and every pool job of this stage rides that class's lane.
+    #[must_use]
+    pub fn with_class(mut self, class: PriorityClass) -> Self {
+        self.class = class;
+        self
+    }
+
+    /// Submit `job` to `pool`, choosing the lane from the boost flag (which
+    /// outranks the class) or the standing priority class, and run it
+    /// inline when the pool is closed (shutdown race: correctness over
+    /// parallelism).
     pub fn submit_or_run(&self, pool: &WorkerPool<PoolJob>, job: PoolJob) {
         let urgent = self
             .boost
@@ -181,7 +194,7 @@ impl StageCtx {
         let res = if urgent {
             pool.submit_urgent(job)
         } else {
-            pool.submit(job)
+            pool.submit_class(job, self.class)
         };
         if let Err(PoolClosed(job)) = res {
             job.run(); // pool unavailable: compute inline
@@ -454,6 +467,17 @@ pub struct DigitizerTask {
     /// (masters running ahead under rotation) must not cut earlier frames
     /// off.
     cursor: SharedCursor,
+    /// Lifecycle drain flag: when the fleet detaches this tenant the flag
+    /// flips, the digitizer stops producing at the next frame boundary, and
+    /// the frames already in flight drain through the pipeline normally.
+    halt: Option<Arc<AtomicBool>>,
+    /// First frame index at which the halt flag was observed: the effective
+    /// end of stream once a detach lands (`u64::MAX` = never halted).
+    halt_at: AtomicU64,
+    /// Shed flag: while it reads `true` (fleet pressure on a BestEffort
+    /// tenant), frames are skip-committed instead of rendered — the tenant
+    /// degrades itself rather than inflating the neighbors' p99.
+    shed: Option<Arc<AtomicBool>>,
 }
 
 impl DigitizerTask {
@@ -477,6 +501,9 @@ impl DigitizerTask {
             ctx: StageCtx::new(Stage::Digitizer),
             frame_pool: None,
             cursor: SharedCursor::default(),
+            halt: None,
+            halt_at: AtomicU64::new(u64::MAX),
+            shed: None,
         }
     }
 
@@ -495,13 +522,38 @@ impl DigitizerTask {
         self
     }
 
+    /// Attach a lifecycle drain flag: once it reads `true`, the digitizer
+    /// stops producing at the next frame boundary and the stream closes
+    /// after the frames already put have drained downstream — the
+    /// detach-side of the fleet's tenant lifecycle.
+    #[must_use]
+    pub fn with_halt(mut self, halt: Arc<AtomicBool>) -> Self {
+        self.halt = Some(halt);
+        self
+    }
+
+    /// Attach a shed flag: while it reads `true`, frames are
+    /// skip-committed (recorded as load sheds) instead of rendered.
+    #[must_use]
+    pub fn with_shed(mut self, shed: Arc<AtomicBool>) -> Self {
+        self.shed = Some(shed);
+        self
+    }
+
+    /// The effective end of stream: `n_frames`, or the first frame at which
+    /// a detach was observed, whichever is lower.
+    fn effective_end(&self) -> u64 {
+        self.n_frames.min(self.halt_at.load(Ordering::Relaxed))
+    }
+
     /// Record instance `ts` done; close the stream once the contiguous
     /// prefix covers every frame this digitizer will ever produce.
     fn commit_and_maybe_close(&self, ts: u64) {
         let prefix = self.cursor.commit(ts);
-        if prefix >= self.n_frames {
-            // End of stream (or injected failure): closing the channel
-            // cascades shutdown through every downstream blocking get.
+        if prefix >= self.effective_end() {
+            // End of stream (or injected failure, or lifecycle drain):
+            // closing the channel cascades shutdown through every
+            // downstream blocking get.
             self.out_chan.close();
         }
     }
@@ -513,7 +565,17 @@ impl TaskBody for DigitizerTask {
     }
 
     fn process(&self, ts: Timestamp, _chunk: Option<(u32, u32)>) -> Result<(), Stop> {
-        if ts.0 >= self.n_frames {
+        if self
+            .halt
+            .as_ref()
+            .is_some_and(|h| h.load(Ordering::Relaxed))
+        {
+            // A detach landed: pin the effective end of stream to the first
+            // frame that observed it. Frames below it are already put (or
+            // in flight) and drain normally; this and later frames stop.
+            self.halt_at.fetch_min(ts.0, Ordering::Relaxed);
+        }
+        if ts.0 >= self.effective_end() {
             self.commit_and_maybe_close(ts.0);
             return Err(Stop);
         }
@@ -523,6 +585,31 @@ impl TaskBody for DigitizerTask {
         let now = Instant::now();
         if target > now {
             std::thread::sleep(target - now);
+        }
+        if self
+            .shed
+            .as_ref()
+            .is_some_and(|s| s.load(Ordering::Relaxed))
+        {
+            // Shed policy: skip-commit without rendering. The skip mark
+            // cascades downstream instantly (no deadline budget burned) and
+            // the tally is a policy counter, not a fault.
+            //
+            // A shedding stream must also *yield*: with a period below the
+            // floor the skip loop would otherwise spin at µs rate, burning
+            // the core it was asked to vacate and inverting the policy's
+            // intent. Pace skips to the floor so shed capacity actually
+            // returns to the neighbors.
+            const SHED_PACE_FLOOR: Duration = Duration::from_millis(1);
+            if self.period < SHED_PACE_FLOOR {
+                std::thread::sleep(SHED_PACE_FLOOR - self.period);
+            }
+            self.ctx.health().record_load_shed();
+            self.measure.mark_shed(ts.0);
+            self.ctx.rec_instant(SpanKind::Skip, ts.0, None);
+            self.out.mark_skipped(ts);
+            self.commit_and_maybe_close(ts.0);
+            return Ok(());
         }
         let t0 = self.ctx.rec_now();
         let c0 = self.ctx.work_begin(ts);

@@ -13,6 +13,21 @@
 //!    locations identical to an uninjected run of the same configuration.
 //!    Absorbed faults (sub-budget delays, contained panics, misreads) must
 //!    be invisible in the output.
+//!
+//! ## Host-load starvation vs. genuine failures
+//!
+//! These are wall-clock tests: a loaded host can starve a stage thread past
+//! the frame deadline and drop frames the plan never planned. The PR 6 era
+//! answer was to keep widening the budget (250 ms → 750 ms → 60 s), which
+//! buried the signal: a real hang and a starved run became
+//! indistinguishable until the giant budget elapsed. The root cause is that
+//! an *unplanned* drop has a distinct ledger signature — more
+//! `deadline_skips` than the plan's cascade predicts, or any
+//! `stm_put_drops` at all — which a genuine accounting bug (a planned fault
+//! that failed to fire or count) never produces. So the harness keeps the
+//! tight 250 ms budget, classifies each run with [`starvation_evidence`],
+//! and retries (bounded, with a printed diagnosis) only when the ledger
+//! proves the run was starved, failing loudly otherwise.
 
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -20,22 +35,24 @@ use std::time::Duration;
 
 use proptest::prelude::*;
 use runtime::{
-    FaultInjector, FaultPlan, OnlineExecutor, RegimeController, Stage, TrackerApp, TrackerConfig,
+    FaultInjector, FaultPlan, HealthReport, OnlineExecutor, RegimeController, Stage, TrackerApp,
+    TrackerConfig,
 };
 use vision::ModelLocation;
 
-/// Pure hang backstop, far beyond any plausible scheduler starvation.
+/// The per-frame deadline budget: tight again (the pre-PR 6 value).
 ///
-/// Dropped-frame completion no longer rides this wall clock: a stage that
+/// Dropped-frame completion does not ride this wall clock: a stage that
 /// skips a frame marks the timestamp on its output channel
 /// (`OutputConn::mark_skipped`), so downstream `Exact(ts)` waiters fail
 /// immediately with a load-independent signal and the cascade settles in
-/// microseconds. Historically this was a 750 ms budget that doubled as the
-/// cascade mechanism — under host load, starved stage threads blew it and
-/// turned load spikes into unplanned (flaky) frame drops. Now it only
-/// converts a genuine pipeline hang into a visible accounting failure
-/// instead of a stuck test run.
-const BUDGET: Duration = Duration::from_secs(60);
+/// microseconds. The budget only has to clear one honestly-scheduled stage
+/// body; when host load blows it anyway, [`settle`] detects the starvation
+/// signature and retries instead of the budget absorbing the load.
+const BUDGET: Duration = Duration::from_millis(250);
+
+/// Bounded retries for runs whose ledger shows host-load starvation.
+const SETTLE_ATTEMPTS: usize = 3;
 
 fn faulted_cfg(n_frames: u64, faults: Option<Arc<FaultInjector>>) -> TrackerConfig {
     let mut cfg = TrackerConfig::small(2, n_frames);
@@ -70,6 +87,76 @@ fn run_locations(
     (app, locs)
 }
 
+/// Classify a run's ledger against its plan: `Some(diagnosis)` when the
+/// run shows *unplanned* drops — the signature of host-load starvation
+/// (a stage thread descheduled past the deadline), which warrants a retry.
+/// `None` for a settled run, **including** one with *fewer* drops than
+/// planned: that is an injection/accounting bug, and the test's exact
+/// assertions must fail on it rather than a retry masking it.
+fn starvation_evidence(h: &HealthReport, plan: &FaultPlan) -> Option<String> {
+    let mut evidence = Vec::new();
+    if h.deadline_skips > plan.expected_deadline_skips() {
+        evidence.push(format!(
+            "{} deadline skips vs {} planned",
+            h.deadline_skips,
+            plan.expected_deadline_skips()
+        ));
+    }
+    if h.stm_get_drops > plan.n_stm_errors() {
+        evidence.push(format!(
+            "{} stm get drops vs {} planned",
+            h.stm_get_drops,
+            plan.n_stm_errors()
+        ));
+    }
+    if h.stm_put_drops > 0 {
+        evidence.push(format!("{} unplanned stm put drops", h.stm_put_drops));
+    }
+    (!evidence.is_empty()).then(|| evidence.join(", "))
+}
+
+/// Run `attempt` until its ledger settles (no unplanned drops), retrying
+/// up to [`SETTLE_ATTEMPTS`] times with a printed diagnosis. Each attempt
+/// must build fresh state (injector, controller, app) and hand back
+/// whatever the test needs as `extra`. Persistent starvation evidence
+/// fails the test — a genuine pipeline stall, not a scheduling blip.
+fn settle<T>(
+    plan: &FaultPlan,
+    mut attempt: impl FnMut() -> (T, TrackerApp, Vec<(u64, Vec<ModelLocation>)>),
+) -> (T, TrackerApp, Vec<(u64, Vec<ModelLocation>)>) {
+    for round in 1..=SETTLE_ATTEMPTS {
+        let (extra, app, locs) = attempt();
+        let h = app.health.report();
+        match starvation_evidence(&h, plan) {
+            None => return (extra, app, locs),
+            Some(diag) if round < SETTLE_ATTEMPTS => {
+                eprintln!(
+                    "faults: attempt {round}/{SETTLE_ATTEMPTS} starved by host load \
+                     ({diag}); retrying under the {BUDGET:?} budget"
+                );
+            }
+            Some(diag) => panic!(
+                "unplanned drops persisted across {SETTLE_ATTEMPTS} attempts — a stall, \
+                 not host-load starvation: {diag}\n{h}"
+            ),
+        }
+    }
+    unreachable!("settle returns a settled run or panics in the loop")
+}
+
+/// A settled clean (uninjected) baseline for bit-identity comparison.
+fn clean_locations(
+    cfg: impl Fn() -> TrackerConfig,
+    controller: impl Fn() -> Option<Arc<RegimeController>>,
+) -> Vec<(u64, Vec<ModelLocation>)> {
+    let none = FaultPlan::new();
+    let (_, _, locs) = settle(&none, || {
+        let (app, locs) = run_locations(&cfg(), controller());
+        ((), app, locs)
+    });
+    locs
+}
+
 /// Assert the faulted run's surviving frames match the clean run exactly,
 /// and that exactly the planned frames are missing.
 fn assert_survivors_bit_identical(
@@ -95,22 +182,21 @@ fn assert_survivors_bit_identical(
 
 /// The worker pool's panic counter is bumped by the unwinding worker
 /// *after* the joiner has already recovered, so it can trail the run's end
-/// by a scheduler quantum. Wait it out (bounded) before asserting equality.
+/// by a scheduler quantum. Wait on the pool's progress condvar (no
+/// polling) before asserting equality.
 fn settled_pool_panics(app: &TrackerApp, expect: u64) -> u64 {
-    for _ in 0..200 {
-        let h = app.pool_health().expect("pool attached");
-        if h.panics >= expect {
-            return h.panics;
-        }
-        std::thread::sleep(Duration::from_millis(5));
-    }
+    let _ = app.wait_pool_panics(expect, Duration::from_secs(10));
     app.pool_health().expect("pool attached").panics
 }
 
 #[test]
 fn clean_run_under_deadline_is_clean() {
     let n = 12;
-    let (app, locs) = run_locations(&faulted_cfg(n, None), None);
+    let none = FaultPlan::new();
+    let (_, app, locs) = settle(&none, || {
+        let (app, locs) = run_locations(&faulted_cfg(n, None), None);
+        ((), app, locs)
+    });
     assert_eq!(locs.len() as u64, n);
     let h = app.health.report();
     assert!(h.is_clean(), "no faults, no drops: {h}");
@@ -119,14 +205,17 @@ fn clean_run_under_deadline_is_clean() {
 #[test]
 fn stm_errors_drop_exactly_the_planned_frames() {
     let n = 12;
-    let (_, clean) = run_locations(&faulted_cfg(n, None), None);
+    let clean = clean_locations(|| faulted_cfg(n, None), || None);
 
     // One early-stage error (cascades 3 skips) and one sink error (0).
     let plan = FaultPlan::new()
         .stm_error(Stage::Histogram, 3)
         .stm_error(Stage::Face, 8);
-    let inj = plan.clone().build();
-    let (app, faulted) = run_locations(&faulted_cfg(n, Some(Arc::clone(&inj))), None);
+    let (inj, app, faulted) = settle(&plan, || {
+        let inj = plan.clone().build();
+        let (app, locs) = run_locations(&faulted_cfg(n, Some(Arc::clone(&inj))), None);
+        (inj, app, locs)
+    });
 
     assert_survivors_bit_identical(&clean, &faulted, &plan, n);
     assert_eq!(inj.injected().stm_errors, plan.n_stm_errors());
@@ -144,11 +233,14 @@ fn stm_errors_drop_exactly_the_planned_frames() {
 #[test]
 fn worker_panics_are_contained_and_output_unchanged() {
     let n = 10;
-    let (_, clean) = run_locations(&pooled_cfg(n, None), None);
+    let clean = clean_locations(|| pooled_cfg(n, None), || None);
 
     let plan = FaultPlan::new().panic_job(2).panic_job(7).panic_job(11);
-    let inj = plan.clone().build();
-    let (app, faulted) = run_locations(&pooled_cfg(n, Some(Arc::clone(&inj))), None);
+    let (inj, app, faulted) = settle(&plan, || {
+        let inj = plan.clone().build();
+        let (app, locs) = run_locations(&pooled_cfg(n, Some(Arc::clone(&inj))), None);
+        (inj, app, locs)
+    });
 
     // Panics drop no frames: the joiner recomputes each lost chunk inline.
     assert_survivors_bit_identical(&clean, &faulted, &plan, n);
@@ -179,14 +271,17 @@ fn worker_panics_are_contained_and_output_unchanged() {
 #[test]
 fn sub_budget_delays_are_absorbed_bit_identically() {
     let n = 10;
-    let (_, clean) = run_locations(&faulted_cfg(n, None), None);
+    let clean = clean_locations(|| faulted_cfg(n, None), || None);
 
     let plan = FaultPlan::new()
         .delay(Stage::Digitizer, 2, Duration::from_millis(3))
         .delay(Stage::Detect, 5, Duration::from_millis(4))
         .delay(Stage::Peak, 7, Duration::from_millis(2));
-    let inj = plan.clone().build();
-    let (app, faulted) = run_locations(&faulted_cfg(n, Some(Arc::clone(&inj))), None);
+    let (inj, app, faulted) = settle(&plan, || {
+        let inj = plan.clone().build();
+        let (app, locs) = run_locations(&faulted_cfg(n, Some(Arc::clone(&inj))), None);
+        (inj, app, locs)
+    });
 
     assert_survivors_bit_identical(&clean, &faulted, &plan, n);
     assert_eq!(inj.injected().delays, plan.n_delays());
@@ -201,15 +296,18 @@ fn misreads_lie_to_the_controller_but_not_the_output() {
     let table: BTreeMap<u32, (u32, u32)> = [(1, (2, 1)), (3, (1, 2))].into_iter().collect();
     let controller = || Arc::new(RegimeController::new(2, 1, table.clone()).unwrap());
 
-    let (_, clean) = run_locations(&faulted_cfg(n, None), Some(controller()));
+    let clean = clean_locations(|| faulted_cfg(n, None), || Some(controller()));
 
     let plan = FaultPlan::new().misread(4, 9).misread(7, 0);
-    let inj = plan.clone().build();
-    let ctl = controller();
-    let (app, faulted) = run_locations(
-        &faulted_cfg(n, Some(Arc::clone(&inj))),
-        Some(Arc::clone(&ctl)),
-    );
+    let ((inj, ctl), app, faulted) = settle(&plan, || {
+        let inj = plan.clone().build();
+        let ctl = controller();
+        let (app, locs) = run_locations(
+            &faulted_cfg(n, Some(Arc::clone(&inj))),
+            Some(Arc::clone(&ctl)),
+        );
+        ((inj, ctl), app, locs)
+    });
 
     // Misreads drop nothing and change nothing downstream: the sink logs
     // the true detections; only the controller hears the lie.
@@ -227,11 +325,14 @@ fn misreads_lie_to_the_controller_but_not_the_output() {
 #[test]
 fn seeded_fault_mix_accounts_exactly() {
     let n = 24;
-    let (_, clean) = run_locations(&pooled_cfg(n, None), None);
+    let clean = clean_locations(|| pooled_cfg(n, None), || None);
 
     let plan = FaultPlan::seeded(0xC0DE, n, 3, 2, 2, 0, Duration::from_millis(3));
-    let inj = plan.clone().build();
-    let (app, faulted) = run_locations(&pooled_cfg(n, Some(Arc::clone(&inj))), None);
+    let (inj, app, faulted) = settle(&plan, || {
+        let inj = plan.clone().build();
+        let (app, locs) = run_locations(&pooled_cfg(n, Some(Arc::clone(&inj))), None);
+        (inj, app, locs)
+    });
 
     assert_survivors_bit_identical(&clean, &faulted, &plan, n);
 
@@ -253,6 +354,57 @@ fn seeded_fault_mix_accounts_exactly() {
     assert_eq!(settled_pool_panics(&app, plan.n_panics()), plan.n_panics());
 }
 
+#[test]
+fn starvation_evidence_separates_host_load_from_genuine_bugs() {
+    // The classifier behind the retry loop (the regression for the PR 6
+    // budget-bump flake): only *unplanned* drops count as starvation.
+    let plan = FaultPlan::new().stm_error(Stage::Histogram, 3); // cascades 3 skips
+    let planned = HealthReport {
+        stm_get_drops: plan.n_stm_errors(),
+        deadline_skips: plan.expected_deadline_skips(),
+        ..HealthReport::default()
+    };
+    assert_eq!(
+        starvation_evidence(&planned, &plan),
+        None,
+        "a run matching its plan exactly is settled"
+    );
+
+    // Extra deadline skips: a stage thread starved past the budget.
+    let mut starved = planned;
+    starved.deadline_skips += 1;
+    let diag = starvation_evidence(&starved, &plan).expect("unplanned skip is starvation");
+    assert!(
+        diag.contains("deadline skips"),
+        "diagnosis names the signal: {diag}"
+    );
+
+    // Any late-put drop is unplanned by construction.
+    let mut late_put = planned;
+    late_put.stm_put_drops = 2;
+    assert!(starvation_evidence(&late_put, &plan).is_some());
+
+    // Unplanned get drops (an upstream stage timed out reading its input).
+    let mut extra_get = planned;
+    extra_get.stm_get_drops += 1;
+    assert!(starvation_evidence(&extra_get, &plan).is_some());
+
+    // FEWER drops than planned is NOT starvation: the injector failed to
+    // fire — retrying would mask a real bug, so the exact asserts must see it.
+    let missing_fault = HealthReport {
+        stm_get_drops: 0,
+        deadline_skips: 0,
+        ..HealthReport::default()
+    };
+    assert_eq!(starvation_evidence(&missing_fault, &plan), None);
+
+    // And a clean run against an empty plan is settled.
+    assert_eq!(
+        starvation_evidence(&HealthReport::default(), &FaultPlan::new()),
+        None
+    );
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(5))]
 
@@ -269,10 +421,13 @@ proptest! {
         let n = 10;
         let plan = FaultPlan::seeded(seed, n, n_stm, n_delays, n_panics, 0,
             Duration::from_millis(2));
-        let inj = plan.clone().build();
 
-        let (_, clean) = run_locations(&pooled_cfg(n, None), None);
-        let (app, faulted) = run_locations(&pooled_cfg(n, Some(Arc::clone(&inj))), None);
+        let clean = clean_locations(|| pooled_cfg(n, None), || None);
+        let (inj, app, faulted) = settle(&plan, || {
+            let inj = plan.clone().build();
+            let (app, locs) = run_locations(&pooled_cfg(n, Some(Arc::clone(&inj))), None);
+            (inj, app, locs)
+        });
 
         assert_survivors_bit_identical(&clean, &faulted, &plan, n);
         let h = app.health.report();
