@@ -1,0 +1,386 @@
+//! Columnar STM store: memory under retention policies, batch throughput,
+//! and history-query cost.
+//!
+//! The columnar rewrite exists so a channel can keep *queryable history*
+//! (for record/replay and post-hoc analysis) without the memory bill
+//! growing with the stream. This binary measures exactly that trade on
+//! frame-sized payloads:
+//!
+//! * **memory** — byte high-water at increasing stream lengths under three
+//!   policies: `hold-live` (the per-item baseline: the only way the old
+//!   store could serve history was never consuming, so live bytes grow with
+//!   the stream), `retain-all` (columnar history, no budget — retained
+//!   bytes grow instead), and `budget` (columnar history under a
+//!   `retain_bytes` cap — the GC retires whole buckets, oldest first, and
+//!   the high-water stays flat no matter how long the stream runs);
+//! * **history** — `latest_at` / `range` median cost against the budgeted
+//!   store, with correctness asserted at the retention edge;
+//! * **throughput** — per-item put/consume loop vs `put_many` +
+//!   `consume_range`, same shape as the `datapath` stm section so the two
+//!   reports stay comparable. The lock-acquisition counters (deterministic,
+//!   timing-free) gate the batch win in CI.
+//!
+//! Flags: `--smoke` (small streams, fast), `--iters N` (timing repetitions,
+//! default 30), `--json PATH` (additionally write the machine-readable
+//! report).
+
+use std::time::Instant;
+
+use kiosk_bench::{csv_line, print_table, run_checks, Json, JsonReport};
+use stm::{Channel, ChannelBuilder, Timestamp};
+
+/// Payload size: one 64x64 grayscale frame per row.
+const ROW: usize = 64 * 64;
+/// Bucket split threshold used by every policy (small enough that eviction
+/// granularity is visible at smoke sizes).
+const BUCKET_ROWS: usize = 32;
+/// Retained-history byte budget for the `budget` policy: 64 rows.
+const BUDGET: usize = 64 * ROW;
+
+// `build_weighed` takes a `fn(&T) -> usize` with `T = Vec<u8>` (the channel
+// payload type), so a slice parameter would not match.
+#[allow(clippy::ptr_arg)]
+fn weigh(v: &Vec<u8>) -> usize {
+    v.len()
+}
+
+fn row_of(ts: u64) -> Vec<u8> {
+    vec![(ts & 0xff) as u8; ROW]
+}
+
+fn arg(args: &[String], flag: &str, default: u64) -> u64 {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Median-of-repeats wall time for one call, in nanoseconds.
+fn time_ns(iters: u64, mut f: impl FnMut()) -> f64 {
+    let mut samples: Vec<f64> = (0..iters.max(3))
+        .map(|_| {
+            let t0 = Instant::now();
+            f();
+            t0.elapsed().as_secs_f64() * 1e9
+        })
+        .collect();
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Policy {
+    /// Per-item baseline: history = never consuming, so everything stays live.
+    HoldLive,
+    /// Columnar history with no byte budget: retained bytes grow instead.
+    RetainAll,
+    /// Columnar history under the `retain_bytes` cap.
+    Budget,
+}
+
+impl Policy {
+    fn name(self) -> &'static str {
+        match self {
+            Policy::HoldLive => "hold-live",
+            Policy::RetainAll => "retain-all",
+            Policy::Budget => "budget",
+        }
+    }
+
+    fn channel(self) -> Channel<Vec<u8>> {
+        let b = ChannelBuilder::new(format!("stmstore-{}", self.name())).bucket_rows(BUCKET_ROWS);
+        match self {
+            Policy::HoldLive => b.build_weighed(weigh),
+            Policy::RetainAll => b
+                .retain_buckets(usize::MAX)
+                .retain_bytes(usize::MAX)
+                .build_weighed(weigh),
+            Policy::Budget => b
+                .retain_buckets(usize::MAX)
+                .retain_bytes(BUDGET)
+                .build_weighed(weigh),
+        }
+    }
+}
+
+/// Stream `n` rows through a channel under `policy` and return the channel
+/// (kept open: the input connection is leaked into it via `forget`-free
+/// means — we simply return both halves' owner) plus its stats.
+fn stream(policy: Policy, n: u64) -> (Channel<Vec<u8>>, stm::ChannelStats) {
+    let ch = policy.channel();
+    let out = ch.attach_output();
+    let inp = ch.attach_input();
+    const CHUNK: u64 = 16;
+    let mut t = 0;
+    while t < n {
+        let hi = (t + CHUNK).min(n);
+        out.put_many((t..hi).map(|ts| (Timestamp(ts), row_of(ts))))
+            .expect("put_many on open unbounded channel");
+        if policy != Policy::HoldLive {
+            inp.consume_range(Timestamp(t), Timestamp(hi));
+        }
+        t = hi;
+    }
+    let stats = ch.stats();
+    drop((out, inp));
+    (ch, stats)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let iters = arg(&args, "--iters", if smoke { 8 } else { 30 });
+    let lengths: Vec<u64> = if smoke {
+        vec![128, 512]
+    } else {
+        vec![256, 1024, 4096]
+    };
+
+    println!("Columnar STM store: retention memory, history cost, batch throughput");
+    println!(
+        "row {ROW} B, bucket {BUCKET_ROWS} rows, history budget {} KiB, streams {lengths:?}",
+        BUDGET / 1024
+    );
+
+    let mut json = JsonReport::new("stmstore");
+    json.meta("row_bytes", Json::Num(ROW as f64));
+    json.meta("bucket_rows", Json::Num(BUCKET_ROWS as f64));
+    json.meta("budget_bytes", Json::Num(BUDGET as f64));
+
+    // --- Memory: byte high-water by policy and stream length ----------
+    let mut rows = Vec::new();
+    let mut peak = std::collections::HashMap::new();
+    for &n in &lengths {
+        for policy in [Policy::HoldLive, Policy::RetainAll, Policy::Budget] {
+            let (_ch, st) = stream(policy, n);
+            peak.insert((policy.name(), n), st.peak_bytes);
+            rows.push(vec![
+                policy.name().to_string(),
+                n.to_string(),
+                (st.peak_bytes / 1024).to_string(),
+                (st.bytes_live / 1024).to_string(),
+                (st.retained_bytes / 1024).to_string(),
+                st.buckets.to_string(),
+                st.reclaimed.to_string(),
+            ]);
+            csv_line(&[
+                "stmstore_mem".to_string(),
+                policy.name().to_string(),
+                n.to_string(),
+                st.peak_bytes.to_string(),
+                st.retained_bytes.to_string(),
+                st.buckets.to_string(),
+            ]);
+            json.row(vec![
+                ("section", Json::Str("memory".into())),
+                ("policy", Json::Str(policy.name().into())),
+                ("stream_rows", Json::Num(n as f64)),
+                ("peak_bytes", Json::Num(st.peak_bytes as f64)),
+                ("retained_bytes", Json::Num(st.retained_bytes as f64)),
+                ("buckets", Json::Num(st.buckets as f64)),
+            ]);
+        }
+    }
+    print_table(
+        "Byte high-water by retention policy",
+        &[
+            "policy",
+            "rows",
+            "peak KiB",
+            "live KiB",
+            "hist KiB",
+            "buckets",
+            "reclaimed",
+        ],
+        &rows,
+    );
+
+    let (n_min, n_max) = (lengths[0], *lengths.last().unwrap());
+    let p = |pol: &'static str, n: u64| peak[&(pol, n)] as f64;
+    let growth = n_max as f64 / n_min as f64;
+    println!(
+        "\nhold-live grows {:.1}x over a {growth:.0}x longer stream; \
+         budget grows {:.2}x (flat) and never exceeds {} KiB",
+        p("hold-live", n_max) / p("hold-live", n_min),
+        p("budget", n_max) / p("budget", n_min),
+        (peak[&("budget", n_max)] / 1024),
+    );
+
+    // --- History queries against the budgeted store -------------------
+    let (ch, _) = stream(Policy::Budget, n_max);
+    let newest = n_max - 1;
+    let (hit_ts, hit) = ch
+        .latest_at(Timestamp(newest))
+        .expect("newest row is retained");
+    assert_eq!(hit_ts, Timestamp(newest));
+    assert_eq!(hit[0], (newest & 0xff) as u8);
+    let window = ch.range(Timestamp(n_max - 32), Timestamp(n_max));
+    assert_eq!(window.len(), 32, "recent window fully retained");
+    let ancient = ch.range(Timestamp(0), Timestamp(BUCKET_ROWS as u64));
+    let floor = ch.gc_floor();
+
+    let latest_ns = time_ns(iters * 100, || {
+        std::hint::black_box(ch.latest_at(Timestamp(newest)));
+    });
+    let range_ns = time_ns(iters * 10, || {
+        std::hint::black_box(ch.range(Timestamp(n_max - 32), Timestamp(n_max)));
+    });
+    print_table(
+        "History query cost (budgeted store, median ns)",
+        &["query", "ns"],
+        &[
+            vec!["latest_at".to_string(), format!("{latest_ns:.0}")],
+            vec!["range x32".to_string(), format!("{range_ns:.0}")],
+        ],
+    );
+    csv_line(&["stmstore_hist", "latest_at", &format!("{latest_ns:.0}")]);
+    csv_line(&["stmstore_hist", "range_32", &format!("{range_ns:.0}")]);
+    json.row(vec![
+        ("section", Json::Str("history".into())),
+        ("query", Json::Str("latest_at".into())),
+        ("ns", Json::Num(latest_ns)),
+    ]);
+    json.row(vec![
+        ("section", Json::Str("history".into())),
+        ("query", Json::Str("range_32".into())),
+        ("ns", Json::Num(range_ns)),
+    ]);
+
+    // --- Batch throughput: per-item loop vs put_many/consume_range ----
+    const BATCH: u64 = 64;
+    let bench_channel = || {
+        ChannelBuilder::new("stmstore-tp")
+            .bucket_rows(BUCKET_ROWS)
+            .build_weighed(weigh)
+    };
+    let (per_item_ns, per_item_locks) = {
+        let ch = bench_channel();
+        let out = ch.attach_output();
+        let inp = ch.attach_input();
+        let mut base = 0u64;
+        let ns = time_ns(iters, || {
+            for t in base..base + BATCH {
+                out.put(Timestamp(t), row_of(t)).unwrap();
+            }
+            for t in base..base + BATCH {
+                inp.consume(Timestamp(t)).unwrap();
+            }
+            base += BATCH;
+        });
+        (ns, ch.stats().lock_acquisitions)
+    };
+    let (batched_ns, batched_locks) = {
+        let ch = bench_channel();
+        let out = ch.attach_output();
+        let inp = ch.attach_input();
+        let mut base = 0u64;
+        let ns = time_ns(iters, || {
+            out.put_many((base..base + BATCH).map(|t| (Timestamp(t), row_of(t))))
+                .unwrap();
+            inp.consume_range(Timestamp(base), Timestamp(base + BATCH));
+            base += BATCH;
+        });
+        (ns, ch.stats().lock_acquisitions)
+    };
+    print_table(
+        &format!("Put+consume x{BATCH} (median ns, total lock acquisitions)"),
+        &["variant", "ns", "locks"],
+        &[
+            vec![
+                "per-item".to_string(),
+                format!("{per_item_ns:.0}"),
+                per_item_locks.to_string(),
+            ],
+            vec![
+                "batched".to_string(),
+                format!("{batched_ns:.0}"),
+                batched_locks.to_string(),
+            ],
+        ],
+    );
+    let speedup = per_item_ns / batched_ns.max(1e-3);
+    println!("batch speedup: {speedup:.2}x, locks {per_item_locks} -> {batched_locks}");
+    csv_line(&[
+        "stmstore_tp".to_string(),
+        "per_item".to_string(),
+        format!("{per_item_ns:.0}"),
+        per_item_locks.to_string(),
+    ]);
+    csv_line(&[
+        "stmstore_tp".to_string(),
+        "batched".to_string(),
+        format!("{batched_ns:.0}"),
+        batched_locks.to_string(),
+    ]);
+    json.row(vec![
+        ("section", Json::Str("throughput".into())),
+        ("variant", Json::Str("per_item".into())),
+        ("ns", Json::Num(per_item_ns)),
+        ("locks", Json::Num(per_item_locks as f64)),
+    ]);
+    json.row(vec![
+        ("section", Json::Str("throughput".into())),
+        ("variant", Json::Str("batched".into())),
+        ("ns", Json::Num(batched_ns)),
+        ("locks", Json::Num(batched_locks as f64)),
+    ]);
+    json.meta("batch_speedup", Json::Num(speedup));
+
+    if let Some(path) = args
+        .iter()
+        .position(|a| a == "--json")
+        .and_then(|i| args.get(i + 1))
+    {
+        match json.write(std::path::Path::new(path)) {
+            Ok(()) => println!("json report written to {path}"),
+            Err(e) => {
+                eprintln!("[FAIL] could not write {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    // Eviction granularity is one bucket, and the live put window rides on
+    // top of the budget, so the honest cap is budget + bucket + chunk.
+    let slack = BUDGET + BUCKET_ROWS * ROW + 16 * ROW;
+    println!();
+    run_checks(&[
+        (
+            format!(
+                "per-item baseline grows with the stream \
+                 ({:.1}x over {growth:.0}x rows)",
+                p("hold-live", n_max) / p("hold-live", n_min)
+            ),
+            p("hold-live", n_max) >= 2.0 * p("hold-live", n_min),
+        ),
+        (
+            "budgeted high-water is flat (within 1.5x across stream lengths)".to_string(),
+            p("budget", n_max) <= 1.5 * p("budget", n_min),
+        ),
+        (
+            format!(
+                "budgeted high-water under budget+bucket slack ({} <= {} KiB)",
+                peak[&("budget", n_max)] / 1024,
+                slack / 1024
+            ),
+            peak[&("budget", n_max)] <= slack,
+        ),
+        (
+            "recent history window fully queryable under budget".to_string(),
+            window.len() == 32,
+        ),
+        (
+            format!(
+                "oldest buckets evicted under budget (floor {}, ancient hits {})",
+                floor.0,
+                ancient.len()
+            ),
+            ancient.is_empty() && floor.0 > 0,
+        ),
+        (
+            format!("batch APIs acquire fewer locks ({per_item_locks} -> {batched_locks})"),
+            batched_locks * 8 <= per_item_locks,
+        ),
+    ]);
+}

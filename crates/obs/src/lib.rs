@@ -13,6 +13,9 @@
 //!   (digitize → stage spans → commit/skip) from a drained [`SpanDump`].
 //! * [`chrome`] — `chrome://tracing` JSON export shared by live runs and
 //!   the simulator, so both can be diffed side by side in one timeline.
+//! * [`diff`](mod@diff) — semantic trace diffing: compares two span dumps on their
+//!   per-frame outcome skeletons (ignoring timing), the checker behind
+//!   live-vs-replay determinism verification.
 //! * [`conformance`] — the schedule-conformance checker: measured
 //!   per-stage costs and latencies joined against the precomputed
 //!   schedule's predictions, flagging cost drift, regime
@@ -26,6 +29,7 @@
 
 pub mod chrome;
 pub mod conformance;
+pub mod diff;
 pub mod frames;
 pub mod hist;
 pub mod span;
@@ -34,6 +38,7 @@ pub use chrome::ChromeTrace;
 pub use conformance::{
     calibrate_stages, ratio_drifts, ChannelCheck, ConformanceReport, RegimeSpec, StageRow,
 };
+pub use diff::{diff, diff_ignoring_decomp, DiffReport, FrameDiff};
 pub use frames::{FrameLife, FrameOutcome, LifecycleStats};
 pub use hist::LogHist;
 pub use span::{Recorder, Span, SpanDump, SpanKind, SpanRing, TraceMode};

@@ -1,0 +1,288 @@
+//! The runtime-facing halves: [`RecordTap`] collects a live run's events,
+//! [`ReplaySource`] feeds a replayed one.
+
+use std::collections::{BTreeSet, HashMap};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use vision::{Frame, ModelLocation};
+
+use crate::format::{Header, Recording};
+
+/// FNV-1a 64-bit over a byte slice — the dependency-free content hash used
+/// for frame payloads and model locations.
+#[must_use]
+pub fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// A content hash over one frame's model locations: every field that the
+/// sink logs, in order, with `f32` scores hashed by their exact bit
+/// patterns. Two location vectors hash equal iff the sink's outputs are
+/// bit-identical — the per-frame replay witness.
+#[must_use]
+pub fn location_hash(locs: &[ModelLocation]) -> u64 {
+    let mut bytes = Vec::with_capacity(locs.len() * 29);
+    for l in locs {
+        bytes.extend_from_slice(&(l.model as u64).to_le_bytes());
+        bytes.extend_from_slice(&(l.x as u64).to_le_bytes());
+        bytes.extend_from_slice(&(l.y as u64).to_le_bytes());
+        bytes.extend_from_slice(&l.score.to_bits().to_le_bytes());
+        bytes.push(u8::from(l.detected));
+    }
+    fnv64(&bytes)
+}
+
+/// The live-side collector every stage's context carries during a recorded
+/// run. Thread-safe: stages record concurrently; columns are sorted into
+/// canonical order when the recording is assembled. Skips dedup through a
+/// set — one `(stage, frame)` coordinate records once no matter how many
+/// paths observe it.
+#[derive(Default)]
+pub struct RecordTap {
+    frames: Mutex<Vec<(u64, Vec<u8>)>>,
+    skips: Mutex<BTreeSet<(u8, u64)>>,
+    commits: Mutex<Vec<(u64, u32, u64)>>,
+}
+
+impl std::fmt::Debug for RecordTap {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "RecordTap(frames={}, skips={}, commits={})",
+            self.frames.lock().len(),
+            self.skips.lock().len(),
+            self.commits.lock().len()
+        )
+    }
+}
+
+impl RecordTap {
+    /// An empty tap.
+    #[must_use]
+    pub fn new() -> RecordTap {
+        RecordTap::default()
+    }
+
+    /// Record one digitized frame's pixels.
+    pub fn record_frame(&self, ts: u64, frame: &Frame) {
+        self.frames.lock().push((ts, frame.bytes().to_vec()));
+    }
+
+    /// Record that `stage` skipped frame `ts`.
+    pub fn record_skip(&self, stage: u8, ts: u64) {
+        self.skips.lock().insert((stage, ts));
+    }
+
+    /// Record a sink commit: the frame, its detected count, and the
+    /// [`location_hash`] of its model locations.
+    pub fn record_commit(&self, ts: u64, count: u32, loc_hash: u64) {
+        self.commits.lock().push((ts, count, loc_hash));
+    }
+
+    /// Assemble the recording. `switches` is supplied by the driver (it
+    /// owns the regime controller's trace); columns are sorted here.
+    #[must_use]
+    pub fn into_recording(&self, header: Header, switches: Vec<(u64, u32)>) -> Recording {
+        let mut frames = self.frames.lock().clone();
+        frames.sort_by_key(|(ts, _)| *ts);
+        let mut commits = self.commits.lock().clone();
+        commits.sort_unstable();
+        let mut switches = switches;
+        switches.sort_unstable();
+        Recording {
+            header,
+            frames,
+            skips: self.skips.lock().iter().copied().collect(),
+            commits,
+            switches,
+        }
+    }
+}
+
+/// The replay-side frame source: the digitizer, instead of rendering and
+/// pacing, asks this for each timestamp — recorded pixels are played back,
+/// recorded digitizer skips are re-marked, and everything else (frames the
+/// recorded run never produced) is treated as a skip.
+pub struct ReplaySource {
+    frames: HashMap<u64, Arc<Vec<u8>>>,
+    skips: BTreeSet<u64>,
+    width: usize,
+    height: usize,
+}
+
+impl std::fmt::Debug for ReplaySource {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "ReplaySource(frames={}, skips={})",
+            self.frames.len(),
+            self.skips.len()
+        )
+    }
+}
+
+impl ReplaySource {
+    /// Build the source from a recording. `digitizer_stage` is the stage
+    /// index whose recorded skips belong to the digitizer (downstream
+    /// skips are replayed by fault injection instead, so the source keeps
+    /// only its own).
+    #[must_use]
+    pub fn new(rec: &Recording, digitizer_stage: u8) -> ReplaySource {
+        ReplaySource {
+            frames: rec
+                .frames
+                .iter()
+                .map(|(ts, px)| (*ts, Arc::new(px.clone())))
+                .collect(),
+            skips: rec
+                .skips
+                .iter()
+                .filter(|(stage, _)| *stage == digitizer_stage)
+                .map(|(_, ts)| *ts)
+                .collect(),
+            width: rec.header.width as usize,
+            height: rec.header.height as usize,
+        }
+    }
+
+    /// Whether the recorded digitizer skipped frame `ts`.
+    #[must_use]
+    pub fn is_skipped(&self, ts: u64) -> bool {
+        self.skips.contains(&ts)
+    }
+
+    /// Play frame `ts` back into `buf` (a recycled buffer of the recorded
+    /// dimensions). `false` when the recording has no such frame — the
+    /// replayed digitizer skips it.
+    #[must_use]
+    pub fn play_into(&self, ts: u64, buf: &mut Frame) -> bool {
+        let Some(px) = self.frames.get(&ts) else {
+            return false;
+        };
+        assert_eq!(
+            (buf.width, buf.height),
+            (self.width, self.height),
+            "replay buffer dimensions must match the recording"
+        );
+        buf.copy_from_bytes(px);
+        true
+    }
+
+    /// Recorded frame dimensions `(width, height)`.
+    #[must_use]
+    pub fn dimensions(&self) -> (usize, usize) {
+        (self.width, self.height)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_distinguishes_and_is_stable() {
+        assert_eq!(fnv64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_ne!(fnv64(b"a"), fnv64(b"b"));
+        assert_eq!(fnv64(b"frame"), fnv64(b"frame"));
+    }
+
+    #[test]
+    fn location_hash_sees_every_field() {
+        let base = ModelLocation {
+            model: 0,
+            x: 3,
+            y: 4,
+            score: 1.5,
+            detected: true,
+        };
+        let h = location_hash(&[base]);
+        for tweak in [
+            ModelLocation { model: 1, ..base },
+            ModelLocation { x: 5, ..base },
+            ModelLocation { y: 5, ..base },
+            ModelLocation {
+                score: 1.5000001,
+                ..base
+            },
+            ModelLocation {
+                detected: false,
+                ..base
+            },
+        ] {
+            assert_ne!(location_hash(&[tweak]), h);
+        }
+        assert_ne!(location_hash(&[]), h);
+    }
+
+    #[test]
+    fn tap_dedups_skips_and_sorts_columns() {
+        let tap = RecordTap::new();
+        let mut f = Frame::new(2, 1);
+        f.set_pixel(0, 0, [9, 9, 9]);
+        tap.record_frame(1, &f);
+        tap.record_frame(0, &f);
+        tap.record_skip(2, 5);
+        tap.record_skip(2, 5);
+        tap.record_skip(1, 5);
+        tap.record_commit(1, 2, 42);
+        tap.record_commit(0, 1, 41);
+        let header = Header {
+            seed: 0,
+            width: 2,
+            height: 1,
+            n_targets: 1,
+            n_frames: 2,
+            period_ns: 0,
+            channel_capacity: 8,
+            decomp: (1, 1),
+            min_score_bits: 0,
+            pool_workers: 0,
+        };
+        let rec = tap.into_recording(header, vec![(3, 1), (1, 2)]);
+        assert_eq!(
+            rec.frames.iter().map(|(t, _)| *t).collect::<Vec<_>>(),
+            [0, 1]
+        );
+        assert_eq!(rec.skips, vec![(1, 5), (2, 5)]);
+        assert_eq!(rec.commits, vec![(0, 1, 41), (1, 2, 42)]);
+        assert_eq!(rec.switches, vec![(1, 2), (3, 1)]);
+    }
+
+    #[test]
+    fn source_plays_frames_and_keeps_only_digitizer_skips() {
+        let mut f = Frame::new(2, 1);
+        f.set_pixel(1, 0, [1, 2, 3]);
+        let header = Header {
+            seed: 0,
+            width: 2,
+            height: 1,
+            n_targets: 1,
+            n_frames: 3,
+            period_ns: 0,
+            channel_capacity: 8,
+            decomp: (1, 1),
+            min_score_bits: 0,
+            pool_workers: 0,
+        };
+        let rec = Recording {
+            header,
+            frames: vec![(0, f.bytes().to_vec())],
+            skips: vec![(0, 1), (3, 2)],
+            commits: vec![],
+            switches: vec![],
+        };
+        let src = ReplaySource::new(&rec, 0);
+        assert!(src.is_skipped(1), "digitizer skip kept");
+        assert!(!src.is_skipped(2), "downstream skip excluded");
+        let mut buf = Frame::new(2, 1);
+        assert!(src.play_into(0, &mut buf));
+        assert_eq!(buf.pixel(1, 0), [1, 2, 3]);
+        assert!(!src.play_into(9, &mut buf), "unrecorded frame");
+    }
+}

@@ -79,6 +79,15 @@ pub struct TrackerConfig {
     /// Every tier is bit-identical; they differ only in speed, which is
     /// what the priced schedule search weighs.
     pub backend: BackendKind,
+    /// Record this run's nondeterminism (digitized frames, skips, commits)
+    /// into the tap — the live side of `crates/replay`. `None` records
+    /// nothing and costs nothing.
+    pub record: Option<Arc<replay::RecordTap>>,
+    /// Replay a recording: the digitizer plays frames back from here
+    /// (unpaced, recorded skips re-marked) instead of rendering. Combine
+    /// with a [`FaultInjector`] carrying the recorded downstream skips to
+    /// pin the whole pipeline to the recorded run.
+    pub source: Option<Arc<replay::ReplaySource>>,
 }
 
 impl TrackerConfig {
@@ -102,6 +111,8 @@ impl TrackerConfig {
             faults: None,
             trace: None,
             backend: BackendKind::from_env(),
+            record: None,
+            source: None,
         }
     }
 }
@@ -173,6 +184,39 @@ struct AppChannels {
     mask: Channel<PooledMask>,
     scores: Channel<Vec<ScoreMap>>,
     locations: Channel<Vec<ModelLocation>>,
+}
+
+/// Byte weigher of the "Frame" channel: interleaved RGB payload.
+fn weigh_frame(f: &PooledFrame) -> usize {
+    f.byte_len()
+}
+
+/// Byte weigher of the "Color Model" channel: one `f32` per bin.
+fn weigh_hist(_: &ColorHist) -> usize {
+    vision::color::N_BINS * std::mem::size_of::<f32>()
+}
+
+/// Byte weigher of the "Motion Mask" channel: the packed bit words.
+fn weigh_mask(m: &PooledMask) -> usize {
+    m.byte_len()
+}
+
+/// Byte weigher of the "Back Projections" channel: one `f32` per pixel per
+/// model.
+// `build_weighed` takes a `fn(&T) -> usize` where `T` is the channel payload
+// type (`Vec<ScoreMap>`), so a slice parameter would not match.
+#[allow(clippy::ptr_arg)]
+fn weigh_scores(s: &Vec<ScoreMap>) -> usize {
+    s.iter()
+        .map(|m| m.width * m.height * std::mem::size_of::<f32>())
+        .sum()
+}
+
+/// Byte weigher of the "Model Locations" channel.
+// Same `fn(&T) -> usize` pointer constraint as `weigh_scores`.
+#[allow(clippy::ptr_arg)]
+fn weigh_locations(l: &Vec<ModelLocation>) -> usize {
+    l.len() * std::mem::size_of::<ModelLocation>()
 }
 
 impl TrackerApp {
@@ -274,21 +318,34 @@ impl TrackerApp {
             if let Some(s) = shared {
                 ctx = ctx.with_boost(Arc::clone(&s.boost)).with_class(s.class);
             }
+            if let Some(t) = &cfg.record {
+                ctx = ctx.with_tap(Arc::clone(t));
+            }
             ctx
         };
         if let (Some(a), Some(r)) = (&adapt, &recorder) {
             a.attach_recorder(r.clone());
         }
 
+        // Every channel carries a byte weigher so the store's byte gauges
+        // (`bytes_live`/`peak_bytes`) report real payload sizes — the
+        // figures the fleet memory rollup and the stmstore GC budget use.
         let cap = cfg.channel_capacity;
-        let frames: Channel<PooledFrame> = ChannelBuilder::new("Frame").capacity(cap).build();
-        let hist: Channel<ColorHist> = ChannelBuilder::new("Color Model").capacity(cap).build();
-        let mask: Channel<PooledMask> = ChannelBuilder::new("Motion Mask").capacity(cap).build();
+        let frames: Channel<PooledFrame> = ChannelBuilder::new("Frame")
+            .capacity(cap)
+            .build_weighed(weigh_frame);
+        let hist: Channel<ColorHist> = ChannelBuilder::new("Color Model")
+            .capacity(cap)
+            .build_weighed(weigh_hist);
+        let mask: Channel<PooledMask> = ChannelBuilder::new("Motion Mask")
+            .capacity(cap)
+            .build_weighed(weigh_mask);
         let scores: Channel<Vec<ScoreMap>> = ChannelBuilder::new("Back Projections")
             .capacity(cap)
-            .build();
-        let locations: Channel<Vec<ModelLocation>> =
-            ChannelBuilder::new("Model Locations").capacity(cap).build();
+            .build_weighed(weigh_scores);
+        let locations: Channel<Vec<ModelLocation>> = ChannelBuilder::new("Model Locations")
+            .capacity(cap)
+            .build_weighed(weigh_locations);
 
         // Buffer pools: a few more idle slots than the channel can hold, so
         // a drained pipeline never discards buffers it is about to reuse. A
@@ -319,6 +376,9 @@ impl TrackerApp {
             digitizer = digitizer
                 .with_halt(Arc::clone(&s.halt))
                 .with_shed(Arc::clone(&s.shed));
+        }
+        if let Some(src) = &cfg.source {
+            digitizer = digitizer.with_source(Arc::clone(src));
         }
         let mut histogram = HistogramTask::new(frames.attach_input(), hist.clone())
             .with_ctx(stage_ctx(Stage::Histogram));
@@ -483,6 +543,47 @@ impl TrackerApp {
             row("Back Projections", self.channels.scores.stats().peak_live),
             row("Model Locations", self.channels.locations.stats().peak_live),
         ]
+    }
+
+    /// Per-channel payload-byte gauges `(name, bytes_now, peak_bytes)`:
+    /// bytes currently held (live + retained history) and the high-water
+    /// mark, as weighed by the per-channel byte weighers.
+    #[must_use]
+    pub fn channel_bytes(&self) -> Vec<(&'static str, usize, usize)> {
+        vec![
+            (
+                "Frame",
+                self.channels.frames.stats().bytes_total(),
+                self.channels.frames.stats().peak_bytes,
+            ),
+            (
+                "Color Model",
+                self.channels.hist.stats().bytes_total(),
+                self.channels.hist.stats().peak_bytes,
+            ),
+            (
+                "Motion Mask",
+                self.channels.mask.stats().bytes_total(),
+                self.channels.mask.stats().peak_bytes,
+            ),
+            (
+                "Back Projections",
+                self.channels.scores.stats().bytes_total(),
+                self.channels.scores.stats().peak_bytes,
+            ),
+            (
+                "Model Locations",
+                self.channels.locations.stats().bytes_total(),
+                self.channels.locations.stats().peak_bytes,
+            ),
+        ]
+    }
+
+    /// Total peak payload bytes across the five channels — the tenant's
+    /// channel-memory high-water figure the fleet rollup sums.
+    #[must_use]
+    pub fn peak_channel_bytes(&self) -> usize {
+        self.channel_bytes().iter().map(|&(_, _, peak)| peak).sum()
     }
 
     /// Peak live occupancy observed across all channels (validates the

@@ -233,6 +233,19 @@ pub struct FleetObs {
     pub trace_json: String,
     /// `(tenant, conformant)` per traced tenant.
     pub conformance: Vec<(usize, bool)>,
+    /// `(tenant, bytes_now, peak_bytes)` per surviving tenant: payload
+    /// bytes summed over the tenant's five STM channels, as reported by
+    /// the per-channel byte weighers (bytes_now = live + retained).
+    pub memory: Vec<(usize, usize, usize)>,
+}
+
+impl FleetObs {
+    /// Fleet-wide channel-memory high water: the sum of every tenant's
+    /// peak channel bytes.
+    #[must_use]
+    pub fn peak_bytes_total(&self) -> usize {
+        self.memory.iter().map(|&(_, _, peak)| peak).sum()
+    }
 }
 
 /// The final rollup [`Fleet::detach_and_wait`] emits once a departed
@@ -926,9 +939,21 @@ impl FleetRun {
         if conformance.is_empty() {
             return None;
         }
+        // Memory rollup covers every surviving tenant, traced or not: the
+        // byte gauges come from the channels themselves, not the recorder.
+        let memory = self
+            .tenants
+            .iter()
+            .filter_map(|t| {
+                let app = t.app.as_ref()?;
+                let now: usize = app.channel_bytes().iter().map(|&(_, b, _)| b).sum();
+                Some((t.tenant, now, app.peak_channel_bytes()))
+            })
+            .collect();
         Some(FleetObs {
             trace_json: chrome.to_json(),
             conformance,
+            memory,
         })
     }
 }

@@ -44,6 +44,7 @@ pub mod frame_pool;
 pub mod lifecycle;
 pub mod measure;
 pub mod pool;
+pub mod record;
 pub mod regime_rt;
 pub mod tasks;
 
@@ -60,5 +61,8 @@ pub use frame_pool::{BufPool, PoolStats, Pooled, PooledFrame, PooledMask};
 pub use lifecycle::{AttachOutcome, LifecycleState, TenantSpec};
 pub use measure::{Measurements, RunStats};
 pub use pool::{PoolClosed, PoolHealth, PriorityClass, WorkerPool};
+pub use record::{
+    record_run, record_run_with_scene, replay_config, replay_run, RecordedRun, ReplayOutcome,
+};
 pub use regime_rt::{RegimeController, RegimeError, ReschedSwap};
 pub use tasks::{PoolJob, StageCtx, TaskBody};

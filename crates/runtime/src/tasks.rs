@@ -83,6 +83,11 @@ pub struct StageCtx {
     /// The tenant's standing priority class: picks the pool lane whenever
     /// the boost flag is not overriding it.
     class: PriorityClass,
+    /// Record/replay tap: every nondeterministic event this stage settles
+    /// (digitized frame, skip, sink commit) is mirrored into it. The tap
+    /// rides the same funnel the recorder does, so the recording is exact
+    /// by construction — there is no second code path to drift.
+    tap: Option<Arc<replay::RecordTap>>,
 }
 
 impl StageCtx {
@@ -101,7 +106,16 @@ impl StageCtx {
             backend: vision::active(),
             boost: None,
             class: PriorityClass::default(),
+            tap: None,
         }
+    }
+
+    /// Attach a record/replay tap; every skip this stage settles (and, for
+    /// the digitizer and sink, every frame and commit) is recorded into it.
+    #[must_use]
+    pub fn with_tap(mut self, tap: Arc<replay::RecordTap>) -> Self {
+        self.tap = Some(tap);
+        self
     }
 
     /// Share the run-wide health ledger.
@@ -249,6 +263,31 @@ impl StageCtx {
         }
     }
 
+    /// Record into the tap that this stage skipped frame `ts` (no-op when
+    /// no tap is attached). Called on every skip path of the degradation
+    /// ladder, so the recording captures the *complete* set of `(stage,
+    /// frame)` coordinates replay must re-inject.
+    fn tap_skip(&self, ts: u64) {
+        if let Some(t) = &self.tap {
+            t.record_skip(self.stage.index(), ts);
+        }
+    }
+
+    /// Record one digitized frame's pixels into the tap (digitizer only).
+    fn tap_frame(&self, ts: u64, frame: &Frame) {
+        if let Some(t) = &self.tap {
+            t.record_frame(ts, frame);
+        }
+    }
+
+    /// Record a sink commit — the frame, its detected count, and the
+    /// content hash of its model locations — into the tap (sink only).
+    fn tap_commit(&self, ts: u64, count: u32, locs: &[ModelLocation]) {
+        if let Some(t) = &self.tap {
+            t.record_commit(ts, count, replay::location_hash(locs));
+        }
+    }
+
     /// Record that this stage finished its work on frame `ts` into the
     /// attached measurement store's per-stage marks.
     fn mark_stage(&self, ts: u64) {
@@ -320,6 +359,7 @@ impl StageCtx {
                     err: GetError::Unsatisfiable(MissReason::AlreadyConsumed),
                 });
                 self.rec_instant(SpanKind::Skip, ts.0, None);
+                self.tap_skip(ts.0);
                 Err(FrameFault::Skip)
             }
             Ok(v) => {
@@ -340,6 +380,7 @@ impl StageCtx {
                     ts: ts.0,
                 });
                 self.rec_instant(SpanKind::Skip, ts.0, None);
+                self.tap_skip(ts.0);
                 Err(FrameFault::Skip)
             }
             Err(e) => {
@@ -349,6 +390,7 @@ impl StageCtx {
                     err: e,
                 });
                 self.rec_instant(SpanKind::Skip, ts.0, None);
+                self.tap_skip(ts.0);
                 Err(FrameFault::Skip)
             }
         }
@@ -372,6 +414,7 @@ impl StageCtx {
                     err: e,
                 });
                 self.rec_instant(SpanKind::Skip, ts.0, None);
+                self.tap_skip(ts.0);
                 Err(FrameFault::Skip)
             }
         }
@@ -478,6 +521,11 @@ pub struct DigitizerTask {
     /// tenant), frames are skip-committed instead of rendered — the tenant
     /// degrades itself rather than inflating the neighbors' p99.
     shed: Option<Arc<AtomicBool>>,
+    /// Replay source: when set, the digitizer plays back recorded pixels
+    /// instead of rendering, skips the frames the recorded digitizer
+    /// skipped, and runs unpaced (virtual time) — the replay side of
+    /// `crates/replay`.
+    source: Option<Arc<replay::ReplaySource>>,
 }
 
 impl DigitizerTask {
@@ -504,7 +552,16 @@ impl DigitizerTask {
             halt: None,
             halt_at: AtomicU64::new(u64::MAX),
             shed: None,
+            source: None,
         }
+    }
+
+    /// Replay from `source` instead of rendering: recorded pixels are
+    /// played back unpaced and the recorded digitizer skips re-marked.
+    #[must_use]
+    pub fn with_source(mut self, source: Arc<replay::ReplaySource>) -> Self {
+        self.source = Some(source);
+        self
     }
 
     /// Render into recycled buffers from `pool` instead of allocating a
@@ -580,11 +637,15 @@ impl TaskBody for DigitizerTask {
             return Err(Stop);
         }
         self.ctx.begin(ts);
-        let epoch = *self.epoch.lock().get_or_insert_with(Instant::now);
-        let target = epoch + self.period * ts.0 as u32;
-        let now = Instant::now();
-        if target > now {
-            std::thread::sleep(target - now);
+        if self.source.is_none() {
+            // Replay runs unpaced (virtual time); only a live camera waits
+            // for its period.
+            let epoch = *self.epoch.lock().get_or_insert_with(Instant::now);
+            let target = epoch + self.period * ts.0 as u32;
+            let now = Instant::now();
+            if target > now {
+                std::thread::sleep(target - now);
+            }
         }
         if self
             .shed
@@ -607,26 +668,39 @@ impl TaskBody for DigitizerTask {
             self.ctx.health().record_load_shed();
             self.measure.mark_shed(ts.0);
             self.ctx.rec_instant(SpanKind::Skip, ts.0, None);
+            self.ctx.tap_skip(ts.0);
             self.out.mark_skipped(ts);
             self.commit_and_maybe_close(ts.0);
             return Ok(());
         }
         let t0 = self.ctx.rec_now();
         let c0 = self.ctx.work_begin(ts);
-        let frame = match &self.frame_pool {
-            Some(pool) => {
-                let mut buf = pool.take_or(|| Frame::new(self.scene.width, self.scene.height));
-                self.ctx.backend().render_into(&self.scene, ts.0, &mut buf);
-                buf
-            }
-            None => {
-                let mut buf = Frame::new(self.scene.width, self.scene.height);
-                self.ctx.backend().render_into(&self.scene, ts.0, &mut buf);
-                Pooled::unpooled(buf)
-            }
+        let mut buf = match &self.frame_pool {
+            Some(pool) => pool.take_or(|| Frame::new(self.scene.width, self.scene.height)),
+            None => Pooled::unpooled(Frame::new(self.scene.width, self.scene.height)),
         };
+        match &self.source {
+            // Replay: a frame the recorded digitizer skipped — or never
+            // produced — is re-marked as a skip, pinning the replayed
+            // stream to the recorded one.
+            Some(src) if src.is_skipped(ts.0) || !src.play_into(ts.0, &mut buf) => {
+                self.ctx.work_end(c0);
+                self.ctx.rec_instant(SpanKind::Skip, ts.0, None);
+                self.ctx.tap_skip(ts.0);
+                self.out.mark_skipped(ts);
+                self.commit_and_maybe_close(ts.0);
+                return Ok(());
+            }
+            Some(_) => {}
+            None => self.ctx.backend().render_into(&self.scene, ts.0, &mut buf),
+        }
+        let frame = buf;
         self.ctx.work_end(c0);
         self.ctx.rec_span(SpanKind::Compute, ts.0, None, t0);
+        // Tap before the put hands the buffer over; a put that is then
+        // refused also taps a digitizer skip, which replay lets outrank
+        // the frame.
+        self.ctx.tap_frame(ts.0, &frame);
         match self.ctx.put(&self.out, ts, frame) {
             Ok(()) => {
                 self.measure.mark_digitized(ts.0);
@@ -1578,6 +1652,7 @@ impl TaskBody for FaceTask {
         self.ctx.rec_span(SpanKind::Compute, ts.0, None, t0);
         self.measure.mark_completed(ts.0);
         self.ctx.rec_instant(SpanKind::Commit, ts.0, None);
+        self.ctx.tap_commit(ts.0, count, &locs.value);
         self.ctx.mark_stage(ts.0);
         if let Some(c) = &self.controller {
             // A misread lies to the controller only; the logs keep truth.

@@ -11,11 +11,17 @@
 //! re-scanning every connection's cursor state per reclaim ("maintain the
 //! min-uncovered frontier across consumers" rather than recompute it).
 //!
+//! Items live in a bucketed columnar [`ColumnStore`] (see `store.rs`):
+//! the logical reclaim floor advances per item exactly as the old per-item
+//! `BTreeMap` backing did, but physical memory is retired in whole buckets,
+//! and an optional retention budget keeps reclaimed payloads queryable
+//! through [`Channel::latest_at`] / [`Channel::range`].
+//!
 //! The hottest read-only fields (`gc_floor`, live count, closed flag) are
 //! mirrored into atomics so monitoring reads never contend with blocked
 //! `get`/`put` waiters on the state lock.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
@@ -24,6 +30,7 @@ use parking_lot::{Condvar, Mutex};
 use crate::connection::{ConnId, InputConn, OutputConn};
 use crate::error::{ConsumeError, GetMiss, MissReason, PutError};
 use crate::stats::{ChannelSnapshot, ChannelStats};
+use crate::store::{ColumnStore, StoreConfig};
 use crate::time::Timestamp;
 use crate::wildcard::TsSpec;
 
@@ -55,20 +62,11 @@ impl InConnState {
     }
 }
 
-/// One live item plus its incremental GC state.
-pub(crate) struct Item<T> {
-    pub(crate) value: Arc<T>,
-    /// Number of attached input connections currently covering this
-    /// timestamp. The item is reclaimable once this reaches the number of
-    /// attached input connections.
-    covered: usize,
-}
-
 pub(crate) struct State<T> {
-    pub(crate) items: BTreeMap<Timestamp, Item<T>>,
-    /// Everything below this has been reclaimed (prefix GC); puts below it
+    /// The bucketed columnar item store. Owns the GC floor: everything
+    /// below `store.floor()` has been reclaimed (prefix GC); puts below it
     /// are rejected, so "one item per timestamp" stays enforceable forever.
-    pub(crate) gc_floor: Timestamp,
+    pub(crate) store: ColumnStore<T>,
     /// Timestamps the producer promised never to put (skipped frames).
     /// Tombstones, not items: they hold no value, don't count toward
     /// capacity, and are pruned as the GC floor passes them.
@@ -105,8 +103,9 @@ impl<T> Inner<T> {
     /// state lock is still held (the caller owns `st`), so snapshot readers
     /// can never observe values newer than the lock ever published.
     pub(crate) fn sync_caches(&self, st: &State<T>) {
-        self.floor_cache.store(st.gc_floor.0, Ordering::Release);
-        self.live_cache.store(st.items.len(), Ordering::Release);
+        self.floor_cache.store(st.store.floor(), Ordering::Release);
+        self.live_cache
+            .store(st.store.len_live(), Ordering::Release);
         self.closed_cache.store(st.closed, Ordering::Release);
     }
 }
@@ -133,6 +132,7 @@ pub struct ChannelBuilder {
     name: String,
     capacity: Option<usize>,
     close_on_last_output: bool,
+    store_cfg: StoreConfig,
 }
 
 impl ChannelBuilder {
@@ -142,6 +142,7 @@ impl ChannelBuilder {
             name: name.into(),
             capacity: None,
             close_on_last_output: true,
+            store_cfg: StoreConfig::default(),
         }
     }
 
@@ -165,15 +166,55 @@ impl ChannelBuilder {
         self
     }
 
-    /// Create the channel.
+    /// Bucket split threshold for the columnar store, in rows (default
+    /// [`crate::store::DEFAULT_BUCKET_ROWS`]). Larger buckets flatten the
+    /// lookup tree; smaller ones bound the cost of out-of-order inserts and
+    /// give memory back in finer grains.
+    #[must_use]
+    pub fn bucket_rows(mut self, rows: usize) -> Self {
+        assert!(rows >= 2, "bucket_rows must be at least 2");
+        self.store_cfg.bucket_rows = rows;
+        self
+    }
+
+    /// Keep up to `n` fully-reclaimed buckets as queryable history for
+    /// [`Channel::latest_at`] / [`Channel::range`] (default 0: payloads are
+    /// dropped the moment the GC floor passes them). History never counts
+    /// toward [`capacity`](Self::capacity) and is invisible to the
+    /// `get`/`consume` API.
+    #[must_use]
+    pub fn retain_buckets(mut self, n: usize) -> Self {
+        self.store_cfg.retain_buckets = n;
+        self
+    }
+
+    /// Cap retained-history payload bytes; the store evicts whole buckets,
+    /// oldest first, to stay under the cap. Only meaningful together with
+    /// [`retain_buckets`](Self::retain_buckets).
+    #[must_use]
+    pub fn retain_bytes(mut self, cap: usize) -> Self {
+        self.store_cfg.retain_bytes = cap;
+        self
+    }
+
+    /// Create the channel, sizing payloads as `size_of::<T>()` for the
+    /// byte-occupancy stats. Use [`build_weighed`](Self::build_weighed) when
+    /// the payload owns heap memory worth accounting (frames, masks).
     #[must_use]
     pub fn build<T>(self) -> Channel<T> {
+        self.build_weighed(|_| std::mem::size_of::<T>())
+    }
+
+    /// Create the channel with an explicit payload byte-sizing function,
+    /// which drives the byte columns of [`ChannelStats`] and the retained-
+    /// history byte budget.
+    #[must_use]
+    pub fn build_weighed<T>(self, weigh: fn(&T) -> usize) -> Channel<T> {
         Channel {
             inner: Arc::new(Inner {
                 name: self.name,
                 state: Mutex::new(State {
-                    items: BTreeMap::new(),
-                    gc_floor: Timestamp::ZERO,
+                    store: ColumnStore::new(self.store_cfg, weigh),
                     skipped: Default::default(),
                     in_conns: HashMap::new(),
                     out_count: 0,
@@ -230,13 +271,37 @@ impl<T> Channel<T> {
     /// Timestamp of the newest live item, if any.
     #[must_use]
     pub fn newest_ts(&self) -> Option<Timestamp> {
-        self.inner.state.lock().items.keys().next_back().copied()
+        self.inner.state.lock().store.last_live().map(Timestamp)
     }
 
     /// Timestamp of the oldest live item, if any.
     #[must_use]
     pub fn oldest_ts(&self) -> Option<Timestamp> {
-        self.inner.state.lock().items.keys().next().copied()
+        self.inner.state.lock().store.first_live().map(Timestamp)
+    }
+
+    /// The newest item at or before `ts`, live **or retained as history**
+    /// (see [`ChannelBuilder::retain_buckets`]) — the time-travel query for
+    /// late-joining consumers and the replay reader. Ignores connection
+    /// cursor state entirely: no frontier, consumed-set, or cover-count
+    /// bookkeeping is touched.
+    #[must_use]
+    pub fn latest_at(&self, ts: Timestamp) -> Option<(Timestamp, Arc<T>)> {
+        let st = self.inner.state.lock();
+        st.store.latest_at(ts.0).map(|(t, v)| (Timestamp(t), v))
+    }
+
+    /// All items with timestamps in `[from, to)`, oldest first, live **or
+    /// retained as history**. Like [`latest_at`](Self::latest_at), a pure
+    /// read with no cursor side effects.
+    #[must_use]
+    pub fn range(&self, from: Timestamp, to: Timestamp) -> Vec<(Timestamp, Arc<T>)> {
+        let st = self.inner.state.lock();
+        st.store
+            .range_query(from.0, to.0)
+            .into_iter()
+            .map(|(t, v)| (Timestamp(t), v))
+            .collect()
     }
 
     /// Everything below this timestamp has been reclaimed by the GC.
@@ -290,7 +355,7 @@ impl<T> Channel<T> {
         let mut st = self.inner.state.lock();
         let id = ConnId(st.next_conn);
         st.next_conn += 1;
-        let floor = st.gc_floor;
+        let floor = Timestamp(st.store.floor());
         // The new connection covers nothing live (its frontier is the
         // floor), so existing `covered` counts stay valid against the
         // larger connection count.
@@ -336,22 +401,13 @@ impl<T> State<T> {
         if n_in == 0 {
             return 0;
         }
-        let mut n = 0;
-        while let Some((&ts, item)) = self.items.first_key_value() {
-            if item.covered == n_in {
-                self.items.remove(&ts);
-                self.gc_floor = self.gc_floor.max(ts.next());
-                n += 1;
-            } else {
-                break;
-            }
-        }
+        let n = self.store.reclaim(n_in);
         if n > 0 {
             // Keep the per-connection invariant frontier >= gc_floor (so
             // `covers` stays consistent after reclamation) and drop consumed
             // entries for reclaimed timestamps — once per GC round, not once
             // per reclaimed item per connection.
-            let floor = self.gc_floor;
+            let floor = Timestamp(self.store.floor());
             for c in self.in_conns.values_mut() {
                 if c.frontier < floor {
                     c.frontier = floor;
@@ -364,8 +420,7 @@ impl<T> State<T> {
             if self.skipped.first().is_some_and(|&t| t < floor) {
                 self.skipped = self.skipped.split_off(&floor);
             }
-            let live = self.items.len();
-            self.stats.on_reclaim(n, live);
+            self.stats.on_reclaim(n, self.store.occupancy());
         }
         n
     }
@@ -375,10 +430,10 @@ impl<T> State<T> {
         if self.closed {
             return Err(PutError::Closed);
         }
-        if ts < self.gc_floor {
+        if ts.0 < self.store.floor() {
             return Err(PutError::BelowFrontier(ts));
         }
-        if self.items.contains_key(&ts) {
+        if self.store.contains_live(ts.0) {
             return Err(PutError::DuplicateTimestamp(ts));
         }
         if self.skipped.contains(&ts) {
@@ -389,7 +444,7 @@ impl<T> State<T> {
         }
         // Seed the cover count: a connection may already cover a fresh item
         // (frontier advanced past it, or consume-before-put).
-        let mut covered = 0;
+        let mut covered: u32 = 0;
         if !self.in_conns.is_empty() {
             let mut all_above = true;
             for c in self.in_conns.values() {
@@ -407,9 +462,8 @@ impl<T> State<T> {
                 return Err(PutError::BelowFrontier(ts));
             }
         }
-        self.items.insert(ts, Item { value, covered });
-        let live = self.items.len();
-        self.stats.on_put(live);
+        self.store.insert(ts.0, value, covered);
+        self.stats.on_put(self.store.occupancy());
         Ok(())
     }
 
@@ -419,16 +473,17 @@ impl<T> State<T> {
     /// closed. Returns true when a tombstone was newly recorded (the caller
     /// then wakes blocked getters).
     pub(crate) fn do_mark_skipped(&mut self, ts: Timestamp) -> bool {
-        if self.closed || ts < self.gc_floor || self.items.contains_key(&ts) {
+        if self.closed || ts.0 < self.store.floor() || self.store.contains_live(ts.0) {
             return false;
         }
         self.skipped.insert(ts)
     }
 
-    /// Whether a put would currently block on capacity.
+    /// Whether a put would currently block on capacity. Retained history
+    /// never counts: capacity bounds *live* items, the flow-control quantity.
     pub(crate) fn at_capacity(&self) -> bool {
         match self.capacity {
-            Some(cap) => self.items.len() >= cap,
+            Some(cap) => self.store.len_live() >= cap,
             None => false,
         }
     }
@@ -445,9 +500,7 @@ impl<T> State<T> {
         if !cs.consumed.insert(ts) {
             return Err(ConsumeError::AlreadyConsumed(ts));
         }
-        if let Some(item) = self.items.get_mut(&ts) {
-            item.covered += 1;
-        }
+        self.store.bump_covered(ts.0);
         Ok(())
     }
 
@@ -462,14 +515,11 @@ impl<T> State<T> {
         if lo >= to {
             return 0;
         }
-        let mut n = 0;
-        for (&ts, item) in self.items.range_mut(lo..to) {
-            if cs.consumed.insert(ts) {
-                item.covered += 1;
-                n += 1;
-            }
-        }
-        n
+        // Bucket-aware: binary-search to the start row once, then walk
+        // contiguous column slices (no per-item tree descent).
+        let consumed = &mut cs.consumed;
+        self.store
+            .bump_covered_range(lo.0, to.0, |t| consumed.insert(Timestamp(t)))
     }
 
     /// Advance `conn`'s frontier (monotonic: lower values are ignored),
@@ -483,15 +533,13 @@ impl<T> State<T> {
         }
         let old = cs.frontier;
         cs.frontier = frontier;
-        for (&ts, item) in self.items.range_mut(old..frontier) {
-            // Explicitly consumed items were counted at consume time.
-            if !cs.consumed.contains(&ts) {
-                item.covered += 1;
-            }
-        }
+        let consumed = &mut cs.consumed;
+        // Explicitly consumed items were counted at consume time.
+        self.store
+            .bump_covered_range(old.0, frontier.0, |t| !consumed.contains(&Timestamp(t)));
         // Explicit consumes below the new frontier are now redundant.
-        if cs.consumed.first().is_some_and(|&t| t < frontier) {
-            cs.consumed = cs.consumed.split_off(&frontier);
+        if consumed.first().is_some_and(|&t| t < frontier) {
+            *consumed = consumed.split_off(&frontier);
         }
     }
 
@@ -518,56 +566,51 @@ impl<T> State<T> {
                     self.stats.on_miss();
                     return Err(self.miss(conn, MissReason::AlreadyConsumed, Some(ts)));
                 }
-                if !self.items.contains_key(&ts) && self.skipped.contains(&ts) {
+                if !self.store.contains_live(ts.0) && self.skipped.contains(&ts) {
                     self.stats.on_miss();
                     return Err(self.miss(conn, MissReason::Skipped, Some(ts)));
                 }
-                self.items.contains_key(&ts).then_some(ts)
+                self.store.contains_live(ts.0).then_some(ts)
             }
             TsSpec::Newest => self
-                .items
-                .keys()
-                .rev()
-                .copied()
-                .find(|&ts| eligible(cs, ts)),
-            TsSpec::Oldest => self.items.keys().copied().find(|&ts| eligible(cs, ts)),
+                .store
+                .last_match(0, |t| eligible(cs, Timestamp(t)))
+                .map(Timestamp),
+            TsSpec::Oldest => self
+                .store
+                .first_match(0, |t| eligible(cs, Timestamp(t)))
+                .map(Timestamp),
             TsSpec::NewestUnseen => {
                 let lower = cs.last_gotten.map_or(Timestamp::ZERO, Timestamp::next);
-                self.items
-                    .range(lower..)
-                    .rev()
-                    .map(|(&ts, _)| ts)
-                    .find(|&ts| eligible(cs, ts))
+                self.store
+                    .last_match(lower.0, |t| eligible(cs, Timestamp(t)))
+                    .map(Timestamp)
             }
             TsSpec::NewestUnseenGlobal => {
                 let lower = self
                     .global_last_gotten
                     .map_or(Timestamp::ZERO, Timestamp::next);
-                self.items
-                    .range(lower..)
-                    .rev()
-                    .map(|(&ts, _)| ts)
-                    .find(|&ts| eligible(cs, ts))
+                self.store
+                    .last_match(lower.0, |t| eligible(cs, Timestamp(t)))
+                    .map(Timestamp)
             }
             TsSpec::NextUnseen => {
                 let lower = cs.last_gotten.map_or(Timestamp::ZERO, Timestamp::next);
-                self.items
-                    .range(lower..)
-                    .map(|(&ts, _)| ts)
-                    .find(|&ts| eligible(cs, ts))
+                self.store
+                    .first_match(lower.0, |t| eligible(cs, Timestamp(t)))
+                    .map(Timestamp)
             }
             TsSpec::AtOrAfter(bound) => self
-                .items
-                .range(bound..)
-                .map(|(&ts, _)| ts)
-                .find(|&ts| eligible(cs, ts)),
+                .store
+                .first_match(bound.0, |t| eligible(cs, Timestamp(t)))
+                .map(Timestamp),
         };
 
         match found {
             Some(ts) => {
-                // INVARIANT: `found` was selected from `self.items` keys
+                // INVARIANT: `found` was selected from the store's live rows
                 // under this same `&mut self` borrow — it cannot vanish.
-                let value = Arc::clone(&self.items.get(&ts).expect("found ts present").value);
+                let value = self.store.clone_value(ts.0).expect("found ts present");
                 // INVARIANT: `conn` is live (see `do_consume`); re-borrowed
                 // mutably only because the lookup above ended the shared one.
                 let cs = self.in_conns.get_mut(&conn).expect("connection detached");
@@ -604,17 +647,11 @@ impl<T> State<T> {
     /// Build a [`GetMiss`] with the neighbouring available timestamps around
     /// `point` (or around the whole range when `point` is `None`).
     fn miss(&self, _conn: ConnId, reason: MissReason, point: Option<Timestamp>) -> GetMiss {
-        let (below, above) = match point {
-            Some(p) => (
-                self.items.range(..p).next_back().map(|(&ts, _)| ts),
-                self.items.range(p..).next().map(|(&ts, _)| ts),
-            ),
-            None => (self.items.keys().next_back().copied(), None),
-        };
+        let (below, above) = self.store.neighbors(point.map(|p| p.0));
         GetMiss {
             reason,
-            below,
-            above,
+            below: below.map(Timestamp),
+            above: above.map(Timestamp),
         }
     }
 
@@ -623,11 +660,11 @@ impl<T> State<T> {
             // Un-count this connection's coverage so remaining counts stay
             // relative to the smaller connection set. (Items it covered are
             // covered by one fewer connection, but also need one fewer.)
-            for (&ts, item) in self.items.iter_mut() {
-                if cs.covers(ts) {
-                    item.covered -= 1;
+            self.store.for_each_live_covered_mut(|ts, covered| {
+                if cs.covers(Timestamp(ts)) {
+                    *covered -= 1;
                 }
-            }
+            });
         }
         self.gc();
     }
@@ -648,20 +685,22 @@ impl<T> State<T> {
     /// connections whose cursor state covers the item.
     #[cfg(test)]
     pub(crate) fn assert_cover_counts(&self) {
-        for (&ts, item) in &self.items {
+        for (ts, covered) in self.store.live_rows_snapshot() {
+            let ts = Timestamp(ts);
             let want = self.in_conns.values().filter(|c| c.covers(ts)).count();
             assert_eq!(
-                item.covered, want,
+                covered as usize, want,
                 "cover count for {ts} diverged from cursor state"
             );
         }
+        self.store.check_invariants();
     }
 }
 
 impl<T> Drop for Inner<T> {
     fn drop(&mut self) {
         let st = self.state.get_mut();
-        st.stats.dropped_live += st.items.len() as u64;
+        st.stats.dropped_live += st.store.len_live() as u64;
     }
 }
 

@@ -50,8 +50,10 @@
 mod channel;
 mod connection;
 mod error;
+pub mod oracle;
 mod registry;
 mod stats;
+mod store;
 mod time;
 mod wildcard;
 
@@ -60,5 +62,6 @@ pub use connection::{GetOk, InputConn, OutputConn};
 pub use error::{ConsumeError, GetError, GetMiss, MissReason, PutError, StmResult};
 pub use registry::{Registry, TypeMismatch};
 pub use stats::{ChannelSnapshot, ChannelStats};
+pub use store::DEFAULT_BUCKET_ROWS;
 pub use time::{Timestamp, TsDelta};
 pub use wildcard::TsSpec;

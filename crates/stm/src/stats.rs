@@ -1,10 +1,16 @@
 //! Channel occupancy, traffic, and contention statistics.
 
+use crate::store::Occupancy;
+
 /// Counters describing a channel's history, used by the experiment harnesses
 /// to verify the paper's claim that a fixed schedule bounds channel occupancy
 /// ("a fixed schedule determines the number of items in each channel"), and
 /// by the data-path benchmarks to observe lock contention on the online
 /// executor's hot path.
+///
+/// Since the columnar store rewrite, occupancy is tracked in every unit the
+/// bucket GC policy is judged by: item counts, payload bytes (live and
+/// retained history), and bucket counts, each with a high-water mark.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
 pub struct ChannelStats {
     /// Successful puts.
@@ -21,6 +27,17 @@ pub struct ChannelStats {
     pub live: usize,
     /// Maximum number of simultaneously live items ever observed.
     pub peak_live: usize,
+    /// Payload bytes currently held by live items.
+    pub bytes_live: usize,
+    /// Payload bytes currently held as reclaimed-but-retained history.
+    pub retained_bytes: usize,
+    /// High-water mark of total payload bytes (live + retained history) —
+    /// the occupancy figure the bucket GC budget is judged against.
+    pub peak_bytes: usize,
+    /// Buckets currently allocated by the columnar store.
+    pub buckets: usize,
+    /// Maximum bucket count ever observed.
+    pub peak_buckets: usize,
     /// Blocking `get`s that had to wait at least once for an item.
     pub blocked_gets: u64,
     /// Total nanoseconds blocking `get`s spent parked on the condvar.
@@ -33,11 +50,21 @@ pub struct ChannelStats {
 }
 
 impl ChannelStats {
+    /// Refresh the occupancy gauges and their high-water marks.
+    fn apply(&mut self, occ: Occupancy) {
+        self.live = occ.live;
+        self.peak_live = self.peak_live.max(occ.live);
+        self.bytes_live = occ.bytes_live;
+        self.retained_bytes = occ.retained_bytes;
+        self.peak_bytes = self.peak_bytes.max(occ.bytes_live + occ.retained_bytes);
+        self.buckets = occ.buckets;
+        self.peak_buckets = self.peak_buckets.max(occ.buckets);
+    }
+
     /// Record a put and update occupancy peaks.
-    pub(crate) fn on_put(&mut self, live_now: usize) {
+    pub(crate) fn on_put(&mut self, occ: Occupancy) {
         self.puts += 1;
-        self.live = live_now;
-        self.peak_live = self.peak_live.max(live_now);
+        self.apply(occ);
     }
 
     /// Record a successful get.
@@ -51,9 +78,9 @@ impl ChannelStats {
     }
 
     /// Record `n` items reclaimed by GC.
-    pub(crate) fn on_reclaim(&mut self, n: u64, live_now: usize) {
+    pub(crate) fn on_reclaim(&mut self, n: u64, occ: Occupancy) {
         self.reclaimed += n;
-        self.live = live_now;
+        self.apply(occ);
     }
 
     /// Record one condvar wait inside a blocking `get`.
@@ -75,19 +102,30 @@ impl ChannelStats {
             self.blocked_wait_ns as f64 / self.blocked_gets as f64
         }
     }
+
+    /// Total payload bytes currently held (live + retained history).
+    #[must_use]
+    pub fn bytes_total(&self) -> usize {
+        self.bytes_live + self.retained_bytes
+    }
 }
 
 impl std::fmt::Display for ChannelStats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "puts={} gets={} misses={} live={}/{} (peak) reclaimed={} dropped={} \
-             blocked={} (mean {:.0} ns) locks={} gc={}",
+            "puts={} gets={} misses={} live={}/{} (peak) bytes={}/{} (peak) \
+             buckets={}/{} (peak) reclaimed={} dropped={} blocked={} \
+             (mean {:.0} ns) locks={} gc={}",
             self.puts,
             self.gets,
             self.misses,
             self.live,
             self.peak_live,
+            self.bytes_total(),
+            self.peak_bytes,
+            self.buckets,
+            self.peak_buckets,
             self.reclaimed,
             self.dropped_live,
             self.blocked_gets,
@@ -115,17 +153,53 @@ pub struct ChannelSnapshot {
 mod tests {
     use super::*;
 
+    fn occ(live: usize) -> Occupancy {
+        Occupancy {
+            live,
+            bytes_live: live * 8,
+            retained_bytes: 0,
+            buckets: usize::from(live > 0),
+        }
+    }
+
     #[test]
     fn peak_tracks_maximum() {
         let mut s = ChannelStats::default();
-        s.on_put(1);
-        s.on_put(2);
-        s.on_reclaim(2, 0);
-        s.on_put(1);
+        s.on_put(occ(1));
+        s.on_put(occ(2));
+        s.on_reclaim(2, occ(0));
+        s.on_put(occ(1));
         assert_eq!(s.puts, 3);
         assert_eq!(s.reclaimed, 2);
         assert_eq!(s.live, 1);
         assert_eq!(s.peak_live, 2);
+        assert_eq!(s.bytes_live, 8);
+        assert_eq!(s.peak_bytes, 16);
+        assert_eq!(s.peak_buckets, 1);
+    }
+
+    #[test]
+    fn retained_bytes_count_toward_peak() {
+        let mut s = ChannelStats::default();
+        s.on_put(Occupancy {
+            live: 1,
+            bytes_live: 10,
+            retained_bytes: 30,
+            buckets: 3,
+        });
+        assert_eq!(s.bytes_total(), 40);
+        assert_eq!(s.peak_bytes, 40);
+        s.on_reclaim(
+            1,
+            Occupancy {
+                live: 0,
+                bytes_live: 0,
+                retained_bytes: 0,
+                buckets: 0,
+            },
+        );
+        assert_eq!(s.bytes_total(), 0);
+        assert_eq!(s.peak_bytes, 40, "high-water survives the drop");
     }
 
     #[test]
@@ -162,12 +236,14 @@ mod tests {
     #[test]
     fn display_summarises_all_counters() {
         let mut s = ChannelStats::default();
-        s.on_put(3);
+        s.on_put(occ(3));
         s.on_get();
         s.on_blocked_wait(200, true);
         let text = s.to_string();
         assert!(text.contains("puts=1"), "{text}");
         assert!(text.contains("live=3/3 (peak)"), "{text}");
+        assert!(text.contains("bytes=24/24 (peak)"), "{text}");
+        assert!(text.contains("buckets=1/1 (peak)"), "{text}");
         assert!(text.contains("mean 200 ns"), "{text}");
     }
 }

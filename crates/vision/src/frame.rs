@@ -149,6 +149,19 @@ impl Frame {
         &mut self.data[y * w..(y + 1) * w]
     }
 
+    /// Overwrite the whole pixel buffer from raw interleaved bytes (the
+    /// inverse of [`bytes`](Self::bytes)); `bytes` must be exactly
+    /// `width * height * 3` long. Lets replay refill a recycled buffer
+    /// without a per-pixel loop.
+    pub fn copy_from_bytes(&mut self, bytes: &[u8]) {
+        assert_eq!(
+            bytes.len(),
+            self.data.len(),
+            "byte slice must match frame dimensions"
+        );
+        self.data.copy_from_slice(bytes);
+    }
+
     /// Size in bytes (the channel item size of the "Frame" channel).
     #[must_use]
     pub fn byte_len(&self) -> usize {
